@@ -1,0 +1,83 @@
+//! Criterion benches: simulator throughput per collector model, the
+//! compiler pass, and the window analyzer. These measure the *library's*
+//! performance (cycles simulated per second), complementing the figure
+//! binaries which measure the *modelled GPU's* behaviour.
+
+use bow::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_collectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_vectoradd");
+    group.sample_size(10);
+    let bench = bow::workloads::by_name("vectoradd", Scale::Test).expect("exists");
+    for config in [
+        Config::baseline(),
+        Config::bow(3),
+        Config::bow_wr(3),
+        Config::bow_wr_half(3),
+        Config::rfc(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&config.label),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let rec = bow::experiment::run(bench.as_ref(), cfg.clone());
+                    assert!(rec.outcome.checked.is_ok());
+                    rec.outcome.result.cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bow_window_size");
+    group.sample_size(10);
+    let bench = bow::workloads::by_name("btree", Scale::Test).expect("exists");
+    for w in [2u32, 3, 4, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| {
+                let rec = bow::experiment::run(bench.as_ref(), Config::bow_wr(w));
+                assert!(rec.outcome.checked.is_ok());
+                rec.outcome.result.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiler_pass(c: &mut Criterion) {
+    let kernels: Vec<Kernel> = suite(Scale::Test).iter().map(|b| b.kernel()).collect();
+    c.bench_function("compiler_annotate_suite", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for k in &kernels {
+                let (_, rep) = annotate(k, 3);
+                total += rep.total_writes();
+            }
+            total
+        })
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let bench = bow::workloads::by_name("sto", Scale::Test).expect("exists");
+    c.bench_function("fig3_analyzer_six_windows", |b| {
+        b.iter(|| {
+            let cfg = Config::baseline().with_analyzer(&[2, 3, 4, 5, 6, 7]);
+            let rec = bow::experiment::run(bench.as_ref(), cfg);
+            rec.outcome.result.windows.len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_collectors,
+    bench_window_sweep,
+    bench_compiler_pass,
+    bench_analyzer
+);
+criterion_main!(benches);

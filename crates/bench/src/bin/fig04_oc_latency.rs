@@ -1,0 +1,59 @@
+//! Fig. 4: average fraction of execution time spent in the operand
+//! collection stage, for memory vs. non-memory instructions (baseline GPU).
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig04_oc_latency
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{run_suite, rows_with_average, scale_from_env};
+
+fn main() {
+    let records = run_suite(&Config::baseline(), scale_from_env());
+
+    let frac = |oc: u64, exec: u64| -> f64 {
+        if exec == 0 {
+            0.0
+        } else {
+            oc as f64 / exec as f64
+        }
+    };
+    let mut sums = (0u64, 0u64, 0u64, 0u64);
+    let rows = rows_with_average(
+        &records,
+        |r| {
+            let s = &r.outcome.result.stats;
+            vec![
+                bow::experiment::pct(frac(s.oc_cycles_nonmem, s.exec_cycles_nonmem)),
+                bow::experiment::pct(frac(s.oc_cycles_mem, s.exec_cycles_mem)),
+                bow::experiment::pct(frac(s.oc_cycles(), s.exec_cycles_mem + s.exec_cycles_nonmem)),
+            ]
+        },
+        {
+            for r in &records {
+                let s = &r.outcome.result.stats;
+                sums.0 += s.oc_cycles_nonmem;
+                sums.1 += s.exec_cycles_nonmem;
+                sums.2 += s.oc_cycles_mem;
+                sums.3 += s.exec_cycles_mem;
+            }
+            vec![
+                bow::experiment::pct(frac(sums.0, sums.1)),
+                bow::experiment::pct(frac(sums.2, sums.3)),
+                bow::experiment::pct(frac(sums.0 + sums.2, sums.1 + sums.3)),
+            ]
+        },
+    );
+
+    println!("Fig. 4 — share of instruction execution time spent in the OC stage\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "non-memory", "memory", "overall"],
+            &rows
+        )
+    );
+    println!("paper: ~25% of execution time overall (up to 47% for STO); memory");
+    println!("instructions show a smaller share because their execution is dominated");
+    println!("by cache/DRAM latency.");
+}

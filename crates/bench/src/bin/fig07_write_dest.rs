@@ -1,0 +1,59 @@
+//! Fig. 7: distribution of write destinations in BOW-WR — writes routed
+//! only to the register file, to the operand collector then the register
+//! file, or only to the operand collector (transient values).
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig07_write_dest
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{run_suite, rows_with_average, scale_from_env};
+
+fn main() {
+    let records = run_suite(&Config::bow_wr(3), scale_from_env());
+
+    let mut sums = [0u64; 3];
+    for r in &records {
+        for i in 0..3 {
+            sums[i] += r.outcome.result.stats.write_dest[i];
+        }
+    }
+    let sum_total: u64 = sums.iter().sum();
+    let rows = rows_with_average(
+        &records,
+        |r| {
+            let d = r.outcome.result.stats.write_dest;
+            let total: u64 = d.iter().sum::<u64>().max(1);
+            vec![
+                bow::experiment::pct(d[0] as f64 / total as f64),
+                bow::experiment::pct(d[1] as f64 / total as f64),
+                bow::experiment::pct(d[2] as f64 / total as f64),
+            ]
+        },
+        sums.iter()
+            .map(|&s| bow::experiment::pct(s as f64 / sum_total.max(1) as f64))
+            .collect(),
+    );
+
+    println!("Fig. 7 — write destinations under BOW-WR with compiler hints (IW3)\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "RF only", "OC then RF", "OC only (transient)"],
+            &rows
+        )
+    );
+    println!("paper averages: 21% RF-only / 27% OC-then-RF / 52% transient.");
+    println!("\neffective register-file reduction (registers never allocated):");
+    for r in &records {
+        if let Some(c) = &r.compiler {
+            println!(
+                "  {:<12} {:>3} of {:>3} regs transient ({})",
+                r.benchmark,
+                c.transient_regs.len(),
+                c.used_regs,
+                bow::experiment::pct(c.rf_reduction())
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 9: BOC value-buffer occupancy with a window of three instructions
+//! — how many of the 12 conservatively provisioned entries are live,
+//! sampled per cycle per active BOC.
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig09_boc_occupancy
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{run_suite, rows_with_average, scale_from_env};
+
+fn main() {
+    let records = run_suite(&Config::bow_wr(3), scale_from_env());
+
+    // Buckets mirroring the paper: <=2, 3, 4, 5, 6, >=7.
+    let bucketize = |hist: &[u64]| -> [u64; 6] {
+        let mut b = [0u64; 6];
+        for (occ, &n) in hist.iter().enumerate() {
+            let idx = match occ {
+                0..=2 => 0,
+                3 => 1,
+                4 => 2,
+                5 => 3,
+                6 => 4,
+                _ => 5,
+            };
+            b[idx] += n;
+        }
+        b
+    };
+
+    let mut sums = [0u64; 6];
+    let mut half_exceeded = 0u64;
+    let mut samples_total = 0u64;
+    for r in &records {
+        let s = &r.outcome.result.stats;
+        let b = bucketize(&s.boc_occupancy_hist);
+        for i in 0..6 {
+            sums[i] += b[i];
+        }
+        for (occ, &n) in s.boc_occupancy_hist.iter().enumerate() {
+            if occ > 6 {
+                half_exceeded += n;
+            }
+        }
+        samples_total += s.occupancy_samples;
+    }
+    let grand: u64 = sums.iter().sum();
+
+    let rows = rows_with_average(
+        &records,
+        |r| {
+            let b = bucketize(&r.outcome.result.stats.boc_occupancy_hist);
+            let total: u64 = b.iter().sum::<u64>().max(1);
+            b.iter()
+                .map(|&n| bow::experiment::pct(n as f64 / total as f64))
+                .collect()
+        },
+        sums.iter()
+            .map(|&n| bow::experiment::pct(n as f64 / grand.max(1) as f64))
+            .collect(),
+    );
+
+    println!("Fig. 9 — live BOC entries per sampled cycle (BOW-WR, IW3, 12 entries)\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "<=2", "3", "4", "5", "6", ">=7"],
+            &rows
+        )
+    );
+    println!(
+        "cycles needing more than half (6) of the entries: {} ({})",
+        half_exceeded,
+        bow::experiment::pct(half_exceeded as f64 / samples_total.max(1) as f64)
+    );
+    println!("paper: only ~3% of cycles need more than half the entries, and the");
+    println!("worst case (all 12 live) never occurs — justifying half-size BOCs.");
+}

@@ -1,0 +1,50 @@
+//! Fig. 10: IPC improvement of BOW (a) and BOW-WR (b) over the baseline
+//! for instruction windows 2, 3 and 4.
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig10_ipc
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{export_json, geomean_speedup, run_suite, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let base = run_suite(&Config::baseline(), scale);
+    export_json("fig10_baseline", &base);
+
+    let variants: [(&str, fn(u32) -> Config); 2] =
+        [("(a) BOW", Config::bow), ("(b) BOW-WR", Config::bow_wr)];
+    for (title, make) in variants {
+        let runs: Vec<(u32, Vec<RunRecord>)> = [2u32, 3, 4]
+            .into_iter()
+            .map(|w| (w, run_suite(&make(w), scale)))
+            .collect();
+        for (w, recs) in &runs {
+            export_json(&format!("fig10_{}_iw{w}", title.trim_start_matches("(a) ").trim_start_matches("(b) ").to_lowercase().replace('-', "_")), recs);
+        }
+
+        let mut rows = Vec::new();
+        for (i, b) in base.iter().enumerate() {
+            let mut row = vec![b.benchmark.clone()];
+            for (_, recs) in &runs {
+                let speedup =
+                    b.outcome.result.cycles as f64 / recs[i].outcome.result.cycles as f64;
+                row.push(format!("{:+.1}%", 100.0 * (speedup - 1.0)));
+            }
+            rows.push(row);
+        }
+        let mut avg = vec!["geomean".to_string()];
+        for (_, recs) in &runs {
+            avg.push(format!("{:+.1}%", 100.0 * (geomean_speedup(&base, recs) - 1.0)));
+        }
+        rows.push(avg);
+
+        println!("Fig. 10 {title} — IPC improvement over baseline\n");
+        println!(
+            "{}",
+            bow::experiment::render_table(&["benchmark", "IW2", "IW3", "IW4"], &rows)
+        );
+    }
+    println!("paper averages at IW3: BOW +11%, BOW-WR +13%; diminishing returns past IW3.");
+}

@@ -1,0 +1,49 @@
+//! Fig. 11: IPC improvement of BOW-WR with the half-size (6-entry) BOC,
+//! compared to the full-size design — §IV-C's storage optimization.
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig11_ipc_halfsize
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{geomean_speedup, run_suite, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let base = run_suite(&Config::baseline(), scale);
+    let full = run_suite(&Config::bow_wr(3), scale);
+    let half = run_suite(&Config::bow_wr_half(3), scale);
+
+    let mut rows = Vec::new();
+    for i in 0..base.len() {
+        let b = base[i].outcome.result.cycles as f64;
+        let f = full[i].outcome.result.cycles as f64;
+        let h = half[i].outcome.result.cycles as f64;
+        rows.push(vec![
+            base[i].benchmark.clone(),
+            format!("{:+.1}%", 100.0 * (b / f - 1.0)),
+            format!("{:+.1}%", 100.0 * (b / h - 1.0)),
+            half[i].outcome.result.stats.forced_evictions.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &full) - 1.0)),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &half) - 1.0)),
+        half.iter()
+            .map(|r| r.outcome.result.stats.forced_evictions)
+            .sum::<u64>()
+            .to_string(),
+    ]);
+
+    println!("Fig. 11 — IPC improvement with half-size (6-entry) BOCs, IW3\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "full (12 entries)", "half (6 entries)", "forced evictions"],
+            &rows
+        )
+    );
+    println!("paper: ~2% average loss from halving the buffers — still ~11% over baseline;");
+    println!("the loss concentrates in high-occupancy benchmarks such as SAD.");
+}

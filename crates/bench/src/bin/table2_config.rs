@@ -1,0 +1,47 @@
+//! Table II: the simulated GPU configuration (NVIDIA TITAN X, Pascal).
+//!
+//! ```sh
+//! cargo run --release -p bow-bench --bin table2_config
+//! ```
+
+use bow::prelude::*;
+
+fn main() {
+    let c = GpuConfig::titan_x_pascal(CollectorKind::Baseline);
+    println!("Table II — simulated configuration (Nvidia TITAN X, Pascal)\n");
+    let rows = [
+        ("# of SMs", c.num_sms.to_string()),
+        ("# of cores per SM", c.cores_per_sm.to_string()),
+        ("Max # of TBs per SM", c.max_blocks_per_sm.to_string()),
+        ("Max # of warps per SM", c.max_warps_per_sm.to_string()),
+        (
+            "Max # of threads per SM",
+            (c.max_warps_per_sm * 32).to_string(),
+        ),
+        (
+            "Register file size per SM",
+            format!("{} KB", c.rf_bytes_per_sm / 1024),
+        ),
+        ("Register banks per SM", c.rf_banks.to_string()),
+        ("Warp schedulers per SM", c.schedulers_per_sm.to_string()),
+        (
+            "Issue width per scheduler",
+            c.issue_per_scheduler.to_string(),
+        ),
+        ("Operand collectors per SM", c.num_ocus.to_string()),
+        (
+            "L1 cache per SM",
+            format!("{} KB", c.mem.l1.size_bytes / 1024),
+        ),
+        (
+            "L2 cache (per-SM slice)",
+            format!("{} KB", c.mem.l2.size_bytes / 1024),
+        ),
+        ("Warp scheduling policy", format!("{:?}", c.sched)),
+    ];
+    for (k, v) in rows {
+        println!("{k:<28} {v}");
+    }
+    println!("\nexperiment binaries run the same SM with `GpuConfig::scaled` (2 SMs)");
+    println!("so the full suite sweeps finish quickly; per-SM behaviour is identical.");
+}

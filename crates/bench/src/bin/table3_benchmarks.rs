@@ -1,0 +1,36 @@
+//! Table III: the benchmark suite — name, source suite and description,
+//! plus the static footprint of our transcription of each workload.
+//!
+//! ```sh
+//! cargo run --release -p bow-bench --bin table3_benchmarks
+//! ```
+
+use bow::prelude::*;
+use bow_bench::scale_from_env;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table III — benchmark suite\n");
+    let mut rows = Vec::new();
+    for b in suite(scale) {
+        let k = b.kernel();
+        rows.push(vec![
+            b.name().to_string(),
+            b.suite().to_string(),
+            k.len().to_string(),
+            k.num_regs.to_string(),
+            k.shared_bytes.to_string(),
+            b.description().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "suite", "insts", "regs", "smem B", "description"],
+            &rows
+        )
+    );
+    println!("each workload is a from-scratch kernel in the BOW ISA matching the");
+    println!("paper benchmark's computational character; all runs are verified");
+    println!("against exact host references (see bow-workloads).");
+}

@@ -1,0 +1,53 @@
+//! Table IV: BOC vs. register-bank cost model (28 nm) and the §V-A
+//! storage/area overhead arithmetic.
+//!
+//! ```sh
+//! cargo run --release -p bow-bench --bin table4_overheads
+//! ```
+
+use bow::energy::{AreaModel, EnergyModel, StorageOverhead};
+
+fn main() {
+    let m = EnergyModel::table_iv();
+    println!("Table IV — BOC overheads at 28 nm (model constants)\n");
+    println!("{:<18} {:>10} {:>15} {:>12}", "parameter", "BOC", "register bank", "ratio");
+    println!("{:<18} {:>10} {:>15} {:>12}", "size", "1.5 KB", "64 KB", "2%");
+    println!(
+        "{:<18} {:>10} {:>15} {:>11.1}%",
+        "access energy",
+        format!("{:.2} pJ", m.boc_access_pj),
+        format!("{:.2} pJ", m.rf_access_pj),
+        100.0 * m.boc_access_pj / m.rf_access_pj
+    );
+    println!(
+        "{:<18} {:>10} {:>15} {:>11.1}%",
+        "leakage power",
+        format!("{:.2} mW", m.boc_leakage_mw),
+        format!("{:.2} mW", m.rf_leakage_mw_per_bank),
+        100.0 * m.boc_leakage_mw / m.rf_leakage_mw_per_bank
+    );
+
+    println!("\nstorage overhead (§V-A):");
+    for (label, s) in [
+        ("full-size, IW3", StorageOverhead::bow_full(3, 32)),
+        ("half-size, IW3", StorageOverhead::bow_half(3, 32)),
+    ] {
+        println!(
+            "  {label}: {} B/BOC, {} KB added per SM = {:.1}% of a 256 KB RF",
+            s.bytes_per_boc,
+            s.added_bytes_per_sm() / 1024,
+            100.0 * s.fraction_of_rf(256 * 1024)
+        );
+    }
+
+    let a = AreaModel::paper();
+    println!("\narea (synthesized BOC network):");
+    println!(
+        "  {:.2} mm^2 added vs {:.2} mm^2 per bank: {:.1}% of a bank, {:.2}% of the RF",
+        a.boc_network_mm2,
+        a.register_bank_mm2,
+        100.0 * a.fraction_of_bank(),
+        100.0 * a.fraction_of_rf()
+    );
+    println!("  paper: <3% of a bank, <0.1% of the RF, 0.17% of total chip area.");
+}

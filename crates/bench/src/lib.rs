@@ -1,0 +1,231 @@
+//! Shared machinery for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` is a thin loop: pick configurations, run the
+//! suite through [`bow::experiment::run`], print the same rows/series the
+//! paper's figure reports. Scale is selected with the `BOW_SCALE`
+//! environment variable (`test` or `paper`, default `paper`).
+
+use bow::prelude::*;
+use bow_isa::{Kernel, Reg, WritebackHint};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Reads the problem scale from `BOW_SCALE` (default: `paper`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("BOW_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        _ => Scale::Paper,
+    }
+}
+
+/// Runs every benchmark under `config`, asserting functional correctness,
+/// and returns the records in suite order.
+pub fn run_suite(config: &Config, scale: Scale) -> Vec<RunRecord> {
+    suite(scale)
+        .iter()
+        .map(|b| {
+            let rec = bow::experiment::run(b.as_ref(), config.clone());
+            rec.assert_checked();
+            rec
+        })
+        .collect()
+}
+
+/// Pairs each record with its benchmark name, plus an `average` row built
+/// by `avg` over the values produced by `f`.
+pub fn rows_with_average(
+    records: &[RunRecord],
+    f: impl Fn(&RunRecord) -> Vec<String>,
+    avg: Vec<String>,
+) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.benchmark.clone()];
+            row.extend(f(r));
+            row
+        })
+        .collect();
+    let mut avg_row = vec!["average".to_string()];
+    avg_row.extend(avg);
+    rows.push(avg_row);
+    rows
+}
+
+/// Geometric-mean speedup of `new` over `base` cycles across the suite.
+pub fn geomean_speedup(base: &[RunRecord], new: &[RunRecord]) -> f64 {
+    assert_eq!(base.len(), new.len());
+    let log_sum: f64 = base
+        .iter()
+        .zip(new)
+        .map(|(b, n)| (b.outcome.result.cycles as f64 / n.outcome.result.cycles as f64).ln())
+        .sum();
+    (log_sum / base.len() as f64).exp()
+}
+
+/// A machine-readable snapshot of one run, written next to the textual
+/// tables when `BOW_JSON_DIR` is set so downstream plotting never has to
+/// scrape stdout.
+#[derive(Serialize)]
+pub struct RunJson<'a> {
+    /// Benchmark name.
+    pub benchmark: &'a str,
+    /// Configuration label.
+    pub config: &'a str,
+    /// Device cycles.
+    pub cycles: u64,
+    /// Warp instructions committed.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Full statistics block.
+    pub stats: &'a SimStats,
+}
+
+/// If `BOW_JSON_DIR` is set, serializes `records` to
+/// `<dir>/<experiment>.json`. Errors are reported, never fatal — the
+/// textual tables are the primary artifact.
+pub fn export_json(experiment: &str, records: &[RunRecord]) {
+    let Ok(dir) = std::env::var("BOW_JSON_DIR") else { return };
+    let rows: Vec<RunJson<'_>> = records
+        .iter()
+        .map(|r| RunJson {
+            benchmark: &r.benchmark,
+            config: &r.label,
+            cycles: r.outcome.result.cycles,
+            instructions: r.outcome.result.stats.warp_instructions,
+            ipc: r.ipc(),
+            stats: &r.outcome.result.stats,
+        })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("{experiment}.json"));
+    match serde_json::to_string_pretty(&rows) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+    }
+}
+
+/// Per-register RF write counts for the Table I fragment under the three
+/// write policies: `[write-through, write-back, compiler]` × `[r0..r3]`.
+///
+/// This is an exact replay of the sliding extended window over the
+/// fragment (the same semantics the simulator's BOC implements), kept
+/// self-contained so the table is reproducible without timing noise.
+pub fn table1_counts(kernel: &Kernel, range: std::ops::Range<usize>, window: u64) -> [[u32; 4]; 3] {
+    let classes: HashMap<usize, bow_compiler::HintClass> =
+        bow_compiler::classify_kernel(kernel, window as u32)
+            .into_iter()
+            .collect();
+    let reg_slot = |r: Reg| -> Option<usize> {
+        bow_workloads::snippet::TABLE_I_REGS
+            .iter()
+            .position(|&x| x == r.index())
+    };
+
+    let mut out = [[0u32; 4]; 3];
+
+    // Column 0: write-through — every write reaches the RF.
+    for pc in range.clone() {
+        if let Some(slot) = kernel.insts[pc].dst_reg().and_then(reg_slot) {
+            out[0][slot] += 1;
+        }
+    }
+
+    // Columns 1 and 2: replay the window; on eviction a dirty value costs
+    // an RF write unless (column 2 only) its hint says transient.
+    for (col, hinted) in [(1usize, false), (2usize, true)] {
+        // reg -> (last_touch, dirty, defining pc)
+        let mut present: HashMap<u8, (u64, bool, usize)> = HashMap::new();
+        let evict = |e: (u8, (u64, bool, usize)), out: &mut [[u32; 4]; 3]| {
+            let (reg, (_, dirty, def_pc)) = e;
+            if !dirty {
+                return;
+            }
+            let hint = if hinted {
+                classes
+                    .get(&def_pc)
+                    .map(|c| c.to_hint())
+                    .unwrap_or(WritebackHint::Both)
+            } else {
+                WritebackHint::Both
+            };
+            if hint.to_rf() {
+                if let Some(slot) = reg_slot(Reg::r(reg)) {
+                    out[col][slot] += 1;
+                }
+            }
+        };
+        for (seq0, pc) in range.clone().enumerate() {
+            let seq = seq0 as u64;
+            let inst = &kernel.insts[pc];
+            // Slide.
+            let expired: Vec<u8> = present
+                .iter()
+                .filter(|(_, (touch, _, _))| seq.saturating_sub(*touch) >= window)
+                .map(|(&r, _)| r)
+                .collect();
+            for r in expired {
+                let e = present.remove_entry(&r).expect("present");
+                evict(e, &mut out);
+            }
+            for r in inst.unique_src_regs() {
+                if let Some(e) = present.get_mut(&r.index()) {
+                    e.0 = seq;
+                } else {
+                    present.insert(r.index(), (seq, false, usize::MAX));
+                }
+            }
+            if let Some(d) = inst.dst_reg() {
+                // Overwrite while present consolidates silently.
+                present.insert(d.index(), (seq, true, pc));
+            }
+        }
+        for e in present.drain() {
+            evict((e.0, e.1), &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_workloads::snippet::{fig6_kernel, fragment_range};
+
+    #[test]
+    fn table1_reproduces_the_papers_pattern() {
+        let k = fig6_kernel();
+        let counts = table1_counts(&k, fragment_range(), 3);
+        // Write-through: counted straight off the listing.
+        assert_eq!(counts[0], [3, 4, 3, 1]);
+        // Write-back: the window consolidates r1's double update, r0's
+        // double update and r2's load+shift pair.
+        assert_eq!(counts[1], [1, 2, 2, 1]);
+        // Compiler hints: only the two truly persistent values remain —
+        // identical to the paper's column (r1 = 1, r3 = 1).
+        assert_eq!(counts[2], [0, 1, 0, 1]);
+        let totals: Vec<u32> = counts.iter().map(|c| c.iter().sum()).collect();
+        assert_eq!(totals, vec![11, 6, 2]);
+    }
+
+    #[test]
+    fn geomean_of_identical_runs_is_one() {
+        let b = bow::workloads::by_name("vectoradd", Scale::Test).unwrap();
+        let r1 = vec![bow::experiment::run(b.as_ref(), Config::baseline())];
+        let r2 = vec![bow::experiment::run(b.as_ref(), Config::baseline())];
+        let g = geomean_speedup(&r1, &r2);
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_env_defaults_to_paper() {
+        // Do not set the variable; just exercise the default path.
+        if std::env::var("BOW_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Paper);
+        }
+    }
+}

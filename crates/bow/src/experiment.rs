@@ -1,0 +1,237 @@
+//! The experiment driver: one call runs a benchmark under a named
+//! configuration, applying the compiler pass where the configuration
+//! requires it. Every figure/table binary in `bow-bench` is a thin loop
+//! over this module.
+
+use bow_compiler::{annotate, CompilerReport};
+use bow_sim::{CollectorKind, Gpu, GpuConfig};
+use bow_workloads::{Benchmark, RunOutcome};
+
+/// A named pipeline configuration to evaluate.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Display label (e.g. `"bow-wr iw3"`).
+    pub label: String,
+    /// The GPU configuration.
+    pub gpu: GpuConfig,
+    /// Whether to run the §IV-B compiler pass before launching (BOW-WR).
+    pub hints: bool,
+    /// Whether to run the bypass-aware scheduler (the paper's footnote 1
+    /// extension) before hint assignment.
+    pub reorder: bool,
+}
+
+impl Config {
+    /// The unmodified baseline GPU.
+    pub fn baseline() -> Config {
+        Config {
+            label: "baseline".into(),
+            gpu: GpuConfig::scaled(CollectorKind::Baseline),
+            hints: false,
+            reorder: false,
+        }
+    }
+
+    /// BOW (read bypassing, write-through) with the given window.
+    pub fn bow(window: u32) -> Config {
+        Config {
+            label: format!("bow iw{window}"),
+            gpu: GpuConfig::scaled(CollectorKind::bow(window)),
+            hints: false,
+            reorder: false,
+        }
+    }
+
+    /// BOW-WR (read+write bypassing, compiler hints) with the given window.
+    pub fn bow_wr(window: u32) -> Config {
+        Config {
+            label: format!("bow-wr iw{window}"),
+            gpu: GpuConfig::scaled(CollectorKind::bow_wr(window)),
+            hints: true,
+            reorder: false,
+        }
+    }
+
+    /// BOW-WR with the half-size (shared-entry) BOC of §IV-C.
+    pub fn bow_wr_half(window: u32) -> Config {
+        Config {
+            label: format!("bow-wr iw{window} half"),
+            gpu: GpuConfig::scaled(CollectorKind::BowWr { window, half_size: true }),
+            hints: true,
+            reorder: false,
+        }
+    }
+
+    /// BOW-WR *without* the compiler pass — the pure write-back design the
+    /// middle column of Table I evaluates.
+    pub fn bow_writeback(window: u32) -> Config {
+        Config {
+            label: format!("bow-wb iw{window}"),
+            gpu: GpuConfig::scaled(CollectorKind::bow_wr(window)),
+            hints: false,
+            reorder: false,
+        }
+    }
+
+    /// Buffer-bounded bypassing — the paper's future-work design: no
+    /// nominal window, no compiler hints, eviction purely by capacity.
+    pub fn bow_flex(capacity: u32) -> Config {
+        Config {
+            label: format!("bow-flex c{capacity}"),
+            gpu: GpuConfig::scaled(CollectorKind::bow_flex(capacity)),
+            hints: false,
+            reorder: false,
+        }
+    }
+
+    /// The register-file-cache comparison baseline (§V-A).
+    pub fn rfc() -> Config {
+        Config {
+            label: "rfc".into(),
+            gpu: GpuConfig::scaled(CollectorKind::rfc6()),
+            hints: false,
+            reorder: false,
+        }
+    }
+
+    /// BOW-WR with the footnote-1 scheduler in front of the hint pass.
+    pub fn bow_wr_reordered(window: u32) -> Config {
+        Config { reorder: true, label: format!("bow-wr+sched iw{window}"), ..Config::bow_wr(window) }
+    }
+
+    /// Enables the Fig. 3 window analyzer on this configuration.
+    pub fn with_analyzer(mut self, windows: &[u32]) -> Config {
+        self.gpu = self.gpu.with_analyzer(windows);
+        self
+    }
+}
+
+/// The result of running one benchmark under one configuration.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The configuration label.
+    pub label: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Launch statistics and reference check.
+    pub outcome: RunOutcome,
+    /// Compiler report (when the configuration ran the hint pass).
+    pub compiler: Option<CompilerReport>,
+}
+
+impl RunRecord {
+    /// Instructions per cycle of the run.
+    pub fn ipc(&self) -> f64 {
+        self.outcome.result.ipc()
+    }
+
+    /// Panics if the reference check failed — experiments must never
+    /// aggregate wrong results.
+    pub fn assert_checked(&self) -> &RunRecord {
+        if let Err(e) = &self.outcome.checked {
+            panic!("{} under {} produced wrong results: {e}", self.benchmark, self.label);
+        }
+        self
+    }
+}
+
+/// Runs `bench` under `config`, applying the compiler pass if requested.
+pub fn run(bench: &dyn Benchmark, config: Config) -> RunRecord {
+    let window = config.gpu.collector.window().unwrap_or(3);
+    let kernel = bench.kernel();
+    let kernel = if config.reorder {
+        bow_compiler::reorder_for_bypass(&kernel)
+    } else {
+        kernel
+    };
+    let (kernel, compiler) = if config.hints {
+        let (k, rep) = annotate(&kernel, window);
+        (k, Some(rep))
+    } else {
+        (kernel, None)
+    };
+    let mut gpu = Gpu::new(config.gpu.clone());
+    let outcome = bench.run_with(&mut gpu, &kernel);
+    RunRecord {
+        label: config.label,
+        benchmark: bench.name().to_string(),
+        outcome,
+        compiler,
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Renders a simple aligned table: a header row and data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_workloads::{by_name, Scale};
+
+    #[test]
+    fn run_applies_hints_only_for_bow_wr() {
+        let b = by_name("vectoradd", Scale::Test).expect("exists");
+        let base = run(b.as_ref(), Config::baseline());
+        assert!(base.compiler.is_none());
+        base.assert_checked();
+        let wr = run(b.as_ref(), Config::bow_wr(3));
+        assert!(wr.compiler.is_some());
+        wr.assert_checked();
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Config::bow(4).label, "bow iw4");
+        assert_eq!(Config::bow_wr_half(3).label, "bow-wr iw3 half");
+        assert_eq!(Config::bow_writeback(3).label, "bow-wb iw3");
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["name", "ipc"],
+            &[vec!["a".into(), "1.0".into()], vec!["long-name".into(), "2.0".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.0"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.55), " 55.0%");
+    }
+}

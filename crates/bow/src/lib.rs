@@ -1,0 +1,69 @@
+//! # BOW: Breathing Operand Windows
+//!
+//! A from-scratch Rust reproduction of *BOW: Breathing Operand Windows to
+//! Exploit Bypassing in GPUs* (MICRO 2020): a cycle-level GPU SM model with
+//! a banked register file and operand collectors, the BOW / BOW-WR
+//! bypassing architectures, the compiler liveness pass that drives their
+//! write-back hints, a register-file-cache baseline, an energy/area model
+//! and the paper's benchmark suite.
+//!
+//! This umbrella crate re-exports the public API of every subsystem and
+//! adds the [`experiment`] driver the figure/table harness and examples
+//! are built on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bow::prelude::*;
+//!
+//! // Run one benchmark under the baseline and under BOW-WR (IW = 3).
+//! let bench = bow::workloads::by_name("vectoradd", Scale::Test).unwrap();
+//! let base = bow::experiment::run(bench.as_ref(), Config::baseline());
+//! let bowwr = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
+//! assert!(base.outcome.checked.is_ok() && bowwr.outcome.checked.is_ok());
+//! assert!(bowwr.outcome.result.stats.bypassed_reads > 0);
+//! ```
+
+pub mod experiment;
+
+/// Re-export of [`bow_isa`](bow_isa): the instruction set.
+pub mod isa {
+    pub use bow_isa::*;
+}
+
+/// Re-export of [`bow_mem`](bow_mem): the memory substrate.
+pub mod mem {
+    pub use bow_mem::*;
+}
+
+/// Re-export of [`bow_energy`](bow_energy): the energy/area model.
+pub mod energy {
+    pub use bow_energy::*;
+}
+
+/// Re-export of [`bow_sim`](bow_sim): the cycle-level GPU model.
+pub mod sim {
+    pub use bow_sim::*;
+}
+
+/// Re-export of [`bow_compiler`](bow_compiler): liveness and hints.
+pub mod compiler {
+    pub use bow_compiler::*;
+}
+
+/// Re-export of [`bow_workloads`](bow_workloads): the benchmark suite.
+pub mod workloads {
+    pub use bow_workloads::*;
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::experiment::{run, Config, RunRecord};
+    pub use bow_compiler::annotate;
+    pub use bow_energy::{AccessCounts, EnergyModel, EnergyReport};
+    pub use bow_isa::{
+        CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg, Special, WritebackHint,
+    };
+    pub use bow_sim::{CollectorKind, Gpu, GpuConfig, LaunchResult, SimStats};
+    pub use bow_workloads::{suite, Benchmark, RunOutcome, Scale};
+}

@@ -1,0 +1,544 @@
+//! # bow-cli — command-line front end for the BOW GPU model
+//!
+//! Subcommands:
+//!
+//! * `suite` — list the benchmark suite;
+//! * `run <bench>` — run one benchmark under a chosen collector and print
+//!   IPC, traffic and energy;
+//! * `compare <bench>` — run every collector model side by side;
+//! * `asm <file>` — assemble a kernel from text and print a summary;
+//! * `compile <file>` — assemble, run the §IV-B hint pass (and optionally
+//!   the footnote-1 scheduler) and print the annotated disassembly;
+//! * `sweep <bench>` — IW1..7 window sweep on one benchmark;
+//! * `trace <file>` — run with pipeline tracing and print the timeline;
+//! * `encode <file>` / `decode <file>` — binary-format round trip.
+//!
+//! Command logic lives in this library and returns strings, so everything
+//! is unit-testable; `main.rs` only does process I/O.
+
+use bow::experiment::{pct, render_table, Config};
+use bow::prelude::*;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// List the benchmark suite.
+    Suite,
+    /// Run one benchmark.
+    Run {
+        /// Benchmark name.
+        bench: String,
+        /// Collector spec (e.g. `bow-wr`).
+        collector: String,
+        /// Instruction-window size.
+        window: u32,
+        /// Problem scale.
+        scale: Scale,
+        /// Apply the bypass-aware scheduler first.
+        reorder: bool,
+    },
+    /// Run all collectors on one benchmark.
+    Compare {
+        /// Benchmark name.
+        bench: String,
+        /// Problem scale.
+        scale: Scale,
+    },
+    /// Assemble a kernel file and summarize it.
+    Asm {
+        /// Path to the assembly source.
+        path: String,
+    },
+    /// Assemble + hint pass (+ optional scheduler), print annotated text.
+    Compile {
+        /// Path to the assembly source.
+        path: String,
+        /// Window for the hint pass.
+        window: u32,
+        /// Run the scheduler first.
+        reorder: bool,
+    },
+    /// Sweep BOW-WR window sizes over one benchmark.
+    Sweep {
+        /// Benchmark name.
+        bench: String,
+        /// Problem scale.
+        scale: Scale,
+    },
+    /// Run a kernel with pipeline tracing and print the timeline.
+    Trace {
+        /// Path to the assembly source.
+        path: String,
+        /// Collector spec.
+        collector: String,
+        /// Instruction-window size.
+        window: u32,
+        /// Maximum events to print.
+        limit: usize,
+    },
+    /// Encode an assembly file to the binary format (hex words).
+    Encode {
+        /// Path to the assembly source.
+        path: String,
+    },
+    /// Decode a hex-word binary back to assembly.
+    Decode {
+        /// Path to the hex file.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+bow-cli — the BOW GPU model
+
+USAGE:
+  bow-cli suite
+  bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
+  bow-cli compare <bench> [--scale test|paper]
+  bow-cli asm <file.s>
+  bow-cli compile <file.s> [--window N] [--reorder]
+  bow-cli sweep <bench> [--scale test|paper]
+  bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
+  bow-cli encode <file.s>
+  bow-cli decode <file.hex>
+
+COLLECTORS:
+  baseline | bow | bow-wr | bow-wr-half | bow-flex | rfc
+";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first unrecognized token.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    let rest: Vec<&str> = it.collect();
+
+    let flag = |name: &str| rest.contains(&name);
+    let opt = |name: &str| -> Option<&str> {
+        rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1).copied())
+    };
+    let positional = || -> Option<&str> { rest.iter().find(|a| !a.starts_with("--")).copied() };
+    let scale = match opt("--scale") {
+        Some("paper") => Scale::Paper,
+        Some("test") | None => Scale::Test,
+        Some(other) => return Err(err(format!("unknown scale `{other}`"))),
+    };
+    let window: u32 = match opt("--window") {
+        Some(w) => w.parse().map_err(|_| err(format!("bad window `{w}`")))?,
+        None => 3,
+    };
+
+    match cmd {
+        "suite" => Ok(Command::Suite),
+        "run" => Ok(Command::Run {
+            bench: positional().ok_or_else(|| err("run: missing benchmark name"))?.into(),
+            collector: opt("--collector").unwrap_or("bow-wr").into(),
+            window,
+            scale,
+            reorder: flag("--reorder"),
+        }),
+        "compare" => Ok(Command::Compare {
+            bench: positional().ok_or_else(|| err("compare: missing benchmark name"))?.into(),
+            scale,
+        }),
+        "asm" => Ok(Command::Asm {
+            path: positional().ok_or_else(|| err("asm: missing file"))?.into(),
+        }),
+        "compile" => Ok(Command::Compile {
+            path: positional().ok_or_else(|| err("compile: missing file"))?.into(),
+            window,
+            reorder: flag("--reorder"),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            bench: positional().ok_or_else(|| err("sweep: missing benchmark name"))?.into(),
+            scale,
+        }),
+        "trace" => Ok(Command::Trace {
+            path: positional().ok_or_else(|| err("trace: missing file"))?.into(),
+            collector: opt("--collector").unwrap_or("bow-wr").into(),
+            window,
+            limit: match opt("--limit") {
+                Some(l) => l.parse().map_err(|_| err(format!("bad limit `{l}`")))?,
+                None => 120,
+            },
+        }),
+        "encode" => Ok(Command::Encode {
+            path: positional().ok_or_else(|| err("encode: missing file"))?.into(),
+        }),
+        "decode" => Ok(Command::Decode {
+            path: positional().ok_or_else(|| err("decode: missing file"))?.into(),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(err(format!("unknown command `{other}` (try `bow-cli help`)"))),
+    }
+}
+
+/// Builds the experiment [`Config`] named by a collector spec.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown collector names.
+pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config, CliError> {
+    let base = match collector {
+        "baseline" => Config::baseline(),
+        "bow" => Config::bow(window),
+        "bow-wr" => Config::bow_wr(window),
+        "bow-wr-half" => Config::bow_wr_half(window),
+        "bow-flex" => Config::bow_flex(4 * window),
+        "rfc" => Config::rfc(),
+        other => return Err(err(format!("unknown collector `{other}`"))),
+    };
+    Ok(Config { reorder, ..base })
+}
+
+/// Executes a command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown benchmarks, unreadable files or
+/// invalid kernels.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Suite => {
+            let rows: Vec<Vec<String>> = suite(Scale::Paper)
+                .iter()
+                .map(|b| {
+                    vec![
+                        b.name().to_string(),
+                        b.suite().to_string(),
+                        b.description().to_string(),
+                    ]
+                })
+                .collect();
+            Ok(render_table(&["benchmark", "suite", "description"], &rows))
+        }
+        Command::Run { bench, collector, window, scale, reorder } => {
+            let b = bow::workloads::by_name(&bench, scale)
+                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let cfg = config_for(&collector, window, reorder)?;
+            let label = cfg.label.clone();
+            let rec = bow::experiment::run(b.as_ref(), cfg);
+            rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            let s = &rec.outcome.result.stats;
+            let mut out = String::new();
+            writeln!(out, "{bench} under {label}: OK (results verified)").unwrap();
+            writeln!(out, "  cycles             {}", rec.outcome.result.cycles).unwrap();
+            writeln!(out, "  warp instructions  {}", s.warp_instructions).unwrap();
+            writeln!(out, "  IPC                {:.3}", rec.ipc()).unwrap();
+            writeln!(out, "  RF reads/writes    {} / {}", s.rf.reads, s.rf.writes).unwrap();
+            writeln!(out, "  read bypass        {}", pct(s.read_bypass_rate())).unwrap();
+            writeln!(out, "  write bypass       {}", pct(s.write_bypass_rate())).unwrap();
+            if let Some(c) = &rec.compiler {
+                writeln!(
+                    out,
+                    "  compiler           {} transient / {} persistent / {} rf-only; {} regs elided",
+                    c.transient, c.persistent, c.rf_only, c.transient_regs.len()
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Compare { bench, scale } => {
+            let b = bow::workloads::by_name(&bench, scale)
+                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let model = EnergyModel::table_iv();
+            let base = bow::experiment::run(b.as_ref(), Config::baseline());
+            let base_counts = base.outcome.result.stats.access_counts();
+            let mut rows = Vec::new();
+            for cfg in [
+                Config::baseline(),
+                Config::bow(3),
+                Config::bow_wr(3),
+                Config::bow_wr_half(3),
+                Config::bow_flex(12),
+                Config::rfc(),
+            ] {
+                let rec = bow::experiment::run(b.as_ref(), cfg);
+                rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+                let s = &rec.outcome.result.stats;
+                let energy =
+                    EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
+                rows.push(vec![
+                    rec.label.clone(),
+                    format!("{:.3}", rec.ipc()),
+                    format!("{:+.1}%", 100.0 * (rec.ipc() / base.ipc() - 1.0)),
+                    pct(s.read_bypass_rate()),
+                    pct(s.write_bypass_rate()),
+                    format!("{:.2}", energy.total_norm()),
+                ]);
+            }
+            Ok(render_table(
+                &["config", "ipc", "vs base", "rd bypass", "wr bypass", "energy"],
+                &rows,
+            ))
+        }
+        Command::Asm { path } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("{path}: {e}")))?;
+            let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "kernel `{}`: {} instructions, {} registers, {} B shared, {} params",
+                k.name,
+                k.len(),
+                k.num_regs,
+                k.shared_bytes,
+                k.param_words
+            )
+            .unwrap();
+            out.push_str(&k.disassemble());
+            Ok(out)
+        }
+        Command::Compile { path, window, reorder } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("{path}: {e}")))?;
+            let mut k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
+            if reorder {
+                k = bow_compiler::reorder_for_bypass(&k);
+            }
+            let (annotated, report) = annotate(&k, window);
+            let mut out = String::new();
+            writeln!(
+                out,
+                "hint pass (IW{window}): {} transient / {} persistent / {} rf-only; \
+                 {} of {} registers need no RF slot",
+                report.transient,
+                report.persistent,
+                report.rf_only,
+                report.transient_regs.len(),
+                report.used_regs
+            )
+            .unwrap();
+            out.push_str(&annotated.disassemble());
+            Ok(out)
+        }
+        Command::Sweep { bench, scale } => {
+            let b = bow::workloads::by_name(&bench, scale)
+                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let model = EnergyModel::table_iv();
+            let base = bow::experiment::run(b.as_ref(), Config::baseline());
+            base.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            let base_counts = base.outcome.result.stats.access_counts();
+            let mut rows = Vec::new();
+            for w in 1..=7u32 {
+                let rec = bow::experiment::run(b.as_ref(), Config::bow_wr(w));
+                rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+                let s = &rec.outcome.result.stats;
+                let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
+                rows.push(vec![
+                    format!("IW{w}"),
+                    format!("{:+.1}%", 100.0 * (rec.ipc() / base.ipc() - 1.0)),
+                    pct(s.read_bypass_rate()),
+                    pct(s.write_bypass_rate()),
+                    format!("{:.2}", energy.total_norm()),
+                ]);
+            }
+            Ok(render_table(
+                &["window", "ipc vs base", "rd bypass", "wr bypass", "energy"],
+                &rows,
+            ))
+        }
+        Command::Trace { path, collector, window, limit } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("{path}: {e}")))?;
+            let kernel =
+                bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
+            let cfg = config_for(&collector, window, false)?;
+            let mut gpu_cfg = cfg.gpu.clone();
+            gpu_cfg.trace_pipeline = true;
+            gpu_cfg.num_sms = 1;
+            let kernel = if cfg.hints {
+                bow_compiler::annotate(&kernel, window).0
+            } else {
+                kernel
+            };
+            let mut gpu = bow_sim::Gpu::new(gpu_cfg);
+            let params: Vec<u32> = (0..kernel.param_words)
+                .map(|i| 0x10_0000 + u32::from(i) * 0x1_0000)
+                .collect();
+            let res = gpu.launch(
+                &kernel,
+                bow_isa::KernelDims::linear(1, 32),
+                &params,
+            );
+            let trace = gpu.take_trace();
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{} cycles, {} warp instructions, IPC {:.3} under {}\n",
+                res.cycles,
+                res.stats.warp_instructions,
+                res.ipc(),
+                cfg.label
+            )
+            .unwrap();
+            out.push_str(&trace.render(limit));
+            Ok(out)
+        }
+        Command::Encode { path } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("{path}: {e}")))?;
+            let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
+            let words = bow_isa::encode_kernel(&k);
+            let mut out = String::with_capacity(words.len() * 9);
+            for w in words {
+                writeln!(out, "{w:08x}").unwrap();
+            }
+            Ok(out)
+        }
+        Command::Decode { path } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("{path}: {e}")))?;
+            let words: Result<Vec<u32>, _> = text
+                .split_whitespace()
+                .map(|t| u32::from_str_radix(t, 16))
+                .collect();
+            let words = words.map_err(|e| err(format!("bad hex word: {e}")))?;
+            let k = bow_isa::decode_kernel("decoded", &words)
+                .map_err(|e| err(e.to_string()))?;
+            Ok(k.disassemble())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_run_with_options() {
+        let c = parse(&argv("run btree --collector bow --window 4 --scale test --reorder"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                bench: "btree".into(),
+                collector: "bow".into(),
+                window: 4,
+                scale: Scale::Test,
+                reorder: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let c = parse(&argv("run vectoradd")).unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                bench: "vectoradd".into(),
+                collector: "bow-wr".into(),
+                window: 3,
+                scale: Scale::Test,
+                reorder: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run x --scale huge")).is_err());
+    }
+
+    #[test]
+    fn parse_sweep() {
+        let c = parse(&argv("sweep nw --scale test")).unwrap();
+        assert_eq!(c, Command::Sweep { bench: "nw".into(), scale: Scale::Test });
+    }
+
+    #[test]
+    fn sweep_runs_all_windows() {
+        let out = execute(Command::Sweep { bench: "vectoradd".into(), scale: Scale::Test })
+            .unwrap();
+        assert!(out.contains("IW1") && out.contains("IW7"), "{out}");
+    }
+
+    #[test]
+    fn suite_lists_benchmarks() {
+        let out = execute(Command::Suite).unwrap();
+        assert!(out.contains("btree"));
+        assert!(out.contains("vectoradd"));
+    }
+
+    #[test]
+    fn run_vectoradd_reports_verified() {
+        let out = execute(Command::Run {
+            bench: "vectoradd".into(),
+            collector: "bow-wr".into(),
+            window: 3,
+            scale: Scale::Test,
+            reorder: false,
+        })
+        .unwrap();
+        assert!(out.contains("OK (results verified)"), "{out}");
+        assert!(out.contains("IPC"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let e = execute(Command::Run {
+            bench: "nope".into(),
+            collector: "bow".into(),
+            window: 3,
+            scale: Scale::Test,
+            reorder: false,
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("bow_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let asm = dir.join("k.s");
+        std::fs::write(&asm, ".kernel k\n    mov r0, 7\n    iadd r1, r0, 1\n    exit\n")
+            .unwrap();
+        let hex = execute(Command::Encode { path: asm.display().to_string() }).unwrap();
+        let hex_path = dir.join("k.hex");
+        std::fs::write(&hex_path, hex).unwrap();
+        let text = execute(Command::Decode { path: hex_path.display().to_string() }).unwrap();
+        assert!(text.contains("mov r0, 7"));
+        assert!(text.contains("iadd r1, r0, 1"));
+    }
+
+    #[test]
+    fn config_for_covers_all_collectors() {
+        for c in ["baseline", "bow", "bow-wr", "bow-wr-half", "bow-flex", "rfc"] {
+            assert!(config_for(c, 3, false).is_ok(), "{c}");
+        }
+        assert!(config_for("warp-drive", 3, false).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Process entry point: parse, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bow_cli::parse(&args).and_then(bow_cli::execute) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Control-flow-graph construction over BOW kernels.
+
+use bow_isa::{Kernel, Opcode};
+
+/// One basic block: a maximal straight-line range of instructions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// Last instruction index (exclusive).
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// Instruction indices in the block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no instructions (never true in a built CFG).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of a kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// Block id containing each instruction.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG. Leaders are: instruction 0, every branch/SSY target,
+    /// and every instruction following a branch or exit.
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.insts.len();
+        let mut leader = vec![false; n + 1];
+        leader[0] = true;
+        leader[n] = true;
+        for (pc, inst) in kernel.iter() {
+            match inst.op {
+                Opcode::Bra => {
+                    if let Some(t) = inst.target {
+                        leader[t] = true;
+                    }
+                    leader[pc + 1] = true;
+                }
+                // The reconvergence point begins a block: two paths meet
+                // there.
+                Opcode::Ssy if inst.target.is_some() => {
+                    leader[inst.target.expect("guarded by the arm")] = true;
+                }
+                Opcode::Exit => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0usize; n];
+        for (bi, &s) in starts.iter().enumerate() {
+            let e = starts.get(bi + 1).copied().unwrap_or(n);
+            for pc in s..e {
+                block_of[pc] = bi;
+            }
+            blocks.push(Block { start: s, end: e, succs: Vec::new(), preds: Vec::new() });
+        }
+        // Edges.
+        for bi in 0..blocks.len() {
+            let last = blocks[bi].end - 1;
+            let inst = &kernel.insts[last];
+            let mut succs = Vec::new();
+            match inst.op {
+                Opcode::Exit => {}
+                Opcode::Bra => {
+                    let t = inst.target.expect("validated branch target");
+                    succs.push(block_of[t]);
+                    if inst.guard.is_some() && blocks[bi].end < n {
+                        succs.push(block_of[blocks[bi].end]);
+                    }
+                }
+                _ => {
+                    if blocks[bi].end < n {
+                        succs.push(block_of[blocks[bi].end]);
+                    }
+                }
+            }
+            succs.dedup();
+            blocks[bi].succs = succs.clone();
+            for s in succs {
+                blocks[s].preds.push(bi);
+            }
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// The blocks, in program order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (only for empty kernels).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{CmpOp, KernelBuilder, Operand, Pred, Reg};
+
+    fn loop_kernel() -> Kernel {
+        let r = Reg::r;
+        KernelBuilder::new("loop")
+            .mov_imm(r(0), 0) //            B0
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1)) // B1
+            .isetp(CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(10))
+            .bra_if(Pred::p(0), false, "top")
+            .exit() //                      B2
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("s").mov_imm(r(0), 1).mov_imm(r(1), 2).exit().build().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks()[0].range(), 0..3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_forms_three_blocks_with_back_edge() {
+        let cfg = Cfg::build(&loop_kernel());
+        assert_eq!(cfg.len(), 3);
+        let b1 = &cfg.blocks()[1];
+        assert_eq!(b1.range(), 1..4);
+        assert!(b1.succs.contains(&1), "back edge");
+        assert!(b1.succs.contains(&2), "fallthrough");
+        assert_eq!(cfg.blocks()[2].preds, vec![1]);
+    }
+
+    #[test]
+    fn unconditional_branch_has_single_successor() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("j")
+            .bra("end")
+            .mov_imm(r(0), 1) // dead block
+            .label("end")
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks()[0].succs, vec![2]);
+        assert!(cfg.blocks()[1].preds.is_empty(), "dead code has no preds");
+    }
+
+    #[test]
+    fn ssy_target_starts_a_block() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("d")
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(0), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(0), 2)
+            .label("join")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        // Blocks: [ssy,bra] [mov,bra] [mov] [sync,exit]
+        assert_eq!(cfg.len(), 4);
+        let join = cfg.block_of(6);
+        assert_eq!(cfg.blocks()[join].preds.len(), 2, "both paths reach join");
+    }
+
+    #[test]
+    fn block_of_is_consistent() {
+        let k = loop_kernel();
+        let cfg = Cfg::build(&k);
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            for pc in b.range() {
+                assert_eq!(cfg.block_of(pc), bi);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Static validation of SIMT divergence structure.
+//!
+//! The pipeline reconverges with an explicit SSY/SYNC stack (as NVIDIA
+//! hardware does pre-Volta): `ssy L` pushes a reconvergence point, the
+//! paths meet at the `sync` at `L`. That protocol has structural
+//! invariants a kernel must satisfy or warps will retire lanes at the
+//! wrong mask:
+//!
+//! * stack *balance*: every path into a block must arrive with the same
+//!   SSY depth, `sync` must never pop an empty stack;
+//! * divergence *coverage*: a guarded branch executed at depth 0 has no
+//!   reconvergence point — legal only if the branch is warp-uniform at
+//!   runtime (loop back-edges typically are), so the checker reports these
+//!   as *assumed-uniform* rather than errors.
+//!
+//! The workload suite passes with zero errors; the checker exists so new
+//! kernels fail fast instead of mis-reconverging in the simulator.
+
+use crate::cfg::Cfg;
+use bow_isa::{Kernel, Opcode};
+
+/// A structural problem (or advisory) found by [`check_structure`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StructureIssue {
+    /// A `sync` executes with no `ssy` entry on the stack.
+    SyncWithoutSsy {
+        /// Instruction index of the sync.
+        pc: usize,
+    },
+    /// Two paths reach the same block with different SSY depths.
+    UnbalancedJoin {
+        /// Block id where the depths disagree.
+        block: usize,
+        /// The two depths observed.
+        depths: (usize, usize),
+    },
+    /// A kernel exit (or fall-through) with entries still on the stack.
+    UnclosedSsy {
+        /// Block id whose terminator leaves depth > 0.
+        block: usize,
+        /// Remaining depth.
+        depth: usize,
+    },
+    /// Advisory: a guarded branch at depth 0 relies on being warp-uniform.
+    AssumedUniformBranch {
+        /// Instruction index of the branch.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for StructureIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureIssue::SyncWithoutSsy { pc } => {
+                write!(f, "sync at #{pc} pops an empty reconvergence stack")
+            }
+            StructureIssue::UnbalancedJoin { block, depths } => write!(
+                f,
+                "block {block} reached with ssy depths {} and {}",
+                depths.0, depths.1
+            ),
+            StructureIssue::UnclosedSsy { block, depth } => {
+                write!(f, "block {block} exits with {depth} unclosed ssy region(s)")
+            }
+            StructureIssue::AssumedUniformBranch { pc } => {
+                write!(f, "guarded branch at #{pc} has no ssy region (assumed uniform)")
+            }
+        }
+    }
+}
+
+impl StructureIssue {
+    /// Whether this issue is a hard error (as opposed to an advisory).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, StructureIssue::AssumedUniformBranch { .. })
+    }
+}
+
+/// The checker's report.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StructureReport {
+    /// All issues found, in discovery order.
+    pub issues: Vec<StructureIssue>,
+}
+
+impl StructureReport {
+    /// Hard errors only.
+    pub fn errors(&self) -> impl Iterator<Item = &StructureIssue> {
+        self.issues.iter().filter(|i| i.is_error())
+    }
+
+    /// Whether the kernel's divergence structure is sound.
+    pub fn is_ok(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+/// Checks `kernel`'s SSY/SYNC structure by propagating the abstract stack
+/// depth over the CFG to a fixpoint.
+pub fn check_structure(kernel: &Kernel) -> StructureReport {
+    let cfg = Cfg::build(kernel);
+    let mut report = StructureReport::default();
+    let n = cfg.len();
+    if n == 0 {
+        return report;
+    }
+    // Depth on entry to each block; None = not yet reached.
+    let mut depth_in: Vec<Option<usize>> = vec![None; n];
+    depth_in[0] = Some(0);
+    let mut work = vec![0usize];
+    let mut advisories_seen = std::collections::HashSet::new();
+
+    while let Some(b) = work.pop() {
+        let mut depth = depth_in[b].expect("scheduled blocks have a depth");
+        for pc in cfg.blocks()[b].range() {
+            let inst = &kernel.insts[pc];
+            match inst.op {
+                Opcode::Ssy => depth += 1,
+                Opcode::Sync => {
+                    if depth == 0 {
+                        report.issues.push(StructureIssue::SyncWithoutSsy { pc });
+                    } else {
+                        depth -= 1;
+                    }
+                }
+                Opcode::Bra if inst.guard.is_some() && depth == 0
+                    && advisories_seen.insert(pc) =>
+                {
+                    report
+                        .issues
+                        .push(StructureIssue::AssumedUniformBranch { pc });
+                }
+                Opcode::Exit => {
+                    if depth != 0 {
+                        report.issues.push(StructureIssue::UnclosedSsy { block: b, depth });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &s in &cfg.blocks()[b].succs {
+            match depth_in[s] {
+                None => {
+                    depth_in[s] = Some(depth);
+                    work.push(s);
+                }
+                Some(d) if d != depth => {
+                    let issue = StructureIssue::UnbalancedJoin { block: s, depths: (d, depth) };
+                    if !report.issues.contains(&issue) {
+                        report.issues.push(issue);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{KernelBuilder, Operand, Pred, Reg};
+
+    #[test]
+    fn well_formed_diamond_is_clean() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("ok")
+            .isetp(bow_isa::CmpOp::Ne, Pred::p(0), r(0).into(), Operand::Imm(0))
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(1), 2)
+            .label("join")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        assert!(rep.issues.is_empty());
+    }
+
+    #[test]
+    fn sync_without_ssy_is_flagged() {
+        let k = KernelBuilder::new("bad").sync().exit().build().unwrap();
+        let rep = check_structure(&k);
+        assert!(!rep.is_ok());
+        assert!(matches!(rep.issues[0], StructureIssue::SyncWithoutSsy { pc: 0 }));
+    }
+
+    #[test]
+    fn unbalanced_join_is_flagged() {
+        // One path pushes ssy, the other doesn't, then they meet.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bad")
+            .bra_if(Pred::p(0), false, "meet") // depth 0 path
+            .ssy("meet") //                       depth 1 path
+            .label("meet")
+            .mov_imm(r(0), 1)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep
+            .issues
+            .iter()
+            .any(|i| matches!(i, StructureIssue::UnbalancedJoin { .. })));
+    }
+
+    #[test]
+    fn exit_inside_ssy_region_is_flagged() {
+        let k = KernelBuilder::new("bad")
+            .ssy("end")
+            .exit()
+            .label("end")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep
+            .issues
+            .iter()
+            .any(|i| matches!(i, StructureIssue::UnclosedSsy { .. })));
+    }
+
+    #[test]
+    fn uniform_loop_is_advisory_only() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("loop")
+            .mov_imm(r(0), 0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(bow_isa::CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(4))
+            .bra_if(Pred::p(0), false, "top")
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok());
+        assert_eq!(rep.issues.len(), 1);
+        assert!(!rep.issues[0].is_error());
+    }
+
+    #[test]
+    fn issue_messages_are_readable() {
+        assert_eq!(
+            StructureIssue::SyncWithoutSsy { pc: 7 }.to_string(),
+            "sync at #7 pops an empty reconvergence stack"
+        );
+    }
+}

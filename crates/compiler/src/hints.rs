@@ -1,0 +1,387 @@
+//! Window-reuse classification and write-back hint assignment (§IV-B).
+//!
+//! For every instruction that produces a register value, the pass walks
+//! forward through the enclosing basic block simulating the *sliding
+//! extended instruction window*: the value is forwardable for `window`
+//! instructions after its last touch, and each in-window read extends its
+//! presence. The walk ends in one of four ways and yields the hint:
+//!
+//! | outcome                              | reuse in window | hint      |
+//! |--------------------------------------|-----------------|-----------|
+//! | overwritten while still present      | any             | `BocOnly` |
+//! | expires, dead afterwards             | any             | `BocOnly` |
+//! | expires, still live                  | yes             | `Both`    |
+//! | expires, still live                  | no              | `RfOnly`  |
+//!
+//! At a block boundary the analysis is conservative: a value still present
+//! when the block ends is treated as escaping with unknown distance, so it
+//! keeps an RF write unless it is dead on every successor path. This is the
+//! same conservatism the paper adopts for branches, and it is what makes
+//! `BocOnly` *safe*: a transient value is never needed from the RF.
+
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+use bow_isa::{Kernel, Reg, WritebackHint};
+use serde::{Deserialize, Serialize};
+
+/// The classification of one static write (mirrors [`WritebackHint`] but
+/// carries the reporting name used by Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HintClass {
+    /// No reuse inside the window: write only to the RF banks.
+    RfOnly,
+    /// Reused inside the window and live after it: OC then RF.
+    Persistent,
+    /// Transient: consumed entirely inside the window.
+    Transient,
+}
+
+impl HintClass {
+    /// The hardware hint this class encodes to.
+    pub fn to_hint(self) -> WritebackHint {
+        match self {
+            HintClass::RfOnly => WritebackHint::RfOnly,
+            HintClass::Persistent => WritebackHint::Both,
+            HintClass::Transient => WritebackHint::BocOnly,
+        }
+    }
+}
+
+/// Static summary of the hint pass.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct CompilerReport {
+    /// Static writes classified `RfOnly`.
+    pub rf_only: usize,
+    /// Static writes classified persistent (`Both`).
+    pub persistent: usize,
+    /// Static writes classified transient (`BocOnly`).
+    pub transient: usize,
+    /// Registers whose every write is transient and that are never read
+    /// before being written — they need no RF allocation at all.
+    pub transient_regs: Vec<Reg>,
+    /// Registers the kernel uses in total.
+    pub used_regs: usize,
+}
+
+impl CompilerReport {
+    /// Total classified writes.
+    pub fn total_writes(&self) -> usize {
+        self.rf_only + self.persistent + self.transient
+    }
+
+    /// Fraction of the architectural registers that need no RF storage —
+    /// the "effective RF size" reduction of §IV-B.
+    pub fn rf_reduction(&self) -> f64 {
+        if self.used_regs == 0 {
+            0.0
+        } else {
+            self.transient_regs.len() as f64 / self.used_regs as f64
+        }
+    }
+}
+
+/// Classifies one write: the instruction at `pc` (which defines `d`),
+/// walked forward within its block under window size `w`.
+fn classify_write(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    lv: &Liveness,
+    pc: usize,
+    d: Reg,
+    w: usize,
+) -> HintClass {
+    let bi = cfg.block_of(pc);
+    let block = &cfg.blocks()[bi];
+    let mut last_touch = pc;
+    let mut read_in_window = false;
+    for j in pc + 1..block.end {
+        let inst = &kernel.insts[j];
+        let reads_d = inst.src_regs().contains(&d);
+        let writes_d = inst.dst_reg() == Some(d);
+        if j - last_touch >= w {
+            // The value expired at instruction `last_touch + w`. Is it still
+            // live there? Scan on from j for the next access in-block.
+            return expiry_class(kernel, lv, bi, j, d, read_in_window, block.end);
+        }
+        if reads_d {
+            read_in_window = true;
+            last_touch = j;
+        }
+        if writes_d {
+            // Overwritten while still present: every prior use was captured
+            // by the window, the RF never needs this value.
+            return HintClass::Transient;
+        }
+    }
+    // Block ended with the value still present.
+    if lv.live_out(bi).contains(d) {
+        if read_in_window {
+            HintClass::Persistent
+        } else {
+            HintClass::RfOnly
+        }
+    } else {
+        HintClass::Transient
+    }
+}
+
+/// The value of `d` expired at in-block position `j`. Decide by its next
+/// in-block access (or block liveness when there is none).
+fn expiry_class(
+    kernel: &Kernel,
+    lv: &Liveness,
+    bi: usize,
+    j: usize,
+    d: Reg,
+    read_in_window: bool,
+    block_end: usize,
+) -> HintClass {
+    for k in j..block_end {
+        let inst = &kernel.insts[k];
+        if inst.src_regs().contains(&d) {
+            // Read after expiry: the RF must hold the value.
+            return if read_in_window { HintClass::Persistent } else { HintClass::RfOnly };
+        }
+        if inst.dst_reg() == Some(d) {
+            // Overwritten without an intervening read: dead after expiry.
+            return HintClass::Transient;
+        }
+    }
+    if lv.live_out(bi).contains(d) {
+        if read_in_window {
+            HintClass::Persistent
+        } else {
+            HintClass::RfOnly
+        }
+    } else {
+        HintClass::Transient
+    }
+}
+
+/// Classifies every register-writing instruction of `kernel` under window
+/// size `window`, without modifying the kernel.
+pub fn classify_kernel(kernel: &Kernel, window: u32) -> Vec<(usize, HintClass)> {
+    let cfg = Cfg::build(kernel);
+    let lv = Liveness::compute(kernel, &cfg);
+    let w = window as usize;
+    kernel
+        .iter()
+        .filter_map(|(pc, inst)| {
+            inst.dst_reg()
+                .map(|d| (pc, classify_write(kernel, &cfg, &lv, pc, d, w)))
+        })
+        .collect()
+}
+
+/// Runs the full §IV-B pass: returns a copy of `kernel` with every
+/// destination's [`WritebackHint`] set for window size `window`, plus the
+/// static [`CompilerReport`].
+pub fn annotate(kernel: &Kernel, window: u32) -> (Kernel, CompilerReport) {
+    let classes = classify_kernel(kernel, window);
+    let mut out = kernel.clone();
+    let mut report = CompilerReport::default();
+
+    // Track, per register: uses at all, any read-before-write exposure, any
+    // non-transient write.
+    let cfg = Cfg::build(kernel);
+    let lv = Liveness::compute(kernel, &cfg);
+    let mut written = [false; 256];
+    let mut nontransient_write = [false; 256];
+    let mut used = [false; 256];
+
+    for &(pc, class) in &classes {
+        out.insts[pc].hint = class.to_hint();
+        match class {
+            HintClass::RfOnly => report.rf_only += 1,
+            HintClass::Persistent => report.persistent += 1,
+            HintClass::Transient => report.transient += 1,
+        }
+        let d = kernel.insts[pc].dst_reg().expect("classified writes have a dst");
+        written[d.index() as usize] = true;
+        used[d.index() as usize] = true;
+        if class != HintClass::Transient {
+            nontransient_write[d.index() as usize] = true;
+        }
+    }
+    for (_, inst) in kernel.iter() {
+        for r in inst.src_regs() {
+            used[r.index() as usize] = true;
+        }
+    }
+    report.used_regs = used.iter().filter(|&&u| u).count();
+    for i in 0..=u32::from(Reg::MAX_INDEX) {
+        let r = Reg::r(i as u8);
+        let idx = i as usize;
+        if written[idx] && !nontransient_write[idx] && !lv.entry_live().contains(r) {
+            report.transient_regs.push(r);
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{CmpOp, KernelBuilder, Operand, Pred};
+
+    fn r(i: u8) -> Reg {
+        Reg::r(i)
+    }
+
+    #[test]
+    fn overwrite_within_window_is_transient() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1)
+            .iadd(r(1), r(1).into(), Operand::Imm(1))
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0], (0, HintClass::Transient), "r1 overwritten next inst");
+    }
+
+    #[test]
+    fn reuse_beyond_window_is_rf_only() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1) //   0: def r1
+            .mov_imm(r(2), 2) //   1
+            .mov_imm(r(3), 3) //   2
+            .mov_imm(r(4), 4) //   3
+            .iadd(r(5), r(1).into(), Operand::Imm(0)) // 4: first use, distance 4
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::RfOnly);
+    }
+
+    #[test]
+    fn reuse_inside_then_outside_is_persistent() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1) //   0: def r1
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) // 1: in-window use
+            .mov_imm(r(3), 3) //   2
+            .mov_imm(r(4), 4) //   3
+            .mov_imm(r(5), 5) //   4
+            .iadd(r(6), r(1).into(), Operand::Imm(0)) // 5: beyond extension
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::Persistent);
+    }
+
+    #[test]
+    fn extension_keeps_chains_transient() {
+        // Reads at distance 2 repeatedly, dead at the end: the extended
+        // window covers the whole chain.
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1) // 0
+            .nop() //            1
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) // 2
+            .nop() //            3
+            .iadd(r(3), r(1).into(), Operand::Imm(0)) // 4
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(3).into())
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::Transient, "chain reads keep it present; dead after");
+    }
+
+    #[test]
+    fn live_out_of_block_forces_rf() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1) // B0: def r1, then branch
+            .bra_if(Pred::p(0), false, "far")
+            .nop()
+            .label("far")
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) // use in another block
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::RfOnly, "conservative across blocks");
+    }
+
+    #[test]
+    fn annotate_sets_hints_and_counts() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1)
+            .iadd(r(2), r(1).into(), Operand::Imm(1))
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(2).into())
+            .exit()
+            .build()
+            .unwrap();
+        let (annotated, report) = annotate(&k, 3);
+        assert_eq!(annotated.insts[0].hint, WritebackHint::BocOnly);
+        assert_eq!(report.total_writes(), 3); // mov, iadd, ldc (stg has no dst)
+        assert!(report.transient > 0);
+        assert!(report.transient_regs.contains(&r(1)));
+        assert!(report.rf_reduction() > 0.0);
+    }
+
+    #[test]
+    fn loop_carried_registers_are_not_transient() {
+        let k = KernelBuilder::new("loop")
+            .mov_imm(r(0), 0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(10))
+            .bra_if(Pred::p(0), false, "top")
+            .ldc(r(1), 0)
+            .stg(r(1), 0, r(0).into())
+            .exit()
+            .build()
+            .unwrap();
+        let (_, report) = annotate(&k, 3);
+        assert!(
+            !report.transient_regs.contains(&r(0)),
+            "r0 crosses the back edge and must live in the RF"
+        );
+    }
+
+    #[test]
+    fn table_one_structure_holds() {
+        // A condensed version of the paper's Fig. 6 dataflow: r1 updated
+        // three times in a row then used once later; with hints only the
+        // final value (plus genuinely persistent ones) reaches the RF.
+        let k = KernelBuilder::new("fig6")
+            .mov_imm(r(1), 1) //  overwritten at +1 -> transient
+            .iadd(r(1), r(1).into(), Operand::Imm(1)) // overwritten at +1 -> transient
+            .iadd(r(1), r(1).into(), Operand::Imm(1)) // used at +4 -> rf-only/persistent
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 0)
+            .mov_imm(r(4), 0)
+            .iadd(r(5), r(1).into(), Operand::Imm(0))
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(5).into())
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::Transient);
+        assert_eq!(c[1].1, HintClass::Transient);
+        assert_eq!(c[2].1, HintClass::RfOnly);
+    }
+
+    #[test]
+    fn window_size_changes_classification() {
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(1), 1) // def
+            .nop()
+            .nop()
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) // distance 3
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(2).into())
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(classify_kernel(&k, 3)[0].1, HintClass::RfOnly);
+        assert_eq!(classify_kernel(&k, 4)[0].1, HintClass::Transient);
+    }
+}

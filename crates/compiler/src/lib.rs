@@ -1,0 +1,51 @@
+//! # bow-compiler — the analyses behind BOW-WR's write-back hints
+//!
+//! BOW-WR relies on the compiler to decide, per destination register, where
+//! a computed value should be written (§IV-B of the paper): only to the
+//! register-file banks (no reuse inside the instruction window), only to the
+//! bypassing operand collector (a *transient* value, consumed entirely
+//! inside the window), or to both (reused in the window but live beyond it).
+//!
+//! This crate provides that pipeline from scratch:
+//!
+//! * [`cfg`] — basic-block construction over the BOW ISA;
+//! * [`liveness`] — classic backward may-live dataflow to a fixpoint;
+//! * [`hints`] — the sliding-extended-window reuse analysis that assigns
+//!   each instruction its 2-bit [`WritebackHint`](bow_isa::WritebackHint),
+//!   plus the transient-register accounting that shrinks the effective RF;
+//! * [`regset`] — a dense 256-bit register set used by the dataflow;
+//! * [`reorder`] — the bypass-aware scheduler the paper's footnote 1 leaves
+//!   as future work: shrinks producer→consumer distances inside blocks so
+//!   more reuse falls within the window.
+//!
+//! The entry point is [`annotate`]:
+//!
+//! ```
+//! use bow_isa::{KernelBuilder, Reg, Operand, WritebackHint};
+//! let r = Reg::r;
+//! let k = KernelBuilder::new("snippet")
+//!     .mov_imm(r(2), 10)
+//!     .iadd(r(1), r(2).into(), Operand::Imm(1)) // r2's only use: next inst
+//!     .ldc(r(0), 0)
+//!     .stg(r(0), 0, r(1).into())
+//!     .exit()
+//!     .build()?;
+//! let (annotated, report) = bow_compiler::annotate(&k, 3);
+//! assert_eq!(annotated.insts[0].hint, WritebackHint::BocOnly);
+//! assert!(report.transient_regs.contains(&r(2)));
+//! # Ok::<(), bow_isa::KernelError>(())
+//! ```
+
+pub mod cfg;
+pub mod divergence;
+pub mod hints;
+pub mod liveness;
+pub mod regset;
+pub mod reorder;
+
+pub use cfg::Cfg;
+pub use divergence::{check_structure, StructureIssue, StructureReport};
+pub use hints::{annotate, classify_kernel, CompilerReport, HintClass};
+pub use liveness::Liveness;
+pub use reorder::reorder_for_bypass;
+pub use regset::RegSet;

@@ -1,0 +1,168 @@
+//! Backward may-live register dataflow over the CFG.
+
+use crate::cfg::Cfg;
+use crate::regset::RegSet;
+use bow_isa::Kernel;
+
+/// Liveness facts for a kernel: per-block `live_in`/`live_out` computed to
+/// a fixpoint with the classic equations
+/// `live_in(B) = use(B) ∪ (live_out(B) − def(B))`,
+/// `live_out(B) = ∪ live_in(succ)`.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Runs the dataflow for `kernel` over its `cfg`.
+    pub fn compute(kernel: &Kernel, cfg: &Cfg) -> Liveness {
+        let n = cfg.len();
+        // Per-block use/def by a backward scan.
+        let mut use_b = vec![RegSet::new(); n];
+        let mut def_b = vec![RegSet::new(); n];
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            for pc in block.range().rev() {
+                let inst = &kernel.insts[pc];
+                if let Some(d) = inst.dst_reg() {
+                    def_b[bi].insert(d);
+                    use_b[bi].remove(d);
+                }
+                for s in inst.src_regs() {
+                    use_b[bi].insert(s);
+                }
+            }
+        }
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = RegSet::new();
+                for &s in &cfg.blocks()[bi].succs {
+                    out.union_with(&live_in[s]);
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                // in = use ∪ (out − def)
+                let mut inn = use_b[bi];
+                for r in live_out[bi].iter() {
+                    if !def_b[bi].contains(r) {
+                        inn.insert(r);
+                    }
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to block `b`.
+    pub fn live_in(&self, b: usize) -> &RegSet {
+        &self.live_in[b]
+    }
+
+    /// Registers live on exit from block `b`.
+    pub fn live_out(&self, b: usize) -> &RegSet {
+        &self.live_out[b]
+    }
+
+    /// Registers that may be read before any write on some path from the
+    /// kernel entry — these must exist in the register file from the start
+    /// and can never be elided.
+    pub fn entry_live(&self) -> &RegSet {
+        &self.live_in[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{CmpOp, KernelBuilder, Operand, Pred, Reg};
+
+    #[test]
+    fn straight_line_liveness() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("s")
+            .mov_imm(r(0), 1)
+            .iadd(r(1), r(0).into(), Operand::Imm(2))
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(lv.entry_live().is_empty(), "nothing read before written");
+        assert!(lv.live_out(0).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_back_edge() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("loop")
+            .mov_imm(r(0), 0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(10))
+            .bra_if(Pred::p(0), false, "top")
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        let body = cfg.block_of(1);
+        assert!(lv.live_in(body).contains(r(0)), "r0 flows around the loop");
+        assert!(lv.live_out(body).contains(r(0)));
+        assert!(!lv.entry_live().contains(r(0)), "defined before the loop");
+    }
+
+    #[test]
+    fn branch_merges_liveness_from_both_arms() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("br")
+            .mov_imm(r(0), 1) // live into the else arm only
+            .bra_if(Pred::p(0), false, "use")
+            .mov_imm(r(0), 2)
+            .label("use")
+            .iadd(r(1), r(0).into(), Operand::Imm(0))
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        let first = cfg.block_of(0);
+        assert!(lv.live_out(first).contains(r(0)), "taken path skips the redefine");
+    }
+
+    #[test]
+    fn read_before_write_is_entry_live() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("rbw")
+            .iadd(r(1), r(9).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(lv.entry_live().contains(r(9)));
+    }
+
+    #[test]
+    fn def_kills_upward_liveness_within_block() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("kill")
+            .mov_imm(r(2), 7) // defines r2
+            .iadd(r(3), r(2).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(!lv.entry_live().contains(r(2)), "killed by the def");
+    }
+}

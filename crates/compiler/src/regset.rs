@@ -1,0 +1,127 @@
+//! A dense 256-bit set of architectural registers for dataflow analysis.
+
+use bow_isa::Reg;
+use std::fmt;
+
+/// A set of registers backed by four machine words.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet {
+    words: [u64; 4],
+}
+
+impl RegSet {
+    /// The empty set.
+    pub fn new() -> RegSet {
+        RegSet::default()
+    }
+
+    /// Inserts a register; returns true if it was newly added.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = Self::index(r);
+        let had = self.words[w] & b != 0;
+        self.words[w] |= b;
+        !had
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = Self::index(r);
+        self.words[w] &= !b;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = Self::index(r);
+        self.words[w] & b != 0
+    }
+
+    /// Unions `other` into `self`; returns true if anything changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for i in 0..4 {
+            let new = self.words[i] | other.words[i];
+            changed |= new != self.words[i];
+            self.words[i] = new;
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        (0..=Reg::MAX_INDEX).filter_map(|i| {
+            let r = Reg::r(i);
+            self.contains(r).then_some(r)
+        })
+    }
+
+    fn index(r: Reg) -> (usize, u64) {
+        let i = usize::from(r.index());
+        (i / 64, 1u64 << (i % 64))
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = RegSet::new();
+        assert!(s.insert(Reg::r(5)));
+        assert!(!s.insert(Reg::r(5)), "already present");
+        assert!(s.contains(Reg::r(5)));
+        assert!(s.insert(Reg::r(200)));
+        assert_eq!(s.len(), 2);
+        s.remove(Reg::r(5));
+        assert!(!s.contains(Reg::r(5)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let a: RegSet = [Reg::r(1)].into_iter().collect();
+        let mut b: RegSet = [Reg::r(2)].into_iter().collect();
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "idempotent");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let s: RegSet = [Reg::r(9), Reg::r(1), Reg::r(130)].into_iter().collect();
+        let v: Vec<u8> = s.iter().map(Reg::index).collect();
+        assert_eq!(v, vec![1, 9, 130]);
+    }
+
+    #[test]
+    fn debug_shows_members() {
+        let s: RegSet = [Reg::r(3)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{Reg(r3)}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Bypass-aware instruction scheduling — the extension the paper's
+//! footnote 1 leaves open: "Further compiler optimizations to reorder
+//! instructions to increase bypassing opportunities are possible but we
+//! did not pursue this opportunity".
+//!
+//! Within each basic block (further split at scheduling barriers such as
+//! `bar`/`ssy`/`sync`), the pass builds the data-dependence DAG and
+//! list-schedules it with a locality heuristic: among ready instructions,
+//! pick the one whose producers were scheduled most recently, so
+//! producer→consumer distances shrink below the bypass window. All
+//! dependences are preserved — RAW/WAR/WAW on registers and predicates,
+//! and conservative memory ordering (stores are barriers per address
+//! space) — so the transformation is semantics-preserving; the repository's
+//! equivalence tests run every benchmark with and without it.
+
+use crate::cfg::Cfg;
+use bow_isa::{Instruction, Kernel, Opcode};
+
+/// Whether instructions may never move across this one.
+fn is_sched_barrier(op: Opcode) -> bool {
+    matches!(op, Opcode::Bar | Opcode::Ssy | Opcode::Sync | Opcode::Exit | Opcode::Bra | Opcode::Nop)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemClass {
+    None,
+    GlobalLoad,
+    GlobalStore,
+    SharedLoad,
+    SharedStore,
+    Param,
+}
+
+fn mem_class(op: Opcode) -> MemClass {
+    match op {
+        Opcode::Ldg => MemClass::GlobalLoad,
+        Opcode::Stg => MemClass::GlobalStore,
+        Opcode::Lds => MemClass::SharedLoad,
+        Opcode::Sts => MemClass::SharedStore,
+        Opcode::Ldc => MemClass::Param,
+        _ => MemClass::None,
+    }
+}
+
+fn mem_conflicts(a: MemClass, b: MemClass) -> bool {
+    use MemClass::*;
+    matches!(
+        (a, b),
+        (GlobalStore, GlobalStore)
+            | (GlobalStore, GlobalLoad)
+            | (GlobalLoad, GlobalStore)
+            | (SharedStore, SharedStore)
+            | (SharedStore, SharedLoad)
+            | (SharedLoad, SharedStore)
+    )
+}
+
+/// Dependence test: must `b` stay after `a`?
+fn depends(a: &Instruction, b: &Instruction) -> bool {
+    // Register RAW / WAR / WAW.
+    if let Some(d) = a.dst_reg() {
+        if b.src_regs().contains(&d) || b.dst_reg() == Some(d) {
+            return true;
+        }
+    }
+    if let Some(d) = b.dst_reg() {
+        if a.src_regs().contains(&d) {
+            return true;
+        }
+    }
+    // Predicate RAW / WAR / WAW (guards included).
+    if let Some(p) = a.dst.pred() {
+        if b.src_preds().contains(&p) || b.dst.pred() == Some(p) {
+            return true;
+        }
+    }
+    if let Some(p) = b.dst.pred() {
+        if a.src_preds().contains(&p) {
+            return true;
+        }
+    }
+    // Conservative memory ordering.
+    mem_conflicts(mem_class(a.op), mem_class(b.op))
+}
+
+/// Schedules one barrier-free segment, returning the new order of the
+/// segment's local indices.
+fn schedule_segment(insts: &[Instruction]) -> Vec<usize> {
+    let n = insts.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    // Dependence DAG: edge i -> j (i before j).
+    let mut preds_left = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if depends(&insts[i], &insts[j]) {
+                succs[i].push(j);
+                preds_left[j] += 1;
+            }
+        }
+    }
+    // List scheduling with a producer-recency priority.
+    let mut order = Vec::with_capacity(n);
+    let mut scheduled_pos = vec![usize::MAX; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| preds_left[i] == 0).collect();
+    while let Some(pick_idx) = pick_best(&ready, insts, &scheduled_pos) {
+        let i = ready.remove(pick_idx);
+        scheduled_pos[i] = order.len();
+        order.push(i);
+        for &j in &succs[i] {
+            preds_left[j] -= 1;
+            if preds_left[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "dependence DAG must be acyclic");
+    order
+}
+
+/// Window the scheduler optimizes for (the paper's IW3 sweet spot).
+const SCHED_WINDOW: usize = 3;
+
+/// Among ready instructions, prefer the one with the most source operands
+/// whose producers sit within the last `SCHED_WINDOW - 1` scheduled slots
+/// (those reads will bypass); ties go to the earliest original index so
+/// the incoming order's latency hiding survives. Pure recency-chasing
+/// would chain dependent instructions back to back and destroy ILP — the
+/// measured ablation regression that motivated this form.
+fn pick_best(ready: &[usize], insts: &[Instruction], pos: &[usize]) -> Option<usize> {
+    if ready.is_empty() {
+        return None;
+    }
+    let next_slot = pos.iter().filter(|&&p| p != usize::MAX).count();
+    let score = |i: usize| -> (i64, i64) {
+        let regs = insts[i].src_regs();
+        let in_window = insts
+            .iter()
+            .enumerate()
+            .filter(|(k, producer)| {
+                pos[*k] != usize::MAX
+                    && next_slot - pos[*k] < SCHED_WINDOW
+                    && producer.dst_reg().is_some_and(|d| regs.contains(&d))
+            })
+            .count() as i64;
+        (in_window, -(i as i64))
+    };
+    ready
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &i)| score(i))
+        .map(|(idx, _)| idx)
+}
+
+/// Runs the bypass-aware scheduler over every block of `kernel`.
+///
+/// Branch targets stay valid because instructions only move within their
+/// block and terminators/barriers hold their positions; run the pass
+/// *before* [`annotate`](crate::annotate) so the hints see the final
+/// schedule.
+pub fn reorder_for_bypass(kernel: &Kernel) -> Kernel {
+    let cfg = Cfg::build(kernel);
+    let mut out = kernel.clone();
+    for block in cfg.blocks() {
+        // Split at barrier instructions; schedule each free segment.
+        let mut seg_start = block.start;
+        for pc in block.range() {
+            let barrier = is_sched_barrier(kernel.insts[pc].op);
+            if barrier {
+                apply_segment(kernel, &mut out, seg_start, pc);
+                seg_start = pc + 1;
+            }
+        }
+        apply_segment(kernel, &mut out, seg_start, block.end);
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+fn apply_segment(kernel: &Kernel, out: &mut Kernel, start: usize, end: usize) {
+    if end <= start + 1 {
+        return;
+    }
+    let segment = &kernel.insts[start..end];
+    let order = schedule_segment(segment);
+    // Do no harm: adopt the new order only if it strictly reduces the
+    // number of reads falling outside the window — otherwise the original
+    // (latency-aware) order stays.
+    let reordered: Vec<Instruction> =
+        order.iter().map(|&src| segment[src].clone()).collect();
+    if window_misses(&reordered) < window_misses(segment) {
+        for (slot, inst) in reordered.into_iter().enumerate() {
+            out.insts[start + slot] = inst;
+        }
+    }
+}
+
+/// Reads whose producing touch lies outside the sliding extended window —
+/// the quantity the scheduler tries to shrink.
+fn window_misses(insts: &[Instruction]) -> usize {
+    let mut last_touch = [usize::MAX; 256];
+    let mut misses = 0;
+    for (seq, inst) in insts.iter().enumerate() {
+        for r in inst.unique_src_regs() {
+            let t = last_touch[r.index() as usize];
+            if t == usize::MAX || seq - t >= SCHED_WINDOW {
+                misses += 1;
+            }
+            last_touch[r.index() as usize] = seq;
+        }
+        if let Some(d) = inst.dst_reg() {
+            last_touch[d.index() as usize] = seq;
+        }
+    }
+    misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{KernelBuilder, Operand, Reg};
+
+    fn reuse_distance_sum(k: &Kernel) -> usize {
+        // Sum over reads of distance to the producing write (same block,
+        // straight-line kernels only).
+        let mut last_write = [usize::MAX; 256];
+        let mut sum = 0;
+        for (pc, inst) in k.iter() {
+            for r in inst.src_regs() {
+                let lw = last_write[r.index() as usize];
+                if lw != usize::MAX {
+                    sum += pc - lw;
+                }
+            }
+            if let Some(d) = inst.dst_reg() {
+                last_write[d.index() as usize] = pc;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn brings_producer_and_consumer_together() {
+        let r = Reg::r;
+        // r1 produced first, consumed last; unrelated work in between.
+        let k = KernelBuilder::new("spread")
+            .mov_imm(r(1), 7) //        producer
+            .mov_imm(r(2), 1)
+            .mov_imm(r(3), 2)
+            .mov_imm(r(4), 3)
+            .iadd(r(5), r(1).into(), Operand::Imm(1)) // consumer, distance 4
+            .exit()
+            .build()
+            .unwrap();
+        let before = reuse_distance_sum(&k);
+        let reordered = reorder_for_bypass(&k);
+        let after = reuse_distance_sum(&reordered);
+        assert!(after < before, "distance sum {after} !< {before}");
+        assert!(reordered.validate().is_ok());
+    }
+
+    #[test]
+    fn preserves_dependences() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("chain")
+            .mov_imm(r(0), 1)
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .imul(r(2), r(1).into(), r(0).into())
+            .mov_imm(r(0), 9) // WAR with the imul above
+            .exit()
+            .build()
+            .unwrap();
+        let re = reorder_for_bypass(&k);
+        // The chain must stay in order: find positions.
+        let pos = |op_idx: usize| {
+            re.insts
+                .iter()
+                .position(|i| i == &k.insts[op_idx])
+                .expect("instruction preserved")
+        };
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3), "WAR must hold");
+    }
+
+    #[test]
+    fn stores_do_not_cross_loads() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("mem")
+            .ldc(r(0), 0)
+            .ldg(r(1), r(0), 0)
+            .stg(r(0), 4, Operand::Imm(5))
+            .ldg(r(2), r(0), 8)
+            .exit()
+            .build()
+            .unwrap();
+        let re = reorder_for_bypass(&k);
+        let idx_of = |inst: &Instruction| re.insts.iter().position(|i| i == inst).unwrap();
+        assert!(idx_of(&k.insts[1]) < idx_of(&k.insts[2]), "load before store");
+        assert!(idx_of(&k.insts[2]) < idx_of(&k.insts[3]), "store before later load");
+    }
+
+    #[test]
+    fn terminators_and_barriers_stay_put() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("bar")
+            .mov_imm(r(0), 1)
+            .bar()
+            .mov_imm(r(1), 2)
+            .exit()
+            .build()
+            .unwrap();
+        let re = reorder_for_bypass(&k);
+        assert_eq!(re.insts[1].op, Opcode::Bar);
+        assert_eq!(re.insts[3].op, Opcode::Exit);
+    }
+
+    #[test]
+    fn permutation_only_no_instruction_lost() {
+        let r = Reg::r;
+        let mut b = KernelBuilder::new("big");
+        for i in 0..20u8 {
+            b = b.imad(
+                r(i % 8),
+                r((i + 1) % 8).into(),
+                Operand::Imm(u32::from(i)),
+                r((i + 3) % 8).into(),
+            );
+        }
+        let k = b.exit().build().unwrap();
+        let re = reorder_for_bypass(&k);
+        assert_eq!(re.len(), k.len());
+        let mut a: Vec<String> = k.insts.iter().map(|i| i.to_string()).collect();
+        let mut b: Vec<String> = re.insts.iter().map(|i| i.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "same multiset of instructions");
+    }
+}

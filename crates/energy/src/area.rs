@@ -1,0 +1,117 @@
+//! Storage and area overhead accounting (§V-A "Hardware Overhead").
+
+use serde::{Deserialize, Serialize};
+
+/// Storage added by a bypassing-operand-collector configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StorageOverhead {
+    /// Bytes of buffering per BOC.
+    pub bytes_per_boc: u32,
+    /// Number of BOCs per SM (one per in-flight warp).
+    pub bocs_per_sm: u32,
+    /// Baseline operand-collector bytes per OCU (3 × 128 B).
+    pub baseline_bytes_per_ocu: u32,
+}
+
+impl StorageOverhead {
+    /// Bytes of one warp-register operand entry (32 threads × 4 bytes).
+    pub const ENTRY_BYTES: u32 = 128;
+
+    /// Overhead of a full-size BOW configuration: `4 × IW` entries per BOC
+    /// (3 sources + 1 destination per windowed instruction).
+    pub fn bow_full(window: u32, bocs_per_sm: u32) -> StorageOverhead {
+        StorageOverhead {
+            bytes_per_boc: 4 * window * Self::ENTRY_BYTES,
+            bocs_per_sm,
+            baseline_bytes_per_ocu: 3 * Self::ENTRY_BYTES,
+        }
+    }
+
+    /// Overhead of the half-size configuration §IV-C motivates (entries
+    /// shared across the window with FIFO eviction).
+    pub fn bow_half(window: u32, bocs_per_sm: u32) -> StorageOverhead {
+        let full = Self::bow_full(window, bocs_per_sm);
+        StorageOverhead { bytes_per_boc: full.bytes_per_boc / 2, ..full }
+    }
+
+    /// Total *added* storage per SM in bytes, relative to the baseline
+    /// operand collectors.
+    pub fn added_bytes_per_sm(&self) -> u32 {
+        self.bocs_per_sm * self.bytes_per_boc.saturating_sub(self.baseline_bytes_per_ocu)
+    }
+
+    /// Added storage as a fraction of an `rf_bytes`-sized register file.
+    pub fn fraction_of_rf(&self, rf_bytes: u32) -> f64 {
+        f64::from(self.added_bytes_per_sm()) / f64::from(rf_bytes)
+    }
+}
+
+/// Area accounting for the synthesized BOC network (§V-A).
+///
+/// The authors synthesized the 32×32 crossbar + BOCs + arbiters at 28 nm:
+/// the added circuitry is under 0.04 mm² against a 1.72 mm² register bank;
+/// the paper rounds this to "<3% of one bank, <0.1% of the full RF, 0.17%
+/// of total chip area".
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area of the added BOC network (mm²).
+    pub boc_network_mm2: f64,
+    /// Area of one register bank (mm²).
+    pub register_bank_mm2: f64,
+    /// Register banks per SM.
+    pub banks_per_sm: u32,
+}
+
+impl AreaModel {
+    /// The paper's synthesis results.
+    pub fn paper() -> AreaModel {
+        AreaModel {
+            boc_network_mm2: 0.04,
+            register_bank_mm2: 1.72,
+            banks_per_sm: 32,
+        }
+    }
+
+    /// Added area as a fraction of one register bank.
+    pub fn fraction_of_bank(&self) -> f64 {
+        self.boc_network_mm2 / self.register_bank_mm2
+    }
+
+    /// Added area as a fraction of the whole register file.
+    pub fn fraction_of_rf(&self) -> f64 {
+        self.fraction_of_bank() / f64::from(self.banks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_size_iw3_is_36kb_per_sm_like_the_paper() {
+        // 32 BOCs × (1.5 KB − 384 B) = 32 × 1152 B = 36 KB added storage.
+        let s = StorageOverhead::bow_full(3, 32);
+        assert_eq!(s.bytes_per_boc, 1536);
+        assert_eq!(s.added_bytes_per_sm(), 36 * 1024);
+        // ≈14% of the 256 KB Pascal RF.
+        let f = s.fraction_of_rf(256 * 1024);
+        assert!((f - 0.1406).abs() < 0.01, "fraction {f}");
+    }
+
+    #[test]
+    fn half_size_iw3_is_12kb_per_sm_like_the_paper() {
+        // 32 BOCs × (768 B − 384 B) = 12 KB, i.e. ~4% of a 256 KB RF.
+        let s = StorageOverhead::bow_half(3, 32);
+        assert_eq!(s.bytes_per_boc, 768);
+        assert_eq!(s.added_bytes_per_sm(), 12 * 1024);
+        let f = s.fraction_of_rf(256 * 1024);
+        assert!((f - 0.0469).abs() < 0.005, "fraction {f}");
+    }
+
+    #[test]
+    fn area_fractions_match_paper_claims() {
+        let a = AreaModel::paper();
+        assert!(a.fraction_of_bank() < 0.03);
+        assert!(a.fraction_of_rf() < 0.001);
+    }
+}

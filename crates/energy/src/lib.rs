@@ -1,0 +1,21 @@
+//! # bow-energy — energy and area model for the BOW register-file study
+//!
+//! The paper evaluates BOW's energy impact with per-access energies obtained
+//! from CACTI 7.0 (register banks) and a synthesized 28 nm RTL model of the
+//! BOC network (Table IV). This crate reproduces that accounting: simulation
+//! produces *access counts*, and this model converts counts into dynamic
+//! energy, overheads and normalized comparisons.
+//!
+//! * [`EnergyModel`] — the per-access constants (Table IV defaults);
+//! * [`AccessCounts`] — what the simulator counted;
+//! * [`EnergyReport`] — joules per component plus the paper's normalized
+//!   "RF dynamic energy + overhead" breakdown (Fig. 13);
+//! * [`area`] — the storage/area overhead arithmetic of §V-A.
+
+pub mod area;
+pub mod model;
+pub mod report;
+
+pub use area::{AreaModel, StorageOverhead};
+pub use model::{AccessCounts, EnergyModel};
+pub use report::EnergyReport;

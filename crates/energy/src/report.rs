@@ -1,0 +1,95 @@
+//! Normalized energy reporting (the Fig. 13 breakdown).
+
+use crate::model::{AccessCounts, EnergyModel};
+use serde::{Deserialize, Serialize};
+
+/// Energy of one configuration normalized against a baseline run, the form
+/// the paper plots in Fig. 13: a "dynamic energy" bar with a small
+/// "overhead" segment stacked on top, both relative to the baseline's RF
+/// dynamic energy.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// RF dynamic energy of the evaluated config / baseline RF dynamic.
+    pub rf_dynamic_norm: f64,
+    /// Added-structure overhead / baseline RF dynamic.
+    pub overhead_norm: f64,
+    /// Absolute RF dynamic energy of the evaluated config (pJ).
+    pub rf_dynamic_pj: f64,
+    /// Absolute overhead energy (pJ).
+    pub overhead_pj: f64,
+}
+
+impl EnergyReport {
+    /// Builds the normalized report for `config` counts against `baseline`
+    /// counts under `model`.
+    ///
+    /// A baseline with zero RF traffic normalizes to zero (degenerate runs
+    /// such as empty kernels).
+    pub fn normalized(
+        model: &EnergyModel,
+        config: &AccessCounts,
+        baseline: &AccessCounts,
+    ) -> EnergyReport {
+        let base = model.rf_dynamic_pj(baseline);
+        let rf = model.rf_dynamic_pj(config);
+        let ovh = model.overhead_pj(config);
+        let norm = |x: f64| if base == 0.0 { 0.0 } else { x / base };
+        EnergyReport {
+            rf_dynamic_norm: norm(rf),
+            overhead_norm: norm(ovh),
+            rf_dynamic_pj: rf,
+            overhead_pj: ovh,
+        }
+    }
+
+    /// Total normalized energy (dynamic + overhead).
+    pub fn total_norm(&self) -> f64 {
+        self.rf_dynamic_norm + self.overhead_norm
+    }
+
+    /// Energy *saving* relative to baseline, in `[-inf, 1]`: the paper's
+    /// "reduces dynamic energy consumption of the register file by 55%"
+    /// corresponds to `savings() == 0.55`.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.total_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_vs_itself_is_unity() {
+        let m = EnergyModel::table_iv();
+        let c = AccessCounts { rf_reads: 100, rf_writes: 50, ..Default::default() };
+        let r = EnergyReport::normalized(&m, &c, &c);
+        assert!((r.total_norm() - 1.0).abs() < 1e-12);
+        assert_eq!(r.overhead_norm, 0.0);
+        assert!(r.savings().abs() < 1e-12);
+    }
+
+    #[test]
+    fn halved_traffic_saves_about_half() {
+        let m = EnergyModel::table_iv();
+        let base = AccessCounts { rf_reads: 100, rf_writes: 100, ..Default::default() };
+        let cfg = AccessCounts {
+            rf_reads: 50,
+            rf_writes: 50,
+            boc_reads: 50,
+            boc_writes: 50,
+            ..Default::default()
+        };
+        let r = EnergyReport::normalized(&m, &cfg, &base);
+        assert!(r.savings() > 0.45 && r.savings() < 0.5, "savings {}", r.savings());
+        assert!(r.overhead_norm > 0.0 && r.overhead_norm < 0.05);
+    }
+
+    #[test]
+    fn zero_baseline_is_degenerate_but_finite() {
+        let m = EnergyModel::table_iv();
+        let cfg = AccessCounts { rf_reads: 10, ..Default::default() };
+        let r = EnergyReport::normalized(&m, &cfg, &AccessCounts::default());
+        assert_eq!(r.total_norm(), 0.0);
+    }
+}

@@ -1,0 +1,485 @@
+//! A small text assembler for the BOW ISA.
+//!
+//! The accepted syntax mirrors the disassembler's output so that
+//! `parse_kernel(kernel.disassemble())` round-trips:
+//!
+//! ```text
+//! .kernel saxpy
+//! .regs 8            // optional, inferred when omitted
+//! .shared 1024       // optional
+//! .params 4          // optional
+//!     s2r   r0, %tid.x
+//!     ldc   r1, c[0]
+//!     shl   r2, r0, 2
+//!     iadd  r1, r1, r2
+//!     ldg   r3, [r1]
+//!     ffma  r3, r3, 2.0, 1.0
+//!     stg   [r1], r3 .wb.rf
+//! L7:
+//!     exit
+//! ```
+//!
+//! Comments start with `//` or `#` and run to end of line. Labels are
+//! `name:` on their own line or before an instruction. Guards are `@p0` /
+//! `@!p0` prefixes. A trailing `.wb.rf` / `.wb.boc` / `.wb.both` sets the
+//! write-back hint.
+
+use crate::error::AsmError;
+use crate::inst::{Dst, Instruction, MemRef, PredGuard, WritebackHint};
+use crate::kernel::Kernel;
+use crate::opcode::Opcode;
+use crate::operand::{Operand, Special};
+use crate::reg::{Pred, Reg};
+use std::collections::HashMap;
+
+/// Parses the textual form of a kernel.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based line number of the first
+/// syntax problem, or a wrapped validation failure for structurally invalid
+/// kernels.
+pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
+    let mut name = String::from("anonymous");
+    let mut num_regs: Option<u16> = None;
+    let mut param_words: Option<u16> = None;
+    let mut shared_bytes = 0u32;
+    let mut insts: Vec<Instruction> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (pc, label, line)
+
+    for (lineno0, raw_line) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let mut line = raw_line;
+        if let Some(i) = line.find("//") {
+            line = &line[..i];
+        }
+        if let Some(i) = line.find('#') {
+            // `#` only starts a comment when not part of a `#N` raw target.
+            if !line[i..].starts_with("#") || !line[i + 1..].starts_with(|c: char| c.is_ascii_digit()) {
+                line = &line[..i];
+            }
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut it = rest.split_whitespace();
+            let dir = it.next().unwrap_or("");
+            let arg = it.next();
+            match dir {
+                "kernel" => {
+                    name = arg
+                        .ok_or_else(|| AsmError::new(lineno, ".kernel needs a name"))?
+                        .to_string();
+                }
+                "regs" => {
+                    num_regs = Some(parse_num(arg, lineno, ".regs")? as u16);
+                }
+                "params" => {
+                    param_words = Some(parse_num(arg, lineno, ".params")? as u16);
+                }
+                "shared" => {
+                    shared_bytes = parse_num(arg, lineno, ".shared")? as u32;
+                }
+                _ => return Err(AsmError::new(lineno, format!("unknown directive .{dir}"))),
+            }
+            continue;
+        }
+
+        // Leading labels (possibly several) before an instruction.
+        while let Some(colon) = line.find(':') {
+            let (lbl, rest) = line.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || lbl.contains(char::is_whitespace) {
+                break;
+            }
+            labels.insert(lbl.to_string(), insts.len());
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        let inst = parse_instruction(line, lineno, insts.len(), &mut fixups)?;
+        insts.push(inst);
+    }
+
+    for (pc, label, lineno) in fixups {
+        let Some(&t) = labels.get(&label) else {
+            return Err(AsmError::new(lineno, format!("undefined label `{label}`")));
+        };
+        insts[pc].target = Some(t);
+    }
+
+    let inferred_regs = insts
+        .iter()
+        .flat_map(|i| i.src_regs().into_iter().chain(i.dst_reg()))
+        .map(|r| u16::from(r.index()) + 1)
+        .max()
+        .unwrap_or(0);
+    let inferred_params = insts
+        .iter()
+        .filter(|i| i.op == Opcode::Ldc)
+        .filter_map(|i| i.mem.map(|m| (m.offset / 4 + 1) as u16))
+        .max()
+        .unwrap_or(0);
+
+    let kernel = Kernel {
+        name,
+        insts,
+        num_regs: num_regs.unwrap_or(inferred_regs),
+        shared_bytes,
+        param_words: param_words.unwrap_or(inferred_params),
+    };
+    kernel
+        .validate()
+        .map_err(|e| AsmError::new(0, e.to_string()))?;
+    Ok(kernel)
+}
+
+fn parse_num(arg: Option<&str>, lineno: usize, what: &str) -> Result<u64, AsmError> {
+    let a = arg.ok_or_else(|| AsmError::new(lineno, format!("{what} needs a number")))?;
+    a.parse()
+        .map_err(|_| AsmError::new(lineno, format!("{what}: `{a}` is not a number")))
+}
+
+fn parse_instruction(
+    line: &str,
+    lineno: usize,
+    pc: usize,
+    fixups: &mut Vec<(usize, String, usize)>,
+) -> Result<Instruction, AsmError> {
+    let mut rest = line;
+
+    // Guard.
+    let mut guard = None;
+    if let Some(g) = rest.strip_prefix('@') {
+        let negated = g.starts_with('!');
+        let g = g.strip_prefix('!').unwrap_or(g);
+        let end = g
+            .find(char::is_whitespace)
+            .ok_or_else(|| AsmError::new(lineno, "guard with no instruction"))?;
+        let pred = parse_pred(&g[..end], lineno)?;
+        guard = Some(PredGuard { pred, negated });
+        rest = g[end..].trim_start();
+    }
+
+    // Write-back hint suffix.
+    let mut hint = WritebackHint::Both;
+    for (suffix, h) in [
+        (".wb.boc", WritebackHint::BocOnly),
+        (".wb.rf", WritebackHint::RfOnly),
+        (".wb.both", WritebackHint::Both),
+    ] {
+        if let Some(stripped) = rest.strip_suffix(suffix) {
+            hint = h;
+            rest = stripped.trim_end();
+            break;
+        }
+    }
+
+    let (mn, ops_str) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    let op = Opcode::from_mnemonic(mn)
+        .ok_or_else(|| AsmError::new(lineno, format!("unknown opcode `{mn}`")))?;
+
+    let tokens = split_operands(ops_str);
+    let mut inst = Instruction::new(op, Dst::None, vec![]);
+    inst.guard = guard;
+    inst.hint = hint;
+
+    use Opcode::*;
+    let expect = |n: usize| -> Result<(), AsmError> {
+        if tokens.len() != n {
+            Err(AsmError::new(
+                lineno,
+                format!("{mn}: expected {n} operand(s), got {}", tokens.len()),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+
+    match op {
+        Bra | Ssy => {
+            expect(1)?;
+            if let Some(t) = tokens[0].strip_prefix('#') {
+                inst.target = Some(
+                    t.parse()
+                        .map_err(|_| AsmError::new(lineno, format!("bad raw target `{t}`")))?,
+                );
+            } else {
+                fixups.push((pc, tokens[0].clone(), lineno));
+                inst.target = Some(usize::MAX); // placeholder until fixup
+            }
+        }
+        Sync | Bar | Exit | Nop => expect(0)?,
+        Ldg | Lds => {
+            expect(2)?;
+            inst.dst = Dst::Reg(parse_reg(&tokens[0], lineno)?);
+            inst.mem = Some(parse_memref(&tokens[1], lineno)?);
+        }
+        Stg | Sts => {
+            expect(2)?;
+            inst.mem = Some(parse_memref(&tokens[0], lineno)?);
+            inst.srcs.push(parse_operand(&tokens[1], lineno)?);
+        }
+        Ldc => {
+            expect(2)?;
+            inst.dst = Dst::Reg(parse_reg(&tokens[0], lineno)?);
+            let t = &tokens[1];
+            let off = t
+                .strip_prefix("c[")
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| AsmError::new(lineno, format!("ldc: bad constant ref `{t}`")))?;
+            inst.mem = Some(MemRef {
+                base: Reg::RZ,
+                offset: off
+                    .parse()
+                    .map_err(|_| AsmError::new(lineno, format!("ldc: bad offset `{off}`")))?,
+            });
+        }
+        ISetp(_) | FSetp(_) => {
+            expect(3)?;
+            inst.dst = Dst::Pred(parse_pred(&tokens[0], lineno)?);
+            inst.srcs.push(parse_operand(&tokens[1], lineno)?);
+            inst.srcs.push(parse_operand(&tokens[2], lineno)?);
+        }
+        _ => {
+            // Register-destination data instruction: dst then `arity` sources.
+            expect(1 + op.arity())?;
+            inst.dst = Dst::Reg(parse_reg(&tokens[0], lineno)?);
+            for t in &tokens[1..] {
+                inst.srcs.push(parse_operand(t, lineno)?);
+            }
+        }
+    }
+
+    // Branches were given a placeholder target; let per-instruction
+    // validation run after fixups (kernel validation covers it).
+    if inst.target != Some(usize::MAX) {
+        inst.validate()
+            .map_err(|msg| AsmError::new(lineno, msg))?;
+    }
+    Ok(inst)
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // Commas inside `[...]` don't occur in this ISA, so a plain split works.
+    s.split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn parse_reg(t: &str, lineno: usize) -> Result<Reg, AsmError> {
+    if t.eq_ignore_ascii_case("rz") {
+        return Ok(Reg::RZ);
+    }
+    t.strip_prefix(['r', 'R'])
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::try_new)
+        .ok_or_else(|| AsmError::new(lineno, format!("bad register `{t}`")))
+}
+
+fn parse_pred(t: &str, lineno: usize) -> Result<Pred, AsmError> {
+    if t.eq_ignore_ascii_case("pt") {
+        return Ok(Pred::PT);
+    }
+    t.strip_prefix(['p', 'P'])
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Pred::try_new)
+        .ok_or_else(|| AsmError::new(lineno, format!("bad predicate `{t}`")))
+}
+
+fn parse_memref(t: &str, lineno: usize) -> Result<MemRef, AsmError> {
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| AsmError::new(lineno, format!("bad memory reference `{t}`")))?;
+    let (base_s, off) = if let Some(i) = inner.find('+') {
+        let off: i32 = inner[i + 1..]
+            .trim()
+            .parse()
+            .map_err(|_| AsmError::new(lineno, format!("bad offset in `{t}`")))?;
+        (&inner[..i], off)
+    } else if let Some(i) = inner.rfind('-') {
+        if i == 0 {
+            (inner, 0)
+        } else {
+            let off: i32 = inner[i + 1..]
+                .trim()
+                .parse()
+                .map_err(|_| AsmError::new(lineno, format!("bad offset in `{t}`")))?;
+            (&inner[..i], -off)
+        }
+    } else {
+        (inner, 0)
+    };
+    Ok(MemRef { base: parse_reg(base_s.trim(), lineno)?, offset: off })
+}
+
+fn parse_operand(t: &str, lineno: usize) -> Result<Operand, AsmError> {
+    if let Some(sp) = t.strip_prefix('%') {
+        return Special::from_mnemonic(sp)
+            .map(Operand::Special)
+            .ok_or_else(|| AsmError::new(lineno, format!("unknown special register `{t}`")));
+    }
+    if t.eq_ignore_ascii_case("rz") || t.starts_with(['r', 'R']) && t[1..].parse::<u8>().is_ok() {
+        return parse_reg(t, lineno).map(Operand::Reg);
+    }
+    if t.eq_ignore_ascii_case("pt") || t.starts_with(['p', 'P']) && t[1..].parse::<u8>().is_ok() {
+        return parse_pred(t, lineno).map(Operand::Pred);
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16)
+            .map(Operand::Imm)
+            .map_err(|_| AsmError::new(lineno, format!("bad hex immediate `{t}`")));
+    }
+    if t.contains('.') || t.contains("e-") || t.contains("e+") {
+        if let Ok(f) = t.parse::<f32>() {
+            return Ok(Operand::fimm(f));
+        }
+    }
+    if let Ok(v) = t.parse::<i64>() {
+        if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+            return Ok(Operand::Imm(v as u32));
+        }
+    }
+    Err(AsmError::new(lineno, format!("cannot parse operand `{t}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::CmpOp;
+
+    const SAXPY: &str = r#"
+        .kernel saxpy
+        // y[i] = a*x[i] + y[i]
+        .params 4
+            s2r   r0, %tid.x
+            s2r   r1, %ctaid.x
+            s2r   r2, %ntid.x
+            imad  r0, r1, r2, r0
+            shl   r3, r0, 2
+            ldc   r4, c[0]
+            iadd  r4, r4, r3
+            ldg   r5, [r4]
+            ldc   r6, c[4]
+            iadd  r6, r6, r3
+            ldg   r7, [r6]
+            ldc   r8, c[8]
+            ffma  r5, r5, r8, r7
+            stg   [r6], r5
+            exit
+    "#;
+
+    #[test]
+    fn parses_a_full_kernel() {
+        let k = parse_kernel(SAXPY).unwrap();
+        assert_eq!(k.name, "saxpy");
+        assert_eq!(k.len(), 15);
+        assert_eq!(k.num_regs, 9);
+        assert_eq!(k.param_words, 4);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn disassembly_roundtrips() {
+        let k = parse_kernel(SAXPY).unwrap();
+        let again = parse_kernel(&k.disassemble()).unwrap();
+        assert_eq!(k, again);
+    }
+
+    #[test]
+    fn labels_and_guards() {
+        let text = r#"
+            .kernel loopy
+                mov r0, 0
+            top:
+                iadd r0, r0, 1
+                isetp.lt p0, r0, 10
+                @p0 bra top
+                @!p0 mov r1, r0
+                exit
+        "#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.insts[3].target, Some(1));
+        assert!(!k.insts[3].guard.unwrap().negated);
+        assert!(k.insts[4].guard.unwrap().negated);
+        assert_eq!(k.insts[2].op, Opcode::ISetp(CmpOp::Lt));
+    }
+
+    #[test]
+    fn writeback_hints_parse() {
+        let text = r#"
+            .kernel hints
+                mov r0, 1 .wb.boc
+                mov r1, 2 .wb.rf
+                mov r2, 3
+                exit
+        "#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.insts[0].hint, WritebackHint::BocOnly);
+        assert_eq!(k.insts[1].hint, WritebackHint::RfOnly);
+        assert_eq!(k.insts[2].hint, WritebackHint::Both);
+    }
+
+    #[test]
+    fn memref_offsets() {
+        let text = r#"
+            .kernel mems
+                ldg r1, [r0+64]
+                ldg r2, [r0-4]
+                stg [r0], r1
+                exit
+        "#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.insts[0].mem.unwrap().offset, 64);
+        assert_eq!(k.insts[1].mem.unwrap().offset, -4);
+        assert_eq!(k.insts[2].mem.unwrap().offset, 0);
+    }
+
+    #[test]
+    fn float_and_hex_immediates() {
+        let text = r#"
+            .kernel imms
+                mov r0, 0xff
+                fmul r1, r0, 1.5
+                exit
+        "#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.insts[0].srcs[0], Operand::Imm(255));
+        assert_eq!(k.insts[1].srcs[1], Operand::Imm(1.5f32.to_bits()));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_kernel(".kernel x\n    bogus r0, r1\n    exit").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unknown opcode"));
+
+        let err = parse_kernel(".kernel x\n    bra nowhere\n    exit").unwrap_err();
+        assert!(err.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn rz_and_pt_parse() {
+        let text = r#"
+            .kernel zeros
+                iadd r0, rz, 1
+                sel r1, r0, rz, pt
+                exit
+        "#;
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.insts[0].srcs[0], Operand::Reg(Reg::RZ));
+        assert_eq!(k.insts[1].srcs[2], Operand::Pred(Pred::PT));
+    }
+}

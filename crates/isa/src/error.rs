@@ -1,0 +1,91 @@
+//! Error types for kernel validation and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// A kernel failed structural validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KernelError {
+    /// The kernel has no instructions.
+    Empty {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// The kernel never executes `exit`.
+    NoExit {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// An instruction violated a structural invariant.
+    Instruction {
+        /// Kernel name.
+        kernel: String,
+        /// Index of the offending instruction.
+        pc: usize,
+        /// Description of the violation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Empty { kernel } => write!(f, "kernel `{kernel}` is empty"),
+            KernelError::NoExit { kernel } => {
+                write!(f, "kernel `{kernel}` has no exit instruction")
+            }
+            KernelError::Instruction { kernel, pc, msg } => {
+                write!(f, "kernel `{kernel}`, instruction #{pc}: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// The text assembler rejected its input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KernelError::Instruction {
+            kernel: "k".into(),
+            pc: 3,
+            msg: "bad operand".into(),
+        };
+        assert_eq!(e.to_string(), "kernel `k`, instruction #3: bad operand");
+        let a = AsmError::new(7, "unknown opcode");
+        assert_eq!(a.to_string(), "line 7: unknown opcode");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KernelError>();
+        assert_err::<AsmError>();
+    }
+}

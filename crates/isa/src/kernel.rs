@@ -1,0 +1,255 @@
+//! Kernels: a validated list of instructions plus resource requirements.
+
+use crate::error::KernelError;
+use crate::inst::Instruction;
+use crate::opcode::Opcode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Launch geometry for a kernel: grid and block dimensions (x, y).
+///
+/// The model supports 2-D grids and blocks, which covers every workload in
+/// the suite; a z dimension would be a mechanical extension.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct KernelDims {
+    /// Blocks in the grid (x, y).
+    pub grid: (u32, u32),
+    /// Threads per block (x, y). The product must be a multiple of the warp
+    /// size for full warps; partial warps are padded with inactive lanes.
+    pub block: (u32, u32),
+}
+
+impl KernelDims {
+    /// A 1-D launch with `grid_x` blocks of `block_x` threads.
+    pub fn linear(grid_x: u32, block_x: u32) -> KernelDims {
+        KernelDims { grid: (grid_x, 1), block: (block_x, 1) }
+    }
+
+    /// Total number of threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.0 * self.block.1
+    }
+
+    /// Total number of blocks.
+    pub fn total_blocks(&self) -> u32 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Warps per block (rounding partial warps up).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(crate::WARP_SIZE as u32)
+    }
+}
+
+impl Default for KernelDims {
+    fn default() -> Self {
+        KernelDims::linear(1, crate::WARP_SIZE as u32)
+    }
+}
+
+/// A GPU kernel: instructions plus the resources a block needs.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// The instruction stream; branch targets index into this vector.
+    pub insts: Vec<Instruction>,
+    /// Number of architectural registers each thread uses (`r0..r{n-1}`).
+    pub num_regs: u16,
+    /// Shared memory bytes each block allocates.
+    pub shared_bytes: u32,
+    /// Number of 32-bit kernel parameters (`c[0]`, `c[4]`, ... by byte
+    /// offset).
+    pub param_words: u16,
+}
+
+impl Kernel {
+    /// Validates every instruction and the kernel-level invariants:
+    /// branch targets in range, register indices below `num_regs`, `ldc`
+    /// offsets inside the parameter block, and termination reachability
+    /// (at least one `exit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant with its instruction index.
+    pub fn validate(&self) -> Result<(), KernelError> {
+        if self.insts.is_empty() {
+            return Err(KernelError::Empty { kernel: self.name.clone() });
+        }
+        let mut has_exit = false;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            inst.validate().map_err(|msg| KernelError::Instruction {
+                kernel: self.name.clone(),
+                pc,
+                msg,
+            })?;
+            if let Some(t) = inst.target {
+                if t >= self.insts.len() {
+                    return Err(KernelError::Instruction {
+                        kernel: self.name.clone(),
+                        pc,
+                        msg: format!("branch target #{t} out of range"),
+                    });
+                }
+            }
+            for r in inst
+                .src_regs()
+                .into_iter()
+                .chain(inst.dst_reg())
+            {
+                if u16::from(r.index()) >= self.num_regs {
+                    return Err(KernelError::Instruction {
+                        kernel: self.name.clone(),
+                        pc,
+                        msg: format!("{r} exceeds declared register count {}", self.num_regs),
+                    });
+                }
+            }
+            if inst.op == Opcode::Ldc {
+                let off = inst.mem.map(|m| m.offset).unwrap_or(0);
+                if off < 0 || off % 4 != 0 || (off / 4) as u16 >= self.param_words {
+                    return Err(KernelError::Instruction {
+                        kernel: self.name.clone(),
+                        pc,
+                        msg: format!("ldc offset {off} outside the parameter block"),
+                    });
+                }
+            }
+            has_exit |= inst.op == Opcode::Exit;
+        }
+        if !has_exit {
+            return Err(KernelError::NoExit { kernel: self.name.clone() });
+        }
+        Ok(())
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the kernel has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterator over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Instruction)> {
+        self.insts.iter().enumerate()
+    }
+
+    /// Disassembles the kernel to its textual form (re-parsable by the
+    /// [assembler](crate::asm)).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        writeln!(out, ".kernel {}", self.name).unwrap();
+        writeln!(out, ".regs {}", self.num_regs).unwrap();
+        if self.shared_bytes > 0 {
+            writeln!(out, ".shared {}", self.shared_bytes).unwrap();
+        }
+        if self.param_words > 0 {
+            writeln!(out, ".params {}", self.param_words).unwrap();
+        }
+        // Emit labels for every branch target.
+        let mut is_target = vec![false; self.insts.len()];
+        for inst in &self.insts {
+            if let Some(t) = inst.target {
+                is_target[t] = true;
+            }
+        }
+        for (pc, inst) in self.iter() {
+            if is_target[pc] {
+                writeln!(out, "L{pc}:").unwrap();
+            }
+            let mut line = inst.to_string();
+            if let Some(t) = inst.target {
+                line = line.replace(&format!("#{t}"), &format!("L{t}"));
+            }
+            writeln!(out, "    {line}").unwrap();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::inst::{Dst, MemRef};
+    use crate::operand::Operand;
+    use crate::reg::Reg;
+
+    fn tiny() -> Kernel {
+        KernelBuilder::new("tiny")
+            .mov_imm(Reg::r(0), 1)
+            .iadd(Reg::r(1), Reg::r(0).into(), Operand::Imm(2))
+            .exit()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        assert!(tiny().validate().is_ok());
+        assert_eq!(tiny().len(), 3);
+    }
+
+    #[test]
+    fn missing_exit_is_rejected() {
+        let mut k = tiny();
+        k.insts.pop();
+        assert!(matches!(k.validate(), Err(KernelError::NoExit { .. })));
+    }
+
+    #[test]
+    fn out_of_range_register_is_rejected() {
+        let mut k = tiny();
+        k.num_regs = 1;
+        let err = k.validate().unwrap_err();
+        assert!(err.to_string().contains("exceeds declared register count"));
+    }
+
+    #[test]
+    fn out_of_range_branch_target_is_rejected() {
+        let mut k = tiny();
+        let mut bra = Instruction::new(Opcode::Bra, Dst::None, vec![]);
+        bra.target = Some(99);
+        k.insts.insert(0, bra);
+        let err = k.validate().unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn bad_ldc_offset_is_rejected() {
+        let mut k = tiny();
+        let mut ldc = Instruction::new(Opcode::Ldc, Dst::Reg(Reg::r(0)), vec![]);
+        ldc.mem = Some(MemRef { base: Reg::RZ, offset: 4 });
+        k.insts.insert(0, ldc);
+        // param_words is 0, so offset 4 is outside the block.
+        let err = k.validate().unwrap_err();
+        assert!(err.to_string().contains("parameter block"));
+    }
+
+    #[test]
+    fn dims_arithmetic() {
+        let d = KernelDims { grid: (4, 2), block: (48, 1) };
+        assert_eq!(d.total_blocks(), 8);
+        assert_eq!(d.threads_per_block(), 48);
+        assert_eq!(d.warps_per_block(), 2); // 48 threads -> 1.5 warps -> 2
+    }
+
+    #[test]
+    fn disassemble_contains_all_instructions() {
+        let text = tiny().disassemble();
+        assert!(text.contains(".kernel tiny"));
+        assert!(text.contains("mov r0, 1"));
+        assert!(text.contains("exit"));
+    }
+}

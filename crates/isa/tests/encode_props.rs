@@ -1,0 +1,160 @@
+//! Property test: every structurally valid instruction round-trips through
+//! the binary encoding, and every valid kernel's stream decodes back to an
+//! equal kernel.
+
+use bow_isa::{
+    encode_kernel, decode_kernel, CmpOp, Dst, Instruction, KernelBuilder, MemRef, Opcode,
+    Operand, Pred, PredGuard, Reg, WritebackHint,
+};
+use proptest::prelude::*;
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..=254).prop_map(|i| Operand::Reg(Reg::r(i))),
+        Just(Operand::Reg(Reg::RZ)),
+        any::<u32>().prop_map(Operand::Imm),
+        (0u8..=6).prop_map(|i| Operand::Pred(Pred::p(i))),
+        (0usize..10).prop_map(|i| Operand::Special(bow_isa::Special::ALL[i])),
+    ]
+}
+
+fn hint_strategy() -> impl Strategy<Value = WritebackHint> {
+    prop_oneof![
+        Just(WritebackHint::Both),
+        Just(WritebackHint::RfOnly),
+        Just(WritebackHint::BocOnly),
+    ]
+}
+
+fn guard_strategy() -> impl Strategy<Value = Option<PredGuard>> {
+    prop_oneof![
+        Just(None),
+        ((0u8..=6), any::<bool>())
+            .prop_map(|(p, n)| Some(PredGuard { pred: Pred::p(p), negated: n })),
+    ]
+}
+
+/// Builds a structurally valid instruction for a random opcode.
+fn inst_strategy() -> impl Strategy<Value = Instruction> {
+    let ops = Opcode::all();
+    (
+        0..ops.len(),
+        proptest::collection::vec(operand_strategy(), 3),
+        (0u8..=254, 0u8..=6),
+        guard_strategy(),
+        hint_strategy(),
+        any::<i32>(),
+        0usize..1000,
+        cmp_strategy(),
+    )
+        .prop_map(move |(oi, raw_srcs, (dreg, dpred), guard, hint, offset, target, cmp)| {
+            let mut op = ops[oi];
+            op = match op {
+                Opcode::ISetp(_) => Opcode::ISetp(cmp),
+                Opcode::FSetp(_) => Opcode::FSetp(cmp),
+                o => o,
+            };
+            let dst = if op.writes_reg() {
+                Dst::Reg(Reg::r(dreg))
+            } else if op.writes_pred() {
+                Dst::Pred(Pred::p(dpred))
+            } else {
+                Dst::None
+            };
+            let mut srcs: Vec<Operand> = raw_srcs.into_iter().take(op.arity()).collect();
+            // Structural fixes: s2r needs a special source, sel a predicate
+            // third source; register-only slots keep whatever came.
+            if op == Opcode::S2R {
+                srcs[0] = Operand::Special(bow_isa::Special::TidX);
+            }
+            if op == Opcode::Sel {
+                srcs[2] = Operand::Pred(Pred::p(dpred));
+            }
+            let mut inst = Instruction::new(op, dst, srcs);
+            inst.guard = guard;
+            inst.hint = hint;
+            if matches!(op, Opcode::Ldg | Opcode::Stg | Opcode::Lds | Opcode::Sts) {
+                inst.mem = Some(MemRef { base: Reg::r(dreg), offset });
+            }
+            if op == Opcode::Ldc {
+                inst.mem = Some(MemRef { base: Reg::RZ, offset: (offset & 0x3f) * 4 });
+            }
+            if matches!(op, Opcode::Bra | Opcode::Ssy) {
+                inst.target = Some(target);
+            }
+            inst
+        })
+        .prop_filter("valid instructions only", |i| i.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_valid_instruction_roundtrips(inst in inst_strategy()) {
+        let mut words = Vec::new();
+        bow_isa::encode::encode(&inst, &mut words);
+        let (back, used) = bow_isa::encode::decode(&words, 0).expect("decodes");
+        prop_assert_eq!(&back, &inst);
+        prop_assert_eq!(used, words.len());
+    }
+
+    #[test]
+    fn disassembly_reparses_to_the_same_kernel(
+        n in 1usize..20,
+        seeds in proptest::collection::vec(any::<u32>(), 20),
+    ) {
+        let mut b = KernelBuilder::new("roundtrip");
+        for i in 0..n {
+            let s = seeds[i];
+            let d = Reg::r((s % 12) as u8);
+            let a = Operand::Reg(Reg::r(((s >> 8) % 12) as u8));
+            b = match s % 4 {
+                0 => b.iadd(d, a, Operand::Imm(s & 0xffff)),
+                1 => b.shl(d, a, Operand::Imm(s % 31)),
+                2 => b.ldg(d, Reg::r(((s >> 16) % 12) as u8), (s % 256) as i32),
+                _ => b.fmax(d, a, Operand::fimm((s % 100) as f32)),
+            };
+        }
+        let k = b.exit().build().expect("builds");
+        let text = k.disassemble();
+        let back = bow_isa::asm::parse_kernel(&text).expect("reparses");
+        prop_assert_eq!(back, k);
+    }
+
+    #[test]
+    fn random_straightline_kernels_roundtrip(
+        n in 1usize..30,
+        seeds in proptest::collection::vec(any::<u32>(), 30),
+    ) {
+        let mut b = KernelBuilder::new("prop");
+        for i in 0..n {
+            let s = seeds[i];
+            let d = Reg::r((s % 16) as u8);
+            let a = Operand::Reg(Reg::r(((s >> 8) % 16) as u8));
+            let c = Operand::Imm(s);
+            b = match s % 5 {
+                0 => b.iadd(d, a, c),
+                1 => b.imul(d, a, c),
+                2 => b.xor(d, a, c),
+                3 => b.fadd(d, a, c),
+                _ => b.mov(d, a),
+            };
+        }
+        let k = b.exit().build().expect("builds");
+        let words = encode_kernel(&k);
+        let back = decode_kernel("prop", &words).expect("decodes");
+        prop_assert_eq!(back, k);
+    }
+}

@@ -1,0 +1,186 @@
+//! Sparse, paged global (device) memory with functional word semantics.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: usize = 64 * 1024;
+const PAGE_WORDS: usize = PAGE_BYTES / 4;
+
+/// The GPU's global address space.
+///
+/// Storage is allocated lazily in 64 KiB pages, so kernels may scatter their
+/// buffers across a large virtual range without cost. All ISA-level accesses
+/// are 4-byte words; unaligned addresses are rounded down to the containing
+/// word, matching the word-striped register/lane layout the rest of the model
+/// assumes. Untouched memory reads as zero.
+///
+/// # Example
+///
+/// ```
+/// use bow_mem::GlobalMemory;
+/// let mut m = GlobalMemory::new();
+/// m.write_u32(0x1000, 42);
+/// assert_eq!(m.read_u32(0x1000), 42);
+/// assert_eq!(m.read_u32(0x2000), 0); // untouched => zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GlobalMemory {
+    pages: HashMap<u64, Box<[u32; PAGE_WORDS]>>,
+}
+
+impl GlobalMemory {
+    /// Creates an empty address space.
+    pub fn new() -> GlobalMemory {
+        GlobalMemory::default()
+    }
+
+    fn split(addr: u64) -> (u64, usize) {
+        let word = addr / 4;
+        (word / PAGE_WORDS as u64, (word % PAGE_WORDS as u64) as usize)
+    }
+
+    /// Reads the 32-bit word containing `addr`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let (page, idx) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[idx])
+    }
+
+    /// Writes the 32-bit word containing `addr`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        let (page, idx) = Self::split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u32; PAGE_WORDS].into_boxed_slice().try_into().unwrap())
+            [idx] = value;
+    }
+
+    /// Reads the word at `addr` as an IEEE-754 float.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes a float as its bit pattern.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Bulk-writes a slice of words starting at `addr` (host-side setup).
+    pub fn write_slice_u32(&mut self, addr: u64, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Bulk-writes floats starting at `addr`.
+    pub fn write_slice_f32(&mut self, addr: u64, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Bulk-reads `n` words starting at `addr` (host-side verification).
+    pub fn read_vec_u32(&self, addr: u64, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Bulk-reads `n` floats starting at `addr`.
+    pub fn read_vec_f32(&self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Number of resident (allocated) pages — a footprint diagnostic.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// A stable fingerprint of the full memory contents, used by the
+    /// equivalence tests to compare final states across pipeline models.
+    /// Zero pages (all-zero content) do not affect the fingerprint, so
+    /// "never touched" and "touched with zeros" compare equal.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over (page index, nonzero words); page order independent
+        // because contributions are XOR-combined.
+        let mut acc = 0u64;
+        for (&page, data) in &self.pages {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut any = false;
+            for (i, &w) in data.iter().enumerate() {
+                if w != 0 {
+                    any = true;
+                    for b in [(i as u32).to_le_bytes(), w.to_le_bytes()] {
+                        for byte in b {
+                            h ^= u64::from(byte);
+                            h = h.wrapping_mul(0x1000_0000_01b3);
+                        }
+                    }
+                }
+            }
+            if any {
+                acc ^= h.wrapping_mul(page | 1);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = GlobalMemory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u32(u64::MAX - 7), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_and_alignment() {
+        let mut m = GlobalMemory::new();
+        m.write_u32(100, 7);
+        assert_eq!(m.read_u32(100), 7);
+        // Unaligned reads hit the containing word.
+        assert_eq!(m.read_u32(102), 7);
+        m.write_u32(103, 9);
+        assert_eq!(m.read_u32(100), 9);
+    }
+
+    #[test]
+    fn pages_allocate_lazily_across_boundaries() {
+        let mut m = GlobalMemory::new();
+        m.write_u32(PAGE_BYTES as u64 - 4, 1);
+        m.write_u32(PAGE_BYTES as u64, 2);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read_u32(PAGE_BYTES as u64 - 4), 1);
+        assert_eq!(m.read_u32(PAGE_BYTES as u64), 2);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut m = GlobalMemory::new();
+        m.write_f32(16, 3.25);
+        assert_eq!(m.read_f32(16), 3.25);
+    }
+
+    #[test]
+    fn bulk_helpers_roundtrip() {
+        let mut m = GlobalMemory::new();
+        m.write_slice_u32(0x4000, &[1, 2, 3, 4]);
+        assert_eq!(m.read_vec_u32(0x4000, 4), vec![1, 2, 3, 4]);
+        m.write_slice_f32(0x8000, &[1.0, 2.0]);
+        assert_eq!(m.read_vec_f32(0x8000, 2), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fingerprint_detects_differences_and_ignores_zero_pages() {
+        let mut a = GlobalMemory::new();
+        let mut b = GlobalMemory::new();
+        a.write_u32(0x100, 5);
+        b.write_u32(0x100, 5);
+        // b additionally touches a page with zeros only.
+        b.write_u32(0x9_0000, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.write_u32(0x100, 6);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,740 @@
+//! The operand-collection stage with its four interchangeable models:
+//! baseline OCUs, BOW, BOW-WR and the RFC comparison baseline.
+//!
+//! The stage owns the in-flight instruction *slots* (issued, waiting for
+//! operands) and — in the BOW modes — the per-warp *bypass windows* that
+//! hold recently touched register values ([`window`]). The RFC mode owns a
+//! per-warp register-file cache ([`rfc`]).
+//!
+//! Port modelling follows the paper:
+//! * baseline/RFC OCUs are single-ported: one operand lands per OCU per
+//!   cycle, whether it comes from a bank or the RFC;
+//! * each BOC has a single port *from the register file* (one fetched
+//!   operand per warp per cycle), but its forwarding logic can deliver any
+//!   number of already-buffered operands instantly at insert.
+
+pub mod rfc;
+pub mod window;
+
+use crate::regfile::RegFile;
+use crate::stats::{SimStats, WriteDest};
+use bow_isa::{Instruction, Reg, WritebackHint};
+use rfc::RfcCache;
+use serde::{Deserialize, Serialize};
+use window::WarpWindow;
+
+/// Which operand-collector organization to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CollectorKind {
+    /// Conventional operand collector units (the paper's baseline GPU).
+    Baseline,
+    /// BOW: read bypassing with write-through write-back (§IV-A).
+    Bow {
+        /// Instruction-window size (IW).
+        window: u32,
+        /// Use the half-size shared-entry buffer of §IV-C.
+        half_size: bool,
+    },
+    /// BOW-WR: read + write bypassing, write-back policy steered by
+    /// compiler hints (§IV-B).
+    BowWr {
+        /// Instruction-window size (IW).
+        window: u32,
+        /// Use the half-size shared-entry buffer of §IV-C.
+        half_size: bool,
+    },
+    /// Register-file cache in front of the RF (the related-work comparison
+    /// of §V-A, after Gebhart et al.).
+    Rfc {
+        /// Cache entries per warp.
+        entries: u32,
+    },
+    /// The paper's stated future work (§IV-C): bypassing bounded only by
+    /// the buffer capacity, not a nominal instruction window. Write-back
+    /// without compiler hints (the compiler cannot bound reuse distances
+    /// without a fixed window), FIFO eviction when the buffer fills.
+    BowFlex {
+        /// Value-buffer entries per BOC.
+        capacity: u32,
+    },
+}
+
+impl CollectorKind {
+    /// Full-size BOW with the given window.
+    pub fn bow(window: u32) -> CollectorKind {
+        CollectorKind::Bow { window, half_size: false }
+    }
+
+    /// Full-size BOW-WR with the given window.
+    pub fn bow_wr(window: u32) -> CollectorKind {
+        CollectorKind::BowWr { window, half_size: false }
+    }
+
+    /// The RFC configuration the paper compares against (6 entries/warp).
+    pub fn rfc6() -> CollectorKind {
+        CollectorKind::Rfc { entries: 6 }
+    }
+
+    /// Buffer-bounded bypassing (the paper's future-work design).
+    pub fn bow_flex(capacity: u32) -> CollectorKind {
+        CollectorKind::BowFlex { capacity }
+    }
+
+    /// The instruction-window size, if this is a BOW mode.
+    pub fn window(&self) -> Option<u32> {
+        match self {
+            CollectorKind::Bow { window, .. } | CollectorKind::BowWr { window, .. } => {
+                Some(*window)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this mode buffers values for bypassing (any BOW variant).
+    pub fn is_bow(&self) -> bool {
+        matches!(
+            self,
+            CollectorKind::Bow { .. } | CollectorKind::BowWr { .. } | CollectorKind::BowFlex { .. }
+        )
+    }
+
+    /// Value-buffer capacity per BOC: `4 × IW` entries full-size
+    /// (3 sources + 1 destination per windowed instruction), halved in the
+    /// shared-entry configuration.
+    pub fn boc_capacity(&self) -> usize {
+        match *self {
+            CollectorKind::Bow { window, half_size }
+            | CollectorKind::BowWr { window, half_size } => {
+                let full = 4 * window as usize;
+                if half_size {
+                    full / 2
+                } else {
+                    full
+                }
+            }
+            CollectorKind::BowFlex { capacity } => capacity as usize,
+            _ => 0,
+        }
+    }
+}
+
+/// State of one source-operand fetch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OpState {
+    /// Must claim a register-bank port.
+    NeedRf,
+    /// Shares an in-flight fetch issued by an earlier instruction (BOW).
+    WaitShared,
+    /// Hit in the register-file cache; needs only the OCU port (RFC).
+    RfcHit,
+    /// Value lands in the collector at the given cycle (bank grant +
+    /// crossbar transfer, or immediately for forwarded operands).
+    ReadyAt(u64),
+}
+
+#[derive(Clone, Debug)]
+struct OperandReq {
+    reg: Reg,
+    state: OpState,
+}
+
+impl OperandReq {
+    fn is_ready(&self, cycle: u64) -> bool {
+        matches!(self.state, OpState::ReadyAt(t) if t <= cycle)
+    }
+}
+
+/// One issued instruction waiting in the collection stage.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// Warp slot index.
+    pub warp: usize,
+    /// Program counter of the instruction within its kernel.
+    pub pc: usize,
+    /// The instruction (cloned from the kernel).
+    pub inst: Instruction,
+    /// Execution mask captured at issue.
+    pub mask: u32,
+    /// Per-warp dynamic sequence number.
+    pub seq: u64,
+    /// Cycle the instruction entered the stage.
+    pub insert_cycle: u64,
+    operands: Vec<OperandReq>,
+}
+
+impl Slot {
+    fn is_ready(&self, cycle: u64) -> bool {
+        self.operands.iter().all(|o| o.is_ready(cycle))
+    }
+}
+
+/// The operand-collection stage of one SM.
+#[derive(Clone, Debug)]
+pub struct OperandStage {
+    kind: CollectorKind,
+    /// Issued, not-yet-dispatched instructions, oldest first.
+    slots: Vec<Slot>,
+    /// Baseline/RFC: number of OCUs in the shared pool.
+    num_ocus: usize,
+    /// BOW modes: per-warp bypass windows.
+    windows: Vec<WarpWindow>,
+    /// RFC mode: per-warp caches.
+    rfcs: Vec<RfcCache>,
+    /// Cycles from bank grant to operand arrival in the collector.
+    rf_read_latency: u64,
+    /// Operands the bank→collector crossbar delivers per cycle.
+    xbar_width: u32,
+}
+
+impl OperandStage {
+    /// Creates the stage for `max_warps` resident warps with a
+    /// grant-to-arrival read latency of `rf_read_latency` cycles.
+    pub fn new(
+        kind: CollectorKind,
+        max_warps: usize,
+        num_ocus: usize,
+        rf_read_latency: u64,
+        xbar_width: u32,
+    ) -> OperandStage {
+        let windows = if kind.is_bow() {
+            // Flex mode has no nominal window: presence is bounded only by
+            // the buffer, so sliding never evicts.
+            let w = kind.window().map_or(u64::MAX, u64::from);
+            (0..max_warps)
+                .map(|_| WarpWindow::new(w, kind.boc_capacity()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let rfcs = if let CollectorKind::Rfc { entries } = kind {
+            (0..max_warps).map(|_| RfcCache::new(entries as usize)).collect()
+        } else {
+            Vec::new()
+        };
+        OperandStage { kind, slots: Vec::new(), num_ocus, windows, rfcs, rf_read_latency, xbar_width }
+    }
+
+    /// The collector model being simulated.
+    pub fn kind(&self) -> CollectorKind {
+        self.kind
+    }
+
+    /// Whether a new instruction of `warp` can enter the stage.
+    pub fn can_accept(&self, warp: usize) -> bool {
+        match self.kind {
+            CollectorKind::Baseline | CollectorKind::Rfc { .. } => {
+                self.slots.len() < self.num_ocus
+            }
+            CollectorKind::Bow { window, .. } | CollectorKind::BowWr { window, .. } => {
+                self.slots.iter().filter(|s| s.warp == warp).count() < window as usize
+            }
+            CollectorKind::BowFlex { capacity } => {
+                self.slots.iter().filter(|s| s.warp == warp).count()
+                    < (capacity as usize / 3).max(2)
+            }
+        }
+    }
+
+    /// Inserts an issued instruction, performing the forwarding check
+    /// (BOW) or RFC lookup. Control instructions never come here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        warp: usize,
+        pc: usize,
+        inst: &Instruction,
+        mask: u32,
+        seq: u64,
+        cycle: u64,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+    ) {
+        let unique = inst.unique_src_regs();
+        stats.src_count_hist[unique.len().min(3)] += 1;
+
+        let mut operands = Vec::with_capacity(unique.len());
+        match self.kind {
+            CollectorKind::Baseline => {
+                for reg in unique {
+                    operands.push(OperandReq { reg, state: OpState::NeedRf });
+                }
+            }
+            CollectorKind::Rfc { .. } => {
+                for reg in unique {
+                    let state = if self.rfcs[warp].lookup(reg) {
+                        stats.rfc_reads += 1;
+                        OpState::RfcHit
+                    } else {
+                        OpState::NeedRf
+                    };
+                    operands.push(OperandReq { reg, state });
+                }
+            }
+            CollectorKind::Bow { .. } | CollectorKind::BowWr { .. } | CollectorKind::BowFlex { .. } => {
+                let win = &mut self.windows[warp];
+                win.slide(seq, warp, rf, stats);
+                for reg in unique {
+                    let state = match win.touch_read(reg, seq) {
+                        window::ReadHit::Arrived(at) => {
+                            stats.bypassed_reads += 1;
+                            OpState::ReadyAt(at.max(cycle))
+                        }
+                        window::ReadHit::InFlight => {
+                            stats.bypassed_reads += 1;
+                            OpState::WaitShared
+                        }
+                        window::ReadHit::Miss => {
+                            win.add_fetch(reg, seq, warp, rf, stats);
+                            OpState::NeedRf
+                        }
+                    };
+                    operands.push(OperandReq { reg, state });
+                }
+            }
+        }
+        self.slots.push(Slot {
+            warp,
+            pc,
+            inst: inst.clone(),
+            mask,
+            seq,
+            insert_cycle: cycle,
+            operands,
+        });
+    }
+
+    /// Advances a warp's window past a control instruction (control ops
+    /// occupy a window position but carry no operands).
+    pub fn note_control(&mut self, warp: usize, seq: u64, rf: &mut RegFile, stats: &mut SimStats) {
+        if self.kind.is_bow() {
+            self.windows[warp].slide(seq, warp, rf, stats);
+        }
+    }
+
+    /// One cycle of operand gathering: claims bank ports for pending
+    /// fetches, honours OCU/BOC port limits and wakes shared waiters.
+    /// Call after [`RegFile::begin_cycle`].
+    pub fn collect(&mut self, cycle: u64, rf: &mut RegFile, stats: &mut SimStats) {
+        let _ = stats;
+        let arrival = cycle + self.rf_read_latency;
+        let mut xbar_budget = self.xbar_width;
+        match self.kind {
+            CollectorKind::Baseline | CollectorKind::Rfc { .. } => {
+                // One operand per OCU (slot) per cycle, bounded by the
+                // crossbar's total delivery bandwidth.
+                for i in 0..self.slots.len() {
+                    if xbar_budget == 0 {
+                        break;
+                    }
+                    let slot = &mut self.slots[i];
+                    let Some(op) = slot
+                        .operands
+                        .iter_mut()
+                        .find(|o| matches!(o.state, OpState::NeedRf | OpState::RfcHit))
+                    else {
+                        continue;
+                    };
+                    match op.state {
+                        // RFC hits skip the banks (no conflicts, little
+                        // energy) but the cache sits behind the same OCU
+                        // port and crossbar, so they pay the same
+                        // grant-to-arrival latency — §V-A's reason the RFC
+                        // barely improves IPC.
+                        OpState::RfcHit => {
+                            op.state = OpState::ReadyAt(arrival.max(cycle + 1));
+                            xbar_budget -= 1;
+                        }
+                        OpState::NeedRf => {
+                            if rf.try_read(slot.warp, op.reg) {
+                                op.state = OpState::ReadyAt(arrival);
+                                xbar_budget -= 1;
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            CollectorKind::Bow { .. } | CollectorKind::BowWr { .. } | CollectorKind::BowFlex { .. } => {
+                // Wake shared waiters whose fetch has arrived (forwarding
+                // logic: any number per cycle).
+                for i in 0..self.slots.len() {
+                    let warp = self.slots[i].warp;
+                    for op in &mut self.slots[i].operands {
+                        if op.state == OpState::WaitShared {
+                            if let Some(at) = self.windows[warp].arrival_of(op.reg) {
+                                op.state = OpState::ReadyAt(at);
+                            }
+                        }
+                    }
+                }
+                // One RF-fetched operand per warp (BOC port) per cycle,
+                // bounded by the crossbar's total delivery bandwidth.
+                let mut warp_granted = [false; 64];
+                for i in 0..self.slots.len() {
+                    if xbar_budget == 0 {
+                        break;
+                    }
+                    let warp = self.slots[i].warp;
+                    if warp_granted[warp] {
+                        continue;
+                    }
+                    let slot = &mut self.slots[i];
+                    let Some(op) =
+                        slot.operands.iter_mut().find(|o| o.state == OpState::NeedRf)
+                    else {
+                        continue;
+                    };
+                    if rf.try_read(warp, op.reg) {
+                        op.state = OpState::ReadyAt(arrival);
+                        warp_granted[warp] = true;
+                        xbar_budget -= 1;
+                        let reg = op.reg;
+                        self.windows[warp].mark_arrived(reg, arrival);
+                        // Wake this warp's sharers of the same register.
+                        for s in self.slots.iter_mut().filter(|s| s.warp == warp) {
+                            for o in &mut s.operands {
+                                if o.reg == reg && o.state == OpState::WaitShared {
+                                    o.state = OpState::ReadyAt(arrival);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices of slots whose operands are all ready at `cycle`, oldest
+    /// first.
+    pub fn ready_slots(&self, cycle: u64) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].is_ready(cycle))
+            .collect()
+    }
+
+    /// Removes and returns a dispatched slot.
+    pub fn remove(&mut self, index: usize) -> Slot {
+        self.slots.remove(index)
+    }
+
+    /// Read-only access to a slot.
+    pub fn slot(&self, index: usize) -> &Slot {
+        &self.slots[index]
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Routes a completed instruction's register result according to the
+    /// collector model (§IV-A/§IV-B write policies).
+    #[allow(clippy::too_many_arguments)]
+    pub fn writeback(
+        &mut self,
+        warp: usize,
+        reg: Reg,
+        seq: u64,
+        hint: WritebackHint,
+        current_seq: u64,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+    ) {
+        stats.writes_total += 1;
+        match self.kind {
+            CollectorKind::Baseline => {
+                rf.enqueue_write(warp, reg);
+                stats.rf_writes_routed += 1;
+            }
+            CollectorKind::Rfc { .. } => {
+                stats.rfc_writes += 1;
+                match self.rfcs[warp].insert_write(reg) {
+                    rfc::WriteOutcome::Overwrote => stats.bypassed_writes += 1,
+                    rfc::WriteOutcome::EvictedDirty(_victim) => {
+                        rf.enqueue_write(warp, reg); // victim value leaves the cache
+                        stats.rf_writes_routed += 1;
+                    }
+                    rfc::WriteOutcome::Inserted => {}
+                }
+            }
+            CollectorKind::Bow { .. } => {
+                // Write-through: BOC copy for forwarding + RF write always.
+                stats.boc_writes += 1;
+                self.windows[warp].upsert_clean(reg, seq, warp, rf, stats);
+                rf.enqueue_write(warp, reg);
+                stats.rf_writes_routed += 1;
+            }
+            CollectorKind::BowFlex { .. } => {
+                // Write-back without hints: every value lands dirty in the
+                // buffer; capacity eviction routes it to the RF.
+                stats.count_write_dest(WriteDest::BocThenRf);
+                stats.boc_writes += 1;
+                self.windows[warp].upsert_dirty(reg, seq, WritebackHint::Both, warp, rf, stats);
+                let _ = current_seq;
+            }
+            CollectorKind::BowWr { window, .. } => match hint {
+                WritebackHint::RfOnly => {
+                    stats.count_write_dest(WriteDest::RfOnly);
+                    rf.enqueue_write(warp, reg);
+                    stats.rf_writes_routed += 1;
+                }
+                WritebackHint::Both | WritebackHint::BocOnly => {
+                    if hint == WritebackHint::Both {
+                        stats.count_write_dest(WriteDest::BocThenRf);
+                    } else {
+                        stats.count_write_dest(WriteDest::BocOnly);
+                    }
+                    if current_seq.saturating_sub(seq) >= u64::from(window) {
+                        // The window slid past before the value arrived (no
+                        // pending in-window consumer, or a conservative
+                        // hint): route straight to the RF.
+                        rf.enqueue_write(warp, reg);
+                        stats.rf_writes_routed += 1;
+                    } else {
+                        stats.boc_writes += 1;
+                        self.windows[warp].upsert_dirty(reg, seq, hint, warp, rf, stats);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Flushes a finished warp's buffered state (dirty window/RFC entries
+    /// go to the register file per their policy).
+    pub fn flush_warp(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
+        if self.kind.is_bow() {
+            self.windows[warp].flush(warp, rf, stats);
+        }
+        if let CollectorKind::Rfc { .. } = self.kind {
+            for _victim in self.rfcs[warp].flush_dirty() {
+                rf.enqueue_write(warp, _victim);
+                stats.rf_writes_routed += 1;
+            }
+        }
+    }
+
+    /// Samples BOC occupancy for Fig. 9: one sample per warp that currently
+    /// has work in the stage.
+    pub fn sample_occupancy(&self, stats: &mut SimStats) {
+        if !self.kind.is_bow() {
+            return;
+        }
+        let cap = self.kind.boc_capacity();
+        let mut busy = [false; 64];
+        for s in &self.slots {
+            busy[s.warp] = true;
+        }
+        for (w, win) in self.windows.iter().enumerate() {
+            if busy[w] {
+                stats.sample_occupancy(win.live_entries(), cap.max(12));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::KernelBuilder;
+
+    fn iadd(d: u8, a: u8, b: u8) -> Instruction {
+        KernelBuilder::new("t")
+            .iadd(Reg::r(d), Reg::r(a).into(), Reg::r(b).into())
+            .exit()
+            .build()
+            .unwrap()
+            .insts[0]
+            .clone()
+    }
+
+    fn mov_imm(d: u8) -> Instruction {
+        KernelBuilder::new("t").mov_imm(Reg::r(d), 1).exit().build().unwrap().insts[0].clone()
+    }
+
+    #[test]
+    fn baseline_fetches_every_operand_from_rf() {
+        let mut stage = OperandStage::new(CollectorKind::Baseline, 32, 4, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        let i = iadd(2, 0, 1);
+        stage.insert(0, 0, &i, u32::MAX, 0, 0, &mut rf, &mut st);
+        assert!(stage.ready_slots(9).is_empty());
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st); // first operand
+        assert!(stage.ready_slots(9).is_empty(), "single-ported OCU");
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st); // second operand
+        assert_eq!(stage.ready_slots(9), vec![0]);
+        assert_eq!(rf.stats().reads, 2);
+        assert_eq!(st.bypassed_reads, 0);
+    }
+
+    #[test]
+    fn baseline_capacity_limits_acceptance() {
+        let mut stage = OperandStage::new(CollectorKind::Baseline, 32, 2, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(1, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        assert!(!stage.can_accept(2), "pool exhausted");
+    }
+
+    #[test]
+    fn bow_bypasses_second_read_of_same_register() {
+        let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        // Instruction 1 reads r0, r1; instruction 2 reads r1, r3.
+        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st);
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st);
+        assert_eq!(rf.stats().reads, 2);
+        stage.insert(0, 0, &iadd(4, 1, 3), u32::MAX, 1, 2, &mut rf, &mut st);
+        assert_eq!(st.bypassed_reads, 1, "r1 forwarded from the window");
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st); // fetch r3 only
+        assert_eq!(rf.stats().reads, 3);
+        assert_eq!(stage.ready_slots(9).len(), 2);
+    }
+
+    #[test]
+    fn bow_shares_inflight_fetch() {
+        let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        // Before any collect cycle, a second instruction also wants r0.
+        stage.insert(0, 0, &iadd(3, 0, 0), u32::MAX, 1, 0, &mut rf, &mut st);
+        assert_eq!(st.bypassed_reads, 1, "r0 fetch shared while in flight");
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st); // grants r0 (one per warp/cycle)
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st); // grants r1
+        assert_eq!(rf.stats().reads, 2);
+        assert_eq!(stage.ready_slots(9).len(), 2, "sharer woke up with the fetch");
+    }
+
+    #[test]
+    fn bow_wr_consolidates_overwrites_and_discards_transients() {
+        let mut stage = OperandStage::new(CollectorKind::bow_wr(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        // Two writes to r2 one instruction apart: the first is bypassed.
+        stage.writeback(0, Reg::r(2), 0, WritebackHint::Both, 0, &mut rf, &mut st);
+        stage.writeback(0, Reg::r(2), 1, WritebackHint::Both, 1, &mut rf, &mut st);
+        assert_eq!(st.bypassed_writes, 1);
+        assert_eq!(st.rf_writes_routed, 0, "write-back defers the RF write");
+        // Window slides far: the surviving dirty value goes to the RF.
+        stage.note_control(0, 10, &mut rf, &mut st);
+        assert_eq!(st.rf_writes_routed, 1);
+        // A transient (BocOnly) value never reaches the RF.
+        stage.writeback(0, Reg::r(5), 10, WritebackHint::BocOnly, 10, &mut rf, &mut st);
+        stage.note_control(0, 20, &mut rf, &mut st);
+        assert_eq!(st.rf_writes_routed, 1);
+        assert_eq!(st.bypassed_writes, 2);
+        assert_eq!(st.write_dest, [0, 2, 1]);
+    }
+
+    #[test]
+    fn bow_wr_rf_only_hint_skips_the_boc() {
+        let mut stage = OperandStage::new(CollectorKind::bow_wr(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.writeback(0, Reg::r(1), 0, WritebackHint::RfOnly, 0, &mut rf, &mut st);
+        assert_eq!(st.boc_writes, 0);
+        assert_eq!(st.rf_writes_routed, 1);
+        assert_eq!(st.write_dest, [1, 0, 0]);
+    }
+
+    #[test]
+    fn bow_write_through_always_writes_rf() {
+        let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
+        stage.writeback(0, Reg::r(1), 1, WritebackHint::Both, 1, &mut rf, &mut st);
+        assert_eq!(st.rf_writes_routed, 2, "write-through never consolidates");
+        assert_eq!(st.bypassed_writes, 0);
+        assert_eq!(st.boc_writes, 2);
+    }
+
+    #[test]
+    fn bow_window_limits_per_warp_slots() {
+        let mut stage = OperandStage::new(CollectorKind::bow(2), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.insert(0, 0, &mov_imm(0), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(0, 0, &mov_imm(1), u32::MAX, 1, 0, &mut rf, &mut st);
+        assert!(!stage.can_accept(0), "window-size instructions in flight");
+        assert!(stage.can_accept(1), "other warps unaffected");
+    }
+
+    #[test]
+    fn rfc_hits_avoid_banks_but_use_the_port() {
+        let mut stage = OperandStage::new(CollectorKind::rfc6(), 32, 8, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        // Fill the cache via a writeback of r1.
+        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
+        stage.insert(0, 0, &iadd(2, 1, 1), u32::MAX, 1, 0, &mut rf, &mut st);
+        assert_eq!(st.rfc_reads, 1);
+        rf.begin_cycle();
+        stage.collect(9, &mut rf, &mut st);
+        // RFC hits cross the OCU port: ready one cycle after collection.
+        assert!(stage.ready_slots(9).is_empty());
+        assert_eq!(stage.ready_slots(9 + 2), vec![0], "rfc hit pays read latency");
+        assert_eq!(rf.stats().reads, 0, "hit never touched a bank");
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_state() {
+        let mut stage = OperandStage::new(CollectorKind::bow_wr(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
+        stage.flush_warp(0, &mut rf, &mut st);
+        assert_eq!(st.rf_writes_routed, 1);
+    }
+
+
+    #[test]
+    fn bow_flex_bypasses_without_a_window_bound() {
+        let mut stage = OperandStage::new(CollectorKind::bow_flex(8), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        // Produce r1, then read it 20 "instructions" later: a windowed BOW
+        // would have evicted it, flex keeps it while capacity lasts.
+        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
+        stage.note_control(0, 20, &mut rf, &mut st);
+        stage.insert(0, 0, &iadd(2, 1, 1), u32::MAX, 21, 21, &mut rf, &mut st);
+        assert_eq!(st.bypassed_reads, 1, "no sliding eviction in flex mode");
+        assert_eq!(st.rf_writes_routed, 0, "value still buffered");
+    }
+
+    #[test]
+    fn bow_flex_capacity_eviction_writes_back() {
+        let mut stage = OperandStage::new(CollectorKind::bow_flex(2), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        for (i, r) in [1u8, 2, 3].iter().enumerate() {
+            stage.writeback(0, Reg::r(*r), i as u64, WritebackHint::Both, i as u64, &mut rf, &mut st);
+            stage.note_control(0, i as u64 + 1, &mut rf, &mut st);
+        }
+        assert_eq!(st.rf_writes_routed, 1, "oldest value spilled at capacity");
+        assert_eq!(st.forced_evictions, 1);
+    }
+
+    #[test]
+    fn occupancy_sampling_counts_busy_bocs_only() {
+        let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
+        let mut rf = RegFile::new(32);
+        let mut st = SimStats::default();
+        stage.sample_occupancy(&mut st);
+        assert_eq!(st.occupancy_samples, 0);
+        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.sample_occupancy(&mut st);
+        assert_eq!(st.occupancy_samples, 1);
+    }
+}

@@ -1,0 +1,530 @@
+//! Functional execution of instructions over warp state.
+//!
+//! The pipeline models *timing*; this module provides the *semantics*.
+//! Control instructions execute at issue ([`execute_control`]); data and
+//! memory instructions execute when the operand collector dispatches them
+//! ([`execute_data`]), reading architectural registers directly — the
+//! scoreboard guarantees those equal the values the collector gathered.
+
+use crate::warp::{StackEntry, StackKind, Warp};
+use bow_isa::{Instruction, Opcode, Operand, Special, WARP_SIZE};
+use bow_mem::{GlobalMemory, SharedMemory};
+
+/// Geometry context a warp needs to evaluate special registers.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInfo {
+    /// This block's coordinates in the grid.
+    pub ctaid: (u32, u32),
+    /// Threads per block.
+    pub ntid: (u32, u32),
+    /// Blocks per grid.
+    pub nctaid: (u32, u32),
+}
+
+/// Everything [`execute_data`] may touch besides the warp itself.
+pub struct ExecCtx<'a> {
+    /// Device global memory.
+    pub global: &'a mut GlobalMemory,
+    /// The warp's block's shared memory.
+    pub shared: &'a mut SharedMemory,
+    /// Kernel parameters (`ldc` source).
+    pub params: &'a [u32],
+    /// Block geometry (`s2r` source).
+    pub block: BlockInfo,
+}
+
+/// Memory space an access touched, for the timing model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Space {
+    /// Global memory — goes through the cache hierarchy.
+    Global,
+    /// Shared memory — fixed latency plus bank conflicts.
+    Shared,
+    /// Parameter/constant space — fixed small latency.
+    Param,
+}
+
+/// Description of a memory access for the timing model.
+#[derive(Clone, Debug)]
+pub struct MemAccess {
+    /// Load or store.
+    pub is_store: bool,
+    /// Which space.
+    pub space: Space,
+    /// Byte addresses of the active lanes.
+    pub addrs: Vec<u64>,
+}
+
+/// What a control instruction did, so the SM can update barrier state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlOutcome {
+    /// Plain control flow (branch, ssy, sync, nop) — warp continues.
+    Plain,
+    /// The warp reached a block-wide barrier.
+    Barrier,
+    /// Active lanes exited (the warp may or may not be done).
+    Exit,
+}
+
+fn as_f32(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+fn from_f32(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Evaluates a source operand for one lane.
+fn operand_value(warp: &Warp, lane: usize, op: Operand, block: &BlockInfo) -> u32 {
+    match op {
+        Operand::Reg(r) => warp.read_reg(lane, r),
+        Operand::Imm(v) => v,
+        Operand::Pred(p) => u32::from(warp.read_pred(lane, p)),
+        Operand::Special(s) => special_value(warp, lane, s, block),
+    }
+}
+
+fn special_value(warp: &Warp, lane: usize, s: Special, block: &BlockInfo) -> u32 {
+    let flat = warp.warp_in_block * WARP_SIZE as u32 + lane as u32;
+    match s {
+        Special::TidX => flat % block.ntid.0,
+        Special::TidY => flat / block.ntid.0,
+        Special::CtaidX => block.ctaid.0,
+        Special::CtaidY => block.ctaid.1,
+        Special::NtidX => block.ntid.0,
+        Special::NtidY => block.ntid.1,
+        Special::NctaidX => block.nctaid.0,
+        Special::NctaidY => block.nctaid.1,
+        Special::LaneId => lane as u32,
+        Special::WarpId => warp.warp_in_block,
+    }
+}
+
+/// Executes a data or memory instruction for the lanes in `mask`
+/// (captured at issue time), applying all register/predicate/memory
+/// effects. Returns the memory-access description for memory opcodes.
+///
+/// # Panics
+///
+/// Panics if called with a control opcode — those go through
+/// [`execute_control`] at issue.
+pub fn execute_data(
+    warp: &mut Warp,
+    inst: &Instruction,
+    mask: u32,
+    ctx: &mut ExecCtx<'_>,
+) -> Option<MemAccess> {
+    use Opcode::*;
+    assert!(!inst.op.is_control(), "control op {} in execute_data", inst.op);
+
+    if inst.op.is_memory() {
+        return Some(execute_memory(warp, inst, mask, ctx));
+    }
+
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let s = |i: usize| operand_value(warp, lane, inst.srcs[i], &ctx.block);
+        match inst.op {
+            IAdd => write(warp, lane, inst, s(0).wrapping_add(s(1))),
+            ISub => write(warp, lane, inst, s(0).wrapping_sub(s(1))),
+            IMul => write(warp, lane, inst, s(0).wrapping_mul(s(1))),
+            IMad => write(warp, lane, inst, s(0).wrapping_mul(s(1)).wrapping_add(s(2))),
+            IMin => write(warp, lane, inst, (s(0) as i32).min(s(1) as i32) as u32),
+            IMax => write(warp, lane, inst, (s(0) as i32).max(s(1) as i32) as u32),
+            IAbs => write(warp, lane, inst, (s(0) as i32).unsigned_abs()),
+            ISad => {
+                let d = (s(0) as i32).abs_diff(s(1) as i32);
+                write(warp, lane, inst, d.wrapping_add(s(2)));
+            }
+            And => write(warp, lane, inst, s(0) & s(1)),
+            Or => write(warp, lane, inst, s(0) | s(1)),
+            Xor => write(warp, lane, inst, s(0) ^ s(1)),
+            Not => write(warp, lane, inst, !s(0)),
+            Shl => write(warp, lane, inst, s(0).wrapping_shl(s(1))),
+            Shr => write(warp, lane, inst, s(0).wrapping_shr(s(1))),
+            Sar => write(warp, lane, inst, (s(0) as i32).wrapping_shr(s(1)) as u32),
+            FAdd => write(warp, lane, inst, from_f32(as_f32(s(0)) + as_f32(s(1)))),
+            FSub => write(warp, lane, inst, from_f32(as_f32(s(0)) - as_f32(s(1)))),
+            FMul => write(warp, lane, inst, from_f32(as_f32(s(0)) * as_f32(s(1)))),
+            FFma => write(
+                warp,
+                lane,
+                inst,
+                from_f32(as_f32(s(0)).mul_add(as_f32(s(1)), as_f32(s(2)))),
+            ),
+            FMin => write(warp, lane, inst, from_f32(as_f32(s(0)).min(as_f32(s(1))))),
+            FMax => write(warp, lane, inst, from_f32(as_f32(s(0)).max(as_f32(s(1))))),
+            FRcp => write(warp, lane, inst, from_f32(1.0 / as_f32(s(0)))),
+            FSqrt => write(warp, lane, inst, from_f32(as_f32(s(0)).sqrt())),
+            FLog2 => write(warp, lane, inst, from_f32(as_f32(s(0)).log2())),
+            FExp2 => write(warp, lane, inst, from_f32(as_f32(s(0)).exp2())),
+            I2F => write(warp, lane, inst, from_f32(s(0) as i32 as f32)),
+            F2I => write(warp, lane, inst, (as_f32(s(0)) as i32) as u32),
+            Mov | S2R => write(warp, lane, inst, s(0)),
+            Sel => {
+                let Operand::Pred(p) = inst.srcs[2] else {
+                    unreachable!("validated sel has predicate third source")
+                };
+                let v = if warp.read_pred(lane, p) { s(0) } else { s(1) };
+                write(warp, lane, inst, v);
+            }
+            ISetp(c) => {
+                let v = c.eval_i32(s(0) as i32, s(1) as i32);
+                write_pred(warp, lane, inst, v);
+            }
+            FSetp(c) => {
+                let v = c.eval_f32(as_f32(s(0)), as_f32(s(1)));
+                write_pred(warp, lane, inst, v);
+            }
+            Ldg | Stg | Lds | Sts | Ldc | Bra | Ssy | Sync | Bar | Exit | Nop => unreachable!(),
+        }
+    }
+    None
+}
+
+fn write(warp: &mut Warp, lane: usize, inst: &Instruction, v: u32) {
+    if let bow_isa::Dst::Reg(r) = inst.dst {
+        warp.write_reg(lane, r, v);
+    }
+}
+
+fn write_pred(warp: &mut Warp, lane: usize, inst: &Instruction, v: bool) {
+    if let bow_isa::Dst::Pred(p) = inst.dst {
+        warp.write_pred(lane, p, v);
+    }
+}
+
+fn execute_memory(
+    warp: &mut Warp,
+    inst: &Instruction,
+    mask: u32,
+    ctx: &mut ExecCtx<'_>,
+) -> MemAccess {
+    use Opcode::*;
+    let mem = inst.mem.expect("validated memory op has a MemRef");
+    let mut addrs = Vec::new();
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let addr = if inst.op == Ldc {
+            mem.offset as u64
+        } else {
+            (warp.read_reg(lane, mem.base) as u64).wrapping_add(mem.offset as i64 as u64)
+        };
+        addrs.push(addr);
+        match inst.op {
+            Ldg => {
+                let v = ctx.global.read_u32(addr);
+                write(warp, lane, inst, v);
+            }
+            Stg => {
+                let v = operand_value(warp, lane, inst.srcs[0], &ctx.block);
+                ctx.global.write_u32(addr, v);
+            }
+            Lds => {
+                let v = ctx.shared.read_u32(addr);
+                write(warp, lane, inst, v);
+            }
+            Sts => {
+                let v = operand_value(warp, lane, inst.srcs[0], &ctx.block);
+                ctx.shared.write_u32(addr, v);
+            }
+            Ldc => {
+                let idx = (addr / 4) as usize;
+                let v = ctx.params.get(idx).copied().unwrap_or(0);
+                write(warp, lane, inst, v);
+            }
+            _ => unreachable!(),
+        }
+    }
+    let (is_store, space) = match inst.op {
+        Ldg => (false, Space::Global),
+        Stg => (true, Space::Global),
+        Lds => (false, Space::Shared),
+        Sts => (true, Space::Shared),
+        Ldc => (false, Space::Param),
+        _ => unreachable!(),
+    };
+    MemAccess { is_store, space, addrs }
+}
+
+/// Executes a control instruction at issue time, updating the PC, SIMT
+/// stack and barrier/exit state.
+///
+/// # Panics
+///
+/// Panics if called with a non-control opcode.
+pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
+    use Opcode::*;
+    assert!(inst.op.is_control(), "data op {} in execute_control", inst.op);
+    match inst.op {
+        Nop => {
+            warp.pc += 1;
+            ControlOutcome::Plain
+        }
+        Bar => {
+            warp.pc += 1;
+            warp.at_barrier = true;
+            ControlOutcome::Barrier
+        }
+        Exit => {
+            warp.retire_active();
+            ControlOutcome::Exit
+        }
+        Ssy => {
+            let target = inst.target.expect("validated ssy has a target");
+            warp.stack.push(StackEntry { kind: StackKind::Sync, pc: target, mask: warp.active });
+            warp.pc += 1;
+            ControlOutcome::Plain
+        }
+        Sync => {
+            match warp.stack.pop() {
+                Some(e) if e.kind == StackKind::Div => {
+                    // Switch to the deferred not-taken path; the sync entry
+                    // beneath stays for the final reconvergence.
+                    warp.active = e.mask & !warp.exited;
+                    warp.pc = e.pc;
+                }
+                Some(e) => {
+                    // Reconverge: restore the pre-divergence mask, continue
+                    // past the sync point.
+                    warp.active = e.mask & !warp.exited;
+                    warp.pc += 1;
+                }
+                None => {
+                    // Sync without ssy: treat as nop (uniform code path).
+                    warp.pc += 1;
+                }
+            }
+            ControlOutcome::Plain
+        }
+        Bra => {
+            let target = inst.target.expect("validated bra has a target");
+            let taken = warp.guard_mask(inst.guard);
+            let not_taken = warp.active & !taken;
+            if not_taken == 0 {
+                warp.pc = target;
+            } else if taken == 0 {
+                warp.pc += 1;
+            } else {
+                // Divergence: run the taken side first, queue the rest.
+                warp.stack.push(StackEntry { kind: StackKind::Div, pc: warp.pc + 1, mask: not_taken });
+                warp.active = taken;
+                warp.pc = target;
+            }
+            ControlOutcome::Plain
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{Dst, KernelBuilder, MemRef, Pred, Reg};
+
+    fn ctx<'a>(
+        global: &'a mut GlobalMemory,
+        shared: &'a mut SharedMemory,
+        params: &'a [u32],
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            global,
+            shared,
+            params,
+            block: BlockInfo { ctaid: (2, 0), ntid: (64, 1), nctaid: (4, 1) },
+        }
+    }
+
+    fn run_one(warp: &mut Warp, inst: &Instruction) {
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(64);
+        let mask = warp.active;
+        execute_data(warp, inst, mask, &mut ctx(&mut g, &mut s, &[]));
+    }
+
+    #[test]
+    fn integer_alu_semantics() {
+        let mut w = Warp::new(0, 0, 0, 32, 8);
+        w.write_reg(0, Reg::r(1), 10);
+        w.write_reg(0, Reg::r(2), 3);
+        let k = KernelBuilder::new("t")
+            .imad(Reg::r(3), Reg::r(1).into(), Reg::r(2).into(), Operand::Imm(5))
+            .isad(Reg::r(4), Reg::r(1).into(), Reg::r(2).into(), Operand::Imm(1))
+            .sar(Reg::r(5), Operand::simm(-8), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        run_one(&mut w, &k.insts[0]);
+        run_one(&mut w, &k.insts[1]);
+        run_one(&mut w, &k.insts[2]);
+        assert_eq!(w.read_reg(0, Reg::r(3)), 35);
+        assert_eq!(w.read_reg(0, Reg::r(4)), 8); // |10-3| + 1
+        assert_eq!(w.read_reg(0, Reg::r(5)) as i32, -4);
+    }
+
+    #[test]
+    fn float_semantics_via_bits() {
+        let mut w = Warp::new(0, 0, 0, 32, 8);
+        w.write_reg(0, Reg::r(1), 2.5f32.to_bits());
+        let k = KernelBuilder::new("t")
+            .ffma(Reg::r(2), Reg::r(1).into(), Operand::fimm(2.0), Operand::fimm(1.0))
+            .fsqrt(Reg::r(3), Operand::fimm(9.0))
+            .exit()
+            .build()
+            .unwrap();
+        run_one(&mut w, &k.insts[0]);
+        run_one(&mut w, &k.insts[1]);
+        assert_eq!(f32::from_bits(w.read_reg(0, Reg::r(2))), 6.0);
+        assert_eq!(f32::from_bits(w.read_reg(0, Reg::r(3))), 3.0);
+    }
+
+    #[test]
+    fn setp_and_sel() {
+        let mut w = Warp::new(0, 0, 0, 32, 8);
+        w.write_reg(0, Reg::r(1), 5);
+        let k = KernelBuilder::new("t")
+            .isetp(bow_isa::CmpOp::Gt, Pred::p(0), Reg::r(1).into(), Operand::Imm(3))
+            .sel(Reg::r(2), Operand::Imm(111), Operand::Imm(222), Pred::p(0))
+            .exit()
+            .build()
+            .unwrap();
+        run_one(&mut w, &k.insts[0]);
+        run_one(&mut w, &k.insts[1]);
+        assert!(w.read_pred(0, Pred::p(0)));
+        assert_eq!(w.read_reg(0, Reg::r(2)), 111);
+        // Lane 1 has r1 == 0, so the predicate is false there.
+        assert!(!w.read_pred(1, Pred::p(0)));
+        assert_eq!(w.read_reg(1, Reg::r(2)), 222);
+    }
+
+    #[test]
+    fn special_registers_follow_geometry() {
+        let mut w = Warp::new(0, 0, 1, 32, 4); // second warp of the block
+        let k = KernelBuilder::new("t")
+            .s2r(Reg::r(0), Special::TidX)
+            .s2r(Reg::r(1), Special::CtaidX)
+            .s2r(Reg::r(2), Special::TidY)
+            .exit()
+            .build()
+            .unwrap();
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(0);
+        let mut c = ctx(&mut g, &mut s, &[]);
+        let mask = w.active;
+        execute_data(&mut w, &k.insts[0], mask, &mut c);
+        execute_data(&mut w, &k.insts[1], mask, &mut c);
+        execute_data(&mut w, &k.insts[2], mask, &mut c);
+        // warp 1 lane 0 = flat thread 32; ntid.x = 64 so tid.x = 32, tid.y = 0.
+        assert_eq!(w.read_reg(0, Reg::r(0)), 32);
+        assert_eq!(w.read_reg(0, Reg::r(1)), 2);
+        assert_eq!(w.read_reg(0, Reg::r(2)), 0);
+    }
+
+    #[test]
+    fn global_load_store_roundtrip() {
+        let mut w = Warp::new(0, 0, 0, 32, 8);
+        for lane in 0..32 {
+            w.write_reg(lane, Reg::r(1), 0x100 + 4 * lane as u32);
+            w.write_reg(lane, Reg::r(2), lane as u32 * 7);
+        }
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(0);
+        let mut store = Instruction::new(Opcode::Stg, Dst::None, vec![Reg::r(2).into()]);
+        store.mem = Some(MemRef { base: Reg::r(1), offset: 0 });
+        let mut load = Instruction::new(Opcode::Ldg, Dst::Reg(Reg::r(3)), vec![]);
+        load.mem = Some(MemRef { base: Reg::r(1), offset: 0 });
+
+        let mask = w.active;
+        let acc = execute_data(&mut w, &store, mask, &mut ctx(&mut g, &mut s, &[])).unwrap();
+        assert!(acc.is_store);
+        assert_eq!(acc.addrs.len(), 32);
+        execute_data(&mut w, &load, mask, &mut ctx(&mut g, &mut s, &[]));
+        for lane in 0..32 {
+            assert_eq!(w.read_reg(lane, Reg::r(3)), lane as u32 * 7);
+        }
+    }
+
+    #[test]
+    fn masked_lanes_do_nothing() {
+        let mut w = Warp::new(0, 0, 0, 32, 8);
+        let k = KernelBuilder::new("t").mov_imm(Reg::r(0), 9).exit().build().unwrap();
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(0);
+        execute_data(&mut w, &k.insts[0], 0b1, &mut ctx(&mut g, &mut s, &[]));
+        assert_eq!(w.read_reg(0, Reg::r(0)), 9);
+        assert_eq!(w.read_reg(1, Reg::r(0)), 0);
+    }
+
+    #[test]
+    fn ldc_reads_params() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        let k = KernelBuilder::new("t").ldc(Reg::r(0), 4).exit().build().unwrap();
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(0);
+        let params = [11, 22, 33];
+        execute_data(&mut w, &k.insts[0], 1, &mut ctx(&mut g, &mut s, &params));
+        assert_eq!(w.read_reg(0, Reg::r(0)), 22);
+    }
+
+    #[test]
+    fn uniform_branch_jumps_without_divergence() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        let mut bra = Instruction::new(Opcode::Bra, Dst::None, vec![]);
+        bra.target = Some(7);
+        execute_control(&mut w, &bra);
+        assert_eq!(w.pc, 7);
+        assert!(w.stack.is_empty());
+    }
+
+    #[test]
+    fn divergent_branch_pushes_and_reconverges() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        // Lanes 0..16 have p0 = true.
+        for lane in 0..16 {
+            w.write_pred(lane, Pred::p(0), true);
+        }
+        // ssy to the sync at pc 5.
+        let mut ssy = Instruction::new(Opcode::Ssy, Dst::None, vec![]);
+        ssy.target = Some(5);
+        execute_control(&mut w, &ssy);
+        assert_eq!(w.pc, 1);
+
+        let mut bra = Instruction::new(Opcode::Bra, Dst::None, vec![]);
+        bra.target = Some(3);
+        bra.guard = Some(bow_isa::PredGuard { pred: Pred::p(0), negated: false });
+        execute_control(&mut w, &bra);
+        // Taken side first.
+        assert_eq!(w.pc, 3);
+        assert_eq!(w.active, 0x0000_ffff);
+        assert_eq!(w.stack.len(), 2);
+
+        // Taken side reaches the sync at 5: switch to the deferred path.
+        w.pc = 5;
+        let sync = Instruction::new(Opcode::Sync, Dst::None, vec![]);
+        execute_control(&mut w, &sync);
+        assert_eq!(w.pc, 2); // fallthrough of the branch
+        assert_eq!(w.active, 0xffff_0000);
+
+        // Other side reaches the sync too: reconverge past it.
+        w.pc = 5;
+        execute_control(&mut w, &sync);
+        assert_eq!(w.pc, 6);
+        assert_eq!(w.active, u32::MAX);
+        assert!(w.stack.is_empty());
+    }
+
+    #[test]
+    fn exit_and_barrier_outcomes() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        let bar = Instruction::new(Opcode::Bar, Dst::None, vec![]);
+        assert_eq!(execute_control(&mut w, &bar), ControlOutcome::Barrier);
+        assert!(w.at_barrier);
+        let exit = Instruction::new(Opcode::Exit, Dst::None, vec![]);
+        assert_eq!(execute_control(&mut w, &exit), ControlOutcome::Exit);
+        assert!(w.done);
+    }
+}

@@ -1,0 +1,296 @@
+//! The device level: block dispatch across SMs and kernel launches.
+
+use crate::config::GpuConfig;
+use crate::pipetrace::PipeTrace;
+use crate::sm::Sm;
+use crate::stats::SimStats;
+use crate::trace::{BypassAnalyzer, WindowReport};
+use bow_isa::{Kernel, KernelDims};
+use bow_mem::GlobalMemory;
+
+/// The outcome of one kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchResult {
+    /// Device cycles from launch to the last SM going idle.
+    pub cycles: u64,
+    /// Aggregated statistics across all SMs.
+    pub stats: SimStats,
+    /// Fig. 3 window reports (empty unless the config enables the analyzer).
+    pub windows: Vec<WindowReport>,
+    /// False if the `max_cycles` watchdog fired before completion.
+    pub completed: bool,
+}
+
+impl LaunchResult {
+    /// Device-level instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stats.warp_instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A whole simulated GPU: SMs plus device (global) memory.
+///
+/// Host code allocates buffers directly in [`Gpu::global_mut`], launches
+/// kernels with [`Gpu::launch`] and reads results back from
+/// [`Gpu::global`] — the usual device-memory programming model.
+pub struct Gpu {
+    config: GpuConfig,
+    global: GlobalMemory,
+    sms: Vec<Sm>,
+}
+
+impl Gpu {
+    /// Creates a GPU per `config`.
+    pub fn new(config: GpuConfig) -> Gpu {
+        let sms = (0..config.num_sms as usize).map(|i| Sm::new(i, &config)).collect();
+        Gpu { config, global: GlobalMemory::new(), sms }
+    }
+
+    /// The configuration this GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Device memory (read side).
+    pub fn global(&self) -> &GlobalMemory {
+        &self.global
+    }
+
+    /// Device memory (host setup side).
+    pub fn global_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.global
+    }
+
+    /// Drains the pipeline traces of all SMs into one device-wide trace
+    /// (empty unless the config set `trace_pipeline`). Call after
+    /// [`launch`](Self::launch).
+    pub fn take_trace(&mut self) -> PipeTrace {
+        let mut all = PipeTrace::new();
+        for sm in &mut self.sms {
+            if let Some(t) = sm.take_trace() {
+                all.merge(t);
+            }
+        }
+        all
+    }
+
+    /// Launches `kernel` over `dims` with the given parameter words and
+    /// runs the device to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails validation or a block needs more warps
+    /// than an SM can ever host.
+    pub fn launch(&mut self, kernel: &Kernel, dims: KernelDims, params: &[u32]) -> LaunchResult {
+        kernel.validate().expect("kernel must validate before launch");
+        let warps_per_block = dims.warps_per_block();
+        assert!(
+            warps_per_block <= self.config.max_warps_per_sm,
+            "block needs {warps_per_block} warps, SM hosts {}",
+            self.config.max_warps_per_sm
+        );
+
+        let mut analyzer = BypassAnalyzer::new(&self.config.analyze_windows);
+        for sm in &mut self.sms {
+            sm.reset_for_launch(params);
+        }
+
+        // Block queue in row-major launch order.
+        let total = u64::from(dims.total_blocks());
+        let mut next_block = 0u64;
+        let mut cycles = 0u64;
+        let watchdog = if self.config.max_cycles == 0 {
+            u64::MAX
+        } else {
+            self.config.max_cycles
+        };
+        let mut completed = true;
+
+        loop {
+            // Dispatch as many queued blocks as fit this cycle.
+            while next_block < total {
+                let Some(sm) = self
+                    .sms
+                    .iter_mut()
+                    .find(|sm| sm.can_host_block(kernel, warps_per_block))
+                else {
+                    break;
+                };
+                let bx = (next_block % u64::from(dims.grid.0)) as u32;
+                let by = (next_block / u64::from(dims.grid.0)) as u32;
+                sm.assign_block(kernel, (bx, by), dims, next_block);
+                next_block += 1;
+            }
+
+            if next_block >= total && self.sms.iter().all(|sm| !sm.busy()) {
+                break;
+            }
+            if cycles >= watchdog {
+                completed = false;
+                break;
+            }
+            cycles += 1;
+            for sm in &mut self.sms {
+                if sm.busy() {
+                    sm.tick(kernel, &mut self.global, &mut analyzer);
+                }
+            }
+        }
+
+        let mut stats = SimStats::default();
+        for sm in &self.sms {
+            stats.merge(&sm.stats());
+        }
+        stats.cycles = cycles;
+        LaunchResult {
+            cycles,
+            stats,
+            windows: analyzer.reports().to_vec(),
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::CollectorKind;
+    use bow_isa::{KernelBuilder, Operand, Reg, Special};
+
+    fn saxpy_kernel() -> Kernel {
+        let r = Reg::r;
+        KernelBuilder::new("saxpy")
+            .s2r(r(0), Special::TidX)
+            .s2r(r(1), Special::CtaidX)
+            .s2r(r(2), Special::NtidX)
+            .imad(r(0), r(1).into(), r(2).into(), r(0).into())
+            .shl(r(3), r(0).into(), Operand::Imm(2))
+            .ldc(r(4), 0)
+            .iadd(r(4), r(4).into(), r(3).into())
+            .ldg(r(5), r(4), 0)
+            .ldc(r(6), 4)
+            .iadd(r(6), r(6).into(), r(3).into())
+            .ldg(r(7), r(6), 0)
+            .ldc(r(8), 8)
+            .ffma(r(5), r(5).into(), r(8).into(), r(7).into())
+            .stg(r(6), 0, r(5).into())
+            .exit()
+            .build()
+            .unwrap()
+    }
+
+    fn run_saxpy(kind: CollectorKind, n: u32) -> (Vec<f32>, LaunchResult) {
+        let mut gpu = Gpu::new(GpuConfig::scaled(kind));
+        let (xa, ya) = (0x1_0000u64, 0x2_0000u64);
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..n).map(|i| (2 * i) as f32).collect();
+        gpu.global_mut().write_slice_f32(xa, &x);
+        gpu.global_mut().write_slice_f32(ya, &y);
+        let dims = KernelDims::linear(n / 64, 64);
+        let res = gpu.launch(
+            &saxpy_kernel(),
+            dims,
+            &[xa as u32, ya as u32, 3.0f32.to_bits()],
+        );
+        (gpu.global().read_vec_f32(ya, n as usize), res)
+    }
+
+    #[test]
+    fn saxpy_matches_reference_on_all_collectors() {
+        let n = 256;
+        let expect: Vec<f32> = (0..n).map(|i| 3.0 * i as f32 + (2 * i) as f32).collect();
+        for kind in [
+            CollectorKind::Baseline,
+            CollectorKind::bow(2),
+            CollectorKind::bow(3),
+            CollectorKind::bow_wr(3),
+            CollectorKind::BowWr { window: 3, half_size: true },
+            CollectorKind::rfc6(),
+        ] {
+            let (got, res) = run_saxpy(kind, n as u32);
+            assert!(res.completed);
+            assert_eq!(got, expect, "wrong result under {kind:?}");
+        }
+    }
+
+    #[test]
+    fn bow_improves_ipc_over_baseline() {
+        let (_, base) = run_saxpy(CollectorKind::Baseline, 2048);
+        let (_, bow) = run_saxpy(CollectorKind::bow(3), 2048);
+        assert!(
+            bow.ipc() > base.ipc(),
+            "BOW {} should beat baseline {}",
+            bow.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn bow_wr_cuts_rf_traffic() {
+        let (_, base) = run_saxpy(CollectorKind::Baseline, 1024);
+        let (_, wr) = run_saxpy(CollectorKind::bow_wr(3), 1024);
+        let base_total = base.stats.rf.reads + base.stats.rf.writes;
+        let wr_total = wr.stats.rf.reads + wr.stats.rf.writes;
+        assert!(
+            (wr_total as f64) < 0.8 * base_total as f64,
+            "RF traffic {wr_total} vs baseline {base_total}"
+        );
+    }
+
+    #[test]
+    fn analyzer_reports_window_sweep() {
+        let mut gpu = Gpu::new(
+            GpuConfig::scaled(CollectorKind::Baseline).with_analyzer(&[2, 3, 7]),
+        );
+        let out = 0x3_0000u64;
+        gpu.global_mut().write_slice_f32(0x1_0000, &[0.0; 64]);
+        gpu.global_mut().write_slice_f32(0x2_0000, &[0.0; 64]);
+        let res = gpu.launch(
+            &saxpy_kernel(),
+            KernelDims::linear(1, 64),
+            &[0x1_0000, 0x2_0000, 0],
+        );
+        let _ = out;
+        assert_eq!(res.windows.len(), 3);
+        assert!(res.windows[0].total_reads > 0);
+        assert!(res.windows[2].read_rate() >= res.windows[0].read_rate());
+    }
+
+    #[test]
+    fn multi_sm_distributes_blocks() {
+        let mut cfg = GpuConfig::scaled(CollectorKind::Baseline);
+        cfg.num_sms = 4;
+        let mut gpu = Gpu::new(cfg);
+        gpu.global_mut().write_slice_f32(0x1_0000, &vec![1.0; 1024]);
+        gpu.global_mut().write_slice_f32(0x2_0000, &vec![1.0; 1024]);
+        let res = gpu.launch(
+            &saxpy_kernel(),
+            KernelDims::linear(16, 64),
+            &[0x1_0000, 0x2_0000, 1.0f32.to_bits()],
+        );
+        assert!(res.completed);
+        // 16 blocks x 2 warps x 15 instructions.
+        assert_eq!(res.stats.warp_instructions, 16 * 2 * 15);
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loops() {
+        let r = Reg::r;
+        let spin = KernelBuilder::new("spin")
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .bra("top")
+            .exit()
+            .build()
+            .unwrap();
+        let mut cfg = GpuConfig::scaled(CollectorKind::Baseline);
+        cfg.max_cycles = 5_000;
+        let mut gpu = Gpu::new(cfg);
+        let res = gpu.launch(&spin, KernelDims::linear(1, 32), &[]);
+        assert!(!res.completed);
+    }
+}

@@ -1,0 +1,163 @@
+//! The banked register file: bank mapping, write queues and per-cycle port
+//! accounting.
+//!
+//! Each of the (typically 32) banks has a single port serving one access per
+//! cycle, writes taking priority over reads — the structural hazard at the
+//! core of the paper's performance argument. Warp registers are swizzled
+//! across banks with the standard `(warp + reg) % banks` mapping so
+//! different warps' hot registers spread out.
+
+use bow_isa::Reg;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A queued register-file write (one warp-register, 128 B).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PendingWrite {
+    /// Warp slot that produced the value.
+    pub warp: usize,
+    /// Destination register.
+    pub reg: Reg,
+}
+
+/// Register-file access counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RegFileStats {
+    /// Warp-register reads served by the banks.
+    pub reads: u64,
+    /// Warp-register writes performed on the banks.
+    pub writes: u64,
+    /// Read grants that had to wait at least one cycle for a port.
+    pub read_conflicts: u64,
+    /// Cycles any write sat queued behind a busy port.
+    pub write_queue_cycles: u64,
+}
+
+/// The banked register file (timing side).
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    banks: usize,
+    write_queues: Vec<VecDeque<PendingWrite>>,
+    /// Banks whose port is consumed this cycle.
+    busy: Vec<bool>,
+    stats: RegFileStats,
+}
+
+impl RegFile {
+    /// Creates a register file with `banks` single-ported banks.
+    pub fn new(banks: usize) -> RegFile {
+        assert!(banks > 0, "at least one bank required");
+        RegFile {
+            banks,
+            write_queues: vec![VecDeque::new(); banks],
+            busy: vec![false; banks],
+            stats: RegFileStats::default(),
+        }
+    }
+
+    /// The bank a warp's register lives in.
+    pub fn bank_of(&self, warp: usize, reg: Reg) -> usize {
+        (warp + usize::from(reg.index())) % self.banks
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RegFileStats {
+        self.stats
+    }
+
+    /// Queues a write-back to the banks.
+    pub fn enqueue_write(&mut self, warp: usize, reg: Reg) {
+        let b = self.bank_of(warp, reg);
+        self.write_queues[b].push_back(PendingWrite { warp, reg });
+    }
+
+    /// Starts a new cycle: drains one queued write per bank (consuming that
+    /// bank's port) and resets port availability for reads.
+    pub fn begin_cycle(&mut self) {
+        for b in 0..self.banks {
+            let q = &mut self.write_queues[b];
+            if let Some(_w) = q.pop_front() {
+                self.busy[b] = true;
+                self.stats.writes += 1;
+            } else {
+                self.busy[b] = false;
+            }
+            self.stats.write_queue_cycles += q.len() as u64;
+        }
+    }
+
+    /// Tries to claim `warp`/`reg`'s bank port for a read this cycle.
+    /// Returns true (and counts the read) on success.
+    pub fn try_read(&mut self, warp: usize, reg: Reg) -> bool {
+        let b = self.bank_of(warp, reg);
+        if self.busy[b] {
+            self.stats.read_conflicts += 1;
+            false
+        } else {
+            self.busy[b] = true;
+            self.stats.reads += 1;
+            true
+        }
+    }
+
+    /// Outstanding queued writes across all banks.
+    pub fn queued_writes(&self) -> usize {
+        self.write_queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_mapping_swizzles_by_warp() {
+        let rf = RegFile::new(32);
+        assert_eq!(rf.bank_of(0, Reg::r(0)), 0);
+        assert_eq!(rf.bank_of(1, Reg::r(0)), 1);
+        assert_eq!(rf.bank_of(0, Reg::r(33)), 1);
+    }
+
+    #[test]
+    fn one_read_per_bank_per_cycle() {
+        let mut rf = RegFile::new(4);
+        rf.begin_cycle();
+        assert!(rf.try_read(0, Reg::r(0)));
+        assert!(!rf.try_read(4, Reg::r(0)), "same bank, port taken");
+        assert!(rf.try_read(0, Reg::r(1)), "different bank is fine");
+        assert_eq!(rf.stats().reads, 2);
+        assert_eq!(rf.stats().read_conflicts, 1);
+    }
+
+    #[test]
+    fn writes_beat_reads() {
+        let mut rf = RegFile::new(4);
+        rf.enqueue_write(0, Reg::r(0));
+        rf.begin_cycle();
+        assert!(!rf.try_read(0, Reg::r(0)), "write drained first");
+        assert_eq!(rf.stats().writes, 1);
+        rf.begin_cycle();
+        assert!(rf.try_read(0, Reg::r(0)), "port free next cycle");
+    }
+
+    #[test]
+    fn write_queue_drains_one_per_cycle() {
+        let mut rf = RegFile::new(2);
+        for _ in 0..3 {
+            rf.enqueue_write(0, Reg::r(0)); // all to bank 0
+        }
+        assert_eq!(rf.queued_writes(), 3);
+        rf.begin_cycle();
+        assert_eq!(rf.queued_writes(), 2);
+        rf.begin_cycle();
+        rf.begin_cycle();
+        assert_eq!(rf.queued_writes(), 0);
+        assert_eq!(rf.stats().writes, 3);
+        assert!(rf.stats().write_queue_cycles > 0);
+    }
+}

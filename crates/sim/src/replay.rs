@@ -1,0 +1,204 @@
+//! Trace capture and offline replay.
+//!
+//! Architecture studies often separate *trace collection* (run the slow
+//! functional/timing simulator once) from *characterization* (re-analyze
+//! the trace under many parameters instantly). This module provides that
+//! split for the bypass study: [`TraceRecorder`] captures each warp's
+//! dynamic operand stream during a launch into a serializable
+//! [`KernelTrace`]; [`replay`] then runs the Fig. 3 sliding-window
+//! analysis over the stored trace for any set of window sizes without
+//! touching the simulator again.
+//!
+//! The invariant tying the two worlds together — replaying a captured
+//! trace must produce exactly the same [`WindowReport`]s as the online
+//! analyzer — is asserted by an integration test.
+
+use crate::trace::{BypassAnalyzer, WindowReport};
+use bow_isa::{Instruction, Kernel};
+use serde::{Deserialize, Serialize};
+
+/// One dynamic instruction in a warp's stream: just the operand identity
+/// the window analysis needs (registers, not values).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Program counter (for mapping back to the kernel text).
+    pub pc: u32,
+    /// Unique source registers read.
+    pub srcs: Vec<u8>,
+    /// Destination register written, if any.
+    pub dst: Option<u8>,
+}
+
+/// The dynamic operand streams of every warp of one launch.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct KernelTrace {
+    /// Kernel name the trace came from.
+    pub kernel: String,
+    /// Per-warp streams, keyed by a stable warp uid.
+    pub warps: Vec<(u64, Vec<TraceStep>)>,
+}
+
+impl KernelTrace {
+    /// Total dynamic instructions across all warps.
+    pub fn len(&self) -> usize {
+        self.warps.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde errors (effectively infallible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(s: &str) -> Result<KernelTrace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Captures a [`KernelTrace`] by functionally interpreting a kernel per
+/// warp — no timing model involved, so capture is fast and exact. This
+/// reuses the simulator's own issue stream: build it by running a launch
+/// with the online analyzer's hook, or use [`record_straightline`] for
+/// branch-free kernels in tests.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    trace: KernelTrace,
+    open: std::collections::HashMap<u64, Vec<TraceStep>>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for `kernel`.
+    pub fn new(kernel_name: &str) -> TraceRecorder {
+        TraceRecorder {
+            trace: KernelTrace { kernel: kernel_name.to_string(), warps: Vec::new() },
+            open: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Records one issued instruction for `warp_uid`.
+    pub fn record(&mut self, warp_uid: u64, pc: usize, inst: &Instruction) {
+        let step = TraceStep {
+            pc: pc as u32,
+            srcs: inst.unique_src_regs().iter().map(|r| r.index()).collect(),
+            dst: inst.dst_reg().map(|r| r.index()),
+        };
+        self.open.entry(warp_uid).or_default().push(step);
+    }
+
+    /// Finishes a warp's stream.
+    pub fn flush_warp(&mut self, warp_uid: u64) {
+        if let Some(steps) = self.open.remove(&warp_uid) {
+            self.trace.warps.push((warp_uid, steps));
+        }
+    }
+
+    /// Finishes all warps and returns the trace.
+    pub fn finish(mut self) -> KernelTrace {
+        let mut open: Vec<_> = std::mem::take(&mut self.open).into_iter().collect();
+        open.sort_by_key(|(uid, _)| *uid);
+        self.trace.warps.extend(open);
+        self.trace.warps.sort_by_key(|(uid, _)| *uid);
+        self.trace
+    }
+}
+
+/// Captures the trace of a *straight-line* kernel (no branches): every
+/// warp executes every instruction once in order.
+pub fn record_straightline(kernel: &Kernel, warps: u64) -> KernelTrace {
+    let mut rec = TraceRecorder::new(&kernel.name);
+    for uid in 0..warps {
+        for (pc, inst) in kernel.iter() {
+            if !inst.op.is_control() || inst.dst_reg().is_some() {
+                rec.record(uid, pc, inst);
+            }
+        }
+        rec.flush_warp(uid);
+    }
+    rec.finish()
+}
+
+/// Replays a trace through the sliding-window analysis for each window
+/// size, producing the same reports the online analyzer would.
+pub fn replay(trace: &KernelTrace, windows: &[u32]) -> Vec<WindowReport> {
+    let mut analyzer = BypassAnalyzer::new(windows);
+    for (uid, steps) in &trace.warps {
+        for step in steps {
+            analyzer.record_raw(*uid, &step.srcs, step.dst);
+        }
+        analyzer.flush_warp(*uid);
+    }
+    analyzer.reports().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{KernelBuilder, Operand, Reg};
+
+    fn sample() -> Kernel {
+        let r = Reg::r;
+        KernelBuilder::new("t")
+            .mov_imm(r(0), 1)
+            .iadd(r(1), r(0).into(), Operand::Imm(2))
+            .imul(r(2), r(1).into(), r(0).into())
+            .exit()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn straightline_capture_counts_operands() {
+        let t = record_straightline(&sample(), 2);
+        assert_eq!(t.warps.len(), 2);
+        assert_eq!(t.len(), 6, "3 data instructions x 2 warps");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = record_straightline(&sample(), 1);
+        let json = t.to_json().unwrap();
+        let back = KernelTrace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn replay_matches_online_analysis() {
+        let k = sample();
+        let windows = [2u32, 3, 5];
+        // Online: feed the analyzer directly.
+        let mut online = BypassAnalyzer::new(&windows);
+        for uid in 0..3u64 {
+            for (_, inst) in k.iter() {
+                if !inst.op.is_control() {
+                    online.record(uid, inst);
+                }
+            }
+            online.flush_warp(uid);
+        }
+        // Offline: capture then replay.
+        let trace = record_straightline(&k, 3);
+        let offline = replay(&trace, &windows);
+        assert_eq!(offline, online.reports().to_vec());
+    }
+
+    #[test]
+    fn replay_is_cheap_to_resweep() {
+        let trace = record_straightline(&sample(), 4);
+        let narrow = replay(&trace, &[2]);
+        let wide = replay(&trace, &[7]);
+        assert!(wide[0].read_rate() >= narrow[0].read_rate());
+    }
+}

@@ -1,0 +1,107 @@
+//! Warp schedulers: greedy-then-oldest (GTO) and loose round-robin (LRR).
+
+use crate::config::SchedPolicy;
+
+/// One of the SM's warp schedulers (Table II: four per SM, each owning the
+/// warps with `warp_id % 4 == scheduler_id`).
+#[derive(Clone, Debug)]
+pub struct WarpScheduler {
+    policy: SchedPolicy,
+    /// GTO: the warp currently held greedily.
+    greedy: Option<usize>,
+    /// LRR: last position served, for rotation.
+    rr_last: usize,
+}
+
+impl WarpScheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: SchedPolicy) -> WarpScheduler {
+        WarpScheduler { policy, greedy: None, rr_last: 0 }
+    }
+
+    /// Picks the next warp to issue from `ready` (warp ids, any order).
+    /// `age` gives each warp's assignment age — smaller is older.
+    ///
+    /// Returns `None` when no warp is ready.
+    pub fn pick(&mut self, ready: &[usize], age: impl Fn(usize) -> u64) -> Option<usize> {
+        if ready.is_empty() {
+            if self.policy == SchedPolicy::Gto {
+                self.greedy = None;
+            }
+            return None;
+        }
+        let choice = match self.policy {
+            SchedPolicy::Gto => match self.greedy {
+                Some(g) if ready.contains(&g) => g,
+                _ => *ready.iter().min_by_key(|&&w| age(w)).expect("nonempty"),
+            },
+            SchedPolicy::Lrr => {
+                let mut sorted: Vec<usize> = ready.to_vec();
+                sorted.sort_unstable();
+                *sorted
+                    .iter()
+                    .find(|&&w| w > self.rr_last)
+                    .unwrap_or(&sorted[0])
+            }
+        };
+        match self.policy {
+            SchedPolicy::Gto => self.greedy = Some(choice),
+            SchedPolicy::Lrr => self.rr_last = choice,
+        }
+        Some(choice)
+    }
+
+    /// Tells the scheduler its greedy warp stalled, releasing the hold.
+    pub fn stalled(&mut self, warp: usize) {
+        if self.greedy == Some(warp) {
+            self.greedy = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gto_sticks_to_the_same_warp() {
+        let mut s = WarpScheduler::new(SchedPolicy::Gto);
+        let age = |w: usize| w as u64;
+        assert_eq!(s.pick(&[2, 0, 4], age), Some(0), "oldest first");
+        assert_eq!(s.pick(&[2, 0, 4], age), Some(0), "greedy repeat");
+        assert_eq!(s.pick(&[2, 4], age), Some(2), "falls back to oldest ready");
+        assert_eq!(s.pick(&[2, 0, 4], age), Some(2), "greedy follows the switch");
+    }
+
+    #[test]
+    fn gto_respects_age_not_id() {
+        let mut s = WarpScheduler::new(SchedPolicy::Gto);
+        // Warp 4 is older than warp 0.
+        let age = |w: usize| if w == 4 { 0 } else { 10 };
+        assert_eq!(s.pick(&[0, 4], age), Some(4));
+    }
+
+    #[test]
+    fn gto_stall_releases_greedy_hold() {
+        let mut s = WarpScheduler::new(SchedPolicy::Gto);
+        let age = |w: usize| w as u64;
+        assert_eq!(s.pick(&[0, 2], age), Some(0));
+        s.stalled(0);
+        assert_eq!(s.pick(&[0, 2], age), Some(0), "0 is still oldest");
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = WarpScheduler::new(SchedPolicy::Lrr);
+        let age = |_: usize| 0;
+        assert_eq!(s.pick(&[0, 2, 4], age), Some(2), "first id above rr_last = 0");
+        assert_eq!(s.pick(&[0, 2, 4], age), Some(4));
+        assert_eq!(s.pick(&[0, 2, 4], age), Some(0), "wraps around");
+    }
+
+    #[test]
+    fn empty_ready_returns_none() {
+        let mut s = WarpScheduler::new(SchedPolicy::Gto);
+        assert_eq!(s.pick(&[], |_| 0), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-warp scoreboard: blocks RAW, WAW and WAR hazards at issue.
+//!
+//! Two kinds of reservations exist:
+//!
+//! * **pending writes** — a destination register/predicate of an issued,
+//!   not-yet-completed instruction. A later instruction reading (RAW) or
+//!   writing (WAW) it stalls. Released at writeback, which in BOW terms is
+//!   the moment the value lands in the BOC/RF and becomes forwardable.
+//! * **pending reads** — source registers of instructions that have been
+//!   issued to a collector but not yet dispatched (their values are read
+//!   from architectural state at dispatch). A later instruction writing one
+//!   (WAR) stalls. Released at dispatch.
+
+use bow_isa::{Instruction, Pred, Reg};
+
+/// Scoreboard state for one warp.
+#[derive(Clone, Debug)]
+pub struct Scoreboard {
+    /// Pending-write flag per register.
+    write_regs: [bool; 256],
+    /// Pending-write flag per predicate.
+    write_preds: [bool; 8],
+    /// Pending-read reference counts per register.
+    read_regs: [u16; 256],
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard::new()
+    }
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> Scoreboard {
+        Scoreboard {
+            write_regs: [false; 256],
+            write_preds: [false; 8],
+            read_regs: [0; 256],
+        }
+    }
+
+    /// Whether `inst` can issue without a hazard.
+    pub fn can_issue(&self, inst: &Instruction) -> bool {
+        // RAW: sources must not be pending writes.
+        for r in inst.src_regs() {
+            if self.write_regs[r.index() as usize] {
+                return false;
+            }
+        }
+        for p in inst.src_preds() {
+            if self.write_preds[p.index() as usize] {
+                return false;
+            }
+        }
+        // WAW + WAR: destination must not be pending write or pending read.
+        if let Some(d) = inst.dst_reg() {
+            if self.write_regs[d.index() as usize] || self.read_regs[d.index() as usize] > 0 {
+                return false;
+            }
+        }
+        if let Some(p) = inst.dst.pred() {
+            if self.write_preds[p.index() as usize] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Records the reservations of an issuing instruction.
+    pub fn issue(&mut self, inst: &Instruction) {
+        if let Some(d) = inst.dst_reg() {
+            self.write_regs[d.index() as usize] = true;
+        }
+        if let Some(p) = inst.dst.pred() {
+            self.write_preds[p.index() as usize] = true;
+        }
+        for r in inst.src_regs() {
+            self.read_regs[r.index() as usize] += 1;
+        }
+    }
+
+    /// Releases the source-read reservations (at dispatch).
+    pub fn dispatch(&mut self, inst: &Instruction) {
+        for r in inst.src_regs() {
+            let c = &mut self.read_regs[r.index() as usize];
+            debug_assert!(*c > 0, "dispatch without matching issue for {r}");
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Releases the destination reservation (at writeback).
+    pub fn writeback_reg(&mut self, reg: Reg) {
+        self.write_regs[reg.index() as usize] = false;
+    }
+
+    /// Releases a predicate destination reservation.
+    pub fn writeback_pred(&mut self, pred: Pred) {
+        self.write_preds[pred.index() as usize] = false;
+    }
+
+    /// Whether nothing is reserved (used by barrier/launch-end checks).
+    pub fn is_clear(&self) -> bool {
+        !self.write_regs.iter().any(|&b| b)
+            && !self.write_preds.iter().any(|&b| b)
+            && self.read_regs.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{CmpOp, Dst, KernelBuilder, Operand};
+
+    fn insts() -> Vec<Instruction> {
+        KernelBuilder::new("t")
+            .iadd(Reg::r(2), Reg::r(0).into(), Reg::r(1).into()) // 0: r2 = r0+r1
+            .imul(Reg::r(3), Reg::r(2).into(), Reg::r(2).into()) // 1: reads r2
+            .mov_imm(Reg::r(0), 5) //                               2: writes r0
+            .isetp(CmpOp::Ne, bow_isa::Pred::p(0), Reg::r(3).into(), Operand::Imm(0)) // 3
+            .guard(bow_isa::Pred::p(0), false)
+            .mov_imm(Reg::r(4), 1) //                               4: guarded by p0
+            .exit()
+            .build()
+            .unwrap()
+            .insts
+    }
+
+    #[test]
+    fn raw_blocks_until_writeback() {
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        assert!(sb.can_issue(&i[0]));
+        sb.issue(&i[0]);
+        assert!(!sb.can_issue(&i[1]), "RAW on r2");
+        sb.dispatch(&i[0]);
+        assert!(!sb.can_issue(&i[1]), "still pending until writeback");
+        sb.writeback_reg(Reg::r(2));
+        assert!(sb.can_issue(&i[1]));
+    }
+
+    #[test]
+    fn war_blocks_until_dispatch() {
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        sb.issue(&i[0]); // reads r0, r1
+        assert!(!sb.can_issue(&i[2]), "WAR on r0");
+        sb.dispatch(&i[0]);
+        assert!(sb.can_issue(&i[2]), "read released at dispatch");
+    }
+
+    #[test]
+    fn waw_blocks() {
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        sb.issue(&i[0]); // writes r2
+        let mut clobber = i[0].clone();
+        clobber.srcs = vec![Operand::Imm(1), Operand::Imm(2)];
+        assert!(!sb.can_issue(&clobber), "WAW on r2");
+    }
+
+    #[test]
+    fn predicate_hazards() {
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        sb.issue(&i[3]); // writes p0
+        assert!(!sb.can_issue(&i[4]), "guard reads p0");
+        sb.writeback_pred(bow_isa::Pred::p(0));
+        assert!(sb.can_issue(&i[4]));
+    }
+
+    #[test]
+    fn clear_after_full_lifecycle() {
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        sb.issue(&i[0]);
+        assert!(!sb.is_clear());
+        sb.dispatch(&i[0]);
+        sb.writeback_reg(Reg::r(2));
+        assert!(sb.is_clear());
+    }
+
+    #[test]
+    fn rz_never_reserves() {
+        let mut sb = Scoreboard::new();
+        let mut i = insts()[0].clone();
+        i.dst = Dst::Reg(Reg::RZ);
+        i.srcs = vec![Operand::Reg(Reg::RZ), Operand::Imm(1)];
+        sb.issue(&i);
+        assert!(sb.is_clear());
+    }
+}

@@ -1,0 +1,249 @@
+//! Simulation statistics: every counter a paper figure needs.
+
+use crate::regfile::RegFileStats;
+use bow_energy::AccessCounts;
+use bow_mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// The three write-destination classes of Fig. 7 (§IV-B).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteDest {
+    /// Written straight to the register-file banks (no reuse in window).
+    RfOnly,
+    /// Written to the operand collector, then the banks (persistent reuse).
+    BocThenRf,
+    /// Written only to the operand collector (transient value).
+    BocOnly,
+}
+
+/// Counters accumulated by one SM (merge across SMs with
+/// [`SimStats::merge`]).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles this SM ran.
+    pub cycles: u64,
+    /// Warp instructions committed (including control instructions).
+    pub warp_instructions: u64,
+    /// Thread instructions committed (warp instructions × active lanes).
+    pub thread_instructions: u64,
+    /// Register-file port/traffic counters.
+    pub rf: RegFileStats,
+    /// Source-operand reads satisfied by the bypass buffers instead of the
+    /// register file (BOW's "eliminated read requests").
+    pub bypassed_reads: u64,
+    /// Values written into the bypass buffers (BOC) at writeback.
+    pub boc_writes: u64,
+    /// Register writebacks produced by the pipeline (before routing).
+    pub writes_total: u64,
+    /// Writebacks that reached the register-file banks.
+    pub rf_writes_routed: u64,
+    /// Writebacks that never reached the banks ("eliminated writes").
+    pub bypassed_writes: u64,
+    /// Fig. 7 classification: `[RfOnly, BocThenRf, BocOnly]` dynamic counts.
+    pub write_dest: [u64; 3],
+    /// Dirty window entries evicted early because the (half-size) buffer
+    /// was full.
+    pub forced_evictions: u64,
+    /// Fig. 8: instructions by number of unique register sources (0..=3).
+    pub src_count_hist: [u64; 4],
+    /// Fig. 9: cycles observed at each BOC entry-occupancy level
+    /// (index = number of live entries; saturates at the last bucket).
+    pub boc_occupancy_hist: Vec<u64>,
+    /// Number of (cycle × active-BOC) occupancy samples taken.
+    pub occupancy_samples: u64,
+    /// RFC baseline: reads served by the register-file cache.
+    pub rfc_reads: u64,
+    /// RFC baseline: writes into the register-file cache.
+    pub rfc_writes: u64,
+    /// Cycles memory instructions spent in the operand-collection stage.
+    pub oc_cycles_mem: u64,
+    /// Cycles non-memory instructions spent in the operand-collection stage.
+    pub oc_cycles_nonmem: u64,
+    /// Issue→writeback cycles of memory instructions.
+    pub exec_cycles_mem: u64,
+    /// Issue→writeback cycles of non-memory instructions.
+    pub exec_cycles_nonmem: u64,
+    /// Memory instructions dispatched.
+    pub insts_mem: u64,
+    /// Non-memory (data) instructions dispatched.
+    pub insts_nonmem: u64,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// Issue attempts rejected because no collector slot was free.
+    pub stall_no_collector: u64,
+    /// Issue attempts rejected by the scoreboard.
+    pub stall_scoreboard: u64,
+}
+
+impl SimStats {
+    /// Records a Fig. 7 classification.
+    pub fn count_write_dest(&mut self, dest: WriteDest) {
+        let i = match dest {
+            WriteDest::RfOnly => 0,
+            WriteDest::BocThenRf => 1,
+            WriteDest::BocOnly => 2,
+        };
+        self.write_dest[i] += 1;
+    }
+
+    /// Records a BOC occupancy sample (Fig. 9).
+    pub fn sample_occupancy(&mut self, entries: usize, max_entries: usize) {
+        if self.boc_occupancy_hist.len() <= max_entries {
+            self.boc_occupancy_hist.resize(max_entries + 1, 0);
+        }
+        self.boc_occupancy_hist[entries.min(max_entries)] += 1;
+        self.occupancy_samples += 1;
+    }
+
+    /// Instructions per cycle (warp granularity).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of source-register reads served by bypassing.
+    pub fn read_bypass_rate(&self) -> f64 {
+        let total = self.bypassed_reads + self.rf.reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.bypassed_reads as f64 / total as f64
+        }
+    }
+
+    /// Fraction of register writebacks that never reached the RF banks.
+    pub fn write_bypass_rate(&self) -> f64 {
+        if self.writes_total == 0 {
+            0.0
+        } else {
+            self.bypassed_writes as f64 / self.writes_total as f64
+        }
+    }
+
+    /// Total operand-collection-stage cycles (mem + non-mem).
+    pub fn oc_cycles(&self) -> u64 {
+        self.oc_cycles_mem + self.oc_cycles_nonmem
+    }
+
+    /// The access counts the energy model consumes.
+    pub fn access_counts(&self) -> AccessCounts {
+        AccessCounts {
+            rf_reads: self.rf.reads,
+            rf_writes: self.rf.writes,
+            boc_reads: self.bypassed_reads,
+            boc_writes: self.boc_writes,
+            rfc_reads: self.rfc_reads,
+            rfc_writes: self.rfc_writes,
+        }
+    }
+
+    /// Folds another SM's counters into this one. Cycle counts take the
+    /// maximum (SMs run concurrently); everything else sums.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.rf.reads += other.rf.reads;
+        self.rf.writes += other.rf.writes;
+        self.rf.read_conflicts += other.rf.read_conflicts;
+        self.rf.write_queue_cycles += other.rf.write_queue_cycles;
+        self.bypassed_reads += other.bypassed_reads;
+        self.boc_writes += other.boc_writes;
+        self.writes_total += other.writes_total;
+        self.rf_writes_routed += other.rf_writes_routed;
+        self.bypassed_writes += other.bypassed_writes;
+        for i in 0..3 {
+            self.write_dest[i] += other.write_dest[i];
+        }
+        self.forced_evictions += other.forced_evictions;
+        for i in 0..4 {
+            self.src_count_hist[i] += other.src_count_hist[i];
+        }
+        if self.boc_occupancy_hist.len() < other.boc_occupancy_hist.len() {
+            self.boc_occupancy_hist.resize(other.boc_occupancy_hist.len(), 0);
+        }
+        for (i, v) in other.boc_occupancy_hist.iter().enumerate() {
+            self.boc_occupancy_hist[i] += v;
+        }
+        self.occupancy_samples += other.occupancy_samples;
+        self.rfc_reads += other.rfc_reads;
+        self.rfc_writes += other.rfc_writes;
+        self.oc_cycles_mem += other.oc_cycles_mem;
+        self.oc_cycles_nonmem += other.oc_cycles_nonmem;
+        self.exec_cycles_mem += other.exec_cycles_mem;
+        self.exec_cycles_nonmem += other.exec_cycles_nonmem;
+        self.insts_mem += other.insts_mem;
+        self.insts_nonmem += other.insts_nonmem;
+        self.mem.loads += other.mem.loads;
+        self.mem.stores += other.mem.stores;
+        self.mem.transactions += other.mem.transactions;
+        self.mem.l1.hits += other.mem.l1.hits;
+        self.mem.l1.misses += other.mem.l1.misses;
+        self.mem.l2.hits += other.mem.l2.hits;
+        self.mem.l2.misses += other.mem.l2.misses;
+        self.mem.dram_accesses += other.mem.dram_accesses;
+        self.mem.dram_writebacks += other.mem.dram_writebacks;
+        self.mem.total_latency += other.mem.total_latency;
+        self.stall_no_collector += other.stall_no_collector;
+        self.stall_scoreboard += other.stall_scoreboard;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_well_defined_on_empty_stats() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.read_bypass_rate(), 0.0);
+        assert_eq!(s.write_bypass_rate(), 0.0);
+    }
+
+    #[test]
+    fn bypass_rates() {
+        let mut s = SimStats { bypassed_reads: 59, ..Default::default() };
+        s.rf.reads = 41;
+        assert!((s.read_bypass_rate() - 0.59).abs() < 1e-12);
+        s.writes_total = 100;
+        s.bypassed_writes = 52;
+        assert!((s.write_bypass_rate() - 0.52).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_sampling_saturates() {
+        let mut s = SimStats::default();
+        s.sample_occupancy(2, 12);
+        s.sample_occupancy(30, 12);
+        assert_eq!(s.boc_occupancy_hist[2], 1);
+        assert_eq!(s.boc_occupancy_hist[12], 1);
+        assert_eq!(s.occupancy_samples, 2);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = SimStats { cycles: 10, warp_instructions: 5, ..Default::default() };
+        let b = SimStats { cycles: 20, warp_instructions: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.warp_instructions, 12);
+    }
+
+    #[test]
+    fn access_counts_map_straight_through() {
+        let mut s = SimStats::default();
+        s.rf.reads = 3;
+        s.rf.writes = 4;
+        s.bypassed_reads = 5;
+        s.boc_writes = 6;
+        let c = s.access_counts();
+        assert_eq!(c.rf_reads, 3);
+        assert_eq!(c.rf_writes, 4);
+        assert_eq!(c.boc_reads, 5);
+        assert_eq!(c.boc_writes, 6);
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-warp architectural state: lane registers, predicates, the SIMT
+//! reconvergence stack and barrier/exit bookkeeping.
+
+use bow_isa::{Pred, Reg, WARP_SIZE};
+
+/// Why an entry sits on the SIMT stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackKind {
+    /// Pushed by `ssy`: the reconvergence point and the pre-divergence mask.
+    Sync,
+    /// Pushed by a divergent branch: the not-taken path still to execute.
+    Div,
+}
+
+/// One SIMT reconvergence stack entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackEntry {
+    /// Entry kind.
+    pub kind: StackKind,
+    /// Program counter to resume at.
+    pub pc: usize,
+    /// Active mask to resume with.
+    pub mask: u32,
+}
+
+/// Architectural and control state of one warp.
+///
+/// Registers are stored lane-major (`lane * num_regs + reg`), predicates as
+/// one 32-lane bitmask per predicate register. The struct owns no timing
+/// state — the pipeline models hold that — so cloning a `Warp` snapshots
+/// exactly the architectural state.
+#[derive(Clone, Debug)]
+pub struct Warp {
+    /// Warp slot index within its SM.
+    pub id: usize,
+    /// Resident-block slot this warp belongs to.
+    pub block_slot: usize,
+    /// Flat warp index within its thread block.
+    pub warp_in_block: u32,
+    /// Per-lane registers, lane-major.
+    regs: Vec<u32>,
+    /// Registers per thread.
+    num_regs: u16,
+    /// Per-predicate 32-lane masks (`P0..P6`).
+    preds: [u32; 7],
+    /// Next instruction to issue.
+    pub pc: usize,
+    /// Currently active lanes.
+    pub active: u32,
+    /// Lanes that executed `exit`.
+    pub exited: u32,
+    /// Lanes that exist at all (partial warps have holes at the top).
+    pub valid: u32,
+    /// SIMT reconvergence stack.
+    pub stack: Vec<StackEntry>,
+    /// The warp finished (all valid lanes exited).
+    pub done: bool,
+    /// The warp arrived at a `bar` and waits for its block.
+    pub at_barrier: bool,
+    /// Dynamic instruction sequence number (drives the bypass window).
+    pub seq: u64,
+    /// Instructions in flight (issued, not yet completed).
+    pub inflight: u32,
+}
+
+impl Warp {
+    /// Creates a warp with `lanes` valid threads (1..=32), all registers and
+    /// predicates zeroed, starting at `pc = 0`.
+    pub fn new(id: usize, block_slot: usize, warp_in_block: u32, lanes: u32, num_regs: u16) -> Warp {
+        assert!(lanes >= 1 && lanes <= WARP_SIZE as u32, "lanes out of range");
+        let valid = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        Warp {
+            id,
+            block_slot,
+            warp_in_block,
+            regs: vec![0; WARP_SIZE * usize::from(num_regs)],
+            num_regs,
+            preds: [0; 7],
+            pc: 0,
+            active: valid,
+            exited: 0,
+            valid,
+            stack: Vec::new(),
+            done: false,
+            at_barrier: false,
+            seq: 0,
+            inflight: 0,
+        }
+    }
+
+    /// Reads `reg` for `lane`; RZ reads as zero.
+    pub fn read_reg(&self, lane: usize, reg: Reg) -> u32 {
+        if reg.is_zero() {
+            0
+        } else {
+            self.regs[lane * usize::from(self.num_regs) + usize::from(reg.index())]
+        }
+    }
+
+    /// Writes `reg` for `lane`; RZ writes are discarded.
+    pub fn write_reg(&mut self, lane: usize, reg: Reg, value: u32) {
+        if !reg.is_zero() {
+            self.regs[lane * usize::from(self.num_regs) + usize::from(reg.index())] = value;
+        }
+    }
+
+    /// Reads predicate `p` for `lane`; PT reads as true.
+    pub fn read_pred(&self, lane: usize, p: Pred) -> bool {
+        if p.is_true_reg() {
+            true
+        } else {
+            self.preds[usize::from(p.index())] & (1 << lane) != 0
+        }
+    }
+
+    /// Writes predicate `p` for `lane`; PT writes are discarded.
+    pub fn write_pred(&mut self, lane: usize, p: Pred, value: bool) {
+        if p.is_true_reg() {
+            return;
+        }
+        let bit = 1u32 << lane;
+        if value {
+            self.preds[usize::from(p.index())] |= bit;
+        } else {
+            self.preds[usize::from(p.index())] &= !bit;
+        }
+    }
+
+    /// The mask of lanes that would execute an instruction guarded by
+    /// `guard` (the active mask filtered by the predicate).
+    pub fn guard_mask(&self, guard: Option<bow_isa::PredGuard>) -> u32 {
+        let Some(g) = guard else { return self.active };
+        let mut m = 0u32;
+        for lane in 0..WARP_SIZE {
+            if self.active & (1 << lane) != 0 && self.read_pred(lane, g.pred) != g.negated {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    /// Retires the active lanes (an `exit`): marks them exited and resumes
+    /// pending SIMT paths if any remain; otherwise the warp is done.
+    pub fn retire_active(&mut self) {
+        self.exited |= self.active;
+        self.active = 0;
+        while let Some(e) = self.stack.pop() {
+            let mask = e.mask & !self.exited;
+            if mask != 0 {
+                self.active = mask;
+                self.pc = e.pc;
+                return;
+            }
+        }
+        if self.exited == self.valid {
+            self.done = true;
+        } else {
+            // No stack entries but live lanes remain: they fell out of the
+            // divergence bookkeeping, which indicates a malformed kernel.
+            debug_assert!(false, "live lanes {:#x} with empty SIMT stack", self.valid & !self.exited);
+            self.done = true;
+        }
+    }
+
+    /// Registers per thread this warp was allocated.
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// Iterator over active lane indices.
+    pub fn active_lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..WARP_SIZE).filter(move |l| self.active & (1 << l) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp() -> Warp {
+        Warp::new(0, 0, 0, 32, 8)
+    }
+
+    #[test]
+    fn registers_roundtrip_per_lane() {
+        let mut w = warp();
+        w.write_reg(3, Reg::r(2), 99);
+        assert_eq!(w.read_reg(3, Reg::r(2)), 99);
+        assert_eq!(w.read_reg(2, Reg::r(2)), 0);
+        assert_eq!(w.read_reg(3, Reg::r(3)), 0);
+    }
+
+    #[test]
+    fn rz_is_hardwired_zero() {
+        let mut w = warp();
+        w.write_reg(0, Reg::RZ, 7);
+        assert_eq!(w.read_reg(0, Reg::RZ), 0);
+    }
+
+    #[test]
+    fn predicates_roundtrip_and_pt() {
+        let mut w = warp();
+        w.write_pred(5, Pred::p(1), true);
+        assert!(w.read_pred(5, Pred::p(1)));
+        assert!(!w.read_pred(4, Pred::p(1)));
+        assert!(w.read_pred(0, Pred::PT));
+        w.write_pred(0, Pred::PT, false);
+        assert!(w.read_pred(0, Pred::PT));
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let w = Warp::new(0, 0, 0, 5, 4);
+        assert_eq!(w.valid, 0b11111);
+        assert_eq!(w.active, 0b11111);
+    }
+
+    #[test]
+    fn guard_mask_filters_by_predicate() {
+        let mut w = warp();
+        for lane in 0..16 {
+            w.write_pred(lane, Pred::p(0), true);
+        }
+        let g = bow_isa::PredGuard { pred: Pred::p(0), negated: false };
+        assert_eq!(w.guard_mask(Some(g)), 0x0000_ffff);
+        let ng = bow_isa::PredGuard { pred: Pred::p(0), negated: true };
+        assert_eq!(w.guard_mask(Some(ng)), 0xffff_0000);
+        assert_eq!(w.guard_mask(None), u32::MAX);
+    }
+
+    #[test]
+    fn retire_all_lanes_finishes_warp() {
+        let mut w = warp();
+        w.retire_active();
+        assert!(w.done);
+        assert_eq!(w.exited, u32::MAX);
+    }
+
+    #[test]
+    fn retire_resumes_pending_divergent_path() {
+        let mut w = warp();
+        // Simulate divergence: half the lanes take an exit path.
+        w.stack.push(StackEntry { kind: StackKind::Sync, pc: 10, mask: u32::MAX });
+        w.stack.push(StackEntry { kind: StackKind::Div, pc: 5, mask: 0xffff_0000 });
+        w.active = 0x0000_ffff;
+        w.retire_active();
+        assert!(!w.done);
+        assert_eq!(w.active, 0xffff_0000);
+        assert_eq!(w.pc, 5);
+        // And when those exit too, the sync entry has no live lanes left.
+        w.retire_active();
+        assert!(w.done);
+    }
+
+    #[test]
+    fn active_lanes_iterates_set_bits() {
+        let mut w = warp();
+        w.active = 0b1010;
+        assert_eq!(w.active_lanes().collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared helpers for running benchmarks and merging multi-launch results.
+
+use bow_sim::{LaunchResult, SimStats};
+
+/// The outcome of a full benchmark run (possibly several launches).
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Merged timing/energy result across all launches.
+    pub result: LaunchResult,
+    /// Host-reference verification (Ok when the device memory matches).
+    pub checked: Result<(), String>,
+}
+
+/// Merges sequential launches of a benchmark: cycles add up, counters sum,
+/// window reports sum per window size.
+///
+/// # Panics
+///
+/// Panics on an empty input — a benchmark always launches at least once.
+pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
+    assert!(!results.is_empty(), "merge_results needs at least one launch");
+    let mut total = results.remove(0);
+    for r in results {
+        let cycles = total.cycles + r.cycles;
+        let mut stats = SimStats::default();
+        stats.merge(&total.stats);
+        stats.merge(&r.stats);
+        stats.cycles = cycles;
+        total.cycles = cycles;
+        total.stats = stats;
+        total.completed &= r.completed;
+        if total.windows.len() == r.windows.len() {
+            for (a, b) in total.windows.iter_mut().zip(r.windows.iter()) {
+                a.total_reads += b.total_reads;
+                a.bypassed_reads += b.bypassed_reads;
+                a.total_writes += b.total_writes;
+                a.bypassed_writes += b.bypassed_writes;
+            }
+        }
+    }
+    total
+}
+
+/// Compares two float slices exactly (the references replicate the device
+/// operation order bit-for-bit), reporting the first mismatch.
+pub fn check_f32(got: &[f32], want: &[f32], what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{what}: length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g.to_bits() != w.to_bits() {
+            return Err(format!("{what}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// Compares two u32 slices, reporting the first mismatch.
+pub fn check_u32(got: &[u32], want: &[u32], what: &str) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("{what}: length {} != {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g != w {
+            return Err(format!("{what}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// A tiny deterministic PRNG (SplitMix64) for input generation — seeds are
+/// fixed per benchmark so every run and every collector model sees
+/// identical data.
+#[derive(Clone, Debug)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix {
+        SplitMix { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound.max(1))) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix::new(43);
+        assert_ne!(SplitMix::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_f32_in_unit_interval() {
+        let mut g = SplitMix::new(7);
+        for _ in 0..1000 {
+            let x = g.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn check_helpers_report_index() {
+        let err = check_u32(&[1, 2, 3], &[1, 9, 3], "v").unwrap_err();
+        assert!(err.contains("v[1]"), "{err}");
+        assert!(check_f32(&[1.0], &[1.0], "f").is_ok());
+        assert!(check_f32(&[f32::NAN], &[f32::NAN], "f").is_ok(), "bitwise NaN equality");
+    }
+}

@@ -1,0 +1,201 @@
+//! `backprop` — Rodinia back-propagation: the forward layer (dense
+//! weight-by-input reduction staged through shared memory, sigmoid
+//! activation) followed by the weight-adjust kernel
+//! (`w[j][i] += eta * delta[j] * x[i]`), mirroring the original's
+//! two-kernel structure.
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const INPUT: u64 = 0x10_0000;
+const WEIGHTS: u64 = 0x20_0000;
+const OUT: u64 = 0x60_0000;
+const TARGET: u64 = 0x68_0000;
+const ETA: f32 = 0.25;
+
+/// Forward pass `out[j] = sigmoid(Σ_i w[j][i] · x[i])` for `outputs`
+/// neurons over `inputs` inputs (one thread per output neuron).
+#[derive(Clone, Copy, Debug)]
+pub struct Backprop {
+    inputs: u32,
+    outputs: u32,
+}
+
+impl Backprop {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Backprop {
+        match scale {
+            Scale::Test => Backprop { inputs: 16, outputs: 128 },
+            Scale::Paper => Backprop { inputs: 64, outputs: 1024 },
+        }
+    }
+
+    fn reference(&self, x: &[f32], w: &[f32]) -> Vec<f32> {
+        (0..self.outputs as usize)
+            .map(|j| {
+                let mut s = 0.0f32;
+                for i in 0..self.inputs as usize {
+                    s = w[j * self.inputs as usize + i].mul_add(x[i], s);
+                }
+                // sigmoid(s) ≈ 1 / (1 + 2^(-s·log2(e))), matching the
+                // device's fexp2/frcp sequence exactly.
+                let e = (-s * std::f32::consts::LOG2_E).exp2();
+                1.0 / (1.0 + e)
+            })
+            .collect()
+    }
+
+    /// Host reference for the weight-adjust pass, applied to the forward
+    /// pass's weights: `w[j][i] += eta * (t[j] - out[j]) * x[i]`, with the
+    /// delta folded in the device's fused order.
+    fn reference_adjust(&self, x: &[f32], w: &[f32], out: &[f32], t: &[f32]) -> Vec<f32> {
+        let inputs = self.inputs as usize;
+        let mut w2 = w.to_vec();
+        for j in 0..self.outputs as usize {
+            let delta = (t[j] - out[j]) * ETA;
+            for i in 0..inputs {
+                w2[j * inputs + i] = delta.mul_add(x[i], w2[j * inputs + i]);
+            }
+        }
+        w2
+    }
+
+    /// The weight-adjust kernel (Rodinia's `bpnn_adjust_weights`): one
+    /// thread per weight, `idx = j*inputs + i`.
+    fn adjust_kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let inputs = self.inputs;
+        // r0 idx, r1 j, r2 i, r3 delta, r4 x[i], r5 w, r6 addr scratch.
+        let b = super::gtid(KernelBuilder::new("backprop_adjust"), r(0), r(1), r(2));
+        b.shr(r(1), r(0).into(), Operand::Imm(inputs.trailing_zeros())) // j
+            .and(r(2), r(0).into(), Operand::Imm(inputs - 1)) // i
+            // delta = (t[j] - out[j]) * eta
+            .shl(r(6), r(1).into(), Operand::Imm(2))
+            .iadd(r(3), r(6).into(), Operand::Imm(TARGET as u32))
+            .ldg(r(3), r(3), 0)
+            .iadd(r(6), r(6).into(), Operand::Imm(OUT as u32))
+            .ldg(r(6), r(6), 0)
+            .fsub(r(3), r(3).into(), r(6).into())
+            .fmul(r(3), r(3).into(), Operand::fimm(ETA))
+            // x[i]
+            .shl(r(6), r(2).into(), Operand::Imm(2))
+            .iadd(r(6), r(6).into(), Operand::Imm(INPUT as u32))
+            .ldg(r(4), r(6), 0)
+            // w[idx] += delta * x[i]
+            .shl(r(6), r(0).into(), Operand::Imm(2))
+            .iadd(r(6), r(6).into(), Operand::Imm(WEIGHTS as u32))
+            .ldg(r(5), r(6), 0)
+            .ffma(r(5), r(3).into(), r(4).into(), r(5).into())
+            .stg(r(6), 0, r(5).into())
+            .exit()
+            .build()
+            .expect("adjust kernel builds")
+    }
+}
+
+impl Benchmark for Backprop {
+    fn name(&self) -> &'static str {
+        "backprop"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "neural-network forward layer with shared-memory staging"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let inputs = self.inputs;
+        // Block = 128 threads; the first `inputs` threads stage x into
+        // shared memory (inputs <= 128).
+        // r0 gtid(j), r1 tid.x, r2 scratch, r3 acc, r4 i, r5 addr,
+        // r6 value, r7 weight ptr.
+        let b = super::gtid(KernelBuilder::new("backprop"), r(0), r(1), r(2))
+            .shared_bytes(inputs * 4)
+            .s2r(r(1), bow_isa::Special::TidX)
+            // stage x: threads with tid < inputs copy one element
+            .isetp(CmpOp::Lt, Pred::p(0), r(1).into(), Operand::Imm(inputs))
+            .ssy("staged")
+            .bra_if(Pred::p(0), true, "staged") // @!p0 skip
+            .shl(r(5), r(1).into(), Operand::Imm(2))
+            .iadd(r(2), r(5).into(), Operand::Imm(INPUT as u32))
+            .ldg(r(6), r(2), 0)
+            .sts(r(5), 0, r(6).into())
+            .label("staged")
+            .sync()
+            .bar()
+            // dot product
+            .mov_imm(r(3), 0)
+            .mov_imm(r(4), 0)
+            .imad(r(7), r(0).into(), Operand::Imm(inputs * 4), Operand::Imm(WEIGHTS as u32))
+            .label("dot")
+            .shl(r(5), r(4).into(), Operand::Imm(2))
+            .lds(r(6), r(5), 0) // x[i]
+            .ldg(r(2), r(7), 0) // w[j][i]
+            .ffma(r(3), r(2).into(), r(6).into(), r(3).into())
+            .iadd(r(7), r(7).into(), Operand::Imm(4))
+            .iadd(r(4), r(4).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(4).into(), Operand::Imm(inputs))
+            .bra_if(Pred::p(0), false, "dot")
+            // sigmoid: 1 / (1 + 2^(-s*log2 e))
+            .fmul(r(5), r(3).into(), Operand::fimm(-std::f32::consts::LOG2_E))
+            .fexp2(r(5), r(5).into())
+            .fadd(r(5), r(5).into(), Operand::fimm(1.0))
+            .frcp(r(5), r(5).into())
+            // store
+            .shl(r(2), r(0).into(), Operand::Imm(2))
+            .ldc(r(6), 0)
+            .iadd(r(6), r(6).into(), r(2).into())
+            .stg(r(6), 0, r(5).into())
+            .exit();
+        b.build().expect("backprop kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let mut rng = SplitMix::new(0xbac);
+        let x: Vec<f32> = (0..self.inputs).map(|_| rng.next_f32() - 0.5).collect();
+        let w: Vec<f32> = (0..self.inputs * self.outputs)
+            .map(|_| rng.next_f32() * 0.2 - 0.1)
+            .collect();
+        let t: Vec<f32> = (0..self.outputs).map(|_| rng.next_f32()).collect();
+        gpu.global_mut().write_slice_f32(INPUT, &x);
+        gpu.global_mut().write_slice_f32(WEIGHTS, &w);
+        gpu.global_mut().write_slice_f32(TARGET, &t);
+
+        // Forward pass (the benchmark's nominal kernel, possibly annotated
+        // by the harness)...
+        let dims = KernelDims::linear(self.outputs / 128, 128);
+        let forward = gpu.launch(kernel, dims, &[OUT as u32]);
+        // ...then the weight-adjust pass, as in Rodinia.
+        let adjust = self.adjust_kernel();
+        let adjust_dims = KernelDims::linear(self.inputs * self.outputs / 128, 128);
+        let second = gpu.launch(&adjust, adjust_dims, &[]);
+        let result = crate::harness::merge_results(vec![forward, second]);
+
+        let want_out = self.reference(&x, &w);
+        let got_out = gpu.global().read_vec_f32(OUT, self.outputs as usize);
+        let want_w = self.reference_adjust(&x, &w, &want_out, &t);
+        let got_w = gpu
+            .global()
+            .read_vec_f32(WEIGHTS, (self.inputs * self.outputs) as usize);
+        let checked = check_f32(&got_out, &want_out, "activation")
+            .and_then(|()| check_f32(&got_w, &want_w, "weights"));
+        RunOutcome { result, checked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Backprop::new(Scale::Test));
+    }
+}

@@ -1,0 +1,150 @@
+//! `bfs` — Rodinia breadth-first search: level-synchronous frontier
+//! expansion with one launch per level, irregular loads and heavy branch
+//! divergence.
+
+use crate::harness::{check_u32, merge_results, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const ROW_PTR: u64 = 0x10_0000;
+const COL: u64 = 0x20_0000;
+const LEVEL: u64 = 0x60_0000;
+const INF: u32 = u32::MAX;
+
+/// Level-synchronous BFS on a random sparse graph of `nodes` nodes with
+/// `degree` out-edges each, expanded for `levels` rounds from node 0.
+#[derive(Clone, Copy, Debug)]
+pub struct Bfs {
+    nodes: u32,
+    degree: u32,
+    levels: u32,
+}
+
+impl Bfs {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Bfs {
+        match scale {
+            Scale::Test => Bfs { nodes: 128, degree: 3, levels: 4 },
+            Scale::Paper => Bfs { nodes: 2048, degree: 4, levels: 6 },
+        }
+    }
+
+    fn graph(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = SplitMix::new(0xbf5);
+        let n = self.nodes as usize;
+        let mut row = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        row.push(0);
+        for _ in 0..n {
+            for _ in 0..self.degree {
+                col.push(rng.below(self.nodes));
+            }
+            row.push(col.len() as u32);
+        }
+        (row, col)
+    }
+
+    fn reference(&self, row: &[u32], col: &[u32]) -> Vec<u32> {
+        let n = self.nodes as usize;
+        let mut level = vec![INF; n];
+        level[0] = 0;
+        for cur in 0..self.levels {
+            for v in 0..n {
+                if level[v] == cur {
+                    for e in row[v] as usize..row[v + 1] as usize {
+                        let nb = col[e] as usize;
+                        if level[nb] == INF {
+                            level[nb] = cur + 1;
+                        }
+                    }
+                }
+            }
+        }
+        level
+    }
+}
+
+impl Benchmark for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "level-synchronous breadth-first search"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        // params: c[0]=current level. One thread per node.
+        // r0 node, r1 scratch, r2 level ptr, r3 my level, r4 cur,
+        // r5 edge cursor, r6 edge end, r7 neighbour, r8 nb level ptr, r9 nb level.
+        let b = super::gtid(KernelBuilder::new("bfs"), r(0), r(1), r(2));
+        b.shl(r(1), r(0).into(), Operand::Imm(2))
+            .iadd(r(2), r(1).into(), Operand::Imm(LEVEL as u32))
+            .ldg(r(3), r(2), 0)
+            .ldc(r(4), 0)
+            .isetp(CmpOp::Ne, Pred::p(0), r(3).into(), r(4).into())
+            .ssy("done")
+            .bra_if(Pred::p(0), false, "done") // not on the frontier
+            // edges = row_ptr[node] .. row_ptr[node+1]
+            .iadd(r(5), r(1).into(), Operand::Imm(ROW_PTR as u32))
+            .ldg(r(6), r(5), 4)
+            .ldg(r(5), r(5), 0)
+            .label("edges")
+            .isetp(CmpOp::Ge, Pred::p(1), r(5).into(), r(6).into())
+            .bra_if(Pred::p(1), false, "done")
+            .shl(r(7), r(5).into(), Operand::Imm(2))
+            .iadd(r(7), r(7).into(), Operand::Imm(COL as u32))
+            .ldg(r(7), r(7), 0) // neighbour id
+            .shl(r(8), r(7).into(), Operand::Imm(2))
+            .iadd(r(8), r(8).into(), Operand::Imm(LEVEL as u32))
+            .ldg(r(9), r(8), 0)
+            .isetp(CmpOp::Ne, Pred::p(2), r(9).into(), Operand::Imm(INF))
+            .iadd(r(5), r(5).into(), Operand::Imm(1))
+            .bra_if(Pred::p(2), false, "edges") // already visited
+            .iadd(r(9), r(4).into(), Operand::Imm(1))
+            .stg(r(8), 0, r(9).into())
+            .bra("edges")
+            .label("done")
+            .sync()
+            .exit()
+            .build()
+            .expect("bfs kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let (row, col) = self.graph();
+        gpu.global_mut().write_slice_u32(ROW_PTR, &row);
+        gpu.global_mut().write_slice_u32(COL, &col);
+        let mut level = vec![INF; self.nodes as usize];
+        level[0] = 0;
+        gpu.global_mut().write_slice_u32(LEVEL, &level);
+
+        let dims = KernelDims::linear(self.nodes / 128, 128);
+        let mut results = Vec::new();
+        for cur in 0..self.levels {
+            results.push(gpu.launch(kernel, dims, &[cur]));
+        }
+        let result = merge_results(results);
+
+        let want = self.reference(&row, &col);
+        let got = gpu.global().read_vec_u32(LEVEL, self.nodes as usize);
+        RunOutcome { result, checked: check_u32(&got, &want, "level") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Bfs::new(Scale::Test));
+    }
+}

@@ -1,0 +1,164 @@
+//! `cifarnet` — Tango CifarNet: a 3×3 convolution layer, the FFMA-dense
+//! DNN workload of the suite.
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const INPUT: u64 = 0x10_0000; // C channels of (H+2) x STRIDE padded image
+const WEIGHTS: u64 = 0x40_0000; // F x C x 3 x 3
+const OUT: u64 = 0x60_0000; // F x H x H (stride H)
+
+/// Image height/width (power of two) and padded input stride.
+const H: u32 = 16;
+const STRIDE: u32 = 32;
+
+/// 3×3 same-convolution over a zero-padded `H × H` image: `channels` input
+/// channels, `filters` output filters; one thread per output pixel, grid.y
+/// selects the filter.
+#[derive(Clone, Copy, Debug)]
+pub struct CifarNet {
+    channels: u32,
+    filters: u32,
+}
+
+impl CifarNet {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> CifarNet {
+        match scale {
+            Scale::Test => CifarNet { channels: 2, filters: 2 },
+            Scale::Paper => CifarNet { channels: 4, filters: 8 },
+        }
+    }
+
+    fn in_channel_words(&self) -> usize {
+        ((H + 2) * STRIDE) as usize
+    }
+
+    fn reference(&self, input: &[f32], w: &[f32]) -> Vec<f32> {
+        let (h, stride) = (H as usize, STRIDE as usize);
+        let cw = self.in_channel_words();
+        let mut out = Vec::new();
+        for f in 0..self.filters as usize {
+            for y in 0..h {
+                for x in 0..h {
+                    let mut acc = 0.0f32;
+                    for c in 0..self.channels as usize {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let iv = input[c * cw + (y + ky) * stride + (x + kx)];
+                                let wv = w[((f * self.channels as usize + c) * 9) + ky * 3 + kx];
+                                acc = wv.mul_add(iv, acc);
+                            }
+                        }
+                    }
+                    out.push(acc);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for CifarNet {
+    fn name(&self) -> &'static str {
+        "cifarnet"
+    }
+
+    fn suite(&self) -> &'static str {
+        "tango"
+    }
+
+    fn description(&self) -> &'static str {
+        "CifarNet 3x3 convolution layer"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let cw = self.in_channel_words() as u32;
+        // r0 pixel idx, r1 y, r2 x, r3 filter, r4 acc, r5 c, r6 in ptr,
+        // r7 w ptr, r8 iv, r9 wv, r10 scratch.
+        let b = super::gtid(KernelBuilder::new("cifarnet"), r(0), r(1), r(2));
+        let mut b = b
+            .s2r(r(3), bow_isa::Special::CtaidY) // filter
+            .shr(r(1), r(0).into(), Operand::Imm(H.trailing_zeros())) // y
+            .and(r(2), r(0).into(), Operand::Imm(H - 1)) // x
+            .mov_imm(r(4), 0) // acc = 0.0
+            .mov_imm(r(5), 0) // c
+            // w ptr = WEIGHTS + f*C*36  (advanced 36 bytes per channel)
+            .imad(r(7), r(3).into(), Operand::Imm(self.channels * 36), Operand::Imm(WEIGHTS as u32))
+            .label("chan")
+            // in ptr = INPUT + c*cw*4 + y*STRIDE*4 + x*4 (top-left of window)
+            .imul(r(6), r(5).into(), Operand::Imm(cw * 4))
+            .imad(r(10), r(1).into(), Operand::Imm(STRIDE * 4), r(6).into())
+            .imad(r(10), r(2).into(), Operand::Imm(4), r(10).into())
+            .iadd(r(6), r(10).into(), Operand::Imm(INPUT as u32));
+        // Unrolled 3x3 taps.
+        for ky in 0..3i32 {
+            for kx in 0..3i32 {
+                let in_off = ky * STRIDE as i32 * 4 + kx * 4;
+                let w_off = (ky * 3 + kx) * 4;
+                b = b
+                    .ldg(r(8), r(6), in_off)
+                    .ldg(r(9), r(7), w_off)
+                    .ffma(r(4), r(9).into(), r(8).into(), r(4).into());
+            }
+        }
+        b.iadd(r(7), r(7).into(), Operand::Imm(36))
+            .iadd(r(5), r(5).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(5).into(), Operand::Imm(self.channels))
+            .bra_if(Pred::p(0), false, "chan")
+            // out[f*H*H + idx]
+            .imad(r(10), r(3).into(), Operand::Imm(H * H), r(0).into())
+            .shl(r(10), r(10).into(), Operand::Imm(2))
+            .iadd(r(10), r(10).into(), Operand::Imm(OUT as u32))
+            .stg(r(10), 0, r(4).into())
+            .exit()
+            .build()
+            .expect("cifarnet kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let mut rng = SplitMix::new(0xc1f);
+        let cw = self.in_channel_words();
+        // Zero-padded input: fill interior rows/cols only.
+        let mut input = vec![0.0f32; self.channels as usize * cw];
+        for c in 0..self.channels as usize {
+            for y in 1..=H as usize {
+                for x in 1..=H as usize {
+                    input[c * cw + y * STRIDE as usize + x] = rng.next_f32() - 0.5;
+                }
+            }
+        }
+        // The kernel reads window origin (y,x) without +1 offsets, so the
+        // "padded" tap (y+ky, x+kx) with ky,kx in 0..3 covers rows y..y+2 —
+        // interior pixels sit at 1..=H, giving the same zero border.
+        let w: Vec<f32> = (0..self.filters as usize * self.channels as usize * 9)
+            .map(|_| rng.next_f32() * 0.5 - 0.25)
+            .collect();
+        gpu.global_mut().write_slice_f32(INPUT, &input);
+        gpu.global_mut().write_slice_f32(WEIGHTS, &w);
+
+        let dims = bow_isa::KernelDims { grid: ((H * H) / 128, self.filters), block: (128, 1) };
+        let result = gpu.launch(kernel, dims, &[]);
+
+        // Reference uses the same padded layout.
+        let want = self.reference(&input, &w);
+        let got = gpu
+            .global()
+            .read_vec_f32(OUT, (self.filters * H * H) as usize);
+        RunOutcome { result, checked: check_f32(&got, &want, "fmap") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&CifarNet::new(Scale::Test));
+    }
+}

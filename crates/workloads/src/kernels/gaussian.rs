@@ -1,0 +1,174 @@
+//! `gaussian` — Rodinia Gaussian elimination: the classic two-kernel
+//! Fan1/Fan2 structure, one pair of launches per pivot.
+
+use crate::harness::{check_f32, merge_results, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const A: u64 = 0x10_0000; // n x n matrix, row-major, stride n
+const M: u64 = 0x40_0000; // per-pivot multiplier column
+
+/// Forward elimination of an `n × n` matrix (`n` a power of two).
+///
+/// The per-pivot Fan1 kernel computes the multiplier column, Fan2 updates
+/// the trailing submatrix. The two phases live in one kernel selected by a
+/// `phase` parameter, mirroring how the experiment harness treats each
+/// benchmark as a single static kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Gaussian {
+    n: u32,
+    pivots: u32,
+}
+
+impl Gaussian {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Gaussian {
+        match scale {
+            Scale::Test => Gaussian { n: 16, pivots: 4 },
+            Scale::Paper => Gaussian { n: 64, pivots: 16 },
+        }
+    }
+
+    fn reference(&self, a0: &[f32]) -> Vec<f32> {
+        let n = self.n as usize;
+        let mut a = a0.to_vec();
+        for k in 0..self.pivots as usize {
+            let pivot_rcp = 1.0f32 / a[k * n + k];
+            let m: Vec<f32> = (0..n)
+                .map(|i| if i > k { a[i * n + k] * pivot_rcp } else { 0.0 })
+                .collect();
+            for i in k + 1..n {
+                for j in k..n {
+                    // a[i][j] -= m[i] * a[k][j], device order (fused negate-multiply-add).
+                    a[i * n + j] = (-m[i]).mul_add(a[k * n + j], a[i * n + j]);
+                }
+            }
+        }
+        a
+    }
+}
+
+impl Benchmark for Gaussian {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "Gaussian elimination (Fan1/Fan2 per pivot)"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let n = self.n;
+        let log_n = n.trailing_zeros();
+        // params: c[0]=k, c[4]=phase (0 = Fan1, 1 = Fan2).
+        // Fan1: thread i computes m[i] = a[i][k] / a[k][k] for i > k.
+        // Fan2: thread (i,j) updates a[i][j] -= m[i]*a[k][j] for i>k, j>=k.
+        let b = super::gtid(KernelBuilder::new("gaussian"), r(0), r(1), r(2));
+        b.ldc(r(10), 0) // k
+            .ldc(r(11), 4) // phase
+            .isetp(CmpOp::Ne, Pred::p(0), r(11).into(), Operand::Imm(0))
+            .ssy("end")
+            .bra_if(Pred::p(0), false, "fan2")
+            // ---- Fan1: i = gtid ----
+            .isetp(CmpOp::Le, Pred::p(1), r(0).into(), r(10).into())
+            .bra_if(Pred::p(1), false, "end") // only i > k
+            // a[k][k]
+            .shl(r(1), r(10).into(), Operand::Imm(log_n + 2))
+            .shl(r(2), r(10).into(), Operand::Imm(2))
+            .iadd(r(1), r(1).into(), r(2).into())
+            .iadd(r(1), r(1).into(), Operand::Imm(A as u32))
+            .ldg(r(3), r(1), 0)
+            .frcp(r(3), r(3).into())
+            // a[i][k]
+            .shl(r(4), r(0).into(), Operand::Imm(log_n + 2))
+            .iadd(r(4), r(4).into(), r(2).into())
+            .iadd(r(4), r(4).into(), Operand::Imm(A as u32))
+            .ldg(r(5), r(4), 0)
+            .fmul(r(5), r(5).into(), r(3).into())
+            // m[i]
+            .shl(r(6), r(0).into(), Operand::Imm(2))
+            .iadd(r(6), r(6).into(), Operand::Imm(M as u32))
+            .stg(r(6), 0, r(5).into())
+            .bra("end")
+            // ---- Fan2: i = gtid >> log_n, j = gtid & (n-1) ----
+            .label("fan2")
+            .shr(r(1), r(0).into(), Operand::Imm(log_n)) // i
+            .and(r(2), r(0).into(), Operand::Imm(n - 1)) // j
+            .isetp(CmpOp::Le, Pred::p(1), r(1).into(), r(10).into())
+            .bra_if(Pred::p(1), false, "end") // i > k
+            .isetp(CmpOp::Lt, Pred::p(2), r(2).into(), r(10).into())
+            .bra_if(Pred::p(2), false, "end") // j >= k
+            // m[i]
+            .shl(r(3), r(1).into(), Operand::Imm(2))
+            .iadd(r(3), r(3).into(), Operand::Imm(M as u32))
+            .ldg(r(4), r(3), 0)
+            // a[k][j]
+            .shl(r(5), r(10).into(), Operand::Imm(log_n + 2))
+            .shl(r(6), r(2).into(), Operand::Imm(2))
+            .iadd(r(5), r(5).into(), r(6).into())
+            .iadd(r(5), r(5).into(), Operand::Imm(A as u32))
+            .ldg(r(7), r(5), 0)
+            // a[i][j]
+            .shl(r(8), r(1).into(), Operand::Imm(log_n + 2))
+            .iadd(r(8), r(8).into(), r(6).into())
+            .iadd(r(8), r(8).into(), Operand::Imm(A as u32))
+            .ldg(r(9), r(8), 0)
+            // a[i][j] = -m[i]*a[k][j] + a[i][j]
+            .fmul(r(4), r(4).into(), Operand::fimm(-1.0))
+            .ffma(r(9), r(4).into(), r(7).into(), r(9).into())
+            .stg(r(8), 0, r(9).into())
+            .label("end")
+            .sync()
+            .exit()
+            .build()
+            .expect("gaussian kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let n = self.n as usize;
+        let mut rng = SplitMix::new(0x6a5);
+        // Diagonally dominant so pivots stay well-conditioned.
+        let a0: Vec<f32> = (0..n * n)
+            .map(|idx| {
+                let (i, j) = (idx / n, idx % n);
+                if i == j {
+                    8.0 + rng.next_f32()
+                } else {
+                    rng.next_f32()
+                }
+            })
+            .collect();
+        gpu.global_mut().write_slice_f32(A, &a0);
+        gpu.global_mut().write_slice_f32(M, &vec![0.0; n]);
+
+        let fan1_dims = KernelDims::linear(self.n.div_ceil(128).max(1), self.n.min(128));
+        let fan2_dims = KernelDims::linear((self.n * self.n) / 128, 128);
+        let mut results = Vec::new();
+        for k in 0..self.pivots {
+            results.push(gpu.launch(kernel, fan1_dims, &[k, 0]));
+            results.push(gpu.launch(kernel, fan2_dims, &[k, 1]));
+        }
+        let result = merge_results(results);
+
+        let want = self.reference(&a0);
+        let got = gpu.global().read_vec_f32(A, n * n);
+        RunOutcome { result, checked: check_f32(&got, &want, "matrix") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Gaussian::new(Scale::Test));
+    }
+}

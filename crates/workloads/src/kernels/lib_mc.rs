@@ -1,0 +1,101 @@
+//! `lib` — the ISPASS LIBOR Monte Carlo benchmark: per-thread random-path
+//! simulation, ALU/FPU dense, no inter-thread communication.
+
+use crate::harness::{check_f32, RunOutcome};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const OUT: u64 = 0x10_0000;
+
+/// Per-thread LCG-driven Monte Carlo accumulation over `iters` steps.
+#[derive(Clone, Copy, Debug)]
+pub struct LibMc {
+    threads: u32,
+    iters: u32,
+}
+
+impl LibMc {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> LibMc {
+        match scale {
+            Scale::Test => LibMc { threads: 128, iters: 8 },
+            Scale::Paper => LibMc { threads: 2048, iters: 48 },
+        }
+    }
+
+    /// The host reference for one thread.
+    fn reference(&self, tid: u32) -> f32 {
+        let mut seed = tid.wrapping_mul(2654435761).wrapping_add(12345);
+        let mut acc = 0.0f32;
+        for _ in 0..self.iters {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            let bits = (seed >> 16) & 0x7fff;
+            let x = bits as i32 as f32 * (1.0 / 32768.0);
+            // acc += x*x*0.5 + x   (two fused multiply-adds, device order)
+            let t = x.mul_add(0.5, 1.0); // t = 0.5x + 1
+            acc = x.mul_add(t, acc); //    acc += x*t = 0.5x^2 + x + acc
+        }
+        acc
+    }
+}
+
+impl Benchmark for LibMc {
+    fn name(&self) -> &'static str {
+        "lib"
+    }
+
+    fn suite(&self) -> &'static str {
+        "ispass"
+    }
+
+    fn description(&self) -> &'static str {
+        "LIBOR Monte Carlo path simulation"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        // r0 = gtid, r1 = seed, r2 = acc, r3 = loop counter, r4..r6 scratch.
+        let b = super::gtid(KernelBuilder::new("lib"), r(0), r(1), r(2));
+        b.imad(r(1), r(0).into(), Operand::Imm(2654435761), Operand::Imm(12345))
+            .mov_imm(r(2), 0) // acc = 0.0f (bit pattern zero)
+            .mov_imm(r(3), 0)
+            .label("loop")
+            .imad(r(1), r(1).into(), Operand::Imm(1664525), Operand::Imm(1013904223))
+            .shr(r(4), r(1).into(), Operand::Imm(16))
+            .and(r(4), r(4).into(), Operand::Imm(0x7fff))
+            .i2f(r(4), r(4).into())
+            .fmul(r(4), r(4).into(), Operand::fimm(1.0 / 32768.0)) // x
+            .ffma(r(5), r(4).into(), Operand::fimm(0.5), Operand::fimm(1.0)) // t
+            .ffma(r(2), r(4).into(), r(5).into(), r(2).into()) // acc
+            .iadd(r(3), r(3).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(3).into(), Operand::Imm(self.iters))
+            .bra_if(Pred::p(0), false, "loop")
+            .shl(r(6), r(0).into(), Operand::Imm(2))
+            .ldc(r(7), 0)
+            .iadd(r(7), r(7).into(), r(6).into())
+            .stg(r(7), 0, r(2).into())
+            .exit()
+            .build()
+            .expect("lib kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let dims = KernelDims::linear(self.threads / 128, 128);
+        let result = gpu.launch(kernel, dims, &[OUT as u32]);
+        let want: Vec<f32> = (0..self.threads).map(|t| self.reference(t)).collect();
+        let got = gpu.global().read_vec_f32(OUT, self.threads as usize);
+        RunOutcome { result, checked: check_f32(&got, &want, "acc") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&LibMc::new(Scale::Test));
+    }
+}

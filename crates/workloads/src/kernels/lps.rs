@@ -1,0 +1,131 @@
+//! `lps` — the ISPASS Laplace solver: a 5-point Jacobi stencil over a 2-D
+//! grid, with boundary threads copying their input (mild divergence).
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const IN: u64 = 0x10_0000;
+const OUT: u64 = 0x40_0000;
+
+/// One Jacobi relaxation sweep over an `n × n` grid (`n` a power of two).
+#[derive(Clone, Copy, Debug)]
+pub struct Lps {
+    n: u32,
+    log_n: u32,
+}
+
+impl Lps {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Lps {
+        let n = match scale {
+            Scale::Test => 16,
+            Scale::Paper => 64,
+        };
+        Lps { n, log_n: n.trailing_zeros() }
+    }
+
+    fn reference(&self, input: &[f32]) -> Vec<f32> {
+        let n = self.n as usize;
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
+                    out[idx] = input[idx];
+                } else {
+                    // Device order: ((up + down) + left) + right, then *0.25.
+                    let s = input[idx - n] + input[idx + n] + input[idx - 1] + input[idx + 1];
+                    out[idx] = s * 0.25;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Lps {
+    fn name(&self) -> &'static str {
+        "lps"
+    }
+
+    fn suite(&self) -> &'static str {
+        "ispass"
+    }
+
+    fn description(&self) -> &'static str {
+        "3D Laplace solver (Jacobi sweep)"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let n = self.n;
+        let row_bytes = n * 4;
+        // r0 idx, r1 i, r2 j, r3 in-ptr, r4 out-ptr, r5..r8 scratch.
+        let b = super::gtid(KernelBuilder::new("lps"), r(0), r(1), r(2));
+        b.shr(r(1), r(0).into(), Operand::Imm(self.log_n)) // i
+            .and(r(2), r(0).into(), Operand::Imm(n - 1)) // j
+            .shl(r(5), r(0).into(), Operand::Imm(2))
+            .ldc(r(3), 0)
+            .iadd(r(3), r(3).into(), r(5).into()) // &in[idx]
+            .ldc(r(4), 4)
+            .iadd(r(4), r(4).into(), r(5).into()) // &out[idx]
+            // boundary predicate: i==0 || j==0 || i==n-1 || j==n-1
+            .isetp(CmpOp::Eq, Pred::p(0), r(1).into(), Operand::Imm(0))
+            .isetp(CmpOp::Eq, Pred::p(1), r(2).into(), Operand::Imm(0))
+            .isetp(CmpOp::Eq, Pred::p(2), r(1).into(), Operand::Imm(n - 1))
+            .isetp(CmpOp::Eq, Pred::p(3), r(2).into(), Operand::Imm(n - 1))
+            // Fold predicates into r6 as a boolean.
+            .sel(r(6), Operand::Imm(1), Operand::Imm(0), Pred::p(0))
+            .sel(r(7), Operand::Imm(1), r(6).into(), Pred::p(1))
+            .sel(r(6), Operand::Imm(1), r(7).into(), Pred::p(2))
+            .sel(r(7), Operand::Imm(1), r(6).into(), Pred::p(3))
+            .isetp(CmpOp::Ne, Pred::p(0), r(7).into(), Operand::Imm(0))
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "boundary")
+            // interior: load 4 neighbours, average
+            .ldg(r(5), r(3), -(row_bytes as i32)) // up
+            .ldg(r(6), r(3), row_bytes as i32) // down
+            .fadd(r(5), r(5).into(), r(6).into())
+            .ldg(r(6), r(3), -4) // left
+            .fadd(r(5), r(5).into(), r(6).into())
+            .ldg(r(6), r(3), 4) // right
+            .fadd(r(5), r(5).into(), r(6).into())
+            .fmul(r(5), r(5).into(), Operand::fimm(0.25))
+            .bra("join")
+            .label("boundary")
+            .ldg(r(5), r(3), 0)
+            .label("join")
+            .sync()
+            .stg(r(4), 0, r(5).into())
+            .exit()
+            .build()
+            .expect("lps kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let n = self.n as usize;
+        let mut rng = SplitMix::new(0x1a97);
+        let input: Vec<f32> = (0..n * n).map(|_| rng.next_f32() * 4.0).collect();
+        gpu.global_mut().write_slice_f32(IN, &input);
+
+        let dims = KernelDims::linear((self.n * self.n) / 128, 128);
+        let result = gpu.launch(kernel, dims, &[IN as u32, OUT as u32]);
+
+        let want = self.reference(&input);
+        let got = gpu.global().read_vec_f32(OUT, n * n);
+        RunOutcome { result, checked: check_f32(&got, &want, "grid") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Lps::new(Scale::Test));
+    }
+}

@@ -1,0 +1,55 @@
+//! One module per Table III benchmark.
+
+pub mod backprop;
+pub mod bfs;
+pub mod btree;
+pub mod cifarnet;
+pub mod gaussian;
+pub mod lib_mc;
+pub mod lps;
+pub mod mum;
+pub mod nw;
+pub mod sad;
+pub mod squeezenet;
+pub mod srad;
+pub mod sto;
+pub mod vectoradd;
+pub mod wp;
+
+use bow_isa::{KernelBuilder, Reg, Special};
+
+/// Emits the canonical global-thread-index prologue:
+/// `d = ctaid.x * ntid.x + tid.x`, clobbering `t1` and `t2`.
+pub(crate) fn gtid(b: KernelBuilder, d: Reg, t1: Reg, t2: Reg) -> KernelBuilder {
+    b.s2r(d, Special::TidX)
+        .s2r(t1, Special::CtaidX)
+        .s2r(t2, Special::NtidX)
+        .imad(d, t1.into(), t2.into(), d.into())
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::{Benchmark, RunOutcome};
+    use bow_sim::{CollectorKind, Gpu, GpuConfig};
+
+    /// Runs a benchmark under a collector kind and asserts the reference
+    /// check passes.
+    pub fn run_checked(bench: &dyn Benchmark, kind: CollectorKind) -> RunOutcome {
+        let mut gpu = Gpu::new(GpuConfig::scaled(kind));
+        let kernel = bench.kernel();
+        let out = bench.run_with(&mut gpu, &kernel);
+        assert!(out.result.completed, "{} hit the watchdog", bench.name());
+        if let Err(e) = &out.checked {
+            panic!("{} failed verification under {kind:?}: {e}", bench.name());
+        }
+        out
+    }
+
+    /// Runs a benchmark under baseline and BOW-WR and asserts both match
+    /// the reference (the central architectural-equivalence invariant).
+    pub fn run_equivalence(bench: &dyn Benchmark) {
+        run_checked(bench, CollectorKind::Baseline);
+        run_checked(bench, CollectorKind::bow_wr(3));
+        run_checked(bench, CollectorKind::BowWr { window: 3, half_size: true });
+    }
+}

@@ -1,0 +1,156 @@
+//! `mum` — MummerGPU-style sequence matching: each thread scans a text
+//! window for its own short pattern, with data-dependent early exits
+//! (irregular loads, heavy divergence).
+
+use crate::harness::{check_u32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const TEXT: u64 = 0x10_0000; // one symbol per word
+const PATTERNS: u64 = 0x40_0000; // threads x PAT_LEN symbols
+const OUT: u64 = 0x60_0000;
+
+const PAT_LEN: u32 = 4;
+const NOT_FOUND: u32 = u32::MAX;
+
+/// Naive first-match search: thread `t` scans `window` text positions
+/// starting at `t * stride` for its 4-symbol pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct Mum {
+    threads: u32,
+    window: u32,
+    stride: u32,
+    alphabet: u32,
+}
+
+impl Mum {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Mum {
+        match scale {
+            Scale::Test => Mum { threads: 128, window: 24, stride: 4, alphabet: 4 },
+            Scale::Paper => Mum { threads: 1024, window: 96, stride: 8, alphabet: 4 },
+        }
+    }
+
+    fn text_len(&self) -> usize {
+        (self.threads * self.stride + self.window + PAT_LEN) as usize
+    }
+
+    fn reference(&self, text: &[u32], pats: &[u32]) -> Vec<u32> {
+        (0..self.threads as usize)
+            .map(|t| {
+                let base = t * self.stride as usize;
+                let pat = &pats[t * PAT_LEN as usize..(t + 1) * PAT_LEN as usize];
+                for pos in 0..self.window as usize {
+                    let mut ok = true;
+                    for k in 0..PAT_LEN as usize {
+                        if text[base + pos + k] != pat[k] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        return (base + pos) as u32;
+                    }
+                }
+                NOT_FOUND
+            })
+            .collect()
+    }
+}
+
+impl Benchmark for Mum {
+    fn name(&self) -> &'static str {
+        "mum"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "MummerGPU-style pattern matching with early exits"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        // r0 tid, r1 base (text index), r2 pos, r3 k, r4 text sym,
+        // r5 pat sym, r6 addr, r7 result, r8 pat base addr.
+        let b = super::gtid(KernelBuilder::new("mum"), r(0), r(1), r(2));
+        b.imul(r(1), r(0).into(), Operand::Imm(self.stride)) // base
+            .imad(r(8), r(0).into(), Operand::Imm(PAT_LEN * 4), Operand::Imm(PATTERNS as u32))
+            .mov_imm(r(7), NOT_FOUND)
+            .mov_imm(r(2), 0)
+            .label("scan")
+            .mov_imm(r(3), 0)
+            .label("cmp")
+            // text[base + pos + k]
+            .iadd(r(6), r(1).into(), r(2).into())
+            .iadd(r(6), r(6).into(), r(3).into())
+            .shl(r(6), r(6).into(), Operand::Imm(2))
+            .iadd(r(6), r(6).into(), Operand::Imm(TEXT as u32))
+            .ldg(r(4), r(6), 0)
+            // pat[k]
+            .shl(r(6), r(3).into(), Operand::Imm(2))
+            .iadd(r(6), r(6).into(), r(8).into())
+            .ldg(r(5), r(6), 0)
+            .isetp(CmpOp::Ne, Pred::p(0), r(4).into(), r(5).into())
+            .bra_if(Pred::p(0), false, "mismatch")
+            .iadd(r(3), r(3).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(1), r(3).into(), Operand::Imm(PAT_LEN))
+            .bra_if(Pred::p(1), false, "cmp")
+            // full match at base+pos
+            .iadd(r(7), r(1).into(), r(2).into())
+            .bra("store")
+            .label("mismatch")
+            .iadd(r(2), r(2).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(2), r(2).into(), Operand::Imm(self.window))
+            .bra_if(Pred::p(2), false, "scan")
+            .label("store")
+            .shl(r(6), r(0).into(), Operand::Imm(2))
+            .ldc(r(5), 0)
+            .iadd(r(6), r(6).into(), r(5).into())
+            .stg(r(6), 0, r(7).into())
+            .exit()
+            .build()
+            .expect("mum kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let mut rng = SplitMix::new(0x303);
+        let text: Vec<u32> = (0..self.text_len()).map(|_| rng.below(self.alphabet)).collect();
+        // Patterns: half sampled from the text (guaranteed matches), half random.
+        let mut pats = Vec::with_capacity((self.threads * PAT_LEN) as usize);
+        for t in 0..self.threads as usize {
+            if t % 2 == 0 {
+                let base = t * self.stride as usize + rng.below(self.window) as usize;
+                pats.extend_from_slice(&text[base..base + PAT_LEN as usize]);
+            } else {
+                for _ in 0..PAT_LEN {
+                    pats.push(rng.below(self.alphabet));
+                }
+            }
+        }
+        gpu.global_mut().write_slice_u32(TEXT, &text);
+        gpu.global_mut().write_slice_u32(PATTERNS, &pats);
+
+        let dims = KernelDims::linear(self.threads / 128, 128);
+        let result = gpu.launch(kernel, dims, &[OUT as u32]);
+
+        let want = self.reference(&text, &pats);
+        let got = gpu.global().read_vec_u32(OUT, self.threads as usize);
+        RunOutcome { result, checked: check_u32(&got, &want, "match_pos") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Mum::new(Scale::Test));
+    }
+}

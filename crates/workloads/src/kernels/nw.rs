@@ -1,0 +1,217 @@
+//! `nw` — Rodinia Needleman-Wunsch: anti-diagonal dynamic programming in
+//! shared memory with a block barrier between diagonals. Integer
+//! `imax`-heavy with loop-carried dependencies.
+
+use crate::harness::{check_u32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const SEQ_A: u64 = 0x10_0000; // blocks x T symbols
+const SEQ_B: u64 = 0x20_0000;
+const OUT: u64 = 0x60_0000; // blocks x (T+1)^2 score matrices
+
+const GAP: i32 = -1;
+const MATCH: i32 = 2;
+const MISMATCH: i32 = -1;
+
+/// One `T × T` alignment per block: `blocks` independent alignments.
+#[derive(Clone, Copy, Debug)]
+pub struct Nw {
+    blocks: u32,
+    t: u32,
+}
+
+impl Nw {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Nw {
+        match scale {
+            Scale::Test => Nw { blocks: 2, t: 16 },
+            Scale::Paper => Nw { blocks: 8, t: 32 },
+        }
+    }
+
+    fn stride(&self) -> usize {
+        self.t as usize + 1
+    }
+
+    fn reference(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let t = self.t as usize;
+        let s = self.stride();
+        let mut out = Vec::new();
+        for blk in 0..self.blocks as usize {
+            let mut m = vec![0i32; s * s];
+            for i in 0..=t {
+                m[i * s] = GAP * i as i32;
+                m[i] = GAP * i as i32;
+            }
+            for i in 1..=t {
+                for j in 1..=t {
+                    let sub = if a[blk * t + i - 1] == b[blk * t + j - 1] {
+                        MATCH
+                    } else {
+                        MISMATCH
+                    };
+                    let diag = m[(i - 1) * s + (j - 1)] + sub;
+                    let up = m[(i - 1) * s + j] + GAP;
+                    let left = m[i * s + (j - 1)] + GAP;
+                    m[i * s + j] = diag.max(up).max(left);
+                }
+            }
+            out.extend(m.iter().map(|&v| v as u32));
+        }
+        out
+    }
+}
+
+impl Benchmark for Nw {
+    fn name(&self) -> &'static str {
+        "nw"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "Needleman-Wunsch anti-diagonal DP with per-diagonal barriers"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let t = self.t;
+        let s = t + 1; // matrix stride in words
+        let smem_words = s * s;
+        // Thread i (0..t) walks diagonals; cell (i+1, j+1) with j = d - i.
+        // r0 tid(i), r1 d, r2 j, r3 addr, r4 diag, r5 up, r6 left,
+        // r7 sub, r8 a_sym, r9 b_sym, r10 scratch, r11 blkbase.
+        let mut b = KernelBuilder::new("nw")
+            .shared_bytes(smem_words * 4)
+            .s2r(r(0), bow_isa::Special::TidX)
+            .s2r(r(11), bow_isa::Special::CtaidX)
+            // init: thread i zeroes its row i+1 edge and (thread 0) row 0.
+            // m[(i+1)*s] = GAP*(i+1); m[i+1] = GAP*(i+1)
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .imul(r(2), r(1).into(), Operand::simm(GAP))
+            .imul(r(3), r(1).into(), Operand::Imm(s * 4))
+            .sts(r(3), 0, r(2).into())
+            .shl(r(3), r(1).into(), Operand::Imm(2))
+            .sts(r(3), 0, r(2).into())
+            // m[0] stays zero: shared memory is zero-initialized.
+            .bar()
+            // load my symbol a[blk*t + i]
+            .imad(r(8), r(11).into(), Operand::Imm(t), r(0).into())
+            .shl(r(8), r(8).into(), Operand::Imm(2))
+            .iadd(r(10), r(8).into(), Operand::Imm(SEQ_A as u32))
+            .ldg(r(8), r(10), 0)
+            // diagonal loop: d = 0 .. 2t-1; cell (i+1, d-i+1) valid when
+            // 0 <= d-i < t
+            .mov_imm(r(1), 0)
+            .label("diag");
+        b = b
+            .isub(r(2), r(1).into(), r(0).into()) // j0 = d - i
+            .isetp(CmpOp::Lt, Pred::p(0), r(2).into(), Operand::Imm(0))
+            .ssy("dnext")
+            .bra_if(Pred::p(0), false, "dnext")
+            .isetp(CmpOp::Ge, Pred::p(1), r(2).into(), Operand::simm(t as i32))
+            .bra_if(Pred::p(1), false, "dnext")
+            // b symbol: b[blk*t + j0]
+            .imad(r(9), r(11).into(), Operand::Imm(t), r(2).into())
+            .shl(r(9), r(9).into(), Operand::Imm(2))
+            .iadd(r(10), r(9).into(), Operand::Imm(SEQ_B as u32))
+            .ldg(r(9), r(10), 0)
+            .isetp(CmpOp::Eq, Pred::p(2), r(8).into(), r(9).into())
+            .sel(r(7), Operand::simm(MATCH), Operand::simm(MISMATCH), Pred::p(2))
+            // cell (i+1, j0+1): smem index (i+1)*s + j0+1
+            .iadd(r(3), r(0).into(), Operand::Imm(1))
+            .imul(r(3), r(3).into(), Operand::Imm(s))
+            .iadd(r(3), r(3).into(), r(2).into())
+            .iadd(r(3), r(3).into(), Operand::Imm(1))
+            .shl(r(3), r(3).into(), Operand::Imm(2))
+            // diag = m[idx - s - 1] + sub; up = m[idx - s] + GAP;
+            // left = m[idx - 1] + GAP
+            .lds(r(4), r(3), -((s as i32 + 1) * 4))
+            .iadd(r(4), r(4).into(), r(7).into())
+            .lds(r(5), r(3), -(s as i32 * 4))
+            .iadd(r(5), r(5).into(), Operand::simm(GAP))
+            .lds(r(6), r(3), -4)
+            .iadd(r(6), r(6).into(), Operand::simm(GAP))
+            .imax(r(4), r(4).into(), r(5).into())
+            .imax(r(4), r(4).into(), r(6).into())
+            .sts(r(3), 0, r(4).into())
+            .label("dnext")
+            .sync()
+            .bar()
+            .iadd(r(1), r(1).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(1).into(), Operand::Imm(2 * t - 1))
+            .bra_if(Pred::p(0), false, "diag")
+            // write out: each thread stores rows i and (thread 0) row t? —
+            // every thread writes its own row i+1 plus thread 0 writes row 0.
+            .mov_imm(r(1), 0)
+            .label("copy")
+            .iadd(r(3), r(0).into(), Operand::Imm(1))
+            .imul(r(3), r(3).into(), Operand::Imm(s))
+            .iadd(r(3), r(3).into(), r(1).into())
+            .shl(r(3), r(3).into(), Operand::Imm(2))
+            .lds(r(4), r(3), 0)
+            .imad(r(5), r(11).into(), Operand::Imm(smem_words), Operand::Imm(0))
+            .iadd(r(6), r(0).into(), Operand::Imm(1))
+            .imad(r(6), r(6).into(), Operand::Imm(s), r(1).into())
+            .iadd(r(5), r(5).into(), r(6).into())
+            .shl(r(5), r(5).into(), Operand::Imm(2))
+            .iadd(r(5), r(5).into(), Operand::Imm(OUT as u32))
+            .stg(r(5), 0, r(4).into())
+            .iadd(r(1), r(1).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(1).into(), Operand::Imm(s))
+            .bra_if(Pred::p(0), false, "copy")
+            // thread 0: row 0
+            .isetp(CmpOp::Eq, Pred::p(1), r(0).into(), Operand::Imm(0))
+            .ssy("fin")
+            .bra_if(Pred::p(1), true, "fin")
+            .mov_imm(r(1), 0)
+            .label("row0")
+            .shl(r(3), r(1).into(), Operand::Imm(2))
+            .lds(r(4), r(3), 0)
+            .imad(r(5), r(11).into(), Operand::Imm(smem_words), r(1).into())
+            .shl(r(5), r(5).into(), Operand::Imm(2))
+            .iadd(r(5), r(5).into(), Operand::Imm(OUT as u32))
+            .stg(r(5), 0, r(4).into())
+            .iadd(r(1), r(1).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(1).into(), Operand::Imm(s))
+            .bra_if(Pred::p(0), false, "row0")
+            .label("fin")
+            .sync()
+            .exit();
+        b.build().expect("nw kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let t = self.t as usize;
+        let n = self.blocks as usize * t;
+        let mut rng = SplitMix::new(0x4e77);
+        let a: Vec<u32> = (0..n).map(|_| rng.below(4)).collect();
+        let b: Vec<u32> = (0..n).map(|_| rng.below(4)).collect();
+        gpu.global_mut().write_slice_u32(SEQ_A, &a);
+        gpu.global_mut().write_slice_u32(SEQ_B, &b);
+
+        let dims = bow_isa::KernelDims { grid: (self.blocks, 1), block: (self.t, 1) };
+        let result = gpu.launch(kernel, dims, &[]);
+
+        let want = self.reference(&a, &b);
+        let got = gpu
+            .global()
+            .read_vec_u32(OUT, self.blocks as usize * self.stride() * self.stride());
+        RunOutcome { result, checked: check_u32(&got, &want, "score") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Nw::new(Scale::Test));
+    }
+}

@@ -1,0 +1,126 @@
+//! `squeezenet` — Tango SqueezeNet: a 1×1 "squeeze" convolution with ReLU,
+//! a pointwise FFMA reduction over channels.
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const INPUT: u64 = 0x10_0000; // C x P activations
+const WEIGHTS: u64 = 0x40_0000; // F x C
+const OUT: u64 = 0x60_0000; // F x P
+
+/// `out[f][p] = relu(Σ_c w[f][c] · in[c][p])` over `pixels` positions,
+/// one thread per output pixel, grid.y selects the filter.
+#[derive(Clone, Copy, Debug)]
+pub struct SqueezeNet {
+    channels: u32,
+    filters: u32,
+    pixels: u32,
+}
+
+impl SqueezeNet {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> SqueezeNet {
+        match scale {
+            Scale::Test => SqueezeNet { channels: 8, filters: 2, pixels: 128 },
+            Scale::Paper => SqueezeNet { channels: 16, filters: 16, pixels: 256 },
+        }
+    }
+
+    fn reference(&self, input: &[f32], w: &[f32]) -> Vec<f32> {
+        let p = self.pixels as usize;
+        let c = self.channels as usize;
+        let mut out = Vec::new();
+        for f in 0..self.filters as usize {
+            for px in 0..p {
+                let mut acc = 0.0f32;
+                for ch in 0..c {
+                    acc = w[f * c + ch].mul_add(input[ch * p + px], acc);
+                }
+                out.push(acc.max(0.0));
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for SqueezeNet {
+    fn name(&self) -> &'static str {
+        "squeezenet"
+    }
+
+    fn suite(&self) -> &'static str {
+        "tango"
+    }
+
+    fn description(&self) -> &'static str {
+        "SqueezeNet 1x1 squeeze convolution with ReLU"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let p4 = self.pixels * 4;
+        // r0 pixel, r1 filter, r2 acc, r3 c, r4 in ptr, r5 w ptr,
+        // r6 iv, r7 wv, r8 scratch.
+        let b = super::gtid(KernelBuilder::new("squeezenet"), r(0), r(1), r(2));
+        b.s2r(r(1), bow_isa::Special::CtaidY)
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 0)
+            // in ptr starts at INPUT + pixel*4, advances P*4 per channel
+            .shl(r(4), r(0).into(), Operand::Imm(2))
+            .iadd(r(4), r(4).into(), Operand::Imm(INPUT as u32))
+            // w ptr = WEIGHTS + f*C*4
+            .imad(r(5), r(1).into(), Operand::Imm(self.channels * 4), Operand::Imm(WEIGHTS as u32))
+            .label("chan")
+            .ldg(r(6), r(4), 0)
+            .ldg(r(7), r(5), 0)
+            .ffma(r(2), r(7).into(), r(6).into(), r(2).into())
+            .iadd(r(4), r(4).into(), Operand::Imm(p4))
+            .iadd(r(5), r(5).into(), Operand::Imm(4))
+            .iadd(r(3), r(3).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(3).into(), Operand::Imm(self.channels))
+            .bra_if(Pred::p(0), false, "chan")
+            // ReLU + store out[f*P + pixel]
+            .fmax(r(2), r(2).into(), Operand::fimm(0.0))
+            .imad(r(8), r(1).into(), Operand::Imm(self.pixels), r(0).into())
+            .shl(r(8), r(8).into(), Operand::Imm(2))
+            .iadd(r(8), r(8).into(), Operand::Imm(OUT as u32))
+            .stg(r(8), 0, r(2).into())
+            .exit()
+            .build()
+            .expect("squeezenet kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let mut rng = SplitMix::new(0x50e);
+        let input: Vec<f32> = (0..self.channels * self.pixels)
+            .map(|_| rng.next_f32() - 0.5)
+            .collect();
+        let w: Vec<f32> = (0..self.filters * self.channels)
+            .map(|_| rng.next_f32() - 0.5)
+            .collect();
+        gpu.global_mut().write_slice_f32(INPUT, &input);
+        gpu.global_mut().write_slice_f32(WEIGHTS, &w);
+
+        let dims = KernelDims { grid: (self.pixels / 128, self.filters), block: (128, 1) };
+        let result = gpu.launch(kernel, dims, &[]);
+
+        let want = self.reference(&input, &w);
+        let got = gpu
+            .global()
+            .read_vec_f32(OUT, (self.filters * self.pixels) as usize);
+        RunOutcome { result, checked: check_f32(&got, &want, "fmap") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&SqueezeNet::new(Scale::Test));
+    }
+}

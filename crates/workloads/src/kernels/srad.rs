@@ -1,0 +1,166 @@
+//! `srad` — Rodinia speckle-reducing anisotropic diffusion: a stencil with
+//! per-cell coefficient computation involving reciprocals and clamps.
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const IN: u64 = 0x10_0000;
+const OUT: u64 = 0x40_0000;
+const LAMBDA: f32 = 0.25;
+
+/// One SRAD-style diffusion step over an `n × n` image (`n` a power of
+/// two); boundary cells copy through.
+#[derive(Clone, Copy, Debug)]
+pub struct Srad {
+    n: u32,
+    log_n: u32,
+}
+
+impl Srad {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Srad {
+        let n = match scale {
+            Scale::Test => 16,
+            Scale::Paper => 64,
+        };
+        Srad { n, log_n: n.trailing_zeros() }
+    }
+
+    fn reference(&self, img: &[f32]) -> Vec<f32> {
+        let n = self.n as usize;
+        let mut out = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
+                    out[idx] = img[idx];
+                    continue;
+                }
+                let c = img[idx];
+                let dn = img[idx - n] - c;
+                let ds = img[idx + n] - c;
+                let dw = img[idx - 1] - c;
+                let de = img[idx + 1] - c;
+                // g2 = (dn^2 + ds^2 + dw^2 + de^2) * rcp(c*c + 1), device
+                // order: chained ffma then fmul by frcp.
+                let mut g2 = dn * dn;
+                g2 = ds.mul_add(ds, g2);
+                g2 = dw.mul_add(dw, g2);
+                g2 = de.mul_add(de, g2);
+                let denom = c.mul_add(c, 1.0);
+                let g2 = g2 * (1.0 / denom);
+                // diffusion coefficient clamped to [0, 1]
+                let coeff = 1.0 / (1.0 + g2);
+                let coeff = coeff.clamp(0.0, 1.0);
+                // out = c + lambda*coeff*(dn+ds+dw+de)
+                let div = dn + ds + dw + de;
+                out[idx] = (LAMBDA * coeff).mul_add(div, c);
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Srad {
+    fn name(&self) -> &'static str {
+        "srad"
+    }
+
+    fn suite(&self) -> &'static str {
+        "rodinia"
+    }
+
+    fn description(&self) -> &'static str {
+        "speckle-reducing anisotropic diffusion step"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let n = self.n;
+        let row = (n * 4) as i32;
+        let b = super::gtid(KernelBuilder::new("srad"), r(0), r(1), r(2));
+        // r0 idx, r1 i, r2 j, r3 ptr, r4 c, r5..r8 dn/ds/dw/de,
+        // r9 g2, r10 scratch, r11 out ptr.
+        b.shr(r(1), r(0).into(), Operand::Imm(self.log_n))
+            .and(r(2), r(0).into(), Operand::Imm(n - 1))
+            .shl(r(10), r(0).into(), Operand::Imm(2))
+            .iadd(r(3), r(10).into(), Operand::Imm(IN as u32))
+            .iadd(r(11), r(10).into(), Operand::Imm(OUT as u32))
+            .ldg(r(4), r(3), 0) // c
+            // boundary?
+            .isetp(CmpOp::Eq, Pred::p(0), r(1).into(), Operand::Imm(0))
+            .isetp(CmpOp::Eq, Pred::p(1), r(2).into(), Operand::Imm(0))
+            .isetp(CmpOp::Eq, Pred::p(2), r(1).into(), Operand::Imm(n - 1))
+            .isetp(CmpOp::Eq, Pred::p(3), r(2).into(), Operand::Imm(n - 1))
+            .sel(r(10), Operand::Imm(1), Operand::Imm(0), Pred::p(0))
+            .sel(r(10), Operand::Imm(1), r(10).into(), Pred::p(1))
+            .sel(r(10), Operand::Imm(1), r(10).into(), Pred::p(2))
+            .sel(r(10), Operand::Imm(1), r(10).into(), Pred::p(3))
+            .isetp(CmpOp::Ne, Pred::p(0), r(10).into(), Operand::Imm(0))
+            .ssy("store")
+            .bra_if(Pred::p(0), false, "boundary")
+            // gradients
+            .ldg(r(5), r(3), -row)
+            .fsub(r(5), r(5).into(), r(4).into())
+            .ldg(r(6), r(3), row)
+            .fsub(r(6), r(6).into(), r(4).into())
+            .ldg(r(7), r(3), -4)
+            .fsub(r(7), r(7).into(), r(4).into())
+            .ldg(r(8), r(3), 4)
+            .fsub(r(8), r(8).into(), r(4).into())
+            // g2
+            .fmul(r(9), r(5).into(), r(5).into())
+            .ffma(r(9), r(6).into(), r(6).into(), r(9).into())
+            .ffma(r(9), r(7).into(), r(7).into(), r(9).into())
+            .ffma(r(9), r(8).into(), r(8).into(), r(9).into())
+            .ffma(r(10), r(4).into(), r(4).into(), Operand::fimm(1.0))
+            .frcp(r(10), r(10).into())
+            .fmul(r(9), r(9).into(), r(10).into())
+            // coeff = clamp(1/(1+g2), 0, 1)
+            .fadd(r(9), r(9).into(), Operand::fimm(1.0))
+            .frcp(r(9), r(9).into())
+            .fmax(r(9), r(9).into(), Operand::fimm(0.0))
+            .fmin(r(9), r(9).into(), Operand::fimm(1.0))
+            // divergence sum
+            .fadd(r(5), r(5).into(), r(6).into())
+            .fadd(r(5), r(5).into(), r(7).into())
+            .fadd(r(5), r(5).into(), r(8).into())
+            // out = (lambda*coeff)*div + c
+            .fmul(r(9), r(9).into(), Operand::fimm(LAMBDA))
+            .ffma(r(4), r(9).into(), r(5).into(), r(4).into())
+            .label("boundary")
+            .label("store")
+            .sync()
+            .stg(r(11), 0, r(4).into())
+            .exit()
+            .build()
+            .expect("srad kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let n = self.n as usize;
+        let mut rng = SplitMix::new(0x5ad);
+        let img: Vec<f32> = (0..n * n).map(|_| rng.next_f32() * 3.0 + 0.1).collect();
+        gpu.global_mut().write_slice_f32(IN, &img);
+
+        let dims = KernelDims::linear((self.n * self.n) / 128, 128);
+        let result = gpu.launch(kernel, dims, &[]);
+
+        let want = self.reference(&img);
+        let got = gpu.global().read_vec_f32(OUT, n * n);
+        RunOutcome { result, checked: check_f32(&got, &want, "image") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Srad::new(Scale::Test));
+    }
+}

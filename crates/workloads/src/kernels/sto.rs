@@ -1,0 +1,127 @@
+//! `sto` — ISPASS StoreGPU: block-wise hashing of data staged through
+//! shared memory; the paper highlights it as the most OC-stage-bound
+//! benchmark (up to 47% of execution time in operand collection).
+
+use crate::harness::{check_u32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg};
+use bow_sim::Gpu;
+
+const IN: u64 = 0x10_0000;
+const OUT: u64 = 0x40_0000;
+const WINDOW: u32 = 8;
+
+/// Each thread hashes a sliding window of `WINDOW` words staged in shared
+/// memory by its block.
+#[derive(Clone, Copy, Debug)]
+pub struct Sto {
+    threads: u32,
+    block: u32,
+}
+
+impl Sto {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Sto {
+        match scale {
+            Scale::Test => Sto { threads: 128, block: 64 },
+            Scale::Paper => Sto { threads: 2048, block: 128 },
+        }
+    }
+
+    fn reference(&self, data: &[u32]) -> Vec<u32> {
+        let block = self.block as usize;
+        let mut out = vec![0u32; self.threads as usize];
+        for (t, slot) in out.iter_mut().enumerate() {
+            let base = t / block * block; // block staging origin
+            let local = t % block;
+            let mut h = 0x811c_9dc5u32;
+            for k in 0..WINDOW as usize {
+                let w = data[base + (local + k) % block];
+                // h = ((h << 5) ^ h ^ w) * 0x5bd1e995, device order.
+                h = ((h << 5) ^ h ^ w).wrapping_mul(0x5bd1_e995);
+            }
+            *slot = h;
+        }
+        out
+    }
+}
+
+impl Benchmark for Sto {
+    fn name(&self) -> &'static str {
+        "sto"
+    }
+
+    fn suite(&self) -> &'static str {
+        "ispass"
+    }
+
+    fn description(&self) -> &'static str {
+        "StoreGPU sliding-window hashing through shared memory"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let block = self.block;
+        // r0 gtid, r1 tid.x, r2 scratch, r3 hash, r4 k, r5 smem addr,
+        // r6 word, r7 ptr.
+        let mut b = super::gtid(KernelBuilder::new("sto"), r(0), r(1), r(2))
+            .shared_bytes(block * 4)
+            .s2r(r(1), bow_isa::Special::TidX)
+            // stage: smem[tid] = in[gtid]
+            .shl(r(2), r(0).into(), Operand::Imm(2))
+            .ldc(r(7), 0)
+            .iadd(r(7), r(7).into(), r(2).into())
+            .ldg(r(6), r(7), 0)
+            .shl(r(5), r(1).into(), Operand::Imm(2))
+            .sts(r(5), 0, r(6).into())
+            .bar()
+            // hash loop
+            .mov_imm(r(3), 0x811c_9dc5)
+            .mov_imm(r(4), 0)
+            .label("loop")
+            // idx = (tid + k) % block  (block is a power of two)
+            .iadd(r(5), r(1).into(), r(4).into())
+            .and(r(5), r(5).into(), Operand::Imm(block - 1))
+            .shl(r(5), r(5).into(), Operand::Imm(2))
+            .lds(r(6), r(5), 0);
+        b = b
+            .shl(r(2), r(3).into(), Operand::Imm(5))
+            .xor(r(2), r(2).into(), r(3).into())
+            .xor(r(2), r(2).into(), r(6).into())
+            .imul(r(3), r(2).into(), Operand::Imm(0x5bd1_e995))
+            .iadd(r(4), r(4).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(4).into(), Operand::Imm(WINDOW))
+            .bra_if(Pred::p(0), false, "loop")
+            // out[gtid] = h
+            .shl(r(2), r(0).into(), Operand::Imm(2))
+            .ldc(r(7), 4)
+            .iadd(r(7), r(7).into(), r(2).into())
+            .stg(r(7), 0, r(3).into())
+            .exit();
+        b.build().expect("sto kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let mut rng = SplitMix::new(0x570);
+        let data: Vec<u32> = (0..self.threads).map(|_| rng.next_u32()).collect();
+        gpu.global_mut().write_slice_u32(IN, &data);
+
+        let dims = KernelDims::linear(self.threads / self.block, self.block);
+        let result = gpu.launch(kernel, dims, &[IN as u32, OUT as u32]);
+
+        let want = self.reference(&data);
+        let got = gpu.global().read_vec_u32(OUT, self.threads as usize);
+        RunOutcome { result, checked: check_u32(&got, &want, "hash") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Sto::new(Scale::Test));
+    }
+}

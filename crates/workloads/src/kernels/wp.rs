@@ -1,0 +1,114 @@
+//! `wp` — ISPASS weather prediction: per-cell physics update reading many
+//! distinct fields, each used roughly once. The paper singles WP out as the
+//! benchmark with the *least* operand reuse, so it bounds BOW's gains from
+//! below.
+
+use crate::harness::{check_f32, RunOutcome, SplitMix};
+use crate::{Benchmark, Scale};
+use bow_isa::{Kernel, KernelBuilder, KernelDims, Operand, Reg};
+use bow_sim::Gpu;
+
+const FIELDS: u64 = 0x10_0000; // six consecutive field arrays
+const OUT: u64 = 0x70_0000;
+
+/// One forward-Euler step of a toy atmosphere column model over `n` cells:
+/// six input fields, each read once, a long dependent float chain.
+#[derive(Clone, Copy, Debug)]
+pub struct Wp {
+    n: u32,
+}
+
+impl Wp {
+    /// Creates the benchmark at the given scale.
+    pub fn new(scale: Scale) -> Wp {
+        Wp {
+            n: match scale {
+                Scale::Test => 256,
+                Scale::Paper => 4096,
+            },
+        }
+    }
+
+    fn reference(&self, f: &[Vec<f32>]) -> Vec<f32> {
+        (0..self.n as usize)
+            .map(|i| {
+                let (t, u, v, p, q, rho) =
+                    (f[0][i], f[1][i], f[2][i], f[3][i], f[4][i], f[5][i]);
+                // Device order, fused where the kernel fuses.
+                let adv = u.mul_add(0.3, v * 0.7);
+                let buoy = p.mul_add(-0.05, q * 0.11);
+                let mix = rho.mul_add(adv, buoy);
+                t.mul_add(0.99, mix)
+            })
+            .collect()
+    }
+}
+
+impl Benchmark for Wp {
+    fn name(&self) -> &'static str {
+        "wp"
+    }
+
+    fn suite(&self) -> &'static str {
+        "ispass"
+    }
+
+    fn description(&self) -> &'static str {
+        "weather prediction cell update (low operand reuse)"
+    }
+
+    fn kernel(&self) -> Kernel {
+        let r = Reg::r;
+        let n = self.n;
+        let field = |k: u32| (FIELDS as u32 + k * n * 4) as i32;
+        // r0 idx, r1 byte offset, r2 ptr, r3..r8 the six fields,
+        // r9..r11 partials.
+        let b = super::gtid(KernelBuilder::new("wp"), r(0), r(1), r(2));
+        let mut b = b.shl(r(1), r(0).into(), Operand::Imm(2));
+        for (dst, k) in (3..9).zip(0..6) {
+            b = b
+                .iadd(r(2), r(1).into(), Operand::Imm(field(k) as u32))
+                .ldg(r(dst), r(2), 0);
+        }
+        b.fmul(r(9), r(5).into(), Operand::fimm(0.7)) // v*0.7
+            .ffma(r(9), r(4).into(), Operand::fimm(0.3), r(9).into()) // adv
+            .fmul(r(10), r(7).into(), Operand::fimm(0.11)) // q*0.11
+            .ffma(r(10), r(6).into(), Operand::fimm(-0.05), r(10).into()) // buoy
+            .ffma(r(11), r(8).into(), r(9).into(), r(10).into()) // mix
+            .ffma(r(11), r(3).into(), Operand::fimm(0.99), r(11).into())
+            .ldc(r(2), 0)
+            .iadd(r(2), r(2).into(), r(1).into())
+            .stg(r(2), 0, r(11).into())
+            .exit()
+            .build()
+            .expect("wp kernel builds")
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        let n = self.n as usize;
+        let mut rng = SplitMix::new(0x3b9);
+        let fields: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+            .collect();
+        for (k, f) in fields.iter().enumerate() {
+            gpu.global_mut().write_slice_f32(FIELDS + (k as u64) * u64::from(self.n) * 4, f);
+        }
+        let dims = KernelDims::linear(self.n / 128, 128);
+        let result = gpu.launch(kernel, dims, &[OUT as u32]);
+
+        let want = self.reference(&fields);
+        let got = gpu.global().read_vec_f32(OUT, n);
+        RunOutcome { result, checked: check_f32(&got, &want, "t_next") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run_equivalence;
+
+    #[test]
+    fn matches_reference_under_all_models() {
+        run_equivalence(&Wp::new(Scale::Test));
+    }
+}

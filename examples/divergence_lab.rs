@@ -1,0 +1,83 @@
+//! Divergence laboratory: write a kernel with nested divergent control
+//! flow, statically validate its SSY/SYNC structure with the compiler's
+//! checker, run it, and watch the per-path execution in the pipeline trace.
+//!
+//! ```sh
+//! cargo run --release --example divergence_lab
+//! ```
+
+use bow::compiler::check_structure;
+use bow::prelude::*;
+
+/// Classify each lane: d[i] = 2 if tid < 8, 3 if 8 <= tid < 16, 5 otherwise,
+/// via a nested if/else — two SSY regions deep on one path.
+fn kernel() -> Kernel {
+    let r = Reg::r;
+    KernelBuilder::new("nested_diamond")
+        .s2r(r(0), Special::TidX)
+        .isetp(CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(16))
+        .ssy("outer_join")
+        .bra_if(Pred::p(0), false, "low_half")
+        // tid >= 16
+        .mov_imm(r(1), 5)
+        .bra("outer_join")
+        .label("low_half")
+        // nested: tid < 8 ?
+        .isetp(CmpOp::Lt, Pred::p(1), r(0).into(), Operand::Imm(8))
+        .ssy("inner_join")
+        .bra_if(Pred::p(1), false, "lowest")
+        .mov_imm(r(1), 3)
+        .bra("inner_join")
+        .label("lowest")
+        .mov_imm(r(1), 2)
+        .label("inner_join")
+        .sync()
+        .label("outer_join")
+        .sync()
+        // store
+        .shl(r(2), r(0).into(), Operand::Imm(2))
+        .ldc(r(3), 0)
+        .iadd(r(3), r(3).into(), r(2).into())
+        .stg(r(3), 0, r(1).into())
+        .exit()
+        .build()
+        .expect("kernel builds")
+}
+
+fn main() {
+    let k = kernel();
+
+    // 1. Static validation: the checker proves the SSY/SYNC brackets
+    //    balance on every path.
+    let report = check_structure(&k);
+    println!(
+        "structure check: {} ({} issue(s))",
+        if report.is_ok() { "sound" } else { "BROKEN" },
+        report.issues.len()
+    );
+    for issue in &report.issues {
+        println!("  note: {issue}");
+    }
+    assert!(report.is_ok());
+
+    // 2. Run with tracing and verify results.
+    let mut cfg = GpuConfig::scaled(CollectorKind::bow_wr(3));
+    cfg.trace_pipeline = true;
+    cfg.num_sms = 1;
+    let mut gpu = Gpu::new(cfg);
+    let res = gpu.launch(&k, KernelDims::linear(1, 32), &[0x1000]);
+    for i in 0..32u64 {
+        let want = if i < 8 { 2 } else if i < 16 { 3 } else { 5 };
+        assert_eq!(gpu.global().read_u32(0x1000 + 4 * i), want, "lane {i}");
+    }
+    println!("\nall 32 lanes reconverged to the right values in {} cycles", res.cycles);
+
+    // 3. The trace shows the serialized paths: the same `mov` pcs execute
+    //    under different masks as the warp walks taken-side-first.
+    let trace = gpu.take_trace();
+    println!("\nfirst 30 pipeline events:\n{}", trace.render(30));
+    println!(
+        "note the CTRL events: ssy pushes, the divergent bra splits, and each\n\
+         sync either switches to the deferred path or reconverges."
+    );
+}

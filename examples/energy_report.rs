@@ -1,0 +1,71 @@
+//! Full-suite energy accounting: runs every benchmark under baseline, BOW,
+//! BOW-WR and RFC, and prints normalized register-file dynamic energy with
+//! overheads — the Fig. 13 experiment as a library walkthrough, plus the
+//! storage/area arithmetic of §V-A.
+//!
+//! ```sh
+//! cargo run --release --example energy_report
+//! ```
+
+use bow::energy::{AreaModel, StorageOverhead};
+use bow::prelude::*;
+
+fn main() {
+    let model = EnergyModel::table_iv();
+    let configs = [Config::bow(3), Config::bow_wr(3), Config::rfc()];
+
+    let mut rows = Vec::new();
+    let mut sums = vec![(0.0f64, 0.0f64); configs.len()];
+    let mut n = 0;
+    for bench in suite(Scale::Test) {
+        let base = bow::experiment::run(bench.as_ref(), Config::baseline());
+        base.assert_checked();
+        let base_counts = base.outcome.result.stats.access_counts();
+        let mut row = vec![bench.name().to_string()];
+        for (i, cfg) in configs.iter().enumerate() {
+            let rec = bow::experiment::run(bench.as_ref(), cfg.clone());
+            rec.assert_checked();
+            let rep = EnergyReport::normalized(
+                &model,
+                &rec.outcome.result.stats.access_counts(),
+                &base_counts,
+            );
+            row.push(format!("{:.2}+{:.2}", rep.rf_dynamic_norm, rep.overhead_norm));
+            sums[i].0 += rep.rf_dynamic_norm;
+            sums[i].1 += rep.overhead_norm;
+        }
+        rows.push(row);
+        n += 1;
+    }
+    let mut avg = vec!["average".to_string()];
+    for &(d, o) in &sums {
+        avg.push(format!("{:.2}+{:.2}", d / n as f64, o / n as f64));
+    }
+    rows.push(avg);
+
+    println!("normalized RF dynamic energy + overhead (baseline = 1.00)\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(&["benchmark", "bow iw3", "bow-wr iw3", "rfc"], &rows)
+    );
+
+    println!("storage & area (§V-A):");
+    let full = StorageOverhead::bow_full(3, 32);
+    let half = StorageOverhead::bow_half(3, 32);
+    println!(
+        "  full-size BOCs: {} KB added/SM ({:.1}% of a 256 KB RF)",
+        full.added_bytes_per_sm() / 1024,
+        100.0 * full.fraction_of_rf(256 * 1024)
+    );
+    println!(
+        "  half-size BOCs: {} KB added/SM ({:.1}% of a 256 KB RF)",
+        half.added_bytes_per_sm() / 1024,
+        100.0 * half.fraction_of_rf(256 * 1024)
+    );
+    let area = AreaModel::paper();
+    println!(
+        "  BOC network area: {:.1}% of one register bank, {:.2}% of the full RF",
+        100.0 * area.fraction_of_bank(),
+        100.0 * area.fraction_of_rf()
+    );
+}

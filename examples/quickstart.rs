@@ -1,0 +1,52 @@
+//! Quickstart: run one benchmark under every pipeline model and compare
+//! IPC, register-file traffic and energy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bow::prelude::*;
+
+fn main() {
+    let bench = bow::workloads::by_name("btree", Scale::Test).expect("btree exists");
+    let model = EnergyModel::table_iv();
+
+    let configs = vec![
+        Config::baseline(),
+        Config::bow(3),
+        Config::bow_wr(3),
+        Config::bow_wr_half(3),
+        Config::rfc(),
+    ];
+
+    let baseline = bow::experiment::run(bench.as_ref(), Config::baseline());
+    baseline.assert_checked();
+    let base_counts = baseline.outcome.result.stats.access_counts();
+
+    println!("benchmark: {} ({})\n", bench.name(), bench.description());
+    let mut rows = Vec::new();
+    for config in configs {
+        let rec = bow::experiment::run(bench.as_ref(), config);
+        rec.assert_checked();
+        let s = &rec.outcome.result.stats;
+        let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
+        rows.push(vec![
+            rec.label.clone(),
+            format!("{:.3}", rec.ipc()),
+            format!("{:+.1}%", 100.0 * (rec.ipc() / baseline.ipc() - 1.0)),
+            s.rf.reads.to_string(),
+            s.rf.writes.to_string(),
+            bow::experiment::pct(s.read_bypass_rate()),
+            bow::experiment::pct(s.write_bypass_rate()),
+            format!("{:.2}", energy.total_norm()),
+        ]);
+    }
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["config", "ipc", "vs base", "rf reads", "rf writes", "rd bypass", "wr bypass", "energy"],
+            &rows,
+        )
+    );
+    println!("energy is RF dynamic + overhead, normalized to the baseline (Fig. 13).");
+}

@@ -1,0 +1,58 @@
+//! Trace-driven characterization: capture a kernel's dynamic operand
+//! stream once, then re-sweep the instruction-window analysis offline —
+//! the capture/replay split architecture studies use to explore parameter
+//! spaces without re-running the simulator.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use bow::prelude::*;
+use bow::sim::{record_straightline, replay};
+
+fn main() {
+    // A straight-line kernel with mixed reuse distances.
+    let r = Reg::r;
+    let kernel = KernelBuilder::new("mixed_reuse")
+        .s2r(r(0), Special::TidX)
+        .imul(r(1), r(0).into(), Operand::Imm(3)) // r0 distance 1
+        .iadd(r(2), r(1).into(), r(0).into()) //     r1 d1, r0 d2
+        .shl(r(3), r(0).into(), Operand::Imm(2)) // r0 d3
+        .xor(r(4), r(1).into(), r(2).into()) //      r1 d3, r2 d2
+        .imad(r(5), r(3).into(), r(4).into(), r(1).into()) // r1 d5
+        .iadd(r(6), r(0).into(), r(5).into()) //     r0 d6
+        .exit()
+        .build()
+        .expect("kernel builds");
+
+    // 1. Capture once (fast: no timing model).
+    let trace = record_straightline(&kernel, 32);
+    println!(
+        "captured `{}`: {} dynamic instructions across {} warps",
+        trace.kernel,
+        trace.len(),
+        trace.warps.len()
+    );
+
+    // 2. Ship it anywhere: the trace serializes to JSON.
+    let json = trace.to_json().expect("serializes");
+    let restored = bow::sim::KernelTrace::from_json(&json).expect("round-trips");
+    assert_eq!(restored, trace);
+    println!("trace JSON: {} bytes\n", json.len());
+
+    // 3. Re-sweep windows offline, instantly.
+    let reports = replay(&restored, &[1, 2, 3, 4, 5, 6, 7]);
+    println!("window  read-bypass  write-bypass");
+    for rep in &reports {
+        println!(
+            "  IW{}      {:>6}      {:>6}",
+            rep.window,
+            format!("{:.0}%", 100.0 * rep.read_rate()),
+            format!("{:.0}%", 100.0 * rep.write_rate())
+        );
+    }
+    println!("\nthe curve saturates once every reuse chain fits: the sliding");
+    println!("window is *extended* by each read, so even the distance-6 use of r0");
+    println!("is covered by IW4 (its distance-3 read kept the entry alive) —");
+    println!("exactly the Fig. 3 experiment, without re-running the machine.");
+}

@@ -1,0 +1,51 @@
+//! Sweep the instruction-window size over the whole benchmark suite and
+//! print the bypass-opportunity curve — the experiment behind the paper's
+//! motivation figure (Fig. 3).
+//!
+//! ```sh
+//! cargo run --release --example window_explorer
+//! ```
+
+use bow::prelude::*;
+
+fn main() {
+    let windows = [2u32, 3, 4, 5, 6, 7];
+    println!("bypass opportunity per instruction window (read% / write%)\n");
+
+    let mut rows = Vec::new();
+    let mut totals = vec![(0u64, 0u64, 0u64, 0u64); windows.len()];
+    for bench in suite(Scale::Test) {
+        let config = Config::baseline().with_analyzer(&windows);
+        let rec = bow::experiment::run(bench.as_ref(), config);
+        rec.assert_checked();
+        let mut row = vec![bench.name().to_string()];
+        for (i, w) in rec.outcome.result.windows.iter().enumerate() {
+            row.push(format!(
+                "{:.0}/{:.0}",
+                100.0 * w.read_rate(),
+                100.0 * w.write_rate()
+            ));
+            totals[i].0 += w.bypassed_reads;
+            totals[i].1 += w.total_reads;
+            totals[i].2 += w.bypassed_writes;
+            totals[i].3 += w.total_writes;
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for &(br, tr, bw, tw) in &totals {
+        avg.push(format!(
+            "{:.0}/{:.0}",
+            100.0 * br as f64 / tr.max(1) as f64,
+            100.0 * bw as f64 / tw.max(1) as f64
+        ));
+    }
+    rows.push(avg);
+
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(windows.iter().map(|w| format!("IW{w}")))
+        .collect();
+    let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", bow::experiment::render_table(&hrefs, &rows));
+    println!("paper (avg): IW2 ~45/35, IW3 ~59/52, IW7 >70 (reads).");
+}

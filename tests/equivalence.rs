@@ -1,0 +1,115 @@
+//! The repository's central invariant: bypassing never changes
+//! architectural state. Every benchmark must produce bit-identical results
+//! under every collector model, and every run must match its host
+//! reference.
+
+use bow::prelude::*;
+
+fn all_configs() -> Vec<Config> {
+    vec![
+        Config::baseline(),
+        Config::bow(2),
+        Config::bow(3),
+        Config::bow(4),
+        Config::bow_writeback(3),
+        Config::bow_wr(2),
+        Config::bow_wr(3),
+        Config::bow_wr(4),
+        Config::bow_wr_half(3),
+        Config::bow_flex(6),
+        Config::bow_flex(12),
+        Config::bow_wr_reordered(3),
+        Config::rfc(),
+    ]
+}
+
+#[test]
+fn every_benchmark_matches_reference_under_every_collector() {
+    for bench in suite(Scale::Test) {
+        for config in all_configs() {
+            let label = config.label.clone();
+            let rec = bow::experiment::run(bench.as_ref(), config);
+            assert!(
+                rec.outcome.result.completed,
+                "{} under {label} hit the watchdog",
+                bench.name()
+            );
+            if let Err(e) = &rec.outcome.checked {
+                panic!("{} under {label}: {e}", bench.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_satisfy_accounting_identities() {
+    for bench in suite(Scale::Test) {
+        for config in [Config::baseline(), Config::bow(3), Config::bow_wr(3), Config::rfc()] {
+            let label = config.label.clone();
+            let rec = bow::experiment::run(bench.as_ref(), config);
+            let s = &rec.outcome.result.stats;
+            // Reads: every unique source register was bypassed, served by
+            // the RFC, or served by a bank.
+            assert!(
+                s.rf.reads + s.bypassed_reads + s.rfc_reads > 0,
+                "{label}: no reads at all?"
+            );
+            // Writes: everything produced is routed somewhere.
+            assert!(
+                s.rf_writes_routed + s.bypassed_writes <= s.writes_total + s.forced_evictions,
+                "{}: {label}: routed {} + bypassed {} > total {}",
+                bench.name(),
+                s.rf_writes_routed,
+                s.bypassed_writes,
+                s.writes_total
+            );
+            // Baseline never bypasses.
+            if label == "baseline" {
+                assert_eq!(s.bypassed_reads, 0);
+                assert_eq!(s.bypassed_writes, 0);
+                assert_eq!(s.writes_total, s.rf_writes_routed);
+            }
+            // IPC is finite and positive.
+            assert!(rec.ipc() > 0.0 && rec.ipc().is_finite());
+        }
+    }
+}
+
+#[test]
+fn bypass_rates_monotonic_in_window_for_reads() {
+    // Larger windows can only expose more read reuse (Fig. 3 trend),
+    // checked on the analyzer which is timing-independent.
+    for bench in suite(Scale::Test) {
+        let config = Config::baseline().with_analyzer(&[2, 3, 4, 5, 6, 7]);
+        let rec = bow::experiment::run(bench.as_ref(), config);
+        let rates: Vec<f64> =
+            rec.outcome.result.windows.iter().map(|w| w.read_rate()).collect();
+        for pair in rates.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-9,
+                "{}: read bypass not monotone: {rates:?}",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_never_exceeds_baseline_for_bow_wr() {
+    let model = EnergyModel::table_iv();
+    for bench in suite(Scale::Test) {
+        let base = bow::experiment::run(bench.as_ref(), Config::baseline());
+        let wr = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
+        let rep = EnergyReport::normalized(
+            &model,
+            &wr.outcome.result.stats.access_counts(),
+            &base.outcome.result.stats.access_counts(),
+        );
+        assert!(
+            rep.total_norm() < 1.0,
+            "{}: BOW-WR energy {:.3} not below baseline",
+            bench.name(),
+            rep.total_norm()
+        );
+    }
+}

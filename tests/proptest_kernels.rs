@@ -1,0 +1,167 @@
+//! Property-based testing: random kernels (straight-line and structured
+//! branches/loops) must produce identical final memory under every
+//! collector model, and the compiler pass must never change results.
+
+use bow::prelude::*;
+use proptest::prelude::*;
+
+const OUT: u64 = 0x10_0000;
+const SCRATCH: u64 = 0x20_0000;
+
+/// A random, always-terminating kernel: a prologue computing the thread
+/// index, `body` arithmetic instructions over 8 registers, an optional
+/// predicated diamond and an optional bounded loop, then a store of every
+/// register.
+#[derive(Clone, Debug)]
+struct RandomKernel {
+    ops: Vec<(u8, u8, u8, u8)>, // (opcode selector, dst, src1, src2)
+    diamond: bool,
+    loop_trips: u8,
+}
+
+fn op_strategy() -> impl Strategy<Value = (u8, u8, u8, u8)> {
+    (0u8..12, 0u8..8, 0u8..8, 0u8..8)
+}
+
+fn kernel_strategy() -> impl Strategy<Value = RandomKernel> {
+    (
+        proptest::collection::vec(op_strategy(), 3..24),
+        any::<bool>(),
+        0u8..4,
+    )
+        .prop_map(|(ops, diamond, loop_trips)| RandomKernel { ops, diamond, loop_trips })
+}
+
+impl RandomKernel {
+    fn build(&self) -> Kernel {
+        let r = |i: u8| Reg::r(8 + i); // r8..r15 are the data registers
+        let mut b = KernelBuilder::new("random")
+            .s2r(Reg::r(0), Special::TidX)
+            .s2r(Reg::r(1), Special::CtaidX)
+            .s2r(Reg::r(2), Special::NtidX)
+            .imad(Reg::r(0), Reg::r(1).into(), Reg::r(2).into(), Reg::r(0).into());
+        // Seed data registers from the thread index.
+        for i in 0..8u8 {
+            b = b.imad(
+                r(i),
+                Reg::r(0).into(),
+                Operand::Imm(u32::from(i) * 7 + 3),
+                Operand::Imm(u32::from(i).wrapping_mul(0x9e37)),
+            );
+        }
+        let emit = |mut b: KernelBuilder, chunk: &[(u8, u8, u8, u8)]| {
+            for &(op, d, s1, s2) in chunk {
+                let (d, a, c) = (r(d), Operand::Reg(r(s1)), Operand::Reg(r(s2)));
+                b = match op % 12 {
+                    0 => b.iadd(d, a, c),
+                    1 => b.isub(d, a, c),
+                    2 => b.imul(d, a, c),
+                    3 => b.imad(d, a, c, Operand::Imm(13)),
+                    4 => b.and(d, a, c),
+                    5 => b.or(d, a, c),
+                    6 => b.xor(d, a, c),
+                    7 => b.shl(d, a, Operand::Imm(u32::from(s2) % 31)),
+                    8 => b.shr(d, a, Operand::Imm(u32::from(s2) % 31)),
+                    9 => b.imin(d, a, c),
+                    10 => b.imax(d, a, c),
+                    _ => b.isad(d, a, c, Operand::Imm(1)),
+                };
+            }
+            b
+        };
+        let half = self.ops.len() / 2;
+        b = emit(b, &self.ops[..half]);
+        if self.diamond {
+            // if (r8 & 1) r9 ^= r10 else r9 += r11, reconverging.
+            b = b
+                .and(Reg::r(3), r(0).into(), Operand::Imm(1))
+                .isetp(CmpOp::Ne, Pred::p(0), Reg::r(3).into(), Operand::Imm(0))
+                .ssy("join")
+                .bra_if(Pred::p(0), false, "then")
+                .iadd(r(1), r(1).into(), r(3).into())
+                .bra("join")
+                .label("then")
+                .xor(r(1), r(1).into(), r(2).into())
+                .label("join")
+                .sync();
+        }
+        if self.loop_trips > 0 {
+            b = b
+                .mov_imm(Reg::r(4), 0)
+                .label("loop")
+                .iadd(r(2), r(2).into(), r(3).into())
+                .xor(r(3), r(3).into(), Operand::Imm(0x5a5a))
+                .iadd(Reg::r(4), Reg::r(4).into(), Operand::Imm(1))
+                .isetp(
+                    CmpOp::Lt,
+                    Pred::p(1),
+                    Reg::r(4).into(),
+                    Operand::Imm(u32::from(self.loop_trips)),
+                )
+                .bra_if(Pred::p(1), false, "loop");
+        }
+        b = emit(b, &self.ops[half..]);
+        // Store all eight data registers.
+        b = b.shl(Reg::r(5), Reg::r(0).into(), Operand::Imm(5)); // tid * 32 bytes
+        for i in 0..8u8 {
+            b = b
+                .iadd(
+                    Reg::r(6),
+                    Reg::r(5).into(),
+                    Operand::Imm(OUT as u32 + u32::from(i) * 4),
+                )
+                .stg(Reg::r(6), 0, r(i).into());
+        }
+        b.exit().build().expect("random kernel builds")
+    }
+}
+
+fn final_memory(kernel: &Kernel, kind: CollectorKind) -> u64 {
+    let mut gpu = Gpu::new(GpuConfig::scaled(kind));
+    gpu.global_mut().write_slice_u32(SCRATCH, &[0; 4]);
+    let res = gpu.launch(kernel, KernelDims::linear(2, 64), &[]);
+    assert!(res.completed, "watchdog fired");
+    gpu.global().fingerprint()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_collectors_agree_on_final_memory(rk in kernel_strategy()) {
+        let kernel = rk.build();
+        let baseline = final_memory(&kernel, CollectorKind::Baseline);
+        for kind in [
+            CollectorKind::bow(2),
+            CollectorKind::bow(3),
+            CollectorKind::bow_wr(3),
+            CollectorKind::BowWr { window: 3, half_size: true },
+            CollectorKind::rfc6(),
+        ] {
+            prop_assert_eq!(final_memory(&kernel, kind), baseline, "diverged under {:?}", kind);
+        }
+    }
+
+    #[test]
+    fn compiler_annotation_never_changes_results(rk in kernel_strategy()) {
+        let kernel = rk.build();
+        let plain = final_memory(&kernel, CollectorKind::bow_wr(3));
+        let (annotated, _) = annotate(&kernel, 3);
+        let hinted = final_memory(&annotated, CollectorKind::bow_wr(3));
+        prop_assert_eq!(plain, hinted);
+    }
+
+    #[test]
+    fn bow_never_reads_more_than_baseline(rk in kernel_strategy()) {
+        let kernel = rk.build();
+        let run = |kind: CollectorKind| {
+            let mut gpu = Gpu::new(GpuConfig::scaled(kind));
+            gpu.launch(&kernel, KernelDims::linear(2, 64), &[]).stats
+        };
+        let base = run(CollectorKind::Baseline);
+        let bow = run(CollectorKind::bow(3));
+        prop_assert!(bow.rf.reads <= base.rf.reads);
+        prop_assert_eq!(bow.rf.reads + bow.bypassed_reads, base.rf.reads,
+            "every source read is either bypassed or served by a bank");
+    }
+}
