@@ -1,83 +1,125 @@
-//! Criterion benches: simulator throughput per collector model, the
-//! compiler pass, and the window analyzer. These measure the *library's*
+//! Throughput benches: simulator speed per collector model, the compiler
+//! pass, and the window analyzer. These measure the *library's*
 //! performance (cycles simulated per second), complementing the figure
 //! binaries which measure the *modelled GPU's* behaviour.
+//!
+//! Hand-rolled harness (`harness = false`): the workspace builds offline
+//! with std-only dependencies, so there is no criterion. Each case is
+//! warmed up once, then timed over a fixed iteration count; the report
+//! prints min / median / mean wall time per iteration.
+//!
+//! ```sh
+//! cargo bench --offline -p bow-bench
+//! ```
 
 use bow::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
-fn bench_collectors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_vectoradd");
-    group.sample_size(10);
-    let bench = bow::workloads::by_name("vectoradd", Scale::Test).expect("exists");
-    for config in [
-        Config::baseline(),
-        Config::bow(3),
-        Config::bow_wr(3),
-        Config::bow_wr_half(3),
-        Config::rfc(),
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&config.label),
-            &config,
-            |b, cfg| {
-                b.iter(|| {
-                    let rec = bow::experiment::run(bench.as_ref(), cfg.clone());
-                    assert!(rec.outcome.checked.is_ok());
-                    rec.outcome.result.cycles
-                })
-            },
-        );
+const ITERS: usize = 10;
+
+/// Times `f` over [`ITERS`] iterations (after one warm-up) and prints a
+/// one-line report. The closure's return value is accumulated into a
+/// volatile sink so the optimizer cannot drop the work.
+fn bench(name: &str, mut f: impl FnMut() -> u64) {
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(f()); // warm-up
+    let mut times: Vec<Duration> = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        times.push(t0.elapsed());
     }
-    group.finish();
+    times.sort();
+    let total: Duration = times.iter().sum();
+    println!(
+        "{name:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+        times[0],
+        times[ITERS / 2],
+        total / ITERS as u32
+    );
+    std::hint::black_box(sink);
 }
 
-fn bench_window_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bow_window_size");
-    group.sample_size(10);
-    let bench = bow::workloads::by_name("btree", Scale::Test).expect("exists");
-    for w in [2u32, 3, 4, 7] {
-        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
-            b.iter(|| {
-                let rec = bow::experiment::run(bench.as_ref(), Config::bow_wr(w));
-                assert!(rec.outcome.checked.is_ok());
-                rec.outcome.result.cycles
-            })
+fn bench_collectors() {
+    let b = bow::workloads::by_name("vectoradd", Scale::Test).expect("exists");
+    for config in [
+        ConfigBuilder::baseline().build(),
+        ConfigBuilder::bow(3).build(),
+        ConfigBuilder::bow_wr(3).build(),
+        ConfigBuilder::bow_wr(3).half_size(true).build(),
+        ConfigBuilder::rfc().build(),
+    ] {
+        let name = format!("simulate_vectoradd/{}", config.label);
+        bench(&name, || {
+            let rec = bow::experiment::run(b.as_ref(), config.clone());
+            assert!(rec.outcome.checked.is_ok());
+            rec.outcome.result.cycles
         });
     }
-    group.finish();
 }
 
-fn bench_compiler_pass(c: &mut Criterion) {
+fn bench_window_sweep() {
+    let b = bow::workloads::by_name("btree", Scale::Test).expect("exists");
+    for w in [2u32, 3, 4, 7] {
+        bench(&format!("bow_window_size/iw{w}"), || {
+            let rec = bow::experiment::run(b.as_ref(), ConfigBuilder::bow_wr(w).build());
+            assert!(rec.outcome.checked.is_ok());
+            rec.outcome.result.cycles
+        });
+    }
+}
+
+fn bench_suite_engine() {
+    // The sweep engine itself: the same 2×3 matrix serial vs parallel.
+    for jobs in [1usize, 4] {
+        bench(&format!("suite_engine/jobs{jobs}"), || {
+            let result = Suite::over(
+                ["vectoradd", "lps"]
+                    .iter()
+                    .map(|n| bow::workloads::by_name(n, Scale::Test).expect("exists"))
+                    .collect(),
+            )
+            .configs([
+                ConfigBuilder::baseline().build(),
+                ConfigBuilder::bow(3).build(),
+                ConfigBuilder::bow_wr(3).build(),
+            ])
+            .jobs(jobs)
+            .progress(false)
+            .run();
+            result.rows.iter().map(|r| r.records.len() as u64).sum()
+        });
+    }
+}
+
+fn bench_compiler_pass() {
     let kernels: Vec<Kernel> = suite(Scale::Test).iter().map(|b| b.kernel()).collect();
-    c.bench_function("compiler_annotate_suite", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for k in &kernels {
-                let (_, rep) = annotate(k, 3);
-                total += rep.total_writes();
-            }
-            total
-        })
+    bench("compiler_annotate_suite", || {
+        let mut total = 0usize;
+        for k in &kernels {
+            let (_, rep) = annotate(k, 3);
+            total += rep.total_writes();
+        }
+        total as u64
     });
 }
 
-fn bench_analyzer(c: &mut Criterion) {
-    let bench = bow::workloads::by_name("sto", Scale::Test).expect("exists");
-    c.bench_function("fig3_analyzer_six_windows", |b| {
-        b.iter(|| {
-            let cfg = Config::baseline().with_analyzer(&[2, 3, 4, 5, 6, 7]);
-            let rec = bow::experiment::run(bench.as_ref(), cfg);
-            rec.outcome.result.windows.len()
-        })
+fn bench_analyzer() {
+    let b = bow::workloads::by_name("sto", Scale::Test).expect("exists");
+    bench("fig3_analyzer_six_windows", || {
+        let cfg = ConfigBuilder::baseline()
+            .analyzer(&[2, 3, 4, 5, 6, 7])
+            .build();
+        let rec = bow::experiment::run(b.as_ref(), cfg);
+        rec.outcome.result.windows.len() as u64
     });
 }
 
-criterion_group!(
-    benches,
-    bench_collectors,
-    bench_window_sweep,
-    bench_compiler_pass,
-    bench_analyzer
-);
-criterion_main!(benches);
+fn main() {
+    println!("pipeline benches ({ITERS} iterations each, Scale::Test)\n");
+    bench_collectors();
+    bench_window_sweep();
+    bench_suite_engine();
+    bench_compiler_pass();
+    bench_analyzer();
+}

@@ -6,46 +6,112 @@
 //! 3. bank→collector read latency and crossbar width — the model knobs the
 //!    baseline's OC pressure depends on;
 //! 4. buffer-bounded bypassing (`BowFlex`, the paper's future work) at
-//!    equal storage vs windowed BOW-WR.
+//!    equal storage vs windowed BOW-WR;
+//! 5. the footnote-1 bypass-aware instruction scheduler.
+//!
+//! All configurations go into one (benchmark × config) matrix and run
+//! concurrently on the sweep engine; `--jobs N` picks the worker count.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin ablation_sweep
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin ablation_sweep -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{geomean_speedup, run_suite, scale_from_env};
+use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
+use bow_energy::AccessCounts;
 use bow_sim::SchedPolicy;
 
 fn main() {
     let scale = scale_from_env();
     let model = EnergyModel::table_iv();
-    let base = run_suite(&Config::baseline(), scale);
-    let base_counts: Vec<_> =
-        base.iter().map(|r| r.outcome.result.stats.access_counts()).collect();
+
+    // The whole ablation as one matrix. Labels are unique, so the
+    // sections below pull their rows back out by name; `bow-wr iw3` is
+    // shared by ablations 1, 4 and 5 and simulated once.
+    let mut configs: Vec<Config> = vec![ConfigBuilder::baseline().build()];
+    for w in 1..=7u32 {
+        configs.push(ConfigBuilder::bow_wr(w).build());
+    }
+    for (name, pol) in [("gto", SchedPolicy::Gto), ("lrr", SchedPolicy::Lrr)] {
+        let mut cfg = ConfigBuilder::baseline()
+            .label(format!("baseline {name}"))
+            .build();
+        cfg.gpu.sched = pol;
+        configs.push(cfg);
+    }
+    for lat in [0u32, 1, 2, 4] {
+        let mut b = ConfigBuilder::baseline()
+            .label(format!("baseline lat{lat}"))
+            .build();
+        b.gpu.rf_read_latency = lat;
+        let mut o = ConfigBuilder::bow_wr(3)
+            .label(format!("bow-wr iw3 lat{lat}"))
+            .build();
+        o.gpu.rf_read_latency = lat;
+        configs.push(b);
+        configs.push(o);
+    }
+    for width in [2u32, 4, 8, 32] {
+        let mut b = ConfigBuilder::baseline()
+            .label(format!("baseline xbar{width}"))
+            .build();
+        b.gpu.xbar_width = width;
+        let mut o = ConfigBuilder::bow_wr(3)
+            .label(format!("bow-wr iw3 xbar{width}"))
+            .build();
+        o.gpu.xbar_width = width;
+        configs.push(b);
+        configs.push(o);
+    }
+    configs.push(ConfigBuilder::bow_wr(3).half_size(true).build());
+    configs.push(ConfigBuilder::bow_flex(6).build());
+    configs.push(ConfigBuilder::bow_flex(12).build());
+    configs.push(ConfigBuilder::bow_wr(3).reorder(true).build());
+    configs.push(ConfigBuilder::bow_wr(2).reorder(true).build());
+
+    let result = sweep(configs, scale);
+    export_sweep("ablation_sweep", &result);
+    let row = |label: &str| -> &[RunRecord] {
+        result
+            .records(label)
+            .unwrap_or_else(|| panic!("swept config {label:?}"))
+    };
+    let base = row("baseline");
+    let base_counts: Vec<AccessCounts> = base
+        .iter()
+        .map(|r| r.outcome.result.stats.access_counts())
+        .collect();
+    let suite_energy = |recs: &[RunRecord]| -> f64 {
+        recs.iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let counts = r.outcome.result.stats.access_counts();
+                EnergyReport::normalized(&model, &counts, &base_counts[i]).total_norm()
+            })
+            .sum::<f64>()
+            / recs.len() as f64
+    };
 
     // ---- 1. window sweep ----
     println!("ablation 1 — BOW-WR window size (suite geomean / totals)\n");
     let mut rows = Vec::new();
     for w in 1..=7u32 {
-        let recs = run_suite(&Config::bow_wr(w), scale);
-        let speed = geomean_speedup(&base, &recs);
+        let recs = row(&format!("bow-wr iw{w}"));
+        let speed = geomean_speedup(base, recs);
         let (mut br, mut tr, mut wwb, mut wt) = (0u64, 0u64, 0u64, 0u64);
-        let mut energy = 0.0;
-        for (i, r) in recs.iter().enumerate() {
+        for r in recs {
             let s = &r.outcome.result.stats;
             br += s.bypassed_reads;
             tr += s.bypassed_reads + s.rf.reads;
             wwb += s.bypassed_writes;
             wt += s.writes_total;
-            energy +=
-                EnergyReport::normalized(&model, &s.access_counts(), &base_counts[i]).total_norm();
         }
         rows.push(vec![
             format!("IW{w}"),
             format!("{:+.1}%", 100.0 * (speed - 1.0)),
             bow::experiment::pct(br as f64 / tr.max(1) as f64),
             bow::experiment::pct(wwb as f64 / wt.max(1) as f64),
-            format!("{:.2}", energy / recs.len() as f64),
+            format!("{:.2}", suite_energy(recs)),
         ]);
     }
     println!(
@@ -59,70 +125,62 @@ fn main() {
     // ---- 2. scheduler policy ----
     println!("ablation 2 — warp scheduler (baseline GPU)\n");
     let mut rows = Vec::new();
-    for (name, pol) in [("gto", SchedPolicy::Gto), ("lrr", SchedPolicy::Lrr)] {
-        let mut cfg = Config::baseline();
-        cfg.gpu.sched = pol;
-        cfg.label = format!("baseline {name}");
-        let recs = run_suite(&cfg, scale);
+    for name in ["gto", "lrr"] {
+        let recs = row(&format!("baseline {name}"));
         let cycles: u64 = recs.iter().map(|r| r.outcome.result.cycles).sum();
         rows.push(vec![name.to_string(), cycles.to_string()]);
     }
-    println!("{}", bow::experiment::render_table(&["policy", "suite cycles"], &rows));
+    println!(
+        "{}",
+        bow::experiment::render_table(&["policy", "suite cycles"], &rows)
+    );
 
     // ---- 3. read latency & crossbar width ----
     println!("ablation 3 — collector read latency / crossbar width (BOW-WR IW3 gain)\n");
     let mut rows = Vec::new();
     for lat in [0u32, 1, 2, 4] {
-        let mut b = Config::baseline();
-        b.gpu.rf_read_latency = lat;
-        let mut o = Config::bow_wr(3);
-        o.gpu.rf_read_latency = lat;
-        let bs = run_suite(&b, scale);
-        let os = run_suite(&o, scale);
+        let bs = row(&format!("baseline lat{lat}"));
+        let os = row(&format!("bow-wr iw3 lat{lat}"));
         rows.push(vec![
             format!("latency {lat}"),
-            format!("{:+.1}%", 100.0 * (geomean_speedup(&bs, &os) - 1.0)),
+            format!("{:+.1}%", 100.0 * (geomean_speedup(bs, os) - 1.0)),
         ]);
     }
     for width in [2u32, 4, 8, 32] {
-        let mut b = Config::baseline();
-        b.gpu.xbar_width = width;
-        let mut o = Config::bow_wr(3);
-        o.gpu.xbar_width = width;
-        let bs = run_suite(&b, scale);
-        let os = run_suite(&o, scale);
+        let bs = row(&format!("baseline xbar{width}"));
+        let os = row(&format!("bow-wr iw3 xbar{width}"));
         rows.push(vec![
             format!("xbar {width}"),
-            format!("{:+.1}%", 100.0 * (geomean_speedup(&bs, &os) - 1.0)),
+            format!("{:+.1}%", 100.0 * (geomean_speedup(bs, os) - 1.0)),
         ]);
     }
-    println!("{}", bow::experiment::render_table(&["knob", "bow-wr gain"], &rows));
+    println!(
+        "{}",
+        bow::experiment::render_table(&["knob", "bow-wr gain"], &rows)
+    );
 
     // ---- 4. future work: buffer-bounded bypassing ----
     println!("ablation 4 — windowed vs buffer-bounded bypassing (equal storage)\n");
     let mut rows = Vec::new();
-    for (label, cfg) in [
-        ("bow-wr iw3 half (6 entries)", Config::bow_wr_half(3)),
-        ("bow-flex 6 entries", Config::bow_flex(6)),
-        ("bow-wr iw3 full (12 entries)", Config::bow_wr(3)),
-        ("bow-flex 12 entries", Config::bow_flex(12)),
+    for (label, config) in [
+        ("bow-wr iw3 half (6 entries)", "bow-wr iw3 half"),
+        ("bow-flex 6 entries", "bow-flex c6"),
+        ("bow-wr iw3 full (12 entries)", "bow-wr iw3"),
+        ("bow-flex 12 entries", "bow-flex c12"),
     ] {
-        let recs = run_suite(&cfg, scale);
-        let speed = geomean_speedup(&base, &recs);
+        let recs = row(config);
+        let speed = geomean_speedup(base, recs);
         let (mut br, mut tr) = (0u64, 0u64);
-        let mut energy = 0.0;
-        for (i, r) in recs.iter().enumerate() {
+        for r in recs {
             let s = &r.outcome.result.stats;
             br += s.bypassed_reads;
             tr += s.bypassed_reads + s.rf.reads;
-            energy +=
-                EnergyReport::normalized(&model, &s.access_counts(), &base_counts[i]).total_norm();
         }
         rows.push(vec![
             label.to_string(),
             format!("{:+.1}%", 100.0 * (speed - 1.0)),
             bow::experiment::pct(br as f64 / tr.max(1) as f64),
-            format!("{:.2}", energy / recs.len() as f64),
+            format!("{:.2}", suite_energy(recs)),
         ]);
     }
     println!(
@@ -135,15 +193,15 @@ fn main() {
     // ---- 5. footnote-1 extension: bypass-aware instruction scheduling ----
     println!("ablation 5 — bypass-aware scheduling (paper footnote 1)\n");
     let mut rows = Vec::new();
-    for (label, cfg) in [
-        ("bow-wr iw3", Config::bow_wr(3)),
-        ("bow-wr iw3 + scheduler", Config::bow_wr_reordered(3)),
-        ("bow-wr iw2 + scheduler", Config::bow_wr_reordered(2)),
+    for (label, config) in [
+        ("bow-wr iw3", "bow-wr iw3"),
+        ("bow-wr iw3 + scheduler", "bow-wr+sched iw3"),
+        ("bow-wr iw2 + scheduler", "bow-wr+sched iw2"),
     ] {
-        let recs = run_suite(&cfg, scale);
-        let speed = geomean_speedup(&base, &recs);
+        let recs = row(config);
+        let speed = geomean_speedup(base, recs);
         let (mut br, mut tr, mut bw, mut tw) = (0u64, 0u64, 0u64, 0u64);
-        for r in &recs {
+        for r in recs {
             let s = &r.outcome.result.stats;
             br += s.bypassed_reads;
             tr += s.bypassed_reads + s.rf.reads;

@@ -2,6 +2,9 @@
 //! Static data from the paper's introduction — printed for completeness so
 //! every figure has a regeneration target.
 
+use bow_bench::write_json;
+use bow_util::json::Json;
+
 fn main() {
     // (generation, year, L1D+shared MB, L2 MB, register file MB)
     let gens: [(&str, u32, f64, f64, f64); 5] = [
@@ -12,7 +15,10 @@ fn main() {
         ("Volta", 2018, 10.0, 6.0, 20.0),
     ];
     println!("Fig. 1 — on-chip memory sizes (MB) by GPU generation\n");
-    println!("{:<10} {:>6} {:>12} {:>8} {:>14} {:>8}", "gen", "year", "L1D+shared", "L2", "register file", "RF %");
+    println!(
+        "{:<10} {:>6} {:>12} {:>8} {:>14} {:>8}",
+        "gen", "year", "L1D+shared", "L2", "register file", "RF %"
+    );
     for (name, year, l1, l2, rf) in gens {
         let total = l1 + l2 + rf;
         println!(
@@ -25,6 +31,22 @@ fn main() {
             100.0 * rf / total
         );
     }
+    write_json(
+        "fig01_memsizes",
+        &Json::Arr(
+            gens.iter()
+                .map(|&(name, year, l1, l2, rf)| {
+                    Json::obj([
+                        ("generation", Json::from(name)),
+                        ("year", Json::from(year)),
+                        ("l1_shared_mb", Json::from(l1)),
+                        ("l2_mb", Json::from(l2)),
+                        ("rf_mb", Json::from(rf)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
     println!("\nThe register file dominates on-chip storage and grows every generation —");
     println!("in Pascal it is ~63% of on-chip storage (the paper's motivating fact).");
 }

@@ -2,22 +2,24 @@
 //! operand bypassing, per benchmark, for instruction windows 2..7.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig03_bypass_opportunity
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig03_bypass_opportunity -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, scale_from_env};
+use bow_bench::{export_sweep, scale_from_env, sweep};
 
 fn main() {
     let windows = [2u32, 3, 4, 5, 6, 7];
     let scale = scale_from_env();
-    let config = Config::baseline().with_analyzer(&windows);
-    let records = run_suite(&config, scale);
+    let config = ConfigBuilder::baseline().analyzer(&windows).build();
+    let result = sweep([config], scale);
+    export_sweep("fig03_bypass_opportunity", &result);
+    let records = result.row(0).records();
 
     let mut totals = vec![(0u64, 0u64, 0u64, 0u64); windows.len()];
     let mut read_rows = Vec::new();
     let mut write_rows = Vec::new();
-    for rec in &records {
+    for rec in records {
         let mut rr = vec![rec.benchmark.clone()];
         let mut wr = vec![rec.benchmark.clone()];
         for (i, w) in rec.outcome.result.windows.iter().enumerate() {
@@ -49,5 +51,7 @@ fn main() {
     println!("{}", bow::experiment::render_table(&h, &read_rows));
     println!("Fig. 3 (bottom) — eliminated WRITE requests through bypassing\n");
     println!("{}", bow::experiment::render_table(&h, &write_rows));
-    println!("paper averages: reads 45% (IW2), 59% (IW3), >70% (IW7); writes 35% (IW2), 52% (IW3).");
+    println!(
+        "paper averages: reads 45% (IW2), 59% (IW3), >70% (IW7); writes 35% (IW2), 52% (IW3)."
+    );
 }

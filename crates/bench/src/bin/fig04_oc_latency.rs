@@ -2,14 +2,16 @@
 //! collection stage, for memory vs. non-memory instructions (baseline GPU).
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig04_oc_latency
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig04_oc_latency -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, rows_with_average, scale_from_env};
+use bow_bench::{export_sweep, rows_with_average, scale_from_env, sweep};
 
 fn main() {
-    let records = run_suite(&Config::baseline(), scale_from_env());
+    let result = sweep([ConfigBuilder::baseline().build()], scale_from_env());
+    export_sweep("fig04_oc_latency", &result);
+    let records = result.row(0).records();
 
     let frac = |oc: u64, exec: u64| -> f64 {
         if exec == 0 {
@@ -20,17 +22,20 @@ fn main() {
     };
     let mut sums = (0u64, 0u64, 0u64, 0u64);
     let rows = rows_with_average(
-        &records,
+        records,
         |r| {
             let s = &r.outcome.result.stats;
             vec![
                 bow::experiment::pct(frac(s.oc_cycles_nonmem, s.exec_cycles_nonmem)),
                 bow::experiment::pct(frac(s.oc_cycles_mem, s.exec_cycles_mem)),
-                bow::experiment::pct(frac(s.oc_cycles(), s.exec_cycles_mem + s.exec_cycles_nonmem)),
+                bow::experiment::pct(frac(
+                    s.oc_cycles(),
+                    s.exec_cycles_mem + s.exec_cycles_nonmem,
+                )),
             ]
         },
         {
-            for r in &records {
+            for r in records {
                 let s = &r.outcome.result.stats;
                 sums.0 += s.oc_cycles_nonmem;
                 sums.1 += s.exec_cycles_nonmem;
@@ -48,10 +53,7 @@ fn main() {
     println!("Fig. 4 — share of instruction execution time spent in the OC stage\n");
     println!(
         "{}",
-        bow::experiment::render_table(
-            &["benchmark", "non-memory", "memory", "overall"],
-            &rows
-        )
+        bow::experiment::render_table(&["benchmark", "non-memory", "memory", "overall"], &rows)
     );
     println!("paper: ~25% of execution time overall (up to 47% for STO); memory");
     println!("instructions show a smaller share because their execution is dominated");

@@ -3,24 +3,26 @@
 //! file, or only to the operand collector (transient values).
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig07_write_dest
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig07_write_dest -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, rows_with_average, scale_from_env};
+use bow_bench::{export_sweep, rows_with_average, scale_from_env, sweep};
 
 fn main() {
-    let records = run_suite(&Config::bow_wr(3), scale_from_env());
+    let result = sweep([ConfigBuilder::bow_wr(3).build()], scale_from_env());
+    export_sweep("fig07_write_dest", &result);
+    let records = result.row(0).records();
 
     let mut sums = [0u64; 3];
-    for r in &records {
-        for i in 0..3 {
-            sums[i] += r.outcome.result.stats.write_dest[i];
+    for r in records {
+        for (sum, &n) in sums.iter_mut().zip(&r.outcome.result.stats.write_dest) {
+            *sum += n;
         }
     }
     let sum_total: u64 = sums.iter().sum();
     let rows = rows_with_average(
-        &records,
+        records,
         |r| {
             let d = r.outcome.result.stats.write_dest;
             let total: u64 = d.iter().sum::<u64>().max(1);
@@ -45,7 +47,7 @@ fn main() {
     );
     println!("paper averages: 21% RF-only / 27% OC-then-RF / 52% transient.");
     println!("\neffective register-file reduction (registers never allocated):");
-    for r in &records {
+    for r in records {
         if let Some(c) = &r.compiler {
             println!(
                 "  {:<12} {:>3} of {:>3} regs transient ({})",

@@ -2,24 +2,26 @@
 //! entries each issued instruction actually uses (baseline GPU).
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig08_ocu_occupancy
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig08_ocu_occupancy -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, rows_with_average, scale_from_env};
+use bow_bench::{export_sweep, rows_with_average, scale_from_env, sweep};
 
 fn main() {
-    let records = run_suite(&Config::baseline(), scale_from_env());
+    let result = sweep([ConfigBuilder::baseline().build()], scale_from_env());
+    export_sweep("fig08_ocu_occupancy", &result);
+    let records = result.row(0).records();
 
     let mut sums = [0u64; 4];
-    for r in &records {
-        for i in 0..4 {
-            sums[i] += r.outcome.result.stats.src_count_hist[i];
+    for r in records {
+        for (sum, &n) in sums.iter_mut().zip(&r.outcome.result.stats.src_count_hist) {
+            *sum += n;
         }
     }
     let grand: u64 = sums.iter().sum();
     let rows = rows_with_average(
-        &records,
+        records,
         |r| {
             let h = r.outcome.result.stats.src_count_hist;
             let total: u64 = h.iter().sum::<u64>().max(1);
@@ -36,7 +38,13 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "0 sources", "1 source", "2 sources", "3 sources"],
+            &[
+                "benchmark",
+                "0 sources",
+                "1 source",
+                "2 sources",
+                "3 sources"
+            ],
             &rows
         )
     );

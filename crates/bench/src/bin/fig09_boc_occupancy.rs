@@ -3,14 +3,16 @@
 //! sampled per cycle per active BOC.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig09_boc_occupancy
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig09_boc_occupancy -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, rows_with_average, scale_from_env};
+use bow_bench::{export_sweep, rows_with_average, scale_from_env, sweep};
 
 fn main() {
-    let records = run_suite(&Config::bow_wr(3), scale_from_env());
+    let result = sweep([ConfigBuilder::bow_wr(3).build()], scale_from_env());
+    export_sweep("fig09_boc_occupancy", &result);
+    let records = result.row(0).records();
 
     // Buckets mirroring the paper: <=2, 3, 4, 5, 6, >=7.
     let bucketize = |hist: &[u64]| -> [u64; 6] {
@@ -32,7 +34,7 @@ fn main() {
     let mut sums = [0u64; 6];
     let mut half_exceeded = 0u64;
     let mut samples_total = 0u64;
-    for r in &records {
+    for r in records {
         let s = &r.outcome.result.stats;
         let b = bucketize(&s.boc_occupancy_hist);
         for i in 0..6 {
@@ -48,7 +50,7 @@ fn main() {
     let grand: u64 = sums.iter().sum();
 
     let rows = rows_with_average(
-        &records,
+        records,
         |r| {
             let b = bucketize(&r.outcome.result.stats.boc_occupancy_hist);
             let total: u64 = b.iter().sum::<u64>().max(1);
@@ -64,10 +66,7 @@ fn main() {
     println!("Fig. 9 — live BOC entries per sampled cycle (BOW-WR, IW3, 12 entries)\n");
     println!(
         "{}",
-        bow::experiment::render_table(
-            &["benchmark", "<=2", "3", "4", "5", "6", ">=7"],
-            &rows
-        )
+        bow::experiment::render_table(&["benchmark", "<=2", "3", "4", "5", "6", ">=7"], &rows)
     );
     println!(
         "cycles needing more than half (6) of the entries: {} ({})",

@@ -1,42 +1,49 @@
 //! Fig. 10: IPC improvement of BOW (a) and BOW-WR (b) over the baseline
-//! for instruction windows 2, 3 and 4.
+//! for instruction windows 2, 3 and 4 — all seven configurations swept as
+//! one parallel matrix.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig10_ipc
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig10_ipc -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{export_json, geomean_speedup, run_suite, scale_from_env};
+use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
 
 fn main() {
     let scale = scale_from_env();
-    let base = run_suite(&Config::baseline(), scale);
-    export_json("fig10_baseline", &base);
+    let windows = [2u32, 3, 4];
+    let mut configs = vec![ConfigBuilder::baseline().build()];
+    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow(w).build()));
+    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow_wr(w).build()));
+    let result = sweep(configs, scale);
+    export_sweep("fig10_ipc", &result);
+    let base = result.records("baseline").expect("baseline row");
 
-    let variants: [(&str, fn(u32) -> Config); 2] =
-        [("(a) BOW", Config::bow), ("(b) BOW-WR", Config::bow_wr)];
-    for (title, make) in variants {
-        let runs: Vec<(u32, Vec<RunRecord>)> = [2u32, 3, 4]
-            .into_iter()
-            .map(|w| (w, run_suite(&make(w), scale)))
+    for (title, prefix) in [("(a) BOW", "bow"), ("(b) BOW-WR", "bow-wr")] {
+        let runs: Vec<&[RunRecord]> = windows
+            .iter()
+            .map(|w| {
+                result
+                    .records(&format!("{prefix} iw{w}"))
+                    .expect("swept row")
+            })
             .collect();
-        for (w, recs) in &runs {
-            export_json(&format!("fig10_{}_iw{w}", title.trim_start_matches("(a) ").trim_start_matches("(b) ").to_lowercase().replace('-', "_")), recs);
-        }
 
         let mut rows = Vec::new();
         for (i, b) in base.iter().enumerate() {
             let mut row = vec![b.benchmark.clone()];
-            for (_, recs) in &runs {
-                let speedup =
-                    b.outcome.result.cycles as f64 / recs[i].outcome.result.cycles as f64;
+            for recs in &runs {
+                let speedup = b.outcome.result.cycles as f64 / recs[i].outcome.result.cycles as f64;
                 row.push(format!("{:+.1}%", 100.0 * (speedup - 1.0)));
             }
             rows.push(row);
         }
         let mut avg = vec!["geomean".to_string()];
-        for (_, recs) in &runs {
-            avg.push(format!("{:+.1}%", 100.0 * (geomean_speedup(&base, recs) - 1.0)));
+        for recs in &runs {
+            avg.push(format!(
+                "{:+.1}%",
+                100.0 * (geomean_speedup(base, recs) - 1.0)
+            ));
         }
         rows.push(avg);
 

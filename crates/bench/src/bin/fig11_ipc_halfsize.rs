@@ -2,17 +2,25 @@
 //! compared to the full-size design — §IV-C's storage optimization.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig11_ipc_halfsize
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig11_ipc_halfsize -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{geomean_speedup, run_suite, scale_from_env};
+use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
 
 fn main() {
-    let scale = scale_from_env();
-    let base = run_suite(&Config::baseline(), scale);
-    let full = run_suite(&Config::bow_wr(3), scale);
-    let half = run_suite(&Config::bow_wr_half(3), scale);
+    let result = sweep(
+        [
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::bow_wr(3).build(),
+            ConfigBuilder::bow_wr(3).half_size(true).build(),
+        ],
+        scale_from_env(),
+    );
+    export_sweep("fig11_ipc_halfsize", &result);
+    let base = result.row(0).records();
+    let full = result.row(1).records();
+    let half = result.row(2).records();
 
     let mut rows = Vec::new();
     for i in 0..base.len() {
@@ -28,8 +36,8 @@ fn main() {
     }
     rows.push(vec![
         "geomean".into(),
-        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &full) - 1.0)),
-        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &half) - 1.0)),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(base, full) - 1.0)),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(base, half) - 1.0)),
         half.iter()
             .map(|r| r.outcome.result.stats.forced_evictions)
             .sum::<u64>()
@@ -40,7 +48,12 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "full (12 entries)", "half (6 entries)", "forced evictions"],
+            &[
+                "benchmark",
+                "full (12 entries)",
+                "half (6 entries)",
+                "forced evictions"
+            ],
             &rows
         )
     );

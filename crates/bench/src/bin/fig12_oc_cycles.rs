@@ -2,18 +2,21 @@
 //! windows 2, 3 and 4, normalized to the baseline.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig12_oc_cycles
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig12_oc_cycles -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, scale_from_env};
+use bow_bench::{export_sweep, scale_from_env, sweep};
 
 fn main() {
-    let scale = scale_from_env();
-    let base = run_suite(&Config::baseline(), scale);
-    let runs: Vec<(u32, Vec<RunRecord>)> = [2u32, 3, 4]
-        .into_iter()
-        .map(|w| (w, run_suite(&Config::bow(w), scale)))
+    let windows = [2u32, 3, 4];
+    let mut configs = vec![ConfigBuilder::baseline().build()];
+    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow(w).build()));
+    let result = sweep(configs, scale_from_env());
+    export_sweep("fig12_oc_cycles", &result);
+    let base = result.row(0).records();
+    let runs: Vec<&[RunRecord]> = (1..result.rows.len())
+        .map(|i| result.row(i).records())
         .collect();
 
     let mut rows = Vec::new();
@@ -21,7 +24,7 @@ fn main() {
     for (i, b) in base.iter().enumerate() {
         let b_oc = b.outcome.result.stats.oc_cycles().max(1) as f64;
         let mut row = vec![b.benchmark.clone()];
-        for (wi, (_, recs)) in runs.iter().enumerate() {
+        for (wi, recs) in runs.iter().enumerate() {
             let frac = recs[i].outcome.result.stats.oc_cycles() as f64 / b_oc;
             sums[wi] += frac;
             row.push(format!("{frac:.2}"));

@@ -3,24 +3,31 @@
 //! on top.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig13_energy
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig13_energy -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{export_json, run_suite, scale_from_env};
+use bow_bench::{export_sweep, scale_from_env, sweep};
 
 fn main() {
-    let scale = scale_from_env();
     let model = EnergyModel::table_iv();
-    let base = run_suite(&Config::baseline(), scale);
+    let result = sweep(
+        [
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::bow(3).build(),
+            ConfigBuilder::bow_wr(3).build(),
+        ],
+        scale_from_env(),
+    );
+    export_sweep("fig13_energy", &result);
+    let base = result.row(0).records();
 
-    for (title, cfg) in [("(a) BOW", Config::bow(3)), ("(b) BOW-WR", Config::bow_wr(3))] {
-        let recs = run_suite(&cfg, scale);
-        export_json(&format!("fig13_{}", if title.contains("WR") { "bow_wr" } else { "bow" }), &recs);
+    for (title, label) in [("(a) BOW", "bow iw3"), ("(b) BOW-WR", "bow-wr iw3")] {
+        let recs = result.records(label).expect("swept row");
         let mut rows = Vec::new();
         let mut dyn_sum = 0.0;
         let mut ovh_sum = 0.0;
-        for (b, r) in base.iter().zip(&recs) {
+        for (b, r) in base.iter().zip(recs) {
             let rep = EnergyReport::normalized(
                 &model,
                 &r.outcome.result.stats.access_counts(),

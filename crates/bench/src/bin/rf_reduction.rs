@@ -4,20 +4,21 @@
 //! headroom that buys under the Table IV model.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin rf_reduction
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin rf_reduction -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{run_suite, scale_from_env};
+use bow_bench::{export_sweep, scale_from_env, sweep};
 
 fn main() {
-    let scale = scale_from_env();
     let model = EnergyModel::table_iv();
-    let recs = run_suite(&Config::bow_wr(3), scale);
+    let result = sweep([ConfigBuilder::bow_wr(3).build()], scale_from_env());
+    export_sweep("rf_reduction", &result);
+    let recs = result.row(0).records();
 
     let mut rows = Vec::new();
     let mut red_sum = 0.0;
-    for r in &recs {
+    for r in recs {
         let c = r.compiler.as_ref().expect("bow-wr runs the compiler");
         let (base_mw, with_mw) = model.leakage_mw(32, 32, c.rf_reduction());
         red_sum += c.rf_reduction();
@@ -42,7 +43,13 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "regs used", "transient", "reduction", "SM leakage"],
+            &[
+                "benchmark",
+                "regs used",
+                "transient",
+                "reduction",
+                "SM leakage"
+            ],
             &rows
         )
     );

@@ -5,18 +5,26 @@
 //! storage of half-size BOW-WR.
 //!
 //! ```sh
-//! BOW_SCALE=paper cargo run --release -p bow-bench --bin rfc_comparison
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin rfc_comparison -- --jobs $(nproc)
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{geomean_speedup, run_suite, scale_from_env};
+use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
 
 fn main() {
-    let scale = scale_from_env();
     let model = EnergyModel::table_iv();
-    let base = run_suite(&Config::baseline(), scale);
-    let rfc = run_suite(&Config::rfc(), scale);
-    let bowwr = run_suite(&Config::bow_wr_half(3), scale);
+    let result = sweep(
+        [
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::rfc().build(),
+            ConfigBuilder::bow_wr(3).half_size(true).build(),
+        ],
+        scale_from_env(),
+    );
+    export_sweep("rfc_comparison", &result);
+    let base = result.row(0).records();
+    let rfc = result.row(1).records();
+    let bowwr = result.row(2).records();
 
     let mut rows = Vec::new();
     for i in 0..base.len() {
@@ -42,8 +50,8 @@ fn main() {
     }
     rows.push(vec![
         "geomean/avg".into(),
-        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &rfc) - 1.0)),
-        format!("{:+.1}%", 100.0 * (geomean_speedup(&base, &bowwr) - 1.0)),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(base, rfc) - 1.0)),
+        format!("{:+.1}%", 100.0 * (geomean_speedup(base, bowwr) - 1.0)),
         String::new(),
         String::new(),
     ]);
@@ -52,7 +60,13 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "RFC IPC", "BOW-WR IPC", "RFC energy", "BOW-WR energy"],
+            &[
+                "benchmark",
+                "RFC IPC",
+                "BOW-WR IPC",
+                "RFC energy",
+                "BOW-WR energy"
+            ],
             &rows
         )
     );

@@ -6,7 +6,8 @@
 //! cargo run --release -p bow-bench --bin table1_snippet_writes
 //! ```
 
-use bow_bench::table1_counts;
+use bow_bench::{table1_counts, write_json};
+use bow_util::json::Json;
 use bow_workloads::snippet::{fig6_kernel, fragment_range, TABLE_I_REGS};
 
 fn main() {
@@ -32,6 +33,41 @@ fn main() {
     println!(
         "{:<10} {:>15} {:>12} {:>12}",
         "total", totals[0], totals[1], totals[2]
+    );
+    write_json(
+        "table1_snippet_writes",
+        &Json::obj([
+            (
+                "registers",
+                Json::Arr(
+                    TABLE_I_REGS
+                        .iter()
+                        .map(|&r| Json::from(format!("r{r}")))
+                        .collect(),
+                ),
+            ),
+            (
+                "policies",
+                Json::obj([
+                    (
+                        "write_through",
+                        Json::Arr(counts[0].iter().map(|&n| Json::from(n)).collect()),
+                    ),
+                    (
+                        "write_back",
+                        Json::Arr(counts[1].iter().map(|&n| Json::from(n)).collect()),
+                    ),
+                    (
+                        "compiler",
+                        Json::Arr(counts[2].iter().map(|&n| Json::from(n)).collect()),
+                    ),
+                ]),
+            ),
+            (
+                "totals",
+                Json::Arr(totals.iter().map(|&n| Json::from(n)).collect()),
+            ),
+        ]),
     );
     println!("\npaper reports totals 10 / 5 / 2. Counting the listing directly gives");
     println!("11 / 6 / 2: the paper tallies the load+shift pair on r2 once. The");

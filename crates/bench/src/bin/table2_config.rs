@@ -5,6 +5,8 @@
 //! ```
 
 use bow::prelude::*;
+use bow_bench::write_json;
+use bow_util::json::Json;
 
 fn main() {
     let c = GpuConfig::titan_x_pascal(CollectorKind::Baseline);
@@ -39,9 +41,17 @@ fn main() {
         ),
         ("Warp scheduling policy", format!("{:?}", c.sched)),
     ];
-    for (k, v) in rows {
+    for (k, v) in &rows {
         println!("{k:<28} {v}");
     }
+    write_json(
+        "table2_config",
+        &Json::Obj(
+            rows.iter()
+                .map(|(k, v)| (k.to_string(), Json::from(v.as_str())))
+                .collect(),
+        ),
+    );
     println!("\nexperiment binaries run the same SM with `GpuConfig::scaled` (2 SMs)");
     println!("so the full suite sweeps finish quickly; per-SM behaviour is identical.");
 }

@@ -6,12 +6,14 @@
 //! ```
 
 use bow::prelude::*;
-use bow_bench::scale_from_env;
+use bow_bench::{scale_from_env, write_json};
+use bow_util::json::Json;
 
 fn main() {
     let scale = scale_from_env();
     println!("Table III — benchmark suite\n");
     let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for b in suite(scale) {
         let k = b.kernel();
         rows.push(vec![
@@ -22,14 +24,30 @@ fn main() {
             k.shared_bytes.to_string(),
             b.description().to_string(),
         ]);
+        cells.push(Json::obj([
+            ("benchmark", Json::from(b.name())),
+            ("suite", Json::from(b.suite())),
+            ("instructions", Json::from(k.len())),
+            ("registers", Json::from(u32::from(k.num_regs))),
+            ("shared_bytes", Json::from(k.shared_bytes)),
+            ("description", Json::from(b.description())),
+        ]));
     }
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "suite", "insts", "regs", "smem B", "description"],
+            &[
+                "benchmark",
+                "suite",
+                "insts",
+                "regs",
+                "smem B",
+                "description"
+            ],
             &rows
         )
     );
+    write_json("table3_benchmarks", &Json::Arr(cells));
     println!("each workload is a from-scratch kernel in the BOW ISA matching the");
     println!("paper benchmark's computational character; all runs are verified");
     println!("against exact host references (see bow-workloads).");

@@ -6,12 +6,20 @@
 //! ```
 
 use bow::energy::{AreaModel, EnergyModel, StorageOverhead};
+use bow_bench::write_json;
+use bow_util::json::Json;
 
 fn main() {
     let m = EnergyModel::table_iv();
     println!("Table IV — BOC overheads at 28 nm (model constants)\n");
-    println!("{:<18} {:>10} {:>15} {:>12}", "parameter", "BOC", "register bank", "ratio");
-    println!("{:<18} {:>10} {:>15} {:>12}", "size", "1.5 KB", "64 KB", "2%");
+    println!(
+        "{:<18} {:>10} {:>15} {:>12}",
+        "parameter", "BOC", "register bank", "ratio"
+    );
+    println!(
+        "{:<18} {:>10} {:>15} {:>12}",
+        "size", "1.5 KB", "64 KB", "2%"
+    );
     println!(
         "{:<18} {:>10} {:>15} {:>11.1}%",
         "access energy",
@@ -28,6 +36,7 @@ fn main() {
     );
 
     println!("\nstorage overhead (§V-A):");
+    let mut storage_cells = Vec::new();
     for (label, s) in [
         ("full-size, IW3", StorageOverhead::bow_full(3, 32)),
         ("half-size, IW3", StorageOverhead::bow_half(3, 32)),
@@ -38,6 +47,12 @@ fn main() {
             s.added_bytes_per_sm() / 1024,
             100.0 * s.fraction_of_rf(256 * 1024)
         );
+        storage_cells.push(Json::obj([
+            ("design", Json::from(label)),
+            ("bytes_per_boc", Json::from(s.bytes_per_boc)),
+            ("added_bytes_per_sm", Json::from(s.added_bytes_per_sm())),
+            ("fraction_of_rf", Json::from(s.fraction_of_rf(256 * 1024))),
+        ]));
     }
 
     let a = AreaModel::paper();
@@ -48,6 +63,23 @@ fn main() {
         a.register_bank_mm2,
         100.0 * a.fraction_of_bank(),
         100.0 * a.fraction_of_rf()
+    );
+    write_json(
+        "table4_overheads",
+        &Json::obj([
+            ("boc_access_pj", Json::from(m.boc_access_pj)),
+            ("rf_access_pj", Json::from(m.rf_access_pj)),
+            ("boc_leakage_mw", Json::from(m.boc_leakage_mw)),
+            (
+                "rf_leakage_mw_per_bank",
+                Json::from(m.rf_leakage_mw_per_bank),
+            ),
+            ("storage", Json::Arr(storage_cells)),
+            ("boc_network_mm2", Json::from(a.boc_network_mm2)),
+            ("register_bank_mm2", Json::from(a.register_bank_mm2)),
+            ("area_fraction_of_bank", Json::from(a.fraction_of_bank())),
+            ("area_fraction_of_rf", Json::from(a.fraction_of_rf())),
+        ]),
     );
     println!("  paper: <3% of a bank, <0.1% of the RF, 0.17% of total chip area.");
 }

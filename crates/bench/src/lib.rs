@@ -1,14 +1,20 @@
 //! Shared machinery for the figure/table regeneration binaries.
 //!
-//! Every binary in `src/bin/` is a thin loop: pick configurations, run the
-//! suite through [`bow::experiment::run`], print the same rows/series the
-//! paper's figure reports. Scale is selected with the `BOW_SCALE`
-//! environment variable (`test` or `paper`, default `paper`).
+//! Every binary in `src/bin/` builds one (benchmark × configuration)
+//! matrix, hands it to the parallel sweep engine ([`bow::suite::Suite`])
+//! via [`sweep`], prints the same rows/series the paper's figure reports
+//! and drops a machine-readable copy in `results/<name>.json`. Scale is
+//! selected with the `BOW_SCALE` environment variable (`test` or `paper`,
+//! default `paper`); worker count with `--jobs N` (or `BOW_JOBS`,
+//! default: all cores). Progress lines go to stderr only, so redirected
+//! stdout tables are byte-identical at any job count.
 
 use bow::prelude::*;
+use bow::suite::SweepResult;
 use bow_isa::{Kernel, Reg, WritebackHint};
-use serde::Serialize;
+use bow_util::json::Json;
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Reads the problem scale from `BOW_SCALE` (default: `paper`).
 pub fn scale_from_env() -> Scale {
@@ -18,17 +24,51 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
-/// Runs every benchmark under `config`, asserting functional correctness,
+/// Worker count for the sweep engine: `--jobs N` / `--jobs=N` / `-j N`
+/// on the command line, else the `BOW_JOBS` environment variable, else
+/// `0` (one worker per core).
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = parse_jobs(&args[1..]) {
+        return n;
+    }
+    std::env::var("BOW_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Extracts a jobs request from an argument list (first match wins).
+pub fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Runs the full suite under every configuration on the parallel sweep
+/// engine, asserting functional correctness of every cell. Rows come
+/// back in the order `configs` lists them, records in suite order.
+pub fn sweep(configs: impl IntoIterator<Item = Config>, scale: Scale) -> SweepResult {
+    let result = Suite::new(scale)
+        .configs(configs)
+        .jobs(jobs_from_args())
+        .run();
+    result.assert_checked();
+    result
+}
+
+/// Runs every benchmark under one configuration (a single-row [`sweep`])
 /// and returns the records in suite order.
 pub fn run_suite(config: &Config, scale: Scale) -> Vec<RunRecord> {
-    suite(scale)
-        .iter()
-        .map(|b| {
-            let rec = bow::experiment::run(b.as_ref(), config.clone());
-            rec.assert_checked();
-            rec
-        })
-        .collect()
+    let mut result = sweep([config.clone()], scale);
+    result.rows.remove(0).records
 }
 
 /// Pairs each record with its benchmark name, plus an `average` row built
@@ -63,50 +103,35 @@ pub fn geomean_speedup(base: &[RunRecord], new: &[RunRecord]) -> f64 {
     (log_sum / base.len() as f64).exp()
 }
 
-/// A machine-readable snapshot of one run, written next to the textual
-/// tables when `BOW_JSON_DIR` is set so downstream plotting never has to
-/// scrape stdout.
-#[derive(Serialize)]
-pub struct RunJson<'a> {
-    /// Benchmark name.
-    pub benchmark: &'a str,
-    /// Configuration label.
-    pub config: &'a str,
-    /// Device cycles.
-    pub cycles: u64,
-    /// Warp instructions committed.
-    pub instructions: u64,
-    /// Instructions per cycle.
-    pub ipc: f64,
-    /// Full statistics block.
-    pub stats: &'a SimStats,
+/// The directory machine-readable results land in: `BOW_RESULTS_DIR` if
+/// set, else `results/` under the current directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var("BOW_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
-/// If `BOW_JSON_DIR` is set, serializes `records` to
-/// `<dir>/<experiment>.json`. Errors are reported, never fatal — the
-/// textual tables are the primary artifact.
-pub fn export_json(experiment: &str, records: &[RunRecord]) {
-    let Ok(dir) = std::env::var("BOW_JSON_DIR") else { return };
-    let rows: Vec<RunJson<'_>> = records
-        .iter()
-        .map(|r| RunJson {
-            benchmark: &r.benchmark,
-            config: &r.label,
-            cycles: r.outcome.result.cycles,
-            instructions: r.outcome.result.stats.warp_instructions,
-            ipc: r.ipc(),
-            stats: &r.outcome.result.stats,
-        })
-        .collect();
-    let path = std::path::Path::new(&dir).join(format!("{experiment}.json"));
-    match serde_json::to_string_pretty(&rows) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+/// Writes `doc` to `results/<name>.json` (pretty-printed). Errors are
+/// reported on stderr, never fatal — the textual tables are the primary
+/// artifact.
+pub fn write_json(name: &str, doc: &Json) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+        return;
     }
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Serializes a completed sweep to `results/<name>.json`: every cell's
+/// full [`RunRecord`] (stats block included) plus per-cell wall times.
+pub fn export_sweep(name: &str, result: &SweepResult) {
+    let mut doc = result.to_json();
+    if let Json::Obj(fields) = &mut doc {
+        fields.insert(0, ("experiment".to_string(), Json::from(name)));
+    }
+    write_json(name, &doc);
 }
 
 /// Per-register RF write counts for the Table I fragment under the three
@@ -215,8 +240,14 @@ mod tests {
     #[test]
     fn geomean_of_identical_runs_is_one() {
         let b = bow::workloads::by_name("vectoradd", Scale::Test).unwrap();
-        let r1 = vec![bow::experiment::run(b.as_ref(), Config::baseline())];
-        let r2 = vec![bow::experiment::run(b.as_ref(), Config::baseline())];
+        let r1 = vec![bow::experiment::run(
+            b.as_ref(),
+            ConfigBuilder::baseline().build(),
+        )];
+        let r2 = vec![bow::experiment::run(
+            b.as_ref(),
+            ConfigBuilder::baseline().build(),
+        )];
         let g = geomean_speedup(&r1, &r2);
         assert!((g - 1.0).abs() < 1e-9);
     }
@@ -227,5 +258,16 @@ mod tests {
         if std::env::var("BOW_SCALE").is_err() {
             assert_eq!(scale_from_env(), Scale::Paper);
         }
+    }
+
+    #[test]
+    fn parse_jobs_accepts_all_spellings() {
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        assert_eq!(parse_jobs(&argv("--jobs 4")), Some(4));
+        assert_eq!(parse_jobs(&argv("--jobs=16")), Some(16));
+        assert_eq!(parse_jobs(&argv("-j 1")), Some(1));
+        assert_eq!(parse_jobs(&argv("foo --jobs 2 bar")), Some(2));
+        assert_eq!(parse_jobs(&argv("--jobs")), None);
+        assert_eq!(parse_jobs(&argv("")), None);
     }
 }

@@ -1,11 +1,237 @@
 //! The experiment driver: one call runs a benchmark under a named
 //! configuration, applying the compiler pass where the configuration
-//! requires it. Every figure/table binary in `bow-bench` is a thin loop
-//! over this module.
+//! requires it. Single runs go through [`run`]; whole
+//! (benchmark × configuration) matrices go through the parallel
+//! [`suite`](crate::suite) engine, which reuses this module's
+//! [`prepare_kernel`]/[`run_prepared`] split to memoize compiler-pass
+//! output across cells.
+//!
+//! Configurations are built with [`ConfigBuilder`], which exposes every
+//! knob of the design space — collector kind, instruction window,
+//! half-size buffers, compiler hints, the footnote-1 scheduler, GPU model
+//! scale — orthogonally and derives the display label automatically.
 
 use bow_compiler::{annotate, CompilerReport};
 use bow_sim::{CollectorKind, Gpu, GpuConfig};
+use bow_util::json::Json;
 use bow_workloads::{Benchmark, RunOutcome};
+
+/// Which operand-collection design a configuration simulates — the
+/// coarse axis of [`ConfigBuilder`]; the window/half-size/capacity
+/// details are separate knobs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Collector {
+    /// Conventional operand collectors (the paper's baseline GPU).
+    Baseline,
+    /// BOW: read bypassing, write-through (§IV-A).
+    Bow,
+    /// BOW-WR: read + write bypassing (§IV-B). Compiler hints default on.
+    BowWr,
+    /// Buffer-bounded bypassing (the paper's future work, §IV-C).
+    BowFlex,
+    /// The register-file-cache comparison baseline (§V-A).
+    Rfc,
+}
+
+/// Which GPU model the configuration runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GpuModel {
+    /// Table II's SM microarchitecture with 2 SMs — the experiment
+    /// harness default; per-SM behaviour matches the full chip.
+    Scaled,
+    /// The full 56-SM NVIDIA TITAN X (Pascal) of Table II.
+    TitanX,
+}
+
+/// Builds a [`Config`] from orthogonal knobs.
+///
+/// ```
+/// use bow::experiment::ConfigBuilder;
+///
+/// let wr = ConfigBuilder::bow_wr(3).build();
+/// assert_eq!(wr.label, "bow-wr iw3");
+/// let wb = ConfigBuilder::bow_wr(3).hints(false).build();
+/// assert_eq!(wb.label, "bow-wb iw3");
+/// let half = ConfigBuilder::bow_wr(3).half_size(true).build();
+/// assert_eq!(half.label, "bow-wr iw3 half");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    collector: Collector,
+    window: u32,
+    half_size: bool,
+    capacity: u32,
+    rfc_entries: u32,
+    hints: Option<bool>,
+    reorder: bool,
+    model: GpuModel,
+    analyzer: Vec<u32>,
+    label: Option<String>,
+}
+
+impl ConfigBuilder {
+    /// Starts from the given collector design with default knobs
+    /// (window 3, full-size buffers, hints wherever the design supports
+    /// them, scaled GPU).
+    pub fn new(collector: Collector) -> ConfigBuilder {
+        ConfigBuilder {
+            collector,
+            window: 3,
+            half_size: false,
+            capacity: 12,
+            rfc_entries: 6,
+            hints: None,
+            reorder: false,
+            model: GpuModel::Scaled,
+            analyzer: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// The unmodified baseline GPU.
+    pub fn baseline() -> ConfigBuilder {
+        ConfigBuilder::new(Collector::Baseline)
+    }
+
+    /// BOW (read bypassing) with the given instruction window.
+    pub fn bow(window: u32) -> ConfigBuilder {
+        ConfigBuilder::new(Collector::Bow).window(window)
+    }
+
+    /// BOW-WR (read + write bypassing, compiler hints) with the given
+    /// instruction window.
+    pub fn bow_wr(window: u32) -> ConfigBuilder {
+        ConfigBuilder::new(Collector::BowWr).window(window)
+    }
+
+    /// Buffer-bounded bypassing with the given value-buffer capacity.
+    pub fn bow_flex(capacity: u32) -> ConfigBuilder {
+        ConfigBuilder::new(Collector::BowFlex).capacity(capacity)
+    }
+
+    /// The register-file-cache baseline (6 entries per warp, as in §V-A).
+    pub fn rfc() -> ConfigBuilder {
+        ConfigBuilder::new(Collector::Rfc)
+    }
+
+    /// Sets the instruction-window size (BOW/BOW-WR designs).
+    pub fn window(mut self, window: u32) -> ConfigBuilder {
+        self.window = window;
+        self
+    }
+
+    /// Uses the half-size shared-entry value buffer of §IV-C.
+    pub fn half_size(mut self, yes: bool) -> ConfigBuilder {
+        self.half_size = yes;
+        self
+    }
+
+    /// Sets the value-buffer capacity (BOW-Flex only).
+    pub fn capacity(mut self, entries: u32) -> ConfigBuilder {
+        self.capacity = entries;
+        self
+    }
+
+    /// Sets the RFC entry count per warp (RFC only).
+    pub fn rfc_entries(mut self, entries: u32) -> ConfigBuilder {
+        self.rfc_entries = entries;
+        self
+    }
+
+    /// Forces the §IV-B compiler hint pass on or off. The default is
+    /// derived: on for BOW-WR (its write-back policy is hint-steered),
+    /// off everywhere else. BOW-WR with `hints(false)` is the pure
+    /// write-back design of Table I's middle column.
+    pub fn hints(mut self, yes: bool) -> ConfigBuilder {
+        self.hints = Some(yes);
+        self
+    }
+
+    /// Runs the bypass-aware instruction scheduler (paper footnote 1)
+    /// before hint assignment.
+    pub fn reorder(mut self, yes: bool) -> ConfigBuilder {
+        self.reorder = yes;
+        self
+    }
+
+    /// Selects the GPU model scale (default: [`GpuModel::Scaled`]).
+    pub fn model(mut self, model: GpuModel) -> ConfigBuilder {
+        self.model = model;
+        self
+    }
+
+    /// Enables the Fig. 3 sliding-window analyzer for `windows`.
+    pub fn analyzer(mut self, windows: &[u32]) -> ConfigBuilder {
+        self.analyzer = windows.to_vec();
+        self
+    }
+
+    /// Overrides the auto-derived label.
+    pub fn label(mut self, label: impl Into<String>) -> ConfigBuilder {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Whether the built config will run the hint pass.
+    fn effective_hints(&self) -> bool {
+        self.hints.unwrap_or(self.collector == Collector::BowWr)
+    }
+
+    /// The label the builder derives when none is set explicitly.
+    fn derived_label(&self) -> String {
+        let sched = if self.reorder { "+sched" } else { "" };
+        let half = if self.half_size { " half" } else { "" };
+        match self.collector {
+            Collector::Baseline => format!("baseline{sched}"),
+            Collector::Bow => format!("bow{sched} iw{}{half}", self.window),
+            Collector::BowWr => {
+                let name = if self.effective_hints() {
+                    "bow-wr"
+                } else {
+                    "bow-wb"
+                };
+                format!("{name}{sched} iw{}{half}", self.window)
+            }
+            Collector::BowFlex => format!("bow-flex{sched} c{}", self.capacity),
+            Collector::Rfc => format!("rfc{sched}"),
+        }
+    }
+
+    /// Assembles the [`Config`].
+    pub fn build(self) -> Config {
+        let kind = match self.collector {
+            Collector::Baseline => CollectorKind::Baseline,
+            Collector::Bow => CollectorKind::Bow {
+                window: self.window,
+                half_size: self.half_size,
+            },
+            Collector::BowWr => CollectorKind::BowWr {
+                window: self.window,
+                half_size: self.half_size,
+            },
+            Collector::BowFlex => CollectorKind::BowFlex {
+                capacity: self.capacity,
+            },
+            Collector::Rfc => CollectorKind::Rfc {
+                entries: self.rfc_entries,
+            },
+        };
+        let mut gpu = match self.model {
+            GpuModel::Scaled => GpuConfig::scaled(kind),
+            GpuModel::TitanX => GpuConfig::titan_x_pascal(kind),
+        };
+        if !self.analyzer.is_empty() {
+            gpu = gpu.with_analyzer(&self.analyzer);
+        }
+        let label = self.label.clone().unwrap_or_else(|| self.derived_label());
+        Config {
+            label,
+            gpu,
+            hints: self.effective_hints(),
+            reorder: self.reorder,
+        }
+    }
+}
 
 /// A named pipeline configuration to evaluate.
 #[derive(Clone, Debug)]
@@ -23,80 +249,53 @@ pub struct Config {
 
 impl Config {
     /// The unmodified baseline GPU.
+    #[deprecated(note = "use `ConfigBuilder::baseline()`")]
     pub fn baseline() -> Config {
-        Config {
-            label: "baseline".into(),
-            gpu: GpuConfig::scaled(CollectorKind::Baseline),
-            hints: false,
-            reorder: false,
-        }
+        ConfigBuilder::baseline().build()
     }
 
     /// BOW (read bypassing, write-through) with the given window.
+    #[deprecated(note = "use `ConfigBuilder::bow(window)`")]
     pub fn bow(window: u32) -> Config {
-        Config {
-            label: format!("bow iw{window}"),
-            gpu: GpuConfig::scaled(CollectorKind::bow(window)),
-            hints: false,
-            reorder: false,
-        }
+        ConfigBuilder::bow(window).build()
     }
 
     /// BOW-WR (read+write bypassing, compiler hints) with the given window.
+    #[deprecated(note = "use `ConfigBuilder::bow_wr(window)`")]
     pub fn bow_wr(window: u32) -> Config {
-        Config {
-            label: format!("bow-wr iw{window}"),
-            gpu: GpuConfig::scaled(CollectorKind::bow_wr(window)),
-            hints: true,
-            reorder: false,
-        }
+        ConfigBuilder::bow_wr(window).build()
     }
 
     /// BOW-WR with the half-size (shared-entry) BOC of §IV-C.
+    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).half_size(true)`")]
     pub fn bow_wr_half(window: u32) -> Config {
-        Config {
-            label: format!("bow-wr iw{window} half"),
-            gpu: GpuConfig::scaled(CollectorKind::BowWr { window, half_size: true }),
-            hints: true,
-            reorder: false,
-        }
+        ConfigBuilder::bow_wr(window).half_size(true).build()
     }
 
     /// BOW-WR *without* the compiler pass — the pure write-back design the
     /// middle column of Table I evaluates.
+    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).hints(false)`")]
     pub fn bow_writeback(window: u32) -> Config {
-        Config {
-            label: format!("bow-wb iw{window}"),
-            gpu: GpuConfig::scaled(CollectorKind::bow_wr(window)),
-            hints: false,
-            reorder: false,
-        }
+        ConfigBuilder::bow_wr(window).hints(false).build()
     }
 
     /// Buffer-bounded bypassing — the paper's future-work design: no
     /// nominal window, no compiler hints, eviction purely by capacity.
+    #[deprecated(note = "use `ConfigBuilder::bow_flex(capacity)`")]
     pub fn bow_flex(capacity: u32) -> Config {
-        Config {
-            label: format!("bow-flex c{capacity}"),
-            gpu: GpuConfig::scaled(CollectorKind::bow_flex(capacity)),
-            hints: false,
-            reorder: false,
-        }
+        ConfigBuilder::bow_flex(capacity).build()
     }
 
     /// The register-file-cache comparison baseline (§V-A).
+    #[deprecated(note = "use `ConfigBuilder::rfc()`")]
     pub fn rfc() -> Config {
-        Config {
-            label: "rfc".into(),
-            gpu: GpuConfig::scaled(CollectorKind::rfc6()),
-            hints: false,
-            reorder: false,
-        }
+        ConfigBuilder::rfc().build()
     }
 
     /// BOW-WR with the footnote-1 scheduler in front of the hint pass.
+    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).reorder(true)`")]
     pub fn bow_wr_reordered(window: u32) -> Config {
-        Config { reorder: true, label: format!("bow-wr+sched iw{window}"), ..Config::bow_wr(window) }
+        ConfigBuilder::bow_wr(window).reorder(true).build()
     }
 
     /// Enables the Fig. 3 window analyzer on this configuration.
@@ -129,14 +328,86 @@ impl RunRecord {
     /// aggregate wrong results.
     pub fn assert_checked(&self) -> &RunRecord {
         if let Err(e) = &self.outcome.checked {
-            panic!("{} under {} produced wrong results: {e}", self.benchmark, self.label);
+            panic!(
+                "{} under {} produced wrong results: {e}",
+                self.benchmark, self.label
+            );
         }
         self
     }
+
+    /// The record as a JSON object: identity, headline numbers, the full
+    /// statistics block, the Fig. 3 window reports (when the analyzer
+    /// ran) and the compiler report (when the hint pass ran).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("config".to_string(), Json::from(self.label.as_str())),
+            ("benchmark".to_string(), Json::from(self.benchmark.as_str())),
+            ("cycles".to_string(), Json::from(self.outcome.result.cycles)),
+            (
+                "instructions".to_string(),
+                Json::from(self.outcome.result.stats.warp_instructions),
+            ),
+            ("ipc".to_string(), Json::from(self.ipc())),
+            (
+                "completed".to_string(),
+                Json::from(self.outcome.result.completed),
+            ),
+            (
+                "checked".to_string(),
+                match &self.outcome.checked {
+                    Ok(()) => Json::from(true),
+                    Err(e) => Json::from(e.as_str()),
+                },
+            ),
+            ("stats".to_string(), self.outcome.result.stats.to_json()),
+        ];
+        if !self.outcome.result.windows.is_empty() {
+            fields.push((
+                "windows".to_string(),
+                Json::Arr(
+                    self.outcome
+                        .result
+                        .windows
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                ("window", Json::from(w.window)),
+                                ("total_reads", Json::from(w.total_reads)),
+                                ("bypassed_reads", Json::from(w.bypassed_reads)),
+                                ("total_writes", Json::from(w.total_writes)),
+                                ("bypassed_writes", Json::from(w.bypassed_writes)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(c) = &self.compiler {
+            fields.push((
+                "compiler".to_string(),
+                Json::obj([
+                    ("rf_only", Json::from(c.rf_only)),
+                    ("persistent", Json::from(c.persistent)),
+                    ("transient", Json::from(c.transient)),
+                    ("transient_regs", Json::from(c.transient_regs.len())),
+                    ("used_regs", Json::from(c.used_regs)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
 }
 
-/// Runs `bench` under `config`, applying the compiler pass if requested.
-pub fn run(bench: &dyn Benchmark, config: Config) -> RunRecord {
+/// Runs the configured compiler stages over a benchmark's kernel: the
+/// footnote-1 scheduler if `config.reorder`, then the §IV-B hint pass if
+/// `config.hints`. Pure — the parallel sweep engine memoizes its output
+/// per (benchmark, window, reorder) so BOW-WR sweeps annotate each kernel
+/// once, not once per figure cell.
+pub fn prepare_kernel(
+    bench: &dyn Benchmark,
+    config: &Config,
+) -> (bow_isa::Kernel, Option<CompilerReport>) {
     let window = config.gpu.collector.window().unwrap_or(3);
     let kernel = bench.kernel();
     let kernel = if config.reorder {
@@ -144,20 +415,36 @@ pub fn run(bench: &dyn Benchmark, config: Config) -> RunRecord {
     } else {
         kernel
     };
-    let (kernel, compiler) = if config.hints {
+    if config.hints {
         let (k, rep) = annotate(&kernel, window);
         (k, Some(rep))
     } else {
         (kernel, None)
-    };
+    }
+}
+
+/// Launches an already-prepared kernel under `config` and packages the
+/// outcome. The timing simulation itself; everything deterministic.
+pub fn run_prepared(
+    bench: &dyn Benchmark,
+    config: &Config,
+    kernel: &bow_isa::Kernel,
+    compiler: Option<CompilerReport>,
+) -> RunRecord {
     let mut gpu = Gpu::new(config.gpu.clone());
-    let outcome = bench.run_with(&mut gpu, &kernel);
+    let outcome = bench.run_with(&mut gpu, kernel);
     RunRecord {
-        label: config.label,
+        label: config.label.clone(),
         benchmark: bench.name().to_string(),
         outcome,
         compiler,
     }
+}
+
+/// Runs `bench` under `config`, applying the compiler pass if requested.
+pub fn run(bench: &dyn Benchmark, config: Config) -> RunRecord {
+    let (kernel, compiler) = prepare_kernel(bench, &config);
+    run_prepared(bench, &config, &kernel, compiler)
 }
 
 /// Formats a ratio as a percentage with one decimal.
@@ -204,26 +491,129 @@ mod tests {
     #[test]
     fn run_applies_hints_only_for_bow_wr() {
         let b = by_name("vectoradd", Scale::Test).expect("exists");
-        let base = run(b.as_ref(), Config::baseline());
+        let base = run(b.as_ref(), ConfigBuilder::baseline().build());
         assert!(base.compiler.is_none());
         base.assert_checked();
-        let wr = run(b.as_ref(), Config::bow_wr(3));
+        let wr = run(b.as_ref(), ConfigBuilder::bow_wr(3).build());
         assert!(wr.compiler.is_some());
         wr.assert_checked();
     }
 
     #[test]
-    fn labels_are_descriptive() {
-        assert_eq!(Config::bow(4).label, "bow iw4");
-        assert_eq!(Config::bow_wr_half(3).label, "bow-wr iw3 half");
-        assert_eq!(Config::bow_writeback(3).label, "bow-wb iw3");
+    fn builder_labels_are_descriptive() {
+        assert_eq!(ConfigBuilder::baseline().build().label, "baseline");
+        assert_eq!(ConfigBuilder::bow(4).build().label, "bow iw4");
+        assert_eq!(ConfigBuilder::bow_wr(3).build().label, "bow-wr iw3");
+        assert_eq!(
+            ConfigBuilder::bow_wr(3).half_size(true).build().label,
+            "bow-wr iw3 half"
+        );
+        assert_eq!(
+            ConfigBuilder::bow_wr(3).hints(false).build().label,
+            "bow-wb iw3"
+        );
+        assert_eq!(ConfigBuilder::bow_flex(6).build().label, "bow-flex c6");
+        assert_eq!(ConfigBuilder::rfc().build().label, "rfc");
+        assert_eq!(
+            ConfigBuilder::bow_wr(3).reorder(true).build().label,
+            "bow-wr+sched iw3"
+        );
+        assert_eq!(
+            ConfigBuilder::bow_wr(2).label("custom").build().label,
+            "custom"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder_output() {
+        for (old, new) in [
+            (Config::baseline(), ConfigBuilder::baseline().build()),
+            (Config::bow(4), ConfigBuilder::bow(4).build()),
+            (Config::bow_wr(3), ConfigBuilder::bow_wr(3).build()),
+            (
+                Config::bow_wr_half(3),
+                ConfigBuilder::bow_wr(3).half_size(true).build(),
+            ),
+            (
+                Config::bow_writeback(3),
+                ConfigBuilder::bow_wr(3).hints(false).build(),
+            ),
+            (Config::bow_flex(6), ConfigBuilder::bow_flex(6).build()),
+            (Config::rfc(), ConfigBuilder::rfc().build()),
+            (
+                Config::bow_wr_reordered(2),
+                ConfigBuilder::bow_wr(2).reorder(true).build(),
+            ),
+        ] {
+            assert_eq!(old.label, new.label);
+            assert_eq!(old.gpu, new.gpu);
+            assert_eq!(old.hints, new.hints);
+            assert_eq!(old.reorder, new.reorder);
+        }
+    }
+
+    #[test]
+    fn builder_knobs_are_orthogonal() {
+        let c = ConfigBuilder::bow_wr(5)
+            .half_size(true)
+            .reorder(true)
+            .model(GpuModel::TitanX)
+            .analyzer(&[2, 3])
+            .build();
+        assert_eq!(
+            c.gpu.collector,
+            CollectorKind::BowWr {
+                window: 5,
+                half_size: true
+            }
+        );
+        assert_eq!(c.gpu.num_sms, 56);
+        assert_eq!(c.gpu.analyze_windows, vec![2, 3]);
+        assert!(c.hints && c.reorder);
+    }
+
+    #[test]
+    fn prepared_run_equals_direct_run() {
+        let b = by_name("vectoradd", Scale::Test).expect("exists");
+        let cfg = ConfigBuilder::bow_wr(3).build();
+        let direct = run(b.as_ref(), cfg.clone());
+        let (kernel, rep) = prepare_kernel(b.as_ref(), &cfg);
+        let prepared = run_prepared(b.as_ref(), &cfg, &kernel, rep);
+        assert_eq!(direct.outcome.result.cycles, prepared.outcome.result.cycles);
+        assert_eq!(direct.outcome.result.stats, prepared.outcome.result.stats);
+    }
+
+    #[test]
+    fn run_record_serializes_to_json() {
+        let b = by_name("vectoradd", Scale::Test).expect("exists");
+        let rec = run(b.as_ref(), ConfigBuilder::bow_wr(3).build());
+        let v = bow_util::json::parse(&rec.to_json().to_string_pretty()).expect("valid JSON");
+        assert_eq!(v.get("benchmark").and_then(Json::as_str), Some("vectoradd"));
+        assert_eq!(v.get("config").and_then(Json::as_str), Some("bow-wr iw3"));
+        assert_eq!(
+            v.get("cycles").and_then(Json::as_u64),
+            Some(rec.outcome.result.cycles)
+        );
+        assert_eq!(v.get("checked"), Some(&Json::Bool(true)));
+        assert!(v
+            .get("stats")
+            .and_then(|s| s.get("bypassed_reads"))
+            .is_some());
+        assert!(
+            v.get("compiler").is_some(),
+            "bow-wr records carry the compiler report"
+        );
     }
 
     #[test]
     fn render_table_aligns() {
         let t = render_table(
             &["name", "ipc"],
-            &[vec!["a".into(), "1.0".into()], vec!["long-name".into(), "2.0".into()]],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["long-name".into(), "2.0".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -16,15 +16,19 @@
 //! ```
 //! use bow::prelude::*;
 //!
-//! // Run one benchmark under the baseline and under BOW-WR (IW = 3).
-//! let bench = bow::workloads::by_name("vectoradd", Scale::Test).unwrap();
-//! let base = bow::experiment::run(bench.as_ref(), Config::baseline());
-//! let bowwr = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
-//! assert!(base.outcome.checked.is_ok() && bowwr.outcome.checked.is_ok());
-//! assert!(bowwr.outcome.result.stats.bypassed_reads > 0);
+//! // Sweep one benchmark under the baseline and BOW-WR (IW = 3) in
+//! // parallel; rows come back in configuration order.
+//! let result = Suite::benchmark("vectoradd", Scale::Test)
+//!     .config(ConfigBuilder::baseline().build())
+//!     .config(ConfigBuilder::bow_wr(3).build())
+//!     .progress(false)
+//!     .run();
+//! result.assert_checked();
+//! assert!(result.row(1).records[0].outcome.result.stats.bypassed_reads > 0);
 //! ```
 
 pub mod experiment;
+pub mod suite;
 
 /// Re-export of [`bow_isa`](bow_isa): the instruction set.
 pub mod isa {
@@ -58,7 +62,8 @@ pub mod workloads {
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::experiment::{run, Config, RunRecord};
+    pub use crate::experiment::{run, Config, ConfigBuilder, RunRecord};
+    pub use crate::suite::{ConfigRow, Suite, SweepResult};
     pub use bow_compiler::annotate;
     pub use bow_energy::{AccessCounts, EnergyModel, EnergyReport};
     pub use bow_isa::{

@@ -44,6 +44,8 @@ pub enum Command {
         bench: String,
         /// Problem scale.
         scale: Scale,
+        /// Sweep-engine worker count (0 = all cores).
+        jobs: usize,
     },
     /// Assemble a kernel file and summarize it.
     Asm {
@@ -65,6 +67,8 @@ pub enum Command {
         bench: String,
         /// Problem scale.
         scale: Scale,
+        /// Sweep-engine worker count (0 = all cores).
+        jobs: usize,
     },
     /// Run a kernel with pipeline tracing and print the timeline.
     Trace {
@@ -114,16 +118,20 @@ bow-cli — the BOW GPU model
 USAGE:
   bow-cli suite
   bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
-  bow-cli compare <bench> [--scale test|paper]
+  bow-cli compare <bench> [--scale test|paper] [--jobs N]
   bow-cli asm <file.s>
   bow-cli compile <file.s> [--window N] [--reorder]
-  bow-cli sweep <bench> [--scale test|paper]
+  bow-cli sweep <bench> [--scale test|paper] [--jobs N]
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
 
 COLLECTORS:
   baseline | bow | bow-wr | bow-wr-half | bow-flex | rfc
+
+`compare` and `sweep` run their (benchmark x config) matrix on the
+parallel sweep engine; --jobs N picks the worker count (default: all
+cores, 1 = serial). Results are identical at any job count.
 ";
 
 /// Parses a command line (without the program name).
@@ -133,12 +141,16 @@ COLLECTORS:
 /// Returns a [`CliError`] describing the first unrecognized token.
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter().map(String::as_str);
-    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
     let rest: Vec<&str> = it.collect();
 
     let flag = |name: &str| rest.contains(&name);
     let opt = |name: &str| -> Option<&str> {
-        rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1).copied())
+        rest.iter()
+            .position(|&a| a == name)
+            .and_then(|i| rest.get(i + 1).copied())
     };
     let positional = || -> Option<&str> { rest.iter().find(|a| !a.starts_with("--")).copied() };
     let scale = match opt("--scale") {
@@ -150,34 +162,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some(w) => w.parse().map_err(|_| err(format!("bad window `{w}`")))?,
         None => 3,
     };
+    let jobs: usize = match opt("--jobs") {
+        Some(j) => j.parse().map_err(|_| err(format!("bad jobs `{j}`")))?,
+        None => 0,
+    };
 
     match cmd {
         "suite" => Ok(Command::Suite),
         "run" => Ok(Command::Run {
-            bench: positional().ok_or_else(|| err("run: missing benchmark name"))?.into(),
+            bench: positional()
+                .ok_or_else(|| err("run: missing benchmark name"))?
+                .into(),
             collector: opt("--collector").unwrap_or("bow-wr").into(),
             window,
             scale,
             reorder: flag("--reorder"),
         }),
         "compare" => Ok(Command::Compare {
-            bench: positional().ok_or_else(|| err("compare: missing benchmark name"))?.into(),
+            bench: positional()
+                .ok_or_else(|| err("compare: missing benchmark name"))?
+                .into(),
             scale,
+            jobs,
         }),
         "asm" => Ok(Command::Asm {
             path: positional().ok_or_else(|| err("asm: missing file"))?.into(),
         }),
         "compile" => Ok(Command::Compile {
-            path: positional().ok_or_else(|| err("compile: missing file"))?.into(),
+            path: positional()
+                .ok_or_else(|| err("compile: missing file"))?
+                .into(),
             window,
             reorder: flag("--reorder"),
         }),
         "sweep" => Ok(Command::Sweep {
-            bench: positional().ok_or_else(|| err("sweep: missing benchmark name"))?.into(),
+            bench: positional()
+                .ok_or_else(|| err("sweep: missing benchmark name"))?
+                .into(),
             scale,
+            jobs,
         }),
         "trace" => Ok(Command::Trace {
-            path: positional().ok_or_else(|| err("trace: missing file"))?.into(),
+            path: positional()
+                .ok_or_else(|| err("trace: missing file"))?
+                .into(),
             collector: opt("--collector").unwrap_or("bow-wr").into(),
             window,
             limit: match opt("--limit") {
@@ -186,13 +214,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             },
         }),
         "encode" => Ok(Command::Encode {
-            path: positional().ok_or_else(|| err("encode: missing file"))?.into(),
+            path: positional()
+                .ok_or_else(|| err("encode: missing file"))?
+                .into(),
         }),
         "decode" => Ok(Command::Decode {
-            path: positional().ok_or_else(|| err("decode: missing file"))?.into(),
+            path: positional()
+                .ok_or_else(|| err("decode: missing file"))?
+                .into(),
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(err(format!("unknown command `{other}` (try `bow-cli help`)"))),
+        other => Err(err(format!(
+            "unknown command `{other}` (try `bow-cli help`)"
+        ))),
     }
 }
 
@@ -202,16 +236,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 ///
 /// Returns a [`CliError`] for unknown collector names.
 pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config, CliError> {
-    let base = match collector {
-        "baseline" => Config::baseline(),
-        "bow" => Config::bow(window),
-        "bow-wr" => Config::bow_wr(window),
-        "bow-wr-half" => Config::bow_wr_half(window),
-        "bow-flex" => Config::bow_flex(4 * window),
-        "rfc" => Config::rfc(),
+    let builder = match collector {
+        "baseline" => ConfigBuilder::baseline(),
+        "bow" => ConfigBuilder::bow(window),
+        "bow-wr" => ConfigBuilder::bow_wr(window),
+        "bow-wr-half" => ConfigBuilder::bow_wr(window).half_size(true),
+        "bow-flex" => ConfigBuilder::bow_flex(4 * window),
+        "rfc" => ConfigBuilder::rfc(),
         other => return Err(err(format!("unknown collector `{other}`"))),
     };
-    Ok(Config { reorder, ..base })
+    Ok(builder.reorder(reorder).build())
 }
 
 /// Executes a command, returning the text to print.
@@ -236,13 +270,22 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 .collect();
             Ok(render_table(&["benchmark", "suite", "description"], &rows))
         }
-        Command::Run { bench, collector, window, scale, reorder } => {
+        Command::Run {
+            bench,
+            collector,
+            window,
+            scale,
+            reorder,
+        } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
             let cfg = config_for(&collector, window, reorder)?;
             let label = cfg.label.clone();
             let rec = bow::experiment::run(b.as_ref(), cfg);
-            rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            rec.outcome
+                .checked
+                .as_ref()
+                .map_err(|e| err(format!("verification: {e}")))?;
             let s = &rec.outcome.result.stats;
             let mut out = String::new();
             writeln!(out, "{bench} under {label}: OK (results verified)").unwrap();
@@ -262,26 +305,36 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Compare { bench, scale } => {
+        Command::Compare { bench, scale, jobs } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
             let model = EnergyModel::table_iv();
-            let base = bow::experiment::run(b.as_ref(), Config::baseline());
+            let result = Suite::over(vec![b])
+                .configs([
+                    ConfigBuilder::baseline().build(),
+                    ConfigBuilder::bow(3).build(),
+                    ConfigBuilder::bow_wr(3).build(),
+                    ConfigBuilder::bow_wr(3).half_size(true).build(),
+                    ConfigBuilder::bow_flex(12).build(),
+                    ConfigBuilder::rfc().build(),
+                ])
+                .jobs(jobs)
+                .run();
+            let base = &result.row(0).records[0];
+            base.outcome
+                .checked
+                .as_ref()
+                .map_err(|e| err(format!("verification: {e}")))?;
             let base_counts = base.outcome.result.stats.access_counts();
             let mut rows = Vec::new();
-            for cfg in [
-                Config::baseline(),
-                Config::bow(3),
-                Config::bow_wr(3),
-                Config::bow_wr_half(3),
-                Config::bow_flex(12),
-                Config::rfc(),
-            ] {
-                let rec = bow::experiment::run(b.as_ref(), cfg);
-                rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            for row in &result.rows {
+                let rec = &row.records[0];
+                rec.outcome
+                    .checked
+                    .as_ref()
+                    .map_err(|e| err(format!("verification: {e}")))?;
                 let s = &rec.outcome.result.stats;
-                let energy =
-                    EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
+                let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
                 rows.push(vec![
                     rec.label.clone(),
                     format!("{:.3}", rec.ipc()),
@@ -292,13 +345,19 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 ]);
             }
             Ok(render_table(
-                &["config", "ipc", "vs base", "rd bypass", "wr bypass", "energy"],
+                &[
+                    "config",
+                    "ipc",
+                    "vs base",
+                    "rd bypass",
+                    "wr bypass",
+                    "energy",
+                ],
                 &rows,
             ))
         }
         Command::Asm { path } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
             let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let mut out = String::new();
             writeln!(
@@ -314,9 +373,12 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             out.push_str(&k.disassemble());
             Ok(out)
         }
-        Command::Compile { path, window, reorder } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| err(format!("{path}: {e}")))?;
+        Command::Compile {
+            path,
+            window,
+            reorder,
+        } => {
+            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
             let mut k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             if reorder {
                 k = bow_compiler::reorder_for_bypass(&k);
@@ -337,17 +399,24 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             out.push_str(&annotated.disassemble());
             Ok(out)
         }
-        Command::Sweep { bench, scale } => {
+        Command::Sweep { bench, scale, jobs } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
             let model = EnergyModel::table_iv();
-            let base = bow::experiment::run(b.as_ref(), Config::baseline());
-            base.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            let mut configs = vec![ConfigBuilder::baseline().build()];
+            configs.extend((1..=7u32).map(|w| ConfigBuilder::bow_wr(w).build()));
+            let result = Suite::over(vec![b]).configs(configs).jobs(jobs).run();
+            for rec in result.all_records() {
+                rec.outcome
+                    .checked
+                    .as_ref()
+                    .map_err(|e| err(format!("verification: {e}")))?;
+            }
+            let base = &result.row(0).records[0];
             let base_counts = base.outcome.result.stats.access_counts();
             let mut rows = Vec::new();
-            for w in 1..=7u32 {
-                let rec = bow::experiment::run(b.as_ref(), Config::bow_wr(w));
-                rec.outcome.checked.as_ref().map_err(|e| err(format!("verification: {e}")))?;
+            for (w, row) in (1..=7u32).zip(&result.rows[1..]) {
+                let rec = &row.records[0];
                 let s = &rec.outcome.result.stats;
                 let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
                 rows.push(vec![
@@ -363,11 +432,14 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 &rows,
             ))
         }
-        Command::Trace { path, collector, window, limit } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| err(format!("{path}: {e}")))?;
-            let kernel =
-                bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
+        Command::Trace {
+            path,
+            collector,
+            window,
+            limit,
+        } => {
+            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let kernel = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let cfg = config_for(&collector, window, false)?;
             let mut gpu_cfg = cfg.gpu.clone();
             gpu_cfg.trace_pipeline = true;
@@ -381,11 +453,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let params: Vec<u32> = (0..kernel.param_words)
                 .map(|i| 0x10_0000 + u32::from(i) * 0x1_0000)
                 .collect();
-            let res = gpu.launch(
-                &kernel,
-                bow_isa::KernelDims::linear(1, 32),
-                &params,
-            );
+            let res = gpu.launch(&kernel, bow_isa::KernelDims::linear(1, 32), &params);
             let trace = gpu.take_trace();
             let mut out = String::new();
             writeln!(
@@ -401,8 +469,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Encode { path } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
             let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let words = bow_isa::encode_kernel(&k);
             let mut out = String::with_capacity(words.len() * 9);
@@ -412,15 +479,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Decode { path } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
             let words: Result<Vec<u32>, _> = text
                 .split_whitespace()
                 .map(|t| u32::from_str_radix(t, 16))
                 .collect();
             let words = words.map_err(|e| err(format!("bad hex word: {e}")))?;
-            let k = bow_isa::decode_kernel("decoded", &words)
-                .map_err(|e| err(e.to_string()))?;
+            let k = bow_isa::decode_kernel("decoded", &words).map_err(|e| err(e.to_string()))?;
             Ok(k.disassemble())
         }
     }
@@ -436,8 +501,10 @@ mod tests {
 
     #[test]
     fn parse_run_with_options() {
-        let c = parse(&argv("run btree --collector bow --window 4 --scale test --reorder"))
-            .unwrap();
+        let c = parse(&argv(
+            "run btree --collector bow --window 4 --scale test --reorder",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Run {
@@ -474,15 +541,53 @@ mod tests {
 
     #[test]
     fn parse_sweep() {
-        let c = parse(&argv("sweep nw --scale test")).unwrap();
-        assert_eq!(c, Command::Sweep { bench: "nw".into(), scale: Scale::Test });
+        let c = parse(&argv("sweep nw --scale test --jobs 2")).unwrap();
+        assert_eq!(
+            c,
+            Command::Sweep {
+                bench: "nw".into(),
+                scale: Scale::Test,
+                jobs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn parse_jobs_defaults_to_all_cores() {
+        let c = parse(&argv("compare nw --scale test")).unwrap();
+        assert_eq!(
+            c,
+            Command::Compare {
+                bench: "nw".into(),
+                scale: Scale::Test,
+                jobs: 0
+            }
+        );
+        assert!(parse(&argv("sweep nw --jobs lots")).is_err());
     }
 
     #[test]
     fn sweep_runs_all_windows() {
-        let out = execute(Command::Sweep { bench: "vectoradd".into(), scale: Scale::Test })
-            .unwrap();
+        let out = execute(Command::Sweep {
+            bench: "vectoradd".into(),
+            scale: Scale::Test,
+            jobs: 2,
+        })
+        .unwrap();
         assert!(out.contains("IW1") && out.contains("IW7"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_all_collectors() {
+        let out = execute(Command::Compare {
+            bench: "vectoradd".into(),
+            scale: Scale::Test,
+            jobs: 2,
+        })
+        .unwrap();
+        for label in ["baseline", "bow iw3", "bow-wr iw3", "bow-flex c12", "rfc"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
     }
 
     #[test]
@@ -524,19 +629,35 @@ mod tests {
         let dir = std::env::temp_dir().join("bow_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let asm = dir.join("k.s");
-        std::fs::write(&asm, ".kernel k\n    mov r0, 7\n    iadd r1, r0, 1\n    exit\n")
-            .unwrap();
-        let hex = execute(Command::Encode { path: asm.display().to_string() }).unwrap();
+        std::fs::write(
+            &asm,
+            ".kernel k\n    mov r0, 7\n    iadd r1, r0, 1\n    exit\n",
+        )
+        .unwrap();
+        let hex = execute(Command::Encode {
+            path: asm.display().to_string(),
+        })
+        .unwrap();
         let hex_path = dir.join("k.hex");
         std::fs::write(&hex_path, hex).unwrap();
-        let text = execute(Command::Decode { path: hex_path.display().to_string() }).unwrap();
+        let text = execute(Command::Decode {
+            path: hex_path.display().to_string(),
+        })
+        .unwrap();
         assert!(text.contains("mov r0, 7"));
         assert!(text.contains("iadd r1, r0, 1"));
     }
 
     #[test]
     fn config_for_covers_all_collectors() {
-        for c in ["baseline", "bow", "bow-wr", "bow-wr-half", "bow-flex", "rfc"] {
+        for c in [
+            "baseline",
+            "bow",
+            "bow-wr",
+            "bow-wr-half",
+            "bow-flex",
+            "rfc",
+        ] {
             assert!(config_for(c, 3, false).is_ok(), "{c}");
         }
         assert!(config_for("warp-drive", 3, false).is_err());

@@ -70,10 +70,15 @@ impl Cfg {
         let mut block_of = vec![0usize; n];
         for (bi, &s) in starts.iter().enumerate() {
             let e = starts.get(bi + 1).copied().unwrap_or(n);
-            for pc in s..e {
-                block_of[pc] = bi;
+            for slot in &mut block_of[s..e] {
+                *slot = bi;
             }
-            blocks.push(Block { start: s, end: e, succs: Vec::new(), preds: Vec::new() });
+            blocks.push(Block {
+                start: s,
+                end: e,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
         }
         // Edges.
         for bi in 0..blocks.len() {
@@ -146,7 +151,12 @@ mod tests {
     #[test]
     fn straight_line_is_one_block() {
         let r = Reg::r;
-        let k = KernelBuilder::new("s").mov_imm(r(0), 1).mov_imm(r(1), 2).exit().build().unwrap();
+        let k = KernelBuilder::new("s")
+            .mov_imm(r(0), 1)
+            .mov_imm(r(1), 2)
+            .exit()
+            .build()
+            .unwrap();
         let cfg = Cfg::build(&k);
         assert_eq!(cfg.len(), 1);
         assert_eq!(cfg.blocks()[0].range(), 0..3);

@@ -63,7 +63,10 @@ impl std::fmt::Display for StructureIssue {
                 write!(f, "block {block} exits with {depth} unclosed ssy region(s)")
             }
             StructureIssue::AssumedUniformBranch { pc } => {
-                write!(f, "guarded branch at #{pc} has no ssy region (assumed uniform)")
+                write!(
+                    f,
+                    "guarded branch at #{pc} has no ssy region (assumed uniform)"
+                )
             }
         }
     }
@@ -123,17 +126,15 @@ pub fn check_structure(kernel: &Kernel) -> StructureReport {
                         depth -= 1;
                     }
                 }
-                Opcode::Bra if inst.guard.is_some() && depth == 0
-                    && advisories_seen.insert(pc) =>
-                {
+                Opcode::Bra if inst.guard.is_some() && depth == 0 && advisories_seen.insert(pc) => {
                     report
                         .issues
                         .push(StructureIssue::AssumedUniformBranch { pc });
                 }
-                Opcode::Exit => {
-                    if depth != 0 {
-                        report.issues.push(StructureIssue::UnclosedSsy { block: b, depth });
-                    }
+                Opcode::Exit if depth != 0 => {
+                    report
+                        .issues
+                        .push(StructureIssue::UnclosedSsy { block: b, depth });
                 }
                 _ => {}
             }
@@ -145,7 +146,10 @@ pub fn check_structure(kernel: &Kernel) -> StructureReport {
                     work.push(s);
                 }
                 Some(d) if d != depth => {
-                    let issue = StructureIssue::UnbalancedJoin { block: s, depths: (d, depth) };
+                    let issue = StructureIssue::UnbalancedJoin {
+                        block: s,
+                        depths: (d, depth),
+                    };
                     if !report.issues.contains(&issue) {
                         report.issues.push(issue);
                     }
@@ -188,7 +192,10 @@ mod tests {
         let k = KernelBuilder::new("bad").sync().exit().build().unwrap();
         let rep = check_structure(&k);
         assert!(!rep.is_ok());
-        assert!(matches!(rep.issues[0], StructureIssue::SyncWithoutSsy { pc: 0 }));
+        assert!(matches!(
+            rep.issues[0],
+            StructureIssue::SyncWithoutSsy { pc: 0 }
+        ));
     }
 
     #[test]

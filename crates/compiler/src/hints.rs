@@ -22,11 +22,10 @@
 use crate::cfg::Cfg;
 use crate::liveness::Liveness;
 use bow_isa::{Kernel, Reg, WritebackHint};
-use serde::{Deserialize, Serialize};
 
 /// The classification of one static write (mirrors [`WritebackHint`] but
 /// carries the reporting name used by Fig. 7).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HintClass {
     /// No reuse inside the window: write only to the RF banks.
     RfOnly,
@@ -48,7 +47,7 @@ impl HintClass {
 }
 
 /// Static summary of the hint pass.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct CompilerReport {
     /// Static writes classified `RfOnly`.
     pub rf_only: usize,
@@ -140,7 +139,11 @@ fn expiry_class(
         let inst = &kernel.insts[k];
         if inst.src_regs().contains(&d) {
             // Read after expiry: the RF must hold the value.
-            return if read_in_window { HintClass::Persistent } else { HintClass::RfOnly };
+            return if read_in_window {
+                HintClass::Persistent
+            } else {
+                HintClass::RfOnly
+            };
         }
         if inst.dst_reg() == Some(d) {
             // Overwritten without an intervening read: dead after expiry.
@@ -196,7 +199,9 @@ pub fn annotate(kernel: &Kernel, window: u32) -> (Kernel, CompilerReport) {
             HintClass::Persistent => report.persistent += 1,
             HintClass::Transient => report.transient += 1,
         }
-        let d = kernel.insts[pc].dst_reg().expect("classified writes have a dst");
+        let d = kernel.insts[pc]
+            .dst_reg()
+            .expect("classified writes have a dst");
         written[d.index() as usize] = true;
         used[d.index() as usize] = true;
         if class != HintClass::Transient {
@@ -289,7 +294,11 @@ mod tests {
             .build()
             .unwrap();
         let c = classify_kernel(&k, 3);
-        assert_eq!(c[0].1, HintClass::Transient, "chain reads keep it present; dead after");
+        assert_eq!(
+            c[0].1,
+            HintClass::Transient,
+            "chain reads keep it present; dead after"
+        );
     }
 
     #[test]

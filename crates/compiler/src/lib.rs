@@ -47,5 +47,5 @@ pub use cfg::Cfg;
 pub use divergence::{check_structure, StructureIssue, StructureReport};
 pub use hints::{annotate, classify_kernel, CompilerReport, HintClass};
 pub use liveness::Liveness;
-pub use reorder::reorder_for_bypass;
 pub use regset::RegSet;
+pub use reorder::reorder_for_bypass;

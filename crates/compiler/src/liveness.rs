@@ -136,7 +136,10 @@ mod tests {
         let cfg = Cfg::build(&k);
         let lv = Liveness::compute(&k, &cfg);
         let first = cfg.block_of(0);
-        assert!(lv.live_out(first).contains(r(0)), "taken path skips the redefine");
+        assert!(
+            lv.live_out(first).contains(r(0)),
+            "taken path skips the redefine"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ use bow_isa::{Instruction, Kernel, Opcode};
 
 /// Whether instructions may never move across this one.
 fn is_sched_barrier(op: Opcode) -> bool {
-    matches!(op, Opcode::Bar | Opcode::Ssy | Opcode::Sync | Opcode::Exit | Opcode::Bra | Opcode::Nop)
+    matches!(
+        op,
+        Opcode::Bar | Opcode::Ssy | Opcode::Sync | Opcode::Exit | Opcode::Bra | Opcode::Nop
+    )
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -188,8 +191,7 @@ fn apply_segment(kernel: &Kernel, out: &mut Kernel, start: usize, end: usize) {
     // Do no harm: adopt the new order only if it strictly reduces the
     // number of reads falling outside the window — otherwise the original
     // (latency-aware) order stays.
-    let reordered: Vec<Instruction> =
-        order.iter().map(|&src| segment[src].clone()).collect();
+    let reordered: Vec<Instruction> = order.iter().map(|&src| segment[src].clone()).collect();
     if window_misses(&reordered) < window_misses(segment) {
         for (slot, inst) in reordered.into_iter().enumerate() {
             out.insts[start + slot] = inst;
@@ -298,8 +300,14 @@ mod tests {
             .unwrap();
         let re = reorder_for_bypass(&k);
         let idx_of = |inst: &Instruction| re.insts.iter().position(|i| i == inst).unwrap();
-        assert!(idx_of(&k.insts[1]) < idx_of(&k.insts[2]), "load before store");
-        assert!(idx_of(&k.insts[2]) < idx_of(&k.insts[3]), "store before later load");
+        assert!(
+            idx_of(&k.insts[1]) < idx_of(&k.insts[2]),
+            "load before store"
+        );
+        assert!(
+            idx_of(&k.insts[2]) < idx_of(&k.insts[3]),
+            "store before later load"
+        );
     }
 
     #[test]

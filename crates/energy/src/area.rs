@@ -1,9 +1,7 @@
 //! Storage and area overhead accounting (§V-A "Hardware Overhead").
 
-use serde::{Deserialize, Serialize};
-
 /// Storage added by a bypassing-operand-collector configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct StorageOverhead {
     /// Bytes of buffering per BOC.
     pub bytes_per_boc: u32,
@@ -31,13 +29,19 @@ impl StorageOverhead {
     /// shared across the window with FIFO eviction).
     pub fn bow_half(window: u32, bocs_per_sm: u32) -> StorageOverhead {
         let full = Self::bow_full(window, bocs_per_sm);
-        StorageOverhead { bytes_per_boc: full.bytes_per_boc / 2, ..full }
+        StorageOverhead {
+            bytes_per_boc: full.bytes_per_boc / 2,
+            ..full
+        }
     }
 
     /// Total *added* storage per SM in bytes, relative to the baseline
     /// operand collectors.
     pub fn added_bytes_per_sm(&self) -> u32 {
-        self.bocs_per_sm * self.bytes_per_boc.saturating_sub(self.baseline_bytes_per_ocu)
+        self.bocs_per_sm
+            * self
+                .bytes_per_boc
+                .saturating_sub(self.baseline_bytes_per_ocu)
     }
 
     /// Added storage as a fraction of an `rf_bytes`-sized register file.
@@ -52,7 +56,7 @@ impl StorageOverhead {
 /// the added circuitry is under 0.04 mm² against a 1.72 mm² register bank;
 /// the paper rounds this to "<3% of one bank, <0.1% of the full RF, 0.17%
 /// of total chip area".
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AreaModel {
     /// Area of the added BOC network (mm²).
     pub boc_network_mm2: f64,

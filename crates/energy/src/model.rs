@@ -1,10 +1,8 @@
 //! Per-access energy constants and access counting.
 
-use serde::{Deserialize, Serialize};
-
 /// Access counts the simulator accumulates for one run, the raw input of
 /// the energy accounting.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct AccessCounts {
     /// Warp-register reads served by the physical register-file banks.
     pub rf_reads: u64,
@@ -51,7 +49,7 @@ impl AccessCounts {
 /// costs 2.72 pJ — the ~68× gap is what makes bypassing profitable. The
 /// interconnect adder models the modified crossbar/bus network the authors
 /// synthesized (33.2 mW at 50% write duty ≈ a small per-access adder).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct EnergyModel {
     /// Energy per warp-register access of one RF bank (pJ).
     pub rf_access_pj: f64,
@@ -105,8 +103,8 @@ impl EnergyModel {
     /// Returns (baseline mW, with-BOW mW).
     pub fn leakage_mw(&self, banks: u32, bocs: u32, rf_reduction: f64) -> (f64, f64) {
         let base = f64::from(banks) * self.rf_leakage_mw_per_bank;
-        let shrunk = base * (1.0 - rf_reduction.clamp(0.0, 1.0))
-            + f64::from(bocs) * self.boc_leakage_mw;
+        let shrunk =
+            base * (1.0 - rf_reduction.clamp(0.0, 1.0)) + f64::from(bocs) * self.boc_leakage_mw;
         (base, shrunk)
     }
 }

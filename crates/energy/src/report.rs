@@ -1,13 +1,12 @@
 //! Normalized energy reporting (the Fig. 13 breakdown).
 
 use crate::model::{AccessCounts, EnergyModel};
-use serde::{Deserialize, Serialize};
 
 /// Energy of one configuration normalized against a baseline run, the form
 /// the paper plots in Fig. 13: a "dynamic energy" bar with a small
 /// "overhead" segment stacked on top, both relative to the baseline's RF
 /// dynamic energy.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct EnergyReport {
     /// RF dynamic energy of the evaluated config / baseline RF dynamic.
     pub rf_dynamic_norm: f64,
@@ -62,7 +61,11 @@ mod tests {
     #[test]
     fn baseline_vs_itself_is_unity() {
         let m = EnergyModel::table_iv();
-        let c = AccessCounts { rf_reads: 100, rf_writes: 50, ..Default::default() };
+        let c = AccessCounts {
+            rf_reads: 100,
+            rf_writes: 50,
+            ..Default::default()
+        };
         let r = EnergyReport::normalized(&m, &c, &c);
         assert!((r.total_norm() - 1.0).abs() < 1e-12);
         assert_eq!(r.overhead_norm, 0.0);
@@ -72,7 +75,11 @@ mod tests {
     #[test]
     fn halved_traffic_saves_about_half() {
         let m = EnergyModel::table_iv();
-        let base = AccessCounts { rf_reads: 100, rf_writes: 100, ..Default::default() };
+        let base = AccessCounts {
+            rf_reads: 100,
+            rf_writes: 100,
+            ..Default::default()
+        };
         let cfg = AccessCounts {
             rf_reads: 50,
             rf_writes: 50,
@@ -81,14 +88,21 @@ mod tests {
             ..Default::default()
         };
         let r = EnergyReport::normalized(&m, &cfg, &base);
-        assert!(r.savings() > 0.45 && r.savings() < 0.5, "savings {}", r.savings());
+        assert!(
+            r.savings() > 0.45 && r.savings() < 0.5,
+            "savings {}",
+            r.savings()
+        );
         assert!(r.overhead_norm > 0.0 && r.overhead_norm < 0.05);
     }
 
     #[test]
     fn zero_baseline_is_degenerate_but_finite() {
         let m = EnergyModel::table_iv();
-        let cfg = AccessCounts { rf_reads: 10, ..Default::default() };
+        let cfg = AccessCounts {
+            rf_reads: 10,
+            ..Default::default()
+        };
         let r = EnergyReport::normalized(&m, &cfg, &AccessCounts::default());
         assert_eq!(r.total_norm(), 0.0);
     }

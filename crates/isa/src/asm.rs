@@ -56,7 +56,9 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
         }
         if let Some(i) = line.find('#') {
             // `#` only starts a comment when not part of a `#N` raw target.
-            if !line[i..].starts_with("#") || !line[i + 1..].starts_with(|c: char| c.is_ascii_digit()) {
+            if !line[i..].starts_with("#")
+                || !line[i + 1..].starts_with(|c: char| c.is_ascii_digit())
+            {
                 line = &line[..i];
             }
         }
@@ -264,8 +266,7 @@ fn parse_instruction(
     // Branches were given a placeholder target; let per-instruction
     // validation run after fixups (kernel validation covers it).
     if inst.target != Some(usize::MAX) {
-        inst.validate()
-            .map_err(|msg| AsmError::new(lineno, msg))?;
+        inst.validate().map_err(|msg| AsmError::new(lineno, msg))?;
     }
     Ok(inst)
 }
@@ -322,7 +323,10 @@ fn parse_memref(t: &str, lineno: usize) -> Result<MemRef, AsmError> {
     } else {
         (inner, 0)
     };
-    Ok(MemRef { base: parse_reg(base_s.trim(), lineno)?, offset: off })
+    Ok(MemRef {
+        base: parse_reg(base_s.trim(), lineno)?,
+        offset: off,
+    })
 }
 
 fn parse_operand(t: &str, lineno: usize) -> Result<Operand, AsmError> {

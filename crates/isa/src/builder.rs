@@ -116,7 +116,11 @@ impl KernelBuilder {
 
     /// `s2r d, %special`.
     pub fn s2r(self, d: Reg, sp: Special) -> Self {
-        self.push(Instruction::new(Opcode::S2R, Dst::Reg(d), vec![Operand::Special(sp)]))
+        self.push(Instruction::new(
+            Opcode::S2R,
+            Dst::Reg(d),
+            vec![Operand::Special(sp)],
+        ))
     }
 
     /// `sel d, a, b, p` — `d = p ? a : b`.
@@ -273,12 +277,20 @@ impl KernelBuilder {
 
     /// `isetp.<op> p, a, b`.
     pub fn isetp(self, op: CmpOp, p: Pred, a: Operand, b: Operand) -> Self {
-        self.push(Instruction::new(Opcode::ISetp(op), Dst::Pred(p), vec![a, b]))
+        self.push(Instruction::new(
+            Opcode::ISetp(op),
+            Dst::Pred(p),
+            vec![a, b],
+        ))
     }
 
     /// `fsetp.<op> p, a, b`.
     pub fn fsetp(self, op: CmpOp, p: Pred, a: Operand, b: Operand) -> Self {
-        self.push(Instruction::new(Opcode::FSetp(op), Dst::Pred(p), vec![a, b]))
+        self.push(Instruction::new(
+            Opcode::FSetp(op),
+            Dst::Pred(p),
+            vec![a, b],
+        ))
     }
 
     // ----- memory -----
@@ -314,7 +326,10 @@ impl KernelBuilder {
     /// `ldc d, c[byte_off]` — kernel-parameter load.
     pub fn ldc(self, d: Reg, byte_off: i32) -> Self {
         let mut i = Instruction::new(Opcode::Ldc, Dst::Reg(d), vec![]);
-        i.mem = Some(MemRef { base: Reg::RZ, offset: byte_off });
+        i.mem = Some(MemRef {
+            base: Reg::RZ,
+            offset: byte_off,
+        });
         self.push(i)
     }
 
@@ -441,7 +456,11 @@ mod tests {
 
     #[test]
     fn undefined_label_is_an_error() {
-        let err = KernelBuilder::new("bad").bra("nowhere").exit().build().unwrap_err();
+        let err = KernelBuilder::new("bad")
+            .bra("nowhere")
+            .exit()
+            .build()
+            .unwrap_err();
         assert!(err.to_string().contains("undefined label"));
     }
 

@@ -208,13 +208,17 @@ pub fn decode(words: &[u32], pos: usize) -> Result<(Instruction, usize), DecodeE
         let payload = take(cursor)?;
         cursor += 1;
         let src = match (w1 >> (i * 2)) & 0b11 {
-            0 => Operand::Reg(
-                if payload == 255 { Reg::RZ } else { Reg::try_new(payload as u8).ok_or(DecodeError::Malformed("reg"))? },
-            ),
+            0 => Operand::Reg(if payload == 255 {
+                Reg::RZ
+            } else {
+                Reg::try_new(payload as u8).ok_or(DecodeError::Malformed("reg"))?
+            }),
             1 => Operand::Imm(payload),
-            2 => Operand::Pred(
-                if payload == 7 { Pred::PT } else { Pred::try_new(payload as u8).ok_or(DecodeError::Malformed("pred"))? },
-            ),
+            2 => Operand::Pred(if payload == 7 {
+                Pred::PT
+            } else {
+                Pred::try_new(payload as u8).ok_or(DecodeError::Malformed("pred"))?
+            }),
             3 => Operand::Special(
                 *Special::ALL
                     .get(payload as usize)
@@ -357,7 +361,10 @@ mod tests {
     #[test]
     fn bad_opcode_errors() {
         let mut words = Vec::new();
-        encode(&Instruction::new(Opcode::Nop, Dst::None, vec![]), &mut words);
+        encode(
+            &Instruction::new(Opcode::Nop, Dst::None, vec![]),
+            &mut words,
+        );
         words[0] |= 0xff << 24;
         assert!(matches!(decode(&words, 0), Err(DecodeError::BadOpcode(_))));
     }
@@ -367,12 +374,19 @@ mod tests {
         // A nop is exactly two words; a three-source fma with immediates is
         // at most five.
         let mut words = Vec::new();
-        let n = encode(&Instruction::new(Opcode::Nop, Dst::None, vec![]), &mut words);
+        let n = encode(
+            &Instruction::new(Opcode::Nop, Dst::None, vec![]),
+            &mut words,
+        );
         assert_eq!(n, 2);
         let fma = Instruction::new(
             Opcode::FFma,
             Dst::Reg(Reg::r(1)),
-            vec![Operand::fimm(1.0), Operand::fimm(2.0), Operand::Reg(Reg::r(2))],
+            vec![
+                Operand::fimm(1.0),
+                Operand::fimm(2.0),
+                Operand::Reg(Reg::r(2)),
+            ],
         );
         let mut words = Vec::new();
         assert_eq!(encode(&fma, &mut words), 5);

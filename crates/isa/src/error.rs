@@ -54,7 +54,10 @@ pub struct AsmError {
 
 impl AsmError {
     pub(crate) fn new(line: usize, msg: impl Into<String>) -> AsmError {
-        AsmError { line, msg: msg.into() }
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 

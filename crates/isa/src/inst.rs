@@ -4,7 +4,6 @@
 use crate::opcode::Opcode;
 use crate::operand::Operand;
 use crate::reg::{Pred, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Compiler-assigned write-back destination for a computed value (§IV-B).
@@ -12,7 +11,7 @@ use std::fmt;
 /// BOW-WR encodes this with two bits in every instruction that has a
 /// destination register: one enables the write to the bypassing operand
 /// collector (BOC), the other enables the write-back to the register file.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum WritebackHint {
     /// Write to the BOC; write back to the RF on window eviction if still
     /// dirty. The default (un-annotated) behaviour of BOW-WR.
@@ -65,7 +64,7 @@ impl fmt::Display for WritebackHint {
 }
 
 /// The destination of an instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Dst {
     /// No destination (stores, control flow).
     #[default]
@@ -96,7 +95,7 @@ impl Dst {
 }
 
 /// A `[base + offset]` memory reference used by loads and stores.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MemRef {
     /// Register holding the per-thread base address.
     pub base: Reg,
@@ -117,7 +116,7 @@ impl fmt::Display for MemRef {
 }
 
 /// An `@p` / `@!p` guard that predicates an instruction per thread.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PredGuard {
     /// The predicate register consulted.
     pub pred: Pred,
@@ -141,7 +140,7 @@ impl fmt::Display for PredGuard {
 /// the [assembler](crate::asm); direct construction is possible but
 /// [`Instruction::validate`] should then be called (the kernel-level
 /// validator does so for every instruction).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Instruction {
     /// The operation.
     pub op: Opcode,
@@ -368,7 +367,11 @@ mod tests {
 
     #[test]
     fn hint_encoding_roundtrip() {
-        for h in [WritebackHint::Both, WritebackHint::RfOnly, WritebackHint::BocOnly] {
+        for h in [
+            WritebackHint::Both,
+            WritebackHint::RfOnly,
+            WritebackHint::BocOnly,
+        ] {
             let (b, r) = h.encode();
             assert_eq!(WritebackHint::decode(b, r), Some(h));
         }
@@ -378,7 +381,10 @@ mod tests {
     #[test]
     fn src_regs_includes_mem_base() {
         let mut ld = Instruction::new(Opcode::Ldg, Dst::Reg(Reg::r(5)), vec![]);
-        ld.mem = Some(MemRef { base: Reg::r(4), offset: 8 });
+        ld.mem = Some(MemRef {
+            base: Reg::r(4),
+            offset: 8,
+        });
         assert_eq!(ld.src_regs(), vec![Reg::r(4)]);
         assert_eq!(ld.dst_reg(), Some(Reg::r(5)));
     }
@@ -386,7 +392,10 @@ mod tests {
     #[test]
     fn ldc_base_is_not_an_rf_read() {
         let mut ldc = Instruction::new(Opcode::Ldc, Dst::Reg(Reg::r(5)), vec![]);
-        ldc.mem = Some(MemRef { base: Reg::RZ, offset: 0 });
+        ldc.mem = Some(MemRef {
+            base: Reg::RZ,
+            offset: 0,
+        });
         assert!(ldc.src_regs().is_empty());
     }
 
@@ -441,7 +450,10 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let mut i = iadd(3, 1, 2);
-        i.guard = Some(PredGuard { pred: Pred::p(0), negated: true });
+        i.guard = Some(PredGuard {
+            pred: Pred::p(0),
+            negated: true,
+        });
         assert_eq!(i.to_string(), "@!p0 iadd r3, r1, r2");
 
         let mut s2r = Instruction::new(
@@ -464,7 +476,10 @@ mod tests {
                 Operand::Pred(Pred::p(2)),
             ],
         );
-        sel.guard = Some(PredGuard { pred: Pred::p(1), negated: false });
+        sel.guard = Some(PredGuard {
+            pred: Pred::p(1),
+            negated: false,
+        });
         assert_eq!(sel.src_preds(), vec![Pred::p(1), Pred::p(2)]);
     }
 }

@@ -3,14 +3,13 @@
 use crate::error::KernelError;
 use crate::inst::Instruction;
 use crate::opcode::Opcode;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Launch geometry for a kernel: grid and block dimensions (x, y).
 ///
 /// The model supports 2-D grids and blocks, which covers every workload in
 /// the suite; a z dimension would be a mechanical extension.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct KernelDims {
     /// Blocks in the grid (x, y).
     pub grid: (u32, u32),
@@ -22,7 +21,10 @@ pub struct KernelDims {
 impl KernelDims {
     /// A 1-D launch with `grid_x` blocks of `block_x` threads.
     pub fn linear(grid_x: u32, block_x: u32) -> KernelDims {
-        KernelDims { grid: (grid_x, 1), block: (block_x, 1) }
+        KernelDims {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+        }
     }
 
     /// Total number of threads per block.
@@ -48,7 +50,7 @@ impl Default for KernelDims {
 }
 
 /// A GPU kernel: instructions plus the resources a block needs.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Kernel {
     /// Kernel name (for reports).
     pub name: String,
@@ -74,7 +76,9 @@ impl Kernel {
     /// Returns the first violated invariant with its instruction index.
     pub fn validate(&self) -> Result<(), KernelError> {
         if self.insts.is_empty() {
-            return Err(KernelError::Empty { kernel: self.name.clone() });
+            return Err(KernelError::Empty {
+                kernel: self.name.clone(),
+            });
         }
         let mut has_exit = false;
         for (pc, inst) in self.insts.iter().enumerate() {
@@ -92,11 +96,7 @@ impl Kernel {
                     });
                 }
             }
-            for r in inst
-                .src_regs()
-                .into_iter()
-                .chain(inst.dst_reg())
-            {
+            for r in inst.src_regs().into_iter().chain(inst.dst_reg()) {
                 if u16::from(r.index()) >= self.num_regs {
                     return Err(KernelError::Instruction {
                         kernel: self.name.clone(),
@@ -118,7 +118,9 @@ impl Kernel {
             has_exit |= inst.op == Opcode::Exit;
         }
         if !has_exit {
-            return Err(KernelError::NoExit { kernel: self.name.clone() });
+            return Err(KernelError::NoExit {
+                kernel: self.name.clone(),
+            });
         }
         Ok(())
     }
@@ -230,7 +232,10 @@ mod tests {
     fn bad_ldc_offset_is_rejected() {
         let mut k = tiny();
         let mut ldc = Instruction::new(Opcode::Ldc, Dst::Reg(Reg::r(0)), vec![]);
-        ldc.mem = Some(MemRef { base: Reg::RZ, offset: 4 });
+        ldc.mem = Some(MemRef {
+            base: Reg::RZ,
+            offset: 4,
+        });
         k.insts.insert(0, ldc);
         // param_words is 0, so offset 4 is outside the block.
         let err = k.validate().unwrap_err();
@@ -239,7 +244,10 @@ mod tests {
 
     #[test]
     fn dims_arithmetic() {
-        let d = KernelDims { grid: (4, 2), block: (48, 1) };
+        let d = KernelDims {
+            grid: (4, 2),
+            block: (48, 1),
+        };
         assert_eq!(d.total_blocks(), 8);
         assert_eq!(d.threads_per_block(), 48);
         assert_eq!(d.warps_per_block(), 2); // 48 threads -> 1.5 warps -> 2

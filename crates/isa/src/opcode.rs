@@ -1,10 +1,9 @@
 //! Opcodes, comparison operators and functional-unit classes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison operator used by `isetp` / `fsetp`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -80,7 +79,7 @@ impl fmt::Display for CmpOp {
 
 /// Functional-unit class an opcode executes on; determines pipeline latency
 /// in the timing model.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FuClass {
     /// Simple integer/logic ALU operation.
     Alu,
@@ -99,7 +98,7 @@ pub enum FuClass {
 /// Opcodes are grouped to mirror SASS: integer ALU, float ALU, fused
 /// multiply-add forms, special-function ops, conversions, data movement,
 /// predicate-setting compares, memory and control flow.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Opcode {
     // --- integer ---
     /// `d = a + b` (wrapping).
@@ -363,11 +362,18 @@ impl Opcode {
     pub fn all() -> Vec<Opcode> {
         use Opcode::*;
         let mut v = vec![
-            IAdd, ISub, IMul, IMad, IMin, IMax, IAbs, ISad, And, Or, Xor, Not, Shl, Shr, Sar,
-            FAdd, FSub, FMul, FFma, FMin, FMax, FRcp, FSqrt, FLog2, FExp2, I2F, F2I, Mov, Sel,
-            S2R, Ldg, Stg, Lds, Sts, Ldc, Bra, Ssy, Sync, Bar, Exit, Nop,
+            IAdd, ISub, IMul, IMad, IMin, IMax, IAbs, ISad, And, Or, Xor, Not, Shl, Shr, Sar, FAdd,
+            FSub, FMul, FFma, FMin, FMax, FRcp, FSqrt, FLog2, FExp2, I2F, F2I, Mov, Sel, S2R, Ldg,
+            Stg, Lds, Sts, Ldc, Bra, Ssy, Sync, Bar, Exit, Nop,
         ];
-        for c in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for c in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             v.push(ISetp(c));
             v.push(FSetp(c));
         }

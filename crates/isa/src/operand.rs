@@ -1,14 +1,13 @@
 //! Source operands and special (hardware) registers.
 
 use crate::reg::{Pred, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A special hardware register readable through `s2r`.
 ///
 /// These mirror the PTX/SASS special registers the workloads need to locate
 /// themselves within the launch grid.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Special {
     /// Thread index within the block, x dimension (`%tid.x`).
     TidX,
@@ -76,7 +75,7 @@ impl fmt::Display for Special {
 }
 
 /// A source operand of an instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A general-purpose register. The only operand kind that touches the
     /// register file (and hence the only kind the bypass window tracks).

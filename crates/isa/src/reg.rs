@@ -1,6 +1,5 @@
 //! Architectural register and predicate-register newtypes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An architectural 32-bit general-purpose register, `R0`..`R254`.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Index 255 is the hardwired zero register [`Reg::RZ`]: it reads as zero and
 /// writes to it are discarded, mirroring SASS's `RZ`. The register file model
 /// never allocates storage for it and the bypass window never tracks it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {
@@ -70,7 +69,7 @@ impl fmt::Debug for Reg {
 ///
 /// Index 7 is the hardwired true predicate [`Pred::PT`] (SASS `PT`): it reads
 /// as `true` and writes to it are discarded.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pred(u8);
 
 impl Pred {

@@ -1,123 +1,139 @@
 //! Property test: every structurally valid instruction round-trips through
 //! the binary encoding, and every valid kernel's stream decodes back to an
 //! equal kernel.
+//!
+//! Cases come from a seeded in-tree xorshift stream ([`bow_util::XorShift`];
+//! the workspace builds offline and carries no proptest), so every run
+//! checks the same cases and a failure reproduces from the printed case
+//! number alone.
 
 use bow_isa::{
-    encode_kernel, decode_kernel, CmpOp, Dst, Instruction, KernelBuilder, MemRef, Opcode,
-    Operand, Pred, PredGuard, Reg, WritebackHint,
+    decode_kernel, encode_kernel, CmpOp, Dst, Instruction, KernelBuilder, MemRef, Opcode, Operand,
+    Pred, PredGuard, Reg, WritebackHint,
 };
-use proptest::prelude::*;
+use bow_util::XorShift;
 
-fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn case_rng(seed: u64, case: u64) -> XorShift {
+    XorShift::new(seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u8..=254).prop_map(|i| Operand::Reg(Reg::r(i))),
-        Just(Operand::Reg(Reg::RZ)),
-        any::<u32>().prop_map(Operand::Imm),
-        (0u8..=6).prop_map(|i| Operand::Pred(Pred::p(i))),
-        (0usize..10).prop_map(|i| Operand::Special(bow_isa::Special::ALL[i])),
-    ]
+fn gen_cmp(rng: &mut XorShift) -> CmpOp {
+    *rng.choose(&[
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
-fn hint_strategy() -> impl Strategy<Value = WritebackHint> {
-    prop_oneof![
-        Just(WritebackHint::Both),
-        Just(WritebackHint::RfOnly),
-        Just(WritebackHint::BocOnly),
-    ]
+fn gen_operand(rng: &mut XorShift) -> Operand {
+    match rng.below(5) {
+        0 => Operand::Reg(Reg::r(rng.below_u8(255))),
+        1 => Operand::Reg(Reg::RZ),
+        2 => Operand::Imm(rng.next_u32()),
+        3 => Operand::Pred(Pred::p(rng.below_u8(7))),
+        _ => Operand::Special(bow_isa::Special::ALL[rng.below(10) as usize]),
+    }
 }
 
-fn guard_strategy() -> impl Strategy<Value = Option<PredGuard>> {
-    prop_oneof![
-        Just(None),
-        ((0u8..=6), any::<bool>())
-            .prop_map(|(p, n)| Some(PredGuard { pred: Pred::p(p), negated: n })),
-    ]
+fn gen_hint(rng: &mut XorShift) -> WritebackHint {
+    *rng.choose(&[
+        WritebackHint::Both,
+        WritebackHint::RfOnly,
+        WritebackHint::BocOnly,
+    ])
 }
 
-/// Builds a structurally valid instruction for a random opcode.
-fn inst_strategy() -> impl Strategy<Value = Instruction> {
-    let ops = Opcode::all();
-    (
-        0..ops.len(),
-        proptest::collection::vec(operand_strategy(), 3),
-        (0u8..=254, 0u8..=6),
-        guard_strategy(),
-        hint_strategy(),
-        any::<i32>(),
-        0usize..1000,
-        cmp_strategy(),
-    )
-        .prop_map(move |(oi, raw_srcs, (dreg, dpred), guard, hint, offset, target, cmp)| {
-            let mut op = ops[oi];
-            op = match op {
-                Opcode::ISetp(_) => Opcode::ISetp(cmp),
-                Opcode::FSetp(_) => Opcode::FSetp(cmp),
-                o => o,
-            };
-            let dst = if op.writes_reg() {
-                Dst::Reg(Reg::r(dreg))
-            } else if op.writes_pred() {
-                Dst::Pred(Pred::p(dpred))
-            } else {
-                Dst::None
-            };
-            let mut srcs: Vec<Operand> = raw_srcs.into_iter().take(op.arity()).collect();
-            // Structural fixes: s2r needs a special source, sel a predicate
-            // third source; register-only slots keep whatever came.
-            if op == Opcode::S2R {
-                srcs[0] = Operand::Special(bow_isa::Special::TidX);
-            }
-            if op == Opcode::Sel {
-                srcs[2] = Operand::Pred(Pred::p(dpred));
-            }
-            let mut inst = Instruction::new(op, dst, srcs);
-            inst.guard = guard;
-            inst.hint = hint;
-            if matches!(op, Opcode::Ldg | Opcode::Stg | Opcode::Lds | Opcode::Sts) {
-                inst.mem = Some(MemRef { base: Reg::r(dreg), offset });
-            }
-            if op == Opcode::Ldc {
-                inst.mem = Some(MemRef { base: Reg::RZ, offset: (offset & 0x3f) * 4 });
-            }
-            if matches!(op, Opcode::Bra | Opcode::Ssy) {
-                inst.target = Some(target);
-            }
-            inst
+fn gen_guard(rng: &mut XorShift) -> Option<PredGuard> {
+    if rng.next_bool() {
+        Some(PredGuard {
+            pred: Pred::p(rng.below_u8(7)),
+            negated: rng.next_bool(),
         })
-        .prop_filter("valid instructions only", |i| i.validate().is_ok())
+    } else {
+        None
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Builds a structurally valid instruction for a random opcode, redrawing
+/// until validation passes (most draws are already valid; the bound only
+/// guards against a generator bug spinning forever).
+fn gen_inst(rng: &mut XorShift) -> Instruction {
+    let ops = Opcode::all();
+    for _ in 0..1000 {
+        let mut op = ops[rng.below(ops.len() as u64) as usize];
+        let cmp = gen_cmp(rng);
+        op = match op {
+            Opcode::ISetp(_) => Opcode::ISetp(cmp),
+            Opcode::FSetp(_) => Opcode::FSetp(cmp),
+            o => o,
+        };
+        let (dreg, dpred) = (rng.below_u8(255), rng.below_u8(7));
+        let dst = if op.writes_reg() {
+            Dst::Reg(Reg::r(dreg))
+        } else if op.writes_pred() {
+            Dst::Pred(Pred::p(dpred))
+        } else {
+            Dst::None
+        };
+        let mut srcs: Vec<Operand> = (0..op.arity()).map(|_| gen_operand(rng)).collect();
+        // Structural fixes: s2r needs a special source, sel a predicate
+        // third source; register-only slots keep whatever came.
+        if op == Opcode::S2R {
+            srcs[0] = Operand::Special(bow_isa::Special::TidX);
+        }
+        if op == Opcode::Sel {
+            srcs[2] = Operand::Pred(Pred::p(dpred));
+        }
+        let mut inst = Instruction::new(op, dst, srcs);
+        inst.guard = gen_guard(rng);
+        inst.hint = gen_hint(rng);
+        let offset = rng.next_u32() as i32;
+        if matches!(op, Opcode::Ldg | Opcode::Stg | Opcode::Lds | Opcode::Sts) {
+            inst.mem = Some(MemRef {
+                base: Reg::r(dreg),
+                offset,
+            });
+        }
+        if op == Opcode::Ldc {
+            inst.mem = Some(MemRef {
+                base: Reg::RZ,
+                offset: (offset & 0x3f) * 4,
+            });
+        }
+        if matches!(op, Opcode::Bra | Opcode::Ssy) {
+            inst.target = Some(rng.below(1000) as usize);
+        }
+        if inst.validate().is_ok() {
+            return inst;
+        }
+    }
+    panic!("no valid instruction in 1000 draws");
+}
 
-    #[test]
-    fn every_valid_instruction_roundtrips(inst in inst_strategy()) {
+#[test]
+fn every_valid_instruction_roundtrips() {
+    for case in 0..512u64 {
+        let mut rng = case_rng(0xe7c0_de00, case);
+        let inst = gen_inst(&mut rng);
         let mut words = Vec::new();
         bow_isa::encode::encode(&inst, &mut words);
         let (back, used) = bow_isa::encode::decode(&words, 0).expect("decodes");
-        prop_assert_eq!(&back, &inst);
-        prop_assert_eq!(used, words.len());
+        assert_eq!(back, inst, "case {case}: decode mismatch");
+        assert_eq!(used, words.len(), "case {case}: trailing words");
     }
+}
 
-    #[test]
-    fn disassembly_reparses_to_the_same_kernel(
-        n in 1usize..20,
-        seeds in proptest::collection::vec(any::<u32>(), 20),
-    ) {
+#[test]
+fn disassembly_reparses_to_the_same_kernel() {
+    for case in 0..128u64 {
+        let mut rng = case_rng(0xd15a_55e0, case);
+        let n = rng.range(1, 20) as usize;
         let mut b = KernelBuilder::new("roundtrip");
-        for i in 0..n {
-            let s = seeds[i];
+        for _ in 0..n {
+            let s = rng.next_u32();
             let d = Reg::r((s % 12) as u8);
             let a = Operand::Reg(Reg::r(((s >> 8) % 12) as u8));
             b = match s % 4 {
@@ -130,17 +146,18 @@ proptest! {
         let k = b.exit().build().expect("builds");
         let text = k.disassemble();
         let back = bow_isa::asm::parse_kernel(&text).expect("reparses");
-        prop_assert_eq!(back, k);
+        assert_eq!(back, k, "case {case}: reparse mismatch");
     }
+}
 
-    #[test]
-    fn random_straightline_kernels_roundtrip(
-        n in 1usize..30,
-        seeds in proptest::collection::vec(any::<u32>(), 30),
-    ) {
+#[test]
+fn random_straightline_kernels_roundtrip() {
+    for case in 0..128u64 {
+        let mut rng = case_rng(0x5745_a171, case);
+        let n = rng.range(1, 30) as usize;
         let mut b = KernelBuilder::new("prop");
-        for i in 0..n {
-            let s = seeds[i];
+        for _ in 0..n {
+            let s = rng.next_u32();
             let d = Reg::r((s % 16) as u8);
             let a = Operand::Reg(Reg::r(((s >> 8) % 16) as u8));
             let c = Operand::Imm(s);
@@ -155,6 +172,6 @@ proptest! {
         let k = b.exit().build().expect("builds");
         let words = encode_kernel(&k);
         let back = decode_kernel("prop", &words).expect("decodes");
-        prop_assert_eq!(back, k);
+        assert_eq!(back, k, "case {case}: decode mismatch");
     }
 }

@@ -1,9 +1,7 @@
 //! A set-associative, LRU, tag-only cache used for L1/L2 timing.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of a [`Cache`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u32,
@@ -21,7 +19,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss counters for a [`Cache`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,
@@ -73,7 +71,15 @@ impl Cache {
         let n = (config.sets() * config.ways) as usize;
         Cache {
             config,
-            lines: vec![Line { tag: 0, valid: false, dirty: false, last_used: 0 }; n],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_used: 0
+                };
+                n
+            ],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -138,7 +144,12 @@ impl Cache {
         if allocate_on_miss {
             let v = &mut self.lines[victim];
             evicted_dirty = v.valid && v.dirty;
-            *v = Line { tag, valid: true, dirty: mark_dirty, last_used: self.tick };
+            *v = Line {
+                tag,
+                valid: true,
+                dirty: mark_dirty,
+                last_used: self.tick,
+            };
         }
         (false, evicted_dirty)
     }
@@ -164,7 +175,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 16B lines = 64B.
-        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+        })
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub fn coalesce(addrs: &[u64]) -> Vec<Transaction> {
         let seg = a / SEGMENT_BYTES * SEGMENT_BYTES;
         match txs.iter_mut().find(|t| t.addr == seg) {
             Some(t) => t.lanes += 1,
-            None => txs.push(Transaction { addr: seg, lanes: 1 }),
+            None => txs.push(Transaction {
+                addr: seg,
+                lanes: 1,
+            }),
         }
     }
     txs

@@ -35,7 +35,10 @@ impl GlobalMemory {
 
     fn split(addr: u64) -> (u64, usize) {
         let word = addr / 4;
-        (word / PAGE_WORDS as u64, (word % PAGE_WORDS as u64) as usize)
+        (
+            word / PAGE_WORDS as u64,
+            (word % PAGE_WORDS as u64) as usize,
+        )
     }
 
     /// Reads the 32-bit word containing `addr`.
@@ -47,10 +50,12 @@ impl GlobalMemory {
     /// Writes the 32-bit word containing `addr`.
     pub fn write_u32(&mut self, addr: u64, value: u32) {
         let (page, idx) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| vec![0u32; PAGE_WORDS].into_boxed_slice().try_into().unwrap())
-            [idx] = value;
+        self.pages.entry(page).or_insert_with(|| {
+            vec![0u32; PAGE_WORDS]
+                .into_boxed_slice()
+                .try_into()
+                .unwrap()
+        })[idx] = value;
     }
 
     /// Reads the word at `addr` as an IEEE-754 float.

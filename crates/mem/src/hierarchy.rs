@@ -2,7 +2,6 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::coalesce::coalesce;
-use serde::{Deserialize, Serialize};
 
 /// Whether an access reads or writes (write policies differ per level).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -17,7 +16,7 @@ pub enum AccessKind {
 ///
 /// Defaults follow the GPGPU-Sim Pascal model the paper simulates: ~28-cycle
 /// L1 hits, ~190-cycle L2 hits and ~350-cycle DRAM round trips.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MemConfig {
     /// Per-SM L1 data cache geometry.
     pub l1: CacheConfig,
@@ -39,8 +38,16 @@ pub struct MemConfig {
 impl Default for MemConfig {
     fn default() -> Self {
         MemConfig {
-            l1: CacheConfig { size_bytes: 48 * 1024, line_bytes: 128, ways: 4 },
-            l2: CacheConfig { size_bytes: 3 * 1024 * 1024 / 56, line_bytes: 128, ways: 8 },
+            l1: CacheConfig {
+                size_bytes: 48 * 1024,
+                line_bytes: 128,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 3 * 1024 * 1024 / 56,
+                line_bytes: 128,
+                ways: 8,
+            },
             l1_latency: 28,
             l2_latency: 190,
             dram_latency: 350,
@@ -51,7 +58,7 @@ impl Default for MemConfig {
 }
 
 /// Traffic and latency statistics for a [`MemSystem`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct MemStats {
     /// Warp-level load accesses.
     pub loads: u64,
@@ -153,7 +160,8 @@ impl MemSystem {
                 // L2 is write-back / write-allocate: stores dirty the line,
                 // and displacing a dirty victim costs a DRAM write.
                 let (l2_hit, evicted_dirty) =
-                    self.l2.access_write(tx.addr, true, kind == AccessKind::Store);
+                    self.l2
+                        .access_write(tx.addr, true, kind == AccessKind::Store);
                 if evicted_dirty {
                     self.stats.dram_writebacks += 1;
                 }
@@ -250,8 +258,10 @@ mod tests {
 
     #[test]
     fn mshr_pressure_delays_bursts() {
-        let mut cfg = MemConfig::default();
-        cfg.mshr_entries = 2;
+        let cfg = MemConfig {
+            mshr_entries: 2,
+            ..MemConfig::default()
+        };
         let mut m = MemSystem::new(cfg);
         // Three scattered misses at the same cycle: the third queues.
         let a: Vec<u64> = vec![0];

@@ -41,7 +41,9 @@ impl SharedMemory {
     /// well-defined).
     pub fn new(bytes: u32) -> SharedMemory {
         let words = (bytes as usize).div_ceil(4).max(1);
-        SharedMemory { words: vec![0; words] }
+        SharedMemory {
+            words: vec![0; words],
+        }
     }
 
     fn index(&self, addr: u64) -> usize {

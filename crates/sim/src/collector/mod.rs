@@ -20,11 +20,10 @@ use crate::regfile::RegFile;
 use crate::stats::{SimStats, WriteDest};
 use bow_isa::{Instruction, Reg, WritebackHint};
 use rfc::RfcCache;
-use serde::{Deserialize, Serialize};
 use window::WarpWindow;
 
 /// Which operand-collector organization to simulate.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CollectorKind {
     /// Conventional operand collector units (the paper's baseline GPU).
     Baseline,
@@ -62,12 +61,18 @@ pub enum CollectorKind {
 impl CollectorKind {
     /// Full-size BOW with the given window.
     pub fn bow(window: u32) -> CollectorKind {
-        CollectorKind::Bow { window, half_size: false }
+        CollectorKind::Bow {
+            window,
+            half_size: false,
+        }
     }
 
     /// Full-size BOW-WR with the given window.
     pub fn bow_wr(window: u32) -> CollectorKind {
-        CollectorKind::BowWr { window, half_size: false }
+        CollectorKind::BowWr {
+            window,
+            half_size: false,
+        }
     }
 
     /// The RFC configuration the paper compares against (6 entries/warp).
@@ -207,11 +212,21 @@ impl OperandStage {
             Vec::new()
         };
         let rfcs = if let CollectorKind::Rfc { entries } = kind {
-            (0..max_warps).map(|_| RfcCache::new(entries as usize)).collect()
+            (0..max_warps)
+                .map(|_| RfcCache::new(entries as usize))
+                .collect()
         } else {
             Vec::new()
         };
-        OperandStage { kind, slots: Vec::new(), num_ocus, windows, rfcs, rf_read_latency, xbar_width }
+        OperandStage {
+            kind,
+            slots: Vec::new(),
+            num_ocus,
+            windows,
+            rfcs,
+            rf_read_latency,
+            xbar_width,
+        }
     }
 
     /// The collector model being simulated.
@@ -222,9 +237,7 @@ impl OperandStage {
     /// Whether a new instruction of `warp` can enter the stage.
     pub fn can_accept(&self, warp: usize) -> bool {
         match self.kind {
-            CollectorKind::Baseline | CollectorKind::Rfc { .. } => {
-                self.slots.len() < self.num_ocus
-            }
+            CollectorKind::Baseline | CollectorKind::Rfc { .. } => self.slots.len() < self.num_ocus,
             CollectorKind::Bow { window, .. } | CollectorKind::BowWr { window, .. } => {
                 self.slots.iter().filter(|s| s.warp == warp).count() < window as usize
             }
@@ -256,7 +269,10 @@ impl OperandStage {
         match self.kind {
             CollectorKind::Baseline => {
                 for reg in unique {
-                    operands.push(OperandReq { reg, state: OpState::NeedRf });
+                    operands.push(OperandReq {
+                        reg,
+                        state: OpState::NeedRf,
+                    });
                 }
             }
             CollectorKind::Rfc { .. } => {
@@ -270,7 +286,9 @@ impl OperandStage {
                     operands.push(OperandReq { reg, state });
                 }
             }
-            CollectorKind::Bow { .. } | CollectorKind::BowWr { .. } | CollectorKind::BowFlex { .. } => {
+            CollectorKind::Bow { .. }
+            | CollectorKind::BowWr { .. }
+            | CollectorKind::BowFlex { .. } => {
                 let win = &mut self.windows[warp];
                 win.slide(seq, warp, rf, stats);
                 for reg in unique {
@@ -354,7 +372,9 @@ impl OperandStage {
                     }
                 }
             }
-            CollectorKind::Bow { .. } | CollectorKind::BowWr { .. } | CollectorKind::BowFlex { .. } => {
+            CollectorKind::Bow { .. }
+            | CollectorKind::BowWr { .. }
+            | CollectorKind::BowFlex { .. } => {
                 // Wake shared waiters whose fetch has arrived (forwarding
                 // logic: any number per cycle).
                 for i in 0..self.slots.len() {
@@ -379,8 +399,10 @@ impl OperandStage {
                         continue;
                     }
                     let slot = &mut self.slots[i];
-                    let Some(op) =
-                        slot.operands.iter_mut().find(|o| o.state == OpState::NeedRf)
+                    let Some(op) = slot
+                        .operands
+                        .iter_mut()
+                        .find(|o| o.state == OpState::NeedRf)
                     else {
                         continue;
                     };
@@ -548,7 +570,13 @@ mod tests {
     }
 
     fn mov_imm(d: u8) -> Instruction {
-        KernelBuilder::new("t").mov_imm(Reg::r(d), 1).exit().build().unwrap().insts[0].clone()
+        KernelBuilder::new("t")
+            .mov_imm(Reg::r(d), 1)
+            .exit()
+            .build()
+            .unwrap()
+            .insts[0]
+            .clone()
     }
 
     #[test]
@@ -613,7 +641,11 @@ mod tests {
         rf.begin_cycle();
         stage.collect(9, &mut rf, &mut st); // grants r1
         assert_eq!(rf.stats().reads, 2);
-        assert_eq!(stage.ready_slots(9).len(), 2, "sharer woke up with the fetch");
+        assert_eq!(
+            stage.ready_slots(9).len(),
+            2,
+            "sharer woke up with the fetch"
+        );
     }
 
     #[test]
@@ -630,7 +662,15 @@ mod tests {
         stage.note_control(0, 10, &mut rf, &mut st);
         assert_eq!(st.rf_writes_routed, 1);
         // A transient (BocOnly) value never reaches the RF.
-        stage.writeback(0, Reg::r(5), 10, WritebackHint::BocOnly, 10, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(5),
+            10,
+            WritebackHint::BocOnly,
+            10,
+            &mut rf,
+            &mut st,
+        );
         stage.note_control(0, 20, &mut rf, &mut st);
         assert_eq!(st.rf_writes_routed, 1);
         assert_eq!(st.bypassed_writes, 2);
@@ -684,7 +724,11 @@ mod tests {
         stage.collect(9, &mut rf, &mut st);
         // RFC hits cross the OCU port: ready one cycle after collection.
         assert!(stage.ready_slots(9).is_empty());
-        assert_eq!(stage.ready_slots(9 + 2), vec![0], "rfc hit pays read latency");
+        assert_eq!(
+            stage.ready_slots(9 + 2),
+            vec![0],
+            "rfc hit pays read latency"
+        );
         assert_eq!(rf.stats().reads, 0, "hit never touched a bank");
     }
 
@@ -697,7 +741,6 @@ mod tests {
         stage.flush_warp(0, &mut rf, &mut st);
         assert_eq!(st.rf_writes_routed, 1);
     }
-
 
     #[test]
     fn bow_flex_bypasses_without_a_window_bound() {
@@ -719,7 +762,15 @@ mod tests {
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
         for (i, r) in [1u8, 2, 3].iter().enumerate() {
-            stage.writeback(0, Reg::r(*r), i as u64, WritebackHint::Both, i as u64, &mut rf, &mut st);
+            stage.writeback(
+                0,
+                Reg::r(*r),
+                i as u64,
+                WritebackHint::Both,
+                i as u64,
+                &mut rf,
+                &mut st,
+            );
             stage.note_control(0, i as u64 + 1, &mut rf, &mut st);
         }
         assert_eq!(st.rf_writes_routed, 1, "oldest value spilled at capacity");

@@ -41,7 +41,11 @@ pub struct RfcCache {
 impl RfcCache {
     /// Creates an empty cache with `capacity` warp-register entries.
     pub fn new(capacity: usize) -> RfcCache {
-        RfcCache { entries: Vec::new(), capacity: capacity.max(1), clock: 0 }
+        RfcCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
     }
 
     /// Probes the cache for a source read. Hits do not update FIFO order.
@@ -56,7 +60,11 @@ impl RfcCache {
             let was_dirty = e.dirty;
             e.dirty = true;
             e.fifo = self.clock;
-            return if was_dirty { WriteOutcome::Overwrote } else { WriteOutcome::Inserted };
+            return if was_dirty {
+                WriteOutcome::Overwrote
+            } else {
+                WriteOutcome::Inserted
+            };
         }
         let mut outcome = WriteOutcome::Inserted;
         if self.entries.len() >= self.capacity {
@@ -72,14 +80,23 @@ impl RfcCache {
                 outcome = WriteOutcome::EvictedDirty(v.reg);
             }
         }
-        self.entries.push(RfcEntry { reg, dirty: true, fifo: self.clock });
+        self.entries.push(RfcEntry {
+            reg,
+            dirty: true,
+            fifo: self.clock,
+        });
         outcome
     }
 
     /// Drains all dirty entries (warp completion), returning the registers
     /// that must be written back to the RF.
     pub fn flush_dirty(&mut self) -> Vec<Reg> {
-        let dirty = self.entries.iter().filter(|e| e.dirty).map(|e| e.reg).collect();
+        let dirty = self
+            .entries
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.reg)
+            .collect();
         self.entries.clear();
         dirty
     }

@@ -51,7 +51,11 @@ impl WarpWindow {
     /// Creates an empty window of `window` instructions with room for
     /// `capacity` buffered values.
     pub fn new(window: u64, capacity: usize) -> WarpWindow {
-        WarpWindow { window, capacity, entries: Vec::new() }
+        WarpWindow {
+            window,
+            capacity,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of buffered values (the Fig. 9 occupancy metric).
@@ -205,7 +209,14 @@ impl WarpWindow {
         }
     }
 
-    fn evict(&mut self, i: usize, warp: usize, rf: &mut RegFile, stats: &mut SimStats, forced: bool) {
+    fn evict(
+        &mut self,
+        i: usize,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        forced: bool,
+    ) {
         let e = self.entries.remove(i);
         if e.dirty {
             if forced || e.hint.to_rf() {
@@ -236,7 +247,12 @@ impl WarpWindow {
         }
     }
 
-    fn evict_oldest_arrived(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) -> bool {
+    fn evict_oldest_arrived(
+        &mut self,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+    ) -> bool {
         let Some(victim) = self
             .entries
             .iter()
@@ -327,7 +343,10 @@ mod tests {
         w.upsert_dirty(Reg::r(2), 1, WritebackHint::Both, 0, &mut rf, &mut st);
         assert_eq!(st.bypassed_writes, 1);
         w.slide(4, 0, &mut rf, &mut st);
-        assert_eq!(st.rf_writes_routed, 1, "only the final value reaches the RF");
+        assert_eq!(
+            st.rf_writes_routed, 1,
+            "only the final value reaches the RF"
+        );
     }
 
     #[test]

@@ -2,10 +2,9 @@
 
 use crate::collector::CollectorKind;
 use bow_mem::MemConfig;
-use serde::{Deserialize, Serialize};
 
 /// Warp-scheduling policy.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SchedPolicy {
     /// Greedy-then-oldest: keep issuing the same warp until it stalls, then
     /// fall back to the oldest ready warp (the paper's configuration).
@@ -19,7 +18,7 @@ pub enum SchedPolicy {
 /// [`GpuConfig::titan_x_pascal`] reproduces Table II; [`GpuConfig::scaled`]
 /// is the same microarchitecture with fewer SMs, the configuration the
 /// experiment harness uses so the full benchmark sweep finishes quickly.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub num_sms: u32,
@@ -115,18 +114,27 @@ impl GpuConfig {
     /// experiment sweeps. Per-SM behaviour — the quantity every figure in
     /// the paper reports — is unchanged.
     pub fn scaled(collector: CollectorKind) -> GpuConfig {
-        GpuConfig { num_sms: 2, ..GpuConfig::titan_x_pascal(collector) }
+        GpuConfig {
+            num_sms: 2,
+            ..GpuConfig::titan_x_pascal(collector)
+        }
     }
 
     /// Returns a copy with a different collector model — the way the
     /// harness builds matched baseline/BOW/BOW-WR/RFC configurations.
     pub fn with_collector(&self, collector: CollectorKind) -> GpuConfig {
-        GpuConfig { collector, ..self.clone() }
+        GpuConfig {
+            collector,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with the Fig. 3 analyzer enabled for `windows`.
     pub fn with_analyzer(&self, windows: &[u32]) -> GpuConfig {
-        GpuConfig { analyze_windows: windows.to_vec(), ..self.clone() }
+        GpuConfig {
+            analyze_windows: windows.to_vec(),
+            ..self.clone()
+        }
     }
 
     /// Pipeline latency for an opcode's functional-unit class (memory gets
@@ -181,7 +189,13 @@ mod tests {
     fn scaled_only_changes_sm_count() {
         let full = GpuConfig::titan_x_pascal(CollectorKind::Baseline);
         let scaled = GpuConfig::scaled(CollectorKind::Baseline);
-        assert_eq!(GpuConfig { num_sms: full.num_sms, ..scaled }, full);
+        assert_eq!(
+            GpuConfig {
+                num_sms: full.num_sms,
+                ..scaled
+            },
+            full
+        );
     }
 
     #[test]

@@ -115,7 +115,11 @@ pub fn execute_data(
     ctx: &mut ExecCtx<'_>,
 ) -> Option<MemAccess> {
     use Opcode::*;
-    assert!(!inst.op.is_control(), "control op {} in execute_data", inst.op);
+    assert!(
+        !inst.op.is_control(),
+        "control op {} in execute_data",
+        inst.op
+    );
 
     if inst.op.is_memory() {
         return Some(execute_memory(warp, inst, mask, ctx));
@@ -248,7 +252,11 @@ fn execute_memory(
         Ldc => (false, Space::Param),
         _ => unreachable!(),
     };
-    MemAccess { is_store, space, addrs }
+    MemAccess {
+        is_store,
+        space,
+        addrs,
+    }
 }
 
 /// Executes a control instruction at issue time, updating the PC, SIMT
@@ -259,7 +267,11 @@ fn execute_memory(
 /// Panics if called with a non-control opcode.
 pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
     use Opcode::*;
-    assert!(inst.op.is_control(), "data op {} in execute_control", inst.op);
+    assert!(
+        inst.op.is_control(),
+        "data op {} in execute_control",
+        inst.op
+    );
     match inst.op {
         Nop => {
             warp.pc += 1;
@@ -276,7 +288,11 @@ pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
         }
         Ssy => {
             let target = inst.target.expect("validated ssy has a target");
-            warp.stack.push(StackEntry { kind: StackKind::Sync, pc: target, mask: warp.active });
+            warp.stack.push(StackEntry {
+                kind: StackKind::Sync,
+                pc: target,
+                mask: warp.active,
+            });
             warp.pc += 1;
             ControlOutcome::Plain
         }
@@ -311,7 +327,11 @@ pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
                 warp.pc += 1;
             } else {
                 // Divergence: run the taken side first, queue the rest.
-                warp.stack.push(StackEntry { kind: StackKind::Div, pc: warp.pc + 1, mask: not_taken });
+                warp.stack.push(StackEntry {
+                    kind: StackKind::Div,
+                    pc: warp.pc + 1,
+                    mask: not_taken,
+                });
                 warp.active = taken;
                 warp.pc = target;
             }
@@ -335,7 +355,11 @@ mod tests {
             global,
             shared,
             params,
-            block: BlockInfo { ctaid: (2, 0), ntid: (64, 1), nctaid: (4, 1) },
+            block: BlockInfo {
+                ctaid: (2, 0),
+                ntid: (64, 1),
+                nctaid: (4, 1),
+            },
         }
     }
 
@@ -352,8 +376,18 @@ mod tests {
         w.write_reg(0, Reg::r(1), 10);
         w.write_reg(0, Reg::r(2), 3);
         let k = KernelBuilder::new("t")
-            .imad(Reg::r(3), Reg::r(1).into(), Reg::r(2).into(), Operand::Imm(5))
-            .isad(Reg::r(4), Reg::r(1).into(), Reg::r(2).into(), Operand::Imm(1))
+            .imad(
+                Reg::r(3),
+                Reg::r(1).into(),
+                Reg::r(2).into(),
+                Operand::Imm(5),
+            )
+            .isad(
+                Reg::r(4),
+                Reg::r(1).into(),
+                Reg::r(2).into(),
+                Operand::Imm(1),
+            )
             .sar(Reg::r(5), Operand::simm(-8), Operand::Imm(1))
             .exit()
             .build()
@@ -371,7 +405,12 @@ mod tests {
         let mut w = Warp::new(0, 0, 0, 32, 8);
         w.write_reg(0, Reg::r(1), 2.5f32.to_bits());
         let k = KernelBuilder::new("t")
-            .ffma(Reg::r(2), Reg::r(1).into(), Operand::fimm(2.0), Operand::fimm(1.0))
+            .ffma(
+                Reg::r(2),
+                Reg::r(1).into(),
+                Operand::fimm(2.0),
+                Operand::fimm(1.0),
+            )
             .fsqrt(Reg::r(3), Operand::fimm(9.0))
             .exit()
             .build()
@@ -387,7 +426,12 @@ mod tests {
         let mut w = Warp::new(0, 0, 0, 32, 8);
         w.write_reg(0, Reg::r(1), 5);
         let k = KernelBuilder::new("t")
-            .isetp(bow_isa::CmpOp::Gt, Pred::p(0), Reg::r(1).into(), Operand::Imm(3))
+            .isetp(
+                bow_isa::CmpOp::Gt,
+                Pred::p(0),
+                Reg::r(1).into(),
+                Operand::Imm(3),
+            )
             .sel(Reg::r(2), Operand::Imm(111), Operand::Imm(222), Pred::p(0))
             .exit()
             .build()
@@ -434,9 +478,15 @@ mod tests {
         let mut g = GlobalMemory::new();
         let mut s = SharedMemory::new(0);
         let mut store = Instruction::new(Opcode::Stg, Dst::None, vec![Reg::r(2).into()]);
-        store.mem = Some(MemRef { base: Reg::r(1), offset: 0 });
+        store.mem = Some(MemRef {
+            base: Reg::r(1),
+            offset: 0,
+        });
         let mut load = Instruction::new(Opcode::Ldg, Dst::Reg(Reg::r(3)), vec![]);
-        load.mem = Some(MemRef { base: Reg::r(1), offset: 0 });
+        load.mem = Some(MemRef {
+            base: Reg::r(1),
+            offset: 0,
+        });
 
         let mask = w.active;
         let acc = execute_data(&mut w, &store, mask, &mut ctx(&mut g, &mut s, &[])).unwrap();
@@ -451,7 +501,11 @@ mod tests {
     #[test]
     fn masked_lanes_do_nothing() {
         let mut w = Warp::new(0, 0, 0, 32, 8);
-        let k = KernelBuilder::new("t").mov_imm(Reg::r(0), 9).exit().build().unwrap();
+        let k = KernelBuilder::new("t")
+            .mov_imm(Reg::r(0), 9)
+            .exit()
+            .build()
+            .unwrap();
         let mut g = GlobalMemory::new();
         let mut s = SharedMemory::new(0);
         execute_data(&mut w, &k.insts[0], 0b1, &mut ctx(&mut g, &mut s, &[]));
@@ -462,7 +516,11 @@ mod tests {
     #[test]
     fn ldc_reads_params() {
         let mut w = Warp::new(0, 0, 0, 32, 4);
-        let k = KernelBuilder::new("t").ldc(Reg::r(0), 4).exit().build().unwrap();
+        let k = KernelBuilder::new("t")
+            .ldc(Reg::r(0), 4)
+            .exit()
+            .build()
+            .unwrap();
         let mut g = GlobalMemory::new();
         let mut s = SharedMemory::new(0);
         let params = [11, 22, 33];
@@ -495,7 +553,10 @@ mod tests {
 
         let mut bra = Instruction::new(Opcode::Bra, Dst::None, vec![]);
         bra.target = Some(3);
-        bra.guard = Some(bow_isa::PredGuard { pred: Pred::p(0), negated: false });
+        bra.guard = Some(bow_isa::PredGuard {
+            pred: Pred::p(0),
+            negated: false,
+        });
         execute_control(&mut w, &bra);
         // Taken side first.
         assert_eq!(w.pc, 3);

@@ -46,8 +46,14 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a GPU per `config`.
     pub fn new(config: GpuConfig) -> Gpu {
-        let sms = (0..config.num_sms as usize).map(|i| Sm::new(i, &config)).collect();
-        Gpu { config, global: GlobalMemory::new(), sms }
+        let sms = (0..config.num_sms as usize)
+            .map(|i| Sm::new(i, &config))
+            .collect();
+        Gpu {
+            config,
+            global: GlobalMemory::new(),
+            sms,
+        }
     }
 
     /// The configuration this GPU was built with.
@@ -86,7 +92,9 @@ impl Gpu {
     /// Panics if the kernel fails validation or a block needs more warps
     /// than an SM can ever host.
     pub fn launch(&mut self, kernel: &Kernel, dims: KernelDims, params: &[u32]) -> LaunchResult {
-        kernel.validate().expect("kernel must validate before launch");
+        kernel
+            .validate()
+            .expect("kernel must validate before launch");
         let warps_per_block = dims.warps_per_block();
         assert!(
             warps_per_block <= self.config.max_warps_per_sm,
@@ -208,7 +216,10 @@ mod tests {
             CollectorKind::bow(2),
             CollectorKind::bow(3),
             CollectorKind::bow_wr(3),
-            CollectorKind::BowWr { window: 3, half_size: true },
+            CollectorKind::BowWr {
+                window: 3,
+                half_size: true,
+            },
             CollectorKind::rfc6(),
         ] {
             let (got, res) = run_saxpy(kind, n as u32);
@@ -243,9 +254,8 @@ mod tests {
 
     #[test]
     fn analyzer_reports_window_sweep() {
-        let mut gpu = Gpu::new(
-            GpuConfig::scaled(CollectorKind::Baseline).with_analyzer(&[2, 3, 7]),
-        );
+        let mut gpu =
+            Gpu::new(GpuConfig::scaled(CollectorKind::Baseline).with_analyzer(&[2, 3, 7]));
         let out = 0x3_0000u64;
         gpu.global_mut().write_slice_f32(0x1_0000, &[0.0; 64]);
         gpu.global_mut().write_slice_f32(0x2_0000, &[0.0; 64]);

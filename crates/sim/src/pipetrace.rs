@@ -9,11 +9,10 @@
 //!
 //! [`GpuConfig::trace_pipeline`]: crate::GpuConfig
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What happened.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Stage {
     /// Instruction issued into the collection stage (or executed inline
     /// for control ops).
@@ -38,7 +37,7 @@ impl fmt::Display for Stage {
 }
 
 /// One pipeline event.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Event {
     /// SM cycle.
     pub cycle: u64,
@@ -59,7 +58,7 @@ pub struct Event {
 }
 
 /// An SM's (or device's) event log.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PipeTrace {
     events: Vec<Event>,
 }
@@ -98,14 +97,21 @@ impl PipeTrace {
 
     /// Events of one warp, in order.
     pub fn warp(&self, sm: usize, warp: usize) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.sm == sm && e.warp == warp)
+        self.events
+            .iter()
+            .filter(move |e| e.sm == sm && e.warp == warp)
     }
 
     /// Renders a human-readable timeline, at most `limit` lines.
     pub fn render(&self, limit: usize) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "{:>7}  {:>3} {:>3}  {:<5} {:>4}  instruction", "cycle", "sm", "wrp", "stage", "oc").unwrap();
+        writeln!(
+            out,
+            "{:>7}  {:>3} {:>3}  {:<5} {:>4}  instruction",
+            "cycle", "sm", "wrp", "stage", "oc"
+        )
+        .unwrap();
         for e in self.events.iter().take(limit) {
             let detail = if e.stage == Stage::Dispatch {
                 format!("{:>4}", e.detail)
@@ -115,7 +121,13 @@ impl PipeTrace {
             writeln!(
                 out,
                 "{:>7}  {:>3} {:>3}  {:<5} {}  #{} {}",
-                e.cycle, e.sm, e.warp, e.stage.to_string(), detail, e.pc, e.text
+                e.cycle,
+                e.sm,
+                e.warp,
+                e.stage.to_string(),
+                detail,
+                e.pc,
+                e.text
             )
             .unwrap();
         }

@@ -8,7 +8,6 @@
 //! different warps' hot registers spread out.
 
 use bow_isa::Reg;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A queued register-file write (one warp-register, 128 B).
@@ -21,7 +20,7 @@ pub struct PendingWrite {
 }
 
 /// Register-file access counters.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RegFileStats {
     /// Warp-register reads served by the banks.
     pub reads: u64,

@@ -15,11 +15,11 @@
 
 use crate::trace::{BypassAnalyzer, WindowReport};
 use bow_isa::{Instruction, Kernel};
-use serde::{Deserialize, Serialize};
+use bow_util::json::{self, Json};
 
 /// One dynamic instruction in a warp's stream: just the operand identity
 /// the window analysis needs (registers, not values).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TraceStep {
     /// Program counter (for mapping back to the kernel text).
     pub pc: u32,
@@ -29,8 +29,55 @@ pub struct TraceStep {
     pub dst: Option<u8>,
 }
 
+impl TraceStep {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("pc", Json::from(self.pc)),
+            (
+                "srcs",
+                Json::Arr(
+                    self.srcs
+                        .iter()
+                        .map(|&r| Json::from(u32::from(r)))
+                        .collect(),
+                ),
+            ),
+            (
+                "dst",
+                self.dst.map_or(Json::Null, |r| Json::from(u32::from(r))),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TraceStep, String> {
+        let reg = |j: &Json| -> Result<u8, String> {
+            j.as_u64()
+                .and_then(|r| u8::try_from(r).ok())
+                .ok_or_else(|| "bad register index".to_string())
+        };
+        Ok(TraceStep {
+            pc: v
+                .get("pc")
+                .and_then(Json::as_u64)
+                .and_then(|p| u32::try_from(p).ok())
+                .ok_or("missing step `pc`")?,
+            srcs: v
+                .get("srcs")
+                .and_then(Json::as_arr)
+                .ok_or("missing step `srcs`")?
+                .iter()
+                .map(reg)
+                .collect::<Result<Vec<_>, _>>()?,
+            dst: match v.get("dst") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(reg(j)?),
+            },
+        })
+    }
+}
+
 /// The dynamic operand streams of every warp of one launch.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct KernelTrace {
     /// Kernel name the trace came from.
     pub kernel: String,
@@ -49,22 +96,64 @@ impl KernelTrace {
         self.len() == 0
     }
 
-    /// Serializes to JSON.
-    ///
-    /// # Errors
-    ///
-    /// Propagates serde errors (effectively infallible for this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Serializes to JSON (hand-rolled — the workspace is offline-only and
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("kernel", Json::from(self.kernel.as_str())),
+            (
+                "warps",
+                Json::Arr(
+                    self.warps
+                        .iter()
+                        .map(|(uid, steps)| {
+                            Json::obj([
+                                ("uid", Json::from(*uid)),
+                                (
+                                    "steps",
+                                    Json::Arr(steps.iter().map(TraceStep::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_compact()
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error on malformed input.
-    pub fn from_json(s: &str) -> Result<KernelTrace, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(s: &str) -> Result<KernelTrace, String> {
+        let v = json::parse(s).map_err(|e| e.to_string())?;
+        let kernel = v
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("missing `kernel`")?
+            .to_string();
+        let mut warps = Vec::new();
+        for w in v
+            .get("warps")
+            .and_then(Json::as_arr)
+            .ok_or("missing `warps`")?
+        {
+            let uid = w
+                .get("uid")
+                .and_then(Json::as_u64)
+                .ok_or("missing warp `uid`")?;
+            let steps = w
+                .get("steps")
+                .and_then(Json::as_arr)
+                .ok_or("missing warp `steps`")?
+                .iter()
+                .map(TraceStep::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            warps.push((uid, steps));
+        }
+        Ok(KernelTrace { kernel, warps })
     }
 }
 
@@ -83,7 +172,10 @@ impl TraceRecorder {
     /// Creates a recorder for `kernel`.
     pub fn new(kernel_name: &str) -> TraceRecorder {
         TraceRecorder {
-            trace: KernelTrace { kernel: kernel_name.to_string(), warps: Vec::new() },
+            trace: KernelTrace {
+                kernel: kernel_name.to_string(),
+                warps: Vec::new(),
+            },
             open: std::collections::HashMap::new(),
         }
     }
@@ -169,9 +261,16 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let t = record_straightline(&sample(), 1);
-        let json = t.to_json().unwrap();
+        let json = t.to_json();
         let back = KernelTrace::from_json(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(KernelTrace::from_json("{").is_err());
+        assert!(KernelTrace::from_json("{\"kernel\": \"k\"}").is_err());
+        assert!(KernelTrace::from_json("{\"kernel\": \"k\", \"warps\": [{}]}").is_err());
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub struct WarpScheduler {
 impl WarpScheduler {
     /// Creates a scheduler with the given policy.
     pub fn new(policy: SchedPolicy) -> WarpScheduler {
-        WarpScheduler { policy, greedy: None, rr_last: 0 }
+        WarpScheduler {
+            policy,
+            greedy: None,
+            rr_last: 0,
+        }
     }
 
     /// Picks the next warp to issue from `ready` (warp ids, any order).
@@ -70,7 +74,11 @@ mod tests {
         assert_eq!(s.pick(&[2, 0, 4], age), Some(0), "oldest first");
         assert_eq!(s.pick(&[2, 0, 4], age), Some(0), "greedy repeat");
         assert_eq!(s.pick(&[2, 4], age), Some(2), "falls back to oldest ready");
-        assert_eq!(s.pick(&[2, 0, 4], age), Some(2), "greedy follows the switch");
+        assert_eq!(
+            s.pick(&[2, 0, 4], age),
+            Some(2),
+            "greedy follows the switch"
+        );
     }
 
     #[test]
@@ -94,7 +102,11 @@ mod tests {
     fn lrr_rotates() {
         let mut s = WarpScheduler::new(SchedPolicy::Lrr);
         let age = |_: usize| 0;
-        assert_eq!(s.pick(&[0, 2, 4], age), Some(2), "first id above rr_last = 0");
+        assert_eq!(
+            s.pick(&[0, 2, 4], age),
+            Some(2),
+            "first id above rr_last = 0"
+        );
         assert_eq!(s.pick(&[0, 2, 4], age), Some(4));
         assert_eq!(s.pick(&[0, 2, 4], age), Some(0), "wraps around");
     }

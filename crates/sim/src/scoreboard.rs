@@ -117,7 +117,12 @@ mod tests {
             .iadd(Reg::r(2), Reg::r(0).into(), Reg::r(1).into()) // 0: r2 = r0+r1
             .imul(Reg::r(3), Reg::r(2).into(), Reg::r(2).into()) // 1: reads r2
             .mov_imm(Reg::r(0), 5) //                               2: writes r0
-            .isetp(CmpOp::Ne, bow_isa::Pred::p(0), Reg::r(3).into(), Operand::Imm(0)) // 3
+            .isetp(
+                CmpOp::Ne,
+                bow_isa::Pred::p(0),
+                Reg::r(3).into(),
+                Operand::Imm(0),
+            ) // 3
             .guard(bow_isa::Pred::p(0), false)
             .mov_imm(Reg::r(4), 1) //                               4: guarded by p0
             .exit()

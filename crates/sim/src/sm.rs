@@ -89,7 +89,9 @@ impl Sm {
             scoreboards: (0..max_warps).map(|_| Scoreboard::new()).collect(),
             warp_age: vec![0; max_warps],
             age_counter: 0,
-            blocks: (0..config.max_blocks_per_sm as usize).map(|_| None).collect(),
+            blocks: (0..config.max_blocks_per_sm as usize)
+                .map(|_| None)
+                .collect(),
             stage: OperandStage::new(
                 config.collector,
                 max_warps,
@@ -113,13 +115,20 @@ impl Sm {
 
     /// Takes this SM's pipeline trace (if tracing was enabled).
     pub fn take_trace(&mut self) -> Option<PipeTrace> {
-        self.trace.take().map(|t| {
+        self.trace.take().inspect(|_| {
             self.trace = Some(PipeTrace::new());
-            t
         })
     }
 
-    fn record(&mut self, warp: usize, pc: usize, seq: u64, stage: Stage, detail: u64, text: &dyn Fn() -> String) {
+    fn record(
+        &mut self,
+        warp: usize,
+        pc: usize,
+        seq: u64,
+        stage: Stage,
+        detail: u64,
+        text: &dyn Fn() -> String,
+    ) {
         if let Some(t) = self.trace.as_mut() {
             t.push(Event {
                 cycle: self.cycle,
@@ -226,12 +235,18 @@ impl Sm {
     }
 
     /// Advances the SM by one cycle.
-    pub fn tick(&mut self, kernel: &Kernel, global: &mut GlobalMemory, analyzer: &mut BypassAnalyzer) {
+    pub fn tick(
+        &mut self,
+        kernel: &Kernel,
+        global: &mut GlobalMemory,
+        analyzer: &mut BypassAnalyzer,
+    ) {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
         self.rf.begin_cycle();
         self.writeback_stage();
-        self.stage.collect(self.cycle, &mut self.rf, &mut self.stats);
+        self.stage
+            .collect(self.cycle, &mut self.rf, &mut self.stats);
         self.dispatch_stage(global);
         self.issue_stage(kernel, analyzer);
         self.stage.sample_occupancy(&mut self.stats);
@@ -273,7 +288,10 @@ impl Sm {
             if let Some(p) = c.dst_pred {
                 self.scoreboards[c.warp].writeback_pred(p);
             }
-            if self.warps[c.warp].as_ref().is_some_and(|w| w.done && w.inflight == 0) {
+            if self.warps[c.warp]
+                .as_ref()
+                .is_some_and(|w| w.done && w.inflight == 0)
+            {
                 self.finalize_warp(c.warp);
             }
         }
@@ -328,9 +346,14 @@ impl Sm {
         let wslot = slot.warp;
         let slot_pc = slot.pc;
         let oc_cycles = self.cycle - slot.insert_cycle;
-        self.record(wslot, slot_pc, slot.seq, Stage::Dispatch, oc_cycles, &|| {
-            slot.inst.to_string()
-        });
+        self.record(
+            wslot,
+            slot_pc,
+            slot.seq,
+            Stage::Dispatch,
+            oc_cycles,
+            &|| slot.inst.to_string(),
+        );
         let is_mem = slot.inst.op.is_memory();
         if is_mem {
             self.stats.oc_cycles_mem += oc_cycles;
@@ -355,7 +378,11 @@ impl Sm {
         let complete = match access {
             Some(a) => match a.space {
                 Space::Global => {
-                    let kind = if a.is_store { AccessKind::Store } else { AccessKind::Load };
+                    let kind = if a.is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
                     self.mem.access(kind, &a.addrs, self.cycle)
                 }
                 Space::Shared => {
@@ -404,7 +431,9 @@ impl Sm {
         let nsched = self.schedulers.len();
         let mut ready = Vec::new();
         for w in (sched..self.warps.len()).step_by(nsched) {
-            let Some(warp) = self.warps[w].as_ref() else { continue };
+            let Some(warp) = self.warps[w].as_ref() else {
+                continue;
+            };
             if warp.done || warp.at_barrier {
                 continue;
             }
@@ -460,7 +489,8 @@ impl Sm {
         if inst.op.is_control() {
             let ctrl_pc = self.warps[w].as_ref().expect("live").pc;
             self.record(w, ctrl_pc, seq, Stage::Control, 0, &|| inst.to_string());
-            self.stage.note_control(w, seq, &mut self.rf, &mut self.stats);
+            self.stage
+                .note_control(w, seq, &mut self.rf, &mut self.stats);
             let warp = self.warps[w].as_mut().expect("live");
             let outcome = exec::execute_control(warp, &inst);
             match outcome {
@@ -482,8 +512,16 @@ impl Sm {
             warp.pc += 1;
             warp.inflight += 1;
             let pc = warp.pc - 1;
-            self.stage
-                .insert(w, pc, &inst, mask, seq, self.cycle, &mut self.rf, &mut self.stats);
+            self.stage.insert(
+                w,
+                pc,
+                &inst,
+                mask,
+                seq,
+                self.cycle,
+                &mut self.rf,
+                &mut self.stats,
+            );
             self.scoreboards[w].issue(&inst);
             self.record(w, pc, seq, Stage::Issue, 0, &|| inst.to_string());
         }
@@ -498,7 +536,12 @@ impl Sm {
                 .is_none_or(|w| w.done || w.at_barrier)
         });
         if all_arrived {
-            for &ws in &self.blocks[bslot].as_ref().expect("resident").warp_slots.clone() {
+            for &ws in &self.blocks[bslot]
+                .as_ref()
+                .expect("resident")
+                .warp_slots
+                .clone()
+            {
                 if let Some(w) = self.warps[ws].as_mut() {
                     w.at_barrier = false;
                 }
@@ -562,14 +605,20 @@ mod tests {
             CollectorKind::Baseline,
             CollectorKind::bow(3),
             CollectorKind::bow_wr(3),
-            CollectorKind::BowWr { window: 3, half_size: true },
+            CollectorKind::BowWr {
+                window: 3,
+                half_size: true,
+            },
             CollectorKind::rfc6(),
         ] {
             let mut g = GlobalMemory::new();
             run_kernel(kind, &kernel, &mut g);
             fps.push(g.fingerprint());
         }
-        assert!(fps.windows(2).all(|w| w[0] == w[1]), "state diverged: {fps:?}");
+        assert!(
+            fps.windows(2).all(|w| w[0] == w[1]),
+            "state diverged: {fps:?}"
+        );
     }
 
     #[test]
@@ -602,7 +651,12 @@ mod tests {
         let mut g2 = GlobalMemory::new();
         let wr = run_kernel(CollectorKind::bow_wr(3), &kernel, &mut g2);
         assert_eq!(g2.read_u32(0x1000), 3);
-        assert!(wr.rf.writes < base.rf.writes, "{} !< {}", wr.rf.writes, base.rf.writes);
+        assert!(
+            wr.rf.writes < base.rf.writes,
+            "{} !< {}",
+            wr.rf.writes,
+            base.rf.writes
+        );
         assert!(wr.bypassed_writes >= 2);
     }
 
@@ -612,7 +666,12 @@ mod tests {
         let r = Reg::r;
         let kernel = KernelBuilder::new("diverge")
             .s2r(r(0), Special::TidX)
-            .isetp(bow_isa::CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(16))
+            .isetp(
+                bow_isa::CmpOp::Lt,
+                Pred::p(0),
+                r(0).into(),
+                Operand::Imm(16),
+            )
             .ssy("join")
             .bra_if(Pred::p(0), false, "then")
             .mov_imm(r(1), 9)
@@ -633,7 +692,11 @@ mod tests {
             run_kernel(kind, &kernel, &mut g);
             for i in 0..32u64 {
                 let expect = if i < 16 { 5 } else { 9 };
-                assert_eq!(g.read_u32(0x1000 + 4 * i), expect, "lane {i} under {kind:?}");
+                assert_eq!(
+                    g.read_u32(0x1000 + 4 * i),
+                    expect,
+                    "lane {i} under {kind:?}"
+                );
             }
         }
     }
@@ -648,7 +711,12 @@ mod tests {
             .label("top")
             .iadd(r(0), r(0).into(), r(1).into())
             .iadd(r(1), r(1).into(), Operand::Imm(1))
-            .isetp(bow_isa::CmpOp::Lt, Pred::p(0), r(1).into(), Operand::Imm(10))
+            .isetp(
+                bow_isa::CmpOp::Lt,
+                Pred::p(0),
+                r(1).into(),
+                Operand::Imm(10),
+            )
             .bra_if(Pred::p(0), false, "top")
             .ldc(r(2), 0)
             .stg(r(2), 0, r(0).into())

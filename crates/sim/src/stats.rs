@@ -3,7 +3,7 @@
 use crate::regfile::RegFileStats;
 use bow_energy::AccessCounts;
 use bow_mem::MemStats;
-use serde::{Deserialize, Serialize};
+use bow_util::json::Json;
 
 /// The three write-destination classes of Fig. 7 (§IV-B).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,7 +18,7 @@ pub enum WriteDest {
 
 /// Counters accumulated by one SM (merge across SMs with
 /// [`SimStats::merge`]).
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimStats {
     /// Cycles this SM ran.
     pub cycles: u64,
@@ -140,6 +140,74 @@ impl SimStats {
         }
     }
 
+    /// The full counter block as a JSON object — the machine-readable form
+    /// every experiment binary writes next to its textual tables.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::from(self.cycles)),
+            ("warp_instructions", Json::from(self.warp_instructions)),
+            ("thread_instructions", Json::from(self.thread_instructions)),
+            (
+                "rf",
+                Json::obj([
+                    ("reads", Json::from(self.rf.reads)),
+                    ("writes", Json::from(self.rf.writes)),
+                    ("read_conflicts", Json::from(self.rf.read_conflicts)),
+                    ("write_queue_cycles", Json::from(self.rf.write_queue_cycles)),
+                ]),
+            ),
+            ("bypassed_reads", Json::from(self.bypassed_reads)),
+            ("boc_writes", Json::from(self.boc_writes)),
+            ("writes_total", Json::from(self.writes_total)),
+            ("rf_writes_routed", Json::from(self.rf_writes_routed)),
+            ("bypassed_writes", Json::from(self.bypassed_writes)),
+            (
+                "write_dest",
+                Json::Arr(self.write_dest.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            ("forced_evictions", Json::from(self.forced_evictions)),
+            (
+                "src_count_hist",
+                Json::Arr(self.src_count_hist.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            (
+                "boc_occupancy_hist",
+                Json::Arr(
+                    self.boc_occupancy_hist
+                        .iter()
+                        .map(|&n| Json::from(n))
+                        .collect(),
+                ),
+            ),
+            ("occupancy_samples", Json::from(self.occupancy_samples)),
+            ("rfc_reads", Json::from(self.rfc_reads)),
+            ("rfc_writes", Json::from(self.rfc_writes)),
+            ("oc_cycles_mem", Json::from(self.oc_cycles_mem)),
+            ("oc_cycles_nonmem", Json::from(self.oc_cycles_nonmem)),
+            ("exec_cycles_mem", Json::from(self.exec_cycles_mem)),
+            ("exec_cycles_nonmem", Json::from(self.exec_cycles_nonmem)),
+            ("insts_mem", Json::from(self.insts_mem)),
+            ("insts_nonmem", Json::from(self.insts_nonmem)),
+            (
+                "mem",
+                Json::obj([
+                    ("loads", Json::from(self.mem.loads)),
+                    ("stores", Json::from(self.mem.stores)),
+                    ("transactions", Json::from(self.mem.transactions)),
+                    ("l1_hits", Json::from(self.mem.l1.hits)),
+                    ("l1_misses", Json::from(self.mem.l1.misses)),
+                    ("l2_hits", Json::from(self.mem.l2.hits)),
+                    ("l2_misses", Json::from(self.mem.l2.misses)),
+                    ("dram_accesses", Json::from(self.mem.dram_accesses)),
+                    ("dram_writebacks", Json::from(self.mem.dram_writebacks)),
+                    ("total_latency", Json::from(self.mem.total_latency)),
+                ]),
+            ),
+            ("stall_no_collector", Json::from(self.stall_no_collector)),
+            ("stall_scoreboard", Json::from(self.stall_scoreboard)),
+        ])
+    }
+
     /// Folds another SM's counters into this one. Cycle counts take the
     /// maximum (SMs run concurrently); everything else sums.
     pub fn merge(&mut self, other: &SimStats) {
@@ -163,7 +231,8 @@ impl SimStats {
             self.src_count_hist[i] += other.src_count_hist[i];
         }
         if self.boc_occupancy_hist.len() < other.boc_occupancy_hist.len() {
-            self.boc_occupancy_hist.resize(other.boc_occupancy_hist.len(), 0);
+            self.boc_occupancy_hist
+                .resize(other.boc_occupancy_hist.len(), 0);
         }
         for (i, v) in other.boc_occupancy_hist.iter().enumerate() {
             self.boc_occupancy_hist[i] += v;
@@ -206,7 +275,10 @@ mod tests {
 
     #[test]
     fn bypass_rates() {
-        let mut s = SimStats { bypassed_reads: 59, ..Default::default() };
+        let mut s = SimStats {
+            bypassed_reads: 59,
+            ..Default::default()
+        };
         s.rf.reads = 41;
         assert!((s.read_bypass_rate() - 0.59).abs() < 1e-12);
         s.writes_total = 100;
@@ -226,8 +298,16 @@ mod tests {
 
     #[test]
     fn merge_sums_and_maxes() {
-        let mut a = SimStats { cycles: 10, warp_instructions: 5, ..Default::default() };
-        let b = SimStats { cycles: 20, warp_instructions: 7, ..Default::default() };
+        let mut a = SimStats {
+            cycles: 10,
+            warp_instructions: 5,
+            ..Default::default()
+        };
+        let b = SimStats {
+            cycles: 20,
+            warp_instructions: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.warp_instructions, 12);

@@ -9,11 +9,10 @@
 //! file, for different window instruction sizes".
 
 use bow_isa::Instruction;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Eliminated-request counts for one window size.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct WindowReport {
     /// Window size (instructions).
     pub window: u32,
@@ -75,7 +74,10 @@ impl BypassAnalyzer {
             states: HashMap::new(),
             reports: windows
                 .iter()
-                .map(|&w| WindowReport { window: w, ..Default::default() })
+                .map(|&w| WindowReport {
+                    window: w,
+                    ..Default::default()
+                })
                 .collect(),
         }
     }

@@ -66,9 +66,22 @@ pub struct Warp {
 impl Warp {
     /// Creates a warp with `lanes` valid threads (1..=32), all registers and
     /// predicates zeroed, starting at `pc = 0`.
-    pub fn new(id: usize, block_slot: usize, warp_in_block: u32, lanes: u32, num_regs: u16) -> Warp {
-        assert!(lanes >= 1 && lanes <= WARP_SIZE as u32, "lanes out of range");
-        let valid = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+    pub fn new(
+        id: usize,
+        block_slot: usize,
+        warp_in_block: u32,
+        lanes: u32,
+        num_regs: u16,
+    ) -> Warp {
+        assert!(
+            lanes >= 1 && lanes <= WARP_SIZE as u32,
+            "lanes out of range"
+        );
+        let valid = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         Warp {
             id,
             block_slot,
@@ -157,7 +170,11 @@ impl Warp {
         } else {
             // No stack entries but live lanes remain: they fell out of the
             // divergence bookkeeping, which indicates a malformed kernel.
-            debug_assert!(false, "live lanes {:#x} with empty SIMT stack", self.valid & !self.exited);
+            debug_assert!(
+                false,
+                "live lanes {:#x} with empty SIMT stack",
+                self.valid & !self.exited
+            );
             self.done = true;
         }
     }
@@ -221,9 +238,15 @@ mod tests {
         for lane in 0..16 {
             w.write_pred(lane, Pred::p(0), true);
         }
-        let g = bow_isa::PredGuard { pred: Pred::p(0), negated: false };
+        let g = bow_isa::PredGuard {
+            pred: Pred::p(0),
+            negated: false,
+        };
         assert_eq!(w.guard_mask(Some(g)), 0x0000_ffff);
-        let ng = bow_isa::PredGuard { pred: Pred::p(0), negated: true };
+        let ng = bow_isa::PredGuard {
+            pred: Pred::p(0),
+            negated: true,
+        };
         assert_eq!(w.guard_mask(Some(ng)), 0xffff_0000);
         assert_eq!(w.guard_mask(None), u32::MAX);
     }
@@ -240,8 +263,16 @@ mod tests {
     fn retire_resumes_pending_divergent_path() {
         let mut w = warp();
         // Simulate divergence: half the lanes take an exit path.
-        w.stack.push(StackEntry { kind: StackKind::Sync, pc: 10, mask: u32::MAX });
-        w.stack.push(StackEntry { kind: StackKind::Div, pc: 5, mask: 0xffff_0000 });
+        w.stack.push(StackEntry {
+            kind: StackKind::Sync,
+            pc: 10,
+            mask: u32::MAX,
+        });
+        w.stack.push(StackEntry {
+            kind: StackKind::Div,
+            pc: 5,
+            mask: 0xffff_0000,
+        });
         w.active = 0x0000_ffff;
         w.retire_active();
         assert!(!w.done);

@@ -1,11 +1,16 @@
 //! Property tests for the BOC bypass window: capacity, conservation and
 //! forwarding invariants under arbitrary operation sequences.
+//!
+//! Sequences come from a seeded in-tree xorshift stream
+//! ([`bow_util::XorShift`]; the workspace builds offline and carries no
+//! proptest), so every run checks the same cases and a failure reproduces
+//! from the printed case number alone.
 
+use bow_isa::{Reg, WritebackHint};
 use bow_sim::collector::window::{ReadHit, WarpWindow};
 use bow_sim::regfile::RegFile;
 use bow_sim::stats::SimStats;
-use bow_isa::{Reg, WritebackHint};
-use proptest::prelude::*;
+use bow_util::XorShift;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -17,26 +22,29 @@ enum Op {
     Slide(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..16).prop_map(Op::Read),
-        (0u8..16).prop_map(Op::WriteBoth),
-        (0u8..16).prop_map(Op::WriteTransient),
-        (0u8..16).prop_map(Op::Fetch),
-        (0u8..16).prop_map(Op::Arrive),
-        (1u8..8).prop_map(Op::Slide),
-    ]
+fn gen_op(rng: &mut XorShift) -> Op {
+    match rng.below(6) {
+        0 => Op::Read(rng.below_u8(16)),
+        1 => Op::WriteBoth(rng.below_u8(16)),
+        2 => Op::WriteTransient(rng.below_u8(16)),
+        3 => Op::Fetch(rng.below_u8(16)),
+        4 => Op::Arrive(rng.below_u8(16)),
+        _ => Op::Slide(1 + rng.below_u8(7)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn case_rng(seed: u64, case: u64) -> XorShift {
+    XorShift::new(seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
 
-    #[test]
-    fn window_never_leaks_writes_and_respects_capacity(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        window in 1u64..6,
-        capacity in 2usize..10,
-    ) {
+#[test]
+fn window_never_leaks_writes_and_respects_capacity() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(0xca9a_c17f, case);
+        let ops: Vec<Op> = (0..rng.range(1, 120)).map(|_| gen_op(&mut rng)).collect();
+        let window = rng.range(1, 6);
+        let capacity = rng.range(2, 10) as usize;
+
         let mut w = WarpWindow::new(window, capacity);
         let mut rf = RegFile::new(8);
         let mut st = SimStats::default();
@@ -77,33 +85,36 @@ proptest! {
                 }
             }
             // Capacity may only be exceeded by pinned (in-flight) fetches.
-            prop_assert!(
+            assert!(
                 w.live_entries() <= capacity + fetches_pending,
-                "entries {} > capacity {} + pins {}",
+                "case {case}: entries {} > capacity {} + pins {}",
                 w.live_entries(),
                 capacity,
                 fetches_pending
             );
         }
         w.flush(0, &mut rf, &mut st);
-        prop_assert_eq!(w.live_entries(), 0);
+        assert_eq!(w.live_entries(), 0, "case {case}: entries survived flush");
         // Conservation: every dirty write either reached the RF or was
         // legitimately bypassed (consolidated or transient).
-        prop_assert_eq!(
+        assert_eq!(
             st.rf_writes_routed + st.bypassed_writes,
             dirty_writes,
-            "writes leaked: routed {} + bypassed {} != produced {}",
+            "case {case}: writes leaked: routed {} + bypassed {} != produced {}",
             st.rf_writes_routed,
             st.bypassed_writes,
             dirty_writes
         );
     }
+}
 
-    #[test]
-    fn forwarding_never_invents_values(
-        regs in proptest::collection::vec(0u8..8, 1..40),
-        window in 1u64..5,
-    ) {
+#[test]
+fn forwarding_never_invents_values() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(0xf02d_a2d5, case);
+        let regs: Vec<u8> = (0..rng.range(1, 40)).map(|_| rng.below_u8(8)).collect();
+        let window = rng.range(1, 5);
+
         // A read can only hit if the same register was touched within the
         // (extended) window — replay and check against a reference model.
         let mut w = WarpWindow::new(window, 64);
@@ -115,9 +126,8 @@ proptest! {
             w.slide(seq, 0, &mut rf, &mut st);
             let reg = Reg::r(r);
             let hit = w.touch_read(reg, seq) != ReadHit::Miss;
-            let expect = last_touch[r as usize]
-                .is_some_and(|t| seq - t < window);
-            prop_assert_eq!(hit, expect, "reg {} at seq {}", r, seq);
+            let expect = last_touch[r as usize].is_some_and(|t| seq - t < window);
+            assert_eq!(hit, expect, "case {case}: reg {r} at seq {seq}");
             if !hit {
                 w.add_fetch(reg, seq, 0, &mut rf, &mut st);
                 w.mark_arrived(reg, seq);

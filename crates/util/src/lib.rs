@@ -1,0 +1,16 @@
+//! # bow-util — dependency-free support code for the BOW workspace
+//!
+//! This workspace builds with `cargo build --offline` on machines that
+//! have never reached crates.io, so everything that would normally come
+//! from a small external crate lives here instead:
+//!
+//! * [`json`] — a hand-rolled JSON tree, writer and parser (replaces
+//!   `serde`/`serde_json` for the harness's machine-readable outputs);
+//! * [`rng`] — a seeded xorshift generator (replaces `rand`/`proptest`
+//!   for randomized testing and input generation).
+
+pub mod json;
+pub mod rng;
+
+pub use json::{parse as parse_json, Json, ParseError};
+pub use rng::XorShift;

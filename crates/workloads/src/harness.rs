@@ -18,7 +18,10 @@ pub struct RunOutcome {
 ///
 /// Panics on an empty input — a benchmark always launches at least once.
 pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
-    assert!(!results.is_empty(), "merge_results needs at least one launch");
+    assert!(
+        !results.is_empty(),
+        "merge_results needs at least one launch"
+    );
     let mut total = results.remove(0);
     for r in results {
         let cycles = total.cycles + r.cycles;
@@ -136,6 +139,9 @@ mod tests {
         let err = check_u32(&[1, 2, 3], &[1, 9, 3], "v").unwrap_err();
         assert!(err.contains("v[1]"), "{err}");
         assert!(check_f32(&[1.0], &[1.0], "f").is_ok());
-        assert!(check_f32(&[f32::NAN], &[f32::NAN], "f").is_ok(), "bitwise NaN equality");
+        assert!(
+            check_f32(&[f32::NAN], &[f32::NAN], "f").is_ok(),
+            "bitwise NaN equality"
+        );
     }
 }

@@ -27,8 +27,14 @@ impl Backprop {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> Backprop {
         match scale {
-            Scale::Test => Backprop { inputs: 16, outputs: 128 },
-            Scale::Paper => Backprop { inputs: 64, outputs: 1024 },
+            Scale::Test => Backprop {
+                inputs: 16,
+                outputs: 128,
+            },
+            Scale::Paper => Backprop {
+                inputs: 64,
+                outputs: 1024,
+            },
         }
     }
 
@@ -132,7 +138,12 @@ impl Benchmark for Backprop {
             // dot product
             .mov_imm(r(3), 0)
             .mov_imm(r(4), 0)
-            .imad(r(7), r(0).into(), Operand::Imm(inputs * 4), Operand::Imm(WEIGHTS as u32))
+            .imad(
+                r(7),
+                r(0).into(),
+                Operand::Imm(inputs * 4),
+                Operand::Imm(WEIGHTS as u32),
+            )
             .label("dot")
             .shl(r(5), r(4).into(), Operand::Imm(2))
             .lds(r(6), r(5), 0) // x[i]

@@ -25,8 +25,16 @@ impl Bfs {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> Bfs {
         match scale {
-            Scale::Test => Bfs { nodes: 128, degree: 3, levels: 4 },
-            Scale::Paper => Bfs { nodes: 2048, degree: 4, levels: 6 },
+            Scale::Test => Bfs {
+                nodes: 128,
+                degree: 3,
+                levels: 4,
+            },
+            Scale::Paper => Bfs {
+                nodes: 2048,
+                degree: 4,
+                levels: 6,
+            },
         }
     }
 
@@ -52,8 +60,8 @@ impl Bfs {
         for cur in 0..self.levels {
             for v in 0..n {
                 if level[v] == cur {
-                    for e in row[v] as usize..row[v + 1] as usize {
-                        let nb = col[e] as usize;
+                    for &c in &col[row[v] as usize..row[v + 1] as usize] {
+                        let nb = c as usize;
                         if level[nb] == INF {
                             level[nb] = cur + 1;
                         }
@@ -134,7 +142,10 @@ impl Benchmark for Bfs {
 
         let want = self.reference(&row, &col);
         let got = gpu.global().read_vec_u32(LEVEL, self.nodes as usize);
-        RunOutcome { result, checked: check_u32(&got, &want, "level") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "level"),
+        }
     }
 }
 

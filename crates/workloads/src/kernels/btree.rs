@@ -25,8 +25,14 @@ impl Btree {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> Btree {
         match scale {
-            Scale::Test => Btree { threads: 128, depth: 3 },
-            Scale::Paper => Btree { threads: 2048, depth: 5 },
+            Scale::Test => Btree {
+                threads: 128,
+                depth: 3,
+            },
+            Scale::Paper => Btree {
+                threads: 2048,
+                depth: 5,
+            },
         }
     }
 
@@ -158,7 +164,10 @@ impl Benchmark for Btree {
 
         let want = self.reference(&words, &queries);
         let got = gpu.global().read_vec_u32(OUT, self.threads as usize);
-        RunOutcome { result, checked: check_u32(&got, &want, "payload") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "payload"),
+        }
     }
 }
 

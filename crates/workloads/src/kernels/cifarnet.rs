@@ -27,8 +27,14 @@ impl CifarNet {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> CifarNet {
         match scale {
-            Scale::Test => CifarNet { channels: 2, filters: 2 },
-            Scale::Paper => CifarNet { channels: 4, filters: 8 },
+            Scale::Test => CifarNet {
+                channels: 2,
+                filters: 2,
+            },
+            Scale::Paper => CifarNet {
+                channels: 4,
+                filters: 8,
+            },
         }
     }
 
@@ -87,7 +93,12 @@ impl Benchmark for CifarNet {
             .mov_imm(r(4), 0) // acc = 0.0
             .mov_imm(r(5), 0) // c
             // w ptr = WEIGHTS + f*C*36  (advanced 36 bytes per channel)
-            .imad(r(7), r(3).into(), Operand::Imm(self.channels * 36), Operand::Imm(WEIGHTS as u32))
+            .imad(
+                r(7),
+                r(3).into(),
+                Operand::Imm(self.channels * 36),
+                Operand::Imm(WEIGHTS as u32),
+            )
             .label("chan")
             // in ptr = INPUT + c*cw*4 + y*STRIDE*4 + x*4 (top-left of window)
             .imul(r(6), r(5).into(), Operand::Imm(cw * 4))
@@ -99,15 +110,22 @@ impl Benchmark for CifarNet {
             for kx in 0..3i32 {
                 let in_off = ky * STRIDE as i32 * 4 + kx * 4;
                 let w_off = (ky * 3 + kx) * 4;
-                b = b
-                    .ldg(r(8), r(6), in_off)
-                    .ldg(r(9), r(7), w_off)
-                    .ffma(r(4), r(9).into(), r(8).into(), r(4).into());
+                b = b.ldg(r(8), r(6), in_off).ldg(r(9), r(7), w_off).ffma(
+                    r(4),
+                    r(9).into(),
+                    r(8).into(),
+                    r(4).into(),
+                );
             }
         }
         b.iadd(r(7), r(7).into(), Operand::Imm(36))
             .iadd(r(5), r(5).into(), Operand::Imm(1))
-            .isetp(CmpOp::Lt, Pred::p(0), r(5).into(), Operand::Imm(self.channels))
+            .isetp(
+                CmpOp::Lt,
+                Pred::p(0),
+                r(5).into(),
+                Operand::Imm(self.channels),
+            )
             .bra_if(Pred::p(0), false, "chan")
             // out[f*H*H + idx]
             .imad(r(10), r(3).into(), Operand::Imm(H * H), r(0).into())
@@ -140,7 +158,10 @@ impl Benchmark for CifarNet {
         gpu.global_mut().write_slice_f32(INPUT, &input);
         gpu.global_mut().write_slice_f32(WEIGHTS, &w);
 
-        let dims = bow_isa::KernelDims { grid: ((H * H) / 128, self.filters), block: (128, 1) };
+        let dims = bow_isa::KernelDims {
+            grid: ((H * H) / 128, self.filters),
+            block: (128, 1),
+        };
         let result = gpu.launch(kernel, dims, &[]);
 
         // Reference uses the same padded layout.
@@ -148,7 +169,10 @@ impl Benchmark for CifarNet {
         let got = gpu
             .global()
             .read_vec_f32(OUT, (self.filters * H * H) as usize);
-        RunOutcome { result, checked: check_f32(&got, &want, "fmap") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "fmap"),
+        }
     }
 }
 

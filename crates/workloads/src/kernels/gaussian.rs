@@ -158,7 +158,10 @@ impl Benchmark for Gaussian {
 
         let want = self.reference(&a0);
         let got = gpu.global().read_vec_f32(A, n * n);
-        RunOutcome { result, checked: check_f32(&got, &want, "matrix") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "matrix"),
+        }
     }
 }
 

@@ -19,8 +19,14 @@ impl LibMc {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> LibMc {
         match scale {
-            Scale::Test => LibMc { threads: 128, iters: 8 },
-            Scale::Paper => LibMc { threads: 2048, iters: 48 },
+            Scale::Test => LibMc {
+                threads: 128,
+                iters: 8,
+            },
+            Scale::Paper => LibMc {
+                threads: 2048,
+                iters: 48,
+            },
         }
     }
 
@@ -57,27 +63,37 @@ impl Benchmark for LibMc {
         let r = Reg::r;
         // r0 = gtid, r1 = seed, r2 = acc, r3 = loop counter, r4..r6 scratch.
         let b = super::gtid(KernelBuilder::new("lib"), r(0), r(1), r(2));
-        b.imad(r(1), r(0).into(), Operand::Imm(2654435761), Operand::Imm(12345))
-            .mov_imm(r(2), 0) // acc = 0.0f (bit pattern zero)
-            .mov_imm(r(3), 0)
-            .label("loop")
-            .imad(r(1), r(1).into(), Operand::Imm(1664525), Operand::Imm(1013904223))
-            .shr(r(4), r(1).into(), Operand::Imm(16))
-            .and(r(4), r(4).into(), Operand::Imm(0x7fff))
-            .i2f(r(4), r(4).into())
-            .fmul(r(4), r(4).into(), Operand::fimm(1.0 / 32768.0)) // x
-            .ffma(r(5), r(4).into(), Operand::fimm(0.5), Operand::fimm(1.0)) // t
-            .ffma(r(2), r(4).into(), r(5).into(), r(2).into()) // acc
-            .iadd(r(3), r(3).into(), Operand::Imm(1))
-            .isetp(CmpOp::Lt, Pred::p(0), r(3).into(), Operand::Imm(self.iters))
-            .bra_if(Pred::p(0), false, "loop")
-            .shl(r(6), r(0).into(), Operand::Imm(2))
-            .ldc(r(7), 0)
-            .iadd(r(7), r(7).into(), r(6).into())
-            .stg(r(7), 0, r(2).into())
-            .exit()
-            .build()
-            .expect("lib kernel builds")
+        b.imad(
+            r(1),
+            r(0).into(),
+            Operand::Imm(2654435761),
+            Operand::Imm(12345),
+        )
+        .mov_imm(r(2), 0) // acc = 0.0f (bit pattern zero)
+        .mov_imm(r(3), 0)
+        .label("loop")
+        .imad(
+            r(1),
+            r(1).into(),
+            Operand::Imm(1664525),
+            Operand::Imm(1013904223),
+        )
+        .shr(r(4), r(1).into(), Operand::Imm(16))
+        .and(r(4), r(4).into(), Operand::Imm(0x7fff))
+        .i2f(r(4), r(4).into())
+        .fmul(r(4), r(4).into(), Operand::fimm(1.0 / 32768.0)) // x
+        .ffma(r(5), r(4).into(), Operand::fimm(0.5), Operand::fimm(1.0)) // t
+        .ffma(r(2), r(4).into(), r(5).into(), r(2).into()) // acc
+        .iadd(r(3), r(3).into(), Operand::Imm(1))
+        .isetp(CmpOp::Lt, Pred::p(0), r(3).into(), Operand::Imm(self.iters))
+        .bra_if(Pred::p(0), false, "loop")
+        .shl(r(6), r(0).into(), Operand::Imm(2))
+        .ldc(r(7), 0)
+        .iadd(r(7), r(7).into(), r(6).into())
+        .stg(r(7), 0, r(2).into())
+        .exit()
+        .build()
+        .expect("lib kernel builds")
     }
 
     fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
@@ -85,7 +101,10 @@ impl Benchmark for LibMc {
         let result = gpu.launch(kernel, dims, &[OUT as u32]);
         let want: Vec<f32> = (0..self.threads).map(|t| self.reference(t)).collect();
         let got = gpu.global().read_vec_f32(OUT, self.threads as usize);
-        RunOutcome { result, checked: check_f32(&got, &want, "acc") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "acc"),
+        }
     }
 }
 

@@ -23,7 +23,10 @@ impl Lps {
             Scale::Test => 16,
             Scale::Paper => 64,
         };
-        Lps { n, log_n: n.trailing_zeros() }
+        Lps {
+            n,
+            log_n: n.trailing_zeros(),
+        }
     }
 
     fn reference(&self, input: &[f32]) -> Vec<f32> {
@@ -115,7 +118,10 @@ impl Benchmark for Lps {
 
         let want = self.reference(&input);
         let got = gpu.global().read_vec_f32(OUT, n * n);
-        RunOutcome { result, checked: check_f32(&got, &want, "grid") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "grid"),
+        }
     }
 }
 

@@ -50,6 +50,12 @@ pub(crate) mod testutil {
     pub fn run_equivalence(bench: &dyn Benchmark) {
         run_checked(bench, CollectorKind::Baseline);
         run_checked(bench, CollectorKind::bow_wr(3));
-        run_checked(bench, CollectorKind::BowWr { window: 3, half_size: true });
+        run_checked(
+            bench,
+            CollectorKind::BowWr {
+                window: 3,
+                half_size: true,
+            },
+        );
     }
 }

@@ -28,8 +28,18 @@ impl Mum {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> Mum {
         match scale {
-            Scale::Test => Mum { threads: 128, window: 24, stride: 4, alphabet: 4 },
-            Scale::Paper => Mum { threads: 1024, window: 96, stride: 8, alphabet: 4 },
+            Scale::Test => Mum {
+                threads: 128,
+                window: 24,
+                stride: 4,
+                alphabet: 4,
+            },
+            Scale::Paper => Mum {
+                threads: 1024,
+                window: 96,
+                stride: 8,
+                alphabet: 4,
+            },
         }
     }
 
@@ -79,7 +89,12 @@ impl Benchmark for Mum {
         // r5 pat sym, r6 addr, r7 result, r8 pat base addr.
         let b = super::gtid(KernelBuilder::new("mum"), r(0), r(1), r(2));
         b.imul(r(1), r(0).into(), Operand::Imm(self.stride)) // base
-            .imad(r(8), r(0).into(), Operand::Imm(PAT_LEN * 4), Operand::Imm(PATTERNS as u32))
+            .imad(
+                r(8),
+                r(0).into(),
+                Operand::Imm(PAT_LEN * 4),
+                Operand::Imm(PATTERNS as u32),
+            )
             .mov_imm(r(7), NOT_FOUND)
             .mov_imm(r(2), 0)
             .label("scan")
@@ -105,7 +120,12 @@ impl Benchmark for Mum {
             .bra("store")
             .label("mismatch")
             .iadd(r(2), r(2).into(), Operand::Imm(1))
-            .isetp(CmpOp::Lt, Pred::p(2), r(2).into(), Operand::Imm(self.window))
+            .isetp(
+                CmpOp::Lt,
+                Pred::p(2),
+                r(2).into(),
+                Operand::Imm(self.window),
+            )
             .bra_if(Pred::p(2), false, "scan")
             .label("store")
             .shl(r(6), r(0).into(), Operand::Imm(2))
@@ -119,7 +139,9 @@ impl Benchmark for Mum {
 
     fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
         let mut rng = SplitMix::new(0x303);
-        let text: Vec<u32> = (0..self.text_len()).map(|_| rng.below(self.alphabet)).collect();
+        let text: Vec<u32> = (0..self.text_len())
+            .map(|_| rng.below(self.alphabet))
+            .collect();
         // Patterns: half sampled from the text (guaranteed matches), half random.
         let mut pats = Vec::with_capacity((self.threads * PAT_LEN) as usize);
         for t in 0..self.threads as usize {
@@ -140,7 +162,10 @@ impl Benchmark for Mum {
 
         let want = self.reference(&text, &pats);
         let got = gpu.global().read_vec_u32(OUT, self.threads as usize);
-        RunOutcome { result, checked: check_u32(&got, &want, "match_pos") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "match_pos"),
+        }
     }
 }
 

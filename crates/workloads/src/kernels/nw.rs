@@ -121,7 +121,12 @@ impl Benchmark for Nw {
             .iadd(r(10), r(9).into(), Operand::Imm(SEQ_B as u32))
             .ldg(r(9), r(10), 0)
             .isetp(CmpOp::Eq, Pred::p(2), r(8).into(), r(9).into())
-            .sel(r(7), Operand::simm(MATCH), Operand::simm(MISMATCH), Pred::p(2))
+            .sel(
+                r(7),
+                Operand::simm(MATCH),
+                Operand::simm(MISMATCH),
+                Pred::p(2),
+            )
             // cell (i+1, j0+1): smem index (i+1)*s + j0+1
             .iadd(r(3), r(0).into(), Operand::Imm(1))
             .imul(r(3), r(3).into(), Operand::Imm(s))
@@ -154,7 +159,12 @@ impl Benchmark for Nw {
             .iadd(r(3), r(3).into(), r(1).into())
             .shl(r(3), r(3).into(), Operand::Imm(2))
             .lds(r(4), r(3), 0)
-            .imad(r(5), r(11).into(), Operand::Imm(smem_words), Operand::Imm(0))
+            .imad(
+                r(5),
+                r(11).into(),
+                Operand::Imm(smem_words),
+                Operand::Imm(0),
+            )
             .iadd(r(6), r(0).into(), Operand::Imm(1))
             .imad(r(6), r(6).into(), Operand::Imm(s), r(1).into())
             .iadd(r(5), r(5).into(), r(6).into())
@@ -194,14 +204,20 @@ impl Benchmark for Nw {
         gpu.global_mut().write_slice_u32(SEQ_A, &a);
         gpu.global_mut().write_slice_u32(SEQ_B, &b);
 
-        let dims = bow_isa::KernelDims { grid: (self.blocks, 1), block: (self.t, 1) };
+        let dims = bow_isa::KernelDims {
+            grid: (self.blocks, 1),
+            block: (self.t, 1),
+        };
         let result = gpu.launch(kernel, dims, &[]);
 
         let want = self.reference(&a, &b);
         let got = gpu
             .global()
             .read_vec_u32(OUT, self.blocks as usize * self.stride() * self.stride());
-        RunOutcome { result, checked: check_u32(&got, &want, "score") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "score"),
+        }
     }
 }
 

@@ -14,8 +14,16 @@ const OUT: u64 = 0x60_0000; // best SAD per block position
 /// Frame width (any size; only the block grid needs to be a power of two).
 const W: u32 = 72; // block origins reach 60; +3 window +2 disp stays in range
 /// Candidate displacements searched per block (dx, dy).
-const DISPS: [(i32, i32); 8] =
-    [(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (0, 2), (2, 1), (1, 2)];
+const DISPS: [(i32, i32); 8] = [
+    (0, 0),
+    (1, 0),
+    (0, 1),
+    (1, 1),
+    (2, 0),
+    (0, 2),
+    (2, 1),
+    (1, 2),
+];
 
 /// 4×4 block matching: each thread owns one block position and searches
 /// the 8 candidate displacements for the minimum SAD.
@@ -98,10 +106,12 @@ impl Benchmark for Sad {
                 for x in 0..4i32 {
                     let coff = (y * W as i32 + x) * 4;
                     let roff = ((y + dy) * W as i32 + x + dx) * 4;
-                    b = b
-                        .ldg(r(7), r(3), coff)
-                        .ldg(r(8), r(4), roff)
-                        .isad(r(6), r(7).into(), r(8).into(), r(6).into());
+                    b = b.ldg(r(7), r(3), coff).ldg(r(8), r(4), roff).isad(
+                        r(6),
+                        r(7).into(),
+                        r(8).into(),
+                        r(6).into(),
+                    );
                 }
             }
             b = b.imin_u_via_checked(r(5), r(6));
@@ -130,7 +140,10 @@ impl Benchmark for Sad {
 
         let want = self.reference(&cur, &rf);
         let got = gpu.global().read_vec_u32(OUT, threads as usize);
-        RunOutcome { result, checked: check_u32(&got, &want, "best_sad") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "best_sad"),
+        }
     }
 }
 

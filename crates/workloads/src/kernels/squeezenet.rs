@@ -23,8 +23,16 @@ impl SqueezeNet {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> SqueezeNet {
         match scale {
-            Scale::Test => SqueezeNet { channels: 8, filters: 2, pixels: 128 },
-            Scale::Paper => SqueezeNet { channels: 16, filters: 16, pixels: 256 },
+            Scale::Test => SqueezeNet {
+                channels: 8,
+                filters: 2,
+                pixels: 128,
+            },
+            Scale::Paper => SqueezeNet {
+                channels: 16,
+                filters: 16,
+                pixels: 256,
+            },
         }
     }
 
@@ -71,7 +79,12 @@ impl Benchmark for SqueezeNet {
             .shl(r(4), r(0).into(), Operand::Imm(2))
             .iadd(r(4), r(4).into(), Operand::Imm(INPUT as u32))
             // w ptr = WEIGHTS + f*C*4
-            .imad(r(5), r(1).into(), Operand::Imm(self.channels * 4), Operand::Imm(WEIGHTS as u32))
+            .imad(
+                r(5),
+                r(1).into(),
+                Operand::Imm(self.channels * 4),
+                Operand::Imm(WEIGHTS as u32),
+            )
             .label("chan")
             .ldg(r(6), r(4), 0)
             .ldg(r(7), r(5), 0)
@@ -79,7 +92,12 @@ impl Benchmark for SqueezeNet {
             .iadd(r(4), r(4).into(), Operand::Imm(p4))
             .iadd(r(5), r(5).into(), Operand::Imm(4))
             .iadd(r(3), r(3).into(), Operand::Imm(1))
-            .isetp(CmpOp::Lt, Pred::p(0), r(3).into(), Operand::Imm(self.channels))
+            .isetp(
+                CmpOp::Lt,
+                Pred::p(0),
+                r(3).into(),
+                Operand::Imm(self.channels),
+            )
             .bra_if(Pred::p(0), false, "chan")
             // ReLU + store out[f*P + pixel]
             .fmax(r(2), r(2).into(), Operand::fimm(0.0))
@@ -103,14 +121,20 @@ impl Benchmark for SqueezeNet {
         gpu.global_mut().write_slice_f32(INPUT, &input);
         gpu.global_mut().write_slice_f32(WEIGHTS, &w);
 
-        let dims = KernelDims { grid: (self.pixels / 128, self.filters), block: (128, 1) };
+        let dims = KernelDims {
+            grid: (self.pixels / 128, self.filters),
+            block: (128, 1),
+        };
         let result = gpu.launch(kernel, dims, &[]);
 
         let want = self.reference(&input, &w);
         let got = gpu
             .global()
             .read_vec_f32(OUT, (self.filters * self.pixels) as usize);
-        RunOutcome { result, checked: check_f32(&got, &want, "fmap") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "fmap"),
+        }
     }
 }
 

@@ -25,7 +25,10 @@ impl Srad {
             Scale::Test => 16,
             Scale::Paper => 64,
         };
-        Srad { n, log_n: n.trailing_zeros() }
+        Srad {
+            n,
+            log_n: n.trailing_zeros(),
+        }
     }
 
     fn reference(&self, img: &[f32]) -> Vec<f32> {
@@ -150,7 +153,10 @@ impl Benchmark for Srad {
 
         let want = self.reference(&img);
         let got = gpu.global().read_vec_f32(OUT, n * n);
-        RunOutcome { result, checked: check_f32(&got, &want, "image") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "image"),
+        }
     }
 }
 

@@ -23,8 +23,14 @@ impl Sto {
     /// Creates the benchmark at the given scale.
     pub fn new(scale: Scale) -> Sto {
         match scale {
-            Scale::Test => Sto { threads: 128, block: 64 },
-            Scale::Paper => Sto { threads: 2048, block: 128 },
+            Scale::Test => Sto {
+                threads: 128,
+                block: 64,
+            },
+            Scale::Paper => Sto {
+                threads: 2048,
+                block: 128,
+            },
         }
     }
 
@@ -111,7 +117,10 @@ impl Benchmark for Sto {
 
         let want = self.reference(&data);
         let got = gpu.global().read_vec_u32(OUT, self.threads as usize);
-        RunOutcome { result, checked: check_u32(&got, &want, "hash") }
+        RunOutcome {
+            result,
+            checked: check_u32(&got, &want, "hash"),
+        }
     }
 }
 

@@ -73,7 +73,10 @@ impl Benchmark for VectorAdd {
 
         let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let got = gpu.global().read_vec_f32(C, n);
-        RunOutcome { result, checked: check_f32(&got, &want, "c") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "c"),
+        }
     }
 }
 

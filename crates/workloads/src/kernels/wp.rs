@@ -32,8 +32,7 @@ impl Wp {
     fn reference(&self, f: &[Vec<f32>]) -> Vec<f32> {
         (0..self.n as usize)
             .map(|i| {
-                let (t, u, v, p, q, rho) =
-                    (f[0][i], f[1][i], f[2][i], f[3][i], f[4][i], f[5][i]);
+                let (t, u, v, p, q, rho) = (f[0][i], f[1][i], f[2][i], f[3][i], f[4][i], f[5][i]);
                 // Device order, fused where the kernel fuses.
                 let adv = u.mul_add(0.3, v * 0.7);
                 let buoy = p.mul_add(-0.05, q * 0.11);
@@ -91,14 +90,18 @@ impl Benchmark for Wp {
             .map(|_| (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
             .collect();
         for (k, f) in fields.iter().enumerate() {
-            gpu.global_mut().write_slice_f32(FIELDS + (k as u64) * u64::from(self.n) * 4, f);
+            gpu.global_mut()
+                .write_slice_f32(FIELDS + (k as u64) * u64::from(self.n) * 4, f);
         }
         let dims = KernelDims::linear(self.n / 128, 128);
         let result = gpu.launch(kernel, dims, &[OUT as u32]);
 
         let want = self.reference(&fields);
         let got = gpu.global().read_vec_f32(OUT, n);
-        RunOutcome { result, checked: check_f32(&got, &want, "t_next") }
+        RunOutcome {
+            result,
+            checked: check_f32(&got, &want, "t_next"),
+        }
     }
 }
 

@@ -42,7 +42,11 @@ pub enum Scale {
 }
 
 /// A runnable benchmark: kernel + inputs + host reference.
-pub trait Benchmark {
+///
+/// Implementations are plain data (name + problem sizes), so the trait
+/// requires `Send + Sync` — the parallel sweep engine (`bow::suite`)
+/// shares one boxed suite across its worker threads.
+pub trait Benchmark: Send + Sync {
     /// Short lower-case name (the paper's label, e.g. `"btree"`).
     fn name(&self) -> &'static str;
 
@@ -99,8 +103,21 @@ mod tests {
         assert_eq!(s.len(), 15);
         let names: Vec<&str> = s.iter().map(|b| b.name()).collect();
         for expect in [
-            "lib", "lps", "sto", "wp", "backprop", "bfs", "btree", "gaussian", "mum", "nw",
-            "srad", "cifarnet", "squeezenet", "vectoradd", "sad",
+            "lib",
+            "lps",
+            "sto",
+            "wp",
+            "backprop",
+            "bfs",
+            "btree",
+            "gaussian",
+            "mum",
+            "nw",
+            "srad",
+            "cifarnet",
+            "squeezenet",
+            "vectoradd",
+            "sad",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
@@ -109,7 +126,9 @@ mod tests {
     #[test]
     fn all_kernels_validate() {
         for b in suite(Scale::Test) {
-            b.kernel().validate().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            b.kernel()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         }
     }
 

@@ -34,11 +34,19 @@ const SOURCE: &str = r#"
 
 fn main() {
     let kernel = parse_kernel(SOURCE).expect("assembly parses");
-    println!("parsed `{}`: {} instructions, {} registers\n", kernel.name, kernel.len(), kernel.num_regs);
+    println!(
+        "parsed `{}`: {} instructions, {} registers\n",
+        kernel.name,
+        kernel.len(),
+        kernel.num_regs
+    );
 
     // Annotate with the compiler pass and show the hints inline.
     let (annotated, report) = annotate(&kernel, 3);
-    println!("annotated disassembly (note the .wb suffixes):\n{}", annotated.disassemble());
+    println!(
+        "annotated disassembly (note the .wb suffixes):\n{}",
+        annotated.disassemble()
+    );
     println!(
         "classification: {} transient, {} persistent, {} rf-only ({} writes total)\n",
         report.transient,

@@ -67,10 +67,19 @@ fn main() {
     let mut gpu = Gpu::new(cfg);
     let res = gpu.launch(&k, KernelDims::linear(1, 32), &[0x1000]);
     for i in 0..32u64 {
-        let want = if i < 8 { 2 } else if i < 16 { 3 } else { 5 };
+        let want = if i < 8 {
+            2
+        } else if i < 16 {
+            3
+        } else {
+            5
+        };
         assert_eq!(gpu.global().read_u32(0x1000 + 4 * i), want, "lane {i}");
     }
-    println!("\nall 32 lanes reconverged to the right values in {} cycles", res.cycles);
+    println!(
+        "\nall 32 lanes reconverged to the right values in {} cycles",
+        res.cycles
+    );
 
     // 3. The trace shows the serialized paths: the same `mov` pcs execute
     //    under different masks as the warp walks taken-side-first.

@@ -12,31 +12,42 @@ use bow::prelude::*;
 
 fn main() {
     let model = EnergyModel::table_iv();
-    let configs = [Config::bow(3), Config::bow_wr(3), Config::rfc()];
+
+    // One 4-config x full-suite sweep; row 0 is the baseline the others
+    // are normalized against.
+    let result = Suite::new(Scale::Test)
+        .configs([
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::bow(3).build(),
+            ConfigBuilder::bow_wr(3).build(),
+            ConfigBuilder::rfc().build(),
+        ])
+        .run();
+    result.assert_checked();
+    let base_row = result.rows[0].records();
 
     let mut rows = Vec::new();
-    let mut sums = vec![(0.0f64, 0.0f64); configs.len()];
-    let mut n = 0;
-    for bench in suite(Scale::Test) {
-        let base = bow::experiment::run(bench.as_ref(), Config::baseline());
-        base.assert_checked();
+    let mut sums = vec![(0.0f64, 0.0f64); result.rows.len() - 1];
+    for (bi, base) in base_row.iter().enumerate() {
         let base_counts = base.outcome.result.stats.access_counts();
-        let mut row = vec![bench.name().to_string()];
-        for (i, cfg) in configs.iter().enumerate() {
-            let rec = bow::experiment::run(bench.as_ref(), cfg.clone());
-            rec.assert_checked();
+        let mut row = vec![base.benchmark.clone()];
+        for (i, cfg_row) in result.rows[1..].iter().enumerate() {
+            let rec = &cfg_row.records[bi];
             let rep = EnergyReport::normalized(
                 &model,
                 &rec.outcome.result.stats.access_counts(),
                 &base_counts,
             );
-            row.push(format!("{:.2}+{:.2}", rep.rf_dynamic_norm, rep.overhead_norm));
+            row.push(format!(
+                "{:.2}+{:.2}",
+                rep.rf_dynamic_norm, rep.overhead_norm
+            ));
             sums[i].0 += rep.rf_dynamic_norm;
             sums[i].1 += rep.overhead_norm;
         }
         rows.push(row);
-        n += 1;
     }
+    let n = base_row.len();
     let mut avg = vec!["average".to_string()];
     for &(d, o) in &sums {
         avg.push(format!("{:.2}+{:.2}", d / n as f64, o / n as f64));

@@ -1,5 +1,6 @@
-//! Quickstart: run one benchmark under every pipeline model and compare
-//! IPC, register-file traffic and energy.
+//! Quickstart: run one benchmark under every pipeline model on the
+//! parallel sweep engine and compare IPC, register-file traffic and
+//! energy.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,24 +11,27 @@ use bow::prelude::*;
 fn main() {
     let bench = bow::workloads::by_name("btree", Scale::Test).expect("btree exists");
     let model = EnergyModel::table_iv();
+    println!("benchmark: {} ({})\n", bench.name(), bench.description());
 
-    let configs = vec![
-        Config::baseline(),
-        Config::bow(3),
-        Config::bow_wr(3),
-        Config::bow_wr_half(3),
-        Config::rfc(),
-    ];
+    // One (config x benchmark) sweep: cells run concurrently, but rows come
+    // back in config order no matter which cell finishes first.
+    let result = Suite::over(vec![bench])
+        .configs([
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::bow(3).build(),
+            ConfigBuilder::bow_wr(3).build(),
+            ConfigBuilder::bow_wr(3).half_size(true).build(),
+            ConfigBuilder::rfc().build(),
+        ])
+        .run();
+    result.assert_checked();
 
-    let baseline = bow::experiment::run(bench.as_ref(), Config::baseline());
-    baseline.assert_checked();
+    let baseline = &result.rows[0].records[0];
     let base_counts = baseline.outcome.result.stats.access_counts();
 
-    println!("benchmark: {} ({})\n", bench.name(), bench.description());
     let mut rows = Vec::new();
-    for config in configs {
-        let rec = bow::experiment::run(bench.as_ref(), config);
-        rec.assert_checked();
+    for row in &result.rows {
+        let rec = &row.records[0];
         let s = &rec.outcome.result.stats;
         let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
         rows.push(vec![
@@ -44,7 +48,16 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["config", "ipc", "vs base", "rf reads", "rf writes", "rd bypass", "wr bypass", "energy"],
+            &[
+                "config",
+                "ipc",
+                "vs base",
+                "rf reads",
+                "rf writes",
+                "rd bypass",
+                "wr bypass",
+                "energy"
+            ],
             &rows,
         )
     );

@@ -39,7 +39,11 @@ fn run(kind: CollectorKind, kernel: &Kernel, n: usize) -> (Vec<f32>, LaunchResul
     gpu.global_mut().write_slice_f32(x_addr, &x);
     gpu.global_mut().write_slice_f32(y_addr, &y);
     let dims = KernelDims::linear(n as u32 / 128, 128);
-    let res = gpu.launch(kernel, dims, &[x_addr as u32, y_addr as u32, 2.0f32.to_bits()]);
+    let res = gpu.launch(
+        kernel,
+        dims,
+        &[x_addr as u32, y_addr as u32, 2.0f32.to_bits()],
+    );
     (gpu.global().read_vec_f32(y_addr, n), res)
 }
 

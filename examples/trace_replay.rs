@@ -35,7 +35,7 @@ fn main() {
     );
 
     // 2. Ship it anywhere: the trace serializes to JSON.
-    let json = trace.to_json().expect("serializes");
+    let json = trace.to_json();
     let restored = bow::sim::KernelTrace::from_json(&json).expect("round-trips");
     assert_eq!(restored, trace);
     println!("trace JSON: {} bytes\n", json.len());

@@ -12,13 +12,17 @@ fn main() {
     let windows = [2u32, 3, 4, 5, 6, 7];
     println!("bypass opportunity per instruction window (read% / write%)\n");
 
+    // All benchmarks run concurrently through the sweep engine; the single
+    // config carries the timing-independent window analyzer.
+    let result = Suite::new(Scale::Test)
+        .config(ConfigBuilder::baseline().analyzer(&windows).build())
+        .run();
+    result.assert_checked();
+
     let mut rows = Vec::new();
     let mut totals = vec![(0u64, 0u64, 0u64, 0u64); windows.len()];
-    for bench in suite(Scale::Test) {
-        let config = Config::baseline().with_analyzer(&windows);
-        let rec = bow::experiment::run(bench.as_ref(), config);
-        rec.assert_checked();
-        let mut row = vec![bench.name().to_string()];
+    for rec in result.rows[0].records() {
+        let mut row = vec![rec.benchmark.clone()];
         for (i, w) in rec.outcome.result.windows.iter().enumerate() {
             row.push(format!(
                 "{:.0}/{:.0}",

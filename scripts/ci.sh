@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: the full tier-1 pipeline, entirely offline.
+#
+# The workspace's standing policy is std-only dependencies, so every step
+# runs with --offline — a network fetch anywhere is itself a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI green."

@@ -7,19 +7,19 @@ use bow::prelude::*;
 
 fn all_configs() -> Vec<Config> {
     vec![
-        Config::baseline(),
-        Config::bow(2),
-        Config::bow(3),
-        Config::bow(4),
-        Config::bow_writeback(3),
-        Config::bow_wr(2),
-        Config::bow_wr(3),
-        Config::bow_wr(4),
-        Config::bow_wr_half(3),
-        Config::bow_flex(6),
-        Config::bow_flex(12),
-        Config::bow_wr_reordered(3),
-        Config::rfc(),
+        ConfigBuilder::baseline().build(),
+        ConfigBuilder::bow(2).build(),
+        ConfigBuilder::bow(3).build(),
+        ConfigBuilder::bow(4).build(),
+        ConfigBuilder::bow_wr(3).hints(false).build(),
+        ConfigBuilder::bow_wr(2).build(),
+        ConfigBuilder::bow_wr(3).build(),
+        ConfigBuilder::bow_wr(4).build(),
+        ConfigBuilder::bow_wr(3).half_size(true).build(),
+        ConfigBuilder::bow_flex(6).build(),
+        ConfigBuilder::bow_flex(12).build(),
+        ConfigBuilder::bow_wr(3).reorder(true).build(),
+        ConfigBuilder::rfc().build(),
     ]
 }
 
@@ -44,7 +44,12 @@ fn every_benchmark_matches_reference_under_every_collector() {
 #[test]
 fn stats_satisfy_accounting_identities() {
     for bench in suite(Scale::Test) {
-        for config in [Config::baseline(), Config::bow(3), Config::bow_wr(3), Config::rfc()] {
+        for config in [
+            ConfigBuilder::baseline().build(),
+            ConfigBuilder::bow(3).build(),
+            ConfigBuilder::bow_wr(3).build(),
+            ConfigBuilder::rfc().build(),
+        ] {
             let label = config.label.clone();
             let rec = bow::experiment::run(bench.as_ref(), config);
             let s = &rec.outcome.result.stats;
@@ -80,10 +85,17 @@ fn bypass_rates_monotonic_in_window_for_reads() {
     // Larger windows can only expose more read reuse (Fig. 3 trend),
     // checked on the analyzer which is timing-independent.
     for bench in suite(Scale::Test) {
-        let config = Config::baseline().with_analyzer(&[2, 3, 4, 5, 6, 7]);
+        let config = ConfigBuilder::baseline()
+            .analyzer(&[2, 3, 4, 5, 6, 7])
+            .build();
         let rec = bow::experiment::run(bench.as_ref(), config);
-        let rates: Vec<f64> =
-            rec.outcome.result.windows.iter().map(|w| w.read_rate()).collect();
+        let rates: Vec<f64> = rec
+            .outcome
+            .result
+            .windows
+            .iter()
+            .map(|w| w.read_rate())
+            .collect();
         for pair in rates.windows(2) {
             assert!(
                 pair[1] >= pair[0] - 1e-9,
@@ -98,8 +110,8 @@ fn bypass_rates_monotonic_in_window_for_reads() {
 fn energy_never_exceeds_baseline_for_bow_wr() {
     let model = EnergyModel::table_iv();
     for bench in suite(Scale::Test) {
-        let base = bow::experiment::run(bench.as_ref(), Config::baseline());
-        let wr = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
+        let base = bow::experiment::run(bench.as_ref(), ConfigBuilder::baseline().build());
+        let wr = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow_wr(3).build());
         let rep = EnergyReport::normalized(
             &model,
             &wr.outcome.result.stats.access_counts(),

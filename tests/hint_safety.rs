@@ -123,7 +123,10 @@ fn forced_evictions_are_rare_with_half_size_buffers() {
     let mut forced = 0u64;
     let mut writes = 0u64;
     for bench in suite(Scale::Test) {
-        let rec = bow::experiment::run(bench.as_ref(), Config::bow_wr_half(3));
+        let rec = bow::experiment::run(
+            bench.as_ref(),
+            ConfigBuilder::bow_wr(3).half_size(true).build(),
+        );
         rec.assert_checked();
         forced += rec.outcome.result.stats.forced_evictions;
         writes += rec.outcome.result.stats.writes_total;

@@ -10,8 +10,10 @@ use bow::prelude::*;
 fn analyzer_averages(windows: &[u32]) -> Vec<(f64, f64)> {
     let mut totals = vec![(0u64, 0u64, 0u64, 0u64); windows.len()];
     for bench in suite(Scale::Test) {
-        let rec =
-            bow::experiment::run(bench.as_ref(), Config::baseline().with_analyzer(windows));
+        let rec = bow::experiment::run(
+            bench.as_ref(),
+            ConfigBuilder::baseline().analyzer(windows).build(),
+        );
         rec.assert_checked();
         for (i, w) in rec.outcome.result.windows.iter().enumerate() {
             totals[i].0 += w.bypassed_reads;
@@ -47,9 +49,9 @@ fn fig10_shape_bow_improves_ipc_on_average_and_never_regresses_much() {
     let mut bow_cycles = 0.0;
     let mut wr_cycles = 0.0;
     for bench in suite(Scale::Test) {
-        let b = bow::experiment::run(bench.as_ref(), Config::baseline());
-        let o = bow::experiment::run(bench.as_ref(), Config::bow(3));
-        let w = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
+        let b = bow::experiment::run(bench.as_ref(), ConfigBuilder::baseline().build());
+        let o = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow(3).build());
+        let w = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow_wr(3).build());
         b.assert_checked();
         o.assert_checked();
         w.assert_checked();
@@ -68,8 +70,15 @@ fn fig10_shape_bow_improves_ipc_on_average_and_never_regresses_much() {
     // Paper: +11% (BOW) / +13% (BOW-WR) average IPC at IW3.
     let bow_gain = base_cycles / bow_cycles - 1.0;
     let wr_gain = base_cycles / wr_cycles - 1.0;
-    assert!(bow_gain > 0.02, "BOW suite speedup only {:.1}%", 100.0 * bow_gain);
-    assert!(wr_gain >= bow_gain - 0.02, "BOW-WR should be at least on par with BOW");
+    assert!(
+        bow_gain > 0.02,
+        "BOW suite speedup only {:.1}%",
+        100.0 * bow_gain
+    );
+    assert!(
+        wr_gain >= bow_gain - 0.02,
+        "BOW-WR should be at least on par with BOW"
+    );
 }
 
 #[test]
@@ -77,8 +86,11 @@ fn fig11_shape_half_size_loses_little() {
     let mut full = 0.0;
     let mut half = 0.0;
     for bench in suite(Scale::Test) {
-        let f = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
-        let h = bow::experiment::run(bench.as_ref(), Config::bow_wr_half(3));
+        let f = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow_wr(3).build());
+        let h = bow::experiment::run(
+            bench.as_ref(),
+            ConfigBuilder::bow_wr(3).half_size(true).build(),
+        );
         f.assert_checked();
         h.assert_checked();
         full += f.outcome.result.cycles as f64;
@@ -86,7 +98,11 @@ fn fig11_shape_half_size_loses_little() {
     }
     // Paper: ~2% performance loss for half-size buffers.
     let loss = half / full - 1.0;
-    assert!(loss < 0.05, "half-size loses {:.1}% (paper: ~2%)", 100.0 * loss);
+    assert!(
+        loss < 0.05,
+        "half-size loses {:.1}% (paper: ~2%)",
+        100.0 * loss
+    );
 }
 
 #[test]
@@ -96,12 +112,20 @@ fn fig13_shape_energy_ordering_baseline_bow_bowwr() {
     let mut wr_sum = 0.0;
     let mut n = 0.0;
     for bench in suite(Scale::Test) {
-        let b = bow::experiment::run(bench.as_ref(), Config::baseline());
+        let b = bow::experiment::run(bench.as_ref(), ConfigBuilder::baseline().build());
         let base_counts = b.outcome.result.stats.access_counts();
-        let o = bow::experiment::run(bench.as_ref(), Config::bow(3));
-        let w = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
-        let eo = EnergyReport::normalized(&model, &o.outcome.result.stats.access_counts(), &base_counts);
-        let ew = EnergyReport::normalized(&model, &w.outcome.result.stats.access_counts(), &base_counts);
+        let o = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow(3).build());
+        let w = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow_wr(3).build());
+        let eo = EnergyReport::normalized(
+            &model,
+            &o.outcome.result.stats.access_counts(),
+            &base_counts,
+        );
+        let ew = EnergyReport::normalized(
+            &model,
+            &w.outcome.result.stats.access_counts(),
+            &base_counts,
+        );
         assert!(
             ew.total_norm() <= eo.total_norm() + 1e-9,
             "{}: BOW-WR ({:.3}) must not exceed BOW ({:.3})",
@@ -116,8 +140,16 @@ fn fig13_shape_energy_ordering_baseline_bow_bowwr() {
     // Paper: BOW saves ~36%, BOW-WR ~55% of RF dynamic energy.
     let bow_saving = 1.0 - bow_sum / n;
     let wr_saving = 1.0 - wr_sum / n;
-    assert!(bow_saving > 0.15, "BOW saving only {:.1}%", 100.0 * bow_saving);
-    assert!(wr_saving > 0.30, "BOW-WR saving only {:.1}%", 100.0 * wr_saving);
+    assert!(
+        bow_saving > 0.15,
+        "BOW saving only {:.1}%",
+        100.0 * bow_saving
+    );
+    assert!(
+        wr_saving > 0.30,
+        "BOW-WR saving only {:.1}%",
+        100.0 * wr_saving
+    );
     assert!(wr_saving > bow_saving, "write bypassing must add savings");
 }
 
@@ -129,8 +161,8 @@ fn rfc_comparison_shape_energy_saver_but_not_performance() {
     let mut rfc_energy = 0.0;
     let mut n = 0.0;
     for bench in suite(Scale::Test) {
-        let b = bow::experiment::run(bench.as_ref(), Config::baseline());
-        let r = bow::experiment::run(bench.as_ref(), Config::rfc());
+        let b = bow::experiment::run(bench.as_ref(), ConfigBuilder::baseline().build());
+        let r = bow::experiment::run(bench.as_ref(), ConfigBuilder::rfc().build());
         r.assert_checked();
         base_cycles += b.outcome.result.cycles as f64;
         rfc_cycles += r.outcome.result.cycles as f64;
@@ -144,7 +176,11 @@ fn rfc_comparison_shape_energy_saver_but_not_performance() {
     }
     // Paper: RFC gains <2% IPC but does save dynamic energy.
     let gain = base_cycles / rfc_cycles - 1.0;
-    assert!(gain < 0.06, "RFC speedup {:.1}% looks too strong", 100.0 * gain);
+    assert!(
+        gain < 0.06,
+        "RFC speedup {:.1}% looks too strong",
+        100.0 * gain
+    );
     assert!(rfc_energy / n < 0.95, "RFC should save energy");
 }
 
@@ -153,10 +189,10 @@ fn fig7_shape_write_destination_distribution() {
     // Paper averages: 21% RF-only / 27% both / 52% transient at IW3.
     let mut dest = [0u64; 3];
     for bench in suite(Scale::Test) {
-        let w = bow::experiment::run(bench.as_ref(), Config::bow_wr(3));
+        let w = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow_wr(3).build());
         w.assert_checked();
-        for i in 0..3 {
-            dest[i] += w.outcome.result.stats.write_dest[i];
+        for (sum, &n) in dest.iter_mut().zip(&w.outcome.result.stats.write_dest) {
+            *sum += n;
         }
     }
     let total: u64 = dest.iter().sum();
@@ -173,8 +209,8 @@ fn fig12_shape_oc_residency_drops_with_bow() {
     let mut base_oc = 0u64;
     let mut bow_oc = 0u64;
     for bench in suite(Scale::Test) {
-        let b = bow::experiment::run(bench.as_ref(), Config::baseline());
-        let o = bow::experiment::run(bench.as_ref(), Config::bow(3));
+        let b = bow::experiment::run(bench.as_ref(), ConfigBuilder::baseline().build());
+        let o = bow::experiment::run(bench.as_ref(), ConfigBuilder::bow(3).build());
         base_oc += b.outcome.result.stats.oc_cycles();
         bow_oc += o.outcome.result.stats.oc_cycles();
     }

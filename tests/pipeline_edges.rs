@@ -27,11 +27,18 @@ fn partial_warps_run_correctly() {
     // 48-thread blocks: warp 1 has only 16 valid lanes.
     for kind in [CollectorKind::Baseline, CollectorKind::bow_wr(3)] {
         let mut gpu = Gpu::new(GpuConfig::scaled(kind));
-        let dims = KernelDims { grid: (3, 1), block: (48, 1) };
+        let dims = KernelDims {
+            grid: (3, 1),
+            block: (48, 1),
+        };
         let res = gpu.launch(&iota3(), dims, &[0x1000]);
         assert!(res.completed);
         for i in 0..(3 * 48) as u64 {
-            assert_eq!(gpu.global().read_u32(0x1000 + 4 * i), 3 * i as u32, "thread {i}");
+            assert_eq!(
+                gpu.global().read_u32(0x1000 + 4 * i),
+                3 * i as u32,
+                "thread {i}"
+            );
         }
     }
 }
@@ -53,7 +60,10 @@ fn two_dimensional_blocks_expose_tid_y() {
         .build()
         .expect("builds");
     let mut gpu = Gpu::new(GpuConfig::scaled(CollectorKind::bow_wr(3)));
-    let dims = KernelDims { grid: (1, 1), block: (16, 8) };
+    let dims = KernelDims {
+        grid: (1, 1),
+        block: (16, 8),
+    };
     gpu.launch(&k, dims, &[0x2000]);
     for y in 0..8u64 {
         for x in 0..16u64 {
@@ -66,7 +76,7 @@ fn two_dimensional_blocks_expose_tid_y() {
 #[test]
 fn lrr_scheduler_completes_the_suite_correctly() {
     for bench in suite(Scale::Test) {
-        let mut cfg = Config::bow_wr(3);
+        let mut cfg = ConfigBuilder::bow_wr(3).build();
         cfg.gpu.sched = bow::sim::SchedPolicy::Lrr;
         cfg.label = "bow-wr lrr".into();
         let rec = bow::experiment::run(bench.as_ref(), cfg);
@@ -119,8 +129,8 @@ fn pipeline_trace_orders_stages_per_instruction() {
     // Every data instruction shows Issue -> Dispatch -> Writeback in
     // non-decreasing cycle order.
     use std::collections::HashMap;
-    let mut seen: HashMap<(usize, u64), (Option<u64>, Option<u64>, Option<u64>)> =
-        HashMap::new();
+    type StageCycles = (Option<u64>, Option<u64>, Option<u64>);
+    let mut seen: HashMap<(usize, u64), StageCycles> = HashMap::new();
     for e in trace.events() {
         let entry = seen.entry((e.warp, e.seq)).or_default();
         match e.stage {

@@ -1,15 +1,21 @@
 //! Property-based testing: random kernels (straight-line and structured
 //! branches/loops) must produce identical final memory under every
 //! collector model, and the compiler pass must never change results.
+//!
+//! Kernels are generated from a seeded in-tree xorshift stream
+//! ([`bow_util::XorShift`]; the workspace builds offline and carries no
+//! proptest), so every run checks the same 24 cases per property and a
+//! failure reproduces from the printed case number alone.
 
 use bow::prelude::*;
-use proptest::prelude::*;
+use bow_util::XorShift;
 
 const OUT: u64 = 0x10_0000;
 const SCRATCH: u64 = 0x20_0000;
+const CASES: u64 = 24;
 
 /// A random, always-terminating kernel: a prologue computing the thread
-/// index, `body` arithmetic instructions over 8 registers, an optional
+/// index, `ops` arithmetic instructions over 8 registers, an optional
 /// predicated diamond and an optional bounded loop, then a store of every
 /// register.
 #[derive(Clone, Debug)]
@@ -19,27 +25,40 @@ struct RandomKernel {
     loop_trips: u8,
 }
 
-fn op_strategy() -> impl Strategy<Value = (u8, u8, u8, u8)> {
-    (0u8..12, 0u8..8, 0u8..8, 0u8..8)
-}
-
-fn kernel_strategy() -> impl Strategy<Value = RandomKernel> {
-    (
-        proptest::collection::vec(op_strategy(), 3..24),
-        any::<bool>(),
-        0u8..4,
-    )
-        .prop_map(|(ops, diamond, loop_trips)| RandomKernel { ops, diamond, loop_trips })
-}
-
 impl RandomKernel {
+    /// Draws a kernel shape from the stream: 3..24 ops, each a tuple of
+    /// (opcode 0..12, dst 0..8, src1 0..8, src2 0..8).
+    fn gen(rng: &mut XorShift) -> RandomKernel {
+        let n = 3 + rng.below(21) as usize;
+        let ops = (0..n)
+            .map(|_| {
+                (
+                    rng.below_u8(12),
+                    rng.below_u8(8),
+                    rng.below_u8(8),
+                    rng.below_u8(8),
+                )
+            })
+            .collect();
+        RandomKernel {
+            ops,
+            diamond: rng.next_bool(),
+            loop_trips: rng.below_u8(4),
+        }
+    }
+
     fn build(&self) -> Kernel {
         let r = |i: u8| Reg::r(8 + i); // r8..r15 are the data registers
         let mut b = KernelBuilder::new("random")
             .s2r(Reg::r(0), Special::TidX)
             .s2r(Reg::r(1), Special::CtaidX)
             .s2r(Reg::r(2), Special::NtidX)
-            .imad(Reg::r(0), Reg::r(1).into(), Reg::r(2).into(), Reg::r(0).into());
+            .imad(
+                Reg::r(0),
+                Reg::r(1).into(),
+                Reg::r(2).into(),
+                Reg::r(0).into(),
+            );
         // Seed data registers from the thread index.
         for i in 0..8u8 {
             b = b.imad(
@@ -116,6 +135,19 @@ impl RandomKernel {
     }
 }
 
+/// Runs `check` on [`CASES`] seeded random kernels, reporting the failing
+/// case's seed and shape on panic.
+fn for_each_case(seed: u64, check: impl Fn(&Kernel) -> Result<(), String>) {
+    for case in 0..CASES {
+        let mut rng = XorShift::new(seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let rk = RandomKernel::gen(&mut rng);
+        let kernel = rk.build();
+        if let Err(msg) = check(&kernel) {
+            panic!("case {case} (seed {seed:#x}): {msg}\nshape: {rk:?}");
+        }
+    }
+}
+
 fn final_memory(kernel: &Kernel, kind: CollectorKind) -> u64 {
     let mut gpu = Gpu::new(GpuConfig::scaled(kind));
     gpu.global_mut().write_slice_u32(SCRATCH, &[0; 4]);
@@ -124,44 +156,68 @@ fn final_memory(kernel: &Kernel, kind: CollectorKind) -> u64 {
     gpu.global().fingerprint()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_collectors_agree_on_final_memory(rk in kernel_strategy()) {
-        let kernel = rk.build();
-        let baseline = final_memory(&kernel, CollectorKind::Baseline);
+#[test]
+fn all_collectors_agree_on_final_memory() {
+    for_each_case(b0w_seed(1), |kernel| {
+        let baseline = final_memory(kernel, CollectorKind::Baseline);
         for kind in [
             CollectorKind::bow(2),
             CollectorKind::bow(3),
             CollectorKind::bow_wr(3),
-            CollectorKind::BowWr { window: 3, half_size: true },
+            CollectorKind::BowWr {
+                window: 3,
+                half_size: true,
+            },
             CollectorKind::rfc6(),
         ] {
-            prop_assert_eq!(final_memory(&kernel, kind), baseline, "diverged under {:?}", kind);
+            if final_memory(kernel, kind) != baseline {
+                return Err(format!("diverged under {kind:?}"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn compiler_annotation_never_changes_results(rk in kernel_strategy()) {
-        let kernel = rk.build();
-        let plain = final_memory(&kernel, CollectorKind::bow_wr(3));
-        let (annotated, _) = annotate(&kernel, 3);
+#[test]
+fn compiler_annotation_never_changes_results() {
+    for_each_case(b0w_seed(2), |kernel| {
+        let plain = final_memory(kernel, CollectorKind::bow_wr(3));
+        let (annotated, _) = annotate(kernel, 3);
         let hinted = final_memory(&annotated, CollectorKind::bow_wr(3));
-        prop_assert_eq!(plain, hinted);
-    }
+        if plain != hinted {
+            return Err("annotation changed final memory".to_string());
+        }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bow_never_reads_more_than_baseline(rk in kernel_strategy()) {
-        let kernel = rk.build();
+#[test]
+fn bow_never_reads_more_than_baseline() {
+    for_each_case(b0w_seed(3), |kernel| {
         let run = |kind: CollectorKind| {
             let mut gpu = Gpu::new(GpuConfig::scaled(kind));
-            gpu.launch(&kernel, KernelDims::linear(2, 64), &[]).stats
+            gpu.launch(kernel, KernelDims::linear(2, 64), &[]).stats
         };
         let base = run(CollectorKind::Baseline);
         let bow = run(CollectorKind::bow(3));
-        prop_assert!(bow.rf.reads <= base.rf.reads);
-        prop_assert_eq!(bow.rf.reads + bow.bypassed_reads, base.rf.reads,
-            "every source read is either bypassed or served by a bank");
-    }
+        if bow.rf.reads > base.rf.reads {
+            return Err(format!(
+                "bow read more banks than baseline: {} > {}",
+                bow.rf.reads, base.rf.reads
+            ));
+        }
+        if bow.rf.reads + bow.bypassed_reads != base.rf.reads {
+            return Err(format!(
+                "bypass accounting broken: {} served + {} bypassed != baseline {}",
+                bow.rf.reads, bow.bypassed_reads, base.rf.reads
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// Distinct fixed seeds per property, so adding a property never shifts
+/// the cases another property sees.
+fn b0w_seed(property: u64) -> u64 {
+    0xb01_d0e5_0000_0000 | property
 }
