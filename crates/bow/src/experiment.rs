@@ -12,7 +12,7 @@
 //! scale — orthogonally and derives the display label automatically.
 
 use bow_compiler::{annotate, CompilerReport};
-use bow_sim::{CollectorKind, Gpu, GpuConfig};
+use bow_sim::{CollectorKind, Gpu, GpuConfig, SimStats};
 use bow_util::json::Json;
 use bow_workloads::{Benchmark, RunOutcome};
 
@@ -361,6 +361,17 @@ impl RunRecord {
                 },
             ),
             ("stats".to_string(), self.outcome.result.stats.to_json()),
+            (
+                "per_sm".to_string(),
+                Json::Arr(
+                    self.outcome
+                        .result
+                        .per_sm
+                        .iter()
+                        .map(SimStats::to_json)
+                        .collect(),
+                ),
+            ),
         ];
         if !self.outcome.result.windows.is_empty() {
             fields.push((
@@ -600,6 +611,22 @@ mod tests {
             .get("stats")
             .and_then(|s| s.get("bypassed_reads"))
             .is_some());
+        let per_sm = v.get("per_sm").expect("per-SM breakdown present");
+        match per_sm {
+            Json::Arr(sms) => {
+                assert_eq!(sms.len(), rec.outcome.result.per_sm.len());
+                let total: u64 = sms
+                    .iter()
+                    .map(|s| {
+                        s.get("warp_instructions")
+                            .and_then(Json::as_u64)
+                            .expect("per-SM instruction count")
+                    })
+                    .sum();
+                assert_eq!(total, rec.outcome.result.stats.warp_instructions);
+            }
+            other => panic!("per_sm must be an array, got {other:?}"),
+        }
         assert!(
             v.get("compiler").is_some(),
             "bow-wr records carry the compiler report"

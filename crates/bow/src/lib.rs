@@ -30,32 +30,32 @@
 pub mod experiment;
 pub mod suite;
 
-/// Re-export of [`bow_isa`](bow_isa): the instruction set.
+/// Re-export of [`bow_isa`]: the instruction set.
 pub mod isa {
     pub use bow_isa::*;
 }
 
-/// Re-export of [`bow_mem`](bow_mem): the memory substrate.
+/// Re-export of [`bow_mem`]: the memory substrate.
 pub mod mem {
     pub use bow_mem::*;
 }
 
-/// Re-export of [`bow_energy`](bow_energy): the energy/area model.
+/// Re-export of [`bow_energy`]: the energy/area model.
 pub mod energy {
     pub use bow_energy::*;
 }
 
-/// Re-export of [`bow_sim`](bow_sim): the cycle-level GPU model.
+/// Re-export of [`bow_sim`]: the cycle-level GPU model.
 pub mod sim {
     pub use bow_sim::*;
 }
 
-/// Re-export of [`bow_compiler`](bow_compiler): liveness and hints.
+/// Re-export of [`bow_compiler`]: liveness and hints.
 pub mod compiler {
     pub use bow_compiler::*;
 }
 
-/// Re-export of [`bow_workloads`](bow_workloads): the benchmark suite.
+/// Re-export of [`bow_workloads`]: the benchmark suite.
 pub mod workloads {
     pub use bow_workloads::*;
 }

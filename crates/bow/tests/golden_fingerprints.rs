@@ -1,0 +1,95 @@
+//! Golden-fingerprint regression suite.
+//!
+//! Runs every benchmark of the Table III suite under the four collector
+//! designs the paper compares (baseline, BOW, BOW-WR, RFC) at test scale
+//! and pins a [`SimStats::fingerprint`] digest per cell against a
+//! checked-in table. The table was captured at the pre-stage-graph
+//! commit, so any refactor of the SM pipeline is provably
+//! behavior-preserving: the digest covers every counter the figures
+//! consume, and the comparison is byte-identical.
+//!
+//! To re-bless after an *intentional* model change:
+//!
+//! ```text
+//! BOW_BLESS=1 cargo test -p bow --test golden_fingerprints
+//! ```
+//!
+//! [`SimStats::fingerprint`]: bow_sim::SimStats::fingerprint
+
+use bow::experiment::{Config, ConfigBuilder};
+use bow::suite::Suite;
+use bow_workloads::Scale;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The four columns the acceptance criteria pin.
+fn configs() -> Vec<Config> {
+    vec![
+        ConfigBuilder::baseline().build(),
+        ConfigBuilder::bow(3).build(),
+        ConfigBuilder::bow_wr(3).build(),
+        ConfigBuilder::rfc().build(),
+    ]
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fingerprints.txt")
+}
+
+/// Renders the sweep as the golden table: one `benchmark/config hex`
+/// line per cell, configs in column order, benchmarks in suite order.
+fn render(sweep: &bow::suite::SweepResult) -> String {
+    let mut out = String::from(
+        "# SimStats fingerprints: 15 workloads x 4 collector configs (Scale::Test).\n\
+         # Regenerate with: BOW_BLESS=1 cargo test -p bow --test golden_fingerprints\n",
+    );
+    for config in configs() {
+        let records = sweep
+            .records(&config.label)
+            .unwrap_or_else(|| panic!("sweep has a {:?} row", config.label));
+        for rec in records {
+            writeln!(
+                out,
+                "{}/{} {:016x}",
+                rec.benchmark,
+                rec.label,
+                rec.outcome.result.stats.fingerprint()
+            )
+            .expect("write to String");
+        }
+    }
+    out
+}
+
+#[test]
+fn stats_fingerprints_match_goldens() {
+    let sweep = Suite::new(Scale::Test)
+        .configs(configs())
+        .progress(false)
+        .run();
+    sweep.assert_checked();
+    let got = render(&sweep);
+    let path = golden_path();
+    if std::env::var_os("BOW_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &got).expect("write goldens");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (bless with BOW_BLESS=1)", path.display()));
+    if got != want {
+        let mut diff = String::new();
+        for (g, w) in got.lines().zip(want.lines()) {
+            if g != w {
+                writeln!(diff, "  got  {g}\n  want {w}").expect("write to String");
+            }
+        }
+        panic!(
+            "stats fingerprints diverged from {} — the pipeline is no longer \
+             behavior-preserving (or an intentional change needs BOW_BLESS=1):\n{diff}",
+            path.display()
+        );
+    }
+}

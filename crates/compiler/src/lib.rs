@@ -8,7 +8,7 @@
 //!
 //! This crate provides that pipeline from scratch:
 //!
-//! * [`cfg`] — basic-block construction over the BOW ISA;
+//! * [`mod@cfg`] — basic-block construction over the BOW ISA;
 //! * [`liveness`] — classic backward may-live dataflow to a fixpoint;
 //! * [`hints`] — the sliding-extended-window reuse analysis that assigns
 //!   each instruction its 2-bit [`WritebackHint`](bow_isa::WritebackHint),

@@ -9,7 +9,7 @@
 //! * [`SharedMemory`] — per-thread-block scratchpad with the 32-bank
 //!   conflict model;
 //! * [`Cache`] — a set-associative, LRU tag array used for L1/L2 timing;
-//! * [`coalesce`] — the access coalescer that folds a warp's 32 addresses
+//! * [`mod@coalesce`] — the access coalescer that folds a warp's 32 addresses
 //!   into 128-byte memory transactions;
 //! * [`MemSystem`] — the timing hierarchy (L1 → L2 → DRAM) that converts a
 //!   warp access into a completion cycle plus statistics.

@@ -16,6 +16,7 @@
 pub mod rfc;
 pub mod window;
 
+use crate::probe::{emit, PipeEvent, Probe};
 use crate::regfile::RegFile;
 use crate::stats::{SimStats, WriteDest};
 use bow_isa::{Instruction, Reg, WritebackHint};
@@ -251,7 +252,7 @@ impl OperandStage {
     /// Inserts an issued instruction, performing the forwarding check
     /// (BOW) or RFC lookup. Control instructions never come here.
     #[allow(clippy::too_many_arguments)]
-    pub fn insert(
+    pub fn insert<P: Probe>(
         &mut self,
         warp: usize,
         pc: usize,
@@ -261,9 +262,10 @@ impl OperandStage {
         cycle: u64,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) {
         let unique = inst.unique_src_regs();
-        stats.src_count_hist[unique.len().min(3)] += 1;
+        emit(stats, probe, PipeEvent::SrcRegs(unique.len()));
 
         let mut operands = Vec::with_capacity(unique.len());
         match self.kind {
@@ -278,7 +280,7 @@ impl OperandStage {
             CollectorKind::Rfc { .. } => {
                 for reg in unique {
                     let state = if self.rfcs[warp].lookup(reg) {
-                        stats.rfc_reads += 1;
+                        emit(stats, probe, PipeEvent::RfcRead);
                         OpState::RfcHit
                     } else {
                         OpState::NeedRf
@@ -290,19 +292,19 @@ impl OperandStage {
             | CollectorKind::BowWr { .. }
             | CollectorKind::BowFlex { .. } => {
                 let win = &mut self.windows[warp];
-                win.slide(seq, warp, rf, stats);
+                win.slide(seq, warp, rf, stats, probe);
                 for reg in unique {
                     let state = match win.touch_read(reg, seq) {
                         window::ReadHit::Arrived(at) => {
-                            stats.bypassed_reads += 1;
+                            emit(stats, probe, PipeEvent::BypassedRead);
                             OpState::ReadyAt(at.max(cycle))
                         }
                         window::ReadHit::InFlight => {
-                            stats.bypassed_reads += 1;
+                            emit(stats, probe, PipeEvent::BypassedRead);
                             OpState::WaitShared
                         }
                         window::ReadHit::Miss => {
-                            win.add_fetch(reg, seq, warp, rf, stats);
+                            win.add_fetch(reg, seq, warp, rf, stats, probe);
                             OpState::NeedRf
                         }
                     };
@@ -323,17 +325,23 @@ impl OperandStage {
 
     /// Advances a warp's window past a control instruction (control ops
     /// occupy a window position but carry no operands).
-    pub fn note_control(&mut self, warp: usize, seq: u64, rf: &mut RegFile, stats: &mut SimStats) {
+    pub fn note_control<P: Probe>(
+        &mut self,
+        warp: usize,
+        seq: u64,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
         if self.kind.is_bow() {
-            self.windows[warp].slide(seq, warp, rf, stats);
+            self.windows[warp].slide(seq, warp, rf, stats, probe);
         }
     }
 
     /// One cycle of operand gathering: claims bank ports for pending
     /// fetches, honours OCU/BOC port limits and wakes shared waiters.
     /// Call after [`RegFile::begin_cycle`].
-    pub fn collect(&mut self, cycle: u64, rf: &mut RegFile, stats: &mut SimStats) {
-        let _ = stats;
+    pub fn collect(&mut self, cycle: u64, rf: &mut RegFile) {
         let arrival = cycle + self.rf_read_latency;
         let mut xbar_budget = self.xbar_width;
         match self.kind {
@@ -429,9 +437,15 @@ impl OperandStage {
     /// Indices of slots whose operands are all ready at `cycle`, oldest
     /// first.
     pub fn ready_slots(&self, cycle: u64) -> Vec<usize> {
-        (0..self.slots.len())
-            .filter(|&i| self.slots[i].is_ready(cycle))
-            .collect()
+        let mut out = Vec::new();
+        self.ready_slots_into(cycle, &mut out);
+        out
+    }
+
+    /// Appends the indices of ready slots to `out`, reusing its capacity
+    /// (the per-cycle hot path — avoids an allocation every cycle).
+    pub fn ready_slots_into(&self, cycle: u64, out: &mut Vec<usize>) {
+        out.extend((0..self.slots.len()).filter(|&i| self.slots[i].is_ready(cycle)));
     }
 
     /// Removes and returns a dispatched slot.
@@ -452,7 +466,7 @@ impl OperandStage {
     /// Routes a completed instruction's register result according to the
     /// collector model (§IV-A/§IV-B write policies).
     #[allow(clippy::too_many_arguments)]
-    pub fn writeback(
+    pub fn writeback<P: Probe>(
         &mut self,
         warp: usize,
         reg: Reg,
@@ -461,60 +475,74 @@ impl OperandStage {
         current_seq: u64,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) {
-        stats.writes_total += 1;
+        emit(stats, probe, PipeEvent::WriteProduced);
         match self.kind {
             CollectorKind::Baseline => {
                 rf.enqueue_write(warp, reg);
-                stats.rf_writes_routed += 1;
+                emit(stats, probe, PipeEvent::RfWriteRouted);
             }
             CollectorKind::Rfc { .. } => {
-                stats.rfc_writes += 1;
+                emit(stats, probe, PipeEvent::RfcWrite);
                 match self.rfcs[warp].insert_write(reg) {
-                    rfc::WriteOutcome::Overwrote => stats.bypassed_writes += 1,
+                    rfc::WriteOutcome::Overwrote => emit(stats, probe, PipeEvent::BypassedWrite),
                     rfc::WriteOutcome::EvictedDirty(_victim) => {
                         rf.enqueue_write(warp, reg); // victim value leaves the cache
-                        stats.rf_writes_routed += 1;
+                        emit(stats, probe, PipeEvent::RfWriteRouted);
                     }
                     rfc::WriteOutcome::Inserted => {}
                 }
             }
             CollectorKind::Bow { .. } => {
                 // Write-through: BOC copy for forwarding + RF write always.
-                stats.boc_writes += 1;
-                self.windows[warp].upsert_clean(reg, seq, warp, rf, stats);
+                emit(stats, probe, PipeEvent::BocWrite);
+                self.windows[warp].upsert_clean(reg, seq, warp, rf, stats, probe);
                 rf.enqueue_write(warp, reg);
-                stats.rf_writes_routed += 1;
+                emit(stats, probe, PipeEvent::RfWriteRouted);
             }
             CollectorKind::BowFlex { .. } => {
                 // Write-back without hints: every value lands dirty in the
                 // buffer; capacity eviction routes it to the RF.
-                stats.count_write_dest(WriteDest::BocThenRf);
-                stats.boc_writes += 1;
-                self.windows[warp].upsert_dirty(reg, seq, WritebackHint::Both, warp, rf, stats);
+                emit(
+                    stats,
+                    probe,
+                    PipeEvent::WriteDestClass(WriteDest::BocThenRf),
+                );
+                emit(stats, probe, PipeEvent::BocWrite);
+                self.windows[warp].upsert_dirty(
+                    reg,
+                    seq,
+                    WritebackHint::Both,
+                    warp,
+                    rf,
+                    stats,
+                    probe,
+                );
                 let _ = current_seq;
             }
             CollectorKind::BowWr { window, .. } => match hint {
                 WritebackHint::RfOnly => {
-                    stats.count_write_dest(WriteDest::RfOnly);
+                    emit(stats, probe, PipeEvent::WriteDestClass(WriteDest::RfOnly));
                     rf.enqueue_write(warp, reg);
-                    stats.rf_writes_routed += 1;
+                    emit(stats, probe, PipeEvent::RfWriteRouted);
                 }
                 WritebackHint::Both | WritebackHint::BocOnly => {
-                    if hint == WritebackHint::Both {
-                        stats.count_write_dest(WriteDest::BocThenRf);
+                    let dest = if hint == WritebackHint::Both {
+                        WriteDest::BocThenRf
                     } else {
-                        stats.count_write_dest(WriteDest::BocOnly);
-                    }
+                        WriteDest::BocOnly
+                    };
+                    emit(stats, probe, PipeEvent::WriteDestClass(dest));
                     if current_seq.saturating_sub(seq) >= u64::from(window) {
                         // The window slid past before the value arrived (no
                         // pending in-window consumer, or a conservative
                         // hint): route straight to the RF.
                         rf.enqueue_write(warp, reg);
-                        stats.rf_writes_routed += 1;
+                        emit(stats, probe, PipeEvent::RfWriteRouted);
                     } else {
-                        stats.boc_writes += 1;
-                        self.windows[warp].upsert_dirty(reg, seq, hint, warp, rf, stats);
+                        emit(stats, probe, PipeEvent::BocWrite);
+                        self.windows[warp].upsert_dirty(reg, seq, hint, warp, rf, stats, probe);
                     }
                 }
             },
@@ -523,21 +551,27 @@ impl OperandStage {
 
     /// Flushes a finished warp's buffered state (dirty window/RFC entries
     /// go to the register file per their policy).
-    pub fn flush_warp(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
+    pub fn flush_warp<P: Probe>(
+        &mut self,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
         if self.kind.is_bow() {
-            self.windows[warp].flush(warp, rf, stats);
+            self.windows[warp].flush(warp, rf, stats, probe);
         }
         if let CollectorKind::Rfc { .. } = self.kind {
             for _victim in self.rfcs[warp].flush_dirty() {
                 rf.enqueue_write(warp, _victim);
-                stats.rf_writes_routed += 1;
+                emit(stats, probe, PipeEvent::RfWriteRouted);
             }
         }
     }
 
     /// Samples BOC occupancy for Fig. 9: one sample per warp that currently
     /// has work in the stage.
-    pub fn sample_occupancy(&self, stats: &mut SimStats) {
+    pub fn sample_occupancy<P: Probe>(&self, stats: &mut SimStats, probe: &mut P) {
         if !self.kind.is_bow() {
             return;
         }
@@ -548,7 +582,14 @@ impl OperandStage {
         }
         for (w, win) in self.windows.iter().enumerate() {
             if busy[w] {
-                stats.sample_occupancy(win.live_entries(), cap.max(12));
+                emit(
+                    stats,
+                    probe,
+                    PipeEvent::OccupancySample {
+                        live: win.live_entries(),
+                        cap: cap.max(12),
+                    },
+                );
             }
         }
     }
@@ -557,6 +598,7 @@ impl OperandStage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::NullProbe;
     use bow_isa::KernelBuilder;
 
     fn iadd(d: u8, a: u8, b: u8) -> Instruction {
@@ -585,13 +627,13 @@ mod tests {
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
         let i = iadd(2, 0, 1);
-        stage.insert(0, 0, &i, u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(0, 0, &i, u32::MAX, 0, 0, &mut rf, &mut st, &mut NullProbe);
         assert!(stage.ready_slots(9).is_empty());
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st); // first operand
+        stage.collect(9, &mut rf); // first operand
         assert!(stage.ready_slots(9).is_empty(), "single-ported OCU");
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st); // second operand
+        stage.collect(9, &mut rf); // second operand
         assert_eq!(stage.ready_slots(9), vec![0]);
         assert_eq!(rf.stats().reads, 2);
         assert_eq!(st.bypassed_reads, 0);
@@ -602,8 +644,28 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::Baseline, 32, 2, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
-        stage.insert(1, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 0, 1),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.insert(
+            1,
+            0,
+            &iadd(2, 0, 1),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert!(!stage.can_accept(2), "pool exhausted");
     }
 
@@ -613,16 +675,36 @@ mod tests {
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
         // Instruction 1 reads r0, r1; instruction 2 reads r1, r3.
-        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 0, 1),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st);
+        stage.collect(9, &mut rf);
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st);
+        stage.collect(9, &mut rf);
         assert_eq!(rf.stats().reads, 2);
-        stage.insert(0, 0, &iadd(4, 1, 3), u32::MAX, 1, 2, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(4, 1, 3),
+            u32::MAX,
+            1,
+            2,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.bypassed_reads, 1, "r1 forwarded from the window");
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st); // fetch r3 only
+        stage.collect(9, &mut rf); // fetch r3 only
         assert_eq!(rf.stats().reads, 3);
         assert_eq!(stage.ready_slots(9).len(), 2);
     }
@@ -632,14 +714,34 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 0, 1),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         // Before any collect cycle, a second instruction also wants r0.
-        stage.insert(0, 0, &iadd(3, 0, 0), u32::MAX, 1, 0, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(3, 0, 0),
+            u32::MAX,
+            1,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.bypassed_reads, 1, "r0 fetch shared while in flight");
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st); // grants r0 (one per warp/cycle)
+        stage.collect(9, &mut rf); // grants r0 (one per warp/cycle)
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st); // grants r1
+        stage.collect(9, &mut rf); // grants r1
         assert_eq!(rf.stats().reads, 2);
         assert_eq!(
             stage.ready_slots(9).len(),
@@ -654,12 +756,30 @@ mod tests {
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
         // Two writes to r2 one instruction apart: the first is bypassed.
-        stage.writeback(0, Reg::r(2), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        stage.writeback(0, Reg::r(2), 1, WritebackHint::Both, 1, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(2),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.writeback(
+            0,
+            Reg::r(2),
+            1,
+            WritebackHint::Both,
+            1,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.bypassed_writes, 1);
         assert_eq!(st.rf_writes_routed, 0, "write-back defers the RF write");
         // Window slides far: the surviving dirty value goes to the RF.
-        stage.note_control(0, 10, &mut rf, &mut st);
+        stage.note_control(0, 10, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.rf_writes_routed, 1);
         // A transient (BocOnly) value never reaches the RF.
         stage.writeback(
@@ -670,8 +790,9 @@ mod tests {
             10,
             &mut rf,
             &mut st,
+            &mut NullProbe,
         );
-        stage.note_control(0, 20, &mut rf, &mut st);
+        stage.note_control(0, 20, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.rf_writes_routed, 1);
         assert_eq!(st.bypassed_writes, 2);
         assert_eq!(st.write_dest, [0, 2, 1]);
@@ -682,7 +803,16 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow_wr(3), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.writeback(0, Reg::r(1), 0, WritebackHint::RfOnly, 0, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(1),
+            0,
+            WritebackHint::RfOnly,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.boc_writes, 0);
         assert_eq!(st.rf_writes_routed, 1);
         assert_eq!(st.write_dest, [1, 0, 0]);
@@ -693,8 +823,26 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        stage.writeback(0, Reg::r(1), 1, WritebackHint::Both, 1, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(1),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.writeback(
+            0,
+            Reg::r(1),
+            1,
+            WritebackHint::Both,
+            1,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.rf_writes_routed, 2, "write-through never consolidates");
         assert_eq!(st.bypassed_writes, 0);
         assert_eq!(st.boc_writes, 2);
@@ -705,8 +853,28 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow(2), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.insert(0, 0, &mov_imm(0), u32::MAX, 0, 0, &mut rf, &mut st);
-        stage.insert(0, 0, &mov_imm(1), u32::MAX, 1, 0, &mut rf, &mut st);
+        stage.insert(
+            0,
+            0,
+            &mov_imm(0),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.insert(
+            0,
+            0,
+            &mov_imm(1),
+            u32::MAX,
+            1,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert!(!stage.can_accept(0), "window-size instructions in flight");
         assert!(stage.can_accept(1), "other warps unaffected");
     }
@@ -717,11 +885,30 @@ mod tests {
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
         // Fill the cache via a writeback of r1.
-        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        stage.insert(0, 0, &iadd(2, 1, 1), u32::MAX, 1, 0, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(1),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 1, 1),
+            u32::MAX,
+            1,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.rfc_reads, 1);
         rf.begin_cycle();
-        stage.collect(9, &mut rf, &mut st);
+        stage.collect(9, &mut rf);
         // RFC hits cross the OCU port: ready one cycle after collection.
         assert!(stage.ready_slots(9).is_empty());
         assert_eq!(
@@ -737,8 +924,17 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow_wr(3), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        stage.flush_warp(0, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(1),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.flush_warp(0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.rf_writes_routed, 1);
     }
 
@@ -749,9 +945,28 @@ mod tests {
         let mut st = SimStats::default();
         // Produce r1, then read it 20 "instructions" later: a windowed BOW
         // would have evicted it, flex keeps it while capacity lasts.
-        stage.writeback(0, Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        stage.note_control(0, 20, &mut rf, &mut st);
-        stage.insert(0, 0, &iadd(2, 1, 1), u32::MAX, 21, 21, &mut rf, &mut st);
+        stage.writeback(
+            0,
+            Reg::r(1),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.note_control(0, 20, &mut rf, &mut st, &mut NullProbe);
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 1, 1),
+            u32::MAX,
+            21,
+            21,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.bypassed_reads, 1, "no sliding eviction in flex mode");
         assert_eq!(st.rf_writes_routed, 0, "value still buffered");
     }
@@ -770,8 +985,9 @@ mod tests {
                 i as u64,
                 &mut rf,
                 &mut st,
+                &mut NullProbe,
             );
-            stage.note_control(0, i as u64 + 1, &mut rf, &mut st);
+            stage.note_control(0, i as u64 + 1, &mut rf, &mut st, &mut NullProbe);
         }
         assert_eq!(st.rf_writes_routed, 1, "oldest value spilled at capacity");
         assert_eq!(st.forced_evictions, 1);
@@ -782,10 +998,20 @@ mod tests {
         let mut stage = OperandStage::new(CollectorKind::bow(3), 32, 32, 0, 32);
         let mut rf = RegFile::new(32);
         let mut st = SimStats::default();
-        stage.sample_occupancy(&mut st);
+        stage.sample_occupancy(&mut st, &mut NullProbe);
         assert_eq!(st.occupancy_samples, 0);
-        stage.insert(0, 0, &iadd(2, 0, 1), u32::MAX, 0, 0, &mut rf, &mut st);
-        stage.sample_occupancy(&mut st);
+        stage.insert(
+            0,
+            0,
+            &iadd(2, 0, 1),
+            u32::MAX,
+            0,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        stage.sample_occupancy(&mut st, &mut NullProbe);
         assert_eq!(st.occupancy_samples, 1);
     }
 }

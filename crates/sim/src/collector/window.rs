@@ -7,7 +7,12 @@
 //! the window slides past it. In BOW-WR, a dirty evicted entry is written
 //! back to the register file unless its compiler hint says the value is
 //! transient.
+//!
+//! Write-routing outcomes leave through the probe bus
+//! ([`PipeEvent::BypassedWrite`], [`PipeEvent::RfWriteRouted`],
+//! [`PipeEvent::ForcedEviction`]).
 
+use crate::probe::{emit, PipeEvent, Probe};
 use crate::regfile::RegFile;
 use crate::stats::SimStats;
 use bow_isa::{Reg, WritebackHint};
@@ -98,16 +103,17 @@ impl WarpWindow {
 
     /// Registers an in-flight fetch for `reg` (a window miss being read
     /// from the RF into the BOC).
-    pub fn add_fetch(
+    pub fn add_fetch<P: Probe>(
         &mut self,
         reg: Reg,
         seq: u64,
         warp: usize,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) {
         debug_assert!(self.find(reg).is_none(), "add_fetch on present entry");
-        self.make_room(warp, rf, stats);
+        self.make_room(warp, rf, stats, probe);
         self.entries.push(Entry {
             reg,
             last_touch: seq,
@@ -119,13 +125,14 @@ impl WarpWindow {
 
     /// Buffers a clean computed value (BOW write-through: the RF is written
     /// separately, so eviction never writes back).
-    pub fn upsert_clean(
+    pub fn upsert_clean<P: Probe>(
         &mut self,
         reg: Reg,
         seq: u64,
         warp: usize,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) {
         match self.find(reg) {
             Some(i) => {
@@ -135,7 +142,7 @@ impl WarpWindow {
                 e.ready_at = Some(0);
             }
             None => {
-                self.make_room(warp, rf, stats);
+                self.make_room(warp, rf, stats, probe);
                 self.entries.push(Entry {
                     reg,
                     last_touch: seq,
@@ -151,7 +158,8 @@ impl WarpWindow {
     /// existing dirty value consolidates it: that earlier write is bypassed.
     /// A new entry evicts the oldest arrived value first if the buffer is
     /// full (the half-size design's forced eviction).
-    pub fn upsert_dirty(
+    #[allow(clippy::too_many_arguments)]
+    pub fn upsert_dirty<P: Probe>(
         &mut self,
         reg: Reg,
         seq: u64,
@@ -159,12 +167,13 @@ impl WarpWindow {
         warp: usize,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) {
         match self.find(reg) {
             Some(i) => {
                 let e = &mut self.entries[i];
                 if e.dirty {
-                    stats.bypassed_writes += 1;
+                    emit(stats, probe, PipeEvent::BypassedWrite);
                 }
                 e.last_touch = e.last_touch.max(seq);
                 e.dirty = true;
@@ -172,7 +181,7 @@ impl WarpWindow {
                 e.hint = hint;
             }
             None => {
-                self.make_room(warp, rf, stats);
+                self.make_room(warp, rf, stats, probe);
                 self.entries.push(Entry {
                     reg,
                     last_touch: seq,
@@ -186,7 +195,14 @@ impl WarpWindow {
 
     /// Evicts entries the window at `seq` has slid past, writing dirty
     /// persistent values back to the register file.
-    pub fn slide(&mut self, seq: u64, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
+    pub fn slide<P: Probe>(
+        &mut self,
+        seq: u64,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
         let window = self.window;
         let mut i = 0;
         while i < self.entries.len() {
@@ -194,28 +210,35 @@ impl WarpWindow {
             // Un-arrived entries are pinned: a collector slot still waits on
             // their fetch.
             if e.ready_at.is_some() && seq.saturating_sub(e.last_touch) >= window {
-                self.evict(i, warp, rf, stats, false);
+                self.evict(i, warp, rf, stats, false, probe);
             } else {
                 i += 1;
             }
         }
-        self.enforce_capacity(warp, rf, stats);
+        self.enforce_capacity(warp, rf, stats, probe);
     }
 
     /// Writes back / discards everything (warp completion).
-    pub fn flush(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
+    pub fn flush<P: Probe>(
+        &mut self,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
         while !self.entries.is_empty() {
-            self.evict(0, warp, rf, stats, false);
+            self.evict(0, warp, rf, stats, false, probe);
         }
     }
 
-    fn evict(
+    fn evict<P: Probe>(
         &mut self,
         i: usize,
         warp: usize,
         rf: &mut RegFile,
         stats: &mut SimStats,
         forced: bool,
+        probe: &mut P,
     ) {
         let e = self.entries.remove(i);
         if e.dirty {
@@ -223,35 +246,48 @@ impl WarpWindow {
                 // Persistent value (or unsafe forced eviction): the RF must
                 // receive it.
                 rf.enqueue_write(warp, e.reg);
-                stats.rf_writes_routed += 1;
+                emit(stats, probe, PipeEvent::RfWriteRouted);
             } else {
                 // Transient value consumed entirely in the window: the RF
                 // write is eliminated.
-                stats.bypassed_writes += 1;
+                emit(stats, probe, PipeEvent::BypassedWrite);
             }
         }
     }
 
-    fn make_room(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
-        self.enforce_capacity(warp, rf, stats);
+    fn make_room<P: Probe>(
+        &mut self,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
+        self.enforce_capacity(warp, rf, stats, probe);
         if self.entries.len() >= self.capacity {
-            self.evict_oldest_arrived(warp, rf, stats);
+            self.evict_oldest_arrived(warp, rf, stats, probe);
         }
     }
 
-    fn enforce_capacity(&mut self, warp: usize, rf: &mut RegFile, stats: &mut SimStats) {
+    fn enforce_capacity<P: Probe>(
+        &mut self,
+        warp: usize,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+    ) {
         while self.entries.len() > self.capacity {
-            if !self.evict_oldest_arrived(warp, rf, stats) {
+            if !self.evict_oldest_arrived(warp, rf, stats, probe) {
                 break; // everything pinned; allow transient over-capacity
             }
         }
     }
 
-    fn evict_oldest_arrived(
+    fn evict_oldest_arrived<P: Probe>(
         &mut self,
         warp: usize,
         rf: &mut RegFile,
         stats: &mut SimStats,
+        probe: &mut P,
     ) -> bool {
         let Some(victim) = self
             .entries
@@ -264,9 +300,9 @@ impl WarpWindow {
             return false;
         };
         if self.entries[victim].dirty {
-            stats.forced_evictions += 1;
+            emit(stats, probe, PipeEvent::ForcedEviction);
         }
-        self.evict(victim, warp, rf, stats, true);
+        self.evict(victim, warp, rf, stats, true, probe);
         true
     }
 }
@@ -274,6 +310,7 @@ impl WarpWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::NullProbe;
 
     fn fixtures() -> (RegFile, SimStats) {
         (RegFile::new(32), SimStats::default())
@@ -284,7 +321,7 @@ mod tests {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
         assert_eq!(w.touch_read(Reg::r(1), 0), ReadHit::Miss);
-        w.add_fetch(Reg::r(1), 0, 0, &mut rf, &mut st);
+        w.add_fetch(Reg::r(1), 0, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.touch_read(Reg::r(1), 1), ReadHit::InFlight);
         w.mark_arrived(Reg::r(1), 5);
         assert_eq!(w.touch_read(Reg::r(1), 2), ReadHit::Arrived(5));
@@ -294,10 +331,10 @@ mod tests {
     fn sliding_evicts_untouched_entries() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_clean(Reg::r(1), 0, 0, &mut rf, &mut st);
-        w.slide(2, 0, &mut rf, &mut st);
+        w.upsert_clean(Reg::r(1), 0, 0, &mut rf, &mut st, &mut NullProbe);
+        w.slide(2, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 1, "still inside the window");
-        w.slide(3, 0, &mut rf, &mut st);
+        w.slide(3, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 0, "seq 3 - touch 0 >= window 3");
     }
 
@@ -305,12 +342,12 @@ mod tests {
     fn reads_extend_presence() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_clean(Reg::r(1), 0, 0, &mut rf, &mut st);
+        w.upsert_clean(Reg::r(1), 0, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.touch_read(Reg::r(1), 2), ReadHit::Arrived(0));
         // Touched at 2, so the entry lives until seq 5 (extended window).
-        w.slide(4, 0, &mut rf, &mut st);
+        w.slide(4, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 1);
-        w.slide(5, 0, &mut rf, &mut st);
+        w.slide(5, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 0);
     }
 
@@ -318,8 +355,16 @@ mod tests {
     fn dirty_persistent_eviction_writes_rf() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_dirty(Reg::r(2), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        w.slide(3, 0, &mut rf, &mut st);
+        w.upsert_dirty(
+            Reg::r(2),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.slide(3, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.rf_writes_routed, 1);
         assert_eq!(st.bypassed_writes, 0);
         assert_eq!(rf.queued_writes(), 1);
@@ -329,8 +374,16 @@ mod tests {
     fn dirty_transient_eviction_is_bypassed() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_dirty(Reg::r(2), 0, WritebackHint::BocOnly, 0, &mut rf, &mut st);
-        w.slide(3, 0, &mut rf, &mut st);
+        w.upsert_dirty(
+            Reg::r(2),
+            0,
+            WritebackHint::BocOnly,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.slide(3, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.rf_writes_routed, 0);
         assert_eq!(st.bypassed_writes, 1);
     }
@@ -339,10 +392,26 @@ mod tests {
     fn overwrite_consolidates_dirty_write() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_dirty(Reg::r(2), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        w.upsert_dirty(Reg::r(2), 1, WritebackHint::Both, 0, &mut rf, &mut st);
+        w.upsert_dirty(
+            Reg::r(2),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.upsert_dirty(
+            Reg::r(2),
+            1,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         assert_eq!(st.bypassed_writes, 1);
-        w.slide(4, 0, &mut rf, &mut st);
+        w.slide(4, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(
             st.rf_writes_routed, 1,
             "only the final value reaches the RF"
@@ -353,12 +422,36 @@ mod tests {
     fn forced_eviction_writes_back_even_transients() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 2);
-        w.upsert_dirty(Reg::r(1), 0, WritebackHint::BocOnly, 0, &mut rf, &mut st);
-        w.upsert_dirty(Reg::r(2), 0, WritebackHint::BocOnly, 0, &mut rf, &mut st);
+        w.upsert_dirty(
+            Reg::r(1),
+            0,
+            WritebackHint::BocOnly,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.upsert_dirty(
+            Reg::r(2),
+            0,
+            WritebackHint::BocOnly,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
         // Third value forces the oldest out despite its BocOnly hint.
-        w.slide(1, 0, &mut rf, &mut st);
-        w.upsert_dirty(Reg::r(3), 1, WritebackHint::BocOnly, 0, &mut rf, &mut st);
-        w.slide(1, 0, &mut rf, &mut st);
+        w.slide(1, 0, &mut rf, &mut st, &mut NullProbe);
+        w.upsert_dirty(
+            Reg::r(3),
+            1,
+            WritebackHint::BocOnly,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.slide(1, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.forced_evictions, 1);
         assert_eq!(st.rf_writes_routed, 1, "safety write-back");
     }
@@ -367,11 +460,11 @@ mod tests {
     fn unarrived_entries_are_pinned() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(2, 12);
-        w.add_fetch(Reg::r(1), 0, 0, &mut rf, &mut st);
-        w.slide(10, 0, &mut rf, &mut st);
+        w.add_fetch(Reg::r(1), 0, 0, &mut rf, &mut st, &mut NullProbe);
+        w.slide(10, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 1, "in-flight fetch survives sliding");
         w.mark_arrived(Reg::r(1), 5);
-        w.slide(10, 0, &mut rf, &mut st);
+        w.slide(10, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 0);
     }
 
@@ -379,9 +472,17 @@ mod tests {
     fn flush_drains_everything() {
         let (mut rf, mut st) = fixtures();
         let mut w = WarpWindow::new(3, 12);
-        w.upsert_dirty(Reg::r(1), 0, WritebackHint::Both, 0, &mut rf, &mut st);
-        w.upsert_clean(Reg::r(2), 0, 0, &mut rf, &mut st);
-        w.flush(0, &mut rf, &mut st);
+        w.upsert_dirty(
+            Reg::r(1),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.upsert_clean(Reg::r(2), 0, 0, &mut rf, &mut st, &mut NullProbe);
+        w.flush(0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 0);
         assert_eq!(st.rf_writes_routed, 1);
     }

@@ -1,7 +1,14 @@
 //! The device level: block dispatch across SMs and kernel launches.
+//!
+//! The GPU owns the device-wide probe subscribers: a [`PipeTrace`] fed
+//! when `trace_pipeline` is set and the Fig. 3 [`BypassAnalyzer`] fed
+//! when `analyze_windows` is non-empty. When neither is enabled the whole
+//! launch runs against [`NullProbe`] — a separate monomorphization of the
+//! SM pipeline with every trace point compiled out.
 
 use crate::config::GpuConfig;
 use crate::pipetrace::PipeTrace;
+use crate::probe::{NullProbe, PipeEvent, Probe};
 use crate::sm::Sm;
 use crate::stats::SimStats;
 use crate::trace::{BypassAnalyzer, WindowReport};
@@ -15,6 +22,8 @@ pub struct LaunchResult {
     pub cycles: u64,
     /// Aggregated statistics across all SMs.
     pub stats: SimStats,
+    /// Per-SM statistics, indexed by SM id (memory counters folded in).
+    pub per_sm: Vec<SimStats>,
     /// Fig. 3 window reports (empty unless the config enables the analyzer).
     pub windows: Vec<WindowReport>,
     /// False if the `max_cycles` watchdog fired before completion.
@@ -32,6 +41,23 @@ impl LaunchResult {
     }
 }
 
+/// The instrumented launch probe: fans events out to the device trace
+/// (when tracing is on) and the bypass analyzer.
+struct LaunchProbe<'a> {
+    trace: Option<&'a mut PipeTrace>,
+    analyzer: &'a mut BypassAnalyzer,
+}
+
+impl Probe for LaunchProbe<'_> {
+    #[inline]
+    fn on_event(&mut self, ev: &PipeEvent<'_>) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.on_event(ev);
+        }
+        self.analyzer.on_event(ev);
+    }
+}
+
 /// A whole simulated GPU: SMs plus device (global) memory.
 ///
 /// Host code allocates buffers directly in [`Gpu::global_mut`], launches
@@ -41,6 +67,8 @@ pub struct Gpu {
     config: GpuConfig,
     global: GlobalMemory,
     sms: Vec<Sm>,
+    /// Device-wide pipeline trace (fed only when `trace_pipeline` is set).
+    trace: PipeTrace,
 }
 
 impl Gpu {
@@ -53,6 +81,7 @@ impl Gpu {
             config,
             global: GlobalMemory::new(),
             sms,
+            trace: PipeTrace::new(),
         }
     }
 
@@ -71,17 +100,13 @@ impl Gpu {
         &mut self.global
     }
 
-    /// Drains the pipeline traces of all SMs into one device-wide trace
-    /// (empty unless the config set `trace_pipeline`). Call after
-    /// [`launch`](Self::launch).
+    /// Drains the device-wide pipeline trace, ordered by
+    /// `(cycle, sm, warp, seq)` (empty unless the config set
+    /// `trace_pipeline`). Call after [`launch`](Self::launch).
     pub fn take_trace(&mut self) -> PipeTrace {
-        let mut all = PipeTrace::new();
-        for sm in &mut self.sms {
-            if let Some(t) = sm.take_trace() {
-                all.merge(t);
-            }
-        }
-        all
+        let mut t = std::mem::take(&mut self.trace);
+        t.sort();
+        t
     }
 
     /// Launches `kernel` over `dims` with the given parameter words and
@@ -107,60 +132,103 @@ impl Gpu {
             sm.reset_for_launch(params);
         }
 
-        // Block queue in row-major launch order.
-        let total = u64::from(dims.total_blocks());
-        let mut next_block = 0u64;
-        let mut cycles = 0u64;
-        let watchdog = if self.config.max_cycles == 0 {
-            u64::MAX
+        let instrumented = self.config.trace_pipeline || analyzer.is_enabled();
+        let (cycles, completed) = if instrumented {
+            let mut probe = LaunchProbe {
+                trace: self.config.trace_pipeline.then_some(&mut self.trace),
+                analyzer: &mut analyzer,
+            };
+            run_blocks(
+                &mut self.sms,
+                &mut self.global,
+                kernel,
+                dims,
+                warps_per_block,
+                self.config.max_cycles,
+                &mut probe,
+            )
         } else {
-            self.config.max_cycles
+            run_blocks(
+                &mut self.sms,
+                &mut self.global,
+                kernel,
+                dims,
+                warps_per_block,
+                self.config.max_cycles,
+                &mut NullProbe,
+            )
         };
-        let mut completed = true;
 
-        loop {
-            // Dispatch as many queued blocks as fit this cycle.
-            while next_block < total {
-                let Some(sm) = self
-                    .sms
-                    .iter_mut()
-                    .find(|sm| sm.can_host_block(kernel, warps_per_block))
-                else {
-                    break;
-                };
-                let bx = (next_block % u64::from(dims.grid.0)) as u32;
-                let by = (next_block / u64::from(dims.grid.0)) as u32;
-                sm.assign_block(kernel, (bx, by), dims, next_block);
-                next_block += 1;
-            }
-
-            if next_block >= total && self.sms.iter().all(|sm| !sm.busy()) {
-                break;
-            }
-            if cycles >= watchdog {
-                completed = false;
-                break;
-            }
-            cycles += 1;
-            for sm in &mut self.sms {
-                if sm.busy() {
-                    sm.tick(kernel, &mut self.global, &mut analyzer);
-                }
-            }
-        }
-
+        let per_sm: Vec<SimStats> = self.sms.iter().map(Sm::stats).collect();
         let mut stats = SimStats::default();
-        for sm in &self.sms {
-            stats.merge(&sm.stats());
+        for s in &per_sm {
+            stats.merge(s);
         }
         stats.cycles = cycles;
         LaunchResult {
             cycles,
             stats,
+            per_sm,
             windows: analyzer.reports().to_vec(),
             completed,
         }
     }
+}
+
+/// The device run loop: dispatches queued blocks to free SMs and ticks
+/// every busy SM until the grid drains (or the watchdog fires). Generic
+/// over the probe so the uninstrumented launch monomorphizes to a loop
+/// with no trace plumbing at all.
+fn run_blocks<P: Probe>(
+    sms: &mut [Sm],
+    global: &mut GlobalMemory,
+    kernel: &Kernel,
+    dims: KernelDims,
+    warps_per_block: u32,
+    max_cycles: u64,
+    probe: &mut P,
+) -> (u64, bool) {
+    // Block queue in row-major launch order.
+    let total = u64::from(dims.total_blocks());
+    let mut next_block = 0u64;
+    let mut cycles = 0u64;
+    let watchdog = if max_cycles == 0 {
+        u64::MAX
+    } else {
+        max_cycles
+    };
+    let mut completed = true;
+
+    loop {
+        // Dispatch as many queued blocks as fit this cycle.
+        while next_block < total {
+            let Some(sm) = sms
+                .iter_mut()
+                .find(|sm| sm.can_host_block(kernel, warps_per_block))
+            else {
+                break;
+            };
+            let bx = (next_block % u64::from(dims.grid.0)) as u32;
+            let by = (next_block / u64::from(dims.grid.0)) as u32;
+            sm.assign_block(kernel, (bx, by), dims, next_block);
+            next_block += 1;
+        }
+
+        if next_block >= total && sms.iter().all(|sm| !sm.busy()) {
+            break;
+        }
+        if cycles >= watchdog {
+            completed = false;
+            break;
+        }
+        cycles += 1;
+        for sm in sms.iter_mut() {
+            if sm.busy() {
+                sm.tick(kernel, global, probe);
+            }
+        }
+    }
+    (cycles, completed)
 }
 
 #[cfg(test)]
@@ -285,6 +353,35 @@ mod tests {
         assert!(res.completed);
         // 16 blocks x 2 warps x 15 instructions.
         assert_eq!(res.stats.warp_instructions, 16 * 2 * 15);
+    }
+
+    #[test]
+    fn per_sm_stats_sum_to_device_totals() {
+        let mut cfg = GpuConfig::scaled(CollectorKind::bow_wr(3));
+        cfg.num_sms = 4;
+        let mut gpu = Gpu::new(cfg);
+        gpu.global_mut().write_slice_f32(0x1_0000, &vec![1.0; 1024]);
+        gpu.global_mut().write_slice_f32(0x2_0000, &vec![1.0; 1024]);
+        let res = gpu.launch(
+            &saxpy_kernel(),
+            KernelDims::linear(16, 64),
+            &[0x1_0000, 0x2_0000, 1.0f32.to_bits()],
+        );
+        assert_eq!(res.per_sm.len(), 4);
+        assert!(
+            res.per_sm.iter().any(|s| s.warp_instructions > 0),
+            "some SM must have executed the grid"
+        );
+        let sums: (u64, u64, u64) = res.per_sm.iter().fold((0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.warp_instructions,
+                acc.1 + s.rf.reads,
+                acc.2 + s.bypassed_writes,
+            )
+        });
+        assert_eq!(sums.0, res.stats.warp_instructions);
+        assert_eq!(sums.1, res.stats.rf.reads);
+        assert_eq!(sums.2, res.stats.bypassed_writes);
     }
 
     #[test]

@@ -55,11 +55,13 @@ pub mod config;
 pub mod exec;
 pub mod gpu;
 pub mod pipetrace;
+pub mod probe;
 pub mod regfile;
 pub mod replay;
 pub mod scheduler;
 pub mod scoreboard;
 pub mod sm;
+pub mod stage;
 pub mod stats;
 pub mod trace;
 pub mod warp;
@@ -68,6 +70,11 @@ pub use collector::CollectorKind;
 pub use config::{GpuConfig, SchedPolicy};
 pub use gpu::{Gpu, LaunchResult};
 pub use pipetrace::{Event, PipeTrace, Stage};
+pub use probe::{emit, NullProbe, PipeEvent, Probe, StallKind};
 pub use replay::{record_straightline, replay, KernelTrace, TraceRecorder, TraceStep};
+pub use stage::{
+    CollectStage, CompletionQueue, DispatchLatch, DispatchStage, IssueStage, Latches,
+    PipelineStage, SmCtx, WritebackStage,
+};
 pub use stats::{SimStats, WriteDest};
 pub use trace::{BypassAnalyzer, WindowReport};

@@ -92,6 +92,11 @@ impl PipeTrace {
     /// Merges another trace (stable by cycle).
     pub fn merge(&mut self, other: PipeTrace) {
         self.events.extend(other.events);
+        self.sort();
+    }
+
+    /// Stably orders events by `(cycle, sm, warp, seq)`.
+    pub fn sort(&mut self) {
         self.events.sort_by_key(|e| (e.cycle, e.sm, e.warp, e.seq));
     }
 
@@ -135,6 +140,85 @@ impl PipeTrace {
             writeln!(out, "... {} more events", self.events.len() - limit).unwrap();
         }
         out
+    }
+}
+
+impl crate::probe::Probe for PipeTrace {
+    #[inline]
+    fn on_event(&mut self, ev: &crate::probe::PipeEvent<'_>) {
+        use crate::probe::PipeEvent;
+        match *ev {
+            PipeEvent::Issue {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                inst,
+            } => self.push(Event {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                stage: Stage::Issue,
+                detail: 0,
+                text: inst.to_string(),
+            }),
+            PipeEvent::Control {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                inst,
+            } => self.push(Event {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                stage: Stage::Control,
+                detail: 0,
+                text: inst.to_string(),
+            }),
+            PipeEvent::Dispatch {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                oc_cycles,
+                inst,
+                ..
+            } => self.push(Event {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                stage: Stage::Dispatch,
+                detail: oc_cycles,
+                text: inst.to_string(),
+            }),
+            PipeEvent::Writeback {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+            } => self.push(Event {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                stage: Stage::Writeback,
+                detail: 0,
+                text: String::new(),
+            }),
+            _ => {}
+        }
     }
 }
 

@@ -1,81 +1,36 @@
-//! The streaming-multiprocessor pipeline: issue → operand collection →
-//! execute → writeback, with resident-block and barrier management.
+//! The streaming multiprocessor: a thin shell over the stage graph.
+//!
+//! `Sm` owns the shared machine state ([`SmCtx`]), the inter-stage
+//! latches and the four pipeline stages, and ticks them in reverse
+//! pipeline order — writeback → collect → dispatch → issue — so each
+//! stage observes the state its predecessors left one cycle earlier.
+//! All instrumentation (statistics, pipeline tracing, the bypass
+//! analyzer) flows through the probe bus: [`Sm::tick`] is generic over
+//! [`Probe`], and launching with [`NullProbe`](crate::probe::NullProbe)
+//! monomorphizes an instrumentation-free pipeline.
 
 use crate::collector::OperandStage;
 use crate::config::GpuConfig;
-use crate::exec::{self, BlockInfo, ControlOutcome, ExecCtx, Space};
-use crate::pipetrace::{Event, PipeTrace, Stage};
+use crate::probe::Probe;
 use crate::regfile::RegFile;
-use crate::scheduler::WarpScheduler;
 use crate::scoreboard::Scoreboard;
+use crate::stage::{
+    BlockCtx, CollectStage, DispatchStage, IssueStage, Latches, PipelineStage, SmCtx,
+    WritebackStage,
+};
 use crate::stats::SimStats;
-use crate::trace::BypassAnalyzer;
 use crate::warp::Warp;
-use bow_isa::{FuClass, Kernel, Pred, Reg, WritebackHint, WARP_SIZE};
-use bow_mem::{bank_conflict_degree, AccessKind, GlobalMemory, MemSystem, SharedMemory};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// A thread block resident on the SM.
-#[derive(Debug)]
-struct BlockCtx {
-    shared: SharedMemory,
-    info: BlockInfo,
-    /// Warp slots belonging to this block.
-    warp_slots: Vec<usize>,
-    warps_done: usize,
-    /// Unique id of the block's first warp (for the bypass analyzer).
-    base_uid: u64,
-}
-
-/// A completed instruction waiting for its writeback moment.
-#[derive(Debug, PartialEq, Eq)]
-struct Completion {
-    time: u64,
-    ord: u64,
-    warp: usize,
-    pc: usize,
-    dst_reg: Option<Reg>,
-    dst_pred: Option<Pred>,
-    hint: WritebackHint,
-    seq: u64,
-    issue_cycle: u64,
-    is_mem: bool,
-}
-
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.ord).cmp(&(other.time, other.ord))
-    }
-}
-
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
+use bow_isa::{Kernel, WARP_SIZE};
+use bow_mem::{GlobalMemory, MemSystem, SharedMemory};
 
 /// One streaming multiprocessor.
 pub struct Sm {
-    id: usize,
-    config: GpuConfig,
-    warps: Vec<Option<Warp>>,
-    scoreboards: Vec<Scoreboard>,
-    warp_age: Vec<u64>,
-    age_counter: u64,
-    blocks: Vec<Option<BlockCtx>>,
-    stage: OperandStage,
-    rf: RegFile,
-    schedulers: Vec<WarpScheduler>,
-    mem: MemSystem,
-    pending: BinaryHeap<Reverse<Completion>>,
-    event_ord: u64,
-    cycle: u64,
-    stats: SimStats,
-    /// The kernel's parameter words for the current launch.
-    params: Vec<u32>,
-    /// Optional pipeline-event log (config `trace_pipeline`).
-    trace: Option<PipeTrace>,
+    ctx: SmCtx,
+    latches: Latches,
+    issue: IssueStage,
+    collect: CollectStage,
+    dispatch: DispatchStage,
+    writeback: WritebackStage,
 }
 
 impl Sm {
@@ -83,98 +38,70 @@ impl Sm {
     pub fn new(id: usize, config: &GpuConfig) -> Sm {
         let max_warps = config.max_warps_per_sm as usize;
         Sm {
-            id,
-            config: config.clone(),
-            warps: (0..max_warps).map(|_| None).collect(),
-            scoreboards: (0..max_warps).map(|_| Scoreboard::new()).collect(),
-            warp_age: vec![0; max_warps],
-            age_counter: 0,
-            blocks: (0..config.max_blocks_per_sm as usize)
-                .map(|_| None)
-                .collect(),
-            stage: OperandStage::new(
-                config.collector,
-                max_warps,
-                config.num_ocus as usize,
-                u64::from(config.rf_read_latency),
-                config.xbar_width,
-            ),
-            rf: RegFile::new(config.rf_banks as usize),
-            schedulers: (0..config.schedulers_per_sm)
-                .map(|_| WarpScheduler::new(config.sched))
-                .collect(),
-            mem: MemSystem::new(config.mem),
-            pending: BinaryHeap::new(),
-            event_ord: 0,
-            cycle: 0,
-            stats: SimStats::default(),
-            params: Vec::new(),
-            trace: config.trace_pipeline.then(PipeTrace::new),
-        }
-    }
-
-    /// Takes this SM's pipeline trace (if tracing was enabled).
-    pub fn take_trace(&mut self) -> Option<PipeTrace> {
-        self.trace.take().inspect(|_| {
-            self.trace = Some(PipeTrace::new());
-        })
-    }
-
-    fn record(
-        &mut self,
-        warp: usize,
-        pc: usize,
-        seq: u64,
-        stage: Stage,
-        detail: u64,
-        text: &dyn Fn() -> String,
-    ) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(Event {
-                cycle: self.cycle,
-                sm: self.id,
-                warp,
-                pc,
-                seq,
-                stage,
-                detail,
-                text: text(),
-            });
+            ctx: SmCtx {
+                id,
+                config: config.clone(),
+                cycle: 0,
+                warps: (0..max_warps).map(|_| None).collect(),
+                scoreboards: (0..max_warps).map(|_| Scoreboard::new()).collect(),
+                warp_age: vec![0; max_warps],
+                age_counter: 0,
+                blocks: (0..config.max_blocks_per_sm as usize)
+                    .map(|_| None)
+                    .collect(),
+                oc: OperandStage::new(
+                    config.collector,
+                    max_warps,
+                    config.num_ocus as usize,
+                    u64::from(config.rf_read_latency),
+                    config.xbar_width,
+                ),
+                rf: RegFile::new(config.rf_banks as usize),
+                mem: MemSystem::new(config.mem),
+                params: Vec::new(),
+                stats: SimStats::default(),
+            },
+            latches: Latches::default(),
+            issue: IssueStage::new(config),
+            collect: CollectStage,
+            dispatch: DispatchStage::default(),
+            writeback: WritebackStage,
         }
     }
 
     /// The SM index.
     pub fn id(&self) -> usize {
-        self.id
+        self.ctx.id
     }
 
     /// Prepares the SM for a new launch: caches flush and all statistics
     /// restart so each launch reports only its own work.
     pub fn reset_for_launch(&mut self, params: &[u32]) {
         assert!(!self.busy(), "reset_for_launch on a busy SM");
-        self.params = params.to_vec();
-        self.mem = MemSystem::new(self.config.mem);
-        self.rf = RegFile::new(self.config.rf_banks as usize);
-        self.stage = OperandStage::new(
-            self.config.collector,
-            self.warps.len(),
-            self.config.num_ocus as usize,
-            u64::from(self.config.rf_read_latency),
-            self.config.xbar_width,
+        let ctx = &mut self.ctx;
+        ctx.params = params.to_vec();
+        ctx.mem = MemSystem::new(ctx.config.mem);
+        ctx.rf = RegFile::new(ctx.config.rf_banks as usize);
+        ctx.oc = OperandStage::new(
+            ctx.config.collector,
+            ctx.warps.len(),
+            ctx.config.num_ocus as usize,
+            u64::from(ctx.config.rf_read_latency),
+            ctx.config.xbar_width,
         );
-        self.stats = SimStats::default();
-        self.cycle = 0;
+        ctx.stats = SimStats::default();
+        ctx.cycle = 0;
     }
 
     /// Whether any block or instruction is still in flight.
     pub fn busy(&self) -> bool {
-        self.blocks.iter().any(Option::is_some) || !self.pending.is_empty()
+        self.ctx.blocks.iter().any(Option::is_some) || !self.latches.completions.is_empty()
     }
 
     /// Number of additional blocks this SM can host for `kernel`.
     pub fn can_host_block(&self, kernel: &Kernel, warps_needed: u32) -> bool {
-        let free_block = self.blocks.iter().any(Option::is_none);
-        let free_warps = self.warps.iter().filter(|w| w.is_none()).count();
+        let free_block = self.ctx.blocks.iter().any(Option::is_none);
+        let free_warps = self.ctx.warps.iter().filter(|w| w.is_none()).count();
         let _ = kernel;
         free_block && free_warps >= warps_needed as usize
     }
@@ -192,7 +119,8 @@ impl Sm {
         dims: bow_isa::KernelDims,
         block_index: u64,
     ) {
-        let slot = self
+        let ctx = &mut self.ctx;
+        let slot = ctx
             .blocks
             .iter()
             .position(Option::is_none)
@@ -201,21 +129,21 @@ impl Sm {
         let warps = dims.warps_per_block();
         let mut warp_slots = Vec::with_capacity(warps as usize);
         for w in 0..warps {
-            let wslot = self
+            let wslot = ctx
                 .warps
                 .iter()
                 .position(Option::is_none)
                 .expect("assign_block without free warp slots");
             let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
-            self.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
-            self.scoreboards[wslot] = Scoreboard::new();
-            self.warp_age[wslot] = self.age_counter;
-            self.age_counter += 1;
+            ctx.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
+            ctx.scoreboards[wslot] = Scoreboard::new();
+            ctx.warp_age[wslot] = ctx.age_counter;
+            ctx.age_counter += 1;
             warp_slots.push(wslot);
         }
-        self.blocks[slot] = Some(BlockCtx {
+        ctx.blocks[slot] = Some(BlockCtx {
             shared: SharedMemory::new(kernel.shared_bytes),
-            info: BlockInfo {
+            info: crate::exec::BlockInfo {
                 ctaid,
                 ntid: dims.block,
                 nctaid: dims.grid,
@@ -228,325 +156,29 @@ impl Sm {
 
     /// Accumulated statistics (memory counters folded in).
     pub fn stats(&self) -> SimStats {
-        let mut s = self.stats.clone();
-        s.rf = self.rf.stats();
-        s.mem = self.mem.stats();
+        let mut s = self.ctx.stats.clone();
+        s.rf = self.ctx.rf.stats();
+        s.mem = self.ctx.mem.stats();
         s
     }
 
-    /// Advances the SM by one cycle.
-    pub fn tick(
-        &mut self,
-        kernel: &Kernel,
-        global: &mut GlobalMemory,
-        analyzer: &mut BypassAnalyzer,
-    ) {
-        self.cycle += 1;
-        self.stats.cycles = self.cycle;
-        self.rf.begin_cycle();
-        self.writeback_stage();
-        self.stage
-            .collect(self.cycle, &mut self.rf, &mut self.stats);
-        self.dispatch_stage(global);
-        self.issue_stage(kernel, analyzer);
-        self.stage.sample_occupancy(&mut self.stats);
-    }
-
-    // ----- writeback -----
-
-    fn writeback_stage(&mut self) {
-        while let Some(Reverse(top)) = self.pending.peek() {
-            if top.time > self.cycle {
-                break;
-            }
-            let c = self.pending.pop().expect("peeked").0;
-            let span = self.cycle - c.issue_cycle;
-            if c.is_mem {
-                self.stats.exec_cycles_mem += span;
-            } else {
-                self.stats.exec_cycles_nonmem += span;
-            }
-            let Some(warp) = self.warps[c.warp].as_mut() else {
-                debug_assert!(false, "completion for retired warp");
-                continue;
-            };
-            warp.inflight -= 1;
-            let current_seq = warp.seq;
-            self.record(c.warp, c.pc, c.seq, Stage::Writeback, 0, &|| String::new());
-            if let Some(reg) = c.dst_reg {
-                self.stage.writeback(
-                    c.warp,
-                    reg,
-                    c.seq,
-                    c.hint,
-                    current_seq,
-                    &mut self.rf,
-                    &mut self.stats,
-                );
-                self.scoreboards[c.warp].writeback_reg(reg);
-            }
-            if let Some(p) = c.dst_pred {
-                self.scoreboards[c.warp].writeback_pred(p);
-            }
-            if self.warps[c.warp]
-                .as_ref()
-                .is_some_and(|w| w.done && w.inflight == 0)
-            {
-                self.finalize_warp(c.warp);
-            }
-        }
-    }
-
-    fn finalize_warp(&mut self, wslot: usize) {
-        self.stage.flush_warp(wslot, &mut self.rf, &mut self.stats);
-        let warp = self.warps[wslot].take().expect("finalize live warp");
-        let bslot = warp.block_slot;
-        let block = self.blocks[bslot].as_mut().expect("warp's block resident");
-        block.warps_done += 1;
-        if block.warps_done == block.warp_slots.len() {
-            self.blocks[bslot] = None;
-        }
-    }
-
-    // ----- dispatch / execute -----
-
-    fn dispatch_stage(&mut self, global: &mut GlobalMemory) {
-        let mut budget = [
-            self.config.fu_width(FuClass::Alu),
-            self.config.fu_width(FuClass::Mul),
-            self.config.fu_width(FuClass::Sfu),
-            self.config.fu_width(FuClass::Mem),
-        ];
-        let class_idx = |c: FuClass| match c {
-            FuClass::Alu => 0,
-            FuClass::Mul => 1,
-            FuClass::Sfu => 2,
-            FuClass::Mem => 3,
-            FuClass::Ctrl => unreachable!("control ops never enter the collector"),
-        };
-        let ready = self.stage.ready_slots(self.cycle);
-        let mut dispatched: Vec<usize> = Vec::new();
-        for idx in ready {
-            let class = self.stage.slot(idx).inst.op.fu_class();
-            let b = &mut budget[class_idx(class)];
-            if *b == 0 {
-                continue;
-            }
-            *b -= 1;
-            dispatched.push(idx);
-        }
-        // Remove from the stage highest-index first so indices stay valid.
-        for &idx in dispatched.iter().rev() {
-            let slot = self.stage.remove(idx);
-            self.execute_slot(slot, global);
-        }
-    }
-
-    fn execute_slot(&mut self, slot: crate::collector::Slot, global: &mut GlobalMemory) {
-        let wslot = slot.warp;
-        let slot_pc = slot.pc;
-        let oc_cycles = self.cycle - slot.insert_cycle;
-        self.record(
-            wslot,
-            slot_pc,
-            slot.seq,
-            Stage::Dispatch,
-            oc_cycles,
-            &|| slot.inst.to_string(),
-        );
-        let is_mem = slot.inst.op.is_memory();
-        if is_mem {
-            self.stats.oc_cycles_mem += oc_cycles;
-            self.stats.insts_mem += 1;
-        } else {
-            self.stats.oc_cycles_nonmem += oc_cycles;
-            self.stats.insts_nonmem += 1;
-        }
-        self.scoreboards[wslot].dispatch(&slot.inst);
-
-        let warp = self.warps[wslot].as_mut().expect("dispatch for live warp");
-        let bslot = warp.block_slot;
-        let block = self.blocks[bslot].as_mut().expect("block resident");
-        let mut ctx = ExecCtx {
-            global,
-            shared: &mut block.shared,
-            params: &self.params,
-            block: block.info,
-        };
-        let access = exec::execute_data(warp, &slot.inst, slot.mask, &mut ctx);
-
-        let complete = match access {
-            Some(a) => match a.space {
-                Space::Global => {
-                    let kind = if a.is_store {
-                        AccessKind::Store
-                    } else {
-                        AccessKind::Load
-                    };
-                    self.mem.access(kind, &a.addrs, self.cycle)
-                }
-                Space::Shared => {
-                    let degree = bank_conflict_degree(&a.addrs);
-                    self.cycle
-                        + u64::from(self.config.smem_latency)
-                        + u64::from(degree.saturating_sub(1))
-                }
-                Space::Param => self.cycle + 4,
-            },
-            None => self.cycle + u64::from(self.config.fu_latency(slot.inst.op.fu_class())),
-        }
-        .max(self.cycle + 1);
-
-        self.event_ord += 1;
-        self.pending.push(Reverse(Completion {
-            time: complete,
-            ord: self.event_ord,
-            warp: wslot,
-            pc: slot_pc,
-            dst_reg: slot.inst.dst_reg(),
-            dst_pred: slot.inst.dst.pred(),
-            hint: slot.inst.hint,
-            seq: slot.seq,
-            issue_cycle: slot.insert_cycle,
-            is_mem,
-        }));
-    }
-
-    // ----- issue -----
-
-    fn issue_stage(&mut self, kernel: &Kernel, analyzer: &mut BypassAnalyzer) {
-        let nsched = self.schedulers.len();
-        for s in 0..nsched {
-            for _ in 0..self.config.issue_per_scheduler {
-                let ready = self.ready_warps_of(s, kernel);
-                let age = &self.warp_age;
-                let pick = self.schedulers[s].pick(&ready, |w| age[w]);
-                let Some(w) = pick else { break };
-                self.issue_one(w, kernel, analyzer);
-            }
-        }
-    }
-
-    fn ready_warps_of(&mut self, sched: usize, kernel: &Kernel) -> Vec<usize> {
-        let nsched = self.schedulers.len();
-        let mut ready = Vec::new();
-        for w in (sched..self.warps.len()).step_by(nsched) {
-            let Some(warp) = self.warps[w].as_ref() else {
-                continue;
-            };
-            if warp.done || warp.at_barrier {
-                continue;
-            }
-            if warp.pc >= kernel.insts.len() {
-                continue;
-            }
-            let inst = &kernel.insts[warp.pc];
-            if inst.op.is_control() {
-                // Barriers and exits wait for the warp's pipeline to drain
-                // so block release and flushes see a quiet machine.
-                let needs_drain = matches!(inst.op, bow_isa::Opcode::Exit | bow_isa::Opcode::Bar);
-                if needs_drain && warp.inflight > 0 {
-                    continue;
-                }
-                // Branch guards must not be pending.
-                if !self.scoreboards[w].can_issue(inst) {
-                    self.stats.stall_scoreboard += 1;
-                    continue;
-                }
-                ready.push(w);
-            } else {
-                if !self.stage.can_accept(w) {
-                    self.stats.stall_no_collector += 1;
-                    continue;
-                }
-                if !self.scoreboards[w].can_issue(inst) {
-                    self.stats.stall_scoreboard += 1;
-                    continue;
-                }
-                ready.push(w);
-            }
-        }
-        ready
-    }
-
-    fn issue_one(&mut self, w: usize, kernel: &Kernel, analyzer: &mut BypassAnalyzer) {
-        let warp = self.warps[w].as_mut().expect("ready warp is live");
-        let inst = kernel.insts[warp.pc].clone();
-        let seq = warp.seq;
-        warp.seq += 1;
-        self.stats.warp_instructions += 1;
-        self.stats.thread_instructions += u64::from(warp.active.count_ones());
-
-        let uid = self.blocks[warp.block_slot]
-            .as_ref()
-            .map(|b| b.base_uid + u64::from(warp.warp_in_block))
-            .unwrap_or(0)
-            | ((self.id as u64) << 48);
-        if analyzer.is_enabled() {
-            analyzer.record(uid, &inst);
-        }
-
-        if inst.op.is_control() {
-            let ctrl_pc = self.warps[w].as_ref().expect("live").pc;
-            self.record(w, ctrl_pc, seq, Stage::Control, 0, &|| inst.to_string());
-            self.stage
-                .note_control(w, seq, &mut self.rf, &mut self.stats);
-            let warp = self.warps[w].as_mut().expect("live");
-            let outcome = exec::execute_control(warp, &inst);
-            match outcome {
-                ControlOutcome::Exit => {
-                    if warp.done {
-                        if analyzer.is_enabled() {
-                            analyzer.flush_warp(uid);
-                        }
-                        if warp.inflight == 0 {
-                            self.finalize_warp(w);
-                        }
-                    }
-                }
-                ControlOutcome::Barrier => self.maybe_release_barrier(w),
-                ControlOutcome::Plain => {}
-            }
-        } else {
-            let mask = warp.guard_mask(inst.guard);
-            warp.pc += 1;
-            warp.inflight += 1;
-            let pc = warp.pc - 1;
-            self.stage.insert(
-                w,
-                pc,
-                &inst,
-                mask,
-                seq,
-                self.cycle,
-                &mut self.rf,
-                &mut self.stats,
-            );
-            self.scoreboards[w].issue(&inst);
-            self.record(w, pc, seq, Stage::Issue, 0, &|| inst.to_string());
-        }
-    }
-
-    fn maybe_release_barrier(&mut self, wslot: usize) {
-        let bslot = self.warps[wslot].as_ref().expect("live").block_slot;
-        let block = self.blocks[bslot].as_ref().expect("resident");
-        let all_arrived = block.warp_slots.iter().all(|&ws| {
-            self.warps[ws]
-                .as_ref()
-                .is_none_or(|w| w.done || w.at_barrier)
-        });
-        if all_arrived {
-            for &ws in &self.blocks[bslot]
-                .as_ref()
-                .expect("resident")
-                .warp_slots
-                .clone()
-            {
-                if let Some(w) = self.warps[ws].as_mut() {
-                    w.at_barrier = false;
-                }
-            }
-        }
+    /// Advances the SM by one cycle, emitting all pipeline events to
+    /// `probe` (statistics accumulate regardless of the probe).
+    pub fn tick<P: Probe>(&mut self, kernel: &Kernel, global: &mut GlobalMemory, probe: &mut P) {
+        let ctx = &mut self.ctx;
+        ctx.cycle += 1;
+        ctx.stats.cycles = ctx.cycle;
+        ctx.rf.begin_cycle();
+        self.writeback
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.collect
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.dispatch
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.issue
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        let SmCtx { oc, stats, .. } = ctx;
+        oc.sample_occupancy(stats, probe);
     }
 }
 
@@ -554,7 +186,8 @@ impl Sm {
 mod tests {
     use super::*;
     use crate::collector::CollectorKind;
-    use bow_isa::{KernelBuilder, KernelDims, Operand, Special};
+    use crate::trace::BypassAnalyzer;
+    use bow_isa::{KernelBuilder, KernelDims, Operand, Pred, Reg, Special};
 
     fn run_kernel(kind: CollectorKind, kernel: &Kernel, global: &mut GlobalMemory) -> SimStats {
         let config = GpuConfig::scaled(kind);
@@ -773,5 +406,31 @@ mod tests {
         assert!(st.oc_cycles() > 0);
         assert!(st.insts_mem >= 2, "ldc + stg");
         assert!(st.insts_nonmem >= 3);
+    }
+
+    #[test]
+    fn null_probe_tick_matches_instrumented_tick() {
+        let kernel = store_iota();
+        let config = GpuConfig::scaled(CollectorKind::bow_wr(3));
+        let run = |probe_on: bool| {
+            let mut sm = Sm::new(0, &config);
+            sm.reset_for_launch(&[0x1000]);
+            sm.assign_block(&kernel, (0, 0), KernelDims::linear(1, 32), 0);
+            let mut g = GlobalMemory::new();
+            let mut trace = crate::pipetrace::PipeTrace::new();
+            while sm.busy() {
+                if probe_on {
+                    sm.tick(&kernel, &mut g, &mut trace);
+                } else {
+                    sm.tick(&kernel, &mut g, &mut crate::probe::NullProbe);
+                }
+            }
+            (sm.stats(), trace.len())
+        };
+        let (instrumented, events) = run(true);
+        let (bare, none) = run(false);
+        assert_eq!(instrumented, bare, "probe must not perturb the model");
+        assert!(events > 0, "trace subscriber saw the pipeline");
+        assert_eq!(none, 0);
     }
 }

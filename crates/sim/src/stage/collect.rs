@@ -1,0 +1,30 @@
+//! The operand-collection stage tick: claims register-bank ports for
+//! pending fetches and publishes the ready-slot set to the dispatch
+//! latch.
+
+use super::{Latches, PipelineStage, SmCtx};
+use crate::probe::Probe;
+use bow_isa::Kernel;
+use bow_mem::GlobalMemory;
+
+/// The collect stage. The collector *state* (slots, bypass windows, RFC
+/// caches) lives in [`SmCtx::oc`](super::SmCtx); this stage drives its
+/// per-cycle port arbitration.
+#[derive(Debug, Default)]
+pub struct CollectStage;
+
+impl PipelineStage for CollectStage {
+    const NAME: &'static str = "collect";
+
+    fn tick<P: Probe>(
+        &mut self,
+        ctx: &mut SmCtx,
+        latches: &mut Latches,
+        _kernel: &Kernel,
+        _global: &mut GlobalMemory,
+        _probe: &mut P,
+    ) {
+        ctx.oc.collect(ctx.cycle, &mut ctx.rf);
+        latches.dispatch.fill(&ctx.oc, ctx.cycle);
+    }
+}

@@ -1,0 +1,167 @@
+//! The dispatch stage: picks ready slots under the functional-unit
+//! budgets, executes them functionally and schedules their completions.
+
+use super::writeback::Completion;
+use super::{Latches, PipelineStage, SmCtx};
+use crate::exec::{self, ExecCtx, Space};
+use crate::probe::{emit, PipeEvent, Probe};
+use bow_isa::{FuClass, Kernel};
+use bow_mem::{bank_conflict_degree, AccessKind, GlobalMemory};
+
+/// The collect → dispatch latch: indices of collector slots whose
+/// operands were all ready when the collect stage last ticked.
+#[derive(Debug, Default)]
+pub struct DispatchLatch {
+    ready: Vec<usize>,
+}
+
+impl DispatchLatch {
+    /// Refills the latched ready set in place, reusing the buffer's
+    /// capacity across cycles.
+    pub(crate) fn fill(&mut self, oc: &crate::collector::OperandStage, cycle: u64) {
+        self.ready.clear();
+        oc.ready_slots_into(cycle, &mut self.ready);
+    }
+
+    /// Drains the latched ready set. Pair with [`DispatchLatch::restore`]
+    /// to hand the emptied buffer back.
+    pub(crate) fn take_ready(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Returns a drained buffer so its capacity survives to next cycle.
+    pub(crate) fn restore(&mut self, mut buf: Vec<usize>) {
+        buf.clear();
+        self.ready = buf;
+    }
+}
+
+/// The dispatch stage.
+#[derive(Debug, Default)]
+pub struct DispatchStage {
+    /// Scratch list of slot indices dispatched this cycle (buffer reuse).
+    dispatched: Vec<usize>,
+}
+
+impl PipelineStage for DispatchStage {
+    const NAME: &'static str = "dispatch";
+
+    fn tick<P: Probe>(
+        &mut self,
+        ctx: &mut SmCtx,
+        latches: &mut Latches,
+        _kernel: &Kernel,
+        global: &mut GlobalMemory,
+        probe: &mut P,
+    ) {
+        let mut budget = [
+            ctx.config.fu_width(FuClass::Alu),
+            ctx.config.fu_width(FuClass::Mul),
+            ctx.config.fu_width(FuClass::Sfu),
+            ctx.config.fu_width(FuClass::Mem),
+        ];
+        let class_idx = |c: FuClass| match c {
+            FuClass::Alu => 0,
+            FuClass::Mul => 1,
+            FuClass::Sfu => 2,
+            FuClass::Mem => 3,
+            FuClass::Ctrl => unreachable!("control ops never enter the collector"),
+        };
+        let ready = latches.dispatch.take_ready();
+        let mut dispatched = std::mem::take(&mut self.dispatched);
+        for &idx in &ready {
+            let class = ctx.oc.slot(idx).inst.op.fu_class();
+            let b = &mut budget[class_idx(class)];
+            if *b == 0 {
+                continue;
+            }
+            *b -= 1;
+            dispatched.push(idx);
+        }
+        latches.dispatch.restore(ready);
+        // Remove from the stage highest-index first so indices stay valid.
+        for &idx in dispatched.iter().rev() {
+            let slot = ctx.oc.remove(idx);
+            self.execute_slot(ctx, latches, slot, global, probe);
+        }
+        dispatched.clear();
+        self.dispatched = dispatched;
+    }
+}
+
+impl DispatchStage {
+    fn execute_slot<P: Probe>(
+        &mut self,
+        ctx: &mut SmCtx,
+        latches: &mut Latches,
+        slot: crate::collector::Slot,
+        global: &mut GlobalMemory,
+        probe: &mut P,
+    ) {
+        let wslot = slot.warp;
+        let slot_pc = slot.pc;
+        let oc_cycles = ctx.cycle - slot.insert_cycle;
+        let is_mem = slot.inst.op.is_memory();
+        emit(
+            &mut ctx.stats,
+            probe,
+            PipeEvent::Dispatch {
+                cycle: ctx.cycle,
+                sm: ctx.id,
+                warp: wslot,
+                pc: slot_pc,
+                seq: slot.seq,
+                oc_cycles,
+                is_mem,
+                inst: &slot.inst,
+            },
+        );
+        ctx.scoreboards[wslot].dispatch(&slot.inst);
+
+        let warp = ctx.warps[wslot].as_mut().expect("dispatch for live warp");
+        let bslot = warp.block_slot;
+        let block = ctx.blocks[bslot].as_mut().expect("block resident");
+        let mut ectx = ExecCtx {
+            global,
+            shared: &mut block.shared,
+            params: &ctx.params,
+            block: block.info,
+        };
+        let access = exec::execute_data(warp, &slot.inst, slot.mask, &mut ectx);
+
+        let complete = match access {
+            Some(a) => match a.space {
+                Space::Global => {
+                    let kind = if a.is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    ctx.mem.access(kind, &a.addrs, ctx.cycle)
+                }
+                Space::Shared => {
+                    let degree = bank_conflict_degree(&a.addrs);
+                    ctx.cycle
+                        + u64::from(ctx.config.smem_latency)
+                        + u64::from(degree.saturating_sub(1))
+                }
+                Space::Param => ctx.cycle + 4,
+            },
+            None => ctx.cycle + u64::from(ctx.config.fu_latency(slot.inst.op.fu_class())),
+        }
+        .max(ctx.cycle + 1);
+
+        latches.completions.push(Completion {
+            time: complete,
+            ord: 0, // stamped by the queue
+            warp: wslot,
+            pc: slot_pc,
+            dst_reg: slot.inst.dst_reg(),
+            dst_pred: slot.inst.dst.pred(),
+            hint: slot.inst.hint,
+            seq: slot.seq,
+            issue_cycle: slot.insert_cycle,
+            is_mem,
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! The SM pipeline as an explicit stage graph.
+//!
+//! The streaming multiprocessor advances by ticking four stages in
+//! reverse pipeline order — [`WritebackStage`] → [`CollectStage`] →
+//! [`DispatchStage`] → [`IssueStage`] — each implementing
+//! [`PipelineStage`] over two shared pieces of state:
+//!
+//! * [`SmCtx`]: the per-SM machine state every stage reads and writes
+//!   (warps, scoreboards, the operand-collection stage, register file,
+//!   memory pipe, resident blocks, and the SM's own [`SimStats`]);
+//! * [`Latches`]: the typed buffers *between* stages — the
+//!   [`DispatchLatch`] carrying the ready-slot set from collect to
+//!   dispatch, and the [`CompletionQueue`] carrying in-flight results
+//!   from dispatch to writeback.
+//!
+//! Stages communicate with the outside world only through the probe bus
+//! ([`crate::probe`]): every counter update and trace point is a typed
+//! [`PipeEvent`](crate::probe::PipeEvent) emission, so instrumentation
+//! composes without touching stage code.
+//!
+//! [`SimStats`]: crate::stats::SimStats
+
+pub mod collect;
+pub mod dispatch;
+pub mod issue;
+pub mod writeback;
+
+pub use collect::CollectStage;
+pub use dispatch::{DispatchLatch, DispatchStage};
+pub use issue::IssueStage;
+pub use writeback::{CompletionQueue, WritebackStage};
+
+use crate::collector::OperandStage;
+use crate::config::GpuConfig;
+use crate::exec::BlockInfo;
+use crate::probe::Probe;
+use crate::regfile::RegFile;
+use crate::scoreboard::Scoreboard;
+use crate::stats::SimStats;
+use crate::warp::Warp;
+use bow_isa::Kernel;
+use bow_mem::{GlobalMemory, MemSystem, SharedMemory};
+
+/// A thread block resident on the SM.
+#[derive(Debug)]
+pub(crate) struct BlockCtx {
+    pub(crate) shared: SharedMemory,
+    pub(crate) info: BlockInfo,
+    /// Warp slots belonging to this block.
+    pub(crate) warp_slots: Vec<usize>,
+    pub(crate) warps_done: usize,
+    /// Unique id of the block's first warp (for the bypass analyzer).
+    pub(crate) base_uid: u64,
+}
+
+/// The machine state one SM's stages share.
+///
+/// Fields are crate-private: stages and the [`Sm`](crate::sm::Sm) shell
+/// borrow them disjointly; external code observes the SM only through
+/// `Sm`'s public API and the probe bus.
+pub struct SmCtx {
+    pub(crate) id: usize,
+    pub(crate) config: GpuConfig,
+    pub(crate) cycle: u64,
+    pub(crate) warps: Vec<Option<Warp>>,
+    pub(crate) scoreboards: Vec<Scoreboard>,
+    pub(crate) warp_age: Vec<u64>,
+    pub(crate) age_counter: u64,
+    pub(crate) blocks: Vec<Option<BlockCtx>>,
+    /// The operand-collection stage state (slots, windows, RFC caches).
+    pub(crate) oc: OperandStage,
+    pub(crate) rf: RegFile,
+    pub(crate) mem: MemSystem,
+    /// The kernel's parameter words for the current launch.
+    pub(crate) params: Vec<u32>,
+    pub(crate) stats: SimStats,
+}
+
+impl SmCtx {
+    /// Retires a finished warp: flushes its buffered collector state and
+    /// releases its block slot when it was the last warp standing.
+    pub(crate) fn finalize_warp<P: Probe>(&mut self, wslot: usize, probe: &mut P) {
+        self.oc
+            .flush_warp(wslot, &mut self.rf, &mut self.stats, probe);
+        let warp = self.warps[wslot].take().expect("finalize live warp");
+        let bslot = warp.block_slot;
+        let block = self.blocks[bslot].as_mut().expect("warp's block resident");
+        block.warps_done += 1;
+        if block.warps_done == block.warp_slots.len() {
+            self.blocks[bslot] = None;
+        }
+    }
+}
+
+/// The typed buffers between pipeline stages.
+#[derive(Debug, Default)]
+pub struct Latches {
+    /// Collect → dispatch: slots whose operands are all ready this cycle.
+    pub(crate) dispatch: DispatchLatch,
+    /// Dispatch → writeback: in-flight completions ordered by finish time.
+    pub(crate) completions: CompletionQueue,
+}
+
+/// One stage of the SM pipeline.
+///
+/// `tick` advances the stage by one cycle. Stages never call each other:
+/// everything a downstream stage needs crosses through [`Latches`] (or
+/// the shared [`SmCtx`]), and all instrumentation leaves through `probe`.
+pub trait PipelineStage {
+    /// Display name (progress/debug output).
+    const NAME: &'static str;
+
+    /// Advances the stage by one cycle.
+    fn tick<P: Probe>(
+        &mut self,
+        ctx: &mut SmCtx,
+        latches: &mut Latches,
+        kernel: &Kernel,
+        global: &mut GlobalMemory,
+        probe: &mut P,
+    );
+}

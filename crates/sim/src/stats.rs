@@ -1,5 +1,11 @@
 //! Simulation statistics: every counter a paper figure needs.
+//!
+//! Counters accumulate exclusively through the probe bus: stages and
+//! collectors emit [`PipeEvent`]s and [`SimStats::apply`] folds each one
+//! into its counter. [`SimStats`] also implements [`Probe`], so a stats
+//! block can sit on any probe composition like every other subscriber.
 
+use crate::probe::{PipeEvent, Probe, StallKind};
 use crate::regfile::RegFileStats;
 use bow_energy::AccessCounts;
 use bow_mem::MemStats;
@@ -73,9 +79,62 @@ pub struct SimStats {
     pub stall_no_collector: u64,
     /// Issue attempts rejected by the scoreboard.
     pub stall_scoreboard: u64,
+    /// Completions that arrived for a warp slot already retired. Should be
+    /// zero in a well-formed pipeline; counted (not silently dropped) so a
+    /// model bug is visible in release statistics.
+    pub retired_completions: u64,
 }
 
 impl SimStats {
+    /// Folds one pipeline event into the counter block. Every variant a
+    /// counter cares about is matched here; milestone events that only
+    /// exist for the trace/analyzer subscribers fall through unchanged.
+    #[inline(always)]
+    pub fn apply(&mut self, ev: &PipeEvent<'_>) {
+        match *ev {
+            PipeEvent::Issued { active, .. } => {
+                self.warp_instructions += 1;
+                self.thread_instructions += u64::from(active);
+            }
+            PipeEvent::Dispatch {
+                oc_cycles, is_mem, ..
+            } => {
+                if is_mem {
+                    self.oc_cycles_mem += oc_cycles;
+                    self.insts_mem += 1;
+                } else {
+                    self.oc_cycles_nonmem += oc_cycles;
+                    self.insts_nonmem += 1;
+                }
+            }
+            PipeEvent::ExecSpan { is_mem, span } => {
+                if is_mem {
+                    self.exec_cycles_mem += span;
+                } else {
+                    self.exec_cycles_nonmem += span;
+                }
+            }
+            PipeEvent::RetiredCompletion { .. } => self.retired_completions += 1,
+            PipeEvent::Stall(StallKind::NoCollector) => self.stall_no_collector += 1,
+            PipeEvent::Stall(StallKind::Scoreboard) => self.stall_scoreboard += 1,
+            PipeEvent::SrcRegs(n) => self.src_count_hist[n.min(3)] += 1,
+            PipeEvent::BypassedRead => self.bypassed_reads += 1,
+            PipeEvent::RfcRead => self.rfc_reads += 1,
+            PipeEvent::RfcWrite => self.rfc_writes += 1,
+            PipeEvent::WriteProduced => self.writes_total += 1,
+            PipeEvent::RfWriteRouted => self.rf_writes_routed += 1,
+            PipeEvent::BypassedWrite => self.bypassed_writes += 1,
+            PipeEvent::BocWrite => self.boc_writes += 1,
+            PipeEvent::WriteDestClass(dest) => self.count_write_dest(dest),
+            PipeEvent::ForcedEviction => self.forced_evictions += 1,
+            PipeEvent::OccupancySample { live, cap } => self.sample_occupancy(live, cap),
+            PipeEvent::Issue { .. }
+            | PipeEvent::Control { .. }
+            | PipeEvent::Writeback { .. }
+            | PipeEvent::WarpExit { .. } => {}
+        }
+    }
+
     /// Records a Fig. 7 classification.
     pub fn count_write_dest(&mut self, dest: WriteDest) {
         let i = match dest {
@@ -205,7 +264,71 @@ impl SimStats {
             ),
             ("stall_no_collector", Json::from(self.stall_no_collector)),
             ("stall_scoreboard", Json::from(self.stall_scoreboard)),
+            ("retired_completions", Json::from(self.retired_completions)),
         ])
+    }
+
+    /// A deterministic 64-bit digest of every counter in the block, used by
+    /// the golden-fingerprint regression suite. FNV-1a over the fields in
+    /// declaration order — integers only, so the digest is identical across
+    /// debug/release builds and platforms. Any new counter must be folded in
+    /// here (and the goldens re-blessed) to stay visible to the suite.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.cycles);
+        fold(self.warp_instructions);
+        fold(self.thread_instructions);
+        fold(self.rf.reads);
+        fold(self.rf.writes);
+        fold(self.rf.read_conflicts);
+        fold(self.rf.write_queue_cycles);
+        fold(self.bypassed_reads);
+        fold(self.boc_writes);
+        fold(self.writes_total);
+        fold(self.rf_writes_routed);
+        fold(self.bypassed_writes);
+        for v in self.write_dest {
+            fold(v);
+        }
+        fold(self.forced_evictions);
+        for v in self.src_count_hist {
+            fold(v);
+        }
+        fold(self.boc_occupancy_hist.len() as u64);
+        for &v in &self.boc_occupancy_hist {
+            fold(v);
+        }
+        fold(self.occupancy_samples);
+        fold(self.rfc_reads);
+        fold(self.rfc_writes);
+        fold(self.oc_cycles_mem);
+        fold(self.oc_cycles_nonmem);
+        fold(self.exec_cycles_mem);
+        fold(self.exec_cycles_nonmem);
+        fold(self.insts_mem);
+        fold(self.insts_nonmem);
+        fold(self.mem.loads);
+        fold(self.mem.stores);
+        fold(self.mem.transactions);
+        fold(self.mem.l1.hits);
+        fold(self.mem.l1.misses);
+        fold(self.mem.l2.hits);
+        fold(self.mem.l2.misses);
+        fold(self.mem.dram_accesses);
+        fold(self.mem.dram_writebacks);
+        fold(self.mem.total_latency);
+        fold(self.stall_no_collector);
+        fold(self.stall_scoreboard);
+        fold(self.retired_completions);
+        h
     }
 
     /// Folds another SM's counters into this one. Cycle counts take the
@@ -258,6 +381,14 @@ impl SimStats {
         self.mem.total_latency += other.mem.total_latency;
         self.stall_no_collector += other.stall_no_collector;
         self.stall_scoreboard += other.stall_scoreboard;
+        self.retired_completions += other.retired_completions;
+    }
+}
+
+impl Probe for SimStats {
+    #[inline]
+    fn on_event(&mut self, ev: &PipeEvent<'_>) {
+        self.apply(ev);
     }
 }
 
@@ -311,6 +442,26 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.warp_instructions, 12);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_and_stable() {
+        let a = SimStats::default();
+        assert_eq!(a.fingerprint(), SimStats::default().fingerprint());
+        let b = SimStats {
+            retired_completions: 1,
+            ..Default::default()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = SimStats {
+            boc_occupancy_hist: vec![0, 0],
+            ..Default::default()
+        };
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "histogram length is part of the digest"
+        );
     }
 
     #[test]

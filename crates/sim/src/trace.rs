@@ -96,7 +96,7 @@ impl BypassAnalyzer {
     }
 
     /// Records one dynamic instruction given only its operand identities —
-    /// the hook the trace-replay path ([`crate::replay`]) uses.
+    /// the hook the trace-replay path ([`mod@crate::replay`]) uses.
     pub fn record_raw(&mut self, warp_uid: u64, srcs: &[u8], dst: Option<u8>) {
         if self.windows.is_empty() {
             return;
@@ -169,6 +169,21 @@ impl BypassAnalyzer {
             a.bypassed_reads += b.bypassed_reads;
             a.total_writes += b.total_writes;
             a.bypassed_writes += b.bypassed_writes;
+        }
+    }
+}
+
+impl crate::probe::Probe for BypassAnalyzer {
+    #[inline]
+    fn on_event(&mut self, ev: &crate::probe::PipeEvent<'_>) {
+        use crate::probe::PipeEvent;
+        if !self.is_enabled() {
+            return;
+        }
+        match *ev {
+            PipeEvent::Issued { uid, inst, .. } => self.record(uid, inst),
+            PipeEvent::WarpExit { uid } => self.flush_warp(uid),
+            _ => {}
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use bow_isa::{Reg, WritebackHint};
 use bow_sim::collector::window::{ReadHit, WarpWindow};
+use bow_sim::probe::NullProbe;
 use bow_sim::regfile::RegFile;
 use bow_sim::stats::SimStats;
 use bow_util::XorShift;
@@ -57,22 +58,38 @@ fn window_never_leaks_writes_and_respects_capacity() {
                 Op::Read(r) => {
                     let reg = Reg::r(r);
                     if w.touch_read(reg, seq) == ReadHit::Miss {
-                        w.add_fetch(reg, seq, 0, &mut rf, &mut st);
+                        w.add_fetch(reg, seq, 0, &mut rf, &mut st, &mut NullProbe);
                         fetches_pending += 1;
                     }
                 }
                 Op::WriteBoth(r) => {
-                    w.upsert_dirty(Reg::r(r), seq, WritebackHint::Both, 0, &mut rf, &mut st);
+                    w.upsert_dirty(
+                        Reg::r(r),
+                        seq,
+                        WritebackHint::Both,
+                        0,
+                        &mut rf,
+                        &mut st,
+                        &mut NullProbe,
+                    );
                     dirty_writes += 1;
                 }
                 Op::WriteTransient(r) => {
-                    w.upsert_dirty(Reg::r(r), seq, WritebackHint::BocOnly, 0, &mut rf, &mut st);
+                    w.upsert_dirty(
+                        Reg::r(r),
+                        seq,
+                        WritebackHint::BocOnly,
+                        0,
+                        &mut rf,
+                        &mut st,
+                        &mut NullProbe,
+                    );
                     dirty_writes += 1;
                 }
                 Op::Fetch(r) => {
                     let reg = Reg::r(r);
                     if w.touch_read(reg, seq) == ReadHit::Miss {
-                        w.add_fetch(reg, seq, 0, &mut rf, &mut st);
+                        w.add_fetch(reg, seq, 0, &mut rf, &mut st, &mut NullProbe);
                         fetches_pending += 1;
                     }
                 }
@@ -81,7 +98,7 @@ fn window_never_leaks_writes_and_respects_capacity() {
                 }
                 Op::Slide(n) => {
                     seq += u64::from(n);
-                    w.slide(seq, 0, &mut rf, &mut st);
+                    w.slide(seq, 0, &mut rf, &mut st, &mut NullProbe);
                 }
             }
             // Capacity may only be exceeded by pinned (in-flight) fetches.
@@ -93,7 +110,7 @@ fn window_never_leaks_writes_and_respects_capacity() {
                 fetches_pending
             );
         }
-        w.flush(0, &mut rf, &mut st);
+        w.flush(0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(w.live_entries(), 0, "case {case}: entries survived flush");
         // Conservation: every dirty write either reached the RF or was
         // legitimately bypassed (consolidated or transient).
@@ -123,13 +140,13 @@ fn forwarding_never_invents_values() {
         let mut last_touch: [Option<u64>; 8] = [None; 8];
         for (seq, &r) in regs.iter().enumerate() {
             let seq = seq as u64;
-            w.slide(seq, 0, &mut rf, &mut st);
+            w.slide(seq, 0, &mut rf, &mut st, &mut NullProbe);
             let reg = Reg::r(r);
             let hit = w.touch_read(reg, seq) != ReadHit::Miss;
             let expect = last_touch[r as usize].is_some_and(|t| seq - t < window);
             assert_eq!(hit, expect, "case {case}: reg {r} at seq {seq}");
             if !hit {
-                w.add_fetch(reg, seq, 0, &mut rf, &mut st);
+                w.add_fetch(reg, seq, 0, &mut rf, &mut st, &mut NullProbe);
                 w.mark_arrived(reg, seq);
             }
             last_touch[r as usize] = Some(seq);

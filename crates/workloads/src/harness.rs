@@ -32,6 +32,11 @@ pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
         total.cycles = cycles;
         total.stats = stats;
         total.completed &= r.completed;
+        if total.per_sm.len() == r.per_sm.len() {
+            for (a, b) in total.per_sm.iter_mut().zip(r.per_sm.iter()) {
+                a.merge(b);
+            }
+        }
         if total.windows.len() == r.windows.len() {
             for (a, b) in total.windows.iter_mut().zip(r.windows.iter()) {
                 a.total_reads += b.total_reads;

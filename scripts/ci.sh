@@ -12,6 +12,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test --workspace -q --offline
 
+echo "==> golden stats fingerprints (release)"
+# The pinned per-(workload x collector) fingerprint table must hold in
+# release too: optimization-level-dependent divergence in the model is a
+# bug. Re-bless deliberately with BOW_BLESS=1 after intentional changes.
+cargo test --release -q --offline -p bow --test golden_fingerprints
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
