@@ -1,0 +1,446 @@
+//! The differential kernel fuzzer: generated kernels × collector configs,
+//! checked three independent ways.
+//!
+//! Each case draws a structured program from [`bow_isa::fuzz`], lowers it
+//! to a kernel, and runs it under every collector configuration
+//! (baseline, BOW, BOW-WR with hints on and off, RFC). Every run must
+//! satisfy, in order:
+//!
+//! 1. **Lockstep**: every executed instruction's destination values match
+//!    the warp-serial architectural oracle ([`bow_sim::oracle`]) — a
+//!    pipeline/collector bug is pinned to the first diverging
+//!    instruction.
+//! 2. **Final memory**: the pipeline's global memory fingerprint equals
+//!    the oracle's.
+//! 3. **Host model**: every word the program writes matches
+//!    [`FuzzKernel::expected`], an independent reimplementation of the
+//!    ISA semantics that shares no code with the simulator — a semantics
+//!    bug in `exec.rs` itself (invisible to the oracle, which reuses
+//!    `exec.rs`) fails here.
+//!
+//! Cases fan out over the same work-stealing pool as the experiment
+//! sweeps ([`crate::suite`]); failures shrink to a minimal statement
+//! tree and are written as runnable `.asm` repro files.
+//!
+//! Everything is deterministic: case `i` of seed `s` derives its RNG from
+//! `s ^ (i * GOLDEN)`, so any failure reproduces from the printed seed
+//! and case number alone, at any `--jobs`.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::experiment::{Config, ConfigBuilder};
+use crate::suite::{effective_jobs, map_parallel};
+use bow_compiler::annotate;
+use bow_isa::fuzz::{self, FuzzKernel};
+use bow_isa::Kernel;
+use bow_sim::oracle::{run_oracle, LockstepChecker};
+use bow_sim::Gpu;
+use bow_util::XorShift;
+
+/// Per-case seed derivation constant (splitmix golden ratio).
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Cycle watchdog for fuzzed launches: generated kernels are small and
+/// always terminate, so hitting this means the *pipeline* hung.
+const FUZZ_MAX_CYCLES: u64 = 5_000_000;
+
+/// Options for a fuzzing session.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Master seed; case `i` derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (`0` = all cores).
+    pub jobs: usize,
+    /// Statement budget per generated program.
+    pub size: usize,
+    /// Directory minimized `.asm` repro files are written to.
+    pub out_dir: PathBuf,
+    /// Print per-case progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            cases: 256,
+            seed: 0xb0f_f00d,
+            jobs: 0,
+            size: 24,
+            out_dir: PathBuf::from("results/fuzz"),
+            progress: false,
+        }
+    }
+}
+
+impl FuzzOptions {
+    /// The fixed 64-case smoke configuration CI runs.
+    pub fn smoke() -> FuzzOptions {
+        FuzzOptions {
+            cases: 64,
+            seed: 0x5330_c0de,
+            ..FuzzOptions::default()
+        }
+    }
+}
+
+/// One confirmed differential failure, shrunk to a minimal program.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Case index within the session.
+    pub case: u64,
+    /// The derived per-case seed (reproduces the case alone).
+    pub case_seed: u64,
+    /// Configuration label the failure occurred under.
+    pub config: String,
+    /// What diverged (first failing check).
+    pub detail: String,
+    /// Statement count of the original failing program.
+    pub original_stmts: usize,
+    /// Statement count after shrinking.
+    pub minimized_stmts: usize,
+    /// The minimized kernel as runnable `.asm` text (with a comment
+    /// header carrying the metadata needed to reproduce).
+    pub repro_asm: String,
+    /// Where the repro was written, when `out_dir` was writable.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// The outcome of a fuzzing session.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Configuration labels each case ran under.
+    pub configs: Vec<String>,
+    /// Confirmed failures (empty on a clean run).
+    pub failures: Vec<FuzzFailure>,
+    /// Total dynamic instructions lockstep-checked across all runs.
+    pub checked_instructions: u64,
+    /// Wall-clock time of the session.
+    pub wall: Duration,
+}
+
+impl FuzzReport {
+    /// A one-paragraph human summary.
+    pub fn summary(&self) -> String {
+        if self.failures.is_empty() {
+            format!(
+                "fuzz: {} cases x {} configs OK ({} instructions lockstep-checked, {:.1}s)",
+                self.cases,
+                self.configs.len(),
+                self.checked_instructions,
+                self.wall.as_secs_f64()
+            )
+        } else {
+            let mut s = format!(
+                "fuzz: {} FAILURE(S) in {} cases x {} configs:\n",
+                self.failures.len(),
+                self.cases,
+                self.configs.len()
+            );
+            for f in &self.failures {
+                s.push_str(&format!(
+                    "  case {} (seed {:#x}) under {}: {} [{} -> {} stmts{}]\n",
+                    f.case,
+                    f.case_seed,
+                    f.config,
+                    f.detail,
+                    f.original_stmts,
+                    f.minimized_stmts,
+                    match &f.repro_path {
+                        Some(p) => format!(", repro: {}", p.display()),
+                        None => String::new(),
+                    }
+                ));
+            }
+            s
+        }
+    }
+}
+
+/// The collector configurations every case runs under: the full design
+/// space of the paper's Table I plus the RFC baseline, hints on and off.
+pub fn fuzz_configs() -> Vec<Config> {
+    vec![
+        ConfigBuilder::baseline().build(),
+        ConfigBuilder::bow(3).build(),
+        ConfigBuilder::bow_wr(3).build(),
+        ConfigBuilder::bow_wr(3).hints(false).build(),
+        ConfigBuilder::rfc().build(),
+    ]
+}
+
+/// Derives the per-case RNG seed from the session seed and case index.
+pub fn case_seed(seed: u64, case: u64) -> u64 {
+    seed ^ case.wrapping_mul(GOLDEN)
+}
+
+/// Runs a fuzzing session and returns the report. Deterministic for a
+/// given `(seed, cases, size)` at any worker count.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let start = Instant::now();
+    let configs = fuzz_configs();
+    let ncfg = configs.len();
+    let total = (opts.cases as usize) * ncfg;
+    let workers = effective_jobs(opts.jobs).min(total.max(1));
+
+    // One pool task per (case, config) cell, case-major.
+    let run_cell = |cell: usize| -> CellResult {
+        let case = (cell / ncfg) as u64;
+        let config = &configs[cell % ncfg];
+        let cseed = case_seed(opts.seed, case);
+        let mut rng = XorShift::new(cseed);
+        let program = FuzzKernel::generate_sized(&mut rng, opts.size);
+        let input = FuzzKernel::gen_input(&mut rng);
+        match check_case(&program, &input, config, case) {
+            None => CellResult {
+                case,
+                config: config.label.clone(),
+                checked: count_checked(&program, &input, config, case),
+                failure: None,
+            },
+            Some(detail) => {
+                // Shrink: keep any simplification that still fails this
+                // config (any failure detail counts, not just the same).
+                let minimized =
+                    program.shrink(|cand| check_case(cand, &input, config, case).is_some());
+                let final_detail =
+                    check_case(&minimized, &input, config, case).unwrap_or_else(|| detail.clone());
+                CellResult {
+                    case,
+                    config: config.label.clone(),
+                    checked: 0,
+                    failure: Some(FuzzFailure {
+                        case,
+                        case_seed: cseed,
+                        config: config.label.clone(),
+                        detail: final_detail.clone(),
+                        original_stmts: program.count_stmts(),
+                        minimized_stmts: minimized.count_stmts(),
+                        repro_asm: render_repro(
+                            &minimized,
+                            &input,
+                            opts.seed,
+                            case,
+                            cseed,
+                            &config.label,
+                            &final_detail,
+                        ),
+                        repro_path: None,
+                    }),
+                }
+            }
+        }
+    };
+
+    let progress = opts.progress;
+    let results = map_parallel(total, workers, &run_cell, |done, r: &CellResult| {
+        if progress {
+            let status = if r.failure.is_some() { "FAIL" } else { "ok" };
+            eprintln!(
+                "[{done:>4}/{total}] case {:>4} {:<12} {status}",
+                r.case, r.config
+            );
+        }
+    });
+
+    let mut failures = Vec::new();
+    let mut checked_instructions = 0u64;
+    for r in results {
+        checked_instructions += r.checked;
+        if let Some(mut f) = r.failure {
+            f.repro_path = write_repro(&opts.out_dir, &f);
+            failures.push(f);
+        }
+    }
+    FuzzReport {
+        cases: opts.cases,
+        configs: configs.into_iter().map(|c| c.label).collect(),
+        failures,
+        checked_instructions,
+        wall: start.elapsed(),
+    }
+}
+
+struct CellResult {
+    case: u64,
+    config: String,
+    checked: u64,
+    failure: Option<FuzzFailure>,
+}
+
+/// Builds the launchable kernel for a case under a config (hint pass
+/// applied when the config asks for it).
+fn build_kernel(program: &FuzzKernel, config: &Config, case: u64) -> Kernel {
+    let kernel = program.build(&format!("fuzz_case_{case}"));
+    if config.hints {
+        let window = config.gpu.collector.window().unwrap_or(3);
+        annotate(&kernel, window).0
+    } else {
+        kernel
+    }
+}
+
+/// Runs one (program, input, config) cell through all three checks.
+/// Returns `None` on agreement, or a description of the first failure.
+fn check_case(program: &FuzzKernel, input: &[u32], config: &Config, case: u64) -> Option<String> {
+    run_checks(program, input, config, case).err()
+}
+
+/// Re-runs a clean cell just to count lockstep-checked instructions.
+fn count_checked(program: &FuzzKernel, input: &[u32], config: &Config, case: u64) -> u64 {
+    run_checks(program, input, config, case).unwrap_or(0)
+}
+
+fn run_checks(
+    program: &FuzzKernel,
+    input: &[u32],
+    config: &Config,
+    case: u64,
+) -> Result<u64, String> {
+    let kernel = build_kernel(program, config, case);
+    let dims = FuzzKernel::dims();
+
+    // Launch-time memory image: the input region.
+    let mut gpu_cfg = config.gpu.clone();
+    gpu_cfg.max_cycles = FUZZ_MAX_CYCLES;
+    let mut gpu = Gpu::new(gpu_cfg);
+    gpu.global_mut()
+        .write_slice_u32(u64::from(fuzz::INPUT_BASE), input);
+
+    let oracle = run_oracle(&kernel, dims, &fuzz::PARAMS, gpu.global().clone(), true);
+    if !oracle.completed {
+        return Err("oracle did not complete (runaway generated kernel?)".into());
+    }
+
+    let mut checker = LockstepChecker::new(&oracle.log);
+    let result = gpu.launch_with_probe(&kernel, dims, &fuzz::PARAMS, &mut checker);
+
+    // Check 1: lockstep against the oracle.
+    if let Some(d) = &checker.divergence {
+        return Err(format!("lockstep: {d}"));
+    }
+    if !result.completed {
+        return Err(format!("pipeline hit the {FUZZ_MAX_CYCLES}-cycle watchdog"));
+    }
+    if checker.checked != oracle.log.len() as u64 {
+        return Err(format!(
+            "instruction count: pipeline executed {}, oracle {}",
+            checker.checked,
+            oracle.log.len()
+        ));
+    }
+
+    // Check 2: final global memory, pipeline vs oracle.
+    if gpu.global().fingerprint() != oracle.global.fingerprint() {
+        return Err("final memory: pipeline and oracle fingerprints differ".into());
+    }
+
+    // Check 3: every written word vs the independent host model. This is
+    // the check a shared `exec.rs` semantics bug fails.
+    for (addr, want) in program.expected(input) {
+        let got = gpu.global().read_u32(addr);
+        if got != want {
+            return Err(format!(
+                "host model: mem[{addr:#x}] = {got:#x}, expected {want:#x}"
+            ));
+        }
+    }
+    Ok(checker.checked)
+}
+
+/// Renders a minimized failing case as runnable `.asm` text with a
+/// comment header carrying everything needed to reproduce it.
+fn render_repro(
+    minimized: &FuzzKernel,
+    input: &[u32],
+    seed: u64,
+    case: u64,
+    case_seed: u64,
+    config: &str,
+    detail: &str,
+) -> String {
+    let kernel = minimized.build(&format!("fuzz_case_{case}"));
+    let mut s = String::new();
+    s.push_str("// bow fuzz repro (minimized)\n");
+    s.push_str(&format!(
+        "// session seed {seed:#x}, case {case}, case seed {case_seed:#x}\n"
+    ));
+    s.push_str(&format!("// config: {config}\n"));
+    s.push_str(&format!("// failure: {detail}\n"));
+    let params: Vec<String> = fuzz::PARAMS.iter().map(|p| format!("{p:#x}")).collect();
+    s.push_str(&format!(
+        "// launch: grid ({},{}) block ({},{}), params [{}]\n",
+        fuzz::GRID.0,
+        fuzz::GRID.1,
+        fuzz::BLOCK.0,
+        fuzz::BLOCK.1,
+        params.join(", ")
+    ));
+    s.push_str(&format!(
+        "// input: {} words at {:#x}, listed below\n",
+        input.len(),
+        fuzz::INPUT_BASE
+    ));
+    for chunk in input.chunks(8) {
+        let words: Vec<String> = chunk.iter().map(|w| format!("{w:#010x}")).collect();
+        s.push_str(&format!("//   {}\n", words.join(" ")));
+    }
+    s.push('\n');
+    s.push_str(&kernel.disassemble());
+    s
+}
+
+/// Writes a failure's repro file; returns its path (best effort — an
+/// unwritable directory degrades to `None`, the text stays in the report).
+fn write_repro(dir: &Path, f: &FuzzFailure) -> Option<PathBuf> {
+    std::fs::create_dir_all(dir).ok()?;
+    let slug: String = f
+        .config
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("case{}_{}.asm", f.case, slug));
+    std::fs::write(&path, &f.repro_asm).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_session_over_a_few_cases() {
+        let report = run_fuzz(&FuzzOptions {
+            cases: 4,
+            seed: 0xfeed_beef,
+            jobs: 2,
+            size: 16,
+            out_dir: std::env::temp_dir().join("bow_fuzz_test"),
+            progress: false,
+        });
+        assert!(report.failures.is_empty(), "{}", report.summary());
+        assert_eq!(report.configs.len(), 5);
+        assert!(report.checked_instructions > 0);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        assert_eq!(case_seed(7, 0), 7);
+        assert_ne!(case_seed(7, 1), case_seed(7, 2));
+        assert_eq!(case_seed(7, 3), case_seed(7, 3));
+    }
+
+    #[test]
+    fn repro_text_reparses_as_a_kernel() {
+        let mut rng = XorShift::new(123);
+        let program = FuzzKernel::generate_sized(&mut rng, 8);
+        let input = FuzzKernel::gen_input(&mut rng);
+        let text = render_repro(&program, &input, 1, 2, 3, "baseline", "test");
+        let k = bow_isa::asm::parse_kernel(&text).expect("repro is runnable asm");
+        assert!(!k.insts.is_empty());
+    }
+}

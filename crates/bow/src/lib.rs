@@ -28,6 +28,7 @@
 //! ```
 
 pub mod experiment;
+pub mod fuzz;
 pub mod suite;
 
 /// Re-export of [`bow_isa`]: the instruction set.

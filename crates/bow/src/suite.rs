@@ -189,47 +189,13 @@ impl Suite {
             }
         };
 
-        if workers <= 1 {
-            for (cell, slot) in slots.iter_mut().enumerate() {
-                let (rec, wall) = run_cell(cell);
-                report(cell + 1, &rec, wall);
-                *slot = Some((rec, wall));
-            }
-        } else {
-            // Work-stealing pool: each worker owns a deque seeded
-            // round-robin; it pops its own work from the front and steals
-            // from the back of the busiest neighbour when empty. The task
-            // set is fixed up-front, so a worker that finds every deque
-            // empty can retire. Results flow back over a channel tagged
-            // with their cell index and are reassembled positionally.
-            let queues: Vec<Mutex<VecDeque<usize>>> =
-                (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-            for cell in 0..total {
-                queues[cell % workers].lock().unwrap().push_back(cell);
-            }
-            let (tx, rx) = mpsc::channel::<(usize, RunRecord, Duration)>();
-            std::thread::scope(|scope| {
-                for me in 0..workers {
-                    let tx = tx.clone();
-                    let queues = &queues;
-                    let run_cell = &run_cell;
-                    scope.spawn(move || {
-                        while let Some(cell) = next_task(queues, me) {
-                            let (rec, wall) = run_cell(cell);
-                            // The receiver outlives the scope; a send only
-                            // fails if the main thread already panicked.
-                            if tx.send((cell, rec, wall)).is_err() {
-                                return;
-                            }
-                        }
-                    });
-                }
-                drop(tx);
-                for (done, (cell, rec, wall)) in rx.iter().enumerate() {
-                    report(done + 1, &rec, wall);
-                    slots[cell] = Some((rec, wall));
-                }
-            });
+        for (cell, result) in map_parallel(total, workers, &run_cell, |done, (rec, wall)| {
+            report(done, rec, *wall);
+        })
+        .into_iter()
+        .enumerate()
+        {
+            slots[cell] = Some(result);
         }
 
         let mut rows: Vec<ConfigRow> = configs
@@ -254,8 +220,68 @@ impl Suite {
     }
 }
 
+/// Runs `run(0..total)` across `workers` threads on the work-stealing
+/// pool and returns the results in index order, regardless of worker
+/// count or completion order. `report` fires once per completed task (in
+/// completion order, 1-based) — the progress hook.
+///
+/// Each worker owns a deque seeded round-robin; it pops its own work from
+/// the front and steals from the back of the busiest neighbour when
+/// empty. The task set is fixed up-front, so a worker that finds every
+/// deque empty can retire. Results flow back over a channel tagged with
+/// their task index and are reassembled positionally.
+pub(crate) fn map_parallel<T, F, R>(total: usize, workers: usize, run: &F, mut report: R) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(usize, &T),
+{
+    if workers <= 1 {
+        return (0..total)
+            .map(|i| {
+                let r = run(i);
+                report(i + 1, &r);
+                r
+            })
+            .collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(total, || None);
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for task in 0..total {
+        queues[task % workers].lock().unwrap().push_back(task);
+    }
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || {
+                while let Some(task) = next_task(queues, me) {
+                    let r = run(task);
+                    // The receiver outlives the scope; a send only fails
+                    // if the main thread already panicked.
+                    if tx.send((task, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (done, (task, r)) in rx.iter().enumerate() {
+            report(done + 1, &r);
+            slots[task] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every pool task completes"))
+        .collect()
+}
+
 /// Resolves a jobs request: `0` means all available cores.
-fn effective_jobs(jobs: usize) -> usize {
+pub(crate) fn effective_jobs(jobs: usize) -> usize {
     if jobs > 0 {
         jobs
     } else {

@@ -10,6 +10,8 @@
 //! * `compile <file>` — assemble, run the §IV-B hint pass (and optionally
 //!   the footnote-1 scheduler) and print the annotated disassembly;
 //! * `sweep <bench>` — IW1..7 window sweep on one benchmark;
+//! * `fuzz` — differential kernel fuzzing against the architectural
+//!   oracle across all collector models;
 //! * `trace <file>` — run with pipeline tracing and print the timeline;
 //! * `encode <file>` / `decode <file>` — binary-format round trip.
 //!
@@ -70,6 +72,19 @@ pub enum Command {
         /// Sweep-engine worker count (0 = all cores).
         jobs: usize,
     },
+    /// Differential-fuzz generated kernels against the oracle.
+    Fuzz {
+        /// Number of generated cases.
+        cases: u64,
+        /// Master seed for case generation.
+        seed: u64,
+        /// Worker threads (0 = all cores).
+        jobs: usize,
+        /// Statement budget per generated program.
+        size: usize,
+        /// Directory for minimized `.asm` repro files.
+        out_dir: String,
+    },
     /// Run a kernel with pipeline tracing and print the timeline.
     Trace {
         /// Path to the assembly source.
@@ -122,6 +137,7 @@ USAGE:
   bow-cli asm <file.s>
   bow-cli compile <file.s> [--window N] [--reorder]
   bow-cli sweep <bench> [--scale test|paper] [--jobs N]
+  bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
@@ -132,6 +148,13 @@ COLLECTORS:
 `compare` and `sweep` run their (benchmark x config) matrix on the
 parallel sweep engine; --jobs N picks the worker count (default: all
 cores, 1 = serial). Results are identical at any job count.
+
+`fuzz` generates random kernels and runs each under every collector
+model, checking every instruction against a timing-free architectural
+oracle and final memory against an independent host model. Failures
+shrink to a minimal kernel written as a runnable .asm repro. `--smoke`
+is the fixed 64-case CI configuration (other flags except --jobs and
+--out are ignored). Any failure makes the command exit non-zero.
 ";
 
 /// Parses a command line (without the program name).
@@ -202,6 +225,49 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             scale,
             jobs,
         }),
+        "fuzz" => {
+            let defaults = if flag("--smoke") {
+                bow::fuzz::FuzzOptions::smoke()
+            } else {
+                bow::fuzz::FuzzOptions::default()
+            };
+            // Seeds round-trip through repro headers and docs in hex, so
+            // accept both `0x…` and decimal.
+            let parse_u64 = |name: &str, d: u64| -> Result<u64, CliError> {
+                match opt(name) {
+                    Some(v) => {
+                        let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                            Some(hex) => u64::from_str_radix(hex, 16),
+                            None => v.parse(),
+                        };
+                        parsed.map_err(|_| err(format!("bad {} `{v}`", &name[2..])))
+                    }
+                    None => Ok(d),
+                }
+            };
+            let smoke = flag("--smoke");
+            Ok(Command::Fuzz {
+                cases: if smoke {
+                    defaults.cases
+                } else {
+                    parse_u64("--cases", defaults.cases)?
+                },
+                seed: if smoke {
+                    defaults.seed
+                } else {
+                    parse_u64("--seed", defaults.seed)?
+                },
+                jobs,
+                size: if smoke {
+                    defaults.size
+                } else {
+                    parse_u64("--size", defaults.size as u64)? as usize
+                },
+                out_dir: opt("--out")
+                    .map(String::from)
+                    .unwrap_or_else(|| defaults.out_dir.display().to_string()),
+            })
+        }
         "trace" => Ok(Command::Trace {
             path: positional()
                 .ok_or_else(|| err("trace: missing file"))?
@@ -432,6 +498,27 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 &rows,
             ))
         }
+        Command::Fuzz {
+            cases,
+            seed,
+            jobs,
+            size,
+            out_dir,
+        } => {
+            let report = bow::fuzz::run_fuzz(&bow::fuzz::FuzzOptions {
+                cases,
+                seed,
+                jobs,
+                size,
+                out_dir: out_dir.into(),
+                progress: false,
+            });
+            if report.failures.is_empty() {
+                Ok(report.summary())
+            } else {
+                Err(err(report.summary()))
+            }
+        }
         Command::Trace {
             path,
             collector,
@@ -646,6 +733,59 @@ mod tests {
         .unwrap();
         assert!(text.contains("mov r0, 7"));
         assert!(text.contains("iadd r1, r0, 1"));
+    }
+
+    #[test]
+    fn parse_fuzz_flags_and_smoke() {
+        let c = parse(&argv("fuzz --cases 10 --seed 42 --jobs 2 --size 8")).unwrap();
+        assert_eq!(
+            c,
+            Command::Fuzz {
+                cases: 10,
+                seed: 42,
+                jobs: 2,
+                size: 8,
+                out_dir: bow::fuzz::FuzzOptions::default()
+                    .out_dir
+                    .display()
+                    .to_string(),
+            }
+        );
+        // --smoke pins cases/seed/size regardless of other flags.
+        let smoke = bow::fuzz::FuzzOptions::smoke();
+        let c = parse(&argv("fuzz --smoke --cases 9999 --jobs 3")).unwrap();
+        assert_eq!(
+            c,
+            Command::Fuzz {
+                cases: smoke.cases,
+                seed: smoke.seed,
+                jobs: 3,
+                size: smoke.size,
+                out_dir: smoke.out_dir.display().to_string(),
+            }
+        );
+        assert!(parse(&argv("fuzz --cases many")).is_err());
+        // Hex seeds round-trip from repro headers and the docs.
+        match parse(&argv("fuzz --seed 0x5330c0de")).unwrap() {
+            Command::Fuzz { seed, .. } => assert_eq!(seed, 0x5330_c0de),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuzz_command_runs_clean() {
+        let out = execute(Command::Fuzz {
+            cases: 2,
+            seed: 7,
+            jobs: 2,
+            size: 10,
+            out_dir: std::env::temp_dir()
+                .join("bow_cli_fuzz_test")
+                .display()
+                .to_string(),
+        })
+        .unwrap();
+        assert!(out.contains("OK"), "{out}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod asm;
 pub mod builder;
 pub mod encode;
 pub mod error;
+pub mod fuzz;
 pub mod inst;
 pub mod kernel;
 pub mod opcode;
@@ -41,6 +42,7 @@ pub mod reg;
 pub use builder::KernelBuilder;
 pub use encode::{decode_kernel, encode_kernel, DecodeError};
 pub use error::{AsmError, KernelError};
+pub use fuzz::FuzzKernel;
 pub use inst::{Dst, Instruction, MemRef, PredGuard, WritebackHint};
 pub use kernel::{Kernel, KernelDims};
 pub use opcode::{CmpOp, FuClass, Opcode};

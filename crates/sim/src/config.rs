@@ -76,6 +76,30 @@ pub struct GpuConfig {
     /// Record per-instruction pipeline events (see
     /// [`PipeTrace`](crate::pipetrace::PipeTrace)). Costly; off by default.
     pub trace_pipeline: bool,
+    /// Run every launch twice — once through the timing-free architectural
+    /// oracle ([`crate::oracle`]) and once through the pipeline — and
+    /// panic when they disagree. Costly; off by default; intended for
+    /// differential testing (`bow fuzz`) and correctness CI.
+    pub oracle_check: OracleCheck,
+}
+
+/// How strictly [`GpuConfig::oracle_check`] compares a launch against the
+/// architectural oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OracleCheck {
+    /// No oracle run (the normal, fast path).
+    #[default]
+    Off,
+    /// Compare final global-memory fingerprints only. Sound for any
+    /// kernel whose cross-warp races are value-convergent (every racing
+    /// write stores the same value — e.g. level-synchronous BFS marking
+    /// a node from several edges).
+    Memory,
+    /// Additionally check every instruction's destination values against
+    /// the oracle's write log, panicking at the first divergence. Only
+    /// sound for kernels free of cross-warp data races, where the
+    /// oracle's warp-serial schedule is equivalent to any interleaving.
+    Lockstep,
 }
 
 impl GpuConfig {
@@ -107,6 +131,7 @@ impl GpuConfig {
             analyze_windows: Vec::new(),
             max_cycles: 0,
             trace_pipeline: false,
+            oracle_check: OracleCheck::Off,
         }
     }
 

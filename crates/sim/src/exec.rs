@@ -70,8 +70,21 @@ fn as_f32(v: u32) -> f32 {
     f32::from_bits(v)
 }
 
+/// The canonical f32 quiet NaN all float results collapse to, matching
+/// NVIDIA hardware (PTX: "single-precision NaN payloads are not
+/// preserved; the canonical NaN 0x7fffffff is returned"). Besides
+/// fidelity, this keeps the model deterministic: Rust/LLVM make no
+/// promise about which payload survives a two-NaN operation, so without
+/// canonicalization identical source code can produce different NaN bits
+/// in different compilation contexts.
+pub const CANONICAL_NAN: u32 = 0x7fff_ffff;
+
 fn from_f32(v: f32) -> u32 {
-    v.to_bits()
+    if v.is_nan() {
+        CANONICAL_NAN
+    } else {
+        v.to_bits()
+    }
 }
 
 /// Evaluates a source operand for one lane.

@@ -6,7 +6,8 @@
 //! launch runs against [`NullProbe`] — a separate monomorphization of the
 //! SM pipeline with every trace point compiled out.
 
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, OracleCheck};
+use crate::oracle::LockstepChecker;
 use crate::pipetrace::PipeTrace;
 use crate::probe::{NullProbe, PipeEvent, Probe};
 use crate::sm::Sm;
@@ -117,6 +118,9 @@ impl Gpu {
     /// Panics if the kernel fails validation or a block needs more warps
     /// than an SM can ever host.
     pub fn launch(&mut self, kernel: &Kernel, dims: KernelDims, params: &[u32]) -> LaunchResult {
+        if self.config.oracle_check != OracleCheck::Off {
+            return self.launch_checked(kernel, dims, params);
+        }
         kernel
             .validate()
             .expect("kernel must validate before launch");
@@ -172,6 +176,104 @@ impl Gpu {
             windows: analyzer.reports().to_vec(),
             completed,
         }
+    }
+
+    /// Launches `kernel` with a caller-supplied probe subscribed to the
+    /// whole device's event stream (in addition to the always-on
+    /// statistics). The config's own trace/analyzer subscribers are *not*
+    /// attached on this path — the caller's probe is the instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`launch`](Self::launch).
+    pub fn launch_with_probe<P: Probe>(
+        &mut self,
+        kernel: &Kernel,
+        dims: KernelDims,
+        params: &[u32],
+        probe: &mut P,
+    ) -> LaunchResult {
+        kernel
+            .validate()
+            .expect("kernel must validate before launch");
+        let warps_per_block = dims.warps_per_block();
+        assert!(
+            warps_per_block <= self.config.max_warps_per_sm,
+            "block needs {warps_per_block} warps, SM hosts {}",
+            self.config.max_warps_per_sm
+        );
+        for sm in &mut self.sms {
+            sm.reset_for_launch(params);
+        }
+        let (cycles, completed) = run_blocks(
+            &mut self.sms,
+            &mut self.global,
+            kernel,
+            dims,
+            warps_per_block,
+            self.config.max_cycles,
+            probe,
+        );
+        let per_sm: Vec<SimStats> = self.sms.iter().map(Sm::stats).collect();
+        let mut stats = SimStats::default();
+        for s in &per_sm {
+            stats.merge(s);
+        }
+        stats.cycles = cycles;
+        LaunchResult {
+            cycles,
+            stats,
+            per_sm,
+            windows: Vec::new(),
+            completed,
+        }
+    }
+
+    /// The `oracle_check` launch path: runs the architectural oracle over
+    /// a snapshot of device memory, then the pipelined launch. In
+    /// [`OracleCheck::Lockstep`] mode every instruction's destination
+    /// values are checked against the oracle's write log (panicking at the
+    /// first divergence); in [`OracleCheck::Memory`] mode only the final
+    /// global-memory fingerprints are compared.
+    fn launch_checked(
+        &mut self,
+        kernel: &Kernel,
+        dims: KernelDims,
+        params: &[u32],
+    ) -> LaunchResult {
+        let lockstep = self.config.oracle_check == OracleCheck::Lockstep;
+        let oracle = crate::oracle::run_oracle(kernel, dims, params, self.global.clone(), lockstep);
+        let result = if lockstep {
+            let mut checker = LockstepChecker::new(&oracle.log);
+            let result = self.launch_with_probe(kernel, dims, params, &mut checker);
+            if let Some(d) = &checker.divergence {
+                panic!("oracle check failed for kernel `{}`: {d}", kernel.name);
+            }
+            if result.completed && oracle.completed {
+                assert_eq!(
+                    checker.checked,
+                    oracle.log.len() as u64,
+                    "oracle check for kernel `{}`: pipeline executed {} data \
+                     instructions, oracle executed {}",
+                    kernel.name,
+                    checker.checked,
+                    oracle.log.len()
+                );
+            }
+            result
+        } else {
+            self.launch_with_probe(kernel, dims, params, &mut NullProbe)
+        };
+        if result.completed && oracle.completed {
+            assert_eq!(
+                self.global.fingerprint(),
+                oracle.global.fingerprint(),
+                "oracle check for kernel `{}`: final global memory diverges \
+                 from the architectural oracle",
+                kernel.name
+            );
+        }
+        result
     }
 }
 
@@ -382,6 +484,33 @@ mod tests {
         assert_eq!(sums.0, res.stats.warp_instructions);
         assert_eq!(sums.1, res.stats.rf.reads);
         assert_eq!(sums.2, res.stats.bypassed_writes);
+    }
+
+    #[test]
+    fn oracle_check_launch_passes_on_all_collectors() {
+        let n = 256u32;
+        for kind in [
+            CollectorKind::Baseline,
+            CollectorKind::bow(3),
+            CollectorKind::bow_wr(3),
+            CollectorKind::rfc6(),
+        ] {
+            let mut cfg = GpuConfig::scaled(kind);
+            cfg.oracle_check = OracleCheck::Lockstep;
+            let mut gpu = Gpu::new(cfg);
+            let (xa, ya) = (0x1_0000u64, 0x2_0000u64);
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let y: Vec<f32> = (0..n).map(|i| (2 * i) as f32).collect();
+            gpu.global_mut().write_slice_f32(xa, &x);
+            gpu.global_mut().write_slice_f32(ya, &y);
+            // A divergence or memory mismatch panics inside launch.
+            let res = gpu.launch(
+                &saxpy_kernel(),
+                KernelDims::linear(n / 64, 64),
+                &[xa as u32, ya as u32, 3.0f32.to_bits()],
+            );
+            assert!(res.completed, "under {kind:?}");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod collector;
 pub mod config;
 pub mod exec;
 pub mod gpu;
+pub mod oracle;
 pub mod pipetrace;
 pub mod probe;
 pub mod regfile;
@@ -67,8 +68,9 @@ pub mod trace;
 pub mod warp;
 
 pub use collector::CollectorKind;
-pub use config::{GpuConfig, SchedPolicy};
+pub use config::{GpuConfig, OracleCheck, SchedPolicy};
 pub use gpu::{Gpu, LaunchResult};
+pub use oracle::{run_oracle, Divergence, LockstepChecker, OracleRun, WriteLog, WriteRecord};
 pub use pipetrace::{Event, PipeTrace, Stage};
 pub use probe::{emit, NullProbe, PipeEvent, Probe, StallKind};
 pub use replay::{record_straightline, replay, KernelTrace, TraceRecorder, TraceStep};

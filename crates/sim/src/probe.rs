@@ -27,7 +27,7 @@
 //! [`Sm::tick`]: crate::sm::Sm::tick
 
 use crate::stats::{SimStats, WriteDest};
-use bow_isa::Instruction;
+use bow_isa::{Instruction, Pred, Reg};
 
 /// Why an issue attempt was rejected this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -152,6 +152,31 @@ pub enum PipeEvent<'a> {
     WarpExit {
         /// Warp id unique across blocks and SMs.
         uid: u64,
+    },
+    /// The architectural result of one executed data instruction: the
+    /// destination values as written, emitted at the execute point. This
+    /// is the stream the lockstep oracle checker
+    /// ([`LockstepChecker`](crate::oracle::LockstepChecker)) consumes to
+    /// pinpoint the first instruction where pipeline and oracle diverge.
+    /// Only emitted into `ACTIVE` probes; it is a statistics no-op.
+    ExecResult {
+        /// Warp id unique across blocks and SMs.
+        uid: u64,
+        /// Program counter of the executed instruction.
+        pc: usize,
+        /// Per-warp dynamic sequence number.
+        seq: u64,
+        /// Destination register, if the instruction writes one.
+        dst_reg: Option<Reg>,
+        /// Destination predicate, if the instruction writes one.
+        dst_pred: Option<Pred>,
+        /// Active-lane mask the instruction executed under.
+        mask: u32,
+        /// Per-lane destination predicate bits (valid under `mask`).
+        pred_bits: u32,
+        /// Per-lane destination register values (all 32 lanes; compare
+        /// only lanes under `mask`). Empty when `dst_reg` is `None`.
+        values: &'a [u32],
     },
     /// An issue attempt was rejected.
     Stall(StallKind),

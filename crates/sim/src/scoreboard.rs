@@ -186,6 +186,62 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_sources_hold_two_read_reservations() {
+        // imul r3, r2, r2 reads r2 twice; both references must be held at
+        // issue and both released by the single dispatch call, or a WAR
+        // writer would either slip in early or deadlock.
+        let mut sb = Scoreboard::new();
+        let square = KernelBuilder::new("t")
+            .imul(Reg::r(3), Reg::r(2).into(), Reg::r(2).into())
+            .exit()
+            .build()
+            .unwrap()
+            .insts[0]
+            .clone();
+        let mut write_r2 = insts()[2].clone(); // mov r0, 5
+        write_r2.dst = Dst::Reg(Reg::r(2));
+        sb.issue(&square);
+        assert!(!sb.can_issue(&write_r2), "WAR on r2");
+        sb.dispatch(&square);
+        assert!(sb.can_issue(&write_r2), "both refs released together");
+        sb.writeback_reg(Reg::r(3));
+        assert!(sb.is_clear());
+    }
+
+    #[test]
+    fn war_release_waits_for_every_reader() {
+        // Two in-flight readers of r1: the writer stays blocked until the
+        // *last* reader dispatches, regardless of dispatch order.
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        let reader_a = &i[0]; // iadd r2, r0, r1
+        let mut reader_b = i[0].clone(); // iadd r3, r0, r1
+        reader_b.dst = Dst::Reg(Reg::r(3));
+        let mut write_r1 = i[2].clone(); // mov r0, 5
+        write_r1.dst = Dst::Reg(Reg::r(1));
+        sb.issue(reader_a);
+        sb.issue(&reader_b);
+        assert!(!sb.can_issue(&write_r1));
+        sb.dispatch(&reader_b);
+        assert!(!sb.can_issue(&write_r1), "one reader still pending");
+        sb.dispatch(reader_a);
+        assert!(sb.can_issue(&write_r1), "last reader releases the WAR");
+    }
+
+    #[test]
+    fn raw_release_is_per_register() {
+        // Writing back an unrelated register must not release the hazard.
+        let mut sb = Scoreboard::new();
+        let i = insts();
+        sb.issue(&i[0]); // writes r2
+        sb.dispatch(&i[0]);
+        sb.writeback_reg(Reg::r(3));
+        assert!(!sb.can_issue(&i[1]), "r2 still pending after r3 writeback");
+        sb.writeback_reg(Reg::r(2));
+        assert!(sb.can_issue(&i[1]));
+    }
+
+    #[test]
     fn rz_never_reserves() {
         let mut sb = Scoreboard::new();
         let mut i = insts()[0].clone();

@@ -41,6 +41,8 @@ impl DispatchLatch {
 pub struct DispatchStage {
     /// Scratch list of slot indices dispatched this cycle (buffer reuse).
     dispatched: Vec<usize>,
+    /// Scratch for `ExecResult` lane values (only touched by active probes).
+    values_buf: Vec<u32>,
 }
 
 impl PipelineStage for DispatchStage {
@@ -128,6 +130,46 @@ impl DispatchStage {
             block: block.info,
         };
         let access = exec::execute_data(warp, &slot.inst, slot.mask, &mut ectx);
+
+        if P::ACTIVE {
+            // Snapshot the architectural result for the lockstep oracle
+            // checker. `ExecResult` is a statistics no-op, so skipping the
+            // emission entirely under `NullProbe` keeps counters identical.
+            let warp = ctx.warps[wslot].as_ref().expect("live warp");
+            self.values_buf.clear();
+            let mut pred_bits = 0u32;
+            if let Some(reg) = slot.inst.dst_reg() {
+                for lane in 0..bow_isa::WARP_SIZE {
+                    self.values_buf.push(warp.read_reg(lane, reg));
+                }
+            }
+            if let Some(p) = slot.inst.dst.pred() {
+                for lane in 0..bow_isa::WARP_SIZE {
+                    if warp.read_pred(lane, p) {
+                        pred_bits |= 1 << lane;
+                    }
+                }
+            }
+            let uid = ctx.blocks[bslot]
+                .as_ref()
+                .map(|b| b.base_uid + u64::from(warp.warp_in_block))
+                .unwrap_or(0)
+                | ((ctx.id as u64) << 48);
+            emit(
+                &mut ctx.stats,
+                probe,
+                PipeEvent::ExecResult {
+                    uid,
+                    pc: slot_pc,
+                    seq: slot.seq,
+                    dst_reg: slot.inst.dst_reg(),
+                    dst_pred: slot.inst.dst.pred(),
+                    mask: slot.mask,
+                    pred_bits,
+                    values: &self.values_buf,
+                },
+            );
+        }
 
         let complete = match access {
             Some(a) => match a.space {

@@ -131,7 +131,8 @@ impl SimStats {
             PipeEvent::Issue { .. }
             | PipeEvent::Control { .. }
             | PipeEvent::Writeback { .. }
-            | PipeEvent::WarpExit { .. } => {}
+            | PipeEvent::WarpExit { .. }
+            | PipeEvent::ExecResult { .. } => {}
         }
     }
 

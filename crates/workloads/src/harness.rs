@@ -16,7 +16,11 @@ pub struct RunOutcome {
 ///
 /// # Panics
 ///
-/// Panics on an empty input — a benchmark always launches at least once.
+/// Panics on an empty input — a benchmark always launches at least once —
+/// and when launches disagree on SM count or window-report length. All
+/// launches of one benchmark go to the same GPU configuration, so a shape
+/// mismatch means per-SM or per-window counters would be silently dropped
+/// from the merged totals; that is a harness bug, not a tolerable state.
 pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
     assert!(
         !results.is_empty(),
@@ -32,18 +36,24 @@ pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
         total.cycles = cycles;
         total.stats = stats;
         total.completed &= r.completed;
-        if total.per_sm.len() == r.per_sm.len() {
-            for (a, b) in total.per_sm.iter_mut().zip(r.per_sm.iter()) {
-                a.merge(b);
-            }
+        assert_eq!(
+            total.per_sm.len(),
+            r.per_sm.len(),
+            "merge_results: launches ran on different SM counts"
+        );
+        for (a, b) in total.per_sm.iter_mut().zip(r.per_sm.iter()) {
+            a.merge(b);
         }
-        if total.windows.len() == r.windows.len() {
-            for (a, b) in total.windows.iter_mut().zip(r.windows.iter()) {
-                a.total_reads += b.total_reads;
-                a.bypassed_reads += b.bypassed_reads;
-                a.total_writes += b.total_writes;
-                a.bypassed_writes += b.bypassed_writes;
-            }
+        assert_eq!(
+            total.windows.len(),
+            r.windows.len(),
+            "merge_results: launches produced different window-report lengths"
+        );
+        for (a, b) in total.windows.iter_mut().zip(r.windows.iter()) {
+            a.total_reads += b.total_reads;
+            a.bypassed_reads += b.bypassed_reads;
+            a.total_writes += b.total_writes;
+            a.bypassed_writes += b.bypassed_writes;
         }
     }
     total
@@ -118,6 +128,57 @@ impl SplitMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bow_sim::WindowReport;
+
+    fn launch(sms: usize, windows: usize) -> LaunchResult {
+        let stats = SimStats {
+            warp_instructions: 10,
+            ..SimStats::default()
+        };
+        LaunchResult {
+            cycles: 100,
+            stats: stats.clone(),
+            per_sm: vec![stats; sms],
+            windows: (0..windows)
+                .map(|w| WindowReport {
+                    window: w as u32 + 1,
+                    total_reads: 8,
+                    bypassed_reads: 4,
+                    total_writes: 6,
+                    bypassed_writes: 2,
+                })
+                .collect(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn merge_results_sums_per_sm_and_windows() {
+        let merged = merge_results(vec![launch(2, 3), launch(2, 3)]);
+        assert_eq!(merged.cycles, 200);
+        assert_eq!(merged.stats.warp_instructions, 20);
+        assert_eq!(merged.per_sm.len(), 2);
+        for sm in &merged.per_sm {
+            assert_eq!(sm.warp_instructions, 20);
+        }
+        assert_eq!(merged.windows.len(), 3);
+        for w in &merged.windows {
+            assert_eq!(w.total_reads, 16);
+            assert_eq!(w.bypassed_writes, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different SM counts")]
+    fn merge_results_rejects_mismatched_sm_counts() {
+        merge_results(vec![launch(2, 0), launch(3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window-report lengths")]
+    fn merge_results_rejects_mismatched_window_reports() {
+        merge_results(vec![launch(2, 3), launch(2, 2)]);
+    }
 
     #[test]
     fn splitmix_is_deterministic() {

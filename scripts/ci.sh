@@ -18,6 +18,13 @@ echo "==> golden stats fingerprints (release)"
 # bug. Re-bless deliberately with BOW_BLESS=1 after intentional changes.
 cargo test --release -q --offline -p bow --test golden_fingerprints
 
+echo "==> bow fuzz --smoke (64-case differential fuzz, fixed seed)"
+# Every generated kernel runs under all collector models, each launch
+# lockstep-checked against the architectural oracle and the independent
+# host model. A failure exits non-zero after writing minimized .asm
+# repros to target/fuzz-repros/.
+cargo run --release -q --offline -p bow-cli -- fuzz --smoke --out target/fuzz-repros
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,165 +1,53 @@
-//! Property-based testing: random kernels (straight-line and structured
-//! branches/loops) must produce identical final memory under every
-//! collector model, and the compiler pass must never change results.
+//! Property-based testing: random kernels must produce identical final
+//! memory under every collector model, and the compiler pass must never
+//! change results.
 //!
-//! Kernels are generated from a seeded in-tree xorshift stream
-//! ([`bow_util::XorShift`]; the workspace builds offline and carries no
-//! proptest), so every run checks the same 24 cases per property and a
-//! failure reproduces from the printed case number alone.
+//! Kernels are drawn from the structured fuzzer generator
+//! ([`bow::isa::fuzz::FuzzKernel`]) — the same distribution `bow fuzz`
+//! explores, covering global/shared memory, predication, nested diamonds,
+//! bounded loops and barriers. Generation is a seeded in-tree xorshift
+//! stream ([`bow_util::XorShift`]; the workspace builds offline and
+//! carries no proptest), so every run checks the same 100 cases per
+//! property and a failure reproduces from the printed case number alone.
 
+use bow::isa::fuzz::{FuzzKernel, INPUT_BASE, PARAMS};
 use bow::prelude::*;
 use bow_util::XorShift;
 
-const OUT: u64 = 0x10_0000;
-const SCRATCH: u64 = 0x20_0000;
-const CASES: u64 = 24;
+const CASES: u64 = 100;
 
-/// A random, always-terminating kernel: a prologue computing the thread
-/// index, `ops` arithmetic instructions over 8 registers, an optional
-/// predicated diamond and an optional bounded loop, then a store of every
-/// register.
-#[derive(Clone, Debug)]
-struct RandomKernel {
-    ops: Vec<(u8, u8, u8, u8)>, // (opcode selector, dst, src1, src2)
-    diamond: bool,
-    loop_trips: u8,
-}
-
-impl RandomKernel {
-    /// Draws a kernel shape from the stream: 3..24 ops, each a tuple of
-    /// (opcode 0..12, dst 0..8, src1 0..8, src2 0..8).
-    fn gen(rng: &mut XorShift) -> RandomKernel {
-        let n = 3 + rng.below(21) as usize;
-        let ops = (0..n)
-            .map(|_| {
-                (
-                    rng.below_u8(12),
-                    rng.below_u8(8),
-                    rng.below_u8(8),
-                    rng.below_u8(8),
-                )
-            })
-            .collect();
-        RandomKernel {
-            ops,
-            diamond: rng.next_bool(),
-            loop_trips: rng.below_u8(4),
-        }
-    }
-
-    fn build(&self) -> Kernel {
-        let r = |i: u8| Reg::r(8 + i); // r8..r15 are the data registers
-        let mut b = KernelBuilder::new("random")
-            .s2r(Reg::r(0), Special::TidX)
-            .s2r(Reg::r(1), Special::CtaidX)
-            .s2r(Reg::r(2), Special::NtidX)
-            .imad(
-                Reg::r(0),
-                Reg::r(1).into(),
-                Reg::r(2).into(),
-                Reg::r(0).into(),
-            );
-        // Seed data registers from the thread index.
-        for i in 0..8u8 {
-            b = b.imad(
-                r(i),
-                Reg::r(0).into(),
-                Operand::Imm(u32::from(i) * 7 + 3),
-                Operand::Imm(u32::from(i).wrapping_mul(0x9e37)),
-            );
-        }
-        let emit = |mut b: KernelBuilder, chunk: &[(u8, u8, u8, u8)]| {
-            for &(op, d, s1, s2) in chunk {
-                let (d, a, c) = (r(d), Operand::Reg(r(s1)), Operand::Reg(r(s2)));
-                b = match op % 12 {
-                    0 => b.iadd(d, a, c),
-                    1 => b.isub(d, a, c),
-                    2 => b.imul(d, a, c),
-                    3 => b.imad(d, a, c, Operand::Imm(13)),
-                    4 => b.and(d, a, c),
-                    5 => b.or(d, a, c),
-                    6 => b.xor(d, a, c),
-                    7 => b.shl(d, a, Operand::Imm(u32::from(s2) % 31)),
-                    8 => b.shr(d, a, Operand::Imm(u32::from(s2) % 31)),
-                    9 => b.imin(d, a, c),
-                    10 => b.imax(d, a, c),
-                    _ => b.isad(d, a, c, Operand::Imm(1)),
-                };
-            }
-            b
-        };
-        let half = self.ops.len() / 2;
-        b = emit(b, &self.ops[..half]);
-        if self.diamond {
-            // if (r8 & 1) r9 ^= r10 else r9 += r11, reconverging.
-            b = b
-                .and(Reg::r(3), r(0).into(), Operand::Imm(1))
-                .isetp(CmpOp::Ne, Pred::p(0), Reg::r(3).into(), Operand::Imm(0))
-                .ssy("join")
-                .bra_if(Pred::p(0), false, "then")
-                .iadd(r(1), r(1).into(), r(3).into())
-                .bra("join")
-                .label("then")
-                .xor(r(1), r(1).into(), r(2).into())
-                .label("join")
-                .sync();
-        }
-        if self.loop_trips > 0 {
-            b = b
-                .mov_imm(Reg::r(4), 0)
-                .label("loop")
-                .iadd(r(2), r(2).into(), r(3).into())
-                .xor(r(3), r(3).into(), Operand::Imm(0x5a5a))
-                .iadd(Reg::r(4), Reg::r(4).into(), Operand::Imm(1))
-                .isetp(
-                    CmpOp::Lt,
-                    Pred::p(1),
-                    Reg::r(4).into(),
-                    Operand::Imm(u32::from(self.loop_trips)),
-                )
-                .bra_if(Pred::p(1), false, "loop");
-        }
-        b = emit(b, &self.ops[half..]);
-        // Store all eight data registers.
-        b = b.shl(Reg::r(5), Reg::r(0).into(), Operand::Imm(5)); // tid * 32 bytes
-        for i in 0..8u8 {
-            b = b
-                .iadd(
-                    Reg::r(6),
-                    Reg::r(5).into(),
-                    Operand::Imm(OUT as u32 + u32::from(i) * 4),
-                )
-                .stg(Reg::r(6), 0, r(i).into());
-        }
-        b.exit().build().expect("random kernel builds")
-    }
-}
+/// Statement budget per generated program — small enough that 100 cases
+/// per property stay inside the suite's wall-time budget, large enough
+/// for loops, diamonds and exchanges to appear together.
+const SIZE: usize = 8;
 
 /// Runs `check` on [`CASES`] seeded random kernels, reporting the failing
-/// case's seed and shape on panic.
-fn for_each_case(seed: u64, check: impl Fn(&Kernel) -> Result<(), String>) {
+/// case's seed and statement tree on panic.
+fn for_each_case(seed: u64, check: impl Fn(&FuzzKernel, &Kernel, &[u32]) -> Result<(), String>) {
     for case in 0..CASES {
         let mut rng = XorShift::new(seed ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
-        let rk = RandomKernel::gen(&mut rng);
-        let kernel = rk.build();
-        if let Err(msg) = check(&kernel) {
-            panic!("case {case} (seed {seed:#x}): {msg}\nshape: {rk:?}");
+        let program = FuzzKernel::generate_sized(&mut rng, SIZE);
+        let input = FuzzKernel::gen_input(&mut rng);
+        let kernel = program.build("proptest");
+        if let Err(msg) = check(&program, &kernel, &input) {
+            panic!("case {case} (seed {seed:#x}): {msg}\nprogram: {program:?}");
         }
     }
 }
 
-fn final_memory(kernel: &Kernel, kind: CollectorKind) -> u64 {
+fn final_memory(kernel: &Kernel, input: &[u32], kind: CollectorKind) -> u64 {
     let mut gpu = Gpu::new(GpuConfig::scaled(kind));
-    gpu.global_mut().write_slice_u32(SCRATCH, &[0; 4]);
-    let res = gpu.launch(kernel, KernelDims::linear(2, 64), &[]);
+    gpu.global_mut()
+        .write_slice_u32(u64::from(INPUT_BASE), input);
+    let res = gpu.launch(kernel, FuzzKernel::dims(), &PARAMS);
     assert!(res.completed, "watchdog fired");
     gpu.global().fingerprint()
 }
 
 #[test]
 fn all_collectors_agree_on_final_memory() {
-    for_each_case(b0w_seed(1), |kernel| {
-        let baseline = final_memory(kernel, CollectorKind::Baseline);
+    for_each_case(b0w_seed(1), |_, kernel, input| {
+        let baseline = final_memory(kernel, input, CollectorKind::Baseline);
         for kind in [
             CollectorKind::bow(2),
             CollectorKind::bow(3),
@@ -170,7 +58,7 @@ fn all_collectors_agree_on_final_memory() {
             },
             CollectorKind::rfc6(),
         ] {
-            if final_memory(kernel, kind) != baseline {
+            if final_memory(kernel, input, kind) != baseline {
                 return Err(format!("diverged under {kind:?}"));
             }
         }
@@ -180,10 +68,10 @@ fn all_collectors_agree_on_final_memory() {
 
 #[test]
 fn compiler_annotation_never_changes_results() {
-    for_each_case(b0w_seed(2), |kernel| {
-        let plain = final_memory(kernel, CollectorKind::bow_wr(3));
+    for_each_case(b0w_seed(2), |_, kernel, input| {
+        let plain = final_memory(kernel, input, CollectorKind::bow_wr(3));
         let (annotated, _) = annotate(kernel, 3);
-        let hinted = final_memory(&annotated, CollectorKind::bow_wr(3));
+        let hinted = final_memory(&annotated, input, CollectorKind::bow_wr(3));
         if plain != hinted {
             return Err("annotation changed final memory".to_string());
         }
@@ -193,10 +81,12 @@ fn compiler_annotation_never_changes_results() {
 
 #[test]
 fn bow_never_reads_more_than_baseline() {
-    for_each_case(b0w_seed(3), |kernel| {
+    for_each_case(b0w_seed(3), |_, kernel, input| {
         let run = |kind: CollectorKind| {
             let mut gpu = Gpu::new(GpuConfig::scaled(kind));
-            gpu.launch(kernel, KernelDims::linear(2, 64), &[]).stats
+            gpu.global_mut()
+                .write_slice_u32(u64::from(INPUT_BASE), input);
+            gpu.launch(kernel, FuzzKernel::dims(), &PARAMS).stats
         };
         let base = run(CollectorKind::Baseline);
         let bow = run(CollectorKind::bow(3));
@@ -211,6 +101,26 @@ fn bow_never_reads_more_than_baseline() {
                 "bypass accounting broken: {} served + {} bypassed != baseline {}",
                 bow.rf.reads, bow.bypassed_reads, base.rf.reads
             ));
+        }
+        Ok(())
+    });
+}
+
+/// The host model agrees with the device for every generated program —
+/// the same exec-semantics check `bow fuzz` applies, over a fresh stream.
+#[test]
+fn host_model_matches_device_memory() {
+    for_each_case(b0w_seed(4), |program, kernel, input| {
+        let mut gpu = Gpu::new(GpuConfig::scaled(CollectorKind::bow_wr(3)));
+        gpu.global_mut()
+            .write_slice_u32(u64::from(INPUT_BASE), input);
+        let res = gpu.launch(kernel, FuzzKernel::dims(), &PARAMS);
+        assert!(res.completed, "watchdog fired");
+        for (addr, want) in program.expected(input) {
+            let got = gpu.global().read_u32(addr);
+            if got != want {
+                return Err(format!("mem[{addr:#x}] = {got:#x}, expected {want:#x}"));
+            }
         }
         Ok(())
     });
