@@ -64,6 +64,8 @@ pub struct ConfigBuilder {
     rfc_entries: u32,
     hints: Option<bool>,
     reorder: bool,
+    verify: bool,
+    shadow_rf: bool,
     model: GpuModel,
     analyzer: Vec<u32>,
     label: Option<String>,
@@ -82,6 +84,8 @@ impl ConfigBuilder {
             rfc_entries: 6,
             hints: None,
             reorder: false,
+            verify: false,
+            shadow_rf: false,
             model: GpuModel::Scaled,
             analyzer: Vec::new(),
             label: None,
@@ -154,6 +158,23 @@ impl ConfigBuilder {
         self
     }
 
+    /// Gates the hint pass behind the independent residency verifier
+    /// ([`bow_compiler::annotate_checked`]): [`prepare_kernel`] panics if
+    /// the verifier rejects the producer's annotation. Only meaningful
+    /// when the hint pass runs.
+    pub fn verify(mut self, yes: bool) -> ConfigBuilder {
+        self.verify = yes;
+        self
+    }
+
+    /// Maintains an architectural shadow of the register-file banks
+    /// ([`GpuConfig::shadow_rf`]) so dropped `BocOnly` write-backs become
+    /// architecturally visible to the oracle checks.
+    pub fn shadow_rf(mut self, yes: bool) -> ConfigBuilder {
+        self.shadow_rf = yes;
+        self
+    }
+
     /// Selects the GPU model scale (default: [`GpuModel::Scaled`]).
     pub fn model(mut self, model: GpuModel) -> ConfigBuilder {
         self.model = model;
@@ -179,6 +200,12 @@ impl ConfigBuilder {
 
     /// The label the builder derives when none is set explicitly.
     fn derived_label(&self) -> String {
+        let base = self.base_label();
+        let shadow = if self.shadow_rf { "+shadow" } else { "" };
+        format!("{base}{shadow}")
+    }
+
+    fn base_label(&self) -> String {
         let sched = if self.reorder { "+sched" } else { "" };
         let half = if self.half_size { " half" } else { "" };
         match self.collector {
@@ -223,12 +250,14 @@ impl ConfigBuilder {
         if !self.analyzer.is_empty() {
             gpu = gpu.with_analyzer(&self.analyzer);
         }
+        gpu.shadow_rf = self.shadow_rf;
         let label = self.label.clone().unwrap_or_else(|| self.derived_label());
         Config {
             label,
             gpu,
             hints: self.effective_hints(),
             reorder: self.reorder,
+            verify: self.verify,
         }
     }
 }
@@ -245,6 +274,9 @@ pub struct Config {
     /// Whether to run the bypass-aware scheduler (the paper's footnote 1
     /// extension) before hint assignment.
     pub reorder: bool,
+    /// Whether [`prepare_kernel`] must gate the hint pass behind the
+    /// independent residency verifier (panic on rejection).
+    pub verify: bool,
 }
 
 impl Config {
@@ -427,8 +459,27 @@ pub fn prepare_kernel(
         kernel
     };
     if config.hints {
-        let (k, rep) = annotate(&kernel, window);
-        (k, Some(rep))
+        if config.verify {
+            match bow_compiler::annotate_checked(&kernel, window) {
+                Ok((k, rep)) => (k, Some(rep)),
+                Err(audit) => {
+                    let unsound: Vec<String> = audit
+                        .unsound()
+                        .map(|f| format!("pc {} ({} as {:?})", f.pc, f.reg, f.hint))
+                        .collect();
+                    panic!(
+                        "hint verifier rejected `{}` (window {window}): {} unsound \
+                         hint(s): [{}]",
+                        kernel.name,
+                        unsound.len(),
+                        unsound.join(", ")
+                    );
+                }
+            }
+        } else {
+            let (k, rep) = annotate(&kernel, window);
+            (k, Some(rep))
+        }
     } else {
         (kernel, None)
     }

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use crate::experiment::{Config, ConfigBuilder};
 use crate::suite::{effective_jobs, map_parallel};
-use bow_compiler::annotate;
+use bow_compiler::{annotate, verify_hints};
 use bow_isa::fuzz::{self, FuzzKernel};
 use bow_isa::Kernel;
 use bow_sim::oracle::{run_oracle, LockstepChecker};
@@ -43,7 +43,7 @@ const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Cycle watchdog for fuzzed launches: generated kernels are small and
 /// always terminate, so hitting this means the *pipeline* hung.
-const FUZZ_MAX_CYCLES: u64 = 5_000_000;
+pub(crate) const FUZZ_MAX_CYCLES: u64 = 5_000_000;
 
 /// Options for a fuzzing session.
 #[derive(Clone, Debug)]
@@ -169,6 +169,11 @@ pub fn fuzz_configs() -> Vec<Config> {
         ConfigBuilder::bow(3).build(),
         ConfigBuilder::bow_wr(3).build(),
         ConfigBuilder::bow_wr(3).hints(false).build(),
+        // Same design with the architectural shadow RF: a hint the static
+        // verifier accepted but that drops a live value dynamically would
+        // fail lockstep here instead of being absorbed by the value-less
+        // timing model.
+        ConfigBuilder::bow_wr(3).shadow_rf(true).build(),
         ConfigBuilder::rfc().build(),
     ]
 }
@@ -226,7 +231,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                             opts.seed,
                             case,
                             cseed,
-                            &config.label,
+                            config,
                             &final_detail,
                         ),
                         repro_path: None,
@@ -304,6 +309,22 @@ fn run_checks(
     let kernel = build_kernel(program, config, case);
     let dims = FuzzKernel::dims();
 
+    // Check 0: the static residency verifier must accept the annotated
+    // kernel before it is allowed anywhere near the pipeline. A rejection
+    // is a hint-producer bug, pinned here rather than surfacing as a
+    // mysterious lockstep divergence under the shadow-RF config.
+    if config.hints {
+        let window = config.gpu.collector.window().unwrap_or(3) as usize;
+        let audit = verify_hints(&kernel, window);
+        if !audit.is_sound() {
+            let pcs: Vec<String> = audit.unsound().map(|f| f.pc.to_string()).collect();
+            return Err(format!(
+                "static verifier: unsound hint(s) at pc [{}]",
+                pcs.join(", ")
+            ));
+        }
+    }
+
     // Launch-time memory image: the input region.
     let mut gpu_cfg = config.gpu.clone();
     gpu_cfg.max_cycles = FUZZ_MAX_CYCLES;
@@ -354,22 +375,27 @@ fn run_checks(
 
 /// Renders a minimized failing case as runnable `.asm` text with a
 /// comment header carrying everything needed to reproduce it.
+///
+/// The kernel goes through the same preparation as the failing run —
+/// including the hint pass — so the `.wb.*` suffixes that may have
+/// *caused* the failure survive into the repro and round-trip through
+/// `bow_isa::asm`.
 fn render_repro(
     minimized: &FuzzKernel,
     input: &[u32],
     seed: u64,
     case: u64,
     case_seed: u64,
-    config: &str,
+    config: &Config,
     detail: &str,
 ) -> String {
-    let kernel = minimized.build(&format!("fuzz_case_{case}"));
+    let kernel = build_kernel(minimized, config, case);
     let mut s = String::new();
     s.push_str("// bow fuzz repro (minimized)\n");
     s.push_str(&format!(
         "// session seed {seed:#x}, case {case}, case seed {case_seed:#x}\n"
     ));
-    s.push_str(&format!("// config: {config}\n"));
+    s.push_str(&format!("// config: {}\n", config.label));
     s.push_str(&format!("// failure: {detail}\n"));
     let params: Vec<String> = fuzz::PARAMS.iter().map(|p| format!("{p:#x}")).collect();
     s.push_str(&format!(
@@ -423,7 +449,7 @@ mod tests {
             progress: false,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());
-        assert_eq!(report.configs.len(), 5);
+        assert_eq!(report.configs.len(), 6);
         assert!(report.checked_instructions > 0);
     }
 
@@ -439,8 +465,29 @@ mod tests {
         let mut rng = XorShift::new(123);
         let program = FuzzKernel::generate_sized(&mut rng, 8);
         let input = FuzzKernel::gen_input(&mut rng);
-        let text = render_repro(&program, &input, 1, 2, 3, "baseline", "test");
+        let config = ConfigBuilder::baseline().build();
+        let text = render_repro(&program, &input, 1, 2, 3, &config, "test");
         let k = bow_isa::asm::parse_kernel(&text).expect("repro is runnable asm");
         assert!(!k.insts.is_empty());
+    }
+
+    #[test]
+    fn repro_round_trips_writeback_hints() {
+        // Under a hinted config the repro must carry the same hints as the
+        // kernel that actually failed — reparsing it reproduces the case.
+        let mut rng = XorShift::new(123);
+        let program = FuzzKernel::generate_sized(&mut rng, 16);
+        let input = FuzzKernel::gen_input(&mut rng);
+        let config = ConfigBuilder::bow_wr(3).build();
+        let text = render_repro(&program, &input, 1, 2, 3, &config, "test");
+        let reparsed = bow_isa::asm::parse_kernel(&text).expect("repro is runnable asm");
+        let annotated = build_kernel(&program, &config, 2);
+        let hints: Vec<_> = annotated.insts.iter().map(|i| i.hint).collect();
+        let back: Vec<_> = reparsed.insts.iter().map(|i| i.hint).collect();
+        assert_eq!(hints, back, "hints lost in the .asm round trip");
+        assert!(
+            text.contains(".wb."),
+            "an annotated fuzz kernel should carry at least one non-default hint:\n{text}"
+        );
     }
 }

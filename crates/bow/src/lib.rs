@@ -29,6 +29,7 @@
 
 pub mod experiment;
 pub mod fuzz;
+pub mod mutate;
 pub mod suite;
 
 /// Re-export of [`bow_isa`]: the instruction set.
@@ -39,6 +40,11 @@ pub mod isa {
 /// Re-export of [`bow_mem`]: the memory substrate.
 pub mod mem {
     pub use bow_mem::*;
+}
+
+/// Re-export of [`bow_util`]: RNG, JSON and small shared utilities.
+pub mod util {
+    pub use bow_util::*;
 }
 
 /// Re-export of [`bow_energy`]: the energy/area model.

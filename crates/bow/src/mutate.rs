@@ -1,0 +1,691 @@
+//! The mutation sanitizer: does the static hint verifier catch *every*
+//! unsound write-back hint that actually loses a value?
+//!
+//! [`run_mutation`] generates the same deterministic kernel corpus as the
+//! fuzzer ([`crate::fuzz`]), annotates each kernel with the §IV-B hint
+//! pass, and then flips sound hints to `BocOnly` one static write at a
+//! time — the exact corruption an incorrect hint producer would commit.
+//! Every mutant is judged twice, by two independent layers:
+//!
+//! * **Ground truth** — an architectural window replayer walks the
+//!   mutant's *dynamic* per-warp instruction streams (extracted from the
+//!   [`bow_sim::oracle`] write log, which is hint-independent) through an
+//!   exact model of the sliding operand window: reads re-touch entries,
+//!   entries evict at `window` instructions since last touch, a dirty
+//!   `BocOnly` eviction drops the value, and an `RfOnly` write-back
+//!   invalidates a superseded buffered copy (the simulator's
+//!   `WarpWindow::invalidate`). A read that observes a register-file
+//!   generation older than the architectural one is a *stale read*: the
+//!   mutant is ground-truth unsound.
+//! * **The accused** — [`bow_compiler::verify_hints`], the path-sensitive
+//!   static verifier under audit.
+//!
+//! The sanitizer's contract is the verifier's conservativeness theorem:
+//! every ground-truth-unsound mutant must be statically flagged. A missed
+//! mutant is a verifier bug and fails the run. The reverse direction is
+//! reported but not enforced — the verifier is deliberately conservative
+//! (it ignores guards and dynamic rescues), so statically-flagged but
+//! dynamically-clean mutants are counted as `overcautious`.
+//!
+//! A sample of ground-truth-unsound mutants is additionally driven through
+//! the full pipeline with the shadow register file enabled
+//! (`GpuConfig::shadow_rf`) under the lockstep oracle, closing the
+//! triangle: static verifier, architectural replayer, and cycle-level
+//! pipeline all observe the same injected bug.
+
+use std::time::{Duration, Instant};
+
+use crate::experiment::ConfigBuilder;
+use crate::fuzz::{case_seed, FUZZ_MAX_CYCLES};
+use crate::suite::{effective_jobs, map_parallel};
+use bow_compiler::{annotate, verify_hints};
+use bow_isa::fuzz::{self, FuzzKernel};
+use bow_isa::{Kernel, Reg, WritebackHint};
+use bow_sim::oracle::{run_oracle, LockstepChecker};
+use bow_sim::Gpu;
+use bow_util::json::Json;
+use bow_util::XorShift;
+
+/// Options for one sanitizer session.
+#[derive(Clone, Debug)]
+pub struct MutateOptions {
+    /// Number of generated corpus kernels.
+    pub cases: u64,
+    /// Master seed (shares [`case_seed`] derivation with the fuzzer).
+    pub seed: u64,
+    /// Worker threads (`0` = all cores).
+    pub jobs: usize,
+    /// Statement budget per generated program.
+    pub size: usize,
+    /// Operand-window size to annotate, mutate and replay under.
+    pub window: u32,
+    /// Cases whose first unsound mutant is also driven through the full
+    /// pipeline + lockstep oracle (each is a whole simulation, so this is
+    /// a sample, not the corpus).
+    pub lockstep_cases: u64,
+    /// `passed()` requires at least this many injected mutants…
+    pub min_mutants: u64,
+    /// …and at least this many of them ground-truth unsound.
+    pub min_unsound: u64,
+    /// Print per-case progress to stderr.
+    pub progress: bool,
+}
+
+impl MutateOptions {
+    /// The full fixed-seed campaign: ≥500 ground-truth-unsound mutants.
+    pub fn full() -> MutateOptions {
+        MutateOptions {
+            cases: 64,
+            seed: 0x5eed_b0c5,
+            jobs: 0,
+            size: 24,
+            window: 3,
+            lockstep_cases: 4,
+            min_mutants: 800,
+            min_unsound: 500,
+            progress: false,
+        }
+    }
+
+    /// The CI smoke configuration: ≥64 injected mutants.
+    pub fn smoke() -> MutateOptions {
+        MutateOptions {
+            cases: 8,
+            min_mutants: 64,
+            min_unsound: 20,
+            lockstep_cases: 2,
+            ..MutateOptions::full()
+        }
+    }
+}
+
+/// A ground-truth-unsound mutant the static verifier failed to flag —
+/// a verifier bug.
+#[derive(Clone, Debug)]
+pub struct MissedMutant {
+    /// Corpus case index.
+    pub case: u64,
+    /// Derived per-case seed (regenerates the kernel alone).
+    pub case_seed: u64,
+    /// The mutated write.
+    pub pc: usize,
+    /// Its destination register.
+    pub reg: Reg,
+    /// The sound hint that was flipped to `BocOnly`.
+    pub hint_was: WritebackHint,
+    /// Stale reads the replayer observed.
+    pub stale_reads: u64,
+}
+
+/// The outcome of a sanitizer session.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// Corpus kernels generated.
+    pub cases: u64,
+    /// Window size used throughout.
+    pub window: u32,
+    /// Injected mutants (one per sound `Both`/`RfOnly` write).
+    pub mutants_total: u64,
+    /// Mutants the replayer proved lose a live value.
+    pub mutants_unsound: u64,
+    /// Unsound mutants the verifier flagged (must equal `mutants_unsound`).
+    pub caught: u64,
+    /// Unsound mutants the verifier missed (must be empty).
+    pub missed: Vec<MissedMutant>,
+    /// Statically flagged but dynamically clean (conservatism, not a bug).
+    pub overcautious: u64,
+    /// Neither flagged nor dynamically unsound (e.g. all reads in-window).
+    pub benign: u64,
+    /// Stale reads in *unmutated* annotated kernels (must be 0).
+    pub baseline_stale_reads: u64,
+    /// Unmutated annotated kernels the verifier rejected (must be 0).
+    pub baseline_rejected: u64,
+    /// Unsound mutants driven through the shadow-RF pipeline.
+    pub lockstep_attempted: u64,
+    /// …of which the lockstep oracle (or final memory) caught.
+    pub lockstep_confirmed: u64,
+    /// Floors copied from the options, for `passed()`.
+    pub min_mutants: u64,
+    /// See `min_mutants`.
+    pub min_unsound: u64,
+    /// Wall-clock time of the session.
+    pub wall: Duration,
+}
+
+impl MutationReport {
+    /// Whether the session upholds the sanitizer contract.
+    pub fn passed(&self) -> bool {
+        self.missed.is_empty()
+            && self.baseline_stale_reads == 0
+            && self.baseline_rejected == 0
+            && self.mutants_total >= self.min_mutants
+            && self.mutants_unsound >= self.min_unsound
+            && (self.lockstep_attempted == 0 || self.lockstep_confirmed > 0)
+    }
+
+    /// A one-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let mut s = format!(
+            "mutation sanitizer: {verdict} — {} kernels, {} mutants injected \
+             (window {}), {} ground-truth unsound, {} caught, {} missed, \
+             {} overcautious, {} benign; pipeline lockstep confirmed {}/{} \
+             sampled; {:.1}s",
+            self.cases,
+            self.mutants_total,
+            self.window,
+            self.mutants_unsound,
+            self.caught,
+            self.missed.len(),
+            self.overcautious,
+            self.benign,
+            self.lockstep_confirmed,
+            self.lockstep_attempted,
+            self.wall.as_secs_f64()
+        );
+        if self.baseline_rejected > 0 || self.baseline_stale_reads > 0 {
+            s.push_str(&format!(
+                "; BASELINE BROKEN ({} rejected, {} stale reads)",
+                self.baseline_rejected, self.baseline_stale_reads
+            ));
+        }
+        for m in &self.missed {
+            s.push_str(&format!(
+                "\n  MISSED: case {} (seed {:#x}) pc {} {} {:?}->BocOnly, {} stale read(s)",
+                m.case, m.case_seed, m.pc, m.reg, m.hint_was, m.stale_reads
+            ));
+        }
+        s
+    }
+
+    /// The report as a JSON object (the CI artifact format).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("passed", Json::Bool(self.passed())),
+            ("cases", Json::Num(self.cases as f64)),
+            ("window", Json::Num(f64::from(self.window))),
+            ("mutants_total", Json::Num(self.mutants_total as f64)),
+            ("mutants_unsound", Json::Num(self.mutants_unsound as f64)),
+            ("caught", Json::Num(self.caught as f64)),
+            ("missed", Json::Num(self.missed.len() as f64)),
+            ("overcautious", Json::Num(self.overcautious as f64)),
+            ("benign", Json::Num(self.benign as f64)),
+            (
+                "baseline_stale_reads",
+                Json::Num(self.baseline_stale_reads as f64),
+            ),
+            (
+                "baseline_rejected",
+                Json::Num(self.baseline_rejected as f64),
+            ),
+            (
+                "lockstep_attempted",
+                Json::Num(self.lockstep_attempted as f64),
+            ),
+            (
+                "lockstep_confirmed",
+                Json::Num(self.lockstep_confirmed as f64),
+            ),
+            ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
+        ])
+    }
+}
+
+/// One warp's dynamic instruction stream: `(seq, pc, mask)` in issue
+/// order. Control instructions are absent but still consumed their
+/// sequence numbers, so window distances computed over `seq` are exact.
+type WarpStream = Vec<(u64, usize, u32)>;
+
+/// Per-register architectural state during replay. Write *versions* stand
+/// in for values; staleness is judged per lane, because a divergent warp's
+/// arms write disjoint lane sets and a read in one arm is entitled to a
+/// register-file copy that predates the other arm's writes.
+///
+/// Both the window entry and the RF hold full-register *snapshots*: the
+/// write-back stage gathers the complete merged architectural register
+/// (`warp.regs` at write-back time, see `RegFiles::shadow_stage`), so a
+/// snapshot taken at version `v` is correct for lane `l` exactly while no
+/// later write has touched `l` — i.e. while `lane_ver[l] <= v`.
+#[derive(Clone, Copy, Default)]
+struct RegState {
+    /// Version counter: increments on every architectural write.
+    ver: u64,
+    /// Per-lane version of the last write covering that lane.
+    lane_ver: [u64; 32],
+    /// Version of the snapshot the register-file banks hold.
+    rf_ver: u64,
+    /// The buffered window entry, if any.
+    win: Option<WinEntry>,
+}
+
+impl RegState {
+    /// Whether a read under `mask` of a snapshot at `ver` observes a lane
+    /// that was overwritten after the snapshot was taken.
+    fn stale_for(&self, mask: u32, ver: u64) -> bool {
+        (0..32).any(|l| mask & (1 << l) != 0 && self.lane_ver[l] > ver)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct WinEntry {
+    /// Version of the buffered snapshot.
+    ver: u64,
+    /// Sequence number of the last touching instruction.
+    last_touch: u64,
+    /// The buffered value is newer than the RF copy.
+    dirty: bool,
+    /// Eviction writes it back (`Both`); `BocOnly` drops it.
+    to_rf: bool,
+}
+
+/// Resolves a pending eviction: the entry slid out of the window before
+/// `seq`. Evictions only affect later accesses of the *same* register, so
+/// resolving them lazily at the next access is exact.
+fn expire(st: &mut RegState, seq: u64, window: u64) {
+    if let Some(e) = st.win {
+        if seq.saturating_sub(e.last_touch) >= window {
+            if e.dirty && e.to_rf {
+                st.rf_ver = e.ver;
+            }
+            st.win = None;
+        }
+    }
+}
+
+/// Replays one warp stream under `kernel`'s hints and returns the number
+/// of stale reads (reads with an active lane whose observed snapshot
+/// predates that lane's newest architectural write).
+fn replay_warp(kernel: &Kernel, stream: &WarpStream, window: u64) -> u64 {
+    let mut regs = vec![RegState::default(); 256];
+    let mut stale = 0u64;
+    for &(seq, pc, mask) in stream {
+        let inst = &kernel.insts[pc];
+        for r in inst.unique_src_regs() {
+            if r.is_zero() {
+                continue;
+            }
+            let st = &mut regs[r.index() as usize];
+            expire(st, seq, window);
+            match st.win {
+                Some(ref e) => {
+                    // Window hit: forwarded from the buffer, re-touched.
+                    if st.stale_for(mask, e.ver) {
+                        stale += 1;
+                    }
+                }
+                None => {
+                    // RF fetch; the fetched snapshot is buffered clean.
+                    if st.stale_for(mask, st.rf_ver) {
+                        stale += 1;
+                    }
+                    st.win = Some(WinEntry {
+                        ver: st.rf_ver,
+                        last_touch: seq,
+                        dirty: false,
+                        to_rf: false,
+                    });
+                }
+            }
+            if let Some(e) = &mut st.win {
+                e.last_touch = seq;
+            }
+        }
+        if let Some(d) = inst.dst_reg() {
+            if d.is_zero() {
+                continue;
+            }
+            let st = &mut regs[d.index() as usize];
+            expire(st, seq, window);
+            st.ver += 1;
+            for l in 0..32 {
+                if mask & (1 << l) != 0 {
+                    st.lane_ver[l] = st.ver;
+                }
+            }
+            match inst.hint {
+                WritebackHint::RfOnly => {
+                    // Straight to the RF; a buffered copy is superseded and
+                    // invalidated (`WarpWindow::invalidate`).
+                    st.rf_ver = st.ver;
+                    st.win = None;
+                }
+                WritebackHint::Both => {
+                    st.win = Some(WinEntry {
+                        ver: st.ver,
+                        last_touch: seq,
+                        dirty: true,
+                        to_rf: true,
+                    });
+                }
+                WritebackHint::BocOnly => {
+                    st.win = Some(WinEntry {
+                        ver: st.ver,
+                        last_touch: seq,
+                        dirty: true,
+                        to_rf: false,
+                    });
+                }
+            }
+        }
+    }
+    stale
+}
+
+/// Total stale reads across every warp of a launch.
+fn replay_kernel(kernel: &Kernel, streams: &[WarpStream], window: u64) -> u64 {
+    streams.iter().map(|s| replay_warp(kernel, s, window)).sum()
+}
+
+/// Per-case tallies folded into the session report.
+#[derive(Clone, Debug, Default)]
+struct CaseOutcome {
+    mutants_total: u64,
+    mutants_unsound: u64,
+    caught: u64,
+    missed: Vec<MissedMutant>,
+    overcautious: u64,
+    benign: u64,
+    baseline_stale_reads: u64,
+    baseline_rejected: u64,
+    lockstep_attempted: u64,
+    lockstep_confirmed: u64,
+}
+
+/// Runs a sanitizer session. Deterministic for a given `(seed, cases,
+/// size, window)` at any worker count.
+pub fn run_mutation(opts: &MutateOptions) -> MutationReport {
+    let start = Instant::now();
+    let total = opts.cases as usize;
+    let workers = effective_jobs(opts.jobs).min(total.max(1));
+    let run_case = |case_idx: usize| run_one_case(opts, case_idx as u64);
+    let progress = opts.progress;
+    let results = map_parallel(total, workers, &run_case, |done, o: &CaseOutcome| {
+        if progress {
+            eprintln!(
+                "[{done:>3}/{total}] +{} mutants ({} unsound, {} missed)",
+                o.mutants_total,
+                o.mutants_unsound,
+                o.missed.len()
+            );
+        }
+    });
+
+    let mut report = MutationReport {
+        cases: opts.cases,
+        window: opts.window,
+        mutants_total: 0,
+        mutants_unsound: 0,
+        caught: 0,
+        missed: Vec::new(),
+        overcautious: 0,
+        benign: 0,
+        baseline_stale_reads: 0,
+        baseline_rejected: 0,
+        lockstep_attempted: 0,
+        lockstep_confirmed: 0,
+        min_mutants: opts.min_mutants,
+        min_unsound: opts.min_unsound,
+        wall: Duration::default(),
+    };
+    for o in results {
+        report.mutants_total += o.mutants_total;
+        report.mutants_unsound += o.mutants_unsound;
+        report.caught += o.caught;
+        report.missed.extend(o.missed);
+        report.overcautious += o.overcautious;
+        report.benign += o.benign;
+        report.baseline_stale_reads += o.baseline_stale_reads;
+        report.baseline_rejected += o.baseline_rejected;
+        report.lockstep_attempted += o.lockstep_attempted;
+        report.lockstep_confirmed += o.lockstep_confirmed;
+    }
+    report.wall = start.elapsed();
+    report
+}
+
+fn run_one_case(opts: &MutateOptions, case: u64) -> CaseOutcome {
+    let mut out = CaseOutcome::default();
+    let cseed = case_seed(opts.seed, case);
+    let mut rng = XorShift::new(cseed);
+    let program = FuzzKernel::generate_sized(&mut rng, opts.size);
+    let input = FuzzKernel::gen_input(&mut rng);
+    let kernel = program.build(&format!("mutate_case_{case}"));
+    let (annotated, _) = annotate(&kernel, opts.window);
+    let window = u64::from(opts.window);
+
+    // The unmutated annotation must be statically sound…
+    if !verify_hints(&annotated, opts.window as usize).is_sound() {
+        out.baseline_rejected += 1;
+        return out;
+    }
+
+    // One oracle run per case: the write log is hint-independent, so the
+    // same dynamic streams ground-truth every mutant of this kernel.
+    let mut global = bow_mem::GlobalMemory::new();
+    global.write_slice_u32(u64::from(fuzz::INPUT_BASE), &input);
+    let oracle = run_oracle(&annotated, FuzzKernel::dims(), &fuzz::PARAMS, global, true);
+    if !oracle.completed {
+        // Runaway corpus kernel: nothing to ground-truth against. The
+        // generator is designed to always terminate, so surface loudly.
+        out.baseline_rejected += 1;
+        return out;
+    }
+    let mut by_uid: std::collections::BTreeMap<u64, WarpStream> = std::collections::BTreeMap::new();
+    for (&(uid, seq), rec) in &oracle.log {
+        by_uid.entry(uid).or_default().push((seq, rec.pc, rec.mask));
+    }
+    let streams: Vec<WarpStream> = by_uid
+        .into_values()
+        .map(|mut s| {
+            s.sort_unstable();
+            s
+        })
+        .collect();
+
+    // …and dynamically clean.
+    out.baseline_stale_reads = replay_kernel(&annotated, &streams, window);
+    if out.baseline_stale_reads > 0 {
+        return out;
+    }
+
+    // Flip every sound RF-bound hint to BocOnly, one at a time.
+    //
+    // Up to this many unsound mutants of a sampled case are driven through
+    // the pipeline (stopping at the first confirmation): forced capacity
+    // evictions and late-arriving write-backs can dynamically rescue an
+    // architecturally-dropped value, so any single mutant may run quiet.
+    let mut lockstep_budget = if case < opts.lockstep_cases { 8u32 } else { 0 };
+    for pc in 0..annotated.insts.len() {
+        let inst = &annotated.insts[pc];
+        let Some(reg) = inst.dst_reg() else { continue };
+        if reg.is_zero() || inst.hint == WritebackHint::BocOnly {
+            continue;
+        }
+        let hint_was = inst.hint;
+        let mut mutant = annotated.clone();
+        mutant.insts[pc].hint = WritebackHint::BocOnly;
+        out.mutants_total += 1;
+
+        let stale_reads = replay_kernel(&mutant, &streams, window);
+        let flagged = !verify_hints(&mutant, opts.window as usize).is_sound();
+        match (stale_reads > 0, flagged) {
+            (true, true) => {
+                out.mutants_unsound += 1;
+                out.caught += 1;
+            }
+            (true, false) => {
+                out.mutants_unsound += 1;
+                out.missed.push(MissedMutant {
+                    case,
+                    case_seed: cseed,
+                    pc,
+                    reg,
+                    hint_was,
+                    stale_reads,
+                });
+            }
+            (false, true) => out.overcautious += 1,
+            (false, false) => out.benign += 1,
+        }
+
+        // Close the triangle on sampled cases: the cycle-level pipeline
+        // with the shadow RF must observe the same bug the replayer
+        // predicts (lockstep divergence, or at the latest a final-memory
+        // mismatch).
+        if stale_reads > 0 && lockstep_budget > 0 {
+            lockstep_budget -= 1;
+            out.lockstep_attempted += 1;
+            if pipeline_catches(&mutant, &input, &oracle.log, opts.window) {
+                out.lockstep_confirmed += 1;
+                lockstep_budget = 0;
+            }
+        }
+    }
+    out
+}
+
+/// Runs `mutant` through the full pipeline with the shadow RF enabled and
+/// reports whether the lockstep oracle or the final-memory check catches
+/// the dropped value. (Dynamic rescues — forced evictions, late-arriving
+/// write-backs — can legitimately absorb an architecturally-stale read,
+/// so a single quiet run is possible; callers sample several cases.)
+fn pipeline_catches(
+    mutant: &Kernel,
+    input: &[u32],
+    log: &bow_sim::oracle::WriteLog,
+    window: u32,
+) -> bool {
+    let mut gpu_cfg = ConfigBuilder::bow_wr(window).shadow_rf(true).build().gpu;
+    gpu_cfg.max_cycles = FUZZ_MAX_CYCLES;
+    let mut gpu = Gpu::new(gpu_cfg);
+    gpu.global_mut()
+        .write_slice_u32(u64::from(fuzz::INPUT_BASE), input);
+    let oracle_fp = {
+        let mut global = bow_mem::GlobalMemory::new();
+        global.write_slice_u32(u64::from(fuzz::INPUT_BASE), input);
+        run_oracle(mutant, FuzzKernel::dims(), &fuzz::PARAMS, global, false)
+            .global
+            .fingerprint()
+    };
+    let mut checker = LockstepChecker::new(log);
+    let result = gpu.launch_with_probe(mutant, FuzzKernel::dims(), &fuzz::PARAMS, &mut checker);
+    checker.divergence.is_some() || !result.completed || gpu.global().fingerprint() != oracle_fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replayer_models_the_window_exactly() {
+        use bow_isa::{KernelBuilder, Operand};
+        let r = Reg::r;
+        // def r0 (BocOnly), read at distance 2 (hit), then at distance 4
+        // from the re-touch (miss -> stale: the value was dropped).
+        let k = KernelBuilder::new("t")
+            .mov_imm(r(0), 7)
+            .hint(WritebackHint::BocOnly)
+            .nop()
+            .iadd(r(1), r(0).into(), Operand::Imm(0))
+            .nop()
+            .nop()
+            .nop()
+            .iadd(r(2), r(0).into(), Operand::Imm(0))
+            .exit()
+            .build()
+            .unwrap();
+        let stream: WarpStream = (0..7).map(|i| (i as u64, i, u32::MAX)).collect();
+        assert_eq!(replay_warp(&k, &stream, 3), 1, "one stale read at pc 6");
+        assert_eq!(replay_warp(&k, &stream, 8), 0, "window 8 keeps it present");
+
+        // Both writes back on eviction: no staleness at any window.
+        let mut both = k.clone();
+        both.insts[0].hint = WritebackHint::Both;
+        assert_eq!(replay_warp(&both, &stream, 3), 0);
+    }
+
+    #[test]
+    fn replayer_sees_rf_only_invalidation_as_a_kill() {
+        use bow_isa::{KernelBuilder, Operand};
+        let r = Reg::r;
+        // Both def buffered dirty, RfOnly redef supersedes it, read after
+        // the old entry would have evicted: the RF must hold the new value.
+        let k = KernelBuilder::new("waw")
+            .mov_imm(r(0), 1)
+            .mov_imm(r(0), 2)
+            .hint(WritebackHint::RfOnly)
+            .nop()
+            .nop()
+            .nop()
+            .iadd(r(1), r(0).into(), Operand::Imm(0))
+            .exit()
+            .build()
+            .unwrap();
+        let stream: WarpStream = (0..6).map(|i| (i as u64, i, u32::MAX)).collect();
+        assert_eq!(replay_warp(&k, &stream, 3), 0, "no WAW regression");
+    }
+
+    #[test]
+    fn staleness_is_judged_per_lane() {
+        use bow_isa::{KernelBuilder, Operand};
+        let r = Reg::r;
+        // A BocOnly write under the lower half-warp's mask is dropped on
+        // eviction. A later read by the *other* half is entitled to the
+        // old RF snapshot — not stale; the same read by the writing half
+        // observes the loss.
+        let k = KernelBuilder::new("lanes")
+            .mov_imm(r(0), 1)
+            .hint(WritebackHint::BocOnly)
+            .nop()
+            .nop()
+            .nop()
+            .iadd(r(1), r(0).into(), Operand::Imm(0))
+            .exit()
+            .build()
+            .unwrap();
+        let stream = |read_mask: u32| -> WarpStream {
+            vec![
+                (0, 0, 0x0000_ffff),
+                (1, 1, u32::MAX),
+                (2, 2, u32::MAX),
+                (3, 3, u32::MAX),
+                (4, 4, read_mask),
+            ]
+        };
+        assert_eq!(
+            replay_warp(&k, &stream(0xffff_0000), 3),
+            0,
+            "disjoint lanes"
+        );
+        assert_eq!(
+            replay_warp(&k, &stream(0x0000_0001), 3),
+            1,
+            "writing lane is stale"
+        );
+    }
+
+    #[test]
+    #[ignore = "full campaign; run with --ignored or via `bow-cli lint --mutate`"]
+    fn full_session_meets_the_unsound_floor() {
+        let report = run_mutation(&MutateOptions::full());
+        assert!(report.passed(), "{}", report.summary());
+        assert!(report.mutants_unsound >= 500, "{}", report.summary());
+    }
+
+    #[test]
+    fn smoke_session_catches_every_unsound_mutant() {
+        let report = run_mutation(&MutateOptions {
+            jobs: 2,
+            progress: false,
+            ..MutateOptions::smoke()
+        });
+        assert!(report.passed(), "{}", report.summary());
+        assert!(
+            report.lockstep_confirmed > 0,
+            "no pipeline confirmation: {}",
+            report.summary()
+        );
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"passed\":true"), "{json}");
+    }
+}

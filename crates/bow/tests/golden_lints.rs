@@ -1,0 +1,98 @@
+//! Golden lint-report snapshots.
+//!
+//! Annotates every benchmark of the Table III suite with the §IV-B hint
+//! pass at the repo-default window (IW3) and pins the full rendered
+//! [`LintReport`] — every diagnostic, note and register-pressure row —
+//! against a checked-in snapshot. Any change to a lint pass, the hint
+//! verifier, the hint producer or a workload kernel shows up as a
+//! readable diff instead of a silent behavior change.
+//!
+//! The suite must also stay *clean*: no errors and no warnings on any
+//! workload (advisories such as `B003`/`B012` are allowed), which is the
+//! same gate CI applies through `bow-cli lint --all-workloads
+//! --deny-warnings`.
+//!
+//! To re-bless after an *intentional* change:
+//!
+//! ```text
+//! BOW_BLESS=1 cargo test -p bow --test golden_lints
+//! ```
+//!
+//! [`LintReport`]: bow_compiler::LintReport
+
+use bow_compiler::{annotate, lint_kernel, LintOptions};
+use bow_workloads::{suite, Scale};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const WINDOW: u32 = 3;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("lints.txt")
+}
+
+/// Renders the whole-suite snapshot: each kernel's rustc-style report in
+/// suite order, separated by a `== name ==` header.
+fn render() -> String {
+    let mut out = String::from(
+        "# Lint reports: 15 annotated workloads at IW3 (Scale::Test).\n\
+         # Regenerate with: BOW_BLESS=1 cargo test -p bow --test golden_lints\n",
+    );
+    let opts = LintOptions {
+        window: WINDOW,
+        check_hints: true,
+    };
+    for b in suite(Scale::Test) {
+        let kernel = annotate(&b.kernel(), WINDOW).0;
+        let report = lint_kernel(&kernel, &opts);
+        assert!(
+            report.passes_deny_warnings(),
+            "{}: workload suite must lint clean (got {} error(s), {} warning(s))",
+            b.name(),
+            report.errors(),
+            report.warnings()
+        );
+        writeln!(out, "\n== {} ==", b.name()).expect("write to String");
+        out.push_str(&report.render(&kernel, None));
+    }
+    out
+}
+
+#[test]
+fn lint_reports_match_goldens() {
+    let got = render();
+    let path = golden_path();
+    if std::env::var_os("BOW_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &got).expect("write goldens");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (bless with BOW_BLESS=1)", path.display()));
+    if got != want {
+        let mut diff = String::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                writeln!(diff, "  line {}:\n    got  {g}\n    want {w}", i + 1)
+                    .expect("write to String");
+            }
+        }
+        if got.lines().count() != want.lines().count() {
+            writeln!(
+                diff,
+                "  line counts differ: got {}, want {}",
+                got.lines().count(),
+                want.lines().count()
+            )
+            .expect("write to String");
+        }
+        panic!(
+            "lint reports diverged from {} — a lint pass, the hint verifier \
+             or a workload changed (bless intentional changes with \
+             BOW_BLESS=1):\n{diff}",
+            path.display()
+        );
+    }
+}

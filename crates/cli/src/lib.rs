@@ -12,6 +12,9 @@
 //! * `sweep <bench>` — IW1..7 window sweep on one benchmark;
 //! * `fuzz` — differential kernel fuzzing against the architectural
 //!   oracle across all collector models;
+//! * `lint` — static-analysis suite and independent hint-soundness
+//!   verifier over a kernel file or the whole workload suite; `--mutate`
+//!   runs the mutation sanitizer that audits the verifier itself;
 //! * `trace <file>` — run with pipeline tracing and print the timeline;
 //! * `encode <file>` / `decode <file>` — binary-format round trip.
 //!
@@ -85,6 +88,26 @@ pub enum Command {
         /// Directory for minimized `.asm` repro files.
         out_dir: String,
     },
+    /// Static-analysis lint suite + hint verifier (or, with `mutate`,
+    /// the mutation sanitizer that audits the verifier).
+    Lint {
+        /// Assembly file to lint; `None` with `all_workloads`/`mutate`.
+        path: Option<String>,
+        /// Lint every benchmark kernel (annotated at `window`).
+        all_workloads: bool,
+        /// Fail on warnings as well as errors.
+        deny_warnings: bool,
+        /// Write the machine-readable report to this file.
+        json: Option<String>,
+        /// Operand-window size the hint verifier models.
+        window: u32,
+        /// Run the mutation sanitizer instead of linting.
+        mutate: bool,
+        /// Use the small fixed CI sanitizer configuration.
+        smoke: bool,
+        /// Worker threads for the sanitizer (0 = all cores).
+        jobs: usize,
+    },
     /// Run a kernel with pipeline tracing and print the timeline.
     Trace {
         /// Path to the assembly source.
@@ -138,6 +161,9 @@ USAGE:
   bow-cli compile <file.s> [--window N] [--reorder]
   bow-cli sweep <bench> [--scale test|paper] [--jobs N]
   bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
+  bow-cli lint <file.s> [--window N] [--deny-warnings] [--json FILE]
+  bow-cli lint --all-workloads [--window N] [--deny-warnings] [--json FILE]
+  bow-cli lint --mutate [--smoke] [--jobs N] [--json FILE]
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
@@ -155,6 +181,17 @@ oracle and final memory against an independent host model. Failures
 shrink to a minimal kernel written as a runnable .asm repro. `--smoke`
 is the fixed 64-case CI configuration (other flags except --jobs and
 --out are ignored). Any failure makes the command exit non-zero.
+
+`lint` runs the static-analysis suite (stable B0xx codes; see
+docs/ANALYSIS.md) plus the independent hint-soundness verifier. A file
+that carries no write-back hints is annotated first, so the lint judges
+what the compiler would actually emit. Errors always fail the command;
+--deny-warnings also fails on warnings (advisories never fail).
+`lint --mutate` instead audits the verifier itself: it flips sound hints
+to BocOnly across a generated corpus and requires every mutant that
+demonstrably loses a value to be statically flagged (`--smoke` is the
+small fixed CI configuration). --json writes the machine-readable
+report for either mode.
 ";
 
 /// Parses a command line (without the program name).
@@ -267,6 +304,33 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map(String::from)
                     .unwrap_or_else(|| defaults.out_dir.display().to_string()),
             })
+        }
+        "lint" => {
+            // Flags take values (`--window 4`), so only a leading token
+            // can be the file path.
+            let cmd = Command::Lint {
+                path: rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .map(|a| (*a).into()),
+                all_workloads: flag("--all-workloads"),
+                deny_warnings: flag("--deny-warnings"),
+                json: opt("--json").map(String::from),
+                window,
+                mutate: flag("--mutate"),
+                smoke: flag("--smoke"),
+                jobs,
+            };
+            if let Command::Lint {
+                path: None,
+                all_workloads: false,
+                mutate: false,
+                ..
+            } = &cmd
+            {
+                return Err(err("lint: pass a file, --all-workloads or --mutate"));
+            }
+            Ok(cmd)
         }
         "trace" => Ok(Command::Trace {
             path: positional()
@@ -517,6 +581,99 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 Ok(report.summary())
             } else {
                 Err(err(report.summary()))
+            }
+        }
+        Command::Lint {
+            path,
+            all_workloads,
+            deny_warnings,
+            json,
+            window,
+            mutate,
+            smoke,
+            jobs,
+        } => {
+            if mutate {
+                let mut opts = if smoke {
+                    bow::mutate::MutateOptions::smoke()
+                } else {
+                    bow::mutate::MutateOptions::full()
+                };
+                opts.jobs = jobs;
+                let report = bow::mutate::run_mutation(&opts);
+                if let Some(p) = json {
+                    std::fs::write(&p, report.to_json().to_string_pretty())
+                        .map_err(|e| err(format!("{p}: {e}")))?;
+                }
+                return if report.passed() {
+                    Ok(report.summary())
+                } else {
+                    Err(err(report.summary()))
+                };
+            }
+
+            // (kernel, pc -> source line when it came from a .s file)
+            let mut targets: Vec<(Kernel, Option<Vec<usize>>)> = Vec::new();
+            if let Some(p) = &path {
+                let text = std::fs::read_to_string(p).map_err(|e| err(format!("{p}: {e}")))?;
+                let (k, lines) =
+                    bow_isa::asm::parse_kernel_lines(&text).map_err(|e| err(e.to_string()))?;
+                // Lint hand-annotated kernels as written; run the hint
+                // pass on bare ones so B010 judges real compiler output.
+                // Annotation only sets per-instruction hints, so the
+                // pc -> line table stays valid.
+                let k = if k.insts.iter().any(|i| i.hint != WritebackHint::Both) {
+                    k
+                } else {
+                    bow_compiler::annotate(&k, window).0
+                };
+                targets.push((k, Some(lines)));
+            }
+            if all_workloads {
+                for b in suite(Scale::Test) {
+                    let annotated = bow_compiler::annotate(&b.kernel(), window).0;
+                    targets.push((annotated, None));
+                }
+            }
+
+            let opts = bow_compiler::LintOptions {
+                window,
+                check_hints: true,
+            };
+            let reports: Vec<_> = targets
+                .iter()
+                .map(|(k, _)| bow_compiler::lint_kernel(k, &opts))
+                .collect();
+            if let Some(p) = json {
+                let doc = bow::util::json::Json::arr(reports.iter().map(|r| r.to_json()));
+                std::fs::write(&p, doc.to_string_pretty()).map_err(|e| err(format!("{p}: {e}")))?;
+            }
+
+            let mut out = String::new();
+            for ((k, lines), report) in targets.iter().zip(&reports) {
+                out.push_str(&report.render(k, lines.as_deref()));
+                out.push('\n');
+            }
+            let failing: Vec<&str> = reports
+                .iter()
+                .filter(|r| r.errors() > 0 || (deny_warnings && !r.passes_deny_warnings()))
+                .map(|r| r.kernel.as_str())
+                .collect();
+            writeln!(
+                out,
+                "linted {} kernel(s) at IW{window}: {}",
+                reports.len(),
+                if failing.is_empty() {
+                    "clean".to_string()
+                } else {
+                    format!("FAILED ({})", failing.join(", "))
+                }
+            )
+            .unwrap();
+            if failing.is_empty() {
+                Ok(out)
+            } else {
+                Err(err(out))
             }
         }
         Command::Trace {
@@ -786,6 +943,129 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("OK"), "{out}");
+    }
+
+    #[test]
+    fn parse_lint_flags() {
+        let c = parse(&argv(
+            "lint --all-workloads --deny-warnings --window 4 --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Lint {
+                path: None,
+                all_workloads: true,
+                deny_warnings: true,
+                json: Some("out.json".into()),
+                window: 4,
+                mutate: false,
+                smoke: false,
+                jobs: 0,
+            }
+        );
+        // A bare `lint` has nothing to lint.
+        assert!(parse(&argv("lint")).is_err());
+        match parse(&argv("lint --mutate --smoke --jobs 2")).unwrap() {
+            Command::Lint {
+                mutate,
+                smoke,
+                jobs,
+                ..
+            } => {
+                assert!(mutate && smoke);
+                assert_eq!(jobs, 2);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_all_workloads_is_clean_under_deny_warnings() {
+        let dir = std::env::temp_dir().join("bow_cli_lint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("lint.json");
+        let out = execute(Command::Lint {
+            path: None,
+            all_workloads: true,
+            deny_warnings: true,
+            json: Some(json.display().to_string()),
+            window: 3,
+            mutate: false,
+            smoke: false,
+            jobs: 0,
+        })
+        .unwrap();
+        assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
+        let doc = std::fs::read_to_string(&json).unwrap();
+        let parsed = bow::util::json::parse(&doc).unwrap();
+        assert_eq!(parsed.as_arr().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn lint_flags_an_unsound_file_and_maps_source_lines() {
+        let dir = std::env::temp_dir().join("bow_cli_lint_file_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let asm = dir.join("bad.s");
+        // A hand-annotated kernel: the BocOnly value is evicted (window 3
+        // runs out) before the distant read, and r9 is read uninitialized.
+        std::fs::write(
+            &asm,
+            ".kernel bad\n\
+             \x20   mov r0, 7 .wb.boc\n\
+             \x20   nop\n\
+             \x20   nop\n\
+             \x20   nop\n\
+             \x20   iadd r1, r0, 1\n\
+             \x20   iadd r2, r9, 1\n\
+             \x20   exit\n",
+        )
+        .unwrap();
+        let e = execute(Command::Lint {
+            path: Some(asm.display().to_string()),
+            all_workloads: false,
+            deny_warnings: false,
+            json: None,
+            window: 3,
+            mutate: false,
+            smoke: false,
+            jobs: 0,
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("error[B010]"), "{e}");
+        assert!(e.contains("warning[B001]"), "{e}");
+        // Source-line spans, not raw pcs: `mov r0` sits on line 2.
+        assert!(e.contains("bad:2"), "{e}");
+        assert!(e.contains("FAILED (bad)"), "{e}");
+    }
+
+    #[test]
+    fn lint_annotates_bare_kernels_before_judging_hints() {
+        let dir = std::env::temp_dir().join("bow_cli_lint_bare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let asm = dir.join("ok.s");
+        std::fs::write(
+            &asm,
+            ".kernel ok\n\
+             \x20   mov r0, 7\n\
+             \x20   iadd r1, r0, 1\n\
+             \x20   stg [r1], r0\n\
+             \x20   exit\n",
+        )
+        .unwrap();
+        let out = execute(Command::Lint {
+            path: Some(asm.display().to_string()),
+            all_workloads: false,
+            deny_warnings: true,
+            json: None,
+            window: 3,
+            mutate: false,
+            smoke: false,
+            jobs: 0,
+        })
+        .unwrap();
+        assert!(out.contains("linted 1 kernel(s) at IW3: clean"), "{out}");
     }
 
     #[test]

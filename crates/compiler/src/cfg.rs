@@ -128,6 +128,138 @@ impl Cfg {
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
     }
+
+    /// Computes the dominator tree (Cooper–Harvey–Kennedy iteration over
+    /// reverse postorder) together with entry reachability.
+    pub fn dominators(&self) -> Dominators {
+        let n = self.blocks.len();
+        let mut postorder_of = vec![usize::MAX; n];
+        let mut rpo = Vec::new();
+        if n > 0 {
+            // Iterative DFS postorder from the entry block.
+            let mut post = Vec::with_capacity(n);
+            let mut visited = vec![false; n];
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if let Some(&s) = self.blocks[b].succs.get(*next) {
+                    *next += 1;
+                    if !visited[s] {
+                        visited[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+            for (i, &b) in post.iter().enumerate() {
+                postorder_of[b] = i;
+            }
+            rpo = post;
+            rpo.reverse();
+        }
+        let reachable: Vec<bool> = postorder_of.iter().map(|&p| p != usize::MAX).collect();
+
+        // idom fixpoint; the entry is its own idom while iterating.
+        let mut idom = vec![usize::MAX; n];
+        if n > 0 {
+            idom[0] = 0;
+            let intersect = |idom: &[usize], mut a: usize, mut b: usize| {
+                while a != b {
+                    while postorder_of[a] < postorder_of[b] {
+                        a = idom[a];
+                    }
+                    while postorder_of[b] < postorder_of[a] {
+                        b = idom[b];
+                    }
+                }
+                a
+            };
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &b in rpo.iter().skip(1) {
+                    let mut new = usize::MAX;
+                    for &p in &self.blocks[b].preds {
+                        if idom[p] == usize::MAX {
+                            continue; // unprocessed or unreachable
+                        }
+                        new = if new == usize::MAX {
+                            p
+                        } else {
+                            intersect(&idom, new, p)
+                        };
+                    }
+                    if new != usize::MAX && idom[b] != new {
+                        idom[b] = new;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators {
+            idom,
+            reachable,
+            rpo,
+        }
+    }
+}
+
+/// The dominator tree and reachability facts of a [`Cfg`] (see
+/// [`Cfg::dominators`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dominators {
+    /// Immediate dominator per block; the entry maps to itself and
+    /// unreachable blocks to `usize::MAX`.
+    idom: Vec<usize>,
+    reachable: Vec<bool>,
+    rpo: Vec<usize>,
+}
+
+impl Dominators {
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        (self.reachable[b] && b != 0).then(|| self.idom[b])
+    }
+
+    /// Whether `a` dominates `b` (reflexive). False if either block is
+    /// unreachable.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if !self.reachable.get(a).copied().unwrap_or(false)
+            || !self.reachable.get(b).copied().unwrap_or(false)
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            cur = self.idom[cur];
+        }
+    }
+
+    /// Whether the edge `from → to` is a back edge (its target dominates
+    /// its source) — the loop-identifying test.
+    pub fn is_back_edge(&self, from: usize, to: usize) -> bool {
+        self.dominates(to, from)
+    }
+
+    /// Reachable blocks in reverse postorder (the canonical forward
+    /// iteration order for dataflow).
+    pub fn reverse_postorder(&self) -> &[usize] {
+        &self.rpo
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +341,62 @@ mod tests {
         assert_eq!(cfg.len(), 4);
         let join = cfg.block_of(6);
         assert_eq!(cfg.blocks()[join].preds.len(), 2, "both paths reach join");
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("d")
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(0), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(0), 2)
+            .label("join")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let doms = cfg.dominators();
+        // Blocks: 0 = [ssy,bra], 1 = else arm, 2 = then arm, 3 = join.
+        let join = cfg.block_of(6);
+        assert!(doms.dominates(0, join), "entry dominates the join");
+        assert!(!doms.dominates(1, join), "an arm does not");
+        assert!(!doms.dominates(2, join));
+        assert_eq!(doms.idom(join), Some(0));
+        assert!(doms.dominates(join, join), "reflexive");
+        assert_eq!(doms.idom(0), None, "entry has no idom");
+    }
+
+    #[test]
+    fn back_edge_identifies_the_loop() {
+        let cfg = Cfg::build(&loop_kernel());
+        let doms = cfg.dominators();
+        assert!(doms.is_back_edge(1, 1), "self-loop on the body block");
+        assert!(!doms.is_back_edge(0, 1));
+        assert_eq!(doms.reverse_postorder()[0], 0);
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("j")
+            .bra("end")
+            .mov_imm(r(0), 1) // dead block
+            .label("end")
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let doms = cfg.dominators();
+        assert!(doms.is_reachable(0));
+        assert!(!doms.is_reachable(1));
+        assert!(doms.is_reachable(2));
+        assert!(!doms.dominates(0, 1), "dominance undefined off the CFG");
+        assert_eq!(doms.idom(1), None);
+        assert_eq!(doms.reverse_postorder().len(), 2);
     }
 
     #[test]

@@ -253,6 +253,91 @@ mod tests {
     }
 
     #[test]
+    fn backward_branch_into_a_diamond_arm_is_unbalanced() {
+        // After the diamond reconverges, a depth-0 branch jumps back into
+        // the fall-through arm, which was first reached at depth 1: the
+        // re-entry would run the arm without a reconvergence point and
+        // the `sync` at the join would pop an empty stack.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bad")
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .label("arm")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(1), 2)
+            .label("join")
+            .sync()
+            .bra_if(Pred::p(1), false, "arm")
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(!rep.is_ok(), "{:?}", rep.issues);
+        assert!(
+            rep.issues
+                .iter()
+                .any(|i| matches!(i, StructureIssue::UnbalancedJoin { depths: (1, 0), .. })),
+            "{:?}",
+            rep.issues
+        );
+    }
+
+    #[test]
+    fn barrier_on_one_arm_is_not_a_structural_issue() {
+        // A `bar` on one arm of a diamond deadlocks the warp, but the
+        // SSY/SYNC bookkeeping is balanced — the structure checker must
+        // stay quiet and leave the finding to the `B002` lint, which
+        // reads the same SSY regions.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bad")
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .bar()
+            .mov_imm(r(1), 2)
+            .label("join")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        let lint = crate::verify::lint_kernel(&k, &crate::verify::LintOptions::default());
+        assert!(
+            lint.diagnostics.iter().any(|d| d.code == "B002"),
+            "{lint:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_tail_block_is_skipped_not_misjudged() {
+        // Dead code after the exit contains a bare `sync`; the abstract
+        // stack never reaches it, so the structure checker must not
+        // report SyncWithoutSsy. Reporting the dead block itself is the
+        // `B005` lint's job.
+        let k = KernelBuilder::new("tail")
+            .bra("end")
+            .label("dead")
+            .sync()
+            .label("end")
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        assert!(rep.issues.is_empty(), "{:?}", rep.issues);
+        let lint = crate::verify::lint_kernel(&k, &crate::verify::LintOptions::default());
+        assert!(
+            lint.diagnostics.iter().any(|d| d.code == "B005"),
+            "{lint:?}"
+        );
+    }
+
+    #[test]
     fn issue_messages_are_readable() {
         assert_eq!(
             StructureIssue::SyncWithoutSsy { pc: 7 }.to_string(),

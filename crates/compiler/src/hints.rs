@@ -18,6 +18,14 @@
 //! keeps an RF write unless it is dead on every successor path. This is the
 //! same conservatism the paper adopts for branches, and it is what makes
 //! `BocOnly` *safe*: a transient value is never needed from the RF.
+//!
+//! A write may land while an *older* value of the same register is still
+//! buffered in the window (classified independently, e.g. across blocks).
+//! That is safe regardless of the hints involved because the write-back
+//! port consolidates same-register entries: `Both`/`BocOnly` write-backs
+//! upsert the buffered entry in place, and an `RfOnly` write-back
+//! invalidates it, so a superseded copy can neither forward to a later
+//! read nor write back over the newer value.
 
 use crate::cfg::Cfg;
 use crate::liveness::Liveness;
@@ -376,6 +384,37 @@ mod tests {
         assert_eq!(c[0].1, HintClass::Transient);
         assert_eq!(c[1].1, HintClass::Transient);
         assert_eq!(c[2].1, HintClass::RfOnly);
+    }
+
+    #[test]
+    fn cross_block_rf_only_overwrite_of_a_buffered_value_is_annotated() {
+        // B0 defines r1 (in-window read, live-out via the fallthrough arm's
+        // read -> Persistent/Both); the join block redefines r1 with no
+        // in-window reuse and a late read (-> RfOnly). On the taken path
+        // the redef lands while the B0 entry is still buffered — safe only
+        // because the write-back port invalidates the superseded entry
+        // (see the module docs); the verifier must agree.
+        let k = KernelBuilder::new("waw")
+            .mov_imm(r(1), 1) //                           0: def, Both
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) //   1: in-window read
+            .bra_if(Pred::p(0), false, "skip") //          2
+            .iadd(r(3), r(1).into(), Operand::Imm(0)) //   3: keeps r1 live-out
+            .label("skip")
+            .mov_imm(r(1), 2) //                           4: redef at age 2 (taken path)
+            .nop()
+            .nop()
+            .nop()
+            .nop()
+            .nop()
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(1).into()) //                 11: read past window
+            .exit()
+            .build()
+            .unwrap();
+        let (out, _) = annotate(&k, 4);
+        assert_eq!(out.insts[0].hint, WritebackHint::Both);
+        assert_eq!(out.insts[4].hint, WritebackHint::RfOnly);
+        assert!(crate::verify::verify_hints(&out, 4).is_sound());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`regset`] — a dense 256-bit register set used by the dataflow;
 //! * [`reorder`] — the bypass-aware scheduler the paper's footnote 1 leaves
 //!   as future work: shrinks producer→consumer distances inside blocks so
-//!   more reuse falls within the window.
+//!   more reuse falls within the window;
+//! * [`verify`] — the independent static-analysis framework: a generic
+//!   dataflow engine, the path-sensitive hint-soundness verifier, and the
+//!   `B001..` lint suite behind `bow-cli lint` (see `docs/ANALYSIS.md`).
 //!
 //! The entry point is [`annotate`]:
 //!
@@ -42,10 +45,15 @@ pub mod hints;
 pub mod liveness;
 pub mod regset;
 pub mod reorder;
+pub mod verify;
 
-pub use cfg::Cfg;
+pub use cfg::{Cfg, Dominators};
 pub use divergence::{check_structure, StructureIssue, StructureReport};
 pub use hints::{annotate, classify_kernel, CompilerReport, HintClass};
 pub use liveness::Liveness;
 pub use regset::RegSet;
 pub use reorder::reorder_for_bypass;
+pub use verify::{
+    annotate_checked, lint_kernel, verify_hints, Diagnostic, HintAudit, HintVerdict, LintOptions,
+    LintReport, Severity,
+};

@@ -15,52 +15,15 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    /// Runs the dataflow for `kernel` over its `cfg`.
+    /// Runs the dataflow for `kernel` over its `cfg` — backward union over
+    /// the shared engine ([`crate::verify::dataflow`]), with the per-block
+    /// use/def transfer `in = use ∪ (out − def)` replayed instruction-wise.
     pub fn compute(kernel: &Kernel, cfg: &Cfg) -> Liveness {
-        let n = cfg.len();
-        // Per-block use/def by a backward scan.
-        let mut use_b = vec![RegSet::new(); n];
-        let mut def_b = vec![RegSet::new(); n];
-        for (bi, block) in cfg.blocks().iter().enumerate() {
-            for pc in block.range().rev() {
-                let inst = &kernel.insts[pc];
-                if let Some(d) = inst.dst_reg() {
-                    def_b[bi].insert(d);
-                    use_b[bi].remove(d);
-                }
-                for s in inst.src_regs() {
-                    use_b[bi].insert(s);
-                }
-            }
+        let facts = crate::verify::dataflow::may_live(kernel, cfg);
+        Liveness {
+            live_in: facts.entry,
+            live_out: facts.exit,
         }
-        let mut live_in = vec![RegSet::new(); n];
-        let mut live_out = vec![RegSet::new(); n];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for bi in (0..n).rev() {
-                let mut out = RegSet::new();
-                for &s in &cfg.blocks()[bi].succs {
-                    out.union_with(&live_in[s]);
-                }
-                if out != live_out[bi] {
-                    live_out[bi] = out;
-                    changed = true;
-                }
-                // in = use ∪ (out − def)
-                let mut inn = use_b[bi];
-                for r in live_out[bi].iter() {
-                    if !def_b[bi].contains(r) {
-                        inn.insert(r);
-                    }
-                }
-                if inn != live_in[bi] {
-                    live_in[bi] = inn;
-                    changed = true;
-                }
-            }
-        }
-        Liveness { live_in, live_out }
     }
 
     /// Registers live on entry to block `b`.

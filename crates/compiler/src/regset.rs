@@ -35,6 +35,14 @@ impl RegSet {
         self.words[w] & b != 0
     }
 
+    /// The universe: every architectural register (the ⊤ element of
+    /// must-analyses, which refine downwards by intersection).
+    pub fn full() -> RegSet {
+        RegSet {
+            words: [u64::MAX; 4],
+        }
+    }
+
     /// Unions `other` into `self`; returns true if anything changed.
     pub fn union_with(&mut self, other: &RegSet) -> bool {
         let mut changed = false;
@@ -44,6 +52,24 @@ impl RegSet {
             self.words[i] = new;
         }
         changed
+    }
+
+    /// Intersects `other` into `self`; returns true if anything changed.
+    pub fn intersect_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for i in 0..4 {
+            let new = self.words[i] & other.words[i];
+            changed |= new != self.words[i];
+            self.words[i] = new;
+        }
+        changed
+    }
+
+    /// Removes every member of `other` from `self`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        for i in 0..4 {
+            self.words[i] &= !other.words[i];
+        }
     }
 
     /// Number of registers in the set.
@@ -110,6 +136,29 @@ mod tests {
         assert!(b.union_with(&a));
         assert!(!b.union_with(&a), "idempotent");
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let mut a: RegSet = [Reg::r(1), Reg::r(2), Reg::r(200)].into_iter().collect();
+        let b: RegSet = [Reg::r(2), Reg::r(200)].into_iter().collect();
+        assert!(a.intersect_with(&b));
+        assert!(!a.intersect_with(&b), "idempotent");
+        assert_eq!(a, b);
+        a.subtract(&[Reg::r(200)].into_iter().collect());
+        assert_eq!(a, [Reg::r(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let f = RegSet::full();
+        assert!(f.contains(Reg::r(0)));
+        assert!(f.contains(Reg::r(Reg::MAX_INDEX)));
+        let mut g = f;
+        assert!(
+            !g.union_with(&[Reg::r(3)].into_iter().collect()),
+            "already ⊤"
+        );
     }
 
     #[test]

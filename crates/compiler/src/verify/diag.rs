@@ -1,0 +1,294 @@
+//! Lint diagnostics: stable codes, severities, rustc-style rendering and
+//! JSON serialization (through `bow-util`'s dependency-free [`Json`]).
+//!
+//! Every diagnostic carries a stable `B`-prefixed code (documented in
+//! `docs/ANALYSIS.md`) so CI gates and golden snapshots survive message
+//! rewording. Spans are program counters; when the kernel came from a
+//! `.s` file the caller supplies the pc → source-line table `asm.rs`
+//! produced and the renderer shows real line numbers.
+
+use bow_isa::Kernel;
+use bow_util::json::Json;
+use std::fmt;
+
+/// How serious a diagnostic is. `Error` and `Warning` fail a
+/// `--deny-warnings` lint run; `Info` never does.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The kernel is wrong (unsound hint, broken reconvergence, …).
+    Error,
+    /// Almost certainly a defect (uninitialized read, dead write, …).
+    Warning,
+    /// Advisory (race candidate, assumed-uniform branch, …).
+    Info,
+}
+
+impl Severity {
+    /// The lowercase keyword used in rendered output and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the lint suite or the hint verifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"B010"`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Program counter the finding anchors to, if instruction-specific.
+    pub pc: Option<usize>,
+    /// The one-line finding.
+    pub message: String,
+    /// Supporting notes (counterexample paths, witnesses, …).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic; chain [`Self::at`] / [`Self::note`].
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            pc: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Anchors the diagnostic to an instruction.
+    pub fn at(mut self, pc: usize) -> Diagnostic {
+        self.pc = Some(pc);
+        self
+    }
+
+    /// Appends a supporting note.
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// Per-block register-pressure entry of the `B006` report section.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockPressure {
+    /// Block id.
+    pub block: usize,
+    /// First instruction (inclusive).
+    pub start: usize,
+    /// Last instruction (exclusive).
+    pub end: usize,
+    /// Maximum number of simultaneously live registers at any point in
+    /// the block.
+    pub max_live: usize,
+    /// Whether the block is a natural-loop header (target of a back edge).
+    pub loop_header: bool,
+}
+
+/// Everything one lint run produced for one kernel.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LintReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Findings in pass order, hint-soundness first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The per-block register-pressure table (`B006`).
+    pub pressure: Vec<BlockPressure>,
+}
+
+impl LintReport {
+    /// Number of `Error` diagnostics.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warning` diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of `Info` diagnostics.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the report passes a `--deny-warnings` gate (no errors, no
+    /// warnings; advisories allowed).
+    pub fn passes_deny_warnings(&self) -> bool {
+        self.errors() == 0 && self.warnings() == 0
+    }
+
+    /// Renders the report in rustc style. `lines` maps each pc to its
+    /// 1-based source line when the kernel came from a `.s` file.
+    pub fn render(&self, kernel: &Kernel, lines: Option<&[usize]>) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+            if let Some(pc) = d.pc {
+                let locus = match lines.and_then(|l| l.get(pc)) {
+                    Some(line) => format!("{}:{line}", self.kernel),
+                    None => format!("{}:#{pc}", self.kernel),
+                };
+                out.push_str(&format!("  --> {locus}\n"));
+                if let Some(inst) = kernel.insts.get(pc) {
+                    out.push_str(&format!("   |\n{pc:>3} |     {inst}\n   |\n"));
+                }
+            }
+            for n in &d.notes {
+                out.push_str(&format!("   = note: {n}\n"));
+            }
+        }
+        let (e, w, i) = (self.errors(), self.warnings(), self.infos());
+        out.push_str(&format!(
+            "{}: {e} error(s), {w} warning(s), {i} advisory(ies)\n",
+            self.kernel
+        ));
+        if !self.pressure.is_empty() {
+            out.push_str("register pressure (max-live per block):\n");
+            for p in &self.pressure {
+                out.push_str(&format!(
+                    "  block {:>2}  [{:>3}..{:>3})  max_live {:>3}{}\n",
+                    p.block,
+                    p.start,
+                    p.end,
+                    p.max_live,
+                    if p.loop_header { "  (loop header)" } else { "" }
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the report for machine consumption (`bow-cli lint --json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::Str(self.kernel.clone())),
+            (
+                "diagnostics",
+                Json::arr(self.diagnostics.iter().map(|d| {
+                    Json::obj([
+                        ("code", Json::Str(d.code.to_string())),
+                        ("severity", Json::Str(d.severity.as_str().to_string())),
+                        ("pc", d.pc.map_or(Json::Null, |p| Json::Int(p as i64))),
+                        ("message", Json::Str(d.message.clone())),
+                        (
+                            "notes",
+                            Json::arr(d.notes.iter().map(|n| Json::Str(n.clone()))),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "pressure",
+                Json::arr(self.pressure.iter().map(|p| {
+                    Json::obj([
+                        ("block", Json::Int(p.block as i64)),
+                        ("start", Json::Int(p.start as i64)),
+                        ("end", Json::Int(p.end as i64)),
+                        ("max_live", Json::Int(p.max_live as i64)),
+                        ("loop_header", Json::Bool(p.loop_header)),
+                    ])
+                })),
+            ),
+            (
+                "summary",
+                Json::obj([
+                    ("errors", Json::Int(self.errors() as i64)),
+                    ("warnings", Json::Int(self.warnings() as i64)),
+                    ("infos", Json::Int(self.infos() as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{KernelBuilder, Operand, Reg};
+
+    fn sample() -> (Kernel, LintReport) {
+        let r = Reg::r;
+        let k = KernelBuilder::new("t")
+            .iadd(r(1), r(9).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        let mut rep = LintReport {
+            kernel: "t".into(),
+            ..LintReport::default()
+        };
+        rep.diagnostics.push(
+            Diagnostic::new(
+                "B001",
+                Severity::Warning,
+                "read of r9 which may be uninitialized",
+            )
+            .at(0)
+            .note("r9 is entry-live"),
+        );
+        (k, rep)
+    }
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let (k, rep) = sample();
+        let txt = rep.render(&k, None);
+        assert!(txt.contains("warning[B001]"), "{txt}");
+        assert!(txt.contains("--> t:#0"), "{txt}");
+        assert!(txt.contains("= note: r9 is entry-live"), "{txt}");
+        assert!(txt.contains("0 error(s), 1 warning(s)"), "{txt}");
+    }
+
+    #[test]
+    fn source_lines_replace_pcs_when_available() {
+        let (k, rep) = sample();
+        let txt = rep.render(&k, Some(&[12, 13]));
+        assert!(txt.contains("--> t:12"), "{txt}");
+    }
+
+    #[test]
+    fn deny_warnings_gate() {
+        let (_, rep) = sample();
+        assert!(!rep.passes_deny_warnings());
+        let clean = LintReport::default();
+        assert!(clean.passes_deny_warnings());
+        let mut advisory = LintReport::default();
+        advisory
+            .diagnostics
+            .push(Diagnostic::new("B003", Severity::Info, "candidate"));
+        assert!(advisory.passes_deny_warnings(), "infos never fail the gate");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let (_, rep) = sample();
+        let txt = rep.to_json().to_string_pretty();
+        let back = bow_util::json::parse(&txt).expect("valid json");
+        assert_eq!(
+            back.get("summary").and_then(|s| s.get("warnings")),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(
+            back.get("diagnostics")
+                .and_then(|d| d.as_arr())
+                .map(|d| d.len()),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,539 @@
+//! The lint suite: every static check over a kernel, reported as
+//! [`Diagnostic`]s with stable codes.
+//!
+//! | code | severity | finding                                             |
+//! |------|----------|-----------------------------------------------------|
+//! | B001 | warning  | read of a register that may be uninitialized        |
+//! | B002 | error    | barrier under divergence (in-SSY or guarded `bar`)  |
+//! | B003 | info     | shared-memory race candidate (no separating barrier)|
+//! | B004 | warning  | dead write (value never read afterwards)            |
+//! | B005 | warning  | unreachable basic block                             |
+//! | B010 | error    | unsound `BocOnly` write-back hint                   |
+//! | B011 | error    | broken SSY/SYNC reconvergence structure             |
+//! | B012 | info     | guarded branch assumed warp-uniform                 |
+//!
+//! `B006` is the per-block register-pressure report; it is a table on the
+//! [`LintReport`] rather than a diagnostic because it states facts, not
+//! findings.
+
+use crate::cfg::Cfg;
+use crate::divergence::{check_structure, StructureIssue};
+use crate::verify::dataflow;
+use crate::verify::diag::{BlockPressure, Diagnostic, LintReport, Severity};
+use crate::verify::residency::{verify_hints, HintVerdict};
+use bow_isa::{Kernel, Opcode};
+
+/// Knobs for one lint run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LintOptions {
+    /// Operand-window size the hint verifier models (the repo-wide default
+    /// window is 3).
+    pub window: u32,
+    /// Whether to run the hint-soundness verifier (`B010`). Off for
+    /// kernels that have not been annotated yet.
+    pub check_hints: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            window: 3,
+            check_hints: true,
+        }
+    }
+}
+
+/// Runs every lint pass over `kernel` and collects the report.
+pub fn lint_kernel(kernel: &Kernel, opts: &LintOptions) -> LintReport {
+    let cfg = Cfg::build(kernel);
+    let doms = cfg.dominators();
+    let mut report = LintReport {
+        kernel: kernel.name.clone(),
+        ..LintReport::default()
+    };
+
+    if opts.check_hints {
+        hint_lints(kernel, opts.window, &mut report);
+    }
+    structure_lints(kernel, &mut report);
+    uninit_lints(kernel, &cfg, &doms, &mut report);
+    barrier_lints(kernel, &cfg, &mut report);
+    shared_race_lints(kernel, &mut report);
+    dead_write_lints(kernel, &cfg, &doms, &mut report);
+    unreachable_lints(&cfg, &doms, &mut report);
+    pressure_report(kernel, &cfg, &doms, &mut report);
+    report
+}
+
+/// `B010` from the residency verifier.
+fn hint_lints(kernel: &Kernel, window: u32, report: &mut LintReport) {
+    let audit = verify_hints(kernel, window as usize);
+    for f in &audit.findings {
+        if let HintVerdict::Unsound { read_pc, path } = &f.verdict {
+            report.diagnostics.push(
+                Diagnostic::new(
+                    "B010",
+                    Severity::Error,
+                    format!(
+                        "unsound .wb.boc hint: {} may be read at #{read_pc} after \
+                         window eviction (window {})",
+                        f.reg, audit.window
+                    ),
+                )
+                .at(f.pc)
+                .note(format!(
+                    "counterexample path: {}",
+                    path.iter()
+                        .map(|p| format!("#{p}"))
+                        .collect::<Vec<_>>()
+                        .join(" → ")
+                ))
+                .note("a BocOnly hint suppresses the register-file write-back"),
+            );
+        }
+    }
+}
+
+/// `B011` (errors) and `B012` (advisories) wrapping `divergence.rs`.
+fn structure_lints(kernel: &Kernel, report: &mut LintReport) {
+    let structure = check_structure(kernel);
+    for issue in &structure.issues {
+        let (code, severity) = if issue.is_error() {
+            ("B011", Severity::Error)
+        } else {
+            ("B012", Severity::Info)
+        };
+        let pc = match issue {
+            StructureIssue::SyncWithoutSsy { pc } => Some(*pc),
+            StructureIssue::AssumedUniformBranch { pc } => Some(*pc),
+            StructureIssue::UnbalancedJoin { .. } | StructureIssue::UnclosedSsy { .. } => None,
+        };
+        let mut d = Diagnostic::new(code, severity, issue.to_string());
+        if let Some(pc) = pc {
+            d = d.at(pc);
+        }
+        report.diagnostics.push(d);
+    }
+}
+
+/// `B001`: forward must-init — a read of a register outside the
+/// written-on-every-path set may observe an uninitialized value.
+fn uninit_lints(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    doms: &crate::cfg::Dominators,
+    report: &mut LintReport,
+) {
+    let facts = dataflow::must_init(kernel, cfg);
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !doms.is_reachable(b) {
+            continue;
+        }
+        let mut init = facts.entry[b];
+        for pc in block.range() {
+            let inst = &kernel.insts[pc];
+            for s in inst.unique_src_regs() {
+                if !init.contains(s) {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            "B001",
+                            Severity::Warning,
+                            format!("read of {s} which may be uninitialized"),
+                        )
+                        .at(pc)
+                        .note(format!(
+                            "{s} is not written on every path from the kernel entry \
+                             to this read"
+                        )),
+                    );
+                }
+            }
+            if let Some(d) = inst.dst_reg() {
+                init.insert(d);
+            }
+        }
+    }
+}
+
+/// `B002`: a block-wide barrier executed where the warp may be divergent —
+/// inside an open SSY region or under a predicate guard — can deadlock or
+/// mis-count arrivals.
+fn barrier_lints(kernel: &Kernel, cfg: &Cfg, report: &mut LintReport) {
+    // First-seen SSY depth per block (depth conflicts are B011's problem).
+    let n = cfg.len();
+    let mut depth_in: Vec<Option<usize>> = vec![None; n];
+    if n == 0 {
+        return;
+    }
+    depth_in[0] = Some(0);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut depth = depth_in[b].expect("scheduled blocks have a depth");
+        for pc in cfg.blocks()[b].range() {
+            let inst = &kernel.insts[pc];
+            match inst.op {
+                Opcode::Ssy => depth += 1,
+                Opcode::Sync => depth = depth.saturating_sub(1),
+                Opcode::Bar => {
+                    if depth > 0 {
+                        report.diagnostics.push(
+                            Diagnostic::new(
+                                "B002",
+                                Severity::Error,
+                                "barrier inside a divergent (open ssy) region",
+                            )
+                            .at(pc)
+                            .note(format!("ssy depth here is {depth}")),
+                        );
+                    }
+                    if inst.guard.is_some() {
+                        report.diagnostics.push(
+                            Diagnostic::new(
+                                "B002",
+                                Severity::Error,
+                                "predicated barrier: threads that skip it deadlock the block",
+                            )
+                            .at(pc),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &s in &cfg.blocks()[b].succs {
+            if depth_in[s].is_none() {
+                depth_in[s] = Some(depth);
+                work.push(s);
+            }
+        }
+    }
+}
+
+/// `B003`: a shared-memory store followed by a shared load in the same
+/// barrier phase (no `bar` between them in program order). Advisory: the
+/// check is phase-counting, not address analysis, so it only points at
+/// *candidates* for a missing barrier.
+fn shared_race_lints(kernel: &Kernel, report: &mut LintReport) {
+    let mut phase = 0usize;
+    let mut phase_of = Vec::with_capacity(kernel.insts.len());
+    for (_, inst) in kernel.iter() {
+        phase_of.push(phase);
+        if inst.op == Opcode::Bar {
+            phase += 1;
+        }
+    }
+    for (pc, inst) in kernel.iter() {
+        if inst.op != Opcode::Lds {
+            continue;
+        }
+        if let Some(store) = kernel
+            .iter()
+            .find(|(s, i)| i.op == Opcode::Sts && *s < pc && phase_of[*s] == phase_of[pc])
+        {
+            report.diagnostics.push(
+                Diagnostic::new(
+                    "B003",
+                    Severity::Info,
+                    format!(
+                        "shared load may race with the store at #{}: no barrier \
+                         separates them",
+                        store.0
+                    ),
+                )
+                .at(pc)
+                .note("phase analysis only; thread-local access patterns are safe"),
+            );
+        }
+    }
+}
+
+/// `B004`: a register write whose value is never read afterwards on any
+/// path. (RZ writes are already discarded by the ISA and never get here.)
+fn dead_write_lints(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    doms: &crate::cfg::Dominators,
+    report: &mut LintReport,
+) {
+    let facts = dataflow::may_live(kernel, cfg);
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !doms.is_reachable(b) {
+            continue;
+        }
+        let mut live = facts.exit[b];
+        for pc in block.range().rev() {
+            let inst = &kernel.insts[pc];
+            if let Some(d) = inst.dst_reg() {
+                if !live.contains(d) {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            "B004",
+                            Severity::Warning,
+                            format!("dead write: {d} is never read after this point"),
+                        )
+                        .at(pc),
+                    );
+                }
+                live.remove(d);
+            }
+            for s in inst.src_regs() {
+                live.insert(s);
+            }
+        }
+    }
+}
+
+/// `B005`: blocks no path from the entry reaches.
+fn unreachable_lints(cfg: &Cfg, doms: &crate::cfg::Dominators, report: &mut LintReport) {
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !doms.is_reachable(b) {
+            report.diagnostics.push(
+                Diagnostic::new(
+                    "B005",
+                    Severity::Warning,
+                    format!(
+                        "unreachable block {b} (instructions #{}..#{})",
+                        block.start, block.end
+                    ),
+                )
+                .at(block.start),
+            );
+        }
+    }
+}
+
+/// `B006`: the per-block max-live table, instruction-granular.
+fn pressure_report(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    doms: &crate::cfg::Dominators,
+    report: &mut LintReport,
+) {
+    let facts = dataflow::may_live(kernel, cfg);
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !doms.is_reachable(b) {
+            continue;
+        }
+        let mut live = facts.exit[b];
+        let mut max_live = live.len();
+        for pc in block.range().rev() {
+            let inst = &kernel.insts[pc];
+            if let Some(d) = inst.dst_reg() {
+                live.remove(d);
+            }
+            for s in inst.src_regs() {
+                live.insert(s);
+            }
+            max_live = max_live.max(live.len());
+        }
+        let loop_header = block.preds.iter().any(|&p| doms.is_back_edge(p, b));
+        report.pressure.push(BlockPressure {
+            block: b,
+            start: block.start,
+            end: block.end,
+            max_live,
+            loop_header,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::{CmpOp, KernelBuilder, Operand, Pred, Reg, WritebackHint};
+
+    fn r(i: u8) -> Reg {
+        Reg::r(i)
+    }
+
+    fn codes(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_kernel_yields_no_diagnostics() {
+        let k = KernelBuilder::new("clean")
+            .mov_imm(r(0), 1)
+            .iadd(r(1), r(0).into(), Operand::Imm(2))
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+        assert_eq!(rep.pressure.len(), 1);
+        assert!(rep.passes_deny_warnings());
+    }
+
+    #[test]
+    fn b001_flags_a_maybe_uninitialized_read() {
+        // r9 written on one arm only, read after the join.
+        let k = KernelBuilder::new("uninit")
+            .isetp(CmpOp::Ne, Pred::p(0), Operand::Imm(0), Operand::Imm(0))
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "skip")
+            .mov_imm(r(9), 1)
+            .label("skip")
+            .label("join")
+            .sync()
+            .iadd(r(1), r(9).into(), Operand::Imm(1))
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let b001: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B001")
+            .collect();
+        assert_eq!(b001.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(b001[0].pc, Some(5));
+        assert!(!rep.passes_deny_warnings());
+    }
+
+    #[test]
+    fn b002_flags_a_barrier_in_an_open_ssy_region() {
+        let k = KernelBuilder::new("divbar")
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "join")
+            .bar() // on the fallthrough arm, depth 1
+            .label("join")
+            .sync()
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B002"), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn b002_flags_a_guarded_barrier() {
+        let k = KernelBuilder::new("guardbar")
+            .guard(Pred::p(0), false)
+            .bar()
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B002"));
+    }
+
+    #[test]
+    fn b003_flags_a_store_load_pair_without_a_barrier() {
+        let k = KernelBuilder::new("race")
+            .mov_imm(r(0), 0)
+            .sts(r(0), 0, r(0).into())
+            .lds(r(1), r(0), 0) // same phase as the sts
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B003"));
+        assert!(rep.passes_deny_warnings(), "B003 is advisory");
+
+        let fixed = KernelBuilder::new("fixed")
+            .mov_imm(r(0), 0)
+            .sts(r(0), 0, r(0).into())
+            .bar()
+            .lds(r(1), r(0), 0)
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&fixed, &LintOptions::default());
+        assert!(!codes(&rep).contains(&"B003"), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn b004_flags_a_dead_write() {
+        let k = KernelBuilder::new("dead")
+            .mov_imm(r(0), 1)
+            .mov_imm(r(0), 2) // kills the first write before any read
+            .stg(r(0), 0, r(0).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let dead: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B004")
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pc, Some(0));
+    }
+
+    #[test]
+    fn b005_flags_unreachable_code() {
+        let k = KernelBuilder::new("unreach")
+            .bra("end")
+            .mov_imm(r(0), 1)
+            .label("end")
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B005"));
+    }
+
+    #[test]
+    fn b010_flags_an_unsound_hint_with_its_path() {
+        let mut b = KernelBuilder::new("bad")
+            .mov_imm(r(0), 7)
+            .hint(WritebackHint::BocOnly);
+        for _ in 0..5 {
+            b = b.nop();
+        }
+        let k = b
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let b010: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B010")
+            .collect();
+        assert_eq!(b010.len(), 1);
+        assert_eq!(b010[0].pc, Some(0));
+        assert!(b010[0].notes[0].contains("→"), "{:?}", b010[0].notes);
+        assert_eq!(rep.errors(), 1);
+
+        // Hint checking can be disabled for un-annotated kernels.
+        let rep = lint_kernel(
+            &k,
+            &LintOptions {
+                check_hints: false,
+                ..LintOptions::default()
+            },
+        );
+        assert!(!codes(&rep).contains(&"B010"));
+    }
+
+    #[test]
+    fn b012_is_advisory_for_uniform_loops() {
+        let k = KernelBuilder::new("loop")
+            .mov_imm(r(0), 0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(0), r(0).into(), Operand::Imm(4))
+            .bra_if(Pred::p(0), false, "top")
+            .stg(r(0), 0, r(0).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert_eq!(codes(&rep), vec!["B012"], "{:?}", rep.diagnostics);
+        assert!(rep.passes_deny_warnings());
+        let header = rep
+            .pressure
+            .iter()
+            .find(|p| p.loop_header)
+            .expect("loop header in the pressure table");
+        assert_eq!(header.block, 1);
+    }
+}

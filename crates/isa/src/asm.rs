@@ -40,11 +40,23 @@ use std::collections::HashMap;
 /// syntax problem, or a wrapped validation failure for structurally invalid
 /// kernels.
 pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
+    parse_kernel_lines(text).map(|(k, _)| k)
+}
+
+/// Like [`parse_kernel`] but also returns, per instruction, the 1-based
+/// source line it came from — the span table diagnostics render with
+/// (`bow-cli lint` points at your `.s` line, not a raw pc).
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_kernel`].
+pub fn parse_kernel_lines(text: &str) -> Result<(Kernel, Vec<usize>), AsmError> {
     let mut name = String::from("anonymous");
     let mut num_regs: Option<u16> = None;
     let mut param_words: Option<u16> = None;
     let mut shared_bytes = 0u32;
     let mut insts: Vec<Instruction> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new(); // 1-based source line per pc
     let mut labels: HashMap<String, usize> = HashMap::new();
     let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (pc, label, line)
 
@@ -108,6 +120,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
 
         let inst = parse_instruction(line, lineno, insts.len(), &mut fixups)?;
         insts.push(inst);
+        lines.push(lineno);
     }
 
     for (pc, label, lineno) in fixups {
@@ -140,7 +153,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
     kernel
         .validate()
         .map_err(|e| AsmError::new(0, e.to_string()))?;
-    Ok(kernel)
+    Ok((kernel, lines))
 }
 
 fn parse_num(arg: Option<&str>, lineno: usize, what: &str) -> Result<u64, AsmError> {
@@ -472,6 +485,17 @@ mod tests {
 
         let err = parse_kernel(".kernel x\n    bra nowhere\n    exit").unwrap_err();
         assert!(err.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn line_table_tracks_instruction_sources() {
+        let (k, lines) = parse_kernel_lines(SAXPY).unwrap();
+        assert_eq!(lines.len(), k.len());
+        // SAXPY's first instruction (s2r) sits on line 5 of the raw string.
+        assert_eq!(lines[0], 5);
+        // Lines are strictly increasing: one instruction per source line.
+        assert!(lines.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(lines[14], 19, "exit is the last instruction");
     }
 
     #[test]

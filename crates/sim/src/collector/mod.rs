@@ -251,6 +251,11 @@ impl OperandStage {
 
     /// Inserts an issued instruction, performing the forwarding check
     /// (BOW) or RFC lookup. Control instructions never come here.
+    ///
+    /// Returns the operand registers that will be *fetched from the
+    /// register-file banks* (everything the window or RFC did not serve).
+    /// When the architectural shadow is on, the issue stage injects the
+    /// shadow's bank values for exactly these registers.
     #[allow(clippy::too_many_arguments)]
     pub fn insert<P: Probe>(
         &mut self,
@@ -263,14 +268,16 @@ impl OperandStage {
         rf: &mut RegFile,
         stats: &mut SimStats,
         probe: &mut P,
-    ) {
+    ) -> Vec<Reg> {
         let unique = inst.unique_src_regs();
         emit(stats, probe, PipeEvent::SrcRegs(unique.len()));
 
         let mut operands = Vec::with_capacity(unique.len());
+        let mut rf_fetches = Vec::new();
         match self.kind {
             CollectorKind::Baseline => {
                 for reg in unique {
+                    rf_fetches.push(reg);
                     operands.push(OperandReq {
                         reg,
                         state: OpState::NeedRf,
@@ -283,6 +290,7 @@ impl OperandStage {
                         emit(stats, probe, PipeEvent::RfcRead);
                         OpState::RfcHit
                     } else {
+                        rf_fetches.push(reg);
                         OpState::NeedRf
                     };
                     operands.push(OperandReq { reg, state });
@@ -305,6 +313,7 @@ impl OperandStage {
                         }
                         window::ReadHit::Miss => {
                             win.add_fetch(reg, seq, warp, rf, stats, probe);
+                            rf_fetches.push(reg);
                             OpState::NeedRf
                         }
                     };
@@ -321,6 +330,7 @@ impl OperandStage {
             insert_cycle: cycle,
             operands,
         });
+        rf_fetches
     }
 
     /// Advances a warp's window past a control instruction (control ops
@@ -524,6 +534,11 @@ impl OperandStage {
             CollectorKind::BowWr { window, .. } => match hint {
                 WritebackHint::RfOnly => {
                     emit(stats, probe, PipeEvent::WriteDestClass(WriteDest::RfOnly));
+                    // The write-back port CAM-matches the window: a buffered
+                    // copy of this register is superseded and must neither
+                    // forward to a later read nor write back over the value
+                    // routed here (the WAW eviction regression).
+                    self.windows[warp].invalidate(reg, stats, probe);
                     rf.enqueue_write(warp, reg);
                     emit(stats, probe, PipeEvent::RfWriteRouted);
                 }

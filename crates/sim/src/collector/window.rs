@@ -101,6 +101,27 @@ impl WarpWindow {
         }
     }
 
+    /// Drops the buffered value for `reg` without a write-back: the caller
+    /// has just routed a newer architectural value for the same register
+    /// straight to the RF (an `RfOnly` write-back), superseding the
+    /// buffered copy — the write-back port CAM-matches the window like any
+    /// real result buffer, so the stale copy can neither be forwarded to a
+    /// later read nor written back over the newer value. A dropped dirty
+    /// value counts as a bypassed write (it was consolidated away). An
+    /// in-flight fetch entry is left alone: an *older* instruction's
+    /// collector slot still waits on its grant, and that read predates the
+    /// superseding write.
+    pub fn invalidate<P: Probe>(&mut self, reg: Reg, stats: &mut SimStats, probe: &mut P) {
+        if let Some(i) = self.find(reg) {
+            if self.entries[i].ready_at.is_some() {
+                let e = self.entries.remove(i);
+                if e.dirty {
+                    emit(stats, probe, PipeEvent::BypassedWrite);
+                }
+            }
+        }
+    }
+
     /// Registers an in-flight fetch for `reg` (a window miss being read
     /// from the RF into the BOC).
     pub fn add_fetch<P: Probe>(
@@ -454,6 +475,29 @@ mod tests {
         w.slide(1, 0, &mut rf, &mut st, &mut NullProbe);
         assert_eq!(st.forced_evictions, 1);
         assert_eq!(st.rf_writes_routed, 1, "safety write-back");
+    }
+
+    #[test]
+    fn invalidate_drops_arrived_entries_but_not_inflight_fetches() {
+        let (mut rf, mut st) = fixtures();
+        let mut w = WarpWindow::new(3, 12);
+        w.upsert_dirty(
+            Reg::r(2),
+            0,
+            WritebackHint::Both,
+            0,
+            &mut rf,
+            &mut st,
+            &mut NullProbe,
+        );
+        w.invalidate(Reg::r(2), &mut st, &mut NullProbe);
+        assert_eq!(w.live_entries(), 0, "superseded dirty value dropped");
+        assert_eq!(st.bypassed_writes, 1, "the consolidated write is counted");
+        assert_eq!(rf.queued_writes(), 0, "and never reaches the RF");
+
+        w.add_fetch(Reg::r(3), 1, 0, &mut rf, &mut st, &mut NullProbe);
+        w.invalidate(Reg::r(3), &mut st, &mut NullProbe);
+        assert_eq!(w.live_entries(), 1, "a pinned fetch survives");
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct GpuConfig {
     /// panic when they disagree. Costly; off by default; intended for
     /// differential testing (`bow fuzz`) and correctness CI.
     pub oracle_check: OracleCheck,
+    /// Maintain an architectural shadow of the register-file banks and
+    /// feed bank fetches from it, so that write-back *policy* — a dirty
+    /// `BocOnly` value dropped at eviction — becomes architecturally
+    /// visible instead of silently absorbed by the value-less timing
+    /// model. Off by default; used by the mutation sanitizer
+    /// (`bow-cli lint --mutate`) together with [`OracleCheck::Lockstep`]
+    /// to make the oracle catch unsound hints dynamically.
+    pub shadow_rf: bool,
 }
 
 /// How strictly [`GpuConfig::oracle_check`] compares a launch against the
@@ -132,6 +140,7 @@ impl GpuConfig {
             max_cycles: 0,
             trace_pipeline: false,
             oracle_check: OracleCheck::Off,
+            shadow_rf: false,
         }
     }
 

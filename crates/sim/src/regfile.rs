@@ -7,8 +7,8 @@
 //! across banks with the standard `(warp + reg) % banks` mapping so
 //! different warps' hot registers spread out.
 
-use bow_isa::Reg;
-use std::collections::VecDeque;
+use bow_isa::{Reg, WARP_SIZE};
+use std::collections::{HashMap, VecDeque};
 
 /// A queued register-file write (one warp-register, 128 B).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,6 +32,29 @@ pub struct RegFileStats {
     pub write_queue_cycles: u64,
 }
 
+/// An architectural shadow of the bank contents, maintained only when
+/// [`RegFile::enable_shadow`] was called (the `shadow_rf` config knob).
+///
+/// The timing model does not store values: `Warp::regs` is the functional
+/// state and is updated the moment an instruction executes, which makes
+/// write-back *policy* invisible — a dropped `BocOnly` write-back can never
+/// corrupt anything. The shadow closes that gap. Values produced at
+/// write-back are *staged*; they commit to the shadow only when a write is
+/// actually enqueued to a bank, so a dirty window entry dropped at eviction
+/// simply never commits and the shadow keeps the stale bank value. Window
+/// reads that miss (and therefore fetch from the banks) inject the shadow
+/// value back into the functional state, making an unsound hint
+/// architecturally visible to the lockstep oracle.
+#[derive(Clone, Debug, Default)]
+struct ShadowRf {
+    /// Committed bank contents per warp slot; absent registers hold zeros,
+    /// matching freshly spawned warp state.
+    regs: Vec<HashMap<u8, [u32; WARP_SIZE]>>,
+    /// Produced at write-back but not (yet) enqueued to a bank — the dirty
+    /// window entries.
+    staged: Vec<HashMap<u8, [u32; WARP_SIZE]>>,
+}
+
 /// The banked register file (timing side).
 #[derive(Clone, Debug)]
 pub struct RegFile {
@@ -40,6 +63,7 @@ pub struct RegFile {
     /// Banks whose port is consumed this cycle.
     busy: Vec<bool>,
     stats: RegFileStats,
+    shadow: Option<ShadowRf>,
 }
 
 impl RegFile {
@@ -51,6 +75,49 @@ impl RegFile {
             write_queues: vec![VecDeque::new(); banks],
             busy: vec![false; banks],
             stats: RegFileStats::default(),
+            shadow: None,
+        }
+    }
+
+    /// Enables the architectural shadow for `warp_slots` warp slots.
+    pub fn enable_shadow(&mut self, warp_slots: usize) {
+        self.shadow = Some(ShadowRf {
+            regs: vec![HashMap::new(); warp_slots],
+            staged: vec![HashMap::new(); warp_slots],
+        });
+    }
+
+    /// Whether the architectural shadow is maintained.
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Records the lane values a completing instruction produced for
+    /// `reg`, to be committed to the shadow if and when a bank write is
+    /// enqueued. No-op while the shadow is disabled.
+    pub fn shadow_stage(&mut self, warp: usize, reg: Reg, lanes: [u32; WARP_SIZE]) {
+        if let Some(sh) = &mut self.shadow {
+            sh.staged[warp].insert(reg.index(), lanes);
+        }
+    }
+
+    /// What the banks hold for `warp`/`reg`: the last committed write, or
+    /// zeros (spawn state) if none. `None` while the shadow is disabled.
+    pub fn shadow_read(&self, warp: usize, reg: Reg) -> Option<[u32; WARP_SIZE]> {
+        let sh = self.shadow.as_ref()?;
+        Some(
+            sh.regs[warp]
+                .get(&reg.index())
+                .copied()
+                .unwrap_or([0; WARP_SIZE]),
+        )
+    }
+
+    /// Clears shadow state for a warp slot being handed to a new warp.
+    pub fn shadow_reset_warp(&mut self, warp: usize) {
+        if let Some(sh) = &mut self.shadow {
+            sh.regs[warp].clear();
+            sh.staged[warp].clear();
         }
     }
 
@@ -69,8 +136,15 @@ impl RegFile {
         self.stats
     }
 
-    /// Queues a write-back to the banks.
+    /// Queues a write-back to the banks. This is the single point where
+    /// values become architecturally visible in the banks, so the staged
+    /// shadow value (if any) commits here.
     pub fn enqueue_write(&mut self, warp: usize, reg: Reg) {
+        if let Some(sh) = &mut self.shadow {
+            if let Some(lanes) = sh.staged[warp].remove(&reg.index()) {
+                sh.regs[warp].insert(reg.index(), lanes);
+            }
+        }
         let b = self.bank_of(warp, reg);
         self.write_queues[b].push_back(PendingWrite { warp, reg });
     }
@@ -192,6 +266,58 @@ mod tests {
         assert!(!rf.try_read(0, Reg::r(2)), "same bank via reg swizzle");
         assert_eq!(rf.stats().read_conflicts, 2);
         assert_eq!(rf.stats().reads, 1);
+    }
+
+    #[test]
+    fn shadow_commits_only_on_enqueue() {
+        let mut rf = RegFile::new(4);
+        assert!(!rf.shadow_enabled());
+        assert_eq!(rf.shadow_read(0, Reg::r(1)), None, "disabled => None");
+        rf.enable_shadow(2);
+        assert_eq!(
+            rf.shadow_read(0, Reg::r(1)),
+            Some([0; WARP_SIZE]),
+            "spawn state is zeros"
+        );
+        let lanes = [7; WARP_SIZE];
+        rf.shadow_stage(0, Reg::r(1), lanes);
+        assert_eq!(
+            rf.shadow_read(0, Reg::r(1)),
+            Some([0; WARP_SIZE]),
+            "staged but not enqueued: banks unchanged"
+        );
+        rf.enqueue_write(0, Reg::r(1));
+        assert_eq!(rf.shadow_read(0, Reg::r(1)), Some(lanes));
+    }
+
+    #[test]
+    fn dropped_staged_value_leaves_shadow_stale() {
+        // A dirty BocOnly window entry that is evicted without write-back
+        // never enqueues; the shadow must keep the old bank value.
+        let mut rf = RegFile::new(4);
+        rf.enable_shadow(1);
+        rf.shadow_stage(0, Reg::r(2), [1; WARP_SIZE]);
+        rf.enqueue_write(0, Reg::r(2));
+        rf.shadow_stage(0, Reg::r(2), [2; WARP_SIZE]); // dropped: no enqueue
+        assert_eq!(rf.shadow_read(0, Reg::r(2)), Some([1; WARP_SIZE]));
+        // A later unrelated enqueue of the same register (e.g. a fresh
+        // write) commits only what is staged at that point.
+        rf.shadow_stage(0, Reg::r(2), [3; WARP_SIZE]);
+        rf.enqueue_write(0, Reg::r(2));
+        assert_eq!(rf.shadow_read(0, Reg::r(2)), Some([3; WARP_SIZE]));
+    }
+
+    #[test]
+    fn shadow_reset_clears_one_warp_slot() {
+        let mut rf = RegFile::new(4);
+        rf.enable_shadow(2);
+        for w in 0..2 {
+            rf.shadow_stage(w, Reg::r(5), [9; WARP_SIZE]);
+            rf.enqueue_write(w, Reg::r(5));
+        }
+        rf.shadow_reset_warp(0);
+        assert_eq!(rf.shadow_read(0, Reg::r(5)), Some([0; WARP_SIZE]));
+        assert_eq!(rf.shadow_read(1, Reg::r(5)), Some([9; WARP_SIZE]));
     }
 
     #[test]

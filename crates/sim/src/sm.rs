@@ -56,7 +56,7 @@ impl Sm {
                     u64::from(config.rf_read_latency),
                     config.xbar_width,
                 ),
-                rf: RegFile::new(config.rf_banks as usize),
+                rf: Self::build_rf(config, max_warps),
                 mem: MemSystem::new(config.mem),
                 params: Vec::new(),
                 stats: SimStats::default(),
@@ -74,6 +74,14 @@ impl Sm {
         self.ctx.id
     }
 
+    fn build_rf(config: &GpuConfig, warp_slots: usize) -> RegFile {
+        let mut rf = RegFile::new(config.rf_banks as usize);
+        if config.shadow_rf {
+            rf.enable_shadow(warp_slots);
+        }
+        rf
+    }
+
     /// Prepares the SM for a new launch: caches flush and all statistics
     /// restart so each launch reports only its own work.
     pub fn reset_for_launch(&mut self, params: &[u32]) {
@@ -81,7 +89,7 @@ impl Sm {
         let ctx = &mut self.ctx;
         ctx.params = params.to_vec();
         ctx.mem = MemSystem::new(ctx.config.mem);
-        ctx.rf = RegFile::new(ctx.config.rf_banks as usize);
+        ctx.rf = Self::build_rf(&ctx.config, ctx.warps.len());
         ctx.oc = OperandStage::new(
             ctx.config.collector,
             ctx.warps.len(),
@@ -136,6 +144,7 @@ impl Sm {
                 .expect("assign_block without free warp slots");
             let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
             ctx.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
+            ctx.rf.shadow_reset_warp(wslot);
             ctx.scoreboards[wslot] = Scoreboard::new();
             ctx.warp_age[wslot] = ctx.age_counter;
             ctx.age_counter += 1;

@@ -175,7 +175,7 @@ impl IssueStage {
             warp.inflight += 1;
             let pc = warp.pc - 1;
             let cycle = ctx.cycle;
-            ctx.oc.insert(
+            let rf_fetches = ctx.oc.insert(
                 w,
                 pc,
                 &inst,
@@ -186,6 +186,21 @@ impl IssueStage {
                 &mut ctx.stats,
                 probe,
             );
+            // With the architectural shadow on, a bank fetch returns what
+            // the banks hold — not the always-fresh functional value. The
+            // scoreboard's RAW/WAR blocking guarantees no write to these
+            // registers is in flight, so overwriting them here is exactly
+            // the value the grant would deliver.
+            if ctx.rf.shadow_enabled() {
+                let warp = ctx.warps[w].as_mut().expect("live");
+                for reg in rf_fetches {
+                    if let Some(lanes) = ctx.rf.shadow_read(w, reg) {
+                        for (lane, v) in lanes.iter().enumerate() {
+                            warp.write_reg(lane, reg, *v);
+                        }
+                    }
+                }
+            }
             ctx.scoreboards[w].issue(&inst);
             emit(
                 &mut ctx.stats,

@@ -3,7 +3,7 @@
 
 use super::{Latches, PipelineStage, SmCtx};
 use crate::probe::{emit, PipeEvent, Probe};
-use bow_isa::{Kernel, Pred, Reg, WritebackHint};
+use bow_isa::{Kernel, Pred, Reg, WritebackHint, WARP_SIZE};
 use bow_mem::GlobalMemory;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -107,6 +107,20 @@ impl PipelineStage for WritebackStage {
             };
             warp.inflight -= 1;
             let current_seq = warp.seq;
+            // Stage the architectural result for the shadow RF: warp.regs
+            // already holds what this completion computed, and whether it
+            // ever reaches the banks is exactly what the write policy
+            // below decides (via `RegFile::enqueue_write`, or never).
+            let shadow_lanes = match c.dst_reg {
+                Some(reg) if ctx.rf.shadow_enabled() => {
+                    let mut lanes = [0u32; WARP_SIZE];
+                    for (lane, v) in lanes.iter_mut().enumerate() {
+                        *v = warp.read_reg(lane, reg);
+                    }
+                    Some(lanes)
+                }
+                _ => None,
+            };
             emit(
                 &mut ctx.stats,
                 probe,
@@ -119,6 +133,9 @@ impl PipelineStage for WritebackStage {
                 },
             );
             if let Some(reg) = c.dst_reg {
+                if let Some(lanes) = shadow_lanes {
+                    ctx.rf.shadow_stage(c.warp, reg, lanes);
+                }
                 ctx.oc.writeback(
                     c.warp,
                     reg,

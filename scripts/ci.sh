@@ -25,6 +25,23 @@ echo "==> bow fuzz --smoke (64-case differential fuzz, fixed seed)"
 # repros to target/fuzz-repros/.
 cargo run --release -q --offline -p bow-cli -- fuzz --smoke --out target/fuzz-repros
 
+echo "==> bow lint --all-workloads --deny-warnings"
+# Static-analysis gate: every annotated workload kernel must be free of
+# lint errors *and* warnings (advisories allowed), including the
+# independent hint-soundness verifier (B010). The JSON report is kept as
+# a CI artifact.
+mkdir -p target/lint-reports
+cargo run --release -q --offline -p bow-cli -- \
+    lint --all-workloads --deny-warnings --json target/lint-reports/workloads.json
+
+echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
+# Audits the verifier itself: flips sound hints to BocOnly across a
+# generated corpus and requires every mutant that demonstrably loses a
+# live value (per the architectural window replayer) to be statically
+# flagged, plus at least one lockstep-confirmed catch in the pipeline.
+cargo run --release -q --offline -p bow-cli -- \
+    lint --mutate --smoke --json target/lint-reports/mutation.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -94,6 +94,7 @@ fn annotated_kernels_run_correctly_at_every_window() {
                 gpu: GpuConfig::scaled(CollectorKind::bow_wr(w)),
                 hints: true,
                 reorder: false,
+                verify: true,
             };
             let rec = bow::experiment::run(bench.as_ref(), cfg);
             if let Err(e) = &rec.outcome.checked {
