@@ -1,0 +1,138 @@
+//! Simulator-throughput benchmark: full-chip 56-SM TITAN X launches at
+//! several intra-run thread counts, measuring wall-clock seconds and
+//! simulated cycles per second for each, and recording the table in
+//! `results/bench_throughput.json`.
+//!
+//! The windowed engine is deterministic by construction, so before any
+//! speedup is reported the run cross-checks that every thread count
+//! produced the same [`SimStats`] fingerprint — a throughput number for
+//! a run that diverged would be meaningless.
+//!
+//! ```sh
+//! cargo run --release -p bow-bench --bin bench_throughput
+//! # CI smoke (small problems, same code paths):
+//! BOW_SCALE=test cargo run --release -p bow-bench --bin bench_throughput -- vectoradd
+//! ```
+//!
+//! Positional arguments name the benchmarks to time (default: a small
+//! representative set). `--sim-threads` is ignored here — the sweep over
+//! thread counts *is* the experiment.
+
+use bow::prelude::*;
+use bow_bench::{scale_from_env, write_json};
+use bow_util::json::Json;
+use std::time::Instant;
+
+/// Default benchmarks: one streaming kernel, one compute-heavy network
+/// and one irregular graph traversal.
+const DEFAULT_BENCHMARKS: &[&str] = &["vectoradd", "backprop", "bfs"];
+
+/// Intra-run thread counts swept per benchmark. `1` is the serial
+/// reference the speedups are relative to.
+const THREADS: &[u32] = &[1, 2, 4];
+
+fn main() {
+    let scale = scale_from_env();
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = {
+        let picked: Vec<String> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
+        if picked.is_empty() {
+            DEFAULT_BENCHMARKS.iter().map(|s| s.to_string()).collect()
+        } else {
+            picked
+        }
+    };
+
+    let num_sms = GpuConfig::titan_x_pascal(CollectorKind::Baseline).num_sms;
+    eprintln!(
+        "bench_throughput: {} benchmark(s) x sim_threads {THREADS:?} on the \
+         {num_sms}-SM TITAN X ({host} host core(s) available)",
+        names.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for name in &names {
+        let bench = bow::workloads::by_name(name, scale)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let mut serial_wall = 0.0f64;
+        let mut serial_print = None;
+        for &t in THREADS {
+            let config = ConfigBuilder::bow_wr(3)
+                .model(GpuModel::TitanX)
+                .sim_threads(t)
+                .build();
+            let start = Instant::now();
+            let rec = bow::experiment::run(bench.as_ref(), config);
+            let wall = start.elapsed().as_secs_f64();
+            assert!(
+                rec.outcome.result.completed,
+                "{name}: launch hit the watchdog"
+            );
+            let cycles = rec.outcome.result.cycles;
+            let print = rec.outcome.result.stats.fingerprint();
+            match serial_print {
+                None => {
+                    serial_wall = wall;
+                    serial_print = Some(print);
+                }
+                Some(p) => assert_eq!(
+                    p, print,
+                    "{name}: stats fingerprint diverged at sim_threads={t}"
+                ),
+            }
+            let speedup = serial_wall / wall.max(1e-9);
+            let cps = cycles as f64 / wall.max(1e-9);
+            rows.push(vec![
+                name.clone(),
+                t.to_string(),
+                format!("{wall:.3}"),
+                format!("{cps:.0}"),
+                format!("{speedup:.2}x"),
+            ]);
+            runs.push(Json::obj([
+                ("benchmark", Json::from(name.as_str())),
+                ("sim_threads", Json::from(t)),
+                ("wall_seconds", Json::from(wall)),
+                ("cycles", Json::from(cycles)),
+                ("cycles_per_sec", Json::from(cps)),
+                ("speedup_vs_serial", Json::from(speedup)),
+                ("fingerprint", Json::from(format!("{print:016x}"))),
+            ]));
+            eprintln!("  {name} t={t}: {wall:.3}s ({speedup:.2}x)");
+        }
+    }
+
+    let doc = Json::obj([
+        ("experiment", Json::from("bench_throughput")),
+        ("model", Json::from("titan_x_pascal")),
+        ("num_sms", Json::from(num_sms)),
+        ("scale", Json::from(format!("{scale:?}"))),
+        ("host_parallelism", Json::from(host)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    // The CI smoke runs at BOW_SCALE=test; suffix its artifact so it never
+    // clobbers the committed paper-scale numbers (the `_chip` convention).
+    let out_name = if matches!(scale, Scale::Test) {
+        "bench_throughput_test"
+    } else {
+        "bench_throughput"
+    };
+    write_json(out_name, &doc);
+
+    println!("Simulator throughput — full-chip TITAN X, BOW-WR IW3\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &["benchmark", "threads", "wall (s)", "cycles/s", "speedup"],
+            &rows
+        )
+    );
+    println!("host parallelism: {host} core(s); speedups are wall-clock vs sim_threads=1.");
+    println!("results/{out_name}.json holds the machine-readable copy.");
+}

@@ -4,19 +4,28 @@
 //!
 //! ```sh
 //! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig10_ipc -- --jobs $(nproc)
+//! BOW_SCALE=chip  cargo run --release -p bow-bench --bin fig10_ipc -- --sim-threads 4
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
+use bow_bench::{export_sweep, geomean_speedup, sweep, BenchTier};
 
 fn main() {
-    let scale = scale_from_env();
+    let tier = BenchTier::from_env();
     let windows = [2u32, 3, 4];
-    let mut configs = vec![ConfigBuilder::baseline().build()];
-    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow(w).build()));
-    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow_wr(w).build()));
-    let result = sweep(configs, scale);
-    export_sweep("fig10_ipc", &result);
+    let mut configs = vec![tier.configure(ConfigBuilder::baseline())];
+    configs.extend(
+        windows
+            .iter()
+            .map(|&w| tier.configure(ConfigBuilder::bow(w))),
+    );
+    configs.extend(
+        windows
+            .iter()
+            .map(|&w| tier.configure(ConfigBuilder::bow_wr(w))),
+    );
+    let result = sweep(configs, tier.scale);
+    export_sweep(&format!("fig10_ipc{}", tier.suffix()), &result);
     let base = result.records("baseline").expect("baseline row");
 
     for (title, prefix) in [("(a) BOW", "bow"), ("(b) BOW-WR", "bow-wr")] {

@@ -3,17 +3,23 @@
 //!
 //! ```sh
 //! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig12_oc_cycles -- --jobs $(nproc)
+//! BOW_SCALE=chip  cargo run --release -p bow-bench --bin fig12_oc_cycles -- --sim-threads 4
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{export_sweep, scale_from_env, sweep};
+use bow_bench::{export_sweep, sweep, BenchTier};
 
 fn main() {
+    let tier = BenchTier::from_env();
     let windows = [2u32, 3, 4];
-    let mut configs = vec![ConfigBuilder::baseline().build()];
-    configs.extend(windows.iter().map(|&w| ConfigBuilder::bow(w).build()));
-    let result = sweep(configs, scale_from_env());
-    export_sweep("fig12_oc_cycles", &result);
+    let mut configs = vec![tier.configure(ConfigBuilder::baseline())];
+    configs.extend(
+        windows
+            .iter()
+            .map(|&w| tier.configure(ConfigBuilder::bow(w))),
+    );
+    let result = sweep(configs, tier.scale);
+    export_sweep(&format!("fig12_oc_cycles{}", tier.suffix()), &result);
     let base = result.row(0).records();
     let runs: Vec<&[RunRecord]> = (1..result.rows.len())
         .map(|i| result.row(i).records())

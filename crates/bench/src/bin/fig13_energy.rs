@@ -4,22 +4,24 @@
 //!
 //! ```sh
 //! BOW_SCALE=paper cargo run --release -p bow-bench --bin fig13_energy -- --jobs $(nproc)
+//! BOW_SCALE=chip  cargo run --release -p bow-bench --bin fig13_energy -- --sim-threads 4
 //! ```
 
 use bow::prelude::*;
-use bow_bench::{export_sweep, scale_from_env, sweep};
+use bow_bench::{export_sweep, sweep, BenchTier};
 
 fn main() {
+    let tier = BenchTier::from_env();
     let model = EnergyModel::table_iv();
     let result = sweep(
         [
-            ConfigBuilder::baseline().build(),
-            ConfigBuilder::bow(3).build(),
-            ConfigBuilder::bow_wr(3).build(),
+            tier.configure(ConfigBuilder::baseline()),
+            tier.configure(ConfigBuilder::bow(3)),
+            tier.configure(ConfigBuilder::bow_wr(3)),
         ],
-        scale_from_env(),
+        tier.scale,
     );
-    export_sweep("fig13_energy", &result);
+    export_sweep(&format!("fig13_energy{}", tier.suffix()), &result);
     let base = result.row(0).records();
 
     for (title, label) in [("(a) BOW", "bow iw3"), ("(b) BOW-WR", "bow-wr iw3")] {

@@ -3,11 +3,16 @@
 //! Every binary in `src/bin/` builds one (benchmark × configuration)
 //! matrix, hands it to the parallel sweep engine ([`bow::suite::Suite`])
 //! via [`sweep`], prints the same rows/series the paper's figure reports
-//! and drops a machine-readable copy in `results/<name>.json`. Scale is
-//! selected with the `BOW_SCALE` environment variable (`test` or `paper`,
-//! default `paper`); worker count with `--jobs N` (or `BOW_JOBS`,
-//! default: all cores). Progress lines go to stderr only, so redirected
-//! stdout tables are byte-identical at any job count.
+//! and drops a machine-readable copy in `results/<name>.json`. The tier
+//! is selected with the `BOW_SCALE` environment variable — `test` or
+//! `paper` (default) run the scaled 2-SM model, `chip` runs paper-scale
+//! problems on the full 56-SM TITAN X and suffixes result files with
+//! `_chip` — and the worker count with `--jobs N` (or `BOW_JOBS`,
+//! default: all cores). `--sim-threads T` (or `BOW_SIM_THREADS`)
+//! additionally shards each launch's SM pipelines across the intra-run
+//! windowed engine, splitting the jobs budget between the two layers.
+//! Progress lines go to stderr only, so redirected stdout tables are
+//! byte-identical at any job count and any thread split.
 
 use bow::prelude::*;
 use bow::suite::SweepResult;
@@ -16,11 +21,61 @@ use bow_util::json::Json;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-/// Reads the problem scale from `BOW_SCALE` (default: `paper`).
+/// Reads the problem scale from `BOW_SCALE` (default: `paper`). The
+/// `chip` tier runs paper-scale problems.
 pub fn scale_from_env() -> Scale {
     match std::env::var("BOW_SCALE").as_deref() {
         Ok("test") => Scale::Test,
         _ => Scale::Paper,
+    }
+}
+
+/// The bench tier `BOW_SCALE` selects: the problem scale plus the GPU
+/// model the configurations run on.
+///
+/// * `test` — small problems, scaled 2-SM model (CI);
+/// * `paper` (default) — paper-size problems, scaled 2-SM model;
+/// * `chip` — paper-size problems on the full 56-SM TITAN X of Table II
+///   ([`GpuModel::TitanX`]); result files gain a `_chip` suffix so
+///   full-chip runs never overwrite the scaled-tier artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BenchTier {
+    /// Problem scale for the workload suite.
+    pub scale: Scale,
+    /// GPU model every configuration runs on.
+    pub model: GpuModel,
+}
+
+impl BenchTier {
+    /// Reads the tier from `BOW_SCALE`.
+    pub fn from_env() -> BenchTier {
+        match std::env::var("BOW_SCALE").as_deref() {
+            Ok("test") => BenchTier {
+                scale: Scale::Test,
+                model: GpuModel::Scaled,
+            },
+            Ok("chip") => BenchTier {
+                scale: Scale::Paper,
+                model: GpuModel::TitanX,
+            },
+            _ => BenchTier {
+                scale: Scale::Paper,
+                model: GpuModel::Scaled,
+            },
+        }
+    }
+
+    /// Suffix for result-file names (`"_chip"` on the full-chip tier).
+    pub fn suffix(&self) -> &'static str {
+        match self.model {
+            GpuModel::TitanX => "_chip",
+            GpuModel::Scaled => "",
+        }
+    }
+
+    /// Applies the tier's GPU model to a configuration builder.
+    pub fn configure(&self, builder: ConfigBuilder) -> Config {
+        builder.model(self.model).build()
     }
 }
 
@@ -52,14 +107,42 @@ pub fn parse_jobs(args: &[String]) -> Option<usize> {
     None
 }
 
+/// Per-launch intra-run engine threads: `--sim-threads T` /
+/// `--sim-threads=T` on the command line, else `BOW_SIM_THREADS`, else
+/// `None` (the whole jobs budget goes to sweep-level workers).
+pub fn sim_threads_from_args() -> Option<u32> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(t) = parse_sim_threads(&args[1..]) {
+        return Some(t);
+    }
+    std::env::var("BOW_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Extracts a sim-threads request from an argument list.
+pub fn parse_sim_threads(args: &[String]) -> Option<u32> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--sim-threads" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--sim-threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 /// Runs the full suite under every configuration on the parallel sweep
 /// engine, asserting functional correctness of every cell. Rows come
 /// back in the order `configs` lists them, records in suite order.
 pub fn sweep(configs: impl IntoIterator<Item = Config>, scale: Scale) -> SweepResult {
-    let result = Suite::new(scale)
-        .configs(configs)
-        .jobs(jobs_from_args())
-        .run();
+    let mut suite = Suite::new(scale).configs(configs).jobs(jobs_from_args());
+    if let Some(t) = sim_threads_from_args() {
+        suite = suite.sim_threads(t);
+    }
+    let result = suite.run();
     result.assert_checked();
     result
 }
@@ -269,5 +352,34 @@ mod tests {
         assert_eq!(parse_jobs(&argv("foo --jobs 2 bar")), Some(2));
         assert_eq!(parse_jobs(&argv("--jobs")), None);
         assert_eq!(parse_jobs(&argv("")), None);
+    }
+
+    #[test]
+    fn parse_sim_threads_accepts_both_spellings() {
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        assert_eq!(parse_sim_threads(&argv("--sim-threads 4")), Some(4));
+        assert_eq!(parse_sim_threads(&argv("--sim-threads=2")), Some(2));
+        assert_eq!(parse_sim_threads(&argv("--jobs 4")), None);
+        assert_eq!(parse_sim_threads(&argv("--sim-threads")), None);
+    }
+
+    #[test]
+    fn chip_tier_selects_the_full_titan_x() {
+        // `from_env` is env-dependent; check the tier mechanics directly.
+        let chip = BenchTier {
+            scale: Scale::Paper,
+            model: GpuModel::TitanX,
+        };
+        assert_eq!(chip.suffix(), "_chip");
+        let cfg = chip.configure(ConfigBuilder::bow_wr(3));
+        assert_eq!(cfg.gpu.num_sms, 56);
+        assert_eq!(cfg.label, "bow-wr iw3");
+
+        let scaled = BenchTier {
+            scale: Scale::Test,
+            model: GpuModel::Scaled,
+        };
+        assert_eq!(scaled.suffix(), "");
+        assert_eq!(scaled.configure(ConfigBuilder::baseline()).gpu.num_sms, 2);
     }
 }

@@ -68,6 +68,7 @@ pub struct ConfigBuilder {
     shadow_rf: bool,
     model: GpuModel,
     analyzer: Vec<u32>,
+    sim_threads: u32,
     label: Option<String>,
 }
 
@@ -88,6 +89,7 @@ impl ConfigBuilder {
             shadow_rf: false,
             model: GpuModel::Scaled,
             analyzer: Vec::new(),
+            sim_threads: 1,
             label: None,
         }
     }
@@ -187,6 +189,18 @@ impl ConfigBuilder {
         self
     }
 
+    /// Worker threads for the intra-run parallel engine
+    /// ([`GpuConfig::sim_threads`]): SM pipelines shard across this many
+    /// threads per launch. `0` means "host parallelism"; the default `1`
+    /// runs the engine inline. Results are byte-identical for every
+    /// value, so the label does not encode it. Composes with sweep-level
+    /// parallelism through [`Suite::sim_threads`](crate::Suite), which
+    /// splits one global budget across both layers.
+    pub fn sim_threads(mut self, threads: u32) -> ConfigBuilder {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Overrides the auto-derived label.
     pub fn label(mut self, label: impl Into<String>) -> ConfigBuilder {
         self.label = Some(label.into());
@@ -251,6 +265,7 @@ impl ConfigBuilder {
             gpu = gpu.with_analyzer(&self.analyzer);
         }
         gpu.shadow_rf = self.shadow_rf;
+        gpu.sim_threads = self.sim_threads;
         let label = self.label.clone().unwrap_or_else(|| self.derived_label());
         Config {
             label,

@@ -60,6 +60,10 @@ pub struct FuzzOptions {
     pub out_dir: PathBuf,
     /// Print per-case progress to stderr.
     pub progress: bool,
+    /// Intra-run engine threads per launch. Results are byte-identical
+    /// at any value; > 1 makes every case exercise the windowed parallel
+    /// engine under the lockstep oracle.
+    pub sim_threads: u32,
 }
 
 impl Default for FuzzOptions {
@@ -71,6 +75,7 @@ impl Default for FuzzOptions {
             size: 24,
             out_dir: PathBuf::from("results/fuzz"),
             progress: false,
+            sim_threads: 1,
         }
     }
 }
@@ -187,7 +192,10 @@ pub fn case_seed(seed: u64, case: u64) -> u64 {
 /// given `(seed, cases, size)` at any worker count.
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let start = Instant::now();
-    let configs = fuzz_configs();
+    let mut configs = fuzz_configs();
+    for c in &mut configs {
+        c.gpu.sim_threads = opts.sim_threads;
+    }
     let ncfg = configs.len();
     let total = (opts.cases as usize) * ncfg;
     let workers = effective_jobs(opts.jobs).min(total.max(1));
@@ -447,6 +455,7 @@ mod tests {
             size: 16,
             out_dir: std::env::temp_dir().join("bow_fuzz_test"),
             progress: false,
+            sim_threads: 2,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());
         assert_eq!(report.configs.len(), 6);

@@ -69,7 +69,7 @@ pub mod workloads {
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::experiment::{run, Config, ConfigBuilder, RunRecord};
+    pub use crate::experiment::{run, Config, ConfigBuilder, GpuModel, RunRecord};
     pub use crate::suite::{ConfigRow, Suite, SweepResult};
     pub use bow_compiler::annotate;
     pub use bow_energy::{AccessCounts, EnergyModel, EnergyReport};

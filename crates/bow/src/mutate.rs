@@ -24,8 +24,9 @@
 //! every ground-truth-unsound mutant must be statically flagged. A missed
 //! mutant is a verifier bug and fails the run. The reverse direction is
 //! reported but not enforced — the verifier is deliberately conservative
-//! (it ignores guards and dynamic rescues), so statically-flagged but
-//! dynamically-clean mutants are counted as `overcautious`.
+//! (lane-mask-blind outside serialized diamonds, guarded redefinitions
+//! are only may-kills, dynamic rescues ignored), so statically-flagged
+//! but dynamically-clean mutants are counted as `overcautious`.
 //!
 //! A sample of ground-truth-unsound mutants is additionally driven through
 //! the full pipeline with the shadow register file enabled

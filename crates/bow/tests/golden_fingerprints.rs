@@ -66,10 +66,17 @@ fn render(sweep: &bow::suite::SweepResult) -> String {
 
 #[test]
 fn stats_fingerprints_match_goldens() {
-    let sweep = Suite::new(Scale::Test)
-        .configs(configs())
-        .progress(false)
-        .run();
+    let mut suite = Suite::new(Scale::Test).configs(configs()).progress(false);
+    // `sim_threads` is a pure execution knob: CI reruns this suite with
+    // BOW_SIM_THREADS=4 to prove the threaded engine reproduces the same
+    // goldens byte-for-byte.
+    if let Some(t) = std::env::var("BOW_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        suite = suite.sim_threads(t);
+    }
+    let sweep = suite.run();
     sweep.assert_checked();
     let got = render(&sweep);
     let path = golden_path();

@@ -42,6 +42,8 @@ pub enum Command {
         scale: Scale,
         /// Apply the bypass-aware scheduler first.
         reorder: bool,
+        /// Intra-run engine threads per launch (None = config default).
+        sim_threads: Option<u32>,
     },
     /// Run all collectors on one benchmark.
     Compare {
@@ -51,6 +53,8 @@ pub enum Command {
         scale: Scale,
         /// Sweep-engine worker count (0 = all cores).
         jobs: usize,
+        /// Intra-run engine threads per launch (None = sweep-level only).
+        sim_threads: Option<u32>,
     },
     /// Assemble a kernel file and summarize it.
     Asm {
@@ -74,6 +78,8 @@ pub enum Command {
         scale: Scale,
         /// Sweep-engine worker count (0 = all cores).
         jobs: usize,
+        /// Intra-run engine threads per launch (None = sweep-level only).
+        sim_threads: Option<u32>,
     },
     /// Differential-fuzz generated kernels against the oracle.
     Fuzz {
@@ -87,6 +93,8 @@ pub enum Command {
         size: usize,
         /// Directory for minimized `.asm` repro files.
         out_dir: String,
+        /// Intra-run engine threads per launch (None = serial default).
+        sim_threads: Option<u32>,
     },
     /// Static-analysis lint suite + hint verifier (or, with `mutate`,
     /// the mutation sanitizer that audits the verifier).
@@ -156,11 +164,13 @@ bow-cli — the BOW GPU model
 USAGE:
   bow-cli suite
   bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
-  bow-cli compare <bench> [--scale test|paper] [--jobs N]
+              [--sim-threads T]
+  bow-cli compare <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
   bow-cli asm <file.s>
   bow-cli compile <file.s> [--window N] [--reorder]
-  bow-cli sweep <bench> [--scale test|paper] [--jobs N]
+  bow-cli sweep <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
   bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
+               [--sim-threads T]
   bow-cli lint <file.s> [--window N] [--deny-warnings] [--json FILE]
   bow-cli lint --all-workloads [--window N] [--deny-warnings] [--json FILE]
   bow-cli lint --mutate [--smoke] [--jobs N] [--json FILE]
@@ -174,6 +184,10 @@ COLLECTORS:
 `compare` and `sweep` run their (benchmark x config) matrix on the
 parallel sweep engine; --jobs N picks the worker count (default: all
 cores, 1 = serial). Results are identical at any job count.
+--sim-threads T additionally shards each launch's SM pipelines across T
+threads (the intra-run windowed engine; 0 = whole budget per launch);
+the --jobs budget is then split between the two layers. Results stay
+byte-identical for every T.
 
 `fuzz` generates random kernels and runs each under every collector
 model, checking every instruction against a timing-free architectural
@@ -226,6 +240,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some(j) => j.parse().map_err(|_| err(format!("bad jobs `{j}`")))?,
         None => 0,
     };
+    let sim_threads: Option<u32> = match opt("--sim-threads") {
+        Some(t) => Some(
+            t.parse()
+                .map_err(|_| err(format!("bad sim-threads `{t}`")))?,
+        ),
+        None => None,
+    };
 
     match cmd {
         "suite" => Ok(Command::Suite),
@@ -237,6 +258,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             window,
             scale,
             reorder: flag("--reorder"),
+            sim_threads,
         }),
         "compare" => Ok(Command::Compare {
             bench: positional()
@@ -244,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .into(),
             scale,
             jobs,
+            sim_threads,
         }),
         "asm" => Ok(Command::Asm {
             path: positional().ok_or_else(|| err("asm: missing file"))?.into(),
@@ -261,6 +284,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .into(),
             scale,
             jobs,
+            sim_threads,
         }),
         "fuzz" => {
             let defaults = if flag("--smoke") {
@@ -303,6 +327,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out_dir: opt("--out")
                     .map(String::from)
                     .unwrap_or_else(|| defaults.out_dir.display().to_string()),
+                sim_threads,
             })
         }
         "lint" => {
@@ -406,10 +431,14 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             window,
             scale,
             reorder,
+            sim_threads,
         } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
-            let cfg = config_for(&collector, window, reorder)?;
+            let mut cfg = config_for(&collector, window, reorder)?;
+            if let Some(t) = sim_threads {
+                cfg.gpu.sim_threads = t;
+            }
             let label = cfg.label.clone();
             let rec = bow::experiment::run(b.as_ref(), cfg);
             rec.outcome
@@ -435,11 +464,16 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Compare { bench, scale, jobs } => {
+        Command::Compare {
+            bench,
+            scale,
+            jobs,
+            sim_threads,
+        } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
             let model = EnergyModel::table_iv();
-            let result = Suite::over(vec![b])
+            let mut suite = Suite::over(vec![b])
                 .configs([
                     ConfigBuilder::baseline().build(),
                     ConfigBuilder::bow(3).build(),
@@ -448,8 +482,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     ConfigBuilder::bow_flex(12).build(),
                     ConfigBuilder::rfc().build(),
                 ])
-                .jobs(jobs)
-                .run();
+                .jobs(jobs);
+            if let Some(t) = sim_threads {
+                suite = suite.sim_threads(t);
+            }
+            let result = suite.run();
             let base = &result.row(0).records[0];
             base.outcome
                 .checked
@@ -529,13 +566,22 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             out.push_str(&annotated.disassemble());
             Ok(out)
         }
-        Command::Sweep { bench, scale, jobs } => {
+        Command::Sweep {
+            bench,
+            scale,
+            jobs,
+            sim_threads,
+        } => {
             let b = bow::workloads::by_name(&bench, scale)
                 .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
             let model = EnergyModel::table_iv();
             let mut configs = vec![ConfigBuilder::baseline().build()];
             configs.extend((1..=7u32).map(|w| ConfigBuilder::bow_wr(w).build()));
-            let result = Suite::over(vec![b]).configs(configs).jobs(jobs).run();
+            let mut suite = Suite::over(vec![b]).configs(configs).jobs(jobs);
+            if let Some(t) = sim_threads {
+                suite = suite.sim_threads(t);
+            }
+            let result = suite.run();
             for rec in result.all_records() {
                 rec.outcome
                     .checked
@@ -568,6 +614,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             jobs,
             size,
             out_dir,
+            sim_threads,
         } => {
             let report = bow::fuzz::run_fuzz(&bow::fuzz::FuzzOptions {
                 cases,
@@ -576,6 +623,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 size,
                 out_dir: out_dir.into(),
                 progress: false,
+                sim_threads: sim_threads.unwrap_or(1),
             });
             if report.failures.is_empty() {
                 Ok(report.summary())
@@ -746,7 +794,7 @@ mod tests {
     #[test]
     fn parse_run_with_options() {
         let c = parse(&argv(
-            "run btree --collector bow --window 4 --scale test --reorder",
+            "run btree --collector bow --window 4 --scale test --reorder --sim-threads 2",
         ))
         .unwrap();
         assert_eq!(
@@ -757,8 +805,10 @@ mod tests {
                 window: 4,
                 scale: Scale::Test,
                 reorder: true,
+                sim_threads: Some(2),
             }
         );
+        assert!(parse(&argv("run btree --sim-threads lots")).is_err());
     }
 
     #[test]
@@ -772,6 +822,7 @@ mod tests {
                 window: 3,
                 scale: Scale::Test,
                 reorder: false,
+                sim_threads: None,
             }
         );
     }
@@ -791,7 +842,8 @@ mod tests {
             Command::Sweep {
                 bench: "nw".into(),
                 scale: Scale::Test,
-                jobs: 2
+                jobs: 2,
+                sim_threads: None,
             }
         );
     }
@@ -804,7 +856,8 @@ mod tests {
             Command::Compare {
                 bench: "nw".into(),
                 scale: Scale::Test,
-                jobs: 0
+                jobs: 0,
+                sim_threads: None,
             }
         );
         assert!(parse(&argv("sweep nw --jobs lots")).is_err());
@@ -816,6 +869,7 @@ mod tests {
             bench: "vectoradd".into(),
             scale: Scale::Test,
             jobs: 2,
+            sim_threads: None,
         })
         .unwrap();
         assert!(out.contains("IW1") && out.contains("IW7"), "{out}");
@@ -827,6 +881,7 @@ mod tests {
             bench: "vectoradd".into(),
             scale: Scale::Test,
             jobs: 2,
+            sim_threads: Some(2),
         })
         .unwrap();
         for label in ["baseline", "bow iw3", "bow-wr iw3", "bow-flex c12", "rfc"] {
@@ -849,6 +904,7 @@ mod tests {
             window: 3,
             scale: Scale::Test,
             reorder: false,
+            sim_threads: Some(2),
         })
         .unwrap();
         assert!(out.contains("OK (results verified)"), "{out}");
@@ -863,6 +919,7 @@ mod tests {
             window: 3,
             scale: Scale::Test,
             reorder: false,
+            sim_threads: None,
         })
         .unwrap_err();
         assert!(e.to_string().contains("unknown benchmark"));
@@ -906,11 +963,12 @@ mod tests {
                     .out_dir
                     .display()
                     .to_string(),
+                sim_threads: None,
             }
         );
         // --smoke pins cases/seed/size regardless of other flags.
         let smoke = bow::fuzz::FuzzOptions::smoke();
-        let c = parse(&argv("fuzz --smoke --cases 9999 --jobs 3")).unwrap();
+        let c = parse(&argv("fuzz --smoke --cases 9999 --jobs 3 --sim-threads 4")).unwrap();
         assert_eq!(
             c,
             Command::Fuzz {
@@ -919,6 +977,7 @@ mod tests {
                 jobs: 3,
                 size: smoke.size,
                 out_dir: smoke.out_dir.display().to_string(),
+                sim_threads: Some(4),
             }
         );
         assert!(parse(&argv("fuzz --cases many")).is_err());
@@ -940,6 +999,7 @@ mod tests {
                 .join("bow_cli_fuzz_test")
                 .display()
                 .to_string(),
+            sim_threads: Some(2),
         })
         .unwrap();
         assert!(out.contains("OK"), "{out}");

@@ -13,6 +13,12 @@
 //! | expires, still live                  | yes             | `Both`    |
 //! | expires, still live                  | no              | `RfOnly`  |
 //!
+//! Guarded (`@p`) instructions are handled conservatively on both sides of
+//! the walk: a guarded redefinition of the tracked register is only a
+//! *may*-kill (squashed when the predicate is false, leaving the old value
+//! architectural), so it neither classifies the earlier write `BocOnly`
+//! nor stops the scan — the old value's later reads still count.
+//!
 //! At a block boundary the analysis is conservative: a value still present
 //! when the block ends is treated as escaping with unknown distance, so it
 //! keeps an RF write unless it is dead on every successor path. This is the
@@ -104,7 +110,10 @@ fn classify_write(
     for j in pc + 1..block.end {
         let inst = &kernel.insts[j];
         let reads_d = inst.src_regs().contains(&d);
-        let writes_d = inst.dst_reg() == Some(d);
+        // A guarded redefinition is only a may-kill: when its predicate is
+        // false the old value is still the architectural one and later
+        // reads demand it, so it neither ends the walk nor re-touches.
+        let writes_d = inst.dst_reg() == Some(d) && inst.guard.is_none();
         if j - last_touch >= w {
             // The value expired at instruction `last_touch + w`. Is it still
             // live there? Scan on from j for the next access in-block.
@@ -153,8 +162,9 @@ fn expiry_class(
                 HintClass::RfOnly
             };
         }
-        if inst.dst_reg() == Some(d) {
+        if inst.dst_reg() == Some(d) && inst.guard.is_none() {
             // Overwritten without an intervening read: dead after expiry.
+            // (A guarded overwrite may not execute and is no kill.)
             return HintClass::Transient;
         }
     }
@@ -415,6 +425,66 @@ mod tests {
         assert_eq!(out.insts[0].hint, WritebackHint::Both);
         assert_eq!(out.insts[4].hint, WritebackHint::RfOnly);
         assert!(crate::verify::verify_hints(&out, 4).is_sound());
+    }
+
+    #[test]
+    fn guarded_overwrite_does_not_make_the_prior_def_transient() {
+        // def r1, then a *guarded* redefinition inside the window, then a
+        // read far past it. If the predicate is false at runtime the read
+        // needs the first def's value from the RF, so the first def must
+        // keep its RF write — classifying it Transient (as an unguarded
+        // overwrite would) loses the value.
+        let k = KernelBuilder::new("gkill")
+            .mov_imm(r(1), 1) // 0: def under scrutiny
+            .guard(Pred::p(3), false)
+            .mov_imm(r(1), 2) // 1: @p3 may-kill only
+            .nop() //            2
+            .nop() //            3
+            .nop() //            4
+            .iadd(r(2), r(1).into(), Operand::Imm(0)) // 5: read past window
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(2).into())
+            .exit()
+            .build()
+            .unwrap();
+        let c = classify_kernel(&k, 3);
+        assert_eq!(c[0].1, HintClass::RfOnly, "guarded redef must not kill");
+        // The same shape with the guard removed is a genuine kill.
+        let k2 = KernelBuilder::new("ukill")
+            .mov_imm(r(1), 1)
+            .mov_imm(r(1), 2)
+            .nop()
+            .nop()
+            .nop()
+            .iadd(r(2), r(1).into(), Operand::Imm(0))
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(2).into())
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(classify_kernel(&k2, 3)[0].1, HintClass::Transient);
+    }
+
+    #[test]
+    fn annotated_guarded_kernels_pass_the_independent_verifier() {
+        // Producer/verifier agreement on the predicated-kill corner: the
+        // annotator's output must be accepted by `verify_hints` even when
+        // guarded redefinitions sit between defs and distant reads (the
+        // fuzz corpus exercises exactly this shape).
+        let k = KernelBuilder::new("agree")
+            .mov_imm(r(1), 1)
+            .guard(Pred::p(3), true)
+            .iadd(r(1), r(1).into(), Operand::Imm(5))
+            .nop()
+            .nop()
+            .nop()
+            .ldc(r(0), 0)
+            .stg(r(0), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let (out, _) = annotate(&k, 3);
+        assert!(crate::verify::verify_hints(&out, 3).is_sound());
     }
 
     #[test]

@@ -119,6 +119,26 @@ mod tests {
     }
 
     #[test]
+    fn guarded_def_does_not_kill_liveness() {
+        // @p0 mov r2 may be squashed at runtime, so a read below it still
+        // demands the value r2 held above — r2 must stay entry-live.
+        let r = Reg::r;
+        let k = KernelBuilder::new("maykill")
+            .guard(Pred::p(0), false)
+            .mov_imm(r(2), 7)
+            .iadd(r(3), r(2).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(
+            lv.entry_live().contains(r(2)),
+            "guarded def is only a may-def"
+        );
+    }
+
+    #[test]
     fn def_kills_upward_liveness_within_block() {
         let r = Reg::r;
         let k = KernelBuilder::new("kill")

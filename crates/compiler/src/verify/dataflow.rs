@@ -153,8 +153,12 @@ pub fn may_live(kernel: &Kernel, cfg: &Cfg) -> Facts {
             let mut live = *out;
             for pc in cfg.blocks()[b].range().rev() {
                 let inst = &kernel.insts[pc];
-                if let Some(d) = inst.dst_reg() {
-                    live.remove(d);
+                // A guarded def is only a may-def: when the predicate is
+                // false the old value survives, so it must not kill.
+                if inst.guard.is_none() {
+                    if let Some(d) = inst.dst_reg() {
+                        live.remove(d);
+                    }
                 }
                 for s in inst.src_regs() {
                     live.insert(s);
@@ -177,8 +181,13 @@ pub fn must_init(kernel: &Kernel, cfg: &Cfg) -> Facts {
         |b, inp| {
             let mut init = *inp;
             for pc in cfg.blocks()[b].range() {
-                if let Some(d) = kernel.insts[pc].dst_reg() {
-                    init.insert(d);
+                let inst = &kernel.insts[pc];
+                // A guarded write initializes nothing for certain: the
+                // predicate-false lanes keep whatever was there before.
+                if inst.guard.is_none() {
+                    if let Some(d) = inst.dst_reg() {
+                        init.insert(d);
+                    }
                 }
             }
             init

@@ -148,8 +148,12 @@ fn uninit_lints(
                     );
                 }
             }
-            if let Some(d) = inst.dst_reg() {
-                init.insert(d);
+            // Mirror the must-init transfer: a guarded write is only a
+            // may-def and proves nothing about initialization.
+            if inst.guard.is_none() {
+                if let Some(d) = inst.dst_reg() {
+                    init.insert(d);
+                }
             }
         }
     }

@@ -17,7 +17,10 @@
 //! * at age `>= window` the entry has been evicted: a `BocOnly` value is
 //!   gone for good (that hint suppressed the RF write-back), so a read now
 //!   observes a stale register file — the counterexample;
-//! * any later write of the same register ends the value's life.
+//! * any later *unguarded* write of the same register ends the value's
+//!   life. A guarded (`@p`) write is only a may-kill — squashed when its
+//!   predicate is false, leaving the old value architectural — so the
+//!   exploration walks straight through it.
 //!
 //! The exploration saturates ages at the window size, so the state space is
 //! `O(insts × window)` per static write and termination is structural.
@@ -25,8 +28,8 @@
 //! [`HintVerdict::Unsound`] (with a shortest counterexample path), or
 //! [`HintVerdict::TrivialRf`] for hints that always reach the register file.
 //!
-//! Treating *every* later write as a kill is justified by the collector's
-//! write-back port, which consolidates same-register entries: a
+//! Treating every later unguarded write as a kill is justified by the
+//! collector's write-back port, which consolidates same-register entries: a
 //! `Both`/`BocOnly` write-back upserts the buffered entry in place and an
 //! `RfOnly` write-back invalidates it (`WarpWindow::invalidate` in the
 //! simulator), so a superseded buffered copy can neither forward to a
@@ -364,9 +367,14 @@ impl<'k> Explorer<'k> {
                     witnesses.push(pc);
                 }
             }
-            // A write of the register ends the tracked value's life (reads
-            // at the same pc were serviced above, before the write).
-            if inst.dst_reg() == Some(reg) {
+            // An unguarded write of the register ends the tracked value's
+            // life (reads at the same pc were serviced above, before the
+            // write). A *guarded* write is only a may-kill: if its
+            // predicate is false at runtime the instruction is squashed,
+            // the old value stays architectural, and a later out-of-window
+            // read of it is still a counterexample — so the walk continues
+            // through it, aging normally.
+            if inst.dst_reg() == Some(reg) && inst.guard.is_none() {
                 continue;
             }
             // A read re-touches the resident entry; once the age has
@@ -574,6 +582,33 @@ mod tests {
         assert!(verify_hints(&k, 8).is_sound());
         // window 6: first read hits at age 6? No — 6 >= 6 is evicted.
         assert!(!verify_hints(&k, 6).is_sound());
+    }
+
+    #[test]
+    fn guarded_overwrite_is_only_a_may_kill() {
+        // r0 .wb.boc, a guarded redefinition of r0 inside the window, then
+        // a read past the window. When the predicate is false the redef is
+        // squashed and the read demands the first def's value from a stale
+        // RF — the exploration must walk through the guarded write and
+        // report the counterexample.
+        let mut b = KernelBuilder::new("gkill")
+            .mov_imm(r(0), 7)
+            .hint(WritebackHint::BocOnly)
+            .guard(Pred::p(3), false)
+            .mov_imm(r(0), 8);
+        for _ in 0..10 {
+            b = b.nop();
+        }
+        let k = b
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        let audit = verify_hints(&k, 4);
+        match verdict_of(&audit, 0) {
+            HintVerdict::Unsound { read_pc, .. } => assert_eq!(*read_pc, 12),
+            v => panic!("guarded redef must not kill the tracked value: {v:?}"),
+        }
     }
 
     #[test]

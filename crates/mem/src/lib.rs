@@ -12,7 +12,11 @@
 //! * [`mod@coalesce`] — the access coalescer that folds a warp's 32 addresses
 //!   into 128-byte memory transactions;
 //! * [`MemSystem`] — the timing hierarchy (L1 → L2 → DRAM) that converts a
-//!   warp access into a completion cycle plus statistics.
+//!   warp access into a completion cycle plus statistics;
+//! * [`mod@interconnect`] — the thread-aware front end for windowed
+//!   multi-SM runs: per-SM write overlays/journals ([`SmWindowBuf`],
+//!   [`WindowedGlobal`]) and the deterministic `(cycle, sm_id, seq)`
+//!   commit ([`commit_windows`]) behind the [`GlobalAccess`] seam.
 //!
 //! Data and timing are deliberately separate: functional state always lives
 //! in [`GlobalMemory`]/[`SharedMemory`] (so results are exact and easily
@@ -22,10 +26,12 @@ pub mod cache;
 pub mod coalesce;
 pub mod global;
 pub mod hierarchy;
+pub mod interconnect;
 pub mod shared;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use coalesce::{coalesce, Transaction, SEGMENT_BYTES};
 pub use global::GlobalMemory;
 pub use hierarchy::{AccessKind, MemConfig, MemStats, MemSystem};
+pub use interconnect::{commit_windows, GlobalAccess, SmWindowBuf, WindowedGlobal, WriteRec};
 pub use shared::{bank_conflict_degree, SharedMemory, SMEM_BANKS};

@@ -8,7 +8,7 @@
 
 use crate::warp::{StackEntry, StackKind, Warp};
 use bow_isa::{Instruction, Opcode, Operand, Special, WARP_SIZE};
-use bow_mem::{GlobalMemory, SharedMemory};
+use bow_mem::{GlobalAccess, GlobalMemory, SharedMemory};
 
 /// Geometry context a warp needs to evaluate special registers.
 #[derive(Clone, Copy, Debug)]
@@ -22,9 +22,13 @@ pub struct BlockInfo {
 }
 
 /// Everything [`execute_data`] may touch besides the warp itself.
-pub struct ExecCtx<'a> {
+///
+/// Generic over the device-memory view: the serial engine passes the
+/// bare [`GlobalMemory`], the windowed parallel engine passes an SM's
+/// [`WindowedGlobal`](bow_mem::WindowedGlobal) overlay view.
+pub struct ExecCtx<'a, G: GlobalAccess = GlobalMemory> {
     /// Device global memory.
-    pub global: &'a mut GlobalMemory,
+    pub global: &'a mut G,
     /// The warp's block's shared memory.
     pub shared: &'a mut SharedMemory,
     /// Kernel parameters (`ldc` source).
@@ -121,11 +125,11 @@ fn special_value(warp: &Warp, lane: usize, s: Special, block: &BlockInfo) -> u32
 ///
 /// Panics if called with a control opcode — those go through
 /// [`execute_control`] at issue.
-pub fn execute_data(
+pub fn execute_data<G: GlobalAccess>(
     warp: &mut Warp,
     inst: &Instruction,
     mask: u32,
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, G>,
 ) -> Option<MemAccess> {
     use Opcode::*;
     assert!(
@@ -213,11 +217,11 @@ fn write_pred(warp: &mut Warp, lane: usize, inst: &Instruction, v: bool) {
     }
 }
 
-fn execute_memory(
+fn execute_memory<G: GlobalAccess>(
     warp: &mut Warp,
     inst: &Instruction,
     mask: u32,
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, G>,
 ) -> MemAccess {
     use Opcode::*;
     let mem = inst.mem.expect("validated memory op has a MemRef");

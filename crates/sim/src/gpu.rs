@@ -8,6 +8,7 @@
 
 use crate::config::{GpuConfig, OracleCheck};
 use crate::oracle::LockstepChecker;
+use crate::parallel::{self, EventBuf};
 use crate::pipetrace::PipeTrace;
 use crate::probe::{NullProbe, PipeEvent, Probe};
 use crate::sm::Sm;
@@ -142,23 +143,23 @@ impl Gpu {
                 trace: self.config.trace_pipeline.then_some(&mut self.trace),
                 analyzer: &mut analyzer,
             };
-            run_blocks(
+            run_device(
                 &mut self.sms,
                 &mut self.global,
                 kernel,
                 dims,
                 warps_per_block,
-                self.config.max_cycles,
+                &self.config,
                 &mut probe,
             )
         } else {
-            run_blocks(
+            run_device(
                 &mut self.sms,
                 &mut self.global,
                 kernel,
                 dims,
                 warps_per_block,
-                self.config.max_cycles,
+                &self.config,
                 &mut NullProbe,
             )
         };
@@ -205,13 +206,13 @@ impl Gpu {
         for sm in &mut self.sms {
             sm.reset_for_launch(params);
         }
-        let (cycles, completed) = run_blocks(
+        let (cycles, completed) = run_device(
             &mut self.sms,
             &mut self.global,
             kernel,
             dims,
             warps_per_block,
-            self.config.max_cycles,
+            &self.config,
             probe,
         );
         let per_sm: Vec<SimStats> = self.sms.iter().map(Sm::stats).collect();
@@ -274,6 +275,49 @@ impl Gpu {
             );
         }
         result
+    }
+}
+
+/// Routes a launch to the right execution engine.
+///
+/// A single-SM device runs the legacy serial loop ([`run_blocks`]) — with
+/// no cross-SM state the windowed protocol degenerates to it exactly, so
+/// the two are bit-identical and the serial loop is cheaper. Multi-SM
+/// devices run the windowed engine ([`crate::parallel`]) at the
+/// configured thread count; the per-SM probe recorder is [`EventBuf`]
+/// when the caller's probe consumes events and the zero-cost
+/// [`NullProbe`] otherwise (both branches are resolved at compile time
+/// via `P::ACTIVE`).
+fn run_device<P: Probe>(
+    sms: &mut [Sm],
+    global: &mut GlobalMemory,
+    kernel: &Kernel,
+    dims: KernelDims,
+    warps_per_block: u32,
+    config: &GpuConfig,
+    probe: &mut P,
+) -> (u64, bool) {
+    if sms.len() <= 1 {
+        return run_blocks(
+            sms,
+            global,
+            kernel,
+            dims,
+            warps_per_block,
+            config.max_cycles,
+            probe,
+        );
+    }
+    let ep = parallel::EngineParams {
+        warps_per_block,
+        max_cycles: config.max_cycles,
+        window: u64::from(config.sim_window.max(1)),
+        threads: config.resolved_sim_threads(),
+    };
+    if P::ACTIVE {
+        parallel::run_windowed::<EventBuf, P>(sms, global, kernel, dims, &ep, probe)
+    } else {
+        parallel::run_windowed::<NullProbe, P>(sms, global, kernel, dims, &ep, probe)
     }
 }
 

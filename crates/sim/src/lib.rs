@@ -55,6 +55,7 @@ pub mod config;
 pub mod exec;
 pub mod gpu;
 pub mod oracle;
+pub mod parallel;
 pub mod pipetrace;
 pub mod probe;
 pub mod regfile;

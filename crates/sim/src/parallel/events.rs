@@ -1,0 +1,445 @@
+//! Per-shard probe buffers: owned event recording and deterministic
+//! replay.
+//!
+//! Worker threads cannot feed the launch-level probe directly — it lives
+//! on the coordinating thread, and interleaving events from concurrently
+//! ticking SMs would make subscriber input order depend on scheduling.
+//! Instead every SM records its events into its own [`EventBuf`] (an
+//! ordinary [`Probe`] the pipeline monomorphizes against), and at each
+//! window boundary the engine replays all buffers **in SM-index order**
+//! into the real probe. The replayed stream is therefore a pure function
+//! of simulation state — identical for any worker count, including the
+//! inline single-thread engine.
+//!
+//! [`PipeEvent`] borrows the instruction and the `ExecResult` lane
+//! values, so recording owns them instead: instructions are reborrowed
+//! from the kernel at replay time (`pc` indexes [`Kernel::insts`], and
+//! the pipeline always issues unmodified clones of those instructions),
+//! and lane values live in one pooled `Vec` per buffer.
+
+use crate::probe::{PipeEvent, Probe, StallKind};
+use crate::stats::WriteDest;
+use bow_isa::{Kernel, Pred, Reg};
+
+/// An owned mirror of [`PipeEvent`] (borrows replaced by `pc` indices and
+/// value-pool ranges).
+#[derive(Clone, Copy, Debug)]
+enum OwnedEvent {
+    Issued {
+        uid: u64,
+        pc: usize,
+        active: u32,
+    },
+    Issue {
+        cycle: u64,
+        sm: usize,
+        warp: usize,
+        pc: usize,
+        seq: u64,
+    },
+    Control {
+        cycle: u64,
+        sm: usize,
+        warp: usize,
+        pc: usize,
+        seq: u64,
+    },
+    Dispatch {
+        cycle: u64,
+        sm: usize,
+        warp: usize,
+        pc: usize,
+        seq: u64,
+        oc_cycles: u64,
+        is_mem: bool,
+    },
+    Writeback {
+        cycle: u64,
+        sm: usize,
+        warp: usize,
+        pc: usize,
+        seq: u64,
+    },
+    ExecSpan {
+        is_mem: bool,
+        span: u64,
+    },
+    RetiredCompletion {
+        cycle: u64,
+        warp: usize,
+        pc: usize,
+    },
+    WarpExit {
+        uid: u64,
+    },
+    ExecResult {
+        uid: u64,
+        pc: usize,
+        seq: u64,
+        dst_reg: Option<Reg>,
+        dst_pred: Option<Pred>,
+        mask: u32,
+        pred_bits: u32,
+        /// Range into the owning buffer's value pool.
+        values: (u32, u32),
+    },
+    Stall(StallKind),
+    SrcRegs(usize),
+    BypassedRead,
+    RfcRead,
+    RfcWrite,
+    WriteProduced,
+    RfWriteRouted,
+    BypassedWrite,
+    BocWrite,
+    WriteDestClass(WriteDest),
+    ForcedEviction,
+    OccupancySample {
+        live: usize,
+        cap: usize,
+    },
+}
+
+/// A per-SM event recorder for one cycle window.
+///
+/// As a [`Probe`] it is `ACTIVE`, so pipelines monomorphized against it
+/// emit the full event stream; [`EventBuf::replay`] then forwards that
+/// stream — element-for-element equal to what the SM would have emitted
+/// into the launch probe directly — and resets the buffer.
+#[derive(Debug, Default)]
+pub struct EventBuf {
+    events: Vec<OwnedEvent>,
+    values: Vec<u32>,
+}
+
+impl Probe for EventBuf {
+    fn on_event(&mut self, ev: &PipeEvent<'_>) {
+        let owned = match *ev {
+            PipeEvent::Issued {
+                uid,
+                pc,
+                active,
+                inst: _,
+            } => OwnedEvent::Issued { uid, pc, active },
+            PipeEvent::Issue {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                inst: _,
+            } => OwnedEvent::Issue {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+            },
+            PipeEvent::Control {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                inst: _,
+            } => OwnedEvent::Control {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+            },
+            PipeEvent::Dispatch {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                oc_cycles,
+                is_mem,
+                inst: _,
+            } => OwnedEvent::Dispatch {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+                oc_cycles,
+                is_mem,
+            },
+            PipeEvent::Writeback {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+            } => OwnedEvent::Writeback {
+                cycle,
+                sm,
+                warp,
+                pc,
+                seq,
+            },
+            PipeEvent::ExecSpan { is_mem, span } => OwnedEvent::ExecSpan { is_mem, span },
+            PipeEvent::RetiredCompletion { cycle, warp, pc } => {
+                OwnedEvent::RetiredCompletion { cycle, warp, pc }
+            }
+            PipeEvent::WarpExit { uid } => OwnedEvent::WarpExit { uid },
+            PipeEvent::ExecResult {
+                uid,
+                pc,
+                seq,
+                dst_reg,
+                dst_pred,
+                mask,
+                pred_bits,
+                values,
+            } => {
+                let start = self.values.len() as u32;
+                self.values.extend_from_slice(values);
+                OwnedEvent::ExecResult {
+                    uid,
+                    pc,
+                    seq,
+                    dst_reg,
+                    dst_pred,
+                    mask,
+                    pred_bits,
+                    values: (start, values.len() as u32),
+                }
+            }
+            PipeEvent::Stall(k) => OwnedEvent::Stall(k),
+            PipeEvent::SrcRegs(n) => OwnedEvent::SrcRegs(n),
+            PipeEvent::BypassedRead => OwnedEvent::BypassedRead,
+            PipeEvent::RfcRead => OwnedEvent::RfcRead,
+            PipeEvent::RfcWrite => OwnedEvent::RfcWrite,
+            PipeEvent::WriteProduced => OwnedEvent::WriteProduced,
+            PipeEvent::RfWriteRouted => OwnedEvent::RfWriteRouted,
+            PipeEvent::BypassedWrite => OwnedEvent::BypassedWrite,
+            PipeEvent::BocWrite => OwnedEvent::BocWrite,
+            PipeEvent::WriteDestClass(d) => OwnedEvent::WriteDestClass(d),
+            PipeEvent::ForcedEviction => OwnedEvent::ForcedEviction,
+            PipeEvent::OccupancySample { live, cap } => OwnedEvent::OccupancySample { live, cap },
+        };
+        self.events.push(owned);
+    }
+}
+
+impl EventBuf {
+    /// Number of buffered events (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays every recorded event into `probe` in recording order,
+    /// reborrowing instructions from `kernel`, then clears the buffer.
+    pub fn replay<P: Probe>(&mut self, kernel: &Kernel, probe: &mut P) {
+        for ev in &self.events {
+            let borrowed = match *ev {
+                OwnedEvent::Issued { uid, pc, active } => PipeEvent::Issued {
+                    uid,
+                    pc,
+                    active,
+                    inst: &kernel.insts[pc],
+                },
+                OwnedEvent::Issue {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                } => PipeEvent::Issue {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                    inst: &kernel.insts[pc],
+                },
+                OwnedEvent::Control {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                } => PipeEvent::Control {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                    inst: &kernel.insts[pc],
+                },
+                OwnedEvent::Dispatch {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                    oc_cycles,
+                    is_mem,
+                } => PipeEvent::Dispatch {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                    oc_cycles,
+                    is_mem,
+                    inst: &kernel.insts[pc],
+                },
+                OwnedEvent::Writeback {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                } => PipeEvent::Writeback {
+                    cycle,
+                    sm,
+                    warp,
+                    pc,
+                    seq,
+                },
+                OwnedEvent::ExecSpan { is_mem, span } => PipeEvent::ExecSpan { is_mem, span },
+                OwnedEvent::RetiredCompletion { cycle, warp, pc } => {
+                    PipeEvent::RetiredCompletion { cycle, warp, pc }
+                }
+                OwnedEvent::WarpExit { uid } => PipeEvent::WarpExit { uid },
+                OwnedEvent::ExecResult {
+                    uid,
+                    pc,
+                    seq,
+                    dst_reg,
+                    dst_pred,
+                    mask,
+                    pred_bits,
+                    values: (start, len),
+                } => PipeEvent::ExecResult {
+                    uid,
+                    pc,
+                    seq,
+                    dst_reg,
+                    dst_pred,
+                    mask,
+                    pred_bits,
+                    values: &self.values[start as usize..(start + len) as usize],
+                },
+                OwnedEvent::Stall(k) => PipeEvent::Stall(k),
+                OwnedEvent::SrcRegs(n) => PipeEvent::SrcRegs(n),
+                OwnedEvent::BypassedRead => PipeEvent::BypassedRead,
+                OwnedEvent::RfcRead => PipeEvent::RfcRead,
+                OwnedEvent::RfcWrite => PipeEvent::RfcWrite,
+                OwnedEvent::WriteProduced => PipeEvent::WriteProduced,
+                OwnedEvent::RfWriteRouted => PipeEvent::RfWriteRouted,
+                OwnedEvent::BypassedWrite => PipeEvent::BypassedWrite,
+                OwnedEvent::BocWrite => PipeEvent::BocWrite,
+                OwnedEvent::WriteDestClass(d) => PipeEvent::WriteDestClass(d),
+                OwnedEvent::ForcedEviction => PipeEvent::ForcedEviction,
+                OwnedEvent::OccupancySample { live, cap } => {
+                    PipeEvent::OccupancySample { live, cap }
+                }
+            };
+            probe.on_event(&borrowed);
+        }
+        self.events.clear();
+        self.values.clear();
+    }
+}
+
+/// A window recorder the engine can shard across workers: records an
+/// SM's events during the window, replays them into the launch probe at
+/// the barrier. [`NullProbe`](crate::probe::NullProbe) implements it as a
+/// double no-op, so the uninstrumented engine monomorphizes with all
+/// recording compiled out.
+pub trait Recorder: Probe + Default + Send {
+    /// Forwards all recorded events (in recording order) into `probe` and
+    /// resets the recorder.
+    fn replay<P: Probe>(&mut self, kernel: &Kernel, probe: &mut P);
+}
+
+impl Recorder for crate::probe::NullProbe {
+    #[inline(always)]
+    fn replay<P: Probe>(&mut self, _kernel: &Kernel, _probe: &mut P) {}
+}
+
+impl Recorder for EventBuf {
+    fn replay<P: Probe>(&mut self, kernel: &Kernel, probe: &mut P) {
+        EventBuf::replay(self, kernel, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bow_isa::KernelBuilder;
+
+    /// Collects a rendering of each event for equality checks.
+    #[derive(Default)]
+    struct Render(Vec<String>);
+
+    impl Probe for Render {
+        fn on_event(&mut self, ev: &PipeEvent<'_>) {
+            self.0.push(format!("{ev:?}"));
+        }
+    }
+
+    #[test]
+    fn record_replay_roundtrips_every_variant() {
+        let kernel = KernelBuilder::new("k")
+            .mov_imm(Reg::r(0), 7)
+            .exit()
+            .build()
+            .unwrap();
+        let inst = &kernel.insts[0];
+        let vals: Vec<u32> = (0..32).collect();
+        let events = [
+            PipeEvent::Issued {
+                uid: 9,
+                pc: 0,
+                active: 0xffff_ffff,
+                inst,
+            },
+            PipeEvent::Dispatch {
+                cycle: 4,
+                sm: 1,
+                warp: 2,
+                pc: 0,
+                seq: 3,
+                oc_cycles: 2,
+                is_mem: false,
+                inst,
+            },
+            PipeEvent::ExecResult {
+                uid: 9,
+                pc: 0,
+                seq: 3,
+                dst_reg: Some(Reg::r(0)),
+                dst_pred: None,
+                mask: 0xffff_ffff,
+                pred_bits: 0,
+                values: &vals,
+            },
+            PipeEvent::Stall(StallKind::Scoreboard),
+            PipeEvent::WriteDestClass(WriteDest::BocOnly),
+            PipeEvent::OccupancySample { live: 3, cap: 8 },
+            PipeEvent::WarpExit { uid: 9 },
+        ];
+        let mut direct = Render::default();
+        let mut buf = EventBuf::default();
+        for ev in &events {
+            direct.on_event(ev);
+            buf.on_event(ev);
+        }
+        assert_eq!(buf.len(), events.len());
+        let mut replayed = Render::default();
+        buf.replay(&kernel, &mut replayed);
+        assert_eq!(direct.0, replayed.0, "replay must be stream-identical");
+        assert!(buf.is_empty(), "replay resets the buffer");
+    }
+}

@@ -21,7 +21,7 @@ use crate::stage::{
 use crate::stats::SimStats;
 use crate::warp::Warp;
 use bow_isa::{Kernel, WARP_SIZE};
-use bow_mem::{GlobalMemory, MemSystem, SharedMemory};
+use bow_mem::{GlobalAccess, MemSystem, SharedMemory};
 
 /// One streaming multiprocessor.
 pub struct Sm {
@@ -108,10 +108,19 @@ impl Sm {
 
     /// Number of additional blocks this SM can host for `kernel`.
     pub fn can_host_block(&self, kernel: &Kernel, warps_needed: u32) -> bool {
-        let free_block = self.ctx.blocks.iter().any(Option::is_none);
-        let free_warps = self.ctx.warps.iter().filter(|w| w.is_none()).count();
+        let (free_blocks, free_warps) = self.free_capacity();
         let _ = kernel;
-        free_block && free_warps >= warps_needed as usize
+        free_blocks > 0 && free_warps >= warps_needed
+    }
+
+    /// `(free block slots, free warp slots)` — the dispatch capacity the
+    /// parallel engine's coordinator models when it hands out blocks at a
+    /// synchronization point. Must mirror
+    /// [`can_host_block`](Self::can_host_block) exactly.
+    pub(crate) fn free_capacity(&self) -> (u32, u32) {
+        let free_blocks = self.ctx.blocks.iter().filter(|b| b.is_none()).count() as u32;
+        let free_warps = self.ctx.warps.iter().filter(|w| w.is_none()).count() as u32;
+        (free_blocks, free_warps)
     }
 
     /// Installs a block on the SM.
@@ -172,8 +181,17 @@ impl Sm {
     }
 
     /// Advances the SM by one cycle, emitting all pipeline events to
-    /// `probe` (statistics accumulate regardless of the probe).
-    pub fn tick<P: Probe>(&mut self, kernel: &Kernel, global: &mut GlobalMemory, probe: &mut P) {
+    /// `probe` (statistics accumulate regardless of the probe). Generic
+    /// over the device-memory view: the serial engine ticks against the
+    /// bare [`GlobalMemory`](bow_mem::GlobalMemory), the windowed
+    /// parallel engine against this SM's
+    /// [`WindowedGlobal`](bow_mem::WindowedGlobal) overlay.
+    pub fn tick<P: Probe, G: GlobalAccess>(
+        &mut self,
+        kernel: &Kernel,
+        global: &mut G,
+        probe: &mut P,
+    ) {
         let ctx = &mut self.ctx;
         ctx.cycle += 1;
         ctx.stats.cycles = ctx.cycle;
@@ -197,6 +215,7 @@ mod tests {
     use crate::collector::CollectorKind;
     use crate::trace::BypassAnalyzer;
     use bow_isa::{KernelBuilder, KernelDims, Operand, Pred, Reg, Special};
+    use bow_mem::GlobalMemory;
 
     fn run_kernel(kind: CollectorKind, kernel: &Kernel, global: &mut GlobalMemory) -> SimStats {
         let config = GpuConfig::scaled(kind);

@@ -5,7 +5,7 @@
 use super::{Latches, PipelineStage, SmCtx};
 use crate::probe::Probe;
 use bow_isa::Kernel;
-use bow_mem::GlobalMemory;
+use bow_mem::GlobalAccess;
 
 /// The collect stage. The collector *state* (slots, bypass windows, RFC
 /// caches) lives in [`SmCtx::oc`](super::SmCtx); this stage drives its
@@ -16,12 +16,12 @@ pub struct CollectStage;
 impl PipelineStage for CollectStage {
     const NAME: &'static str = "collect";
 
-    fn tick<P: Probe>(
+    fn tick<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         latches: &mut Latches,
         _kernel: &Kernel,
-        _global: &mut GlobalMemory,
+        _global: &mut G,
         _probe: &mut P,
     ) {
         ctx.oc.collect(ctx.cycle, &mut ctx.rf);

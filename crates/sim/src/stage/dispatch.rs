@@ -6,7 +6,7 @@ use super::{Latches, PipelineStage, SmCtx};
 use crate::exec::{self, ExecCtx, Space};
 use crate::probe::{emit, PipeEvent, Probe};
 use bow_isa::{FuClass, Kernel};
-use bow_mem::{bank_conflict_degree, AccessKind, GlobalMemory};
+use bow_mem::{bank_conflict_degree, AccessKind, GlobalAccess};
 
 /// The collect → dispatch latch: indices of collector slots whose
 /// operands were all ready when the collect stage last ticked.
@@ -48,12 +48,12 @@ pub struct DispatchStage {
 impl PipelineStage for DispatchStage {
     const NAME: &'static str = "dispatch";
 
-    fn tick<P: Probe>(
+    fn tick<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         latches: &mut Latches,
         _kernel: &Kernel,
-        global: &mut GlobalMemory,
+        global: &mut G,
         probe: &mut P,
     ) {
         let mut budget = [
@@ -92,12 +92,12 @@ impl PipelineStage for DispatchStage {
 }
 
 impl DispatchStage {
-    fn execute_slot<P: Probe>(
+    fn execute_slot<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         latches: &mut Latches,
         slot: crate::collector::Slot,
-        global: &mut GlobalMemory,
+        global: &mut G,
         probe: &mut P,
     ) {
         let wslot = slot.warp;

@@ -6,7 +6,7 @@ use crate::exec::{self, ControlOutcome};
 use crate::probe::{emit, PipeEvent, Probe, StallKind};
 use crate::scheduler::WarpScheduler;
 use bow_isa::Kernel;
-use bow_mem::GlobalMemory;
+use bow_mem::GlobalAccess;
 
 /// The issue stage. Owns the warp schedulers; all other issue state
 /// (warps, scoreboards, ages) lives in [`SmCtx`].
@@ -32,12 +32,12 @@ impl IssueStage {
 impl PipelineStage for IssueStage {
     const NAME: &'static str = "issue";
 
-    fn tick<P: Probe>(
+    fn tick<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         _latches: &mut Latches,
         kernel: &Kernel,
-        _global: &mut GlobalMemory,
+        _global: &mut G,
         probe: &mut P,
     ) {
         let nsched = self.schedulers.len();

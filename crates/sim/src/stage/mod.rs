@@ -39,7 +39,7 @@ use crate::scoreboard::Scoreboard;
 use crate::stats::SimStats;
 use crate::warp::Warp;
 use bow_isa::Kernel;
-use bow_mem::{GlobalMemory, MemSystem, SharedMemory};
+use bow_mem::{GlobalAccess, MemSystem, SharedMemory};
 
 /// A thread block resident on the SM.
 #[derive(Debug)]
@@ -106,17 +106,21 @@ pub struct Latches {
 /// `tick` advances the stage by one cycle. Stages never call each other:
 /// everything a downstream stage needs crosses through [`Latches`] (or
 /// the shared [`SmCtx`]), and all instrumentation leaves through `probe`.
+/// Stages are generic over the device-memory view ([`GlobalAccess`]): the
+/// serial engine ticks them against the bare
+/// [`GlobalMemory`](bow_mem::GlobalMemory), the windowed parallel engine
+/// against a per-SM [`WindowedGlobal`](bow_mem::WindowedGlobal) overlay.
 pub trait PipelineStage {
     /// Display name (progress/debug output).
     const NAME: &'static str;
 
     /// Advances the stage by one cycle.
-    fn tick<P: Probe>(
+    fn tick<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         latches: &mut Latches,
         kernel: &Kernel,
-        global: &mut GlobalMemory,
+        global: &mut G,
         probe: &mut P,
     );
 }

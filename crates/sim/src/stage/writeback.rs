@@ -4,7 +4,7 @@
 use super::{Latches, PipelineStage, SmCtx};
 use crate::probe::{emit, PipeEvent, Probe};
 use bow_isa::{Kernel, Pred, Reg, WritebackHint, WARP_SIZE};
-use bow_mem::GlobalMemory;
+use bow_mem::GlobalAccess;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -74,12 +74,12 @@ pub struct WritebackStage;
 impl PipelineStage for WritebackStage {
     const NAME: &'static str = "writeback";
 
-    fn tick<P: Probe>(
+    fn tick<P: Probe, G: GlobalAccess>(
         &mut self,
         ctx: &mut SmCtx,
         latches: &mut Latches,
         _kernel: &Kernel,
-        _global: &mut GlobalMemory,
+        _global: &mut G,
         probe: &mut P,
     ) {
         while let Some(c) = latches.completions.pop_due(ctx.cycle) {

@@ -14,13 +14,20 @@ pub struct RunOutcome {
 /// Merges sequential launches of a benchmark: cycles add up, counters sum,
 /// window reports sum per window size.
 ///
+/// Launches may legitimately differ in SM count — a sweep can mix the
+/// scaled 2-SM tier with the full 56-SM chip, and the throughput
+/// benchmark merges runs at several device widths. Per-SM vectors are
+/// therefore merged index-wise up to the longest launch: SM `i`'s totals
+/// accumulate every launch that had an SM `i`, and the merged vector is
+/// as long as the widest device seen.
+///
 /// # Panics
 ///
 /// Panics on an empty input — a benchmark always launches at least once —
-/// and when launches disagree on SM count or window-report length. All
-/// launches of one benchmark go to the same GPU configuration, so a shape
-/// mismatch means per-SM or per-window counters would be silently dropped
-/// from the merged totals; that is a harness bug, not a tolerable state.
+/// and when launches disagree on window-report length. The analyzer
+/// windows come from the shared configuration, not the device width, so
+/// that mismatch means per-window counters would be silently dropped from
+/// the merged totals; that is a harness bug, not a tolerable state.
 pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
     assert!(
         !results.is_empty(),
@@ -36,11 +43,9 @@ pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
         total.cycles = cycles;
         total.stats = stats;
         total.completed &= r.completed;
-        assert_eq!(
-            total.per_sm.len(),
-            r.per_sm.len(),
-            "merge_results: launches ran on different SM counts"
-        );
+        if total.per_sm.len() < r.per_sm.len() {
+            total.per_sm.resize(r.per_sm.len(), SimStats::default());
+        }
         for (a, b) in total.per_sm.iter_mut().zip(r.per_sm.iter()) {
             a.merge(b);
         }
@@ -169,9 +174,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different SM counts")]
-    fn merge_results_rejects_mismatched_sm_counts() {
-        merge_results(vec![launch(2, 0), launch(3, 0)]);
+    fn merge_results_pads_heterogeneous_sm_counts() {
+        let merged = merge_results(vec![launch(2, 0), launch(3, 0)]);
+        assert_eq!(merged.per_sm.len(), 3);
+        assert_eq!(merged.per_sm[0].warp_instructions, 20);
+        assert_eq!(merged.per_sm[1].warp_instructions, 20);
+        // Only the 3-SM launch contributed to the padded third slot.
+        assert_eq!(merged.per_sm[2].warp_instructions, 10);
+        assert_eq!(merged.stats.warp_instructions, 20);
+
+        // Order-independent: widest-first merges to the same shape.
+        let rev = merge_results(vec![launch(3, 0), launch(2, 0)]);
+        assert_eq!(rev.per_sm.len(), 3);
+        assert_eq!(rev.per_sm[2].warp_instructions, 10);
     }
 
     #[test]

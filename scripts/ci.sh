@@ -18,12 +18,31 @@ echo "==> golden stats fingerprints (release)"
 # bug. Re-bless deliberately with BOW_BLESS=1 after intentional changes.
 cargo test --release -q --offline -p bow --test golden_fingerprints
 
+echo "==> golden stats fingerprints under the threaded engine"
+# sim_threads is a pure execution knob: the same golden table must hold
+# byte-for-byte with each launch's SM pipelines sharded across 4 workers
+# of the windowed parallel engine.
+BOW_SIM_THREADS=4 cargo test --release -q --offline -p bow --test golden_fingerprints
+
 echo "==> bow fuzz --smoke (64-case differential fuzz, fixed seed)"
 # Every generated kernel runs under all collector models, each launch
 # lockstep-checked against the architectural oracle and the independent
 # host model. A failure exits non-zero after writing minimized .asm
 # repros to target/fuzz-repros/.
 cargo run --release -q --offline -p bow-cli -- fuzz --smoke --out target/fuzz-repros
+
+echo "==> bow fuzz --smoke --sim-threads 4 (threaded engine)"
+# The same fixed-seed corpus with every launch sharded across the
+# windowed parallel engine — the lockstep oracle closes the triangle for
+# the threaded scheduler too.
+cargo run --release -q --offline -p bow-cli -- \
+    fuzz --smoke --sim-threads 4 --out target/fuzz-repros
+
+echo "==> bench_throughput (test tier)"
+# Full-chip 56-SM throughput probe at sim_threads {1,2,4}: asserts the
+# stats fingerprints agree across thread counts and records wall-clock,
+# cycles/sec and speedup in results/bench_throughput.json (artifact).
+BOW_SCALE=test cargo run --release -q --offline -p bow-bench --bin bench_throughput -- vectoradd
 
 echo "==> bow lint --all-workloads --deny-warnings"
 # Static-analysis gate: every annotated workload kernel must be free of

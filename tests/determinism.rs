@@ -1,0 +1,113 @@
+//! Determinism suite for the windowed parallel execution engine.
+//!
+//! The engine in `bow_sim::parallel` shards a launch's SM pipelines
+//! across a worker pool, but its windowed commit protocol is designed so
+//! that `sim_threads` is a *pure execution knob*: results are
+//! byte-identical at any thread count, on any host. These tests pin that
+//! contract at the public-API level, across the whole Table III suite:
+//!
+//! * every workload × every collector design produces the same
+//!   [`SimStats::fingerprint`] under `sim_threads` ∈ {1, 2, 8};
+//! * the architectural oracle (memory mode, and per-instruction lockstep
+//!   for race-free kernels) still agrees with the pipeline when the
+//!   pipeline runs threaded.
+//!
+//! [`SimStats::fingerprint`]: bow_sim::SimStats::fingerprint
+
+use bow::experiment::{Config, ConfigBuilder};
+use bow::prelude::*;
+use bow::sim::OracleCheck;
+use bow::suite::Suite;
+
+/// The four collector designs the golden suite pins.
+fn configs(threads: u32) -> Vec<Config> {
+    vec![
+        ConfigBuilder::baseline().sim_threads(threads).build(),
+        ConfigBuilder::bow(3).sim_threads(threads).build(),
+        ConfigBuilder::bow_wr(3).sim_threads(threads).build(),
+        ConfigBuilder::rfc().sim_threads(threads).build(),
+    ]
+}
+
+/// One fingerprint line per (benchmark × config) cell, in sweep order.
+fn fingerprint_table(threads: u32) -> Vec<String> {
+    let sweep = Suite::new(Scale::Test)
+        .configs(configs(threads))
+        .progress(false)
+        .run();
+    sweep.assert_checked();
+    sweep
+        .rows
+        .iter()
+        .flat_map(|row| {
+            row.records.iter().map(|r| {
+                format!(
+                    "{}/{} {:016x}",
+                    r.benchmark,
+                    r.label,
+                    r.outcome.result.stats.fingerprint()
+                )
+            })
+        })
+        .collect()
+}
+
+/// The headline contract: the full suite's stats fingerprints are
+/// byte-identical for `sim_threads` ∈ {1, 2, 8}. 1 exercises the inline
+/// host, 2 a genuine shard split, and 8 more workers than the scaled
+/// model has SMs (workers own uneven shard sizes, some empty).
+#[test]
+fn suite_fingerprints_invariant_under_thread_count() {
+    let serial = fingerprint_table(1);
+    assert_eq!(serial.len(), 15 * 4, "suite shape changed");
+    for threads in [2u32, 8] {
+        let threaded = fingerprint_table(threads);
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s, t, "cell diverged at sim_threads={threads}");
+        }
+        assert_eq!(serial.len(), threaded.len());
+    }
+}
+
+/// The architectural oracle runs under the threaded engine too (the
+/// checked launch routes through the same windowed dispatcher), so the
+/// pipeline == oracle == host-reference triangle must close with the
+/// pipeline sharded across workers.
+#[test]
+fn oracle_crosscheck_passes_under_threaded_engine() {
+    for bench in suite(Scale::Test) {
+        let mut cfg = GpuConfig::scaled(CollectorKind::bow_wr(3));
+        cfg.oracle_check = OracleCheck::Memory;
+        cfg.sim_threads = 8;
+        let kernel = annotate(&bench.kernel(), 3).0;
+        let mut gpu = Gpu::new(cfg);
+        // An oracle/pipeline mismatch panics inside the launch.
+        let outcome = bench.run_with(&mut gpu, &kernel);
+        assert!(outcome.result.completed, "{}: watchdog fired", bench.name());
+        if let Err(e) = outcome.checked {
+            panic!("{}: host reference disagrees: {e}", bench.name());
+        }
+    }
+}
+
+/// Per-instruction lockstep is the strictest oracle mode; it must also
+/// be schedule-independent under the threaded engine. `bfs` is excluded
+/// for the same reason as in the serial cross-check: a benign cross-warp
+/// race makes its intermediate register values schedule-dependent.
+#[test]
+fn lockstep_oracle_passes_under_threaded_engine() {
+    for bench in suite(Scale::Test) {
+        if bench.name() == "bfs" {
+            continue;
+        }
+        let mut cfg = GpuConfig::scaled(CollectorKind::Baseline);
+        cfg.oracle_check = OracleCheck::Lockstep;
+        cfg.sim_threads = 4;
+        let mut gpu = Gpu::new(cfg);
+        let outcome = bench.run_with(&mut gpu, &bench.kernel());
+        assert!(outcome.result.completed, "{}: watchdog fired", bench.name());
+        if let Err(e) = outcome.checked {
+            panic!("{}: host reference disagrees: {e}", bench.name());
+        }
+    }
+}
