@@ -11,10 +11,18 @@
 //! half-size buffers, compiler hints, the footnote-1 scheduler, GPU model
 //! scale — orthogonally and derives the display label automatically.
 
+use crate::error::ConfigError;
 use bow_compiler::{annotate, CompilerReport};
-use bow_sim::{CollectorKind, Gpu, GpuConfig, SimStats};
-use bow_util::json::Json;
+use bow_sim::{CollectorKind, Gpu, GpuConfig, SimStats, WindowReport};
+use bow_util::json::{DecodeError, Json};
 use bow_workloads::{Benchmark, RunOutcome};
+
+/// Version tag of every serialized document this crate emits
+/// ([`RunRecord::to_json`], [`SweepResult::to_json`](crate::suite::SweepResult::to_json))
+/// and of the wire fingerprints derived from them. Bump on any change to
+/// field names, field order or value encodings, and re-bless the
+/// `schema_v1` golden snapshot.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// Which operand-collection design a configuration simulates — the
 /// coarse axis of [`ConfigBuilder`]; the window/half-size/capacity
@@ -194,7 +202,7 @@ impl ConfigBuilder {
     /// threads per launch. `0` means "host parallelism"; the default `1`
     /// runs the engine inline. Results are byte-identical for every
     /// value, so the label does not encode it. Composes with sweep-level
-    /// parallelism through [`Suite::sim_threads`](crate::Suite), which
+    /// parallelism through [`Suite::sim_threads`](crate::suite::Suite::sim_threads), which
     /// splits one global budget across both layers.
     pub fn sim_threads(mut self, threads: u32) -> ConfigBuilder {
         self.sim_threads = threads;
@@ -238,8 +246,60 @@ impl ConfigBuilder {
         }
     }
 
+    /// Validates every knob that has a bounded range. Knobs are only
+    /// checked where they are meaningful: the window bound applies to
+    /// BOW/BOW-WR (where it sizes the value buffer), the capacity bound
+    /// to BOW-Flex, the entry bound to RFC.
+    fn validate(&self) -> Result<(), ConfigError> {
+        let range = |field: &'static str, value: u32, min: u32, max: u32| {
+            if (min..=max).contains(&value) {
+                Ok(())
+            } else {
+                Err(ConfigError::Range {
+                    field,
+                    value: u64::from(value),
+                    min: u64::from(min),
+                    max: u64::from(max),
+                })
+            }
+        };
+        match self.collector {
+            Collector::Bow | Collector::BowWr => range("window", self.window, 1, 64)?,
+            Collector::BowFlex => range("capacity", self.capacity, 1, 4096)?,
+            Collector::Rfc => range("rfc_entries", self.rfc_entries, 1, 1024)?,
+            Collector::Baseline => {}
+        }
+        for &w in &self.analyzer {
+            range("analyzer window", w, 1, 1024)?;
+        }
+        Ok(())
+    }
+
+    /// Assembles the [`Config`], validating every bounded knob first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first out-of-range knob.
+    pub fn try_build(self) -> Result<Config, ConfigError> {
+        self.validate()?;
+        Ok(self.assemble())
+    }
+
     /// Assembles the [`Config`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range knob; use
+    /// [`try_build`](ConfigBuilder::try_build) where the knobs come from
+    /// user input.
     pub fn build(self) -> Config {
+        match self.try_build() {
+            Ok(c) => c,
+            Err(e) => panic!("invalid configuration: {e}"),
+        }
+    }
+
+    fn assemble(self) -> Config {
         let kind = match self.collector {
             Collector::Baseline => CollectorKind::Baseline,
             Collector::Bow => CollectorKind::Bow {
@@ -295,56 +355,6 @@ pub struct Config {
 }
 
 impl Config {
-    /// The unmodified baseline GPU.
-    #[deprecated(note = "use `ConfigBuilder::baseline()`")]
-    pub fn baseline() -> Config {
-        ConfigBuilder::baseline().build()
-    }
-
-    /// BOW (read bypassing, write-through) with the given window.
-    #[deprecated(note = "use `ConfigBuilder::bow(window)`")]
-    pub fn bow(window: u32) -> Config {
-        ConfigBuilder::bow(window).build()
-    }
-
-    /// BOW-WR (read+write bypassing, compiler hints) with the given window.
-    #[deprecated(note = "use `ConfigBuilder::bow_wr(window)`")]
-    pub fn bow_wr(window: u32) -> Config {
-        ConfigBuilder::bow_wr(window).build()
-    }
-
-    /// BOW-WR with the half-size (shared-entry) BOC of §IV-C.
-    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).half_size(true)`")]
-    pub fn bow_wr_half(window: u32) -> Config {
-        ConfigBuilder::bow_wr(window).half_size(true).build()
-    }
-
-    /// BOW-WR *without* the compiler pass — the pure write-back design the
-    /// middle column of Table I evaluates.
-    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).hints(false)`")]
-    pub fn bow_writeback(window: u32) -> Config {
-        ConfigBuilder::bow_wr(window).hints(false).build()
-    }
-
-    /// Buffer-bounded bypassing — the paper's future-work design: no
-    /// nominal window, no compiler hints, eviction purely by capacity.
-    #[deprecated(note = "use `ConfigBuilder::bow_flex(capacity)`")]
-    pub fn bow_flex(capacity: u32) -> Config {
-        ConfigBuilder::bow_flex(capacity).build()
-    }
-
-    /// The register-file-cache comparison baseline (§V-A).
-    #[deprecated(note = "use `ConfigBuilder::rfc()`")]
-    pub fn rfc() -> Config {
-        ConfigBuilder::rfc().build()
-    }
-
-    /// BOW-WR with the footnote-1 scheduler in front of the hint pass.
-    #[deprecated(note = "use `ConfigBuilder::bow_wr(window).reorder(true)`")]
-    pub fn bow_wr_reordered(window: u32) -> Config {
-        ConfigBuilder::bow_wr(window).reorder(true).build()
-    }
-
     /// Enables the Fig. 3 window analyzer on this configuration.
     pub fn with_analyzer(mut self, windows: &[u32]) -> Config {
         self.gpu = self.gpu.with_analyzer(windows);
@@ -383,11 +393,18 @@ impl RunRecord {
         self
     }
 
-    /// The record as a JSON object: identity, headline numbers, the full
-    /// statistics block, the Fig. 3 window reports (when the analyzer
-    /// ran) and the compiler report (when the hint pass ran).
+    /// The record as a schema-v1 JSON object: version tag, identity,
+    /// headline numbers, the full statistics block, the Fig. 3 window
+    /// reports (when the analyzer ran) and the compiler report (when the
+    /// hint pass ran). Field names and order are part of the versioned
+    /// contract (pinned by the `schema_v1` golden snapshot); any change
+    /// must bump [`SCHEMA_VERSION`].
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
+            (
+                "schema_version".to_string(),
+                Json::from(crate::experiment::SCHEMA_VERSION),
+            ),
             ("config".to_string(), Json::from(self.label.as_str())),
             ("benchmark".to_string(), Json::from(self.benchmark.as_str())),
             ("cycles".to_string(), Json::from(self.outcome.result.cycles)),
@@ -448,12 +465,110 @@ impl RunRecord {
                     ("rf_only", Json::from(c.rf_only)),
                     ("persistent", Json::from(c.persistent)),
                     ("transient", Json::from(c.transient)),
-                    ("transient_regs", Json::from(c.transient_regs.len())),
+                    // The register indices themselves (not just a count),
+                    // so the report round-trips through from_json.
+                    (
+                        "transient_regs",
+                        Json::Arr(
+                            c.transient_regs
+                                .iter()
+                                .map(|r| Json::from(u64::from(r.index())))
+                                .collect(),
+                        ),
+                    ),
                     ("used_regs", Json::from(c.used_regs)),
                 ]),
             ));
         }
         Json::Obj(fields)
+    }
+
+    /// Decodes a record from the object [`RunRecord::to_json`] writes.
+    /// Strict on every stored field (derived fields like `ipc` are
+    /// recomputed, not read), so a decoded record re-serializes
+    /// byte-identically — the property the content-addressed result store
+    /// relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for a missing/mistyped field or an
+    /// unsupported `schema_version`.
+    pub fn from_json(v: &Json) -> Result<RunRecord, DecodeError> {
+        let version = v.req_u64("schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(DecodeError::new(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let stats = SimStats::from_json(v.req("stats")?).map_err(|e| e.context("stats"))?;
+        let per_sm = v
+            .req_arr("per_sm")?
+            .iter()
+            .map(|s| SimStats::from_json(s).map_err(|e| e.context("per_sm")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let windows = match v.get("windows") {
+            None => Vec::new(),
+            Some(w) => w
+                .as_arr()
+                .ok_or_else(|| DecodeError::new("`windows` must be an array"))?
+                .iter()
+                .map(|w| {
+                    Ok(WindowReport {
+                        window: w.req_u64("window")? as u32,
+                        total_reads: w.req_u64("total_reads")?,
+                        bypassed_reads: w.req_u64("bypassed_reads")?,
+                        total_writes: w.req_u64("total_writes")?,
+                        bypassed_writes: w.req_u64("bypassed_writes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, DecodeError>>()
+                .map_err(|e| e.context("windows"))?,
+        };
+        let checked = match v.req("checked")? {
+            Json::Bool(true) => Ok(()),
+            Json::Str(s) => Err(s.clone()),
+            _ => {
+                return Err(DecodeError::new(
+                    "`checked` must be true or an error string",
+                ))
+            }
+        };
+        let compiler = match v.get("compiler") {
+            None => None,
+            Some(c) => Some(CompilerReport {
+                rf_only: c.req_u64("rf_only")? as usize,
+                persistent: c.req_u64("persistent")? as usize,
+                transient: c.req_u64("transient")? as usize,
+                transient_regs: c
+                    .req_arr("transient_regs")?
+                    .iter()
+                    .map(|r| {
+                        let idx = r
+                            .as_u64()
+                            .filter(|&i| i <= 254)
+                            .ok_or_else(|| DecodeError::new("bad register index"))?;
+                        Ok(bow_isa::Reg::r(idx as u8))
+                    })
+                    .collect::<Result<Vec<_>, DecodeError>>()
+                    .map_err(|e| e.context("compiler"))?,
+                used_regs: c.req_u64("used_regs")? as usize,
+            }),
+        };
+        Ok(RunRecord {
+            label: v.req_str("config")?.to_string(),
+            benchmark: v.req_str("benchmark")?.to_string(),
+            outcome: RunOutcome {
+                result: bow_sim::LaunchResult {
+                    cycles: v.req_u64("cycles")?,
+                    stats,
+                    per_sm,
+                    windows,
+                    completed: v.req_bool("completed")?,
+                },
+                checked,
+            },
+            compiler,
+        })
     }
 }
 
@@ -602,32 +717,35 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder_output() {
-        for (old, new) in [
-            (Config::baseline(), ConfigBuilder::baseline().build()),
-            (Config::bow(4), ConfigBuilder::bow(4).build()),
-            (Config::bow_wr(3), ConfigBuilder::bow_wr(3).build()),
-            (
-                Config::bow_wr_half(3),
-                ConfigBuilder::bow_wr(3).half_size(true).build(),
-            ),
-            (
-                Config::bow_writeback(3),
-                ConfigBuilder::bow_wr(3).hints(false).build(),
-            ),
-            (Config::bow_flex(6), ConfigBuilder::bow_flex(6).build()),
-            (Config::rfc(), ConfigBuilder::rfc().build()),
-            (
-                Config::bow_wr_reordered(2),
-                ConfigBuilder::bow_wr(2).reorder(true).build(),
-            ),
-        ] {
-            assert_eq!(old.label, new.label);
-            assert_eq!(old.gpu, new.gpu);
-            assert_eq!(old.hints, new.hints);
-            assert_eq!(old.reorder, new.reorder);
-        }
+    fn try_build_validates_ranges() {
+        assert!(ConfigBuilder::bow(0).try_build().is_err());
+        let e = ConfigBuilder::bow_wr(65).try_build().unwrap_err();
+        assert_eq!(
+            e,
+            ConfigError::Range {
+                field: "window",
+                value: 65,
+                min: 1,
+                max: 64,
+            }
+        );
+        assert!(ConfigBuilder::bow_flex(0).try_build().is_err());
+        assert!(ConfigBuilder::rfc().rfc_entries(0).try_build().is_err());
+        assert!(ConfigBuilder::baseline()
+            .analyzer(&[3, 0])
+            .try_build()
+            .is_err());
+        // Valid extremes pass.
+        assert!(ConfigBuilder::bow(1).try_build().is_ok());
+        assert!(ConfigBuilder::bow_wr(64).try_build().is_ok());
+        // The analyzer window bound only applies where it is meaningful.
+        assert!(ConfigBuilder::baseline().window(99).try_build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_panics_on_invalid_ranges() {
+        let _ = ConfigBuilder::bow(0).build();
     }
 
     #[test]

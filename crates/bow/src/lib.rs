@@ -27,6 +27,8 @@
 //! assert!(result.row(1).records[0].outcome.result.stats.bypassed_reads > 0);
 //! ```
 
+pub mod api;
+pub mod error;
 pub mod experiment;
 pub mod fuzz;
 pub mod mutate;
@@ -69,7 +71,9 @@ pub mod workloads {
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::experiment::{run, Config, ConfigBuilder, GpuModel, RunRecord};
+    pub use crate::api::{KernelSpec, RunRequest, SweepRequest};
+    pub use crate::error::{BowError, ConfigError};
+    pub use crate::experiment::{run, Config, ConfigBuilder, GpuModel, RunRecord, SCHEMA_VERSION};
     pub use crate::suite::{ConfigRow, Suite, SweepResult};
     pub use bow_compiler::annotate;
     pub use bow_energy::{AccessCounts, EnergyModel, EnergyReport};

@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 use crate::experiment::{prepare_kernel, run_prepared, Config, RunRecord};
 use bow_compiler::CompilerReport;
 use bow_isa::Kernel;
-use bow_util::json::Json;
+use bow_util::json::{DecodeError, Json};
 use bow_workloads::{by_name, suite as paper_suite, Benchmark, Scale};
 
 /// Memoization key for prepared kernels: benchmark index plus the
@@ -354,6 +354,58 @@ impl ConfigRow {
     pub fn records(&self) -> &[RunRecord] {
         &self.records
     }
+
+    /// The row as a schema-v1 JSON object: the config label plus one cell
+    /// per benchmark. Each cell is the full [`RunRecord`] document with
+    /// its wall time appended (`wall_nanos` is authoritative;
+    /// `wall_seconds` is a derived convenience field).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", Json::from(self.label.as_str())),
+            (
+                "cells",
+                Json::Arr(
+                    self.records
+                        .iter()
+                        .zip(&self.wall)
+                        .map(|(rec, wall)| {
+                            let mut cell = rec.to_json();
+                            if let Json::Obj(fields) = &mut cell {
+                                fields.push((
+                                    "wall_nanos".to_string(),
+                                    Json::from(wall.as_nanos() as u64),
+                                ));
+                                fields.push((
+                                    "wall_seconds".to_string(),
+                                    Json::from(wall.as_secs_f64()),
+                                ));
+                            }
+                            cell
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a row from the object [`ConfigRow::to_json`] writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for a missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<ConfigRow, DecodeError> {
+        let mut records = Vec::new();
+        let mut wall = Vec::new();
+        for cell in v.req_arr("cells")? {
+            records.push(RunRecord::from_json(cell).map_err(|e| e.context("cells"))?);
+            wall.push(Duration::from_nanos(cell.req_u64("wall_nanos")?));
+        }
+        Ok(ConfigRow {
+            label: v.req_str("config")?.to_string(),
+            records,
+            wall,
+        })
+    }
 }
 
 /// A completed sweep: one [`ConfigRow`] per configuration, in the order
@@ -417,45 +469,53 @@ impl SweepResult {
         (log_sum / num.len() as f64).exp()
     }
 
-    /// The sweep as one JSON document: per-row cell records (each with
-    /// its wall time) plus sweep-level metadata.
+    /// The sweep as one schema-v1 JSON document: version tag, sweep-level
+    /// metadata and per-row cell records (each with its wall time). Field
+    /// names and order are part of the versioned contract (pinned by the
+    /// `schema_v1` golden snapshot); any change must bump
+    /// [`SCHEMA_VERSION`](crate::experiment::SCHEMA_VERSION).
     pub fn to_json(&self) -> Json {
         Json::obj([
+            (
+                "schema_version",
+                Json::from(crate::experiment::SCHEMA_VERSION),
+            ),
             ("jobs", Json::from(self.jobs)),
+            ("wall_nanos", Json::from(self.wall.as_nanos() as u64)),
             ("wall_seconds", Json::from(self.wall.as_secs_f64())),
             (
                 "rows",
-                Json::Arr(
-                    self.rows
-                        .iter()
-                        .map(|row| {
-                            Json::obj([
-                                ("config", Json::from(row.label.as_str())),
-                                (
-                                    "cells",
-                                    Json::Arr(
-                                        row.records
-                                            .iter()
-                                            .zip(&row.wall)
-                                            .map(|(rec, wall)| {
-                                                let mut cell = rec.to_json();
-                                                if let Json::Obj(fields) = &mut cell {
-                                                    fields.push((
-                                                        "wall_seconds".to_string(),
-                                                        Json::from(wall.as_secs_f64()),
-                                                    ));
-                                                }
-                                                cell
-                                            })
-                                            .collect(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Arr(self.rows.iter().map(ConfigRow::to_json).collect()),
             ),
         ])
+    }
+
+    /// Decodes a sweep from the document [`SweepResult::to_json`] writes.
+    /// Strict on every stored field (`wall_seconds` is derived from
+    /// `wall_nanos`, not read), so a decoded sweep re-serializes
+    /// byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for a missing/mistyped field or an
+    /// unsupported `schema_version`.
+    pub fn from_json(v: &Json) -> Result<SweepResult, DecodeError> {
+        let version = v.req_u64("schema_version")?;
+        if version != crate::experiment::SCHEMA_VERSION {
+            return Err(DecodeError::new(format!(
+                "unsupported schema_version {version} (expected {})",
+                crate::experiment::SCHEMA_VERSION
+            )));
+        }
+        Ok(SweepResult {
+            rows: v
+                .req_arr("rows")?
+                .iter()
+                .map(|row| ConfigRow::from_json(row).map_err(|e| e.context("rows")))
+                .collect::<Result<Vec<_>, _>>()?,
+            jobs: v.req_u64("jobs")? as usize,
+            wall: Duration::from_nanos(v.req_u64("wall_nanos")?),
+        })
     }
 }
 

@@ -16,13 +16,21 @@
 //!   verifier over a kernel file or the whole workload suite; `--mutate`
 //!   runs the mutation sanitizer that audits the verifier itself;
 //! * `trace <file>` — run with pipeline tracing and print the timeline;
-//! * `encode <file>` / `decode <file>` — binary-format round trip.
+//! * `encode <file>` / `decode <file>` — binary-format round trip;
+//! * `serve` — the persistent simulation service (`bow-server`): v1
+//!   HTTP/JSON API with a content-addressed result store;
+//! * `submit` — client for a running server: submit runs, poll jobs,
+//!   fetch stored results, health-check, shut down.
 //!
 //! Command logic lives in this library and returns strings, so everything
-//! is unit-testable; `main.rs` only does process I/O.
+//! is unit-testable; `main.rs` only does process I/O. Failures are typed
+//! [`BowError`]s; `main.rs` exits with [`BowError::exit_code`] so scripts
+//! can tell parse (2) / config (3) / io (4) / verify (5) failures apart.
 
+use bow::error::{BowError, ConfigError};
 use bow::experiment::{pct, render_table, Config};
 use bow::prelude::*;
+use bow_util::json::Json;
 use std::fmt::Write as _;
 
 /// A parsed command line.
@@ -137,24 +145,59 @@ pub enum Command {
         /// Path to the hex file.
         path: String,
     },
+    /// Run the persistent simulation service.
+    Serve {
+        /// Bind address (port 0 = ephemeral).
+        addr: String,
+        /// Job-worker threads (0 = all cores).
+        workers: usize,
+        /// Result-store directory.
+        store: String,
+        /// Write the bound address here once listening (CI uses this
+        /// with port 0).
+        port_file: Option<String>,
+    },
+    /// Talk to a running server.
+    Submit {
+        /// Server address.
+        addr: String,
+        /// What to do.
+        action: SubmitAction,
+    },
     /// Print usage.
     Help,
 }
 
-/// Errors surfaced to the user.
-#[derive(Debug)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
+/// The `submit` subcommand's verbs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitAction {
+    /// `POST /v1/runs`: a named workload or an inline `.asm` file.
+    Run {
+        /// Benchmark name (exclusive with `asm`).
+        bench: Option<String>,
+        /// Assembly file to submit inline (exclusive with `bench`).
+        asm: Option<String>,
+        /// Collector spec.
+        collector: String,
+        /// Instruction-window size.
+        window: u32,
+        /// Problem scale.
+        scale: Scale,
+        /// Block on completion (false = `"wait":false`, get a job id).
+        wait: bool,
+    },
+    /// `GET /v1/jobs/{id}`.
+    Job(u64),
+    /// `GET /v1/results/{fingerprint}`.
+    Fetch(String),
+    /// `GET /v1/healthz`.
+    Health,
+    /// `POST /v1/shutdown`.
+    Shutdown,
 }
 
-impl std::error::Error for CliError {}
-
-fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+fn err(msg: impl Into<String>) -> BowError {
+    BowError::parse(msg)
 }
 
 /// The usage text.
@@ -177,6 +220,11 @@ USAGE:
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
+  bow-cli serve [--addr HOST:PORT] [--workers N] [--store DIR] [--port-file FILE]
+  bow-cli submit <bench> [--asm FILE] [--collector C] [--window N]
+                 [--scale test|paper] [--addr HOST:PORT] [--no-wait]
+  bow-cli submit --job ID | --fetch FINGERPRINT | --health | --shutdown
+                 [--addr HOST:PORT]
 
 COLLECTORS:
   baseline | bow | bow-wr | bow-wr-half | bow-flex | rfc
@@ -206,14 +254,25 @@ to BocOnly across a generated corpus and requires every mutant that
 demonstrably loses a value to be statically flagged (`--smoke` is the
 small fixed CI configuration). --json writes the machine-readable
 report for either mode.
+
+`serve` runs the persistent v1 HTTP/JSON simulation service
+(docs/API.md). Every request is keyed by a content-addressed
+fingerprint; results persist under --store (default results/store) and
+identical resubmissions are answered from cache without simulating.
+`submit` is the matching client (default --addr 127.0.0.1:7070): it
+prints the server's JSON response verbatim.
+
+EXIT CODES:
+  0 success | 1 panic | 2 parse error | 3 invalid config
+  4 I/O error | 5 verification failure
 ";
 
 /// Parses a command line (without the program name).
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] describing the first unrecognized token.
-pub fn parse(args: &[String]) -> Result<Command, CliError> {
+/// Returns [`BowError::Parse`] describing the first unrecognized token.
+pub fn parse(args: &[String]) -> Result<Command, BowError> {
     let mut it = args.iter().map(String::as_str);
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
@@ -294,7 +353,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             };
             // Seeds round-trip through repro headers and docs in hex, so
             // accept both `0x…` and decimal.
-            let parse_u64 = |name: &str, d: u64| -> Result<u64, CliError> {
+            let parse_u64 = |name: &str, d: u64| -> Result<u64, BowError> {
                 match opt(name) {
                     Some(v) => {
                         let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
@@ -378,6 +437,53 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| err("decode: missing file"))?
                 .into(),
         }),
+        "serve" => Ok(Command::Serve {
+            addr: opt("--addr").unwrap_or("127.0.0.1:7070").into(),
+            workers: match opt("--workers") {
+                Some(w) => w.parse().map_err(|_| err(format!("bad workers `{w}`")))?,
+                None => 0,
+            },
+            store: opt("--store").unwrap_or("results/store").into(),
+            port_file: opt("--port-file").map(String::from),
+        }),
+        "submit" => {
+            let addr = opt("--addr").unwrap_or("127.0.0.1:7070").to_string();
+            let action = if flag("--shutdown") {
+                SubmitAction::Shutdown
+            } else if flag("--health") {
+                SubmitAction::Health
+            } else if let Some(id) = opt("--job") {
+                SubmitAction::Job(id.parse().map_err(|_| err(format!("bad job id `{id}`")))?)
+            } else if let Some(fp) = opt("--fetch") {
+                SubmitAction::Fetch(fp.to_string())
+            } else {
+                // Flags take values (`--collector bow`), so only a
+                // leading token can be the benchmark name.
+                let bench = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .map(|a| (*a).to_string());
+                let asm = opt("--asm").map(String::from);
+                match (&bench, &asm) {
+                    (None, None) => return Err(err(
+                        "submit: pass a benchmark, --asm, --job, --fetch, --health or --shutdown",
+                    )),
+                    (Some(_), Some(_)) => {
+                        return Err(err("submit: pass a benchmark OR --asm, not both"))
+                    }
+                    _ => {}
+                }
+                SubmitAction::Run {
+                    bench,
+                    asm,
+                    collector: opt("--collector").unwrap_or("bow-wr").into(),
+                    window,
+                    scale,
+                    wait: !flag("--no-wait"),
+                }
+            };
+            Ok(Command::Submit { addr, action })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(err(format!(
             "unknown command `{other}` (try `bow-cli help`)"
@@ -389,8 +495,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for unknown collector names.
-pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config, CliError> {
+/// Returns [`BowError::Config`] for unknown collector names or
+/// out-of-range knobs.
+pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config, BowError> {
     let builder = match collector {
         "baseline" => ConfigBuilder::baseline(),
         "bow" => ConfigBuilder::bow(window),
@@ -398,18 +505,33 @@ pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config,
         "bow-wr-half" => ConfigBuilder::bow_wr(window).half_size(true),
         "bow-flex" => ConfigBuilder::bow_flex(4 * window),
         "rfc" => ConfigBuilder::rfc(),
-        other => return Err(err(format!("unknown collector `{other}`"))),
+        other => {
+            return Err(ConfigError::Unknown {
+                what: "collector",
+                value: other.to_string(),
+            }
+            .into())
+        }
     };
-    Ok(builder.reorder(reorder).build())
+    Ok(builder.reorder(reorder).try_build()?)
+}
+
+fn unknown_benchmark(name: &str) -> BowError {
+    ConfigError::Unknown {
+        what: "benchmark",
+        value: name.to_string(),
+    }
+    .into()
 }
 
 /// Executes a command, returning the text to print.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for unknown benchmarks, unreadable files or
-/// invalid kernels.
-pub fn execute(cmd: Command) -> Result<String, CliError> {
+/// Returns a [`BowError`] for unknown benchmarks, unreadable files or
+/// invalid kernels; `main.rs` exits with its
+/// [`exit_code`](BowError::exit_code).
+pub fn execute(cmd: Command) -> Result<String, BowError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Suite => {
@@ -433,8 +555,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             reorder,
             sim_threads,
         } => {
-            let b = bow::workloads::by_name(&bench, scale)
-                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let b =
+                bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let mut cfg = config_for(&collector, window, reorder)?;
             if let Some(t) = sim_threads {
                 cfg.gpu.sim_threads = t;
@@ -444,7 +566,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             rec.outcome
                 .checked
                 .as_ref()
-                .map_err(|e| err(format!("verification: {e}")))?;
+                .map_err(|e| BowError::verify(format!("verification: {e}")))?;
             let s = &rec.outcome.result.stats;
             let mut out = String::new();
             writeln!(out, "{bench} under {label}: OK (results verified)").unwrap();
@@ -470,8 +592,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             jobs,
             sim_threads,
         } => {
-            let b = bow::workloads::by_name(&bench, scale)
-                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let b =
+                bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
             let mut suite = Suite::over(vec![b])
                 .configs([
@@ -491,7 +613,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             base.outcome
                 .checked
                 .as_ref()
-                .map_err(|e| err(format!("verification: {e}")))?;
+                .map_err(|e| BowError::verify(format!("verification: {e}")))?;
             let base_counts = base.outcome.result.stats.access_counts();
             let mut rows = Vec::new();
             for row in &result.rows {
@@ -499,7 +621,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 rec.outcome
                     .checked
                     .as_ref()
-                    .map_err(|e| err(format!("verification: {e}")))?;
+                    .map_err(|e| BowError::verify(format!("verification: {e}")))?;
                 let s = &rec.outcome.result.stats;
                 let energy = EnergyReport::normalized(&model, &s.access_counts(), &base_counts);
                 rows.push(vec![
@@ -524,7 +646,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             ))
         }
         Command::Asm { path } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let mut out = String::new();
             writeln!(
@@ -545,7 +667,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             window,
             reorder,
         } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let mut k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             if reorder {
                 k = bow_compiler::reorder_for_bypass(&k);
@@ -572,8 +694,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             jobs,
             sim_threads,
         } => {
-            let b = bow::workloads::by_name(&bench, scale)
-                .ok_or_else(|| err(format!("unknown benchmark `{bench}`")))?;
+            let b =
+                bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
             let mut configs = vec![ConfigBuilder::baseline().build()];
             configs.extend((1..=7u32).map(|w| ConfigBuilder::bow_wr(w).build()));
@@ -586,7 +708,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 rec.outcome
                     .checked
                     .as_ref()
-                    .map_err(|e| err(format!("verification: {e}")))?;
+                    .map_err(|e| BowError::verify(format!("verification: {e}")))?;
             }
             let base = &result.row(0).records[0];
             let base_counts = base.outcome.result.stats.access_counts();
@@ -628,7 +750,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             if report.failures.is_empty() {
                 Ok(report.summary())
             } else {
-                Err(err(report.summary()))
+                Err(BowError::verify(report.summary()))
             }
         }
         Command::Lint {
@@ -651,19 +773,19 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 let report = bow::mutate::run_mutation(&opts);
                 if let Some(p) = json {
                     std::fs::write(&p, report.to_json().to_string_pretty())
-                        .map_err(|e| err(format!("{p}: {e}")))?;
+                        .map_err(|e| BowError::io(&p, e))?;
                 }
                 return if report.passed() {
                     Ok(report.summary())
                 } else {
-                    Err(err(report.summary()))
+                    Err(BowError::verify(report.summary()))
                 };
             }
 
             // (kernel, pc -> source line when it came from a .s file)
             let mut targets: Vec<(Kernel, Option<Vec<usize>>)> = Vec::new();
             if let Some(p) = &path {
-                let text = std::fs::read_to_string(p).map_err(|e| err(format!("{p}: {e}")))?;
+                let text = std::fs::read_to_string(p).map_err(|e| BowError::io(p.as_str(), e))?;
                 let (k, lines) =
                     bow_isa::asm::parse_kernel_lines(&text).map_err(|e| err(e.to_string()))?;
                 // Lint hand-annotated kernels as written; run the hint
@@ -694,7 +816,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 .collect();
             if let Some(p) = json {
                 let doc = bow::util::json::Json::arr(reports.iter().map(|r| r.to_json()));
-                std::fs::write(&p, doc.to_string_pretty()).map_err(|e| err(format!("{p}: {e}")))?;
+                std::fs::write(&p, doc.to_string_pretty()).map_err(|e| BowError::io(&p, e))?;
             }
 
             let mut out = String::new();
@@ -721,7 +843,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             if failing.is_empty() {
                 Ok(out)
             } else {
-                Err(err(out))
+                Err(BowError::verify(out))
             }
         }
         Command::Trace {
@@ -730,7 +852,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             window,
             limit,
         } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let kernel = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let cfg = config_for(&collector, window, false)?;
             let mut gpu_cfg = cfg.gpu.clone();
@@ -761,7 +883,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Encode { path } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let k = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
             let words = bow_isa::encode_kernel(&k);
             let mut out = String::with_capacity(words.len() * 9);
@@ -771,7 +893,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Decode { path } => {
-            let text = std::fs::read_to_string(&path).map_err(|e| err(format!("{path}: {e}")))?;
+            let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let words: Result<Vec<u32>, _> = text
                 .split_whitespace()
                 .map(|t| u32::from_str_radix(t, 16))
@@ -779,6 +901,103 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let words = words.map_err(|e| err(format!("bad hex word: {e}")))?;
             let k = bow_isa::decode_kernel("decoded", &words).map_err(|e| err(e.to_string()))?;
             Ok(k.disassemble())
+        }
+        Command::Serve {
+            addr,
+            workers,
+            store,
+            port_file,
+        } => {
+            let server = bow_server::Server::bind(&bow_server::ServerConfig {
+                addr,
+                workers,
+                store_dir: store.into(),
+            })?;
+            let bound = server.local_addr();
+            if let Some(p) = port_file {
+                std::fs::write(&p, bound.to_string()).map_err(|e| BowError::io(&p, e))?;
+            }
+            eprintln!("bow-server listening on {bound} (POST /v1/shutdown to stop)");
+            server.run()?;
+            Ok(format!("bow-server on {bound} stopped\n"))
+        }
+        Command::Submit { addr, action } => {
+            let response = match action {
+                SubmitAction::Run {
+                    bench,
+                    asm,
+                    collector,
+                    window,
+                    scale,
+                    wait,
+                } => {
+                    let kernel = match (&bench, &asm) {
+                        (Some(b), None) => Json::obj([
+                            ("workload", Json::from(b.as_str())),
+                            (
+                                "scale",
+                                Json::from(match scale {
+                                    Scale::Test => "test",
+                                    Scale::Paper => "paper",
+                                }),
+                            ),
+                        ]),
+                        (None, Some(path)) => {
+                            let text =
+                                std::fs::read_to_string(path).map_err(|e| BowError::io(path, e))?;
+                            Json::obj([("asm", Json::from(text))])
+                        }
+                        _ => unreachable!("parse() enforces bench XOR asm"),
+                    };
+                    let body = Json::obj([
+                        ("kernel", kernel),
+                        (
+                            "config",
+                            Json::obj([
+                                ("collector", Json::from(collector.as_str())),
+                                ("window", Json::from(window)),
+                            ]),
+                        ),
+                        ("wait", Json::from(wait)),
+                    ]);
+                    bow_server::client::post(&addr, "/v1/runs", &body.to_string_compact())?
+                }
+                SubmitAction::Job(id) => bow_server::client::get(&addr, &format!("/v1/jobs/{id}"))?,
+                SubmitAction::Fetch(fp) => {
+                    bow_server::client::get(&addr, &format!("/v1/results/{fp}"))?
+                }
+                SubmitAction::Health => bow_server::client::get(&addr, "/v1/healthz")?,
+                SubmitAction::Shutdown => bow_server::client::post(&addr, "/v1/shutdown", "{}")?,
+            };
+            // Print the server's JSON verbatim; non-2xx responses carry a
+            // structured error document and fail the process.
+            let mut out = response.body.clone();
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            if response.status < 400 {
+                Ok(out)
+            } else {
+                let kind = response
+                    .json()
+                    .ok()
+                    .and_then(|v| {
+                        v.get("error")?
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .map(String::from)
+                    })
+                    .unwrap_or_default();
+                Err(match kind.as_str() {
+                    "config" => BowError::Config(ConfigError::Unknown {
+                        what: "request (server rejected the configuration)",
+                        value: out.trim_end().to_string(),
+                    }),
+                    "io" | "not_found" => BowError::io(&addr, out.trim_end()),
+                    "verify" => BowError::verify(out.trim_end()),
+                    _ => BowError::parse(out.trim_end()),
+                })
+            }
         }
     }
 }

@@ -1,4 +1,8 @@
 //! Process entry point: parse, execute, print.
+//!
+//! Failure classes map to stable exit codes via
+//! [`BowError::exit_code`](bow::error::BowError::exit_code):
+//! 2 parse, 3 config, 4 io, 5 verify (1 is reserved for panics).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +10,7 @@ fn main() {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Minimal HTTP/1.1 framing over blocking sockets.
+//!
+//! Just enough of RFC 9112 for a loopback JSON API: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked encoding), and a hard body-size cap so a
+//! misbehaving client cannot balloon the server. This is deliberate —
+//! the workspace is std-only, and the service's clients are `bow-cli
+//! submit`, the CI smoke stage and `curl`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body. Inline kernels and sweep documents are
+/// a few KiB; 4 MiB leaves two orders of magnitude of headroom.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// A parsed request: method, path, body. Headers other than
+/// `Content-Length` are read and discarded.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/runs`. Query strings are not split off;
+    /// the v1 API does not use them.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be framed. Maps onto a 400 response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The socket closed or errored mid-request.
+    Io(String),
+    /// The bytes on the wire are not an HTTP/1.1 request we accept.
+    Malformed(String),
+    /// `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(m) => write!(f, "socket error: {m}"),
+            FrameError::Malformed(m) => write!(f, "malformed request: {m}"),
+            FrameError::TooLarge(n) => {
+                write!(
+                    f,
+                    "body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+/// Reads one request off `stream`.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] when the connection drops, the request line
+/// or headers are unparsable, or the declared body is over the cap.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, FrameError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    if line.is_empty() {
+        return Err(FrameError::Io("connection closed before request".into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| FrameError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| FrameError::Malformed("request line has no target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| FrameError::Malformed("request line has no version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(FrameError::Malformed(format!("unsupported {version}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| FrameError::Malformed("bad Content-Length".into()))?;
+            }
+            if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+                return Err(FrameError::Malformed(
+                    "chunked transfer encoding is not supported".into(),
+                ));
+            }
+        } else {
+            return Err(FrameError::Malformed(format!("bad header line `{header}`")));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(FrameError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response (status + body) and flushes. The connection is
+/// marked `Connection: close`; callers drop the stream afterwards.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &str) -> Result<Request, FrameError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            roundtrip("POST /v1/runs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/runs");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = roundtrip("GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed_requests() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(roundtrip(&huge), Err(FrameError::TooLarge(_))));
+        assert!(matches!(
+            roundtrip("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip("GET /\r\n\r\n"),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

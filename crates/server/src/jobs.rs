@@ -1,0 +1,281 @@
+//! The job queue and worker pool.
+//!
+//! Submissions that miss the result store become *jobs*: queued,
+//! executed by a fixed pool of worker threads (one simulator run at a
+//! time each, mirroring the suite engine's worker-pool idiom), and
+//! recorded in a job table that `/v1/jobs/{id}` reads and synchronous
+//! submissions block on. A worker panic (e.g. a simulator assertion on a
+//! hostile inline kernel) is caught and surfaced as a failed job instead
+//! of taking the pool down.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bow::api::{RunRequest, SweepRequest};
+use bow::error::BowError;
+use bow_util::json::Json;
+
+use crate::store::ResultStore;
+
+/// What a job executes. Runs are boxed: a `RunRequest` carries a full
+/// resolved `Config` and dwarfs the sweep variant.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// One kernel under one configuration.
+    Run(Box<RunRequest>),
+    /// Benchmarks × configurations on the sweep engine.
+    Sweep(SweepRequest),
+}
+
+/// Lifecycle of a job, as reported by `/v1/jobs/{id}`.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the result document is in the store under this
+    /// fingerprint.
+    Done {
+        /// Store key of the result.
+        fingerprint: String,
+    },
+    /// Execution failed.
+    Failed {
+        /// Error class (`BowError::kind`, or `"panic"`).
+        kind: String,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+
+    /// The `/v1/jobs/{id}` JSON document for a job in this state.
+    pub fn to_json(&self, id: u64) -> Json {
+        let mut doc = vec![("job", Json::from(id)), ("state", Json::from(self.name()))];
+        match self {
+            JobState::Done { fingerprint } => {
+                doc.push(("fingerprint", Json::from(fingerprint.as_str())));
+            }
+            JobState::Failed { kind, message } => {
+                doc.push((
+                    "error",
+                    Json::obj([
+                        ("kind", Json::from(kind.as_str())),
+                        ("message", Json::from(message.as_str())),
+                    ]),
+                ));
+            }
+            JobState::Queued | JobState::Running => {}
+        }
+        Json::obj(doc)
+    }
+}
+
+struct QueueInner {
+    jobs: VecDeque<(u64, JobKind)>,
+    closed: bool,
+}
+
+/// Job table + work queue, shared between connection handlers and the
+/// worker pool.
+pub struct JobSystem {
+    table: Mutex<HashMap<u64, JobState>>,
+    table_changed: Condvar,
+    queue: Mutex<QueueInner>,
+    queue_ready: Condvar,
+    next_id: AtomicU64,
+    /// Count of simulator executions performed by this process. Cache
+    /// hits never touch it — the integration tests and the CI smoke
+    /// stage use it to prove that a cached response skipped the
+    /// simulator.
+    pub sim_runs: AtomicU64,
+    /// Jobs that reached `Failed`.
+    pub failed: AtomicU64,
+}
+
+impl JobSystem {
+    /// An empty table and queue.
+    pub fn new() -> JobSystem {
+        JobSystem {
+            table: Mutex::new(HashMap::new()),
+            table_changed: Condvar::new(),
+            queue: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            queue_ready: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            sim_runs: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers and enqueues a job, returning its id. Jobs submitted
+    /// after [`close`](JobSystem::close) fail immediately.
+    pub fn submit(&self, kind: JobKind) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.set(id, JobState::Queued);
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        if q.closed {
+            drop(q);
+            self.set(
+                id,
+                JobState::Failed {
+                    kind: "io".to_string(),
+                    message: "server is shutting down".to_string(),
+                },
+            );
+        } else {
+            q.jobs.push_back((id, kind));
+            drop(q);
+            self.queue_ready.notify_one();
+        }
+        id
+    }
+
+    fn set(&self, id: u64, state: JobState) {
+        self.table
+            .lock()
+            .expect("job table lock poisoned")
+            .insert(id, state);
+        self.table_changed.notify_all();
+    }
+
+    /// Snapshot of a job's state.
+    pub fn get(&self, id: u64) -> Option<JobState> {
+        self.table
+            .lock()
+            .expect("job table lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until the job reaches `Done` or `Failed`.
+    pub fn wait_done(&self, id: u64) -> JobState {
+        let mut table = self.table.lock().expect("job table lock poisoned");
+        loop {
+            match table.get(&id) {
+                Some(s @ (JobState::Done { .. } | JobState::Failed { .. })) => return s.clone(),
+                _ => {
+                    table = self
+                        .table_changed
+                        .wait(table)
+                        .expect("job table lock poisoned");
+                }
+            }
+        }
+    }
+
+    /// Closes the queue: workers drain what is queued, then exit.
+    pub fn close(&self) {
+        self.queue.lock().expect("queue lock poisoned").closed = true;
+        self.queue_ready.notify_all();
+    }
+
+    fn next_job(&self) -> Option<(u64, JobKind)> {
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.queue_ready.wait(q).expect("queue lock poisoned");
+        }
+    }
+
+    /// Job-table counters for `/v1/healthz`.
+    pub fn stats_json(&self) -> Json {
+        let table = self.table.lock().expect("job table lock poisoned");
+        let count = |want: &str| table.values().filter(|s| s.name() == want).count();
+        Json::obj([
+            ("queued", Json::from(count("queued"))),
+            ("running", Json::from(count("running"))),
+            ("done", Json::from(count("done"))),
+            ("failed", Json::from(count("failed"))),
+        ])
+    }
+
+    /// Worker-thread body: pull jobs until the queue closes and drains.
+    /// Results land in `store`; panics and [`BowError`]s become `Failed`
+    /// states.
+    pub fn worker_loop(self: &Arc<Self>, store: &Arc<ResultStore>) {
+        while let Some((id, kind)) = self.next_job() {
+            self.set(id, JobState::Running);
+            let executed = catch_unwind(AssertUnwindSafe(|| execute(&kind, store, self)));
+            let state = match executed {
+                Ok(Ok(fingerprint)) => JobState::Done { fingerprint },
+                Ok(Err(e)) => JobState::Failed {
+                    kind: e.kind().to_string(),
+                    message: e.to_string(),
+                },
+                Err(panic) => JobState::Failed {
+                    kind: "panic".to_string(),
+                    message: panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("worker panicked")
+                        .to_string(),
+                },
+            };
+            if matches!(state, JobState::Failed { .. }) {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            self.set(id, state);
+        }
+    }
+}
+
+impl Default for JobSystem {
+    fn default() -> Self {
+        JobSystem::new()
+    }
+}
+
+/// Runs a job to completion and stores its document, returning the
+/// fingerprint. The store is re-checked first so two identical jobs
+/// racing through the queue simulate only once.
+fn execute(
+    kind: &JobKind,
+    store: &Arc<ResultStore>,
+    jobs: &Arc<JobSystem>,
+) -> Result<String, BowError> {
+    let (fingerprint, doc) = match kind {
+        JobKind::Run(req) => {
+            let fp = req.fingerprint();
+            if store.get(&fp).is_some() {
+                return Ok(fp);
+            }
+            jobs.sim_runs.fetch_add(1, Ordering::Relaxed);
+            let record = req.execute()?;
+            (fp, record.to_json().to_string_pretty())
+        }
+        JobKind::Sweep(req) => {
+            let fp = req.fingerprint();
+            if store.get(&fp).is_some() {
+                return Ok(fp);
+            }
+            jobs.sim_runs.fetch_add(1, Ordering::Relaxed);
+            let result = req.execute()?;
+            (fp, result.to_json().to_string_pretty())
+        }
+    };
+    store
+        .put(&fingerprint, doc)
+        .map_err(|e| BowError::io(store.dir().display().to_string(), e))?;
+    Ok(fingerprint)
+}

@@ -1,0 +1,195 @@
+//! The content-addressed result store.
+//!
+//! Every finished run or sweep is stored under its request fingerprint
+//! (`sha256(canonical request)`, 64 hex chars — see `bow::api`). The
+//! store is two-level: an in-memory map for documents touched this
+//! process, backed by a sharded on-disk layout
+//! `store/<fp[0..2]>/<fp>.json` that survives restarts. Writes go
+//! through a temp file + rename so a crash never leaves a torn document
+//! behind.
+//!
+//! Because the simulator is deterministic, a fingerprint identifies its
+//! result *forever*: entries are immutable, never invalidated, and a
+//! second `put` of the same fingerprint is a no-op.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bow_util::json::Json;
+
+/// A persistent fingerprint → result-document map.
+pub struct ResultStore {
+    dir: PathBuf,
+    mem: Mutex<HashMap<String, Arc<String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn valid_fingerprint(fp: &str) -> bool {
+    fp.len() == 64 && fp.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fp: &str) -> PathBuf {
+        self.dir.join(&fp[..2]).join(format!("{fp}.json"))
+    }
+
+    /// Looks up a fingerprint: memory first, then disk (promoting a disk
+    /// hit into memory). Counts a hit or a miss.
+    pub fn get(&self, fp: &str) -> Option<Arc<String>> {
+        if !valid_fingerprint(fp) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut mem = self.mem.lock().expect("store lock poisoned");
+        if let Some(doc) = mem.get(fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(doc));
+        }
+        match fs::read_to_string(self.path_for(fp)) {
+            Ok(text) => {
+                let doc = Arc::new(text);
+                mem.insert(fp.to_string(), Arc::clone(&doc));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(doc)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a document under `fp`, persisting it to disk atomically
+    /// (write to a temp file in the same directory, then rename). A
+    /// fingerprint that is already present is left untouched — results
+    /// are immutable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the in-memory entry is only added
+    /// once the disk write succeeded.
+    pub fn put(&self, fp: &str, doc: String) -> io::Result<()> {
+        assert!(valid_fingerprint(fp), "store key must be 64 hex chars");
+        let mut mem = self.mem.lock().expect("store lock poisoned");
+        if mem.contains_key(fp) {
+            return Ok(());
+        }
+        let path = self.path_for(fp);
+        if !path.exists() {
+            let parent = path.parent().expect("sharded path has a parent");
+            fs::create_dir_all(parent)?;
+            let tmp = parent.join(format!(".{fp}.tmp"));
+            fs::write(&tmp, &doc)?;
+            fs::rename(&tmp, &path)?;
+        }
+        mem.insert(fp.to_string(), Arc::new(doc));
+        Ok(())
+    }
+
+    /// Number of entries on disk (authoritative across restarts).
+    pub fn disk_entries(&self) -> u64 {
+        let mut n = 0;
+        if let Ok(shards) = fs::read_dir(&self.dir) {
+            for shard in shards.flatten() {
+                if let Ok(files) = fs::read_dir(shard.path()) {
+                    n += files
+                        .flatten()
+                        .filter(|f| f.path().extension().is_some_and(|e| e == "json"))
+                        .count() as u64;
+                }
+            }
+        }
+        n
+    }
+
+    /// Counters + sizes as a JSON object (the `store` section of
+    /// `/v1/healthz` and the CI store-stats artifact).
+    pub fn stats_json(&self) -> Json {
+        Json::obj([
+            ("dir", Json::from(self.dir.display().to_string())),
+            ("hits", Json::from(self.hits.load(Ordering::Relaxed))),
+            ("misses", Json::from(self.misses.load(Ordering::Relaxed))),
+            (
+                "mem_entries",
+                Json::from(self.mem.lock().expect("store lock poisoned").len()),
+            ),
+            ("disk_entries", Json::from(self.disk_entries())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bow-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const FP: &str = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn put_get_persists_across_reopen() {
+        let dir = temp_dir("reopen");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.get(FP).is_none());
+        store.put(FP, "{\"x\":1}".to_string()).unwrap();
+        assert_eq!(store.get(FP).unwrap().as_str(), "{\"x\":1}");
+
+        // A fresh store over the same directory sees the entry (disk path).
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.get(FP).unwrap().as_str(), "{\"x\":1}");
+        assert_eq!(reopened.disk_entries(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_are_immutable_and_stats_count() {
+        let dir = temp_dir("immutable");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(FP, "first".to_string()).unwrap();
+        store.put(FP, "second".to_string()).unwrap();
+        assert_eq!(store.get(FP).unwrap().as_str(), "first");
+        let stats = store.stats_json();
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("disk_entries").and_then(Json::as_u64), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_fingerprints_never_touch_disk() {
+        let dir = temp_dir("badfp");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.get("../../etc/passwd").is_none());
+        assert!(store.get("short").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,318 @@
+//! End-to-end tests of the v1 wire protocol.
+//!
+//! Each test boots a real server on an ephemeral port (`127.0.0.1:0`)
+//! with a temp-dir store, drives it through `bow_server::client` exactly
+//! as `bow-cli submit` does, and shuts it down via `POST /v1/shutdown`.
+//! The load-bearing assertions:
+//!
+//! * an identical resubmission is answered `"cached": true` with a
+//!   byte-identical result document, and the `/v1/healthz` `sim_runs`
+//!   counter proves the simulator was not invoked again;
+//! * the fingerprint is an *execution-knob-invariant* content address:
+//!   different `sim_threads` hit the same cache entry, and a server
+//!   restarted over the same store directory serves the old results;
+//! * malformed and invalid bodies come back as structured 4xx
+//!   `{"error": {"kind", "message"}}` documents.
+
+use bow_server::client;
+use bow_server::{Server, ServerConfig};
+use bow_util::json::Json;
+use std::path::PathBuf;
+
+struct TestServer {
+    addr: String,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Boots a server on an ephemeral port over `store_dir`.
+    fn boot(store_dir: &std::path::Path) -> TestServer {
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            store_dir: store_dir.to_path_buf(),
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        TestServer {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    fn shutdown(mut self) {
+        let resp = client::post(&self.addr, "/v1/shutdown", "{}").expect("shutdown");
+        assert_eq!(resp.status, 200);
+        self.handle.take().expect("running").join().expect("join");
+    }
+
+    fn sim_runs(&self) -> u64 {
+        let health = client::get(&self.addr, "/v1/healthz")
+            .expect("healthz")
+            .json()
+            .expect("healthz is JSON");
+        health
+            .get("sim_runs")
+            .and_then(Json::as_u64)
+            .expect("sim_runs counter")
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bow-wire-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_body(sim_threads: u32) -> String {
+    format!(
+        r#"{{"kernel": {{"workload": "vectoradd", "scale": "test"}},
+            "config": {{"collector": "bow-wr", "window": 3, "sim_threads": {sim_threads}}}}}"#
+    )
+}
+
+#[test]
+fn resubmission_is_served_from_cache_without_simulating() {
+    let dir = temp_store("cache");
+    let srv = TestServer::boot(&dir);
+
+    assert_eq!(srv.sim_runs(), 0);
+    let first = client::post(&srv.addr, "/v1/runs", &run_body(1)).expect("first submit");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first_doc = first.json().expect("response is JSON");
+    assert_eq!(first_doc.get("cached").and_then(Json::as_bool), Some(false));
+    let fingerprint = first_doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+    assert_eq!(fingerprint.len(), 64);
+    assert_eq!(srv.sim_runs(), 1);
+
+    // Identical resubmission: cached, simulator untouched, result
+    // byte-identical. A different sim_threads value must hit the same
+    // entry — thread count is an execution knob, not a semantic one.
+    for threads in [1, 4] {
+        let again = client::post(&srv.addr, "/v1/runs", &run_body(threads)).expect("resubmit");
+        assert_eq!(again.status, 200);
+        let doc = again.json().expect("JSON");
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("fingerprint").and_then(Json::as_str),
+            Some(fingerprint.as_str())
+        );
+        assert_eq!(
+            doc.get("result").map(Json::to_string_pretty),
+            first_doc.get("result").map(Json::to_string_pretty),
+            "cached result must be byte-identical"
+        );
+    }
+    assert_eq!(
+        srv.sim_runs(),
+        1,
+        "cache hits must not invoke the simulator"
+    );
+
+    // The stored document is directly addressable.
+    let fetched = client::get(&srv.addr, &format!("/v1/results/{fingerprint}")).expect("fetch");
+    assert_eq!(fetched.status, 200);
+    let record = fetched.json().expect("stored doc is JSON");
+    assert_eq!(
+        record.get("benchmark").and_then(Json::as_str),
+        Some("vectoradd")
+    );
+    assert_eq!(record.get("schema_version").and_then(Json::as_u64), Some(1));
+
+    srv.shutdown();
+
+    // A fresh server over the same store dir serves the result from disk:
+    // fingerprints are stable across restarts.
+    let srv = TestServer::boot(&dir);
+    let warm = client::post(&srv.addr, "/v1/runs", &run_body(2)).expect("post-restart submit");
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        warm.json().unwrap().get("cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        srv.sim_runs(),
+        0,
+        "restart must not re-simulate stored results"
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn async_jobs_report_lifecycle_and_land_in_the_store() {
+    let dir = temp_store("async");
+    let srv = TestServer::boot(&dir);
+
+    let body = r#"{"kernel": {"workload": "lps"}, "config": {"collector": "bow"}, "wait": false}"#;
+    let accepted = client::post(&srv.addr, "/v1/runs", body).expect("async submit");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let doc = accepted.json().expect("JSON");
+    let job = doc.get("job").and_then(Json::as_u64).expect("job id");
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+
+    // Poll until done (bounded; the Test-scale run takes well under this).
+    let mut state = String::new();
+    for _ in 0..600 {
+        let polled = client::get(&srv.addr, &format!("/v1/jobs/{job}")).expect("poll");
+        assert_eq!(polled.status, 200);
+        state = polled
+            .json()
+            .unwrap()
+            .get("state")
+            .and_then(Json::as_str)
+            .expect("state")
+            .to_string();
+        if state == "done" || state == "failed" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert_eq!(state, "done");
+    let fetched = client::get(&srv.addr, &format!("/v1/results/{fingerprint}")).expect("fetch");
+    assert_eq!(fetched.status, 200);
+
+    assert_eq!(
+        client::get(&srv.addr, "/v1/jobs/999999")
+            .expect("missing job")
+            .status,
+        404
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inline_kernels_and_sweeps_are_first_class() {
+    let dir = temp_store("inline");
+    let srv = TestServer::boot(&dir);
+
+    let body = r#"{"kernel": {"asm": ".kernel k\n    mov r0, 7\n    iadd r1, r0, 1\n    exit\n",
+                               "blocks": 1, "threads": 32},
+                   "config": {"collector": "bow-wr", "window": 3}}"#;
+    let resp = client::post(&srv.addr, "/v1/runs", body).expect("inline submit");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = resp.json().unwrap();
+    let record = doc.get("result").expect("result");
+    assert_eq!(record.get("benchmark").and_then(Json::as_str), Some("k"));
+    assert_eq!(record.get("checked").and_then(Json::as_bool), Some(true));
+
+    let sweep = r#"{"benchmarks": ["vectoradd"],
+                    "configs": [{"collector": "baseline"}, {"collector": "bow-wr"}]}"#;
+    let resp = client::post(&srv.addr, "/v1/sweeps", sweep).expect("sweep submit");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = resp.json().unwrap();
+    assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    let rows = doc
+        .get("result")
+        .and_then(|r| r.get("rows"))
+        .and_then(Json::as_arr)
+        .expect("sweep rows");
+    assert_eq!(rows.len(), 2);
+
+    // Resubmit the sweep: cached.
+    let resp = client::post(&srv.addr, "/v1/sweeps", sweep).expect("sweep resubmit");
+    assert_eq!(
+        resp.json().unwrap().get("cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_bodies_get_structured_4xx_errors() {
+    let dir = temp_store("errors");
+    let srv = TestServer::boot(&dir);
+
+    // (body, expected status, expected error.kind)
+    let cases = [
+        ("this is not json", 400, "parse"),
+        (r#"{"config": {}}"#, 400, "parse"),
+        (r#"{"kernel": {"workload": "nope"}}"#, 422, "config"),
+        (
+            r#"{"kernel": {"workload": "vectoradd"}, "config": {"collector": "warp-drive"}}"#,
+            422,
+            "config",
+        ),
+        (
+            r#"{"kernel": {"workload": "vectoradd"}, "config": {"collector": "bow", "window": 0}}"#,
+            422,
+            "config",
+        ),
+        (
+            r#"{"kernel": {"workload": "vectoradd"}, "config": {"windw": 3}}"#,
+            400,
+            "parse",
+        ),
+        (r#"{"kernel": {"asm": "garbage"}}"#, 400, "parse"),
+    ];
+    for (body, status, kind) in cases {
+        let resp = client::post(&srv.addr, "/v1/runs", body).expect("submit");
+        assert_eq!(resp.status, status, "body: {body}\nresponse: {}", resp.body);
+        let err = resp.json().expect("error response is JSON");
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some(kind),
+            "body: {body}\nresponse: {}",
+            resp.body
+        );
+        assert!(
+            err.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .is_some_and(|m| !m.is_empty()),
+            "error must carry a message: {}",
+            resp.body
+        );
+    }
+    assert_eq!(srv.sim_runs(), 0, "rejected bodies must never simulate");
+
+    // Unknown routes and methods.
+    assert_eq!(client::get(&srv.addr, "/v2/runs").unwrap().status, 404);
+    assert_eq!(
+        client::get(&srv.addr, "/v1/results/not-a-fingerprint")
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client::request(&srv.addr, "DELETE", "/v1/runs", None)
+            .unwrap()
+            .status,
+        405
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healthz_reports_store_and_job_counters() {
+    let dir = temp_store("health");
+    let srv = TestServer::boot(&dir);
+    let health = client::get(&srv.addr, "/v1/healthz")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("schema_version").and_then(Json::as_u64), Some(1));
+    for section in ["jobs", "store"] {
+        assert!(
+            health.get(section).is_some(),
+            "healthz must report {section}"
+        );
+    }
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

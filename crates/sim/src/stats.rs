@@ -9,7 +9,7 @@ use crate::probe::{PipeEvent, Probe, StallKind};
 use crate::regfile::RegFileStats;
 use bow_energy::AccessCounts;
 use bow_mem::MemStats;
-use bow_util::json::Json;
+use bow_util::json::{DecodeError, Json};
 
 /// The three write-destination classes of Fig. 7 (§IV-B).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -267,6 +267,90 @@ impl SimStats {
             ("stall_scoreboard", Json::from(self.stall_scoreboard)),
             ("retired_completions", Json::from(self.retired_completions)),
         ])
+    }
+
+    /// Decodes a counter block from the object [`SimStats::to_json`]
+    /// writes. Strict: every counter field must be present, so a decoded
+    /// block re-serializes byte-identically (the schema-v1 round-trip
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the first missing or mistyped
+    /// field.
+    pub fn from_json(v: &Json) -> Result<SimStats, DecodeError> {
+        let u64_arr = |key: &str| -> Result<Vec<u64>, DecodeError> {
+            v.req_arr(key)?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .ok_or_else(|| DecodeError::new(format!("non-integer entry in `{key}`")))
+                })
+                .collect()
+        };
+        let write_dest_v = u64_arr("write_dest")?;
+        let write_dest: [u64; 3] = write_dest_v
+            .try_into()
+            .map_err(|_| DecodeError::new("`write_dest` must have 3 entries"))?;
+        let src_hist_v = u64_arr("src_count_hist")?;
+        let src_count_hist: [u64; 4] = src_hist_v
+            .try_into()
+            .map_err(|_| DecodeError::new("`src_count_hist` must have 4 entries"))?;
+        let rf = v.req("rf")?;
+        let mem = v.req("mem")?;
+        Ok(SimStats {
+            cycles: v.req_u64("cycles")?,
+            warp_instructions: v.req_u64("warp_instructions")?,
+            thread_instructions: v.req_u64("thread_instructions")?,
+            rf: RegFileStats {
+                reads: rf.req_u64("reads").map_err(|e| e.context("rf"))?,
+                writes: rf.req_u64("writes").map_err(|e| e.context("rf"))?,
+                read_conflicts: rf.req_u64("read_conflicts").map_err(|e| e.context("rf"))?,
+                write_queue_cycles: rf
+                    .req_u64("write_queue_cycles")
+                    .map_err(|e| e.context("rf"))?,
+            },
+            bypassed_reads: v.req_u64("bypassed_reads")?,
+            boc_writes: v.req_u64("boc_writes")?,
+            writes_total: v.req_u64("writes_total")?,
+            rf_writes_routed: v.req_u64("rf_writes_routed")?,
+            bypassed_writes: v.req_u64("bypassed_writes")?,
+            write_dest,
+            forced_evictions: v.req_u64("forced_evictions")?,
+            src_count_hist,
+            boc_occupancy_hist: u64_arr("boc_occupancy_hist")?,
+            occupancy_samples: v.req_u64("occupancy_samples")?,
+            rfc_reads: v.req_u64("rfc_reads")?,
+            rfc_writes: v.req_u64("rfc_writes")?,
+            oc_cycles_mem: v.req_u64("oc_cycles_mem")?,
+            oc_cycles_nonmem: v.req_u64("oc_cycles_nonmem")?,
+            exec_cycles_mem: v.req_u64("exec_cycles_mem")?,
+            exec_cycles_nonmem: v.req_u64("exec_cycles_nonmem")?,
+            insts_mem: v.req_u64("insts_mem")?,
+            insts_nonmem: v.req_u64("insts_nonmem")?,
+            mem: {
+                let m = |key: &str| mem.req_u64(key).map_err(|e| e.context("mem"));
+                bow_mem::MemStats {
+                    loads: m("loads")?,
+                    stores: m("stores")?,
+                    transactions: m("transactions")?,
+                    l1: bow_mem::CacheStats {
+                        hits: m("l1_hits")?,
+                        misses: m("l1_misses")?,
+                    },
+                    l2: bow_mem::CacheStats {
+                        hits: m("l2_hits")?,
+                        misses: m("l2_misses")?,
+                    },
+                    dram_accesses: m("dram_accesses")?,
+                    dram_writebacks: m("dram_writebacks")?,
+                    total_latency: m("total_latency")?,
+                }
+            },
+            stall_no_collector: v.req_u64("stall_no_collector")?,
+            stall_scoreboard: v.req_u64("stall_scoreboard")?,
+            retired_completions: v.req_u64("retired_completions")?,
+        })
     }
 
     /// A deterministic 64-bit digest of every counter in the block, used by

@@ -83,12 +83,93 @@ impl Json {
         }
     }
 
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value's object fields, in insertion order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
         }
+    }
+
+    /// Strict object field access: the key must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing key.
+    pub fn req(&self, key: &str) -> Result<&Json, DecodeError> {
+        self.get(key)
+            .ok_or_else(|| DecodeError::missing(key, "field"))
+    }
+
+    /// Strict typed field access: the key must exist and hold a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing or mistyped key.
+    pub fn req_u64(&self, key: &str) -> Result<u64, DecodeError> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| DecodeError::missing(key, "non-negative integer"))
+    }
+
+    /// Strict typed field access: the key must exist and hold a number.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing or mistyped key.
+    pub fn req_f64(&self, key: &str) -> Result<f64, DecodeError> {
+        self.req(key)?
+            .as_f64()
+            .ok_or_else(|| DecodeError::missing(key, "number"))
+    }
+
+    /// Strict typed field access: the key must exist and hold a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing or mistyped key.
+    pub fn req_str(&self, key: &str) -> Result<&str, DecodeError> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| DecodeError::missing(key, "string"))
+    }
+
+    /// Strict typed field access: the key must exist and hold a bool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing or mistyped key.
+    pub fn req_bool(&self, key: &str) -> Result<bool, DecodeError> {
+        self.req(key)?
+            .as_bool()
+            .ok_or_else(|| DecodeError::missing(key, "bool"))
+    }
+
+    /// Strict typed field access: the key must exist and hold an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the missing or mistyped key.
+    pub fn req_arr(&self, key: &str) -> Result<&[Json], DecodeError> {
+        self.req(key)?
+            .as_arr()
+            .ok_or_else(|| DecodeError::missing(key, "array"))
     }
 
     /// Renders the value as compact JSON.
@@ -195,6 +276,43 @@ fn write_escaped(out: &mut String, s: &str) {
     }
     out.push('"');
 }
+
+/// A schema-level decode failure: syntactically valid JSON whose shape
+/// does not match the document a `from_json` decoder expects. Distinct
+/// from [`ParseError`], which locates malformed *text*.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// Human-readable description, e.g. ``missing field `cycles` ``.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// A decode error with the given message.
+    pub fn new(message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the message with a location, for nesting context as a
+    /// decoder unwinds (`in `stats`: missing field `cycles``).
+    pub fn context(mut self, what: &str) -> DecodeError {
+        self.message = format!("in `{what}`: {}", self.message);
+        self
+    }
+
+    fn missing(key: &str, expected: &str) -> DecodeError {
+        DecodeError::new(format!("missing or mistyped field `{key}` ({expected})"))
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// A parse failure: what went wrong and the byte offset it happened at.
 #[derive(Clone, PartialEq, Eq, Debug)]

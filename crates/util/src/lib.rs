@@ -7,10 +7,14 @@
 //! * [`json`] — a hand-rolled JSON tree, writer and parser (replaces
 //!   `serde`/`serde_json` for the harness's machine-readable outputs);
 //! * [`rng`] — a seeded xorshift generator (replaces `rand`/`proptest`
-//!   for randomized testing and input generation).
+//!   for randomized testing and input generation);
+//! * [`hash`] — SHA-256 (replaces `sha2` for the content-addressed
+//!   result store's fingerprint keys).
 
+pub mod hash;
 pub mod json;
 pub mod rng;
 
-pub use json::{parse as parse_json, Json, ParseError};
+pub use hash::{sha256, sha256_hex, Sha256};
+pub use json::{parse as parse_json, DecodeError, Json, ParseError};
 pub use rng::XorShift;

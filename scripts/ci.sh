@@ -61,6 +61,59 @@ echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
 cargo run --release -q --offline -p bow-cli -- \
     lint --mutate --smoke --json target/lint-reports/mutation.json
 
+echo "==> bow-server smoke (serve / submit / cache-hit / shutdown)"
+# Boots the real server on an ephemeral port, drives it with the real
+# client, and proves the content-addressed cache: the second identical
+# submission must come back "cached": true without invoking the
+# simulator (healthz sim_runs stays at 1). Store stats land in
+# target/server-smoke/store-stats.json (artifact).
+rm -rf target/server-smoke
+mkdir -p target/server-smoke
+cargo run --release -q --offline -p bow-cli -- \
+    serve --addr 127.0.0.1:0 --workers 2 \
+    --store target/server-smoke/store --port-file target/server-smoke/port &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s target/server-smoke/port ] && break
+    sleep 0.2
+done
+ADDR="$(cat target/server-smoke/port)"
+echo "    server on ${ADDR}"
+submit() {
+    cargo run --release -q --offline -p bow-cli -- submit "$@" --addr "${ADDR}"
+}
+FIRST="$(submit vectoradd --collector bow-wr --window 3)"
+echo "${FIRST}" | grep -q '"cached":false' || { echo "first submit unexpectedly cached"; exit 1; }
+FP="$(echo "${FIRST}" | sed -n 's/.*"fingerprint":"\([0-9a-f]\{64\}\)".*/\1/p')"
+[ -n "${FP}" ] || { echo "no fingerprint in response"; exit 1; }
+# Async path: queue a different run, poll the job to completion.
+JOB="$(submit lps --collector bow --no-wait | sed -n 's/.*"job":\([0-9]*\).*/\1/p')"
+for _ in $(seq 1 100); do
+    STATE="$(submit --job "${JOB}")"
+    echo "${STATE}" | grep -q '"state":"done"' && break
+    echo "${STATE}" | grep -q '"state":"failed"' && { echo "job failed: ${STATE}"; exit 1; }
+    sleep 0.2
+done
+echo "${STATE}" | grep -q '"state":"done"' || { echo "job never finished: ${STATE}"; exit 1; }
+# Cache hit: identical resubmission (different sim_threads must not matter).
+submit vectoradd --collector bow-wr --window 3 | grep -q '"cached":true' \
+    || { echo "resubmission missed the cache"; exit 1; }
+# Fetch by fingerprint and check the stored document's schema tag.
+submit --fetch "${FP}" | grep -q '"schema_version": 1' \
+    || { echo "stored document is not schema v1"; exit 1; }
+# The simulator ran exactly twice (one run + one async job); cache hits add zero.
+HEALTH="$(submit --health)"
+echo "${HEALTH}" | grep -q '"sim_runs":2' \
+    || { echo "cache hit invoked the simulator: ${HEALTH}"; exit 1; }
+echo "${HEALTH}" | python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin)["store"], indent=2))' \
+    > target/server-smoke/store-stats.json 2>/dev/null \
+    || echo "${HEALTH}" > target/server-smoke/store-stats.json
+submit --shutdown | grep -q 'shutting down' || { echo "shutdown failed"; exit 1; }
+wait "$SERVER_PID"
+trap - EXIT
+echo "    cache verified: sim_runs=2, store stats in target/server-smoke/store-stats.json"
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
