@@ -27,7 +27,7 @@
 use crate::error::{BowError, ConfigError};
 use crate::experiment::{run, Config, ConfigBuilder, GpuModel, RunRecord, SCHEMA_VERSION};
 use crate::suite::{Suite, SweepResult};
-use bow_sim::{CollectorKind, Gpu, OracleCheck, SchedPolicy};
+use bow_sim::{CollectorKind, CoreModelKind, Gpu, OracleCheck, SchedPolicy};
 use bow_util::json::Json;
 use bow_workloads::{by_name, suite as paper_suite, RunOutcome, Scale};
 
@@ -117,6 +117,7 @@ pub fn config_from_json(v: &Json) -> Result<Config, BowError> {
         "hints",
         "reorder",
         "model",
+        "core_model",
         "analyzer",
         "sim_threads",
         "label",
@@ -188,6 +189,18 @@ pub fn config_from_json(v: &Json) -> Result<Config, BowError> {
             .into())
         }
     }
+    match v.get("core_model").map(|m| m.as_str()) {
+        None => {}
+        Some(Some("pascal")) => builder = builder.core_model(CoreModelKind::Pascal),
+        Some(Some("modern")) => builder = builder.core_model(CoreModelKind::Modern),
+        Some(other) => {
+            return Err(ConfigError::Unknown {
+                what: "core_model",
+                value: other.map_or_else(|| "non-string".to_string(), str::to_string),
+            }
+            .into())
+        }
+    }
     if let Some(windows) = v.get("analyzer") {
         let ws = windows
             .as_arr()
@@ -248,6 +261,7 @@ pub fn canonical_config_json(config: &Config) -> Json {
     };
     Json::obj([
         ("collector", collector),
+        ("core_model", Json::from(g.core_model.name())),
         ("num_sms", Json::from(g.num_sms)),
         ("cores_per_sm", Json::from(g.cores_per_sm)),
         ("max_blocks_per_sm", Json::from(g.max_blocks_per_sm)),
@@ -443,6 +457,10 @@ impl RunRequest {
                 } else {
                     None
                 };
+                if self.config.gpu.core_model == CoreModelKind::Modern {
+                    kernel =
+                        bow_compiler::emit_ctrl(&kernel, &bow_compiler::CtrlLatencies::default());
+                }
                 let mut gpu_cfg = self.config.gpu.clone();
                 gpu_cfg.oracle_check = OracleCheck::Memory;
                 let mut gpu = Gpu::new(gpu_cfg);
@@ -636,6 +654,27 @@ mod tests {
         ] {
             assert_ne!(base.fingerprint(), req(other).unwrap().fingerprint());
         }
+    }
+
+    #[test]
+    fn core_model_is_a_semantic_knob() {
+        let pascal = req(r#"{"kernel": {"workload": "vectoradd"},
+                             "config": {"collector": "bow", "core_model": "pascal"}}"#)
+        .unwrap();
+        let modern = req(r#"{"kernel": {"workload": "vectoradd"},
+                             "config": {"collector": "bow", "core_model": "modern"}}"#)
+        .unwrap();
+        assert_ne!(pascal.fingerprint(), modern.fingerprint());
+        assert_eq!(modern.config.label, "bow iw3+modern");
+        // Pascal is the default: spelling it out keys identically.
+        let default = req(r#"{"kernel": {"workload": "vectoradd"},
+                              "config": {"collector": "bow"}}"#)
+        .unwrap();
+        assert_eq!(pascal.fingerprint(), default.fingerprint());
+        let e = req(r#"{"kernel": {"workload": "vectoradd"},
+                        "config": {"core_model": "volta"}}"#)
+        .unwrap_err();
+        assert_eq!(e.kind(), "config");
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum ConfigError {
         /// The name that failed to resolve.
         value: String,
     },
+    /// Two individually valid knobs that cannot be combined.
+    Conflict {
+        /// What clashes and why.
+        message: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -43,6 +48,7 @@ impl fmt::Display for ConfigError {
                 max,
             } => write!(f, "{field} {value} out of range ({min}..={max})"),
             ConfigError::Unknown { what, value } => write!(f, "unknown {what} `{value}`"),
+            ConfigError::Conflict { message } => f.write_str(message),
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::error::ConfigError;
 use bow_compiler::{annotate, CompilerReport};
-use bow_sim::{CollectorKind, Gpu, GpuConfig, SimStats, WindowReport};
+use bow_sim::{CollectorKind, CoreModelKind, Gpu, GpuConfig, SimStats, WindowReport};
 use bow_util::json::{DecodeError, Json};
 use bow_workloads::{Benchmark, RunOutcome};
 
@@ -75,6 +75,7 @@ pub struct ConfigBuilder {
     verify: bool,
     shadow_rf: bool,
     model: GpuModel,
+    core_model: CoreModelKind,
     analyzer: Vec<u32>,
     sim_threads: u32,
     label: Option<String>,
@@ -96,6 +97,7 @@ impl ConfigBuilder {
             verify: false,
             shadow_rf: false,
             model: GpuModel::Scaled,
+            core_model: CoreModelKind::Pascal,
             analyzer: Vec::new(),
             sim_threads: 1,
             label: None,
@@ -191,6 +193,15 @@ impl ConfigBuilder {
         self
     }
 
+    /// Selects the SM core model (default: [`CoreModelKind::Pascal`]).
+    /// The modern core runs the post-Volta sub-core pipeline and makes
+    /// [`prepare_kernel`] emit the control-bits sidecar the core's issue
+    /// stage consumes.
+    pub fn core_model(mut self, core: CoreModelKind) -> ConfigBuilder {
+        self.core_model = core;
+        self
+    }
+
     /// Enables the Fig. 3 sliding-window analyzer for `windows`.
     pub fn analyzer(mut self, windows: &[u32]) -> ConfigBuilder {
         self.analyzer = windows.to_vec();
@@ -223,8 +234,12 @@ impl ConfigBuilder {
     /// The label the builder derives when none is set explicitly.
     fn derived_label(&self) -> String {
         let base = self.base_label();
+        let core = match self.core_model {
+            CoreModelKind::Pascal => "",
+            CoreModelKind::Modern => "+modern",
+        };
         let shadow = if self.shadow_rf { "+shadow" } else { "" };
-        format!("{base}{shadow}")
+        format!("{base}{core}{shadow}")
     }
 
     fn base_label(&self) -> String {
@@ -271,6 +286,14 @@ impl ConfigBuilder {
         }
         for &w in &self.analyzer {
             range("analyzer window", w, 1, 1024)?;
+        }
+        if self.shadow_rf && self.core_model == CoreModelKind::Modern {
+            // The modern core never stages writes outside the RF banks, so
+            // a shadow RF would just double every write silently.
+            return Err(ConfigError::Conflict {
+                message: "shadow_rf models Pascal's staged write-back and cannot \
+                          be combined with the modern core",
+            });
         }
         Ok(())
     }
@@ -325,6 +348,7 @@ impl ConfigBuilder {
             gpu = gpu.with_analyzer(&self.analyzer);
         }
         gpu.shadow_rf = self.shadow_rf;
+        gpu.core_model = self.core_model;
         gpu.sim_threads = self.sim_threads;
         let label = self.label.clone().unwrap_or_else(|| self.derived_label());
         Config {
@@ -574,9 +598,11 @@ impl RunRecord {
 
 /// Runs the configured compiler stages over a benchmark's kernel: the
 /// footnote-1 scheduler if `config.reorder`, then the §IV-B hint pass if
-/// `config.hints`. Pure — the parallel sweep engine memoizes its output
-/// per (benchmark, window, reorder) so BOW-WR sweeps annotate each kernel
-/// once, not once per figure cell.
+/// `config.hints`, then the control-bits emitter when the configuration
+/// targets the modern core (whose issue stage consumes the sidecar).
+/// Pure — the parallel sweep engine memoizes its output per
+/// (benchmark, window, reorder, core model) so BOW-WR sweeps annotate
+/// each kernel once, not once per figure cell.
 pub fn prepare_kernel(
     bench: &dyn Benchmark,
     config: &Config,
@@ -588,7 +614,7 @@ pub fn prepare_kernel(
     } else {
         kernel
     };
-    if config.hints {
+    let (kernel, report) = if config.hints {
         if config.verify {
             match bow_compiler::annotate_checked(&kernel, window) {
                 Ok((k, rep)) => (k, Some(rep)),
@@ -612,6 +638,14 @@ pub fn prepare_kernel(
         }
     } else {
         (kernel, None)
+    };
+    if config.gpu.core_model == CoreModelKind::Modern {
+        (
+            bow_compiler::emit_ctrl(&kernel, &bow_compiler::CtrlLatencies::default()),
+            report,
+        )
+    } else {
+        (kernel, report)
     }
 }
 
@@ -714,6 +748,43 @@ mod tests {
             ConfigBuilder::bow_wr(2).label("custom").build().label,
             "custom"
         );
+    }
+
+    #[test]
+    fn core_model_knob_labels_plumbs_and_annotates() {
+        let c = ConfigBuilder::bow_wr(3)
+            .core_model(CoreModelKind::Modern)
+            .build();
+        assert_eq!(c.label, "bow-wr iw3+modern");
+        assert_eq!(c.gpu.core_model, CoreModelKind::Modern);
+        let b = by_name("vectoradd", Scale::Test).expect("exists");
+        let (kernel, _) = prepare_kernel(b.as_ref(), &c);
+        assert_eq!(
+            kernel.ctrl.len(),
+            kernel.insts.len(),
+            "modern configs carry a full control-bits sidecar"
+        );
+        let rec = run(b.as_ref(), c);
+        rec.assert_checked();
+        // Pascal configs stay unannotated.
+        let (kernel, _) = prepare_kernel(b.as_ref(), &ConfigBuilder::bow_wr(3).build());
+        assert!(kernel.ctrl.is_empty());
+    }
+
+    #[test]
+    fn shadow_rf_conflicts_with_the_modern_core() {
+        let e = ConfigBuilder::bow_wr(3)
+            .core_model(CoreModelKind::Modern)
+            .shadow_rf(true)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(e, ConfigError::Conflict { .. }), "{e}");
+        // Each knob is fine on its own.
+        assert!(ConfigBuilder::bow_wr(3).shadow_rf(true).try_build().is_ok());
+        assert!(ConfigBuilder::bow_wr(3)
+            .core_model(CoreModelKind::Modern)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

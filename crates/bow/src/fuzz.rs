@@ -31,10 +31,11 @@ use std::time::{Duration, Instant};
 
 use crate::experiment::{Config, ConfigBuilder};
 use crate::suite::{effective_jobs, map_parallel};
-use bow_compiler::{annotate, verify_hints};
+use bow_compiler::{annotate, emit_ctrl, verify_hints, CtrlLatencies};
 use bow_isa::fuzz::{self, FuzzKernel};
 use bow_isa::Kernel;
 use bow_sim::oracle::{run_oracle, LockstepChecker};
+use bow_sim::CoreModelKind;
 use bow_sim::Gpu;
 use bow_util::XorShift;
 
@@ -64,6 +65,11 @@ pub struct FuzzOptions {
     /// at any value; > 1 makes every case exercise the windowed parallel
     /// engine under the lockstep oracle.
     pub sim_threads: u32,
+    /// SM core model every case runs on. `Modern` drops the shadow-RF
+    /// variant (the two cannot combine) and routes each kernel through
+    /// the control-bits emitter, so the fixed-latency interlock runs
+    /// under the same lockstep oracle.
+    pub core_model: CoreModelKind,
 }
 
 impl Default for FuzzOptions {
@@ -76,6 +82,7 @@ impl Default for FuzzOptions {
             out_dir: PathBuf::from("results/fuzz"),
             progress: false,
             sim_threads: 1,
+            core_model: CoreModelKind::Pascal,
         }
     }
 }
@@ -169,18 +176,32 @@ impl FuzzReport {
 /// The collector configurations every case runs under: the full design
 /// space of the paper's Table I plus the RFC baseline, hints on and off.
 pub fn fuzz_configs() -> Vec<Config> {
-    vec![
-        ConfigBuilder::baseline().build(),
-        ConfigBuilder::bow(3).build(),
-        ConfigBuilder::bow_wr(3).build(),
-        ConfigBuilder::bow_wr(3).hints(false).build(),
+    fuzz_configs_for(CoreModelKind::Pascal)
+}
+
+/// [`fuzz_configs`] on a chosen core model. The shadow-RF variant only
+/// exists on Pascal — it models Pascal's staged write-back and is a
+/// [`ConfigError::Conflict`](crate::error::ConfigError) with the modern
+/// core — so the modern matrix has one fewer column.
+pub fn fuzz_configs_for(core: CoreModelKind) -> Vec<Config> {
+    let mut configs = vec![
+        ConfigBuilder::baseline().core_model(core).build(),
+        ConfigBuilder::bow(3).core_model(core).build(),
+        ConfigBuilder::bow_wr(3).core_model(core).build(),
+        ConfigBuilder::bow_wr(3)
+            .hints(false)
+            .core_model(core)
+            .build(),
+    ];
+    if core == CoreModelKind::Pascal {
         // Same design with the architectural shadow RF: a hint the static
         // verifier accepted but that drops a live value dynamically would
         // fail lockstep here instead of being absorbed by the value-less
         // timing model.
-        ConfigBuilder::bow_wr(3).shadow_rf(true).build(),
-        ConfigBuilder::rfc().build(),
-    ]
+        configs.push(ConfigBuilder::bow_wr(3).shadow_rf(true).build());
+    }
+    configs.push(ConfigBuilder::rfc().core_model(core).build());
+    configs
 }
 
 /// Derives the per-case RNG seed from the session seed and case index.
@@ -192,7 +213,7 @@ pub fn case_seed(seed: u64, case: u64) -> u64 {
 /// given `(seed, cases, size)` at any worker count.
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let start = Instant::now();
-    let mut configs = fuzz_configs();
+    let mut configs = fuzz_configs_for(opts.core_model);
     for c in &mut configs {
         c.gpu.sim_threads = opts.sim_threads;
     }
@@ -289,9 +310,14 @@ struct CellResult {
 /// applied when the config asks for it).
 fn build_kernel(program: &FuzzKernel, config: &Config, case: u64) -> Kernel {
     let kernel = program.build(&format!("fuzz_case_{case}"));
-    if config.hints {
+    let kernel = if config.hints {
         let window = config.gpu.collector.window().unwrap_or(3);
         annotate(&kernel, window).0
+    } else {
+        kernel
+    };
+    if config.gpu.core_model == CoreModelKind::Modern {
+        emit_ctrl(&kernel, &CtrlLatencies::default())
     } else {
         kernel
     }
@@ -456,9 +482,33 @@ mod tests {
             out_dir: std::env::temp_dir().join("bow_fuzz_test"),
             progress: false,
             sim_threads: 2,
+            core_model: CoreModelKind::Pascal,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());
         assert_eq!(report.configs.len(), 6);
+        assert!(report.checked_instructions > 0);
+    }
+
+    #[test]
+    fn modern_core_fuzzes_clean_under_the_lockstep_oracle() {
+        let report = run_fuzz(&FuzzOptions {
+            cases: 4,
+            seed: 0xfeed_beef,
+            jobs: 2,
+            size: 16,
+            out_dir: std::env::temp_dir().join("bow_fuzz_modern_test"),
+            progress: false,
+            sim_threads: 2,
+            core_model: CoreModelKind::Modern,
+        });
+        assert!(report.failures.is_empty(), "{}", report.summary());
+        // Shadow RF conflicts with the modern core, so its column drops.
+        assert_eq!(report.configs.len(), 5);
+        assert!(
+            report.configs.iter().all(|l| l.contains("+modern")),
+            "{:?}",
+            report.configs
+        );
         assert!(report.checked_instructions > 0);
     }
 

@@ -80,6 +80,6 @@ pub mod prelude {
     pub use bow_isa::{
         CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg, Special, WritebackHint,
     };
-    pub use bow_sim::{CollectorKind, Gpu, GpuConfig, LaunchResult, SimStats};
+    pub use bow_sim::{CollectorKind, CoreModelKind, Gpu, GpuConfig, LaunchResult, SimStats};
     pub use bow_workloads::{suite, Benchmark, RunOutcome, Scale};
 }

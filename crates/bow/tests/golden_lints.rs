@@ -44,6 +44,7 @@ fn render() -> String {
     let opts = LintOptions {
         window: WINDOW,
         check_hints: true,
+        ..LintOptions::default()
     };
     for b in suite(Scale::Test) {
         let kernel = annotate(&b.kernel(), WINDOW).0;

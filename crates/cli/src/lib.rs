@@ -52,6 +52,8 @@ pub enum Command {
         reorder: bool,
         /// Intra-run engine threads per launch (None = config default).
         sim_threads: Option<u32>,
+        /// SM core model to simulate.
+        core_model: CoreModelKind,
     },
     /// Run all collectors on one benchmark.
     Compare {
@@ -63,6 +65,8 @@ pub enum Command {
         jobs: usize,
         /// Intra-run engine threads per launch (None = sweep-level only).
         sim_threads: Option<u32>,
+        /// SM core model to simulate.
+        core_model: CoreModelKind,
     },
     /// Assemble a kernel file and summarize it.
     Asm {
@@ -88,6 +92,8 @@ pub enum Command {
         jobs: usize,
         /// Intra-run engine threads per launch (None = sweep-level only).
         sim_threads: Option<u32>,
+        /// SM core model to simulate.
+        core_model: CoreModelKind,
     },
     /// Differential-fuzz generated kernels against the oracle.
     Fuzz {
@@ -103,6 +109,8 @@ pub enum Command {
         out_dir: String,
         /// Intra-run engine threads per launch (None = serial default).
         sim_threads: Option<u32>,
+        /// SM core model every case runs on.
+        core_model: CoreModelKind,
     },
     /// Static-analysis lint suite + hint verifier (or, with `mutate`,
     /// the mutation sanitizer that audits the verifier).
@@ -123,6 +131,9 @@ pub enum Command {
         smoke: bool,
         /// Worker threads for the sanitizer (0 = all cores).
         jobs: usize,
+        /// Core model the lint targets: `modern` runs the control-bit
+        /// emitter first so the sidecar lints judge real output.
+        core_model: CoreModelKind,
     },
     /// Run a kernel with pipeline tracing and print the timeline.
     Trace {
@@ -207,15 +218,19 @@ bow-cli — the BOW GPU model
 USAGE:
   bow-cli suite
   bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
-              [--sim-threads T]
+              [--sim-threads T] [--core-model pascal|modern]
   bow-cli compare <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
+                  [--core-model pascal|modern]
   bow-cli asm <file.s>
   bow-cli compile <file.s> [--window N] [--reorder]
   bow-cli sweep <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
+                [--core-model pascal|modern]
   bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
-               [--sim-threads T]
+               [--sim-threads T] [--core-model pascal|modern]
   bow-cli lint <file.s> [--window N] [--deny-warnings] [--json FILE]
+              [--core-model pascal|modern]
   bow-cli lint --all-workloads [--window N] [--deny-warnings] [--json FILE]
+              [--core-model pascal|modern]
   bow-cli lint --mutate [--smoke] [--jobs N] [--json FILE]
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
@@ -254,6 +269,16 @@ to BocOnly across a generated corpus and requires every mutant that
 demonstrably loses a value to be statically flagged (`--smoke` is the
 small fixed CI configuration). --json writes the machine-readable
 report for either mode.
+
+--core-model picks the SM microarchitecture (docs/ARCHITECTURE.md,
+`Core models`): `pascal` is the paper's scoreboarded Pascal SM and the
+default; `modern` is the post-Volta core — four sub-cores, a uniform
+register file and compiler-emitted control bits in place of the
+scoreboard. Under `fuzz`, `modern` drops the shadow-RF column (the two
+cannot combine) and checks the control-bit interlock against the same
+lockstep oracle. Under `lint`, `modern` runs the control-bit emitter
+before judging, so the sidecar lints (B013/B014) check what the modern
+pipeline would actually consume.
 
 `serve` runs the persistent v1 HTTP/JSON simulation service
 (docs/API.md). Every request is keyed by a content-addressed
@@ -306,6 +331,11 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
         ),
         None => None,
     };
+    let core_model = match opt("--core-model") {
+        Some("pascal") | None => CoreModelKind::Pascal,
+        Some("modern") => CoreModelKind::Modern,
+        Some(other) => return Err(err(format!("unknown core model `{other}`"))),
+    };
 
     match cmd {
         "suite" => Ok(Command::Suite),
@@ -318,6 +348,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             scale,
             reorder: flag("--reorder"),
             sim_threads,
+            core_model,
         }),
         "compare" => Ok(Command::Compare {
             bench: positional()
@@ -326,6 +357,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             scale,
             jobs,
             sim_threads,
+            core_model,
         }),
         "asm" => Ok(Command::Asm {
             path: positional().ok_or_else(|| err("asm: missing file"))?.into(),
@@ -344,6 +376,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             scale,
             jobs,
             sim_threads,
+            core_model,
         }),
         "fuzz" => {
             let defaults = if flag("--smoke") {
@@ -387,6 +420,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                     .map(String::from)
                     .unwrap_or_else(|| defaults.out_dir.display().to_string()),
                 sim_threads,
+                core_model,
             })
         }
         "lint" => {
@@ -404,6 +438,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                 mutate: flag("--mutate"),
                 smoke: flag("--smoke"),
                 jobs,
+                core_model,
             };
             if let Command::Lint {
                 path: None,
@@ -497,7 +532,12 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
 ///
 /// Returns [`BowError::Config`] for unknown collector names or
 /// out-of-range knobs.
-pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config, BowError> {
+pub fn config_for(
+    collector: &str,
+    window: u32,
+    reorder: bool,
+    core_model: CoreModelKind,
+) -> Result<Config, BowError> {
     let builder = match collector {
         "baseline" => ConfigBuilder::baseline(),
         "bow" => ConfigBuilder::bow(window),
@@ -513,7 +553,10 @@ pub fn config_for(collector: &str, window: u32, reorder: bool) -> Result<Config,
             .into())
         }
     };
-    Ok(builder.reorder(reorder).try_build()?)
+    Ok(builder
+        .reorder(reorder)
+        .core_model(core_model)
+        .try_build()?)
 }
 
 fn unknown_benchmark(name: &str) -> BowError {
@@ -554,10 +597,11 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             scale,
             reorder,
             sim_threads,
+            core_model,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
-            let mut cfg = config_for(&collector, window, reorder)?;
+            let mut cfg = config_for(&collector, window, reorder, core_model)?;
             if let Some(t) = sim_threads {
                 cfg.gpu.sim_threads = t;
             }
@@ -591,18 +635,22 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             scale,
             jobs,
             sim_threads,
+            core_model,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
             let mut suite = Suite::over(vec![b])
                 .configs([
-                    ConfigBuilder::baseline().build(),
-                    ConfigBuilder::bow(3).build(),
-                    ConfigBuilder::bow_wr(3).build(),
-                    ConfigBuilder::bow_wr(3).half_size(true).build(),
-                    ConfigBuilder::bow_flex(12).build(),
-                    ConfigBuilder::rfc().build(),
+                    ConfigBuilder::baseline().core_model(core_model).build(),
+                    ConfigBuilder::bow(3).core_model(core_model).build(),
+                    ConfigBuilder::bow_wr(3).core_model(core_model).build(),
+                    ConfigBuilder::bow_wr(3)
+                        .half_size(true)
+                        .core_model(core_model)
+                        .build(),
+                    ConfigBuilder::bow_flex(12).core_model(core_model).build(),
+                    ConfigBuilder::rfc().core_model(core_model).build(),
                 ])
                 .jobs(jobs);
             if let Some(t) = sim_threads {
@@ -693,12 +741,15 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             scale,
             jobs,
             sim_threads,
+            core_model,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
-            let mut configs = vec![ConfigBuilder::baseline().build()];
-            configs.extend((1..=7u32).map(|w| ConfigBuilder::bow_wr(w).build()));
+            let mut configs = vec![ConfigBuilder::baseline().core_model(core_model).build()];
+            configs.extend(
+                (1..=7u32).map(|w| ConfigBuilder::bow_wr(w).core_model(core_model).build()),
+            );
             let mut suite = Suite::over(vec![b]).configs(configs).jobs(jobs);
             if let Some(t) = sim_threads {
                 suite = suite.sim_threads(t);
@@ -737,6 +788,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             size,
             out_dir,
             sim_threads,
+            core_model,
         } => {
             let report = bow::fuzz::run_fuzz(&bow::fuzz::FuzzOptions {
                 cases,
@@ -746,6 +798,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 out_dir: out_dir.into(),
                 progress: false,
                 sim_threads: sim_threads.unwrap_or(1),
+                core_model,
             });
             if report.failures.is_empty() {
                 Ok(report.summary())
@@ -762,6 +815,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             mutate,
             smoke,
             jobs,
+            core_model,
         } => {
             if mutate {
                 let mut opts = if smoke {
@@ -805,10 +859,19 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                     targets.push((annotated, None));
                 }
             }
+            // On the modern core every kernel ships with a control-bit
+            // sidecar, so lint the artifact the pipeline would consume:
+            // run the emitter, which puts B013/B014 in play.
+            if core_model == CoreModelKind::Modern {
+                for (k, _) in &mut targets {
+                    *k = bow_compiler::emit_ctrl(k, &bow_compiler::CtrlLatencies::default());
+                }
+            }
 
             let opts = bow_compiler::LintOptions {
                 window,
                 check_hints: true,
+                ..bow_compiler::LintOptions::default()
             };
             let reports: Vec<_> = targets
                 .iter()
@@ -854,7 +917,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
         } => {
             let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let kernel = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
-            let cfg = config_for(&collector, window, false)?;
+            let cfg = config_for(&collector, window, false, CoreModelKind::Pascal)?;
             let mut gpu_cfg = cfg.gpu.clone();
             gpu_cfg.trace_pipeline = true;
             gpu_cfg.num_sms = 1;
@@ -1025,6 +1088,7 @@ mod tests {
                 scale: Scale::Test,
                 reorder: true,
                 sim_threads: Some(2),
+                core_model: CoreModelKind::Pascal,
             }
         );
         assert!(parse(&argv("run btree --sim-threads lots")).is_err());
@@ -1042,6 +1106,7 @@ mod tests {
                 scale: Scale::Test,
                 reorder: false,
                 sim_threads: None,
+                core_model: CoreModelKind::Pascal,
             }
         );
     }
@@ -1063,6 +1128,7 @@ mod tests {
                 scale: Scale::Test,
                 jobs: 2,
                 sim_threads: None,
+                core_model: CoreModelKind::Pascal,
             }
         );
     }
@@ -1077,6 +1143,7 @@ mod tests {
                 scale: Scale::Test,
                 jobs: 0,
                 sim_threads: None,
+                core_model: CoreModelKind::Pascal,
             }
         );
         assert!(parse(&argv("sweep nw --jobs lots")).is_err());
@@ -1089,6 +1156,7 @@ mod tests {
             scale: Scale::Test,
             jobs: 2,
             sim_threads: None,
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         assert!(out.contains("IW1") && out.contains("IW7"), "{out}");
@@ -1101,6 +1169,7 @@ mod tests {
             scale: Scale::Test,
             jobs: 2,
             sim_threads: Some(2),
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         for label in ["baseline", "bow iw3", "bow-wr iw3", "bow-flex c12", "rfc"] {
@@ -1124,6 +1193,7 @@ mod tests {
             scale: Scale::Test,
             reorder: false,
             sim_threads: Some(2),
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         assert!(out.contains("OK (results verified)"), "{out}");
@@ -1139,6 +1209,7 @@ mod tests {
             scale: Scale::Test,
             reorder: false,
             sim_threads: None,
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap_err();
         assert!(e.to_string().contains("unknown benchmark"));
@@ -1183,6 +1254,7 @@ mod tests {
                     .display()
                     .to_string(),
                 sim_threads: None,
+                core_model: CoreModelKind::Pascal,
             }
         );
         // --smoke pins cases/seed/size regardless of other flags.
@@ -1197,6 +1269,7 @@ mod tests {
                 size: smoke.size,
                 out_dir: smoke.out_dir.display().to_string(),
                 sim_threads: Some(4),
+                core_model: CoreModelKind::Pascal,
             }
         );
         assert!(parse(&argv("fuzz --cases many")).is_err());
@@ -1219,6 +1292,7 @@ mod tests {
                 .display()
                 .to_string(),
             sim_threads: Some(2),
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         assert!(out.contains("OK"), "{out}");
@@ -1241,6 +1315,7 @@ mod tests {
                 mutate: false,
                 smoke: false,
                 jobs: 0,
+                core_model: CoreModelKind::Pascal,
             }
         );
         // A bare `lint` has nothing to lint.
@@ -1273,12 +1348,33 @@ mod tests {
             mutate: false,
             smoke: false,
             jobs: 0,
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
         let doc = std::fs::read_to_string(&json).unwrap();
         let parsed = bow::util::json::parse(&doc).unwrap();
         assert_eq!(parsed.as_arr().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn lint_on_the_modern_core_emits_and_judges_control_bits() {
+        // --core-model modern routes every workload kernel through the
+        // control-bit emitter before linting, so the sidecar lints
+        // (B013/B014) exercise real compiler output — and it is clean.
+        let out = execute(Command::Lint {
+            path: None,
+            all_workloads: true,
+            deny_warnings: true,
+            json: None,
+            window: 3,
+            mutate: false,
+            smoke: false,
+            jobs: 0,
+            core_model: CoreModelKind::Modern,
+        })
+        .unwrap();
+        assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
     }
 
     #[test]
@@ -1309,6 +1405,7 @@ mod tests {
             mutate: false,
             smoke: false,
             jobs: 0,
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap_err()
         .to_string();
@@ -1342,6 +1439,7 @@ mod tests {
             mutate: false,
             smoke: false,
             jobs: 0,
+            core_model: CoreModelKind::Pascal,
         })
         .unwrap();
         assert!(out.contains("linted 1 kernel(s) at IW3: clean"), "{out}");
@@ -1357,8 +1455,59 @@ mod tests {
             "bow-flex",
             "rfc",
         ] {
-            assert!(config_for(c, 3, false).is_ok(), "{c}");
+            assert!(
+                config_for(c, 3, false, CoreModelKind::Pascal).is_ok(),
+                "{c}"
+            );
+            assert!(
+                config_for(c, 3, false, CoreModelKind::Modern).is_ok(),
+                "{c}"
+            );
         }
-        assert!(config_for("warp-drive", 3, false).is_err());
+        assert!(config_for("warp-drive", 3, false, CoreModelKind::Pascal).is_err());
+    }
+
+    #[test]
+    fn parse_core_model_flag() {
+        match parse(&argv("run vectoradd --core-model modern")).unwrap() {
+            Command::Run { core_model, .. } => assert_eq!(core_model, CoreModelKind::Modern),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("fuzz --smoke --core-model modern")).unwrap() {
+            Command::Fuzz { core_model, .. } => assert_eq!(core_model, CoreModelKind::Modern),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&argv("run vectoradd --core-model volta")).is_err());
+    }
+
+    #[test]
+    fn run_on_the_modern_core_reports_verified() {
+        let out = execute(Command::Run {
+            bench: "vectoradd".into(),
+            collector: "bow-wr".into(),
+            window: 3,
+            scale: Scale::Test,
+            reorder: false,
+            sim_threads: Some(2),
+            core_model: CoreModelKind::Modern,
+        })
+        .unwrap();
+        assert!(out.contains("bow-wr iw3+modern"), "{out}");
+        assert!(out.contains("OK (results verified)"), "{out}");
+    }
+
+    #[test]
+    fn compare_on_the_modern_core_labels_every_row() {
+        let out = execute(Command::Compare {
+            bench: "vectoradd".into(),
+            scale: Scale::Test,
+            jobs: 2,
+            sim_threads: None,
+            core_model: CoreModelKind::Modern,
+        })
+        .unwrap();
+        for label in ["baseline+modern", "bow iw3+modern", "rfc+modern"] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
     }
 }

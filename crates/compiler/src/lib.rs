@@ -17,6 +17,9 @@
 //! * [`reorder`] — the bypass-aware scheduler the paper's footnote 1 leaves
 //!   as future work: shrinks producer→consumer distances inside blocks so
 //!   more reuse falls within the window;
+//! * [`mod@ctrl`] — the post-Volta control-bits emitter: stall counts and
+//!   wait/read/write dependence barriers for the modern core's
+//!   scoreboard-free issue stage ([`bow_isa::Kernel::ctrl`]);
 //! * [`verify`] — the independent static-analysis framework: a generic
 //!   dataflow engine, the path-sensitive hint-soundness verifier, and the
 //!   `B001..` lint suite behind `bow-cli lint` (see `docs/ANALYSIS.md`).
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod cfg;
+pub mod ctrl;
 pub mod divergence;
 pub mod hints;
 pub mod liveness;
@@ -48,6 +52,7 @@ pub mod reorder;
 pub mod verify;
 
 pub use cfg::{Cfg, Dominators};
+pub use ctrl::{emit_ctrl, CtrlLatencies};
 pub use divergence::{check_structure, StructureIssue, StructureReport};
 pub use hints::{annotate, classify_kernel, CompilerReport, HintClass};
 pub use liveness::Liveness;

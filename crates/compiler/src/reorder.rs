@@ -166,6 +166,9 @@ fn pick_best(ready: &[usize], insts: &[Instruction], pos: &[usize]) -> Option<us
 pub fn reorder_for_bypass(kernel: &Kernel) -> Kernel {
     let cfg = Cfg::build(kernel);
     let mut out = kernel.clone();
+    // Any reordering invalidates a control-bit sidecar (the bits are
+    // positional); emit_ctrl runs after this pass, so drop it here.
+    out.ctrl.clear();
     for block in cfg.blocks() {
         // Split at barrier instructions; schedule each free segment.
         let mut seg_start = block.start;

@@ -11,12 +11,22 @@
 //! | B010 | error    | unsound `BocOnly` write-back hint                   |
 //! | B011 | error    | broken SSY/SYNC reconvergence structure             |
 //! | B012 | info     | guarded branch assumed warp-uniform                 |
+//! | B013 | error    | barrier-guarded register used without a wait        |
+//! | B014 | warning  | stall count under the fixed-latency RAW gap         |
+//!
+//! `B013`/`B014` check the control-bits sidecar (`Kernel::ctrl`) the
+//! modern core consumes, so they only run on annotated kernels. They adopt
+//! the emitter's serialization assumptions: within a block, issue gaps are
+//! `max(1, stall)` and barrier facts survive until an instruction waits on
+//! them; across blocks they stay silent — the emitter's conservative
+//! entry waits make cross-block violations an intra-block fact anyway.
 //!
 //! `B006` is the per-block register-pressure report; it is a table on the
 //! [`LintReport`] rather than a diagnostic because it states facts, not
 //! findings.
 
 use crate::cfg::Cfg;
+use crate::ctrl::CtrlLatencies;
 use crate::divergence::{check_structure, StructureIssue};
 use crate::verify::dataflow;
 use crate::verify::diag::{BlockPressure, Diagnostic, LintReport, Severity};
@@ -32,6 +42,9 @@ pub struct LintOptions {
     /// Whether to run the hint-soundness verifier (`B010`). Off for
     /// kernels that have not been annotated yet.
     pub check_hints: bool,
+    /// Fixed pipeline latencies the control-bits checks (`B013`/`B014`)
+    /// assume; must match what the sidecar was emitted against.
+    pub latencies: CtrlLatencies,
 }
 
 impl Default for LintOptions {
@@ -39,6 +52,7 @@ impl Default for LintOptions {
         LintOptions {
             window: 3,
             check_hints: true,
+            latencies: CtrlLatencies::default(),
         }
     }
 }
@@ -54,6 +68,9 @@ pub fn lint_kernel(kernel: &Kernel, opts: &LintOptions) -> LintReport {
 
     if opts.check_hints {
         hint_lints(kernel, opts.window, &mut report);
+    }
+    if !kernel.ctrl.is_empty() && kernel.ctrl.len() == kernel.insts.len() {
+        ctrl_lints(kernel, &cfg, &opts.latencies, &mut report);
     }
     structure_lints(kernel, &mut report);
     uninit_lints(kernel, &cfg, &doms, &mut report);
@@ -90,6 +107,109 @@ fn hint_lints(kernel: &Kernel, window: u32, report: &mut LintReport) {
                 ))
                 .note("a BocOnly hint suppresses the register-file write-back"),
             );
+        }
+    }
+}
+
+/// `B013`/`B014`: control-bits soundness under the modern core's
+/// serialization model. Per block: replay issue times (`max(1, stall)`
+/// apart), track which registers are guarded by a pending write or read
+/// barrier, and flag (a) uses of a guarded register with no intervening
+/// wait on its barrier — an ordering violation a ctrl-trusting core would
+/// execute wrong — and (b) fixed-latency RAW gaps the stall counts do not
+/// cover, which only costs the in-order dispatch gate cycles here but
+/// means the sidecar under-serializes.
+fn ctrl_lints(kernel: &Kernel, cfg: &Cfg, lat: &CtrlLatencies, report: &mut LintReport) {
+    for block in cfg.blocks() {
+        let mut ready = [0u64; 256];
+        let mut wr_bar_of = [None::<u8>; 256];
+        let mut rd_bar_of = [None::<u8>; 256];
+        let mut t: u64 = 0;
+        for pc in block.range() {
+            let inst = &kernel.insts[pc];
+            let bits = kernel.ctrl[pc];
+
+            // The wait executes before the operand use: clear what it
+            // covers first.
+            for i in 0..256 {
+                if wr_bar_of[i].is_some_and(|b| bits.wait_mask & (1 << b) != 0) {
+                    wr_bar_of[i] = None;
+                }
+                if rd_bar_of[i].is_some_and(|b| bits.wait_mask & (1 << b) != 0) {
+                    rd_bar_of[i] = None;
+                }
+            }
+
+            for s in inst.unique_src_regs() {
+                let i = s.index() as usize;
+                if let Some(b) = wr_bar_of[i] {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            "B013",
+                            Severity::Error,
+                            format!("{s} is guarded by write barrier {b} but read without a wait"),
+                        )
+                        .at(pc)
+                        .note("a core trusting the control bits would read a stale value"),
+                    );
+                    wr_bar_of[i] = None; // one report per pending fact
+                }
+                if ready[i] > t {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            "B014",
+                            Severity::Warning,
+                            format!(
+                                "{s} becomes ready {} cycle(s) after this issue: stall \
+                                 counts under-cover the fixed-latency dependence",
+                                ready[i] - t
+                            ),
+                        )
+                        .at(pc),
+                    );
+                    ready[i] = 0;
+                }
+            }
+            if let Some(d) = inst.dst_reg() {
+                let i = d.index() as usize;
+                if let Some(b) = rd_bar_of[i].take() {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            "B013",
+                            Severity::Error,
+                            format!(
+                                "{d} is still being read under read barrier {b} but is \
+                                 overwritten without a wait"
+                            ),
+                        )
+                        .at(pc)
+                        .note("write-after-read over a memory operand needs the read barrier"),
+                    );
+                }
+            }
+
+            // Record this instruction's own production.
+            let variable =
+                inst.op.fu_class() == bow_isa::FuClass::Mem && lat.fixed(inst.op).is_none();
+            if variable {
+                if let (Some(d), Some(b)) = (inst.dst_reg(), bits.wr_bar) {
+                    let i = d.index() as usize;
+                    wr_bar_of[i] = Some(b);
+                    ready[i] = 0;
+                }
+                if let (None, Some(b)) = (inst.dst_reg(), bits.rd_bar) {
+                    for s in inst.unique_src_regs() {
+                        rd_bar_of[s.index() as usize] = Some(b);
+                    }
+                }
+            } else if let Some(d) = inst.dst_reg() {
+                if let Some(l) = lat.fixed(inst.op) {
+                    let i = d.index() as usize;
+                    ready[i] = t + u64::from(l);
+                    wr_bar_of[i] = None;
+                }
+            }
+            t += u64::from(bits.stall.max(1));
         }
     }
 }
@@ -516,6 +636,71 @@ mod tests {
             },
         );
         assert!(!codes(&rep).contains(&"B010"));
+    }
+
+    #[test]
+    fn b013_flags_a_missing_barrier_wait() {
+        let mut k = KernelBuilder::new("nowait")
+            .ldc(r(0), 0)
+            .ldg(r(1), r(0), 0)
+            .iadd(r(2), r(1).into(), Operand::Imm(1)) // reads r1, no wait
+            .stg(r(0), 4, r(2).into())
+            .exit()
+            .build()
+            .unwrap();
+        k.ctrl = vec![bow_isa::CtrlBits::default(); k.insts.len()];
+        k.ctrl[1].wr_bar = Some(0);
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B013"), "{:?}", rep.diagnostics);
+        assert!(!rep.passes_deny_warnings());
+
+        // Waiting on the barrier fixes it.
+        k.ctrl[2].wait_mask = 0b1;
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(!codes(&rep).contains(&"B013"), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn b014_flags_an_undersized_stall() {
+        let mut k = KernelBuilder::new("short")
+            .mov_imm(r(0), 3)
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        k.ctrl = vec![bow_isa::CtrlBits::default(); k.insts.len()];
+        k.ctrl[0].stall = 2; // ALU latency is 4: two cycles short
+        k.ctrl[1].stall = 4;
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let b014: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B014")
+            .collect();
+        assert_eq!(b014.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(b014[0].pc, Some(1));
+    }
+
+    #[test]
+    fn emitted_ctrl_lints_clean() {
+        let k = KernelBuilder::new("emitted")
+            .ldc(r(0), 0)
+            .ldg(r(1), r(0), 0)
+            .iadd(r(2), r(1).into(), Operand::Imm(1))
+            .stg(r(0), 4, r(2).into())
+            .mov_imm(r(0), 5) // WAR over the store's address register
+            .stg(r(0), 8, r(0).into())
+            .exit()
+            .build()
+            .unwrap();
+        let annotated = crate::ctrl::emit_ctrl(&k, &CtrlLatencies::default());
+        let rep = lint_kernel(&annotated, &LintOptions::default());
+        assert!(
+            !codes(&rep).contains(&"B013") && !codes(&rep).contains(&"B014"),
+            "{:?}",
+            rep.diagnostics
+        );
     }
 
     #[test]

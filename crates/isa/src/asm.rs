@@ -149,6 +149,9 @@ pub fn parse_kernel_lines(text: &str) -> Result<(Kernel, Vec<usize>), AsmError> 
         num_regs: num_regs.unwrap_or(inferred_regs),
         shared_bytes,
         param_words: param_words.unwrap_or(inferred_params),
+        // Control bits are a binary-only sidecar; the text format never
+        // carries them.
+        ctrl: Vec::new(),
     };
     kernel
         .validate()

@@ -428,6 +428,7 @@ impl KernelBuilder {
             num_regs: self.num_regs.unwrap_or(inferred_regs),
             shared_bytes: self.shared_bytes,
             param_words: self.param_words.unwrap_or(inferred_params),
+            ctrl: Vec::new(),
         };
         kernel.validate()?;
         Ok(kernel)

@@ -1,0 +1,169 @@
+//! Per-instruction control bits for compiler-scheduled dependences.
+//!
+//! Post-Volta NVIDIA cores drop the hardware scoreboard for fixed-latency
+//! producers and instead read dependence information the compiler embeds
+//! in every instruction (see "Analyzing Modern NVIDIA GPU cores",
+//! arXiv 2503.20481): a *stall count* delaying the next issue from the
+//! same warp, a *write barrier* and *read barrier* the instruction sets,
+//! and a *wait mask* of barriers that must clear before it may issue.
+//!
+//! The BOW model keeps these out of [`Instruction`](crate::Instruction)
+//! itself — Pascal kernels never carry them — and stores them as a
+//! sidecar vector on [`Kernel`](crate::Kernel), one [`CtrlBits`] per
+//! instruction. An empty sidecar means "unannotated": the modern core
+//! then falls back to a conservative interlock, so control bits are a
+//! timing optimisation, never a correctness requirement.
+
+/// Number of dependence barriers each warp tracks (matches the six
+/// scoreboard slots of real Volta-and-later hardware).
+pub const NUM_BARRIERS: u8 = 6;
+
+/// Maximum stall count the 6-bit hardware field can express.
+pub const MAX_STALL: u8 = 63;
+
+/// Compiler-emitted control bits for one instruction.
+///
+/// `stall` delays the *next* instruction of the same warp by that many
+/// cycles after this one issues — it covers fixed-latency producers.
+/// Variable-latency producers (memory) instead set `wr_bar`, which their
+/// consumers name in `wait_mask`; `rd_bar` protects the producer's source
+/// operands against a later overwrite (WAR) and clears at dispatch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CtrlBits {
+    /// Cycles the warp's next issue is held after this instruction issues
+    /// (0 ..= [`MAX_STALL`]).
+    pub stall: u8,
+    /// Write barrier this instruction sets, released at write-back.
+    pub wr_bar: Option<u8>,
+    /// Read barrier this instruction sets, released when its operands are
+    /// dispatched (source registers are safe to overwrite).
+    pub rd_bar: Option<u8>,
+    /// Barriers (bit *i* = barrier *i*) that must all be clear before this
+    /// instruction issues.
+    pub wait_mask: u8,
+}
+
+impl CtrlBits {
+    /// Packs into the binary sidecar word:
+    ///
+    /// ```text
+    ///  17..12  wait mask (6 bits)
+    ///  11..9   read barrier (7 = none)
+    ///   8..6   write barrier (7 = none)
+    ///   5..0   stall count
+    /// ```
+    pub fn pack(self) -> u32 {
+        let wr = u32::from(self.wr_bar.unwrap_or(7)) & 0b111;
+        let rd = u32::from(self.rd_bar.unwrap_or(7)) & 0b111;
+        u32::from(self.stall & 0x3f)
+            | (wr << 6)
+            | (rd << 9)
+            | (u32::from(self.wait_mask & 0x3f) << 12)
+    }
+
+    /// Inverse of [`CtrlBits::pack`]. Out-of-range barrier indices decode
+    /// to "none", matching the hardware's reserved encoding.
+    pub fn unpack(word: u32) -> CtrlBits {
+        let bar = |v: u32| {
+            let v = (v & 0b111) as u8;
+            (v < NUM_BARRIERS).then_some(v)
+        };
+        CtrlBits {
+            stall: (word & 0x3f) as u8,
+            wr_bar: bar(word >> 6),
+            rd_bar: bar(word >> 9),
+            wait_mask: ((word >> 12) & 0x3f) as u8,
+        }
+    }
+
+    /// Checks the field ranges the packed format can represent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stall > MAX_STALL {
+            return Err(format!("stall count {} exceeds {MAX_STALL}", self.stall));
+        }
+        for (name, bar) in [("write", self.wr_bar), ("read", self.rd_bar)] {
+            if let Some(b) = bar {
+                if b >= NUM_BARRIERS {
+                    return Err(format!("{name} barrier {b} out of range"));
+                }
+            }
+        }
+        if self.wait_mask >= 1 << NUM_BARRIERS {
+            return Err(format!(
+                "wait mask {:#x} uses unknown barriers",
+                self.wait_mask
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the bits request nothing (the all-defaults encoding).
+    pub fn is_empty(&self) -> bool {
+        *self == CtrlBits::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for stall in [0u8, 1, 17, 63] {
+            for wr in [None, Some(0), Some(5)] {
+                for rd in [None, Some(2)] {
+                    for wait_mask in [0u8, 0b1, 0b101010, 0b111111] {
+                        let c = CtrlBits {
+                            stall,
+                            wr_bar: wr,
+                            rd_bar: rd,
+                            wait_mask,
+                        };
+                        assert_eq!(CtrlBits::unpack(c.pack()), c, "{c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_packs_to_none_barriers() {
+        let d = CtrlBits::default();
+        assert!(d.is_empty());
+        // stall 0, both barriers 7 (none), empty wait mask.
+        assert_eq!(d.pack(), (0b111 << 6) | (0b111 << 9));
+    }
+
+    #[test]
+    fn validate_catches_ranges() {
+        assert!(CtrlBits::default().validate().is_ok());
+        let bad = CtrlBits {
+            stall: 64,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("stall"));
+        let bad = CtrlBits {
+            wr_bar: Some(6),
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("barrier"));
+        let bad = CtrlBits {
+            wait_mask: 0b1000000,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("wait mask"));
+    }
+
+    #[test]
+    fn reserved_barrier_unpacks_to_none() {
+        // Barrier field 6 is out of range and must read back as "none".
+        let word = 6 << 6 | 6 << 9;
+        let c = CtrlBits::unpack(word);
+        assert_eq!(c.wr_bar, None);
+        assert_eq!(c.rd_bar, None);
+    }
+}

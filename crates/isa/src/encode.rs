@@ -25,6 +25,7 @@
 //! more than one 32-bit payload spill into extension words, so an encoded
 //! kernel is a `Vec<u32>` stream with self-describing lengths.
 
+use crate::ctrl::CtrlBits;
 use crate::inst::{Dst, Instruction, MemRef, PredGuard, WritebackHint};
 use crate::kernel::Kernel;
 use crate::opcode::{CmpOp, Opcode};
@@ -257,8 +258,18 @@ pub fn decode(words: &[u32], pos: usize) -> Result<(Instruction, usize), DecodeE
     Ok((inst, cursor))
 }
 
+/// Marker word introducing the control-bits sidecar section ("CTRL").
+///
+/// Annotated kernels append it after the instruction stream, followed by
+/// one packed [`CtrlBits`] word per instruction. Decoders that predate the
+/// sidecar treated trailing words as padding, so the section is backward
+/// and forward compatible: old binaries decode with an empty sidecar, and
+/// unannotated kernels encode byte-identically to the legacy format.
+pub const CTRL_MAGIC: u32 = 0x4354_524c;
+
 /// Encodes a whole kernel: header (register count, shared bytes, parameter
-/// words, instruction count) followed by the instruction stream.
+/// words, instruction count) followed by the instruction stream and, for
+/// annotated kernels, the [`CTRL_MAGIC`] control-bits sidecar.
 pub fn encode_kernel(kernel: &Kernel) -> Vec<u32> {
     let mut out = vec![
         u32::from(kernel.num_regs),
@@ -268,6 +279,10 @@ pub fn encode_kernel(kernel: &Kernel) -> Vec<u32> {
     ];
     for inst in &kernel.insts {
         encode(inst, &mut out);
+    }
+    if !kernel.ctrl.is_empty() {
+        out.push(CTRL_MAGIC);
+        out.extend(kernel.ctrl.iter().map(|c| c.pack()));
     }
     out
 }
@@ -291,12 +306,22 @@ pub fn decode_kernel(name: &str, words: &[u32]) -> Result<Kernel, DecodeError> {
         insts.push(inst);
         pos = next;
     }
+    let ctrl = if words.get(pos) == Some(&CTRL_MAGIC) {
+        let tail = &words[pos + 1..];
+        if tail.len() < count {
+            return Err(DecodeError::Truncated);
+        }
+        tail[..count].iter().map(|&w| CtrlBits::unpack(w)).collect()
+    } else {
+        Vec::new()
+    };
     let kernel = Kernel {
         name: name.to_string(),
         insts,
         num_regs: words[0] as u16,
         shared_bytes: words[1],
         param_words: words[2] as u16,
+        ctrl,
     };
     kernel
         .validate()
@@ -345,6 +370,33 @@ mod tests {
         let words = encode_kernel(&k);
         let back = decode_kernel("sample", &words).expect("kernel decodes");
         assert_eq!(back, k);
+    }
+
+    #[test]
+    fn ctrl_sidecar_roundtrips() {
+        let mut k = sample();
+        let legacy = encode_kernel(&k);
+        k.ctrl = (0..k.insts.len())
+            .map(|i| CtrlBits {
+                stall: (i as u8) % 7,
+                wr_bar: (i % 2 == 0).then_some((i % 6) as u8),
+                rd_bar: None,
+                wait_mask: (1 << (i % 6)) as u8,
+            })
+            .collect();
+        let words = encode_kernel(&k);
+        assert_eq!(&words[..legacy.len()], &legacy[..], "stream is a prefix");
+        assert_eq!(words.len(), legacy.len() + 1 + k.insts.len());
+        let back = decode_kernel("sample", &words).expect("decodes");
+        assert_eq!(back, k);
+        // Legacy binaries (no sidecar) decode with an empty sidecar.
+        let old = decode_kernel("sample", &legacy).expect("decodes");
+        assert!(old.ctrl.is_empty());
+        // A truncated sidecar is an error, not silently dropped.
+        assert_eq!(
+            decode_kernel("sample", &words[..words.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Kernels: a validated list of instructions plus resource requirements.
 
+use crate::ctrl::CtrlBits;
 use crate::error::KernelError;
 use crate::inst::Instruction;
 use crate::opcode::Opcode;
@@ -63,6 +64,11 @@ pub struct Kernel {
     /// Number of 32-bit kernel parameters (`c[0]`, `c[4]`, ... by byte
     /// offset).
     pub param_words: u16,
+    /// Per-instruction control bits for the modern (post-Volta) core:
+    /// either empty (unannotated — the modern core falls back to a
+    /// conservative interlock) or exactly one entry per instruction.
+    /// Pascal cores ignore this entirely.
+    pub ctrl: Vec<CtrlBits>,
 }
 
 impl Kernel {
@@ -121,6 +127,26 @@ impl Kernel {
             return Err(KernelError::NoExit {
                 kernel: self.name.clone(),
             });
+        }
+        if !self.ctrl.is_empty() {
+            if self.ctrl.len() != self.insts.len() {
+                return Err(KernelError::Instruction {
+                    kernel: self.name.clone(),
+                    pc: self.ctrl.len().min(self.insts.len()),
+                    msg: format!(
+                        "control-bit sidecar has {} entries for {} instructions",
+                        self.ctrl.len(),
+                        self.insts.len()
+                    ),
+                });
+            }
+            for (pc, c) in self.ctrl.iter().enumerate() {
+                c.validate().map_err(|msg| KernelError::Instruction {
+                    kernel: self.name.clone(),
+                    pc,
+                    msg,
+                })?;
+            }
         }
         Ok(())
     }

@@ -30,6 +30,7 @@
 
 pub mod asm;
 pub mod builder;
+pub mod ctrl;
 pub mod encode;
 pub mod error;
 pub mod fuzz;
@@ -40,6 +41,7 @@ pub mod operand;
 pub mod reg;
 
 pub use builder::KernelBuilder;
+pub use ctrl::CtrlBits;
 pub use encode::{decode_kernel, encode_kernel, DecodeError};
 pub use error::{AsmError, KernelError};
 pub use fuzz::FuzzKernel;

@@ -316,3 +316,48 @@ fn healthz_reports_store_and_job_counters() {
     srv.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn core_model_is_a_semantic_knob_on_the_wire() {
+    let dir = temp_store("coremodel");
+    let srv = TestServer::boot(&dir);
+
+    let body_for = |core: &str| {
+        format!(
+            r#"{{"kernel": {{"workload": "vectoradd", "scale": "test"}},
+                "config": {{"collector": "bow-wr", "window": 3, "core_model": "{core}"}}}}"#
+        )
+    };
+    let pascal = client::post(&srv.addr, "/v1/runs", &body_for("pascal")).expect("pascal run");
+    assert_eq!(pascal.status, 200, "{}", pascal.body);
+    let modern = client::post(&srv.addr, "/v1/runs", &body_for("modern")).expect("modern run");
+    assert_eq!(modern.status, 200, "{}", modern.body);
+    let fp = |resp: &client::Response| {
+        resp.json()
+            .unwrap()
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint")
+            .to_string()
+    };
+    assert_ne!(
+        fp(&pascal),
+        fp(&modern),
+        "core_model must change the content address"
+    );
+    assert_eq!(srv.sim_runs(), 2, "distinct fingerprints both simulate");
+
+    // An unknown core model is a structured config rejection.
+    let bad = client::post(&srv.addr, "/v1/runs", &body_for("volta")).expect("bad run");
+    assert_eq!(bad.status, 422, "{}", bad.body);
+    assert_eq!(
+        bad.json()
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("config")
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -269,6 +269,30 @@ impl OperandStage {
         stats: &mut SimStats,
         probe: &mut P,
     ) -> Vec<Reg> {
+        self.insert_uniform(warp, pc, inst, mask, seq, cycle, rf, stats, probe, |_| {
+            false
+        })
+    }
+
+    /// [`insert`](Self::insert) with a uniform-register filter: sources for
+    /// which `uniform` returns true are served by the modern core's uniform
+    /// register file at issue — they arrive immediately and touch neither
+    /// the banks nor the warp's bypass window. The Pascal path passes a
+    /// constant-false filter, which compiles down to plain `insert`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_uniform<P: Probe>(
+        &mut self,
+        warp: usize,
+        pc: usize,
+        inst: &Instruction,
+        mask: u32,
+        seq: u64,
+        cycle: u64,
+        rf: &mut RegFile,
+        stats: &mut SimStats,
+        probe: &mut P,
+        uniform: impl Fn(Reg) -> bool,
+    ) -> Vec<Reg> {
         let unique = inst.unique_src_regs();
         emit(stats, probe, PipeEvent::SrcRegs(unique.len()));
 
@@ -277,6 +301,13 @@ impl OperandStage {
         match self.kind {
             CollectorKind::Baseline => {
                 for reg in unique {
+                    if uniform(reg) {
+                        operands.push(OperandReq {
+                            reg,
+                            state: OpState::ReadyAt(cycle),
+                        });
+                        continue;
+                    }
                     rf_fetches.push(reg);
                     operands.push(OperandReq {
                         reg,
@@ -286,6 +317,13 @@ impl OperandStage {
             }
             CollectorKind::Rfc { .. } => {
                 for reg in unique {
+                    if uniform(reg) {
+                        operands.push(OperandReq {
+                            reg,
+                            state: OpState::ReadyAt(cycle),
+                        });
+                        continue;
+                    }
                     let state = if self.rfcs[warp].lookup(reg) {
                         emit(stats, probe, PipeEvent::RfcRead);
                         OpState::RfcHit
@@ -302,6 +340,13 @@ impl OperandStage {
                 let win = &mut self.windows[warp];
                 win.slide(seq, warp, rf, stats, probe);
                 for reg in unique {
+                    if uniform(reg) {
+                        operands.push(OperandReq {
+                            reg,
+                            state: OpState::ReadyAt(cycle),
+                        });
+                        continue;
+                    }
                     let state = match win.touch_read(reg, seq) {
                         window::ReadHit::Arrived(at) => {
                             emit(stats, probe, PipeEvent::BypassedRead);
@@ -471,6 +516,19 @@ impl OperandStage {
     /// Number of occupied slots.
     pub fn occupied(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The smallest (oldest) sequence number among `warp`'s occupied
+    /// slots, if any. The modern core's dispatch gate uses this to keep
+    /// each warp's dispatches in strict program order — the property that
+    /// makes functional execution at dispatch correct independently of
+    /// the compiler's control bits.
+    pub fn min_seq_of(&self, warp: usize) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter(|s| s.warp == warp)
+            .map(|s| s.seq)
+            .min()
     }
 
     /// Routes a completed instruction's register result according to the

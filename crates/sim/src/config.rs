@@ -13,6 +13,37 @@ pub enum SchedPolicy {
     Lrr,
 }
 
+/// Which SM core microarchitecture a launch simulates.
+///
+/// The core model decides how instructions move through an SM — stage
+/// construction, the hazard/dependence policy, register-file organization
+/// and collector topology — while every other [`GpuConfig`] knob (widths,
+/// latencies, the collector *model*, memory hierarchy) applies to both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoreModelKind {
+    /// The Pascal-style core of Table II: scoreboarded issue, an SM-wide
+    /// operand-collector pool behind one crossbar, flat bank mapping.
+    #[default]
+    Pascal,
+    /// A post-Volta core (after "Analyzing Modern NVIDIA GPU cores",
+    /// arXiv 2503.20481): four sub-cores per SM with private collectors
+    /// and register-bank clusters, a uniform register file for
+    /// warp-invariant values, and fixed-latency dependences driven by
+    /// per-instruction control bits instead of a scoreboard.
+    Modern,
+}
+
+impl CoreModelKind {
+    /// The canonical lowercase name (`"pascal"` / `"modern"`), used by the
+    /// CLI, the wire contract and result canonicalization.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoreModelKind::Pascal => "pascal",
+            CoreModelKind::Modern => "modern",
+        }
+    }
+}
+
 /// Full configuration of the simulated GPU.
 ///
 /// [`GpuConfig::titan_x_pascal`] reproduces Table II; [`GpuConfig::scaled`]
@@ -38,6 +69,10 @@ pub struct GpuConfig {
     pub issue_per_scheduler: u32,
     /// Operand-collector model to simulate.
     pub collector: CollectorKind,
+    /// SM core microarchitecture (stage graph, hazard policy, RF and
+    /// collector topology). Orthogonal to [`collector`](Self::collector):
+    /// every collector model runs on either core.
+    pub core_model: CoreModelKind,
     /// Baseline operand-collector units per SM (pool shared by all warps).
     pub num_ocus: u32,
     /// Cycles from a register-bank grant until the operand sits in the
@@ -137,6 +172,7 @@ impl GpuConfig {
             schedulers_per_sm: 4,
             issue_per_scheduler: 2,
             collector,
+            core_model: CoreModelKind::Pascal,
             num_ocus: 32,
             rf_read_latency: 2,
             xbar_width: 8,

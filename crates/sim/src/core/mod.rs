@@ -1,0 +1,130 @@
+//! Pluggable SM core models.
+//!
+//! The stage graph of PR 2 fixed *how* the pipeline communicates (the
+//! [`SmCtx`] / latch discipline); this module makes *which* pipeline runs
+//! a first-class choice. A core model owns everything microarchitectural
+//! about instruction flow — stage construction, hazard/dependence policy,
+//! register-file organization and collector topology — while the shared
+//! [`SmCtx`] keeps the architectural state (warps, blocks, RF banks,
+//! memory system, statistics) every model reads and writes.
+//!
+//! Two models ship:
+//!
+//! * [`PascalCore`] — the paper's evaluation machine: per-warp
+//!   scoreboards, an SM-wide operand-collector pool, a flat banked RF.
+//! * [`ModernCore`] — a post-Volta organization after "Analyzing Modern
+//!   NVIDIA GPU cores" (arXiv 2503.20481): four sub-cores with private
+//!   schedulers, collectors and RF bank groups, a uniform register file,
+//!   and compiler-emitted control bits in place of the scoreboard.
+//!
+//! [`CoreModel`] is the trait contract. Its `tick` is generic over the
+//! probe and global-memory views (like [`PipelineStage`]), so the trait
+//! is not object-safe; the concrete dispatch point is the
+//! [`CorePipeline`] enum, which monomorphizes both models statically —
+//! the hot path pays one match per SM-cycle, nothing per stage.
+//!
+//! [`PipelineStage`]: crate::stage::PipelineStage
+
+pub mod modern;
+pub mod pascal;
+
+pub use modern::ModernCore;
+pub use pascal::PascalCore;
+
+use crate::config::{CoreModelKind, GpuConfig};
+use crate::probe::Probe;
+use crate::stage::SmCtx;
+use bow_isa::Kernel;
+use bow_mem::GlobalAccess;
+
+/// The contract a core model implements.
+///
+/// Lifecycle: [`CoreModel::reset_for_launch`] between kernel launches
+/// (the SM is quiescent), [`CoreModel::on_warps_assigned`] when a block's
+/// warps land on the SM, then [`CoreModel::tick`] once per cycle until
+/// [`CoreModel::pipeline_empty`] and no blocks remain.
+pub trait CoreModel {
+    /// Short display name (`"pascal"`, `"modern"`).
+    const NAME: &'static str;
+
+    /// Builds the model's pipeline for `config`.
+    fn new(config: &GpuConfig) -> Self;
+
+    /// Re-arms per-launch state. Called with the SM quiescent; models
+    /// that persist scheduler state across launches (Pascal does, by
+    /// long-standing golden-pinned behavior) may keep it.
+    fn reset_for_launch(&mut self, ctx: &mut SmCtx);
+
+    /// Notifies the model that `warps` (slot indices) now host live warps
+    /// of a freshly assigned block.
+    fn on_warps_assigned(&mut self, warps: &[usize]);
+
+    /// Whether no instruction is in flight inside the model's pipeline.
+    /// (`Sm::busy` is `blocks remain || !pipeline_empty()`.)
+    fn pipeline_empty(&self) -> bool;
+
+    /// Advances the pipeline by one cycle.
+    fn tick<P: Probe, G: GlobalAccess>(
+        &mut self,
+        ctx: &mut SmCtx,
+        kernel: &Kernel,
+        global: &mut G,
+        probe: &mut P,
+    );
+}
+
+/// The statically dispatched core-model pipeline of one SM.
+pub enum CorePipeline {
+    /// The paper's scoreboarded Pascal-style core.
+    Pascal(PascalCore),
+    /// The post-Volta sub-core organization.
+    Modern(ModernCore),
+}
+
+impl CorePipeline {
+    /// Builds the pipeline `config.core_model` selects.
+    pub fn new(config: &GpuConfig) -> CorePipeline {
+        match config.core_model {
+            CoreModelKind::Pascal => CorePipeline::Pascal(PascalCore::new(config)),
+            CoreModelKind::Modern => CorePipeline::Modern(ModernCore::new(config)),
+        }
+    }
+
+    /// See [`CoreModel::reset_for_launch`].
+    pub fn reset_for_launch(&mut self, ctx: &mut SmCtx) {
+        match self {
+            CorePipeline::Pascal(c) => c.reset_for_launch(ctx),
+            CorePipeline::Modern(c) => c.reset_for_launch(ctx),
+        }
+    }
+
+    /// See [`CoreModel::on_warps_assigned`].
+    pub fn on_warps_assigned(&mut self, warps: &[usize]) {
+        match self {
+            CorePipeline::Pascal(c) => c.on_warps_assigned(warps),
+            CorePipeline::Modern(c) => c.on_warps_assigned(warps),
+        }
+    }
+
+    /// See [`CoreModel::pipeline_empty`].
+    pub fn pipeline_empty(&self) -> bool {
+        match self {
+            CorePipeline::Pascal(c) => c.pipeline_empty(),
+            CorePipeline::Modern(c) => c.pipeline_empty(),
+        }
+    }
+
+    /// See [`CoreModel::tick`].
+    pub fn tick<P: Probe, G: GlobalAccess>(
+        &mut self,
+        ctx: &mut SmCtx,
+        kernel: &Kernel,
+        global: &mut G,
+        probe: &mut P,
+    ) {
+        match self {
+            CorePipeline::Pascal(c) => c.tick(ctx, kernel, global, probe),
+            CorePipeline::Modern(c) => c.tick(ctx, kernel, global, probe),
+        }
+    }
+}

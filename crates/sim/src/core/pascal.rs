@@ -1,0 +1,69 @@
+//! The Pascal core: the paper's evaluation machine, repackaged.
+//!
+//! This is exactly the pre-seam pipeline — scoreboarded issue, an SM-wide
+//! operand-collector pool ([`SmCtx::oc`]), a flat banked register file —
+//! moved behind [`CoreModel`] without touching a single cycle of
+//! behavior: the golden fingerprint suite pins it byte-for-byte.
+
+use super::CoreModel;
+use crate::config::GpuConfig;
+use crate::probe::Probe;
+use crate::stage::{
+    CollectStage, DispatchStage, IssueStage, Latches, PipelineStage, SmCtx, WritebackStage,
+};
+use bow_isa::Kernel;
+use bow_mem::GlobalAccess;
+
+/// The scoreboarded Pascal-style pipeline: four stages plus the typed
+/// latches between them.
+pub struct PascalCore {
+    latches: Latches,
+    issue: IssueStage,
+    collect: CollectStage,
+    dispatch: DispatchStage,
+    writeback: WritebackStage,
+}
+
+impl CoreModel for PascalCore {
+    const NAME: &'static str = "pascal";
+
+    fn new(config: &GpuConfig) -> PascalCore {
+        PascalCore {
+            latches: Latches::default(),
+            issue: IssueStage::new(config),
+            collect: CollectStage,
+            dispatch: DispatchStage::default(),
+            writeback: WritebackStage,
+        }
+    }
+
+    /// Intentionally keeps scheduler state (GTO greedy pick, LRR cursor)
+    /// across launches — the behavior the goldens have always pinned.
+    fn reset_for_launch(&mut self, _ctx: &mut SmCtx) {}
+
+    fn on_warps_assigned(&mut self, _warps: &[usize]) {}
+
+    fn pipeline_empty(&self) -> bool {
+        self.latches.completions.is_empty()
+    }
+
+    fn tick<P: Probe, G: GlobalAccess>(
+        &mut self,
+        ctx: &mut SmCtx,
+        kernel: &Kernel,
+        global: &mut G,
+        probe: &mut P,
+    ) {
+        ctx.rf.begin_cycle();
+        self.writeback
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.collect
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.dispatch
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        self.issue
+            .tick(ctx, &mut self.latches, kernel, global, probe);
+        let SmCtx { oc, stats, .. } = ctx;
+        oc.sample_occupancy(stats, probe);
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod collector;
 pub mod config;
+pub mod core;
 pub mod exec;
 pub mod gpu;
 pub mod oracle;
@@ -69,7 +70,8 @@ pub mod trace;
 pub mod warp;
 
 pub use collector::CollectorKind;
-pub use config::{GpuConfig, OracleCheck, SchedPolicy};
+pub use config::{CoreModelKind, GpuConfig, OracleCheck, SchedPolicy};
+pub use core::{CoreModel, CorePipeline, ModernCore, PascalCore};
 pub use gpu::{Gpu, LaunchResult};
 pub use oracle::{run_oracle, Divergence, LockstepChecker, OracleRun, WriteLog, WriteRecord};
 pub use pipetrace::{Event, PipeTrace, Stage};

@@ -59,6 +59,11 @@ struct ShadowRf {
 #[derive(Clone, Debug)]
 pub struct RegFile {
     banks: usize,
+    /// Bank groups. With one group (Pascal) every warp spreads over every
+    /// bank; with `g` groups (the modern core's sub-core-private banks)
+    /// warp `w` only ever touches the `banks / g` banks of group `w % g`,
+    /// so sub-cores never contend for each other's ports.
+    groups: usize,
     write_queues: Vec<VecDeque<PendingWrite>>,
     /// Banks whose port is consumed this cycle.
     busy: Vec<bool>,
@@ -67,11 +72,23 @@ pub struct RegFile {
 }
 
 impl RegFile {
-    /// Creates a register file with `banks` single-ported banks.
+    /// Creates a register file with `banks` single-ported banks shared by
+    /// all warps (one group).
     pub fn new(banks: usize) -> RegFile {
+        RegFile::new_clustered(banks, 1)
+    }
+
+    /// Creates a register file whose banks are split into `groups`
+    /// sub-core-private clusters; `banks` must divide evenly.
+    pub fn new_clustered(banks: usize, groups: usize) -> RegFile {
         assert!(banks > 0, "at least one bank required");
+        assert!(
+            groups > 0 && banks.is_multiple_of(groups),
+            "banks ({banks}) must split evenly into {groups} groups"
+        );
         RegFile {
             banks,
+            groups,
             write_queues: vec![VecDeque::new(); banks],
             busy: vec![false; banks],
             stats: RegFileStats::default(),
@@ -121,9 +138,12 @@ impl RegFile {
         }
     }
 
-    /// The bank a warp's register lives in.
+    /// The bank a warp's register lives in: the standard
+    /// `(warp + reg) % banks` swizzle within the warp's bank group. With
+    /// one group this is exactly the flat Pascal mapping.
     pub fn bank_of(&self, warp: usize, reg: Reg) -> usize {
-        (warp + usize::from(reg.index())) % self.banks
+        let per = self.banks / self.groups;
+        (warp % self.groups) * per + (warp + usize::from(reg.index())) % per
     }
 
     /// Number of banks.
@@ -194,6 +214,36 @@ mod tests {
         assert_eq!(rf.bank_of(0, Reg::r(0)), 0);
         assert_eq!(rf.bank_of(1, Reg::r(0)), 1);
         assert_eq!(rf.bank_of(0, Reg::r(33)), 1);
+    }
+
+    #[test]
+    fn clustered_mapping_confines_warps_to_their_group() {
+        let rf = RegFile::new_clustered(32, 4);
+        for warp in 0..16 {
+            let group = warp % 4;
+            for r in 0..32u8 {
+                let b = rf.bank_of(warp, Reg::r(r));
+                assert_eq!(b / 8, group, "warp {warp} reg {r} left its group");
+            }
+        }
+        // Within a group the swizzle still spreads registers over banks.
+        let banks: std::collections::HashSet<_> =
+            (0..8u8).map(|r| rf.bank_of(0, Reg::r(r))).collect();
+        assert_eq!(banks.len(), 8);
+    }
+
+    #[test]
+    fn one_group_matches_flat_mapping() {
+        let flat = RegFile::new(32);
+        let clustered = RegFile::new_clustered(32, 1);
+        for warp in 0..64 {
+            for r in 0..64u8 {
+                assert_eq!(
+                    flat.bank_of(warp, Reg::r(r)),
+                    clustered.bank_of(warp, Reg::r(r))
+                );
+            }
+        }
     }
 
     #[test]

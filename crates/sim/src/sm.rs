@@ -1,23 +1,24 @@
-//! The streaming multiprocessor: a thin shell over the stage graph.
+//! The streaming multiprocessor: a thin shell over a pluggable core.
 //!
-//! `Sm` owns the shared machine state ([`SmCtx`]), the inter-stage
-//! latches and the four pipeline stages, and ticks them in reverse
-//! pipeline order — writeback → collect → dispatch → issue — so each
-//! stage observes the state its predecessors left one cycle earlier.
+//! `Sm` owns the shared machine state ([`SmCtx`]) and a
+//! [`CorePipeline`] — the core model `GpuConfig::core_model` selects.
+//! The Pascal core is the paper's four-stage scoreboarded pipeline
+//! (writeback → collect → dispatch → issue over the [`Latches`]
+//! discipline); the modern core is the post-Volta sub-core organization.
 //! All instrumentation (statistics, pipeline tracing, the bypass
 //! analyzer) flows through the probe bus: [`Sm::tick`] is generic over
 //! [`Probe`], and launching with [`NullProbe`](crate::probe::NullProbe)
 //! monomorphizes an instrumentation-free pipeline.
+//!
+//! [`Latches`]: crate::stage::Latches
 
 use crate::collector::OperandStage;
-use crate::config::GpuConfig;
+use crate::config::{CoreModelKind, GpuConfig};
+use crate::core::CorePipeline;
 use crate::probe::Probe;
 use crate::regfile::RegFile;
 use crate::scoreboard::Scoreboard;
-use crate::stage::{
-    BlockCtx, CollectStage, DispatchStage, IssueStage, Latches, PipelineStage, SmCtx,
-    WritebackStage,
-};
+use crate::stage::{BlockCtx, SmCtx};
 use crate::stats::SimStats;
 use crate::warp::Warp;
 use bow_isa::{Kernel, WARP_SIZE};
@@ -26,11 +27,7 @@ use bow_mem::{GlobalAccess, MemSystem, SharedMemory};
 /// One streaming multiprocessor.
 pub struct Sm {
     ctx: SmCtx,
-    latches: Latches,
-    issue: IssueStage,
-    collect: CollectStage,
-    dispatch: DispatchStage,
-    writeback: WritebackStage,
+    core: CorePipeline,
 }
 
 impl Sm {
@@ -61,11 +58,7 @@ impl Sm {
                 params: Vec::new(),
                 stats: SimStats::default(),
             },
-            latches: Latches::default(),
-            issue: IssueStage::new(config),
-            collect: CollectStage,
-            dispatch: DispatchStage::default(),
-            writeback: WritebackStage,
+            core: CorePipeline::new(config),
         }
     }
 
@@ -75,7 +68,22 @@ impl Sm {
     }
 
     fn build_rf(config: &GpuConfig, warp_slots: usize) -> RegFile {
-        let mut rf = RegFile::new(config.rf_banks as usize);
+        // The modern core gives each sub-core a private bank group when
+        // the bank count splits evenly over the schedulers; Pascal keeps
+        // the flat SM-wide mapping.
+        let banks = config.rf_banks as usize;
+        let groups = match config.core_model {
+            CoreModelKind::Modern => {
+                let nsub = config.schedulers_per_sm.max(1) as usize;
+                if banks.is_multiple_of(nsub) {
+                    nsub
+                } else {
+                    1
+                }
+            }
+            CoreModelKind::Pascal => 1,
+        };
+        let mut rf = RegFile::new_clustered(banks, groups);
         if config.shadow_rf {
             rf.enable_shadow(warp_slots);
         }
@@ -99,11 +107,12 @@ impl Sm {
         );
         ctx.stats = SimStats::default();
         ctx.cycle = 0;
+        self.core.reset_for_launch(&mut self.ctx);
     }
 
     /// Whether any block or instruction is still in flight.
     pub fn busy(&self) -> bool {
-        self.ctx.blocks.iter().any(Option::is_some) || !self.latches.completions.is_empty()
+        self.ctx.blocks.iter().any(Option::is_some) || !self.core.pipeline_empty()
     }
 
     /// Number of additional blocks this SM can host for `kernel`.
@@ -136,30 +145,34 @@ impl Sm {
         dims: bow_isa::KernelDims,
         block_index: u64,
     ) {
-        let ctx = &mut self.ctx;
-        let slot = ctx
-            .blocks
-            .iter()
-            .position(Option::is_none)
-            .expect("assign_block without free block slot");
         let threads = dims.threads_per_block();
         let warps = dims.warps_per_block();
-        let mut warp_slots = Vec::with_capacity(warps as usize);
-        for w in 0..warps {
-            let wslot = ctx
-                .warps
+        let (slot, warp_slots) = {
+            let ctx = &mut self.ctx;
+            let slot = ctx
+                .blocks
                 .iter()
                 .position(Option::is_none)
-                .expect("assign_block without free warp slots");
-            let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
-            ctx.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
-            ctx.rf.shadow_reset_warp(wslot);
-            ctx.scoreboards[wslot] = Scoreboard::new();
-            ctx.warp_age[wslot] = ctx.age_counter;
-            ctx.age_counter += 1;
-            warp_slots.push(wslot);
-        }
-        ctx.blocks[slot] = Some(BlockCtx {
+                .expect("assign_block without free block slot");
+            let mut warp_slots = Vec::with_capacity(warps as usize);
+            for w in 0..warps {
+                let wslot = ctx
+                    .warps
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("assign_block without free warp slots");
+                let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
+                ctx.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
+                ctx.rf.shadow_reset_warp(wslot);
+                ctx.scoreboards[wslot] = Scoreboard::new();
+                ctx.warp_age[wslot] = ctx.age_counter;
+                ctx.age_counter += 1;
+                warp_slots.push(wslot);
+            }
+            (slot, warp_slots)
+        };
+        self.core.on_warps_assigned(&warp_slots);
+        self.ctx.blocks[slot] = Some(BlockCtx {
             shared: SharedMemory::new(kernel.shared_bytes),
             info: crate::exec::BlockInfo {
                 ctaid,
@@ -195,17 +208,7 @@ impl Sm {
         let ctx = &mut self.ctx;
         ctx.cycle += 1;
         ctx.stats.cycles = ctx.cycle;
-        ctx.rf.begin_cycle();
-        self.writeback
-            .tick(ctx, &mut self.latches, kernel, global, probe);
-        self.collect
-            .tick(ctx, &mut self.latches, kernel, global, probe);
-        self.dispatch
-            .tick(ctx, &mut self.latches, kernel, global, probe);
-        self.issue
-            .tick(ctx, &mut self.latches, kernel, global, probe);
-        let SmCtx { oc, stats, .. } = ctx;
-        oc.sample_occupancy(stats, probe);
+        self.core.tick(ctx, kernel, global, probe);
     }
 }
 

@@ -1,7 +1,7 @@
 //! The dispatch stage: picks ready slots under the functional-unit
 //! budgets, executes them functionally and schedules their completions.
 
-use super::writeback::Completion;
+use super::writeback::{Completion, CompletionQueue};
 use super::{Latches, PipelineStage, SmCtx};
 use crate::exec::{self, ExecCtx, Space};
 use crate::probe::{emit, PipeEvent, Probe};
@@ -100,6 +100,34 @@ impl DispatchStage {
         global: &mut G,
         probe: &mut P,
     ) {
+        ctx.scoreboards[slot.warp].dispatch(&slot.inst);
+        execute_and_complete(
+            ctx,
+            &mut latches.completions,
+            slot,
+            &mut self.values_buf,
+            global,
+            probe,
+        );
+    }
+}
+
+/// The core-model-independent half of a dispatch: emits the `Dispatch`
+/// event, executes the slot functionally, snapshots the result for an
+/// active probe (the lockstep oracle) and schedules its completion.
+///
+/// The Pascal core releases its scoreboard's WAR entries before calling
+/// this; the modern core releases the slot's read barrier. Everything
+/// else — timing, memory, events — is identical across core models.
+pub(crate) fn execute_and_complete<P: Probe, G: GlobalAccess>(
+    ctx: &mut SmCtx,
+    completions: &mut CompletionQueue,
+    slot: crate::collector::Slot,
+    values_buf: &mut Vec<u32>,
+    global: &mut G,
+    probe: &mut P,
+) {
+    {
         let wslot = slot.warp;
         let slot_pc = slot.pc;
         let oc_cycles = ctx.cycle - slot.insert_cycle;
@@ -118,7 +146,6 @@ impl DispatchStage {
                 inst: &slot.inst,
             },
         );
-        ctx.scoreboards[wslot].dispatch(&slot.inst);
 
         let warp = ctx.warps[wslot].as_mut().expect("dispatch for live warp");
         let bslot = warp.block_slot;
@@ -136,11 +163,11 @@ impl DispatchStage {
             // checker. `ExecResult` is a statistics no-op, so skipping the
             // emission entirely under `NullProbe` keeps counters identical.
             let warp = ctx.warps[wslot].as_ref().expect("live warp");
-            self.values_buf.clear();
+            values_buf.clear();
             let mut pred_bits = 0u32;
             if let Some(reg) = slot.inst.dst_reg() {
                 for lane in 0..bow_isa::WARP_SIZE {
-                    self.values_buf.push(warp.read_reg(lane, reg));
+                    values_buf.push(warp.read_reg(lane, reg));
                 }
             }
             if let Some(p) = slot.inst.dst.pred() {
@@ -166,7 +193,7 @@ impl DispatchStage {
                     dst_pred: slot.inst.dst.pred(),
                     mask: slot.mask,
                     pred_bits,
-                    values: &self.values_buf,
+                    values: values_buf,
                 },
             );
         }
@@ -193,7 +220,7 @@ impl DispatchStage {
         }
         .max(ctx.cycle + 1);
 
-        latches.completions.push(Completion {
+        completions.push(Completion {
             time: complete,
             ord: 0, // stamped by the queue
             warp: wslot,

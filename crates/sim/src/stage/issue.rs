@@ -166,7 +166,7 @@ impl IssueStage {
                         }
                     }
                 }
-                ControlOutcome::Barrier => Self::maybe_release_barrier(ctx, w),
+                ControlOutcome::Barrier => ctx.maybe_release_barrier(w),
                 ControlOutcome::Plain => {}
             }
         } else {
@@ -214,28 +214,6 @@ impl IssueStage {
                     inst: &inst,
                 },
             );
-        }
-    }
-
-    fn maybe_release_barrier(ctx: &mut SmCtx, wslot: usize) {
-        let bslot = ctx.warps[wslot].as_ref().expect("live").block_slot;
-        let block = ctx.blocks[bslot].as_ref().expect("resident");
-        let all_arrived = block.warp_slots.iter().all(|&ws| {
-            ctx.warps[ws]
-                .as_ref()
-                .is_none_or(|w| w.done || w.at_barrier)
-        });
-        if all_arrived {
-            for &ws in &ctx.blocks[bslot]
-                .as_ref()
-                .expect("resident")
-                .warp_slots
-                .clone()
-            {
-                if let Some(w) = ctx.warps[ws].as_mut() {
-                    w.at_barrier = false;
-                }
-            }
         }
     }
 }

@@ -82,12 +82,46 @@ impl SmCtx {
     pub(crate) fn finalize_warp<P: Probe>(&mut self, wslot: usize, probe: &mut P) {
         self.oc
             .flush_warp(wslot, &mut self.rf, &mut self.stats, probe);
+        self.retire_warp(wslot);
+    }
+
+    /// The block-accounting half of warp retirement: frees the warp slot
+    /// and the block slot when it was the last warp standing. Core models
+    /// that keep collector state outside [`SmCtx::oc`] (the modern core's
+    /// per-sub-core collectors) flush that state themselves and then call
+    /// this directly.
+    pub(crate) fn retire_warp(&mut self, wslot: usize) {
         let warp = self.warps[wslot].take().expect("finalize live warp");
         let bslot = warp.block_slot;
         let block = self.blocks[bslot].as_mut().expect("warp's block resident");
         block.warps_done += 1;
         if block.warps_done == block.warp_slots.len() {
             self.blocks[bslot] = None;
+        }
+    }
+
+    /// Releases a block-wide barrier once every live warp of `wslot`'s
+    /// block has arrived (or exited). Shared by every core model's issue
+    /// logic.
+    pub(crate) fn maybe_release_barrier(&mut self, wslot: usize) {
+        let bslot = self.warps[wslot].as_ref().expect("live").block_slot;
+        let block = self.blocks[bslot].as_ref().expect("resident");
+        let all_arrived = block.warp_slots.iter().all(|&ws| {
+            self.warps[ws]
+                .as_ref()
+                .is_none_or(|w| w.done || w.at_barrier)
+        });
+        if all_arrived {
+            for &ws in &self.blocks[bslot]
+                .as_ref()
+                .expect("resident")
+                .warp_slots
+                .clone()
+            {
+                if let Some(w) = self.warps[ws].as_mut() {
+                    w.at_barrier = false;
+                }
+            }
         }
     }
 }

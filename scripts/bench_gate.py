@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""bench_throughput regression gate.
+
+Compares a fresh `bench_throughput` run against the checked-in baseline
+(`results/bench_throughput.json`) and fails if simulator throughput
+regressed: the geomean of per-row `cycles_per_sec` ratios across the
+(benchmark x sim_threads) matrix must not drop by more than the
+tolerance (default 10%). The geomean — not any single row — is gated
+because individual sub-100ms rows are wall-clock noisy; a real hot-path
+regression (say, virtual dispatch leaking into the per-cycle loop)
+moves every row at once.
+
+Two hard checks ride along:
+  * the row sets must match — a silently dropped benchmark or thread
+    count would make the geomean meaningless;
+  * per-row stats fingerprints must be identical — throughput numbers
+    for a run that diverged semantically are not comparable. After an
+    intentional model change, refresh the baseline by re-running
+    `cargo run --release -p bow-bench --bin bench_throughput` and
+    committing the new results/bench_throughput.json.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--max-drop FRACTION]
+"""
+
+import json
+import math
+import sys
+
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    table = {}
+    for run in doc["runs"]:
+        table[(run["benchmark"], run["sim_threads"])] = run
+    return doc, table
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    max_drop = 0.10
+    for a in argv:
+        if a.startswith("--max-drop="):
+            max_drop = float(a.split("=", 1)[1])
+    base_doc, base = rows(args[0])
+    fresh_doc, fresh = rows(args[1])
+
+    failures = []
+    if base_doc["scale"] != fresh_doc["scale"]:
+        failures.append(
+            f"scale mismatch: baseline {base_doc['scale']} vs fresh "
+            f"{fresh_doc['scale']} — throughput is not comparable across tiers"
+        )
+    if set(base) != set(fresh):
+        failures.append(
+            f"row sets differ: baseline {sorted(base)} vs fresh {sorted(fresh)}"
+        )
+
+    log_sum, n = 0.0, 0
+    print(f"{'benchmark':<12} {'threads':>7} {'base c/s':>12} {'fresh c/s':>12} {'ratio':>7}")
+    for key in sorted(base):
+        if key not in fresh:
+            continue
+        b, f = base[key], fresh[key]
+        if b["fingerprint"] != f["fingerprint"]:
+            failures.append(
+                f"{key[0]} t={key[1]}: stats fingerprint changed "
+                f"({b['fingerprint']} -> {f['fingerprint']}) — the model "
+                "diverged; refresh the baseline only for intentional changes"
+            )
+        ratio = f["cycles_per_sec"] / b["cycles_per_sec"]
+        log_sum += math.log(ratio)
+        n += 1
+        print(
+            f"{key[0]:<12} {key[1]:>7} {b['cycles_per_sec']:>12.0f} "
+            f"{f['cycles_per_sec']:>12.0f} {ratio:>6.2f}x"
+        )
+
+    geomean = math.exp(log_sum / n) if n else 0.0
+    print(f"geomean throughput ratio (fresh/baseline): {geomean:.3f}x "
+          f"(gate: >= {1.0 - max_drop:.2f}x)")
+    if n and geomean < 1.0 - max_drop:
+        failures.append(
+            f"throughput geomean dropped {100 * (1 - geomean):.1f}% "
+            f"(> {100 * max_drop:.0f}% tolerance)"
+        )
+
+    if failures:
+        for msg in failures:
+            print(f"bench gate FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

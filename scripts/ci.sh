@@ -24,6 +24,16 @@ echo "==> golden stats fingerprints under the threaded engine"
 # of the windowed parallel engine.
 BOW_SIM_THREADS=4 cargo test --release -q --offline -p bow --test golden_fingerprints
 
+echo "==> golden stats fingerprints, modern core (serial + threaded)"
+# The core-model matrix: the same 15x4 suite pinned on the post-Volta
+# backend (sub-cores, control-bit interlock, uniform RF), serial and
+# sharded. Both tables land in target/golden-artifacts/ as CI artifacts.
+cargo test --release -q --offline -p bow --test golden_fingerprints_modern
+BOW_SIM_THREADS=4 cargo test --release -q --offline -p bow --test golden_fingerprints_modern
+mkdir -p target/golden-artifacts
+cp crates/bow/tests/golden/fingerprints.txt target/golden-artifacts/pascal.txt
+cp crates/bow/tests/golden/fingerprints_modern.txt target/golden-artifacts/modern.txt
+
 echo "==> bow fuzz --smoke (64-case differential fuzz, fixed seed)"
 # Every generated kernel runs under all collector models, each launch
 # lockstep-checked against the architectural oracle and the independent
@@ -38,11 +48,30 @@ echo "==> bow fuzz --smoke --sim-threads 4 (threaded engine)"
 cargo run --release -q --offline -p bow-cli -- \
     fuzz --smoke --sim-threads 4 --out target/fuzz-repros
 
+echo "==> bow fuzz --smoke --core-model modern (control-bit interlock)"
+# The same corpus on the modern backend: every generated kernel gets a
+# compiler-emitted control-bit sidecar and runs under the sub-core
+# pipeline, lockstep-checked against the (core-model-agnostic) oracle.
+cargo run --release -q --offline -p bow-cli -- \
+    fuzz --smoke --core-model modern --out target/fuzz-repros
+
 echo "==> bench_throughput (test tier)"
 # Full-chip 56-SM throughput probe at sim_threads {1,2,4}: asserts the
 # stats fingerprints agree across thread counts and records wall-clock,
 # cycles/sec and speedup in results/bench_throughput.json (artifact).
 BOW_SCALE=test cargo run --release -q --offline -p bow-bench --bin bench_throughput -- vectoradd
+
+echo "==> bench_throughput regression gate (paper tier vs checked-in baseline)"
+# Hot-path guard: re-run the full paper-tier bench into a scratch dir
+# (BOW_RESULTS_DIR keeps the committed baseline untouched) and fail if
+# the geomean cycles/sec dropped >10% vs results/bench_throughput.json —
+# e.g. an abstraction seam leaking virtual dispatch into the cycle loop.
+# Per-row fingerprints must also match the baseline exactly.
+mkdir -p target/bench-gate
+BOW_RESULTS_DIR=target/bench-gate \
+    cargo run --release -q --offline -p bow-bench --bin bench_throughput
+python3 scripts/bench_gate.py \
+    results/bench_throughput.json target/bench-gate/bench_throughput.json
 
 echo "==> bow lint --all-workloads --deny-warnings"
 # Static-analysis gate: every annotated workload kernel must be free of
@@ -52,6 +81,15 @@ echo "==> bow lint --all-workloads --deny-warnings"
 mkdir -p target/lint-reports
 cargo run --release -q --offline -p bow-cli -- \
     lint --all-workloads --deny-warnings --json target/lint-reports/workloads.json
+
+echo "==> bow lint --all-workloads --core-model modern"
+# The lint half of the core-model matrix: every workload kernel gets a
+# compiler-emitted control-bit sidecar first, so the sidecar lints
+# (B013/B014) judge real emitter output. Report kept as an artifact
+# alongside the Pascal one.
+cargo run --release -q --offline -p bow-cli -- \
+    lint --all-workloads --deny-warnings --core-model modern \
+    --json target/lint-reports/workloads_modern.json
 
 echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
 # Audits the verifier itself: flips sound hints to BocOnly across a

@@ -19,20 +19,36 @@ use bow::prelude::*;
 use bow::sim::OracleCheck;
 use bow::suite::Suite;
 
-/// The four collector designs the golden suite pins.
-fn configs(threads: u32) -> Vec<Config> {
+/// The four collector designs the golden suite pins, on a chosen core.
+fn configs_on(threads: u32, core: CoreModelKind) -> Vec<Config> {
     vec![
-        ConfigBuilder::baseline().sim_threads(threads).build(),
-        ConfigBuilder::bow(3).sim_threads(threads).build(),
-        ConfigBuilder::bow_wr(3).sim_threads(threads).build(),
-        ConfigBuilder::rfc().sim_threads(threads).build(),
+        ConfigBuilder::baseline()
+            .sim_threads(threads)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::bow(3)
+            .sim_threads(threads)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::bow_wr(3)
+            .sim_threads(threads)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::rfc()
+            .sim_threads(threads)
+            .core_model(core)
+            .build(),
     ]
 }
 
 /// One fingerprint line per (benchmark × config) cell, in sweep order.
 fn fingerprint_table(threads: u32) -> Vec<String> {
+    fingerprint_table_on(threads, CoreModelKind::Pascal)
+}
+
+fn fingerprint_table_on(threads: u32, core: CoreModelKind) -> Vec<String> {
     let sweep = Suite::new(Scale::Test)
-        .configs(configs(threads))
+        .configs(configs_on(threads, core))
         .progress(false)
         .run();
     sweep.assert_checked();
@@ -64,6 +80,23 @@ fn suite_fingerprints_invariant_under_thread_count() {
         let threaded = fingerprint_table(threads);
         for (s, t) in serial.iter().zip(&threaded) {
             assert_eq!(s, t, "cell diverged at sim_threads={threads}");
+        }
+        assert_eq!(serial.len(), threaded.len());
+    }
+}
+
+/// The same contract on the modern core: sub-core state, the control-bit
+/// interlock and the uniform register file all live inside one SM's
+/// pipeline, so the windowed engine's shard-commit protocol must keep
+/// `sim_threads` a pure execution knob there too.
+#[test]
+fn modern_suite_fingerprints_invariant_under_thread_count() {
+    let serial = fingerprint_table_on(1, CoreModelKind::Modern);
+    assert_eq!(serial.len(), 15 * 4, "suite shape changed");
+    for threads in [2u32, 8] {
+        let threaded = fingerprint_table_on(threads, CoreModelKind::Modern);
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s, t, "modern cell diverged at sim_threads={threads}");
         }
         assert_eq!(serial.len(), threaded.len());
     }
