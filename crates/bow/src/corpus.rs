@@ -1,0 +1,931 @@
+//! The stratified thousand-kernel corpus.
+//!
+//! Every headline number in the reproduction used to rest on 15
+//! hand-written workloads. This module scales the workload axis: it
+//! drives the steerable fuzz generator ([`bow_isa::fuzz::GenParams`])
+//! across stratified buckets of the paper's own analysis axes — register
+//! pressure, operand reuse distance, branch divergence, memory-op
+//! density — characterizes every candidate statically
+//! ([`bow_compiler::characterize`]), rejects anything the `B001..B014`
+//! lint suite is not clean on, and persists a deterministic manifest so
+//! the whole population is reproducible from seeds alone (no kernel
+//! binaries are ever checked in).
+//!
+//! The corpus then feeds the standard sweep machinery: [`sweep`] runs
+//! collectors × kernels through the same [`Suite`] pool the Table III
+//! benchmarks use, with every retained kernel checked against the
+//! independent host evaluator, and [`distribution_json`] reduces the
+//! records to per-stratum bypass-opportunity and IPC-gain distributions
+//! (median/p10/p90) — the population view of Figs. 3 and 10.
+//!
+//! Determinism contract: [`generate`] is a pure function of
+//! `(seed, count)`. The manifest JSON is byte-identical across runs and
+//! machines — every field is an integer, string or bool, and per-kernel
+//! seeds are derived by position, never by wall clock or thread timing.
+
+use crate::experiment::{Config, ConfigBuilder, GpuModel};
+use crate::suite::{Suite, SweepResult};
+use bow_compiler::{
+    characterize, emit_ctrl, lint_kernel, CtrlLatencies, KernelTraits, LintOptions,
+};
+use bow_isa::fuzz::{FuzzKernel, GenParams, INPUT_BASE, PARAMS};
+use bow_isa::{encode_kernel, Kernel};
+use bow_sim::{CoreModelKind, Gpu, OracleCheck};
+use bow_util::hash::sha256_hex;
+use bow_util::json::{DecodeError, Json};
+use bow_util::XorShift;
+use bow_workloads::{Benchmark, RunOutcome};
+
+pub mod adversarial;
+
+/// Manifest schema version; bumped on any layout change.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Default master seed of the corpus (`bow-cli corpus gen --seed`).
+pub const DEFAULT_SEED: u64 = 0x0c09_95ee_d000_0001;
+
+/// Default corpus size (`bow-cli corpus gen --count`).
+pub const DEFAULT_COUNT: usize = 1000;
+
+/// Per-kernel seed mixer (same spirit as the fuzzer's golden ratio).
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Hint window every corpus kernel is annotated and linted at.
+const WINDOW: u32 = 3;
+
+/// One generation stratum: a named point in the generator's parameter
+/// space plus the statement budget drawn at.
+#[derive(Clone, Copy, Debug)]
+pub struct StratumDef {
+    /// Stable stratum name (a manifest key).
+    pub name: &'static str,
+    /// What the stratum stresses.
+    pub description: &'static str,
+    /// Generator knobs.
+    pub params: GenParams,
+    /// Statement budget per kernel.
+    pub budget: usize,
+}
+
+/// The generated strata, one or two per paper axis plus a mixed control.
+/// The adversarial stratum (hand-written SIMT hazards) is separate — see
+/// [`adversarial`].
+pub fn strata() -> Vec<StratumDef> {
+    let d = GenParams::default();
+    vec![
+        StratumDef {
+            name: "mixed",
+            description: "the classic fuzzer distribution (control group)",
+            params: d,
+            budget: 24,
+        },
+        StratumDef {
+            name: "regs-low",
+            description: "register pressure low: two data registers in play",
+            params: GenParams {
+                active_regs: 2,
+                ..d
+            },
+            budget: 24,
+        },
+        StratumDef {
+            name: "regs-high",
+            description: "register pressure high: full pool, larger bodies",
+            params: GenParams {
+                active_regs: 8,
+                ..d
+            },
+            budget: 36,
+        },
+        StratumDef {
+            name: "reuse-near",
+            description: "short operand reuse distance (bypass-friendly)",
+            params: GenParams {
+                reuse_window: 2,
+                ..d
+            },
+            budget: 24,
+        },
+        StratumDef {
+            name: "reuse-far",
+            description: "long operand reuse distance: uniform over 8 regs, ALU-dominated",
+            params: GenParams {
+                active_regs: 8,
+                w_alu: 70,
+                w_branch: 4,
+                w_loop: 3,
+                ..d
+            },
+            budget: 32,
+        },
+        StratumDef {
+            name: "divergent",
+            description: "branch-heavy: deep diamonds dominate",
+            params: GenParams {
+                w_branch: 25,
+                w_alu: 34,
+                ..d
+            },
+            budget: 28,
+        },
+        StratumDef {
+            name: "straightline",
+            description: "no control flow: pure in-order issue",
+            params: GenParams {
+                w_branch: 0,
+                w_loop: 0,
+                ..d
+            },
+            budget: 24,
+        },
+        StratumDef {
+            name: "mem-heavy",
+            description: "memory-dense: loads/stores/constants at triple weight",
+            params: GenParams {
+                w_load: 18,
+                w_store: 18,
+                w_ldconst: 10,
+                w_alu: 24,
+                ..d
+            },
+            budget: 24,
+        },
+        StratumDef {
+            name: "compute",
+            description: "no memory traffic beyond the fixed prologue/epilogue",
+            params: GenParams {
+                w_load: 0,
+                w_store: 0,
+                w_ldconst: 0,
+                w_exchange: 0,
+                w_barrier: 0,
+                ..d
+            },
+            budget: 24,
+        },
+    ]
+}
+
+/// One manifest row: everything needed to re-materialize and reason
+/// about a corpus kernel without storing its binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Position in the manifest (stable within a `(seed, count)` corpus).
+    pub id: u64,
+    /// Stratum name (a generated stratum or `"adversarial"`).
+    pub stratum: String,
+    /// Kernel name (deterministic; also the benchmark label in sweeps).
+    pub name: String,
+    /// Per-kernel generator seed (0 for hand-written kernels).
+    pub seed: u64,
+    /// Statement budget the kernel was generated at (0 if hand-written).
+    pub budget: u64,
+    /// Static characterization vector.
+    pub traits: KernelTraits,
+    /// SHA-256 over the kernel's binary encoding — the content identity.
+    pub fingerprint: String,
+    /// Whether the kernel is lint-clean (no errors, no warnings) and
+    /// therefore part of the sweepable population.
+    pub retained: bool,
+    /// Primary diagnostic code when not retained (e.g. `"B002"`).
+    pub reject: Option<String>,
+}
+
+/// A generated corpus: the deterministic record of `(seed, count)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Master seed.
+    pub seed: u64,
+    /// Requested kernel count (generated strata only).
+    pub count: u64,
+    /// All entries: retained generated kernels first (grouped by
+    /// stratum, in draw order), then the adversarial stratum.
+    pub entries: Vec<ManifestEntry>,
+    /// Candidates rejected per stratum during generation.
+    pub rejected: Vec<(String, u64)>,
+}
+
+fn traits_json(t: &KernelTraits) -> Json {
+    Json::obj([
+        ("insts", Json::from(u64::from(t.insts))),
+        ("live_peak", Json::from(u64::from(t.live_peak))),
+        ("regs_written", Json::from(u64::from(t.regs_written))),
+        ("reuse_x100", Json::from(t.reuse_x100)),
+        ("branch_depth", Json::from(u64::from(t.branch_depth))),
+        ("mem_per_ki", Json::from(u64::from(t.mem_per_ki))),
+        ("loads", Json::from(u64::from(t.loads))),
+        ("stores", Json::from(u64::from(t.stores))),
+        ("barriers", Json::from(u64::from(t.barriers))),
+    ])
+}
+
+fn traits_from_json(v: &Json) -> Result<KernelTraits, DecodeError> {
+    Ok(KernelTraits {
+        insts: v.req_u64("insts")? as u32,
+        live_peak: v.req_u64("live_peak")? as u32,
+        regs_written: v.req_u64("regs_written")? as u32,
+        reuse_x100: v.req_u64("reuse_x100")?,
+        branch_depth: v.req_u64("branch_depth")? as u32,
+        mem_per_ki: v.req_u64("mem_per_ki")? as u32,
+        loads: v.req_u64("loads")? as u32,
+        stores: v.req_u64("stores")? as u32,
+        barriers: v.req_u64("barriers")? as u32,
+    })
+}
+
+impl ManifestEntry {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::from(self.id)),
+            ("stratum".to_string(), Json::from(self.stratum.as_str())),
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("seed".to_string(), Json::from(format!("{:#x}", self.seed))),
+            ("budget".to_string(), Json::from(self.budget)),
+            ("traits".to_string(), traits_json(&self.traits)),
+            (
+                "fingerprint".to_string(),
+                Json::from(self.fingerprint.as_str()),
+            ),
+            ("retained".to_string(), Json::from(self.retained)),
+        ];
+        if let Some(code) = &self.reject {
+            fields.push(("reject".to_string(), Json::from(code.as_str())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<ManifestEntry, DecodeError> {
+        Ok(ManifestEntry {
+            id: v.req_u64("id")?,
+            stratum: v.req_str("stratum")?.to_string(),
+            name: v.req_str("name")?.to_string(),
+            seed: parse_hex_u64(v.req_str("seed")?)?,
+            budget: v.req_u64("budget")?,
+            traits: traits_from_json(v.req("traits")?)?,
+            fingerprint: v.req_str("fingerprint")?.to_string(),
+            retained: v.req_bool("retained")?,
+            reject: match v.get("reject") {
+                Some(j) => Some(
+                    j.as_str()
+                        .ok_or_else(|| DecodeError::new("`reject` must be a string"))?
+                        .to_string(),
+                ),
+                None => None,
+            },
+        })
+    }
+}
+
+fn parse_hex_u64(s: &str) -> Result<u64, DecodeError> {
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| DecodeError::new(format!("seed `{s}` is not 0x-hex")))?;
+    u64::from_str_radix(digits, 16)
+        .map_err(|e| DecodeError::new(format!("seed `{s}` is not 0x-hex: {e}")))
+}
+
+impl Manifest {
+    /// Serializes the manifest. Byte-deterministic: integers, strings
+    /// and bools only, in fixed key order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(MANIFEST_VERSION)),
+            ("seed", Json::from(format!("{:#x}", self.seed))),
+            ("count", Json::from(self.count)),
+            (
+                "rejected",
+                Json::Obj(
+                    self.rejected
+                        .iter()
+                        .map(|(s, n)| (s.clone(), Json::from(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "kernels",
+                Json::arr(self.entries.iter().map(ManifestEntry::to_json)),
+            ),
+        ])
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on any missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Manifest, DecodeError> {
+        let version = v.req_u64("schema_version")?;
+        if version != MANIFEST_VERSION {
+            return Err(DecodeError::new(format!(
+                "manifest schema {version}, expected {MANIFEST_VERSION}"
+            )));
+        }
+        let rejected = v
+            .req("rejected")?
+            .as_obj()
+            .ok_or_else(|| DecodeError::new("`rejected` must be an object"))?
+            .iter()
+            .map(|(k, n)| {
+                n.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| DecodeError::new("`rejected` counts must be integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Manifest {
+            seed: parse_hex_u64(v.req_str("seed")?)?,
+            count: v.req_u64("count")?,
+            entries: v
+                .req_arr("kernels")?
+                .iter()
+                .map(ManifestEntry::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            rejected,
+        })
+    }
+
+    /// The retained (sweepable) entries.
+    pub fn retained(&self) -> impl Iterator<Item = &ManifestEntry> {
+        self.entries.iter().filter(|e| e.retained)
+    }
+
+    /// Stratum names present, in first-appearance order.
+    pub fn strata(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            if !out.contains(&e.stratum.as_str()) {
+                out.push(&e.stratum);
+            }
+        }
+        out
+    }
+}
+
+/// The per-kernel generator seed: position-derived, so the corpus is
+/// independent of generation order and thread count.
+fn kernel_seed(master: u64, stratum_index: usize, attempt: u64) -> u64 {
+    master ^ ((stratum_index as u64 + 1) * 1_000_003 + attempt).wrapping_mul(SEED_MIX)
+}
+
+/// Content fingerprint: SHA-256 over the kernel's binary encoding.
+/// Machine-independent — the encoding is a defined little-endian word
+/// stream, independent of host layout.
+pub fn fingerprint(kernel: &Kernel) -> String {
+    let words = encode_kernel(kernel);
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in &words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    sha256_hex(&bytes)
+}
+
+/// Runs the full static gate a corpus candidate must pass: annotate at
+/// the default window, emit control bits (so the `B013`/`B014` sidecar
+/// lints judge real output), then the whole `B001..B014` suite with the
+/// hint verifier on. Returns the primary diagnostic code if the kernel
+/// has any error or warning.
+pub fn lint_gate(kernel: &Kernel) -> Option<&'static str> {
+    let (annotated, _) = bow_compiler::annotate(kernel, WINDOW);
+    let ctrl = emit_ctrl(&annotated, &CtrlLatencies::default());
+    let report = lint_kernel(
+        &ctrl,
+        &LintOptions {
+            window: WINDOW,
+            check_hints: true,
+            latencies: CtrlLatencies::default(),
+        },
+    );
+    primary_code(&report)
+}
+
+/// Lints a kernel exactly as authored — no re-annotation, no ctrl
+/// emission — with the hint verifier on. The gate for the adversarial
+/// stratum, whose kernels carry hand-planted hints that
+/// [`bow_compiler::annotate`] would silently repair.
+pub fn lint_as_authored(kernel: &Kernel) -> Option<&'static str> {
+    let report = lint_kernel(
+        kernel,
+        &LintOptions {
+            window: WINDOW,
+            check_hints: true,
+            latencies: CtrlLatencies::default(),
+        },
+    );
+    primary_code(&report)
+}
+
+fn primary_code(report: &bow_compiler::LintReport) -> Option<&'static str> {
+    report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity != bow_compiler::Severity::Info)
+        .map(|d| d.code)
+}
+
+/// Generates the corpus for `(seed, count)`: `count` kernels spread
+/// evenly over the generated strata (lint-dirty candidates are redrawn
+/// and counted in [`Manifest::rejected`]), plus the fixed adversarial
+/// stratum. Pure and deterministic.
+pub fn generate(seed: u64, count: usize) -> Manifest {
+    let defs = strata();
+    let per = count / defs.len();
+    let extra = count % defs.len();
+    let mut entries = Vec::with_capacity(count + adversarial::all().len());
+    let mut rejected = Vec::new();
+    let mut id = 0u64;
+    for (si, def) in defs.iter().enumerate() {
+        let target = per + usize::from(si < extra);
+        let mut kept = 0usize;
+        let mut attempt = 0u64;
+        let mut dirty = 0u64;
+        // 8× oversampling bound: generation must terminate even if a
+        // stratum turns hostile to the lint suite.
+        while kept < target && attempt < (target as u64) * 8 {
+            let kseed = kernel_seed(seed, si, attempt);
+            attempt += 1;
+            let mut rng = XorShift::new(kseed);
+            let fk = FuzzKernel::generate_with(&mut rng, def.budget, &def.params).scrub();
+            let name = format!("corpus_{}_{:016x}", def.name, kseed);
+            let kernel = fk.build_pruned(&name);
+            if let Some(code) = lint_gate(&kernel) {
+                let _ = code;
+                dirty += 1;
+                continue;
+            }
+            entries.push(ManifestEntry {
+                id,
+                stratum: def.name.to_string(),
+                name,
+                seed: kseed,
+                budget: def.budget as u64,
+                traits: characterize(&kernel),
+                fingerprint: fingerprint(&kernel),
+                retained: true,
+                reject: None,
+            });
+            id += 1;
+            kept += 1;
+        }
+        rejected.push((def.name.to_string(), dirty));
+    }
+    let mut adv_dirty = 0u64;
+    for adv in adversarial::all() {
+        let kernel = (adv.build)();
+        let code = lint_as_authored(&kernel);
+        if code.is_some() {
+            adv_dirty += 1;
+        }
+        entries.push(ManifestEntry {
+            id,
+            stratum: adversarial::STRATUM.to_string(),
+            name: adv.name.to_string(),
+            seed: 0,
+            budget: 0,
+            traits: characterize(&kernel),
+            fingerprint: fingerprint(&kernel),
+            retained: code.is_none(),
+            reject: code.map(str::to_string),
+        });
+        id += 1;
+    }
+    rejected.push((adversarial::STRATUM.to_string(), adv_dirty));
+    Manifest {
+        seed,
+        count: count as u64,
+        entries,
+        rejected,
+    }
+}
+
+/// Re-materializes the kernel of a manifest entry. Generated kernels are
+/// regrown from their seed; adversarial kernels come from their fixed
+/// builders.
+///
+/// Returns `None` for an unknown stratum or adversarial name (a manifest
+/// from a different corpus version).
+pub fn kernel_for(entry: &ManifestEntry) -> Option<Kernel> {
+    if entry.stratum == adversarial::STRATUM {
+        return adversarial::all()
+            .into_iter()
+            .find(|a| a.name == entry.name)
+            .map(|a| (a.build)());
+    }
+    let def = strata().into_iter().find(|d| d.name == entry.stratum)?;
+    let mut rng = XorShift::new(entry.seed);
+    let fk = FuzzKernel::generate_with(&mut rng, entry.budget as usize, &def.params).scrub();
+    Some(fk.build_pruned(&entry.name))
+}
+
+/// Re-materializes the structured program of a generated entry (needed
+/// for the host-evaluator check). `None` for adversarial entries.
+fn program_for(entry: &ManifestEntry) -> Option<FuzzKernel> {
+    if entry.stratum == adversarial::STRATUM {
+        return None;
+    }
+    let def = strata().into_iter().find(|d| d.name == entry.stratum)?;
+    let mut rng = XorShift::new(entry.seed);
+    Some(FuzzKernel::generate_with(&mut rng, entry.budget as usize, &def.params).scrub())
+}
+
+/// The per-kernel launch input, derived from the entry seed.
+fn input_for(entry: &ManifestEntry) -> Vec<u32> {
+    let mut rng = XorShift::new(entry.seed ^ SEED_MIX);
+    FuzzKernel::gen_input(&mut rng)
+}
+
+/// A corpus kernel as a [`Benchmark`], so the standard suite pool,
+/// prepared-kernel cache and progress machinery drive the sweep.
+///
+/// `name()` returns `&'static str` by contract, so the deterministic
+/// kernel name is leaked once per materialization — bounded by corpus
+/// size and only in sweep-running processes.
+struct CorpusBench {
+    name: &'static str,
+    program: FuzzKernel,
+    input: Vec<u32>,
+}
+
+impl Benchmark for CorpusBench {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn suite(&self) -> &'static str {
+        "corpus"
+    }
+
+    fn description(&self) -> &'static str {
+        "stratified corpus kernel"
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.program.build_pruned(self.name)
+    }
+
+    fn run_with(&self, gpu: &mut Gpu, kernel: &Kernel) -> RunOutcome {
+        gpu.global_mut()
+            .write_slice_u32(u64::from(INPUT_BASE), &self.input);
+        let result = gpu.launch(kernel, FuzzKernel::dims(), &PARAMS);
+        let mut checked = Ok(());
+        for (addr, want) in self.program.expected(&self.input) {
+            let got = gpu.global().read_u32(addr);
+            if got != want {
+                checked = Err(format!(
+                    "corpus host model mismatch at {addr:#x}: got {got:#010x}, want {want:#010x}"
+                ));
+                break;
+            }
+        }
+        RunOutcome { result, checked }
+    }
+}
+
+/// Selects the sweepable slice of a manifest: retained, generated
+/// kernels only (adversarial hazards are a lint population, not a
+/// performance population), truncated to `limit` when non-zero. Entries
+/// are taken round-robin across strata so a small limit still covers
+/// every stratum.
+pub fn select(manifest: &Manifest, limit: usize) -> Vec<&ManifestEntry> {
+    let strata_names = manifest.strata();
+    let mut by_stratum: Vec<Vec<&ManifestEntry>> = vec![Vec::new(); strata_names.len()];
+    for e in manifest.retained() {
+        if e.stratum == adversarial::STRATUM {
+            continue;
+        }
+        if let Some(si) = strata_names.iter().position(|s| *s == e.stratum) {
+            by_stratum[si].push(e);
+        }
+    }
+    let total: usize = by_stratum.iter().map(Vec::len).sum();
+    let take = if limit == 0 { total } else { limit.min(total) };
+    let mut picked: Vec<&ManifestEntry> = Vec::with_capacity(take);
+    let mut round = 0usize;
+    while picked.len() < take {
+        let mut progressed = false;
+        for lane in &by_stratum {
+            if picked.len() >= take {
+                break;
+            }
+            if let Some(e) = lane.get(round) {
+                picked.push(e);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+        round += 1;
+    }
+    picked
+}
+
+/// Materializes [`select`]'s slice as [`Benchmark`]s for the suite pool.
+pub fn benches(manifest: &Manifest, limit: usize) -> Vec<Box<dyn Benchmark>> {
+    select(manifest, limit)
+        .into_iter()
+        .filter_map(|e| {
+            let program = program_for(e)?;
+            Some(Box::new(CorpusBench {
+                name: Box::leak(e.name.clone().into_boxed_str()),
+                input: input_for(e),
+                program,
+            }) as Box<dyn Benchmark>)
+        })
+        .collect()
+}
+
+/// The corpus collector columns: the paper's four models at the default
+/// window, on one core model.
+pub fn corpus_configs(core: CoreModelKind) -> Vec<Config> {
+    let model = GpuModel::Scaled;
+    let mut configs = vec![
+        ConfigBuilder::baseline()
+            .model(model)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::bow(WINDOW)
+            .model(model)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::bow_wr(WINDOW)
+            .verify(true)
+            .model(model)
+            .core_model(core)
+            .build(),
+        ConfigBuilder::rfc().model(model).core_model(core).build(),
+    ];
+    // Every corpus launch additionally runs under the lockstep oracle:
+    // the timing-free interpreter checks each pipeline writeback, so a
+    // sweep failure names the first diverging instruction, not just a
+    // wrong final word. Pure checker — stats and IPC are unaffected.
+    for c in &mut configs {
+        c.gpu.oracle_check = OracleCheck::Lockstep;
+    }
+    configs
+}
+
+/// Options of a corpus sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Max kernels to sweep (0 = every retained kernel).
+    pub limit: usize,
+    /// Sweep-pool worker count (0 = all cores).
+    pub jobs: usize,
+    /// Intra-run engine threads (None = sweep-level parallelism only).
+    pub sim_threads: Option<u32>,
+    /// Core model to sweep on.
+    pub core_model: CoreModelKind,
+    /// Progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            limit: 0,
+            jobs: 0,
+            sim_threads: None,
+            core_model: CoreModelKind::Pascal,
+            progress: false,
+        }
+    }
+}
+
+/// Sweeps the corpus through the standard suite pool: 4 collectors ×
+/// the retained kernels, every run checked against the independent host
+/// evaluator. Panics (via [`SweepResult::assert_checked`] downstream)
+/// are left to the caller; this returns raw records.
+pub fn sweep(manifest: &Manifest, opts: &SweepOptions) -> SweepResult {
+    let mut suite = Suite::over(benches(manifest, opts.limit))
+        .configs(corpus_configs(opts.core_model))
+        .jobs(opts.jobs)
+        .progress(opts.progress);
+    if let Some(t) = opts.sim_threads {
+        suite = suite.sim_threads(t);
+    }
+    suite.run()
+}
+
+/// A median/p10/p90 summary of one metric over a kernel population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dist {
+    /// Population size.
+    pub n: usize,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+}
+
+impl Dist {
+    /// Nearest-rank percentiles of `xs` (need not be sorted).
+    pub fn of(mut xs: Vec<f64>) -> Dist {
+        if xs.is_empty() {
+            return Dist {
+                n: 0,
+                p10: 0.0,
+                median: 0.0,
+                p90: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite metric"));
+        let pick = |q: f64| xs[((xs.len() - 1) as f64 * q).round() as usize];
+        Dist {
+            n: xs.len(),
+            p10: pick(0.10),
+            median: pick(0.50),
+            p90: pick(0.90),
+        }
+    }
+
+    /// The distribution as a JSON object.
+    pub fn to_json(self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n as u64)),
+            ("p10", Json::from(self.p10)),
+            ("median", Json::from(self.median)),
+            ("p90", Json::from(self.p90)),
+        ])
+    }
+}
+
+/// Reduces a corpus sweep to per-stratum distributions: for every
+/// non-baseline collector, the IPC gain over baseline and the measured
+/// read-bypass rate (the population analogue of Figs. 10 and 3).
+pub fn distribution_json(manifest: &Manifest, sweep: &SweepResult, core: &str) -> Json {
+    let baseline = &sweep.row(0).records;
+    let stratum_of = |bench: &str| -> String {
+        manifest
+            .entries
+            .iter()
+            .find(|e| e.name == bench)
+            .map(|e| e.stratum.clone())
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    let mut strata_names: Vec<String> = Vec::new();
+    for rec in baseline {
+        let s = stratum_of(&rec.benchmark);
+        if !strata_names.contains(&s) {
+            strata_names.push(s);
+        }
+    }
+
+    let mut stratum_rows = Vec::new();
+    let mut scopes: Vec<(String, Option<String>)> = vec![("all".to_string(), None)];
+    scopes.extend(strata_names.iter().map(|s| (s.clone(), Some(s.clone()))));
+    for (scope_name, filter) in scopes {
+        let mut collectors = Vec::new();
+        for row in &sweep.rows[1..] {
+            let mut gains = Vec::new();
+            let mut bypass = Vec::new();
+            for (base, rec) in baseline.iter().zip(&row.records) {
+                if let Some(s) = &filter {
+                    if stratum_of(&rec.benchmark) != *s {
+                        continue;
+                    }
+                }
+                if base.ipc() > 0.0 {
+                    gains.push(rec.ipc() / base.ipc());
+                }
+                bypass.push(rec.outcome.result.stats.read_bypass_rate());
+            }
+            collectors.push(Json::obj([
+                ("label", Json::from(row.label.as_str())),
+                ("ipc_gain", Dist::of(gains).to_json()),
+                ("read_bypass_rate", Dist::of(bypass).to_json()),
+            ]));
+        }
+        stratum_rows.push(Json::obj([
+            ("stratum", Json::from(scope_name.as_str())),
+            ("collectors", Json::Arr(collectors)),
+        ]));
+    }
+    Json::obj([
+        ("schema_version", Json::from(MANIFEST_VERSION)),
+        ("core_model", Json::from(core)),
+        ("kernels", Json::from(baseline.len() as u64)),
+        ("strata", Json::Arr(stratum_rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_stratified() {
+        let a = generate(DEFAULT_SEED, 18);
+        let b = generate(DEFAULT_SEED, 18);
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty(),
+            "manifest is byte-identical across runs"
+        );
+        for def in strata() {
+            assert!(
+                a.entries
+                    .iter()
+                    .any(|e| e.stratum == def.name && e.retained),
+                "stratum {} has at least one retained kernel",
+                def.name
+            );
+        }
+        assert!(a.entries.iter().any(|e| e.stratum == adversarial::STRATUM));
+    }
+
+    #[test]
+    fn retained_kernels_are_lint_clean_and_rematerializable() {
+        let m = generate(DEFAULT_SEED ^ 7, 9);
+        for e in m.retained() {
+            let k = kernel_for(e).expect("entry re-materializes");
+            assert_eq!(
+                fingerprint(&k),
+                e.fingerprint,
+                "{}: stable identity",
+                e.name
+            );
+            assert_eq!(lint_gate(&k), None, "{}: retained ⇒ lint-clean", e.name);
+            assert_eq!(characterize(&k), e.traits, "{}: traits reproduce", e.name);
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = generate(3, 9);
+        let parsed = Manifest::from_json(&m.to_json()).expect("parses");
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn strata_steer_the_characterization_axes() {
+        let m = generate(DEFAULT_SEED, 90);
+        let mean = |stratum: &str, f: &dyn Fn(&KernelTraits) -> f64| -> f64 {
+            let xs: Vec<f64> = m
+                .retained()
+                .filter(|e| e.stratum == stratum)
+                .map(|e| f(&e.traits))
+                .collect();
+            assert!(!xs.is_empty(), "stratum {stratum} populated");
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let regs = &|t: &KernelTraits| f64::from(t.regs_written);
+        let reuse = &|t: &KernelTraits| t.reuse_x100 as f64;
+        let branch = &|t: &KernelTraits| f64::from(t.branch_depth);
+        let mem = &|t: &KernelTraits| f64::from(t.mem_per_ki);
+        assert!(mean("regs-high", regs) > mean("regs-low", regs));
+        assert!(mean("reuse-near", reuse) < mean("reuse-far", reuse));
+        assert!(mean("divergent", branch) > mean("straightline", branch));
+        assert_eq!(mean("straightline", branch), 0.0);
+        assert!(mean("mem-heavy", mem) > mean("compute", mem));
+    }
+
+    #[test]
+    fn round_robin_limit_covers_every_stratum() {
+        let m = generate(DEFAULT_SEED, 27);
+        let picked = benches(&m, 9);
+        assert_eq!(picked.len(), 9);
+        let mut seen: Vec<String> = picked
+            .iter()
+            .map(|b| {
+                let name = b.name();
+                let s = name.strip_prefix("corpus_").unwrap();
+                s[..s.rfind('_').unwrap()].to_string()
+            })
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 9, "limit 9 touches all 9 generated strata");
+    }
+
+    #[test]
+    fn mini_sweep_is_checked_and_thread_count_invariant() {
+        let m = generate(DEFAULT_SEED, 4);
+        let base = SweepOptions {
+            limit: 4,
+            jobs: 1,
+            ..SweepOptions::default()
+        };
+        let a = sweep(&m, &base);
+        a.assert_checked();
+        let b = sweep(
+            &m,
+            &SweepOptions {
+                sim_threads: Some(8),
+                jobs: 2,
+                ..base
+            },
+        );
+        b.assert_checked();
+        for (ra, rb) in a.all_records().zip(b.all_records()) {
+            assert_eq!(ra.benchmark, rb.benchmark);
+            assert_eq!(
+                ra.outcome.result.cycles, rb.outcome.result.cycles,
+                "{} {}: byte-identical at sim_threads 1 vs 8",
+                ra.label, ra.benchmark
+            );
+        }
+        let dist = distribution_json(&m, &a, "pascal");
+        assert_eq!(dist.req_u64("kernels").unwrap(), 4);
+    }
+}

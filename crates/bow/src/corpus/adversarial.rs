@@ -1,0 +1,317 @@
+//! Hand-written SIMT-hazard kernels: the adversarial corpus stratum.
+//!
+//! Each kernel here is the GPU analogue of a *verifier gap*: a program a
+//! CPU-style checker — linear scan, every read textually preceded by a
+//! write, no model of divergence, barrier phases or write-back hints —
+//! would wave through, but that the SIMT-aware `B001..B014` suite must
+//! flag. The stratum exists to pin the lint suite's classification as a
+//! regression surface: if a future refactor stops catching one of these,
+//! the corpus tier fails before any distribution number shifts.
+//!
+//! Unlike generated strata, these kernels are linted **as authored**
+//! ([`super::lint_as_authored`]): the hint pass is not re-run over them,
+//! because one of them ships a deliberately unsound `.wb.boc` hint that
+//! re-annotation would silently repair.
+//!
+//! They are a lint population, not a performance population — the sweep
+//! machinery never launches them (two would deadlock the barrier model
+//! by construction).
+
+use bow_isa::{CmpOp, Kernel, KernelBuilder, Operand, Pred, Reg, Special, WritebackHint};
+
+/// The manifest stratum name.
+pub const STRATUM: &str = "adversarial";
+
+/// Result base the kernels store to (same region the fuzz corpus uses).
+const OUT: u32 = 0x10_0000;
+
+/// One adversarial case: a builder plus the classification the verifier
+/// must produce.
+#[derive(Clone, Copy)]
+pub struct Adversarial {
+    /// Kernel / manifest entry name.
+    pub name: &'static str,
+    /// The hazard, and why a CPU-style check misses it.
+    pub description: &'static str,
+    /// Primary non-info diagnostic the suite must raise; `None` means
+    /// the hazard is advisory-only and the kernel stays retained.
+    pub expect: Option<&'static str>,
+    /// Advisory code that must still appear when `expect` is `None`.
+    pub expect_info: Option<&'static str>,
+    /// Builds the kernel.
+    pub build: fn() -> Kernel,
+}
+
+fn r(i: u8) -> Reg {
+    Reg::r(i)
+}
+
+fn p(i: u8) -> Pred {
+    Pred::p(i)
+}
+
+/// `B001`: `r2` is written only on the taken arm of a diamond but read
+/// after the join. A linear scan sees the write textually before the
+/// read and accepts; must-init over the CFG does not.
+fn b001_uninit_read() -> Kernel {
+    KernelBuilder::new("adv_b001_uninit_read")
+        .s2r(r(0), Special::TidX)
+        .and(r(1), r(0).into(), Operand::Imm(1))
+        .isetp(CmpOp::Ne, p(0), r(1).into(), Operand::Imm(0))
+        .ssy("join")
+        .bra_if(p(0), false, "then")
+        .bra("join")
+        .label("then")
+        .mov_imm(r(2), 7)
+        .label("join")
+        .sync()
+        .iadd(r(3), r(2).into(), r(0).into())
+        .mov_imm(r(4), OUT)
+        .stg(r(4), 0, r(3).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B002`: a block-wide barrier on one arm of an open SSY region. Only
+/// the odd threads arrive — a guaranteed deadlock a divergence-blind
+/// checker cannot see.
+fn b002_divergent_barrier() -> Kernel {
+    KernelBuilder::new("adv_b002_divergent_barrier")
+        .s2r(r(0), Special::TidX)
+        .and(r(1), r(0).into(), Operand::Imm(1))
+        .isetp(CmpOp::Ne, p(0), r(1).into(), Operand::Imm(0))
+        .ssy("join")
+        .bra_if(p(0), false, "then")
+        .bra("join")
+        .label("then")
+        .bar()
+        .label("join")
+        .sync()
+        .mov_imm(r(2), OUT)
+        .stg(r(2), 0, r(0).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B002`: the same deadlock without any branch — a predicated `bar`
+/// executes for half the warp only. Structurally a straight line, so
+/// every CFG-shape check passes.
+fn b002_predicated_barrier() -> Kernel {
+    KernelBuilder::new("adv_b002_predicated_barrier")
+        .s2r(r(0), Special::TidX)
+        .and(r(1), r(0).into(), Operand::Imm(1))
+        .isetp(CmpOp::Ne, p(0), r(1).into(), Operand::Imm(0))
+        .guard(p(0), false)
+        .bar()
+        .mov_imm(r(2), OUT)
+        .stg(r(2), 0, r(0).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B003`: thread `t` stores to its shared slot, then loads partner
+/// `t^1`'s slot with no barrier in between — the classic missing-fence
+/// exchange. Single-threaded replay (what a CPU checker models) returns
+/// the right answer every time.
+fn b003_shared_race() -> Kernel {
+    KernelBuilder::new("adv_b003_shared_race")
+        .shared_bytes(1024)
+        .s2r(r(0), Special::TidX)
+        .shl(r(1), r(0).into(), Operand::Imm(2))
+        .sts(r(1), 0, r(0).into())
+        .xor(r(2), r(0).into(), Operand::Imm(1))
+        .shl(r(2), r(2).into(), Operand::Imm(2))
+        .lds(r(3), r(2), 0)
+        .bar()
+        .mov_imm(r(4), OUT)
+        .iadd(r(4), r(4).into(), r(1).into())
+        .stg(r(4), 0, r(3).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B010`: a `.wb.boc` hint on a value read four slots later — beyond
+/// the window-3 residency guarantee, so the register-file copy the hint
+/// suppressed is the one the read needs. Hints are metadata a CPU-style
+/// checker does not even parse.
+fn b010_unsound_hint() -> Kernel {
+    KernelBuilder::new("adv_b010_unsound_hint")
+        .mov_imm(r(0), 5)
+        .hint(WritebackHint::BocOnly)
+        .nop()
+        .nop()
+        .nop()
+        .nop()
+        .mov_imm(r(1), OUT)
+        .stg(r(1), 0, r(0).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B011`: a `SYNC` with no enclosing `SSY` — popping an empty
+/// reconvergence stack. No data-flow fact is wrong, only the divergence
+/// structure, which is exactly what CPU-style checks do not track.
+fn b011_broken_sync() -> Kernel {
+    KernelBuilder::new("adv_b011_broken_sync")
+        .s2r(r(0), Special::TidX)
+        .sync()
+        .mov_imm(r(1), OUT)
+        .stg(r(1), 0, r(0).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// The full adversarial stratum, in manifest order.
+pub fn all() -> Vec<Adversarial> {
+    vec![
+        Adversarial {
+            name: "adv_b001_uninit_read",
+            description: "maybe-uninitialized read after a divergent join",
+            expect: Some("B001"),
+            expect_info: None,
+            build: b001_uninit_read,
+        },
+        Adversarial {
+            name: "adv_b002_divergent_barrier",
+            description: "block barrier on one arm of an open SSY region",
+            expect: Some("B002"),
+            expect_info: None,
+            build: b002_divergent_barrier,
+        },
+        Adversarial {
+            name: "adv_b002_predicated_barrier",
+            description: "predicated block barrier in straight-line code",
+            expect: Some("B002"),
+            expect_info: None,
+            build: b002_predicated_barrier,
+        },
+        Adversarial {
+            name: "adv_b003_shared_race",
+            description: "shared store → partner load with no separating barrier",
+            expect: None,
+            expect_info: Some("B003"),
+            build: b003_shared_race,
+        },
+        Adversarial {
+            name: "adv_b010_unsound_hint",
+            description: ".wb.boc hint on a value read beyond the window",
+            expect: Some("B010"),
+            expect_info: None,
+            build: b010_unsound_hint,
+        },
+        Adversarial {
+            name: "adv_b011_broken_sync",
+            description: "SYNC with no enclosing SSY",
+            expect: Some("B011"),
+            expect_info: None,
+            build: b011_broken_sync,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::lint_as_authored;
+    use bow_compiler::{lint_kernel, CtrlLatencies, LintOptions, Severity};
+
+    /// The CPU-style check the stratum is designed to slip past: linear
+    /// scan, a read is fine if *any* earlier instruction wrote the
+    /// register, no divergence / barrier-phase / hint model at all.
+    fn naive_linear_check(k: &Kernel) -> bool {
+        let mut written = [false; 256];
+        for inst in &k.insts {
+            for s in inst.unique_src_regs() {
+                if !written[s.index() as usize] {
+                    return false;
+                }
+            }
+            if let Some(d) = inst.dst_reg() {
+                written[d.index() as usize] = true;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn every_hazard_slips_past_the_naive_cpu_check() {
+        for adv in all() {
+            let k = (adv.build)();
+            assert!(
+                naive_linear_check(&k),
+                "{}: must look clean to a linear CPU-style scan",
+                adv.name
+            );
+        }
+    }
+
+    #[test]
+    fn the_simt_suite_classifies_every_hazard() {
+        for adv in all() {
+            let k = (adv.build)();
+            let primary = lint_as_authored(&k);
+            assert_eq!(
+                primary, adv.expect,
+                "{}: expected primary diagnostic {:?}, got {:?}",
+                adv.name, adv.expect, primary
+            );
+            if let Some(info) = adv.expect_info {
+                let report = lint_kernel(
+                    &k,
+                    &LintOptions {
+                        window: 3,
+                        check_hints: true,
+                        latencies: CtrlLatencies::default(),
+                    },
+                );
+                assert!(
+                    report
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == info && d.severity == Severity::Info),
+                    "{}: advisory {info} must still be reported",
+                    adv.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reannotation_would_hide_the_unsound_hint() {
+        // Negative path: the gate for generated kernels (annotate, then
+        // lint) must NOT be used for this stratum — re-running the hint
+        // pass repairs the planted B010 and the hazard vanishes.
+        let k = b010_unsound_hint();
+        assert_eq!(lint_as_authored(&k), Some("B010"));
+        assert_eq!(crate::corpus::lint_gate(&k), None);
+    }
+
+    #[test]
+    fn diagnostics_land_on_the_hazard_instruction() {
+        let k = b002_predicated_barrier();
+        let report = lint_kernel(
+            &k,
+            &LintOptions {
+                window: 3,
+                check_hints: true,
+                latencies: CtrlLatencies::default(),
+            },
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "B002")
+            .expect("B002 raised");
+        assert_eq!(
+            d.pc,
+            Some(3),
+            "the guarded bar (pc 3) is the flagged instruction"
+        );
+    }
+}

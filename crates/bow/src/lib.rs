@@ -28,6 +28,7 @@
 //! ```
 
 pub mod api;
+pub mod corpus;
 pub mod error;
 pub mod experiment;
 pub mod fuzz;

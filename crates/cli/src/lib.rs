@@ -175,8 +175,49 @@ pub enum Command {
         /// What to do.
         action: SubmitAction,
     },
+    /// Manage the stratified kernel corpus.
+    Corpus {
+        /// What to do.
+        action: CorpusAction,
+    },
     /// Print usage.
     Help,
+}
+
+/// The `corpus` subcommand's verbs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CorpusAction {
+    /// Generate a corpus and write `<dir>/manifest.json`.
+    Gen {
+        /// Generated kernels across all strata.
+        count: usize,
+        /// Master seed.
+        seed: u64,
+        /// Output directory for the manifest.
+        dir: String,
+    },
+    /// Summarize a previously generated manifest.
+    Stats {
+        /// Directory holding `manifest.json`.
+        dir: String,
+    },
+    /// Sweep the retained corpus through the four collector models.
+    Sweep {
+        /// Directory holding `manifest.json`.
+        dir: String,
+        /// Max kernels to sweep (0 = every retained kernel).
+        limit: usize,
+        /// Sweep-pool worker count (0 = all cores).
+        jobs: usize,
+        /// Intra-run engine threads per launch (None = sweep-level only).
+        sim_threads: Option<u32>,
+        /// SM core model to sweep on.
+        core_model: CoreModelKind,
+        /// Run through a `bow-server` instead of the local pool.
+        addr: Option<String>,
+        /// Also write the distribution JSON to this file.
+        out: Option<String>,
+    },
 }
 
 /// The `submit` subcommand's verbs.
@@ -240,6 +281,10 @@ USAGE:
                  [--scale test|paper] [--addr HOST:PORT] [--no-wait]
   bow-cli submit --job ID | --fetch FINGERPRINT | --health | --shutdown
                  [--addr HOST:PORT]
+  bow-cli corpus gen [--count N] [--seed S] [--dir DIR]
+  bow-cli corpus stats [--dir DIR]
+  bow-cli corpus sweep [--dir DIR] [--limit N] [--jobs N] [--sim-threads T]
+                 [--core-model pascal|modern] [--addr HOST:PORT] [--out FILE]
 
 COLLECTORS:
   baseline | bow | bow-wr | bow-wr-half | bow-flex | rfc
@@ -279,6 +324,18 @@ cannot combine) and checks the control-bit interlock against the same
 lockstep oracle. Under `lint`, `modern` runs the control-bit emitter
 before judging, so the sidecar lints (B013/B014) check what the modern
 pipeline would actually consume.
+
+`corpus` manages the stratified thousand-kernel population
+(docs/TESTING.md, `Corpus tier`). `gen` draws `--count` kernels across
+the strata from `--seed`, keeps only lint-clean candidates and writes a
+deterministic `manifest.json` (seeds + characterization + content
+fingerprints — never kernel binaries; the corpus re-materializes from
+seeds alone). `stats` tabulates a manifest. `sweep` runs the retained
+kernels, round-robin across strata, through baseline/bow/bow-wr/rfc and
+prints per-stratum IPC-gain and bypass-rate distributions; with --addr
+the runs go through a live bow-server instead (inline submissions under
+the server's synthetic-parameter convention: IPC distributions only,
+verified by the memory oracle rather than the host reference).
 
 `serve` runs the persistent v1 HTTP/JSON simulation service
 (docs/API.md). Every request is keyed by a content-addressed
@@ -519,6 +576,56 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             };
             Ok(Command::Submit { addr, action })
         }
+        "corpus" => {
+            // Flags take values (`--count 64`), so only a leading token
+            // can be the verb.
+            let verb = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .copied()
+                .ok_or_else(|| err("corpus: pass a verb (gen, stats or sweep)"))?;
+            // Seeds print in hex everywhere, so accept `0x…` and decimal.
+            let seed = match opt("--seed") {
+                Some(v) => {
+                    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => v.parse(),
+                    };
+                    parsed.map_err(|_| err(format!("bad seed `{v}`")))?
+                }
+                None => bow::corpus::DEFAULT_SEED,
+            };
+            let dir = opt("--dir").unwrap_or("corpus").to_string();
+            let action = match verb {
+                "gen" => CorpusAction::Gen {
+                    count: match opt("--count") {
+                        Some(c) => c.parse().map_err(|_| err(format!("bad count `{c}`")))?,
+                        None => bow::corpus::DEFAULT_COUNT,
+                    },
+                    seed,
+                    dir,
+                },
+                "stats" => CorpusAction::Stats { dir },
+                "sweep" => CorpusAction::Sweep {
+                    dir,
+                    limit: match opt("--limit") {
+                        Some(l) => l.parse().map_err(|_| err(format!("bad limit `{l}`")))?,
+                        None => 0,
+                    },
+                    jobs,
+                    sim_threads,
+                    core_model,
+                    addr: opt("--addr").map(String::from),
+                    out: opt("--out").map(String::from),
+                },
+                other => {
+                    return Err(err(format!(
+                        "corpus: unknown verb `{other}` (gen, stats or sweep)"
+                    )))
+                }
+            };
+            Ok(Command::Corpus { action })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(err(format!(
             "unknown command `{other}` (try `bow-cli help`)"
@@ -565,6 +672,172 @@ fn unknown_benchmark(name: &str) -> BowError {
         value: name.to_string(),
     }
     .into()
+}
+
+fn core_model_name(core: CoreModelKind) -> &'static str {
+    match core {
+        CoreModelKind::Pascal => "pascal",
+        CoreModelKind::Modern => "modern",
+    }
+}
+
+fn corpus_manifest_path(dir: &str) -> String {
+    format!("{dir}/manifest.json")
+}
+
+fn load_corpus_manifest(dir: &str) -> Result<bow::corpus::Manifest, BowError> {
+    let path = corpus_manifest_path(dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
+    let json = bow_util::json::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    bow::corpus::Manifest::from_json(&json).map_err(|e| err(format!("{path}: {e}")))
+}
+
+/// Per-stratum retention table shared by `corpus gen` and `corpus stats`.
+fn corpus_stratum_table(manifest: &bow::corpus::Manifest) -> String {
+    let rejected_in = |stratum: &str| -> u64 {
+        manifest
+            .rejected
+            .iter()
+            .find(|(s, _)| s == stratum)
+            .map_or(0, |(_, n)| *n)
+    };
+    let mean = |xs: &[u64]| -> String {
+        format!("{:.1}", xs.iter().sum::<u64>() as f64 / xs.len() as f64)
+    };
+    let rows: Vec<Vec<String>> = manifest
+        .strata()
+        .iter()
+        .map(|stratum| {
+            let entries: Vec<_> = manifest
+                .entries
+                .iter()
+                .filter(|e| &e.stratum == stratum)
+                .collect();
+            let retained = entries.iter().filter(|e| e.retained).count();
+            let col = |f: &dyn Fn(&bow::corpus::ManifestEntry) -> u64| {
+                mean(&entries.iter().map(|e| f(e)).collect::<Vec<u64>>())
+            };
+            vec![
+                (*stratum).to_string(),
+                retained.to_string(),
+                (entries.len() - retained + rejected_in(stratum) as usize).to_string(),
+                col(&|e| u64::from(e.traits.insts)),
+                col(&|e| u64::from(e.traits.regs_written)),
+                col(&|e| e.traits.reuse_x100 / 100),
+                col(&|e| u64::from(e.traits.branch_depth)),
+                col(&|e| u64::from(e.traits.mem_per_ki)),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "stratum", "kept", "rejected", "insts", "regs", "reuse", "depth", "mem/ki",
+        ],
+        &rows,
+    )
+}
+
+/// Drives the corpus sweep through a running `bow-server`: every
+/// selected kernel is submitted inline (assembly text) under each of the
+/// four collector columns, and the per-stratum IPC-gain distributions
+/// are reduced client-side. The server runs inline kernels under its
+/// synthetic-parameter convention with the memory oracle, so this path
+/// reports IPC only — bypass-rate distributions need the local pool.
+fn corpus_server_sweep(
+    manifest: &bow::corpus::Manifest,
+    limit: usize,
+    addr: &str,
+    core: CoreModelKind,
+) -> Result<Json, BowError> {
+    use bow::corpus;
+    const COLLECTORS: [&str; 4] = ["baseline", "bow", "bow-wr", "rfc"];
+    let picked = corpus::select(manifest, limit);
+    if picked.is_empty() {
+        return Err(err("corpus sweep: manifest has no retained kernels"));
+    }
+    let mut ipc: Vec<Vec<f64>> = vec![Vec::new(); COLLECTORS.len()];
+    for entry in &picked {
+        let kernel = corpus::kernel_for(entry).ok_or_else(|| {
+            err(format!(
+                "{}: cannot re-materialize from manifest",
+                entry.name
+            ))
+        })?;
+        let asm = kernel.disassemble();
+        for (ci, collector) in COLLECTORS.iter().enumerate() {
+            let body = Json::obj([
+                (
+                    "kernel",
+                    Json::obj([
+                        ("asm", Json::from(asm.as_str())),
+                        ("blocks", Json::from(bow_isa::fuzz::GRID.0)),
+                        ("threads", Json::from(bow_isa::fuzz::BLOCK.0)),
+                    ]),
+                ),
+                (
+                    "config",
+                    Json::obj([
+                        ("collector", Json::from(*collector)),
+                        ("window", Json::from(3_u32)),
+                        ("model", Json::from("scaled")),
+                        ("core_model", Json::from(core_model_name(core))),
+                    ]),
+                ),
+                ("wait", Json::from(true)),
+            ]);
+            let response = bow_server::client::post(addr, "/v1/runs", &body.to_string_compact())?;
+            if response.status >= 400 {
+                return Err(BowError::io(addr, response.body.trim_end()));
+            }
+            let parsed = response
+                .json()
+                .map_err(|e| err(format!("server response: {e}")))?;
+            let value = parsed
+                .get("result")
+                .and_then(|r| r.get("ipc"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err("server response has no `result.ipc`"))?;
+            ipc[ci].push(value);
+        }
+    }
+
+    // Reduce to the same shape as `corpus::distribution_json`, minus the
+    // bypass-rate column the server path cannot observe.
+    let strata: Vec<&str> = picked.iter().map(|e| e.stratum.as_str()).collect();
+    let mut names: Vec<&str> = Vec::new();
+    for s in &strata {
+        if !names.contains(s) {
+            names.push(s);
+        }
+    }
+    let mut scopes: Vec<(&str, Option<&str>)> = vec![("all", None)];
+    scopes.extend(names.iter().map(|s| (*s, Some(*s))));
+    let mut rows = Vec::new();
+    for (scope, filter) in scopes {
+        let mut collectors = Vec::new();
+        for (ci, collector) in COLLECTORS.iter().enumerate().skip(1) {
+            let gains: Vec<f64> = strata
+                .iter()
+                .enumerate()
+                .filter(|(ki, s)| filter.is_none_or(|f| f == **s) && ipc[0][*ki] > 0.0)
+                .map(|(ki, _)| ipc[ci][ki] / ipc[0][ki])
+                .collect();
+            collectors.push(Json::obj([
+                ("label", Json::from(*collector)),
+                ("ipc_gain", corpus::Dist::of(gains).to_json()),
+            ]));
+        }
+        rows.push(Json::obj([
+            ("stratum", Json::from(scope)),
+            ("collectors", Json::Arr(collectors)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("schema_version", Json::from(corpus::MANIFEST_VERSION)),
+        ("core_model", Json::from(core_model_name(core))),
+        ("kernels", Json::from(picked.len() as u64)),
+        ("strata", Json::Arr(rows)),
+    ]))
 }
 
 /// Executes a command, returning the text to print.
@@ -1062,6 +1335,84 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 })
             }
         }
+        Command::Corpus { action } => match action {
+            CorpusAction::Gen { count, seed, dir } => {
+                let manifest = bow::corpus::generate(seed, count);
+                std::fs::create_dir_all(&dir).map_err(|e| BowError::io(&dir, e))?;
+                let path = corpus_manifest_path(&dir);
+                let mut text = manifest.to_json().to_string_pretty();
+                if !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                std::fs::write(&path, text).map_err(|e| BowError::io(&path, e))?;
+                let retained = manifest.retained().count();
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "corpus: seed {seed:#x}, {count} generated candidates, \
+                     {retained}/{} entries retained → {path}",
+                    manifest.entries.len()
+                );
+                out.push_str(&corpus_stratum_table(&manifest));
+                Ok(out)
+            }
+            CorpusAction::Stats { dir } => {
+                let manifest = load_corpus_manifest(&dir)?;
+                let retained = manifest.retained().count();
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "corpus: seed {:#x}, count {}, {retained}/{} entries retained",
+                    manifest.seed,
+                    manifest.count,
+                    manifest.entries.len()
+                );
+                out.push_str(&corpus_stratum_table(&manifest));
+                Ok(out)
+            }
+            CorpusAction::Sweep {
+                dir,
+                limit,
+                jobs,
+                sim_threads,
+                core_model,
+                addr,
+                out,
+            } => {
+                let manifest = load_corpus_manifest(&dir)?;
+                let doc = if let Some(addr) = addr {
+                    corpus_server_sweep(&manifest, limit, &addr, core_model)?
+                } else {
+                    let opts = bow::corpus::SweepOptions {
+                        limit,
+                        jobs,
+                        sim_threads,
+                        core_model,
+                        progress: true,
+                    };
+                    let result = bow::corpus::sweep(&manifest, &opts);
+                    for row in &result.rows {
+                        for rec in &row.records {
+                            if let Err(e) = &rec.outcome.checked {
+                                return Err(BowError::verify(format!(
+                                    "{} under {}: {e}",
+                                    rec.benchmark, row.label
+                                )));
+                            }
+                        }
+                    }
+                    bow::corpus::distribution_json(&manifest, &result, core_model_name(core_model))
+                };
+                let mut text = doc.to_string_pretty();
+                if !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                if let Some(out_path) = out {
+                    std::fs::write(&out_path, &text).map_err(|e| BowError::io(&out_path, e))?;
+                }
+                Ok(text)
+            }
+        },
     }
 }
 
@@ -1509,5 +1860,175 @@ mod tests {
         for label in ["baseline+modern", "bow iw3+modern", "rfc+modern"] {
             assert!(out.contains(label), "missing {label} in:\n{out}");
         }
+    }
+
+    #[test]
+    fn parse_corpus_verbs() {
+        assert_eq!(
+            parse(&argv("corpus gen --count 64 --seed 0x2a --dir pop")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Gen {
+                    count: 64,
+                    seed: 0x2a,
+                    dir: "pop".into(),
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("corpus gen")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Gen {
+                    count: bow::corpus::DEFAULT_COUNT,
+                    seed: bow::corpus::DEFAULT_SEED,
+                    dir: "corpus".into(),
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("corpus stats --dir pop")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Stats { dir: "pop".into() }
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "corpus sweep --limit 16 --jobs 2 --core-model modern \
+                 --addr 127.0.0.1:9 --out d.json"
+            ))
+            .unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Sweep {
+                    dir: "corpus".into(),
+                    limit: 16,
+                    jobs: 2,
+                    sim_threads: None,
+                    core_model: CoreModelKind::Modern,
+                    addr: Some("127.0.0.1:9".into()),
+                    out: Some("d.json".into()),
+                }
+            }
+        );
+        assert!(parse(&argv("corpus")).is_err());
+        assert!(parse(&argv("corpus prune")).is_err());
+        assert!(parse(&argv("corpus gen --seed banana")).is_err());
+        assert!(parse(&argv("corpus gen --count some")).is_err());
+    }
+
+    #[test]
+    fn corpus_gen_then_stats_roundtrip() {
+        let dir = std::env::temp_dir().join("bow_cli_corpus_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.display().to_string();
+        let gen = |_| {
+            execute(Command::Corpus {
+                action: CorpusAction::Gen {
+                    count: 18,
+                    seed: 0x5eed,
+                    dir: dir.clone(),
+                },
+            })
+            .unwrap();
+            std::fs::read_to_string(format!("{dir}/manifest.json")).unwrap()
+        };
+        let first = gen(0);
+        let second = gen(1);
+        assert_eq!(first, second, "manifest is byte-identical across runs");
+        assert!(first.ends_with('\n'));
+
+        let out = execute(Command::Corpus {
+            action: CorpusAction::Stats { dir: dir.clone() },
+        })
+        .unwrap();
+        assert!(out.contains("seed 0x5eed"), "{out}");
+        for stratum in ["mixed", "divergent", "mem-heavy", "adversarial"] {
+            assert!(out.contains(stratum), "missing {stratum} in:\n{out}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(execute(Command::Corpus {
+            action: CorpusAction::Stats { dir },
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn corpus_sweep_emits_distributions() {
+        let dir = std::env::temp_dir()
+            .join("bow_cli_corpus_sweep_test")
+            .display()
+            .to_string();
+        execute(Command::Corpus {
+            action: CorpusAction::Gen {
+                count: 9,
+                seed: 0xd157,
+                dir: dir.clone(),
+            },
+        })
+        .unwrap();
+        let out_file = format!("{dir}/dist.json");
+        let out = execute(Command::Corpus {
+            action: CorpusAction::Sweep {
+                dir: dir.clone(),
+                limit: 4,
+                jobs: 2,
+                sim_threads: None,
+                core_model: CoreModelKind::Pascal,
+                addr: None,
+                out: Some(out_file.clone()),
+            },
+        })
+        .unwrap();
+        for key in ["ipc_gain", "read_bypass_rate", "\"core_model\": \"pascal\""] {
+            assert!(out.contains(key), "missing {key} in:\n{out}");
+        }
+        assert_eq!(std::fs::read_to_string(&out_file).unwrap(), out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_sweep_through_a_live_server() {
+        let root =
+            std::env::temp_dir().join(format!("bow_cli_corpus_server_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = root.join("pop").display().to_string();
+        execute(Command::Corpus {
+            action: CorpusAction::Gen {
+                count: 9,
+                seed: 0xcafe,
+                dir: dir.clone(),
+            },
+        })
+        .unwrap();
+
+        let server = bow_server::Server::bind(&bow_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            store_dir: root.join("store"),
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let out = execute(Command::Corpus {
+            action: CorpusAction::Sweep {
+                dir,
+                limit: 2,
+                jobs: 0,
+                sim_threads: None,
+                core_model: CoreModelKind::Pascal,
+                addr: Some(addr.clone()),
+                out: None,
+            },
+        })
+        .unwrap();
+        assert!(out.contains("ipc_gain"), "{out}");
+        assert!(out.contains("\"kernels\": 2"), "{out}");
+        // The server path measures IPC only (memory-oracle runs with
+        // synthetic parameters); it must not fabricate bypass numbers.
+        assert!(!out.contains("read_bypass_rate"), "{out}");
+
+        let resp = bow_server::client::post(&addr, "/v1/shutdown", "{}").expect("shutdown");
+        assert_eq!(resp.status, 200);
+        handle.join().expect("join");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

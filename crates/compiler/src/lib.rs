@@ -43,6 +43,7 @@
 //! ```
 
 pub mod cfg;
+pub mod characterize;
 pub mod ctrl;
 pub mod divergence;
 pub mod hints;
@@ -52,6 +53,7 @@ pub mod reorder;
 pub mod verify;
 
 pub use cfg::{Cfg, Dominators};
+pub use characterize::{characterize, KernelTraits};
 pub use ctrl::{emit_ctrl, CtrlLatencies};
 pub use divergence::{check_structure, StructureIssue, StructureReport};
 pub use hints::{annotate, classify_kernel, CompilerReport, HintClass};

@@ -398,7 +398,12 @@ fn dead_write_lints(
                         .at(pc),
                     );
                 }
-                live.remove(d);
+                // Mirror the may-live transfer: a guarded def is only a
+                // may-def — the predicate-false lanes keep the old value,
+                // so it must not kill the register upstream.
+                if inst.guard.is_none() {
+                    live.remove(d);
+                }
             }
             for s in inst.src_regs() {
                 live.insert(s);
@@ -442,8 +447,10 @@ fn pressure_report(
         let mut max_live = live.len();
         for pc in block.range().rev() {
             let inst = &kernel.insts[pc];
-            if let Some(d) = inst.dst_reg() {
-                live.remove(d);
+            if inst.guard.is_none() {
+                if let Some(d) = inst.dst_reg() {
+                    live.remove(d);
+                }
             }
             for s in inst.src_regs() {
                 live.insert(s);

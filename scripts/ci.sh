@@ -57,9 +57,13 @@ cargo run --release -q --offline -p bow-cli -- \
 
 echo "==> bench_throughput (test tier)"
 # Full-chip 56-SM throughput probe at sim_threads {1,2,4}: asserts the
-# stats fingerprints agree across thread counts and records wall-clock,
-# cycles/sec and speedup in results/bench_throughput.json (artifact).
-BOW_SCALE=test cargo run --release -q --offline -p bow-bench --bin bench_throughput -- vectoradd
+# stats fingerprints agree across thread counts. The test-tier probe is
+# routed through BOW_RESULTS_DIR so it never lands in the committed
+# results/ tree (only the paper-tier bench_throughput.json is an
+# artifact there).
+mkdir -p target/bench-test
+BOW_RESULTS_DIR=target/bench-test BOW_SCALE=test \
+    cargo run --release -q --offline -p bow-bench --bin bench_throughput -- vectoradd
 
 echo "==> bench_throughput regression gate (paper tier vs checked-in baseline)"
 # Hot-path guard: re-run the full paper-tier bench into a scratch dir
@@ -151,6 +155,38 @@ submit --shutdown | grep -q 'shutting down' || { echo "shutdown failed"; exit 1;
 wait "$SERVER_PID"
 trap - EXIT
 echo "    cache verified: sim_runs=2, store stats in target/server-smoke/store-stats.json"
+
+echo "==> corpus smoke (64 kernels, stratified gen + mini-sweep, both cores)"
+# The corpus regression tier (docs/TESTING.md, `Corpus tier`): a
+# fixed-seed 64-kernel generation must populate every stratum and keep
+# only lint-clean kernels, then a 16-kernel round-robin slice sweeps
+# through all four collectors on both core models, every run checked
+# (bow-wr under the lockstep oracle). Manifest + distribution JSON land
+# in target/corpus-smoke/ as CI artifacts.
+rm -rf target/corpus-smoke
+cargo run --release -q --offline -p bow-cli -- \
+    corpus gen --count 64 --dir target/corpus-smoke
+python3 - <<'EOF'
+import collections, json
+m = json.load(open("target/corpus-smoke/manifest.json"))
+kept = collections.Counter()
+for k in m["kernels"]:
+    if k["retained"]:
+        assert "reject" not in k, f'{k["name"]}: retained but carries a reject code'
+        kept[k["stratum"]] += 1
+    else:
+        assert k.get("reject"), f'{k["name"]}: rejected without a diagnostic code'
+strata = {k["stratum"] for k in m["kernels"]}
+empty = [s for s in strata if kept[s] == 0]
+assert not empty, f"strata with no retained kernel: {empty}"
+print(f"    {sum(kept.values())} retained across {len(strata)} strata, 100% lint-clean")
+EOF
+for CORE in pascal modern; do
+    cargo run --release -q --offline -p bow-cli -- \
+        corpus sweep --dir target/corpus-smoke --limit 16 --core-model "${CORE}" \
+        --out "target/corpus-smoke/dist_${CORE}.json" > /dev/null
+    echo "    ${CORE} distributions in target/corpus-smoke/dist_${CORE}.json"
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
