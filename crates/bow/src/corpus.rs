@@ -51,7 +51,7 @@ pub const DEFAULT_COUNT: usize = 1000;
 const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Hint window every corpus kernel is annotated and linted at.
-const WINDOW: u32 = 3;
+pub(crate) const WINDOW: u32 = 3;
 
 /// One generation stratum: a named point in the generator's parameter
 /// space plus the statement budget drawn at.
@@ -417,7 +417,13 @@ fn primary_code(report: &bow_compiler::LintReport) -> Option<&'static str> {
     report
         .diagnostics
         .iter()
-        .find(|d| d.severity != bow_compiler::Severity::Info)
+        // Race findings (B015/B016) do not reject a candidate: racy
+        // kernels are exactly what the sanitizer campaign cross-validates
+        // against the static analysis, and the simulator executes them
+        // deterministically regardless.
+        .find(|d| {
+            d.severity != bow_compiler::Severity::Info && d.code != "B015" && d.code != "B016"
+        })
         .map(|d| d.code)
 }
 
@@ -527,7 +533,7 @@ fn program_for(entry: &ManifestEntry) -> Option<FuzzKernel> {
 }
 
 /// The per-kernel launch input, derived from the entry seed.
-fn input_for(entry: &ManifestEntry) -> Vec<u32> {
+pub(crate) fn input_for(entry: &ManifestEntry) -> Vec<u32> {
     let mut rng = XorShift::new(entry.seed ^ SEED_MIX);
     FuzzKernel::gen_input(&mut rng)
 }

@@ -13,6 +13,10 @@
 //! because one of them ships a deliberately unsound `.wb.boc` hint that
 //! re-annotation would silently repair.
 //!
+//! Each row also carries the dynamic sanitizer finding kinds a sanitized
+//! launch must report, so the cross-validation campaign can confirm every
+//! planted hazard from the execution side as well as the static side.
+//!
 //! They are a lint population, not a performance population — the sweep
 //! machinery never launches them (two would deadlock the barrier model
 //! by construction).
@@ -25,19 +29,29 @@ pub const STRATUM: &str = "adversarial";
 /// Result base the kernels store to (same region the fuzz corpus uses).
 const OUT: u32 = 0x10_0000;
 
-/// One adversarial case: a builder plus the classification the verifier
-/// must produce.
+/// One adversarial case: a builder plus the machine-readable expectation
+/// row — the static lint codes the verifier must raise on the as-authored
+/// kernel and the finding kinds a sanitized launch must report. The
+/// negative tests in this module and the cross-validation campaign
+/// (`crate::sanitize_campaign`) consume the same rows, so the two halves
+/// of the race-checking arsenal cannot drift apart silently.
 #[derive(Clone, Copy)]
 pub struct Adversarial {
     /// Kernel / manifest entry name.
     pub name: &'static str,
     /// The hazard, and why a CPU-style check misses it.
     pub description: &'static str,
-    /// Primary non-info diagnostic the suite must raise; `None` means
-    /// the hazard is advisory-only and the kernel stays retained.
-    pub expect: Option<&'static str>,
-    /// Advisory code that must still appear when `expect` is `None`.
-    pub expect_info: Option<&'static str>,
+    /// Every static code the as-authored lint report must contain. The
+    /// corpus gate rejects the kernel with the first of these whose
+    /// documented severity is deny-level and that is not a race code
+    /// (B003/B015/B016 are the campaign's subject matter, not rejects).
+    pub expect_static: &'static [&'static str],
+    /// Sanitizer finding kinds ([`SanitizerFinding::kind`] tags) a
+    /// sanitized launch must report — the dynamic confirmation of the
+    /// static row.
+    ///
+    /// [`SanitizerFinding::kind`]: bow_sim::SanitizerFinding::kind
+    pub expect_dynamic: &'static [&'static str],
     /// Builds the kernel.
     pub build: fn() -> Kernel,
 }
@@ -167,50 +181,103 @@ fn b011_broken_sync() -> Kernel {
         .expect("adversarial kernel builds")
 }
 
+/// `B015`: every thread stores its own tid to shared word 0 and reads it
+/// straight back — the addresses provably coincide and the values
+/// provably differ, so the race is definite, not a candidate. A
+/// single-threaded replay (store, then load, same address) returns the
+/// "right" answer every time.
+fn b015_definite_race() -> Kernel {
+    KernelBuilder::new("adv_b015_definite_race")
+        .shared_bytes(64)
+        .s2r(r(0), Special::TidX)
+        .mov_imm(r(1), 0)
+        .sts(r(1), 0, r(0).into())
+        .lds(r(2), r(1), 0)
+        .shl(r(3), r(0).into(), Operand::Imm(2))
+        .mov_imm(r(4), OUT)
+        .iadd(r(4), r(4).into(), r(3).into())
+        .stg(r(4), 0, r(2).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
+/// `B016`: a per-thread shared load with no store anywhere in the kernel
+/// — every lane observes spawn-state zeros. A CPU-style scan does not
+/// model shared memory at all, and every *register* read is preceded by
+/// a write, so it accepts.
+fn b016_uninit_shared() -> Kernel {
+    KernelBuilder::new("adv_b016_uninit_shared")
+        .shared_bytes(256)
+        .s2r(r(0), Special::TidX)
+        .shl(r(1), r(0).into(), Operand::Imm(2))
+        .lds(r(2), r(1), 0)
+        .mov_imm(r(3), OUT)
+        .iadd(r(3), r(3).into(), r(1).into())
+        .stg(r(3), 0, r(2).into())
+        .exit()
+        .build()
+        .expect("adversarial kernel builds")
+}
+
 /// The full adversarial stratum, in manifest order.
 pub fn all() -> Vec<Adversarial> {
     vec![
         Adversarial {
             name: "adv_b001_uninit_read",
             description: "maybe-uninitialized read after a divergent join",
-            expect: Some("B001"),
-            expect_info: None,
+            expect_static: &["B001"],
+            expect_dynamic: &["uninit-reg"],
             build: b001_uninit_read,
         },
         Adversarial {
             name: "adv_b002_divergent_barrier",
             description: "block barrier on one arm of an open SSY region",
-            expect: Some("B002"),
-            expect_info: None,
+            expect_static: &["B002"],
+            expect_dynamic: &["divergent-bar"],
             build: b002_divergent_barrier,
         },
         Adversarial {
             name: "adv_b002_predicated_barrier",
             description: "predicated block barrier in straight-line code",
-            expect: Some("B002"),
-            expect_info: None,
+            expect_static: &["B002"],
+            expect_dynamic: &["divergent-bar"],
             build: b002_predicated_barrier,
         },
         Adversarial {
             name: "adv_b003_shared_race",
             description: "shared store → partner load with no separating barrier",
-            expect: None,
-            expect_info: Some("B003"),
+            expect_static: &["B003"],
+            expect_dynamic: &["race"],
             build: b003_shared_race,
         },
         Adversarial {
             name: "adv_b010_unsound_hint",
             description: ".wb.boc hint on a value read beyond the window",
-            expect: Some("B010"),
-            expect_info: None,
+            expect_static: &["B010"],
+            expect_dynamic: &["hint-violation"],
             build: b010_unsound_hint,
         },
         Adversarial {
             name: "adv_b011_broken_sync",
             description: "SYNC with no enclosing SSY",
-            expect: Some("B011"),
-            expect_info: None,
+            expect_static: &["B011"],
+            expect_dynamic: &["broken-sync"],
             build: b011_broken_sync,
+        },
+        Adversarial {
+            name: "adv_b015_definite_race",
+            description: "shared store/load on one provably-coinciding word",
+            expect_static: &["B015"],
+            expect_dynamic: &["race"],
+            build: b015_definite_race,
+        },
+        Adversarial {
+            name: "adv_b016_uninit_shared",
+            description: "shared load with no store anywhere in the kernel",
+            expect_static: &["B016"],
+            expect_dynamic: &["uninit-shared"],
+            build: b016_uninit_shared,
         },
     ]
 }
@@ -219,7 +286,7 @@ pub fn all() -> Vec<Adversarial> {
 mod tests {
     use super::*;
     use crate::corpus::lint_as_authored;
-    use bow_compiler::{lint_kernel, CtrlLatencies, LintOptions, Severity};
+    use bow_compiler::{lint_kernel, CtrlLatencies, LintOptions, Severity, LINT_DOCS};
 
     /// The CPU-style check the stratum is designed to slip past: linear
     /// scan, a read is fine if *any* earlier instruction wrote the
@@ -251,34 +318,64 @@ mod tests {
         }
     }
 
+    fn as_authored_opts() -> LintOptions {
+        LintOptions {
+            window: 3,
+            check_hints: true,
+            latencies: CtrlLatencies::default(),
+        }
+    }
+
+    /// The documented severity of a code, from the `--explain` doc table.
+    fn doc_severity(code: &str) -> Severity {
+        let doc = LINT_DOCS
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{code} missing from LINT_DOCS"));
+        match doc.severity {
+            "error" => Severity::Error,
+            "warning" => Severity::Warning,
+            "info" => Severity::Info,
+            other => panic!("unknown documented severity {other:?}"),
+        }
+    }
+
     #[test]
     fn the_simt_suite_classifies_every_hazard() {
         for adv in all() {
             let k = (adv.build)();
-            let primary = lint_as_authored(&k);
-            assert_eq!(
-                primary, adv.expect,
-                "{}: expected primary diagnostic {:?}, got {:?}",
-                adv.name, adv.expect, primary
-            );
-            if let Some(info) = adv.expect_info {
-                let report = lint_kernel(
-                    &k,
-                    &LintOptions {
-                        window: 3,
-                        check_hints: true,
-                        latencies: CtrlLatencies::default(),
-                    },
-                );
+            let report = lint_kernel(&k, &as_authored_opts());
+            for code in adv.expect_static {
                 assert!(
                     report
                         .diagnostics
                         .iter()
-                        .any(|d| d.code == info && d.severity == Severity::Info),
-                    "{}: advisory {info} must still be reported",
-                    adv.name
+                        .any(|d| d.code == *code && d.severity == doc_severity(code)),
+                    "{}: expected {code} at its documented severity, got:\n{:?}",
+                    adv.name,
+                    report.diagnostics
                 );
             }
+        }
+    }
+
+    #[test]
+    fn the_corpus_gate_rejects_exactly_the_non_race_deny_hazards() {
+        // The gate's verdict is derivable from the expectation table: the
+        // first expected code that is deny-severity and not a race code.
+        // Race rows (B003/B015/B016) stay retained — they are the
+        // sanitizer campaign's subject matter.
+        for adv in all() {
+            let k = (adv.build)();
+            let want = adv.expect_static.iter().copied().find(|c| {
+                doc_severity(c) != Severity::Info && *c != "B003" && *c != "B015" && *c != "B016"
+            });
+            assert_eq!(
+                lint_as_authored(&k),
+                want,
+                "{}: gate verdict disagrees with the expectation table",
+                adv.name
+            );
         }
     }
 

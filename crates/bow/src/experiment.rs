@@ -74,6 +74,7 @@ pub struct ConfigBuilder {
     reorder: bool,
     verify: bool,
     shadow_rf: bool,
+    sanitize: bool,
     model: GpuModel,
     core_model: CoreModelKind,
     analyzer: Vec<u32>,
@@ -96,6 +97,7 @@ impl ConfigBuilder {
             reorder: false,
             verify: false,
             shadow_rf: false,
+            sanitize: false,
             model: GpuModel::Scaled,
             core_model: CoreModelKind::Pascal,
             analyzer: Vec::new(),
@@ -184,6 +186,17 @@ impl ConfigBuilder {
     /// architecturally visible to the oracle checks.
     pub fn shadow_rf(mut self, yes: bool) -> ConfigBuilder {
         self.shadow_rf = yes;
+        self
+    }
+
+    /// Attaches the dynamic race sanitizer ([`GpuConfig::sanitize`]) to
+    /// every launch: the probe shadows shared/global words and barrier
+    /// epochs and the result carries a
+    /// [`SanitizerReport`](bow_sim::SanitizerReport). Pure checker —
+    /// cycles, stats and fingerprints are unaffected, so the label does
+    /// not encode it.
+    pub fn sanitize(mut self, yes: bool) -> ConfigBuilder {
+        self.sanitize = yes;
         self
     }
 
@@ -348,6 +361,7 @@ impl ConfigBuilder {
             gpu = gpu.with_analyzer(&self.analyzer);
         }
         gpu.shadow_rf = self.shadow_rf;
+        gpu.sanitize = self.sanitize;
         gpu.core_model = self.core_model;
         gpu.sim_threads = self.sim_threads;
         let label = self.label.clone().unwrap_or_else(|| self.derived_label());
@@ -588,6 +602,7 @@ impl RunRecord {
                     per_sm,
                     windows,
                     completed: v.req_bool("completed")?,
+                    sanitizer: None,
                 },
                 checked,
             },

@@ -70,6 +70,14 @@ pub struct FuzzOptions {
     /// the control-bits emitter, so the fixed-latency interlock runs
     /// under the same lockstep oracle.
     pub core_model: CoreModelKind,
+    /// Adds a fourth check per cell: a sanitized re-launch
+    /// ([`bow_sim::GpuConfig::sanitize`]) whose every dynamic finding
+    /// must be vouched for by a static lint code
+    /// ([`crate::sanitize_campaign::static_codes_for`]) — generated
+    /// kernels keep barriers and exchanges convergent by construction,
+    /// so any finding here is a checker false negative or a generator
+    /// regression, and fails the cell.
+    pub sanitize: bool,
 }
 
 impl Default for FuzzOptions {
@@ -83,6 +91,7 @@ impl Default for FuzzOptions {
             progress: false,
             sim_threads: 1,
             core_model: CoreModelKind::Pascal,
+            sanitize: false,
         }
     }
 }
@@ -229,20 +238,21 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         let mut rng = XorShift::new(cseed);
         let program = FuzzKernel::generate_sized(&mut rng, opts.size);
         let input = FuzzKernel::gen_input(&mut rng);
-        match check_case(&program, &input, config, case) {
+        let sanitize = opts.sanitize;
+        match check_case(&program, &input, config, case, sanitize) {
             None => CellResult {
                 case,
                 config: config.label.clone(),
-                checked: count_checked(&program, &input, config, case),
+                checked: count_checked(&program, &input, config, case, sanitize),
                 failure: None,
             },
             Some(detail) => {
                 // Shrink: keep any simplification that still fails this
                 // config (any failure detail counts, not just the same).
-                let minimized =
-                    program.shrink(|cand| check_case(cand, &input, config, case).is_some());
-                let final_detail =
-                    check_case(&minimized, &input, config, case).unwrap_or_else(|| detail.clone());
+                let minimized = program
+                    .shrink(|cand| check_case(cand, &input, config, case, sanitize).is_some());
+                let final_detail = check_case(&minimized, &input, config, case, sanitize)
+                    .unwrap_or_else(|| detail.clone());
                 CellResult {
                     case,
                     config: config.label.clone(),
@@ -323,15 +333,27 @@ fn build_kernel(program: &FuzzKernel, config: &Config, case: u64) -> Kernel {
     }
 }
 
-/// Runs one (program, input, config) cell through all three checks.
+/// Runs one (program, input, config) cell through the checks.
 /// Returns `None` on agreement, or a description of the first failure.
-fn check_case(program: &FuzzKernel, input: &[u32], config: &Config, case: u64) -> Option<String> {
-    run_checks(program, input, config, case).err()
+fn check_case(
+    program: &FuzzKernel,
+    input: &[u32],
+    config: &Config,
+    case: u64,
+    sanitize: bool,
+) -> Option<String> {
+    run_checks(program, input, config, case, sanitize).err()
 }
 
 /// Re-runs a clean cell just to count lockstep-checked instructions.
-fn count_checked(program: &FuzzKernel, input: &[u32], config: &Config, case: u64) -> u64 {
-    run_checks(program, input, config, case).unwrap_or(0)
+fn count_checked(
+    program: &FuzzKernel,
+    input: &[u32],
+    config: &Config,
+    case: u64,
+    sanitize: bool,
+) -> u64 {
+    run_checks(program, input, config, case, sanitize).unwrap_or(0)
 }
 
 fn run_checks(
@@ -339,6 +361,7 @@ fn run_checks(
     input: &[u32],
     config: &Config,
     case: u64,
+    sanitize: bool,
 ) -> Result<u64, String> {
     let kernel = build_kernel(program, config, case);
     let dims = FuzzKernel::dims();
@@ -402,6 +425,42 @@ fn run_checks(
             return Err(format!(
                 "host model: mem[{addr:#x}] = {got:#x}, expected {want:#x}"
             ));
+        }
+    }
+
+    // Check 4 (opt-in): a sanitized re-launch cross-validated against the
+    // static race suite — every dynamic finding needs a static voucher.
+    if sanitize {
+        let mut san_cfg = config.gpu.clone();
+        san_cfg.max_cycles = FUZZ_MAX_CYCLES;
+        san_cfg.sanitize = true;
+        san_cfg.oracle_check = bow_sim::OracleCheck::Off;
+        let mut sgpu = Gpu::new(san_cfg);
+        sgpu.global_mut()
+            .write_slice_u32(u64::from(fuzz::INPUT_BASE), input);
+        let sres = sgpu.launch(&kernel, dims, &fuzz::PARAMS);
+        let srep = sres.sanitizer.expect("sanitize flag attaches the probe");
+        if !srep.is_clean() {
+            let window = config.gpu.collector.window().unwrap_or(3);
+            let report = bow_compiler::lint_kernel(
+                &kernel,
+                &bow_compiler::LintOptions {
+                    window,
+                    check_hints: true,
+                    latencies: CtrlLatencies::default(),
+                },
+            );
+            for finding in &srep.findings {
+                let vouchers = crate::sanitize_campaign::static_codes_for(finding.kind());
+                if !vouchers
+                    .iter()
+                    .any(|c| report.diagnostics.iter().any(|d| d.code == *c))
+                {
+                    return Err(format!(
+                        "sanitizer: dynamic finding without static flag — {finding}"
+                    ));
+                }
+            }
         }
     }
     Ok(checker.checked)
@@ -483,6 +542,9 @@ mod tests {
             progress: false,
             sim_threads: 2,
             core_model: CoreModelKind::Pascal,
+            // Exercise check 4: clean generated kernels must sanitize
+            // clean (or carry a static flag for anything found).
+            sanitize: true,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());
         assert_eq!(report.configs.len(), 6);
@@ -500,6 +562,7 @@ mod tests {
             progress: false,
             sim_threads: 2,
             core_model: CoreModelKind::Modern,
+            sanitize: false,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());
         // Shadow RF conflicts with the modern core, so its column drops.

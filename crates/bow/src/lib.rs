@@ -33,6 +33,7 @@ pub mod error;
 pub mod experiment;
 pub mod fuzz;
 pub mod mutate;
+pub mod sanitize_campaign;
 pub mod suite;
 
 /// Re-export of [`bow_isa`]: the instruction set.

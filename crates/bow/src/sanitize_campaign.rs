@@ -1,0 +1,484 @@
+//! The cross-validation campaign: does the static race suite cover
+//! *every* hazard the dynamic sanitizer observes?
+//!
+//! [`run_campaign`] materializes the stratified corpus
+//! ([`crate::corpus::generate`]) plus the full adversarial stratum, and
+//! judges every kernel twice:
+//!
+//! * **Static** — the as-authored `B001..B016` lint report
+//!   ([`bow_compiler::lint_kernel`]), including the barrier-interval
+//!   race pass (`B015` definite race, `B003` residual candidate, `B016`
+//!   never-initialized shared read).
+//! * **Dynamic** — a sanitized launch ([`GpuConfig::sanitize`]) on
+//!   **both** SM core models, folding the instrumented event stream into
+//!   a [`SanitizerReport`](bow_sim::SanitizerReport).
+//!
+//! The campaign's contract is the static suite's conservativeness
+//! theorem, mirrored from the hint sanitizer ([`crate::mutate`]): every
+//! dynamic finding must carry a static flag — a sanitizer finding whose
+//! kind maps to no raised code is a static-analysis false negative and
+//! fails the run. The reverse direction is measured, not enforced: the
+//! static race codes are deliberately conservative (one input, one
+//! schedule per launch), so the fraction of raised `B003`/`B015`/`B016`
+//! flags the sanitizer confirms is reported as *precision*.
+//!
+//! The adversarial stratum is additionally held to its machine-readable
+//! expectation table ([`adversarial::Adversarial::expect_dynamic`]):
+//! every planted hazard must be dynamically confirmed with the kinds the
+//! table names, on both cores, or the campaign fails.
+//!
+//! [`GpuConfig::sanitize`]: bow_sim::GpuConfig
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use crate::corpus::{self, adversarial, kernel_for, Manifest, ManifestEntry};
+use crate::experiment::ConfigBuilder;
+use crate::fuzz::FUZZ_MAX_CYCLES;
+use crate::suite::{effective_jobs, map_parallel};
+use bow_compiler::{lint_kernel, CtrlLatencies, LintOptions};
+use bow_isa::fuzz::{FuzzKernel, INPUT_BASE, PARAMS};
+use bow_isa::Kernel;
+use bow_sim::{CoreModelKind, Gpu};
+use bow_util::json::Json;
+
+/// Watchdog for adversarial launches: two of the planted hazards stall
+/// the barrier by construction, and the kernels are a dozen instructions
+/// long — a fraction of the fuzz budget bounds the hang without risking
+/// a false timeout.
+const ADV_MAX_CYCLES: u64 = 200_000;
+
+/// The static codes that can vouch for a dynamic finding kind — the
+/// machine half of the dynamic⊆static contract.
+pub fn static_codes_for(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "race" => &["B015", "B003"],
+        "uninit-shared" => &["B016"],
+        "uninit-reg" => &["B001"],
+        "divergent-bar" => &["B002"],
+        "broken-sync" => &["B011"],
+        "hint-violation" => &["B010"],
+        _ => &[],
+    }
+}
+
+/// The race codes whose precision the campaign measures.
+const RACE_CODES: [&str; 3] = ["B003", "B015", "B016"];
+
+/// Options for one campaign session.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Corpus master seed ([`corpus::generate`]).
+    pub seed: u64,
+    /// Generated corpus kernels (the adversarial stratum always rides
+    /// along in full).
+    pub count: usize,
+    /// Worker threads (`0` = all cores).
+    pub jobs: usize,
+    /// Print per-kernel progress to stderr.
+    pub progress: bool,
+}
+
+impl CampaignOptions {
+    /// The full campaign over the default thousand-kernel corpus.
+    pub fn full() -> CampaignOptions {
+        CampaignOptions {
+            seed: corpus::DEFAULT_SEED,
+            count: corpus::DEFAULT_COUNT,
+            jobs: 0,
+            progress: false,
+        }
+    }
+
+    /// The CI smoke configuration: a 64-kernel fixed-seed corpus.
+    pub fn smoke() -> CampaignOptions {
+        CampaignOptions {
+            count: 64,
+            ..CampaignOptions::full()
+        }
+    }
+}
+
+/// A dynamic finding no static code vouches for — a static-analysis
+/// false negative.
+#[derive(Clone, Debug)]
+pub struct Uncovered {
+    /// Kernel (manifest entry) name.
+    pub kernel: String,
+    /// Core model label the finding surfaced on.
+    pub core: &'static str,
+    /// Sanitizer finding kind.
+    pub kind: String,
+    /// Rendered finding, for the failure message.
+    pub detail: String,
+}
+
+/// An adversarial row whose planted hazard the sanitizer did not
+/// confirm with the expected kind.
+#[derive(Clone, Debug)]
+pub struct MissedHazard {
+    /// Adversarial kernel name.
+    pub kernel: String,
+    /// Core model label.
+    pub core: &'static str,
+    /// The expected-but-absent finding kind.
+    pub kind: &'static str,
+}
+
+/// The outcome of a campaign session.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Kernels judged (generated retained + adversarial).
+    pub kernels: u64,
+    /// Sanitized launches (kernels × core models).
+    pub launches: u64,
+    /// Total deduplicated dynamic findings across all launches.
+    pub dynamic_findings: u64,
+    /// Launches that hit the cycle watchdog (the two planted barrier
+    /// stalls land here; reported, not fatal — their findings are
+    /// recorded before the stall).
+    pub timeouts: u64,
+    /// Dynamic findings without a static flag (must be empty).
+    pub uncovered: Vec<Uncovered>,
+    /// Adversarial expectations the sanitizer missed (must be empty).
+    pub missed_hazards: Vec<MissedHazard>,
+    /// `(kernel, race code)` pairs the static suite raised.
+    pub static_flags: u64,
+    /// …of which the sanitizer dynamically confirmed.
+    pub static_confirmed: u64,
+    /// Per-code `(raised, confirmed)` breakdown, in [`RACE_CODES`] order.
+    pub by_code: Vec<(String, u64, u64)>,
+    /// Wall-clock time of the session.
+    pub wall: Duration,
+}
+
+impl CampaignReport {
+    /// Whether the session upholds the dynamic⊆static contract and the
+    /// adversarial expectation table.
+    pub fn passed(&self) -> bool {
+        self.uncovered.is_empty() && self.missed_hazards.is_empty()
+    }
+
+    /// Fraction of static race flags the sanitizer confirmed (1.0 when
+    /// nothing was flagged — an empty claim is vacuously precise).
+    pub fn precision(&self) -> f64 {
+        if self.static_flags == 0 {
+            1.0
+        } else {
+            self.static_confirmed as f64 / self.static_flags as f64
+        }
+    }
+
+    /// A one-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let mut s = format!(
+            "sanitizer campaign: {verdict} — {} kernels × 2 cores ({} launches), \
+             {} dynamic findings, {} uncovered, {} adversarial misses; static \
+             precision {}/{} ({:.0}%); {} watchdog stalls; {:.1}s",
+            self.kernels,
+            self.launches,
+            self.dynamic_findings,
+            self.uncovered.len(),
+            self.missed_hazards.len(),
+            self.static_confirmed,
+            self.static_flags,
+            self.precision() * 100.0,
+            self.timeouts,
+            self.wall.as_secs_f64()
+        );
+        for u in &self.uncovered {
+            s.push_str(&format!(
+                "\n  UNCOVERED: {} [{}] {} — {}",
+                u.kernel, u.core, u.kind, u.detail
+            ));
+        }
+        for m in &self.missed_hazards {
+            s.push_str(&format!(
+                "\n  MISSED HAZARD: {} [{}] expected dynamic {}",
+                m.kernel, m.core, m.kind
+            ));
+        }
+        s
+    }
+
+    /// The report as a JSON object (the CI artifact format).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("passed", Json::Bool(self.passed())),
+            ("kernels", Json::Num(self.kernels as f64)),
+            ("launches", Json::Num(self.launches as f64)),
+            ("dynamic_findings", Json::Num(self.dynamic_findings as f64)),
+            ("timeouts", Json::Num(self.timeouts as f64)),
+            (
+                "uncovered",
+                Json::Arr(
+                    self.uncovered
+                        .iter()
+                        .map(|u| {
+                            Json::obj([
+                                ("kernel", Json::Str(u.kernel.clone())),
+                                ("core", Json::Str(u.core.to_string())),
+                                ("kind", Json::Str(u.kind.clone())),
+                                ("detail", Json::Str(u.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "missed_hazards",
+                Json::Arr(
+                    self.missed_hazards
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("kernel", Json::Str(m.kernel.clone())),
+                                ("core", Json::Str(m.core.to_string())),
+                                ("kind", Json::Str(m.kind.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("static_flags", Json::Num(self.static_flags as f64)),
+            ("static_confirmed", Json::Num(self.static_confirmed as f64)),
+            ("precision", Json::Num(self.precision())),
+            (
+                "by_code",
+                Json::Arr(
+                    self.by_code
+                        .iter()
+                        .map(|(code, raised, confirmed)| {
+                            Json::obj([
+                                ("code", Json::Str(code.clone())),
+                                ("raised", Json::Num(*raised as f64)),
+                                ("confirmed", Json::Num(*confirmed as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("wall_seconds", Json::Num(self.wall.as_secs_f64())),
+        ])
+    }
+}
+
+/// Per-kernel tallies folded into the session report.
+#[derive(Clone, Debug, Default)]
+struct CaseOutcome {
+    findings: u64,
+    timeouts: u64,
+    uncovered: Vec<Uncovered>,
+    missed_hazards: Vec<MissedHazard>,
+    /// Race codes raised statically, paired with dynamic confirmation.
+    race_flags: Vec<(String, bool)>,
+}
+
+/// One sanitized launch of `kernel` on `core`; returns the finding kinds
+/// plus the raw report and whether the watchdog fired.
+fn sanitized_launch(
+    kernel: &Kernel,
+    input: Option<&[u32]>,
+    core: CoreModelKind,
+    max_cycles: u64,
+) -> (bow_sim::SanitizerReport, bool) {
+    let mut cfg = ConfigBuilder::bow_wr(corpus::WINDOW)
+        .sanitize(true)
+        .core_model(core)
+        .build()
+        .gpu;
+    cfg.max_cycles = max_cycles;
+    let mut gpu = Gpu::new(cfg);
+    if let Some(input) = input {
+        gpu.global_mut()
+            .write_slice_u32(u64::from(INPUT_BASE), input);
+    }
+    let result = gpu.launch(kernel, FuzzKernel::dims(), &PARAMS);
+    let report = result.sanitizer.expect("sanitize flag attaches the probe");
+    (report, !result.completed)
+}
+
+fn core_label(core: CoreModelKind) -> &'static str {
+    match core {
+        CoreModelKind::Pascal => "pascal",
+        CoreModelKind::Modern => "modern",
+    }
+}
+
+fn run_one_case(entry: &ManifestEntry, progress: bool) -> CaseOutcome {
+    let mut out = CaseOutcome::default();
+    let Some(kernel) = kernel_for(entry) else {
+        // Unknown stratum/name: a manifest from another corpus version.
+        // Nothing to validate, nothing to mask.
+        return out;
+    };
+    let adversarial = entry.stratum == adversarial::STRATUM;
+    let expect_dynamic = adversarial::all()
+        .into_iter()
+        .find(|a| a.name == entry.name)
+        .map(|a| a.expect_dynamic)
+        .unwrap_or(&[]);
+
+    // The static half judges the kernel exactly as launched: as authored,
+    // at the corpus hint window, hints checked.
+    let report = lint_kernel(
+        &kernel,
+        &LintOptions {
+            window: corpus::WINDOW,
+            check_hints: true,
+            latencies: CtrlLatencies::default(),
+        },
+    );
+    let static_codes: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+
+    let input = (!adversarial).then(|| corpus::input_for(entry));
+    let max_cycles = if adversarial {
+        ADV_MAX_CYCLES
+    } else {
+        FUZZ_MAX_CYCLES
+    };
+    let mut confirmed_kinds: BTreeSet<String> = BTreeSet::new();
+    for core in [CoreModelKind::Pascal, CoreModelKind::Modern] {
+        let (dynamic, timed_out) = sanitized_launch(&kernel, input.as_deref(), core, max_cycles);
+        out.timeouts += u64::from(timed_out);
+        out.findings += dynamic.findings.len() as u64;
+        let kinds: BTreeSet<&str> = dynamic.findings.iter().map(|f| f.kind()).collect();
+        for finding in &dynamic.findings {
+            let vouchers = static_codes_for(finding.kind());
+            if !vouchers.iter().any(|c| static_codes.contains(c)) {
+                out.uncovered.push(Uncovered {
+                    kernel: entry.name.clone(),
+                    core: core_label(core),
+                    kind: finding.kind().to_string(),
+                    detail: finding.to_string(),
+                });
+            }
+        }
+        for &kind in expect_dynamic {
+            if !kinds.contains(kind) {
+                out.missed_hazards.push(MissedHazard {
+                    kernel: entry.name.clone(),
+                    core: core_label(core),
+                    kind,
+                });
+            }
+        }
+        confirmed_kinds.extend(kinds.into_iter().map(str::to_string));
+    }
+
+    // Precision bookkeeping: a raised race code is confirmed when any
+    // observed kind maps to it (on either core — the launch schedules
+    // differ, and one witness is enough).
+    for code in RACE_CODES {
+        if static_codes.contains(code) {
+            let confirmed = confirmed_kinds
+                .iter()
+                .any(|k| static_codes_for(k).contains(&code));
+            out.race_flags.push((code.to_string(), confirmed));
+        }
+    }
+    if progress {
+        eprintln!(
+            "[campaign] {}: {} findings, {} uncovered",
+            entry.name,
+            out.findings,
+            out.uncovered.len()
+        );
+    }
+    out
+}
+
+/// Runs a campaign session over a pre-built manifest. Deterministic for
+/// a given manifest at any worker count.
+pub fn run_campaign_on(manifest: &Manifest, opts: &CampaignOptions) -> CampaignReport {
+    let start = Instant::now();
+    let entries: Vec<&ManifestEntry> = manifest
+        .entries
+        .iter()
+        .filter(|e| e.retained || e.stratum == adversarial::STRATUM)
+        .collect();
+    let total = entries.len();
+    let workers = effective_jobs(opts.jobs).min(total.max(1));
+    let progress = opts.progress;
+    let run_case = |i: usize| run_one_case(entries[i], progress);
+    let results = map_parallel(total, workers, &run_case, |_, _: &CaseOutcome| {});
+
+    let mut report = CampaignReport {
+        kernels: total as u64,
+        launches: (total as u64) * 2,
+        dynamic_findings: 0,
+        timeouts: 0,
+        uncovered: Vec::new(),
+        missed_hazards: Vec::new(),
+        static_flags: 0,
+        static_confirmed: 0,
+        by_code: RACE_CODES.iter().map(|c| (c.to_string(), 0, 0)).collect(),
+        wall: Duration::default(),
+    };
+    for o in results {
+        report.dynamic_findings += o.findings;
+        report.timeouts += o.timeouts;
+        report.uncovered.extend(o.uncovered);
+        report.missed_hazards.extend(o.missed_hazards);
+        for (code, confirmed) in o.race_flags {
+            report.static_flags += 1;
+            report.static_confirmed += u64::from(confirmed);
+            if let Some(row) = report.by_code.iter_mut().find(|(c, _, _)| *c == code) {
+                row.1 += 1;
+                row.2 += u64::from(confirmed);
+            }
+        }
+    }
+    report.wall = start.elapsed();
+    report
+}
+
+/// Generates the corpus for `opts` and runs the campaign over it.
+pub fn run_campaign(opts: &CampaignOptions) -> CampaignReport {
+    let manifest = corpus::generate(opts.seed, opts.count);
+    run_campaign_on(&manifest, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dynamic_kind_maps_to_documented_codes() {
+        for kind in [
+            "race",
+            "uninit-shared",
+            "uninit-reg",
+            "divergent-bar",
+            "broken-sync",
+            "hint-violation",
+        ] {
+            let codes = static_codes_for(kind);
+            assert!(!codes.is_empty(), "{kind} has no static voucher");
+            for c in codes {
+                assert!(
+                    bow_compiler::LINT_DOCS.iter().any(|d| d.code == *c),
+                    "{c} missing from LINT_DOCS"
+                );
+            }
+        }
+        assert!(static_codes_for("no-such-kind").is_empty());
+    }
+
+    #[test]
+    fn smoke_campaign_covers_every_dynamic_finding() {
+        let report = run_campaign(&CampaignOptions {
+            count: 12,
+            jobs: 2,
+            ..CampaignOptions::smoke()
+        });
+        assert!(report.passed(), "{}", report.summary());
+        // The adversarial stratum guarantees a non-trivial session: every
+        // planted hazard is dynamically confirmed and statically vouched.
+        assert!(report.dynamic_findings > 0, "{}", report.summary());
+        assert!(report.static_flags > 0, "{}", report.summary());
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"passed\":true"), "{json}");
+    }
+}

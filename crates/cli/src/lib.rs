@@ -54,6 +54,8 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model to simulate.
         core_model: CoreModelKind,
+        /// Attach the race sanitizer and print its report.
+        sanitize: bool,
     },
     /// Run all collectors on one benchmark.
     Compare {
@@ -111,6 +113,9 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model every case runs on.
         core_model: CoreModelKind,
+        /// Cross-validate the race sanitizer against the static lints on
+        /// every case (check 4).
+        sanitize: bool,
     },
     /// Static-analysis lint suite + hint verifier (or, with `mutate`,
     /// the mutation sanitizer that audits the verifier).
@@ -134,6 +139,8 @@ pub enum Command {
         /// Core model the lint targets: `modern` runs the control-bit
         /// emitter first so the sidecar lints judge real output.
         core_model: CoreModelKind,
+        /// Print the long-form description of one `B0xx` code and stop.
+        explain: Option<String>,
     },
     /// Run a kernel with pipeline tracing and print the timeline.
     Trace {
@@ -218,6 +225,20 @@ pub enum CorpusAction {
         /// Also write the distribution JSON to this file.
         out: Option<String>,
     },
+    /// Cross-validate the dynamic race sanitizer against the static
+    /// lint suite over the corpus plus the adversarial stratum.
+    Sanitize {
+        /// Generated kernels across all strata.
+        count: usize,
+        /// Master seed.
+        seed: u64,
+        /// Worker threads (0 = all cores).
+        jobs: usize,
+        /// Use the small fixed CI configuration.
+        smoke: bool,
+        /// Write the machine-readable campaign report to this file.
+        out: Option<String>,
+    },
 }
 
 /// The `submit` subcommand's verbs.
@@ -259,7 +280,7 @@ bow-cli — the BOW GPU model
 USAGE:
   bow-cli suite
   bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
-              [--sim-threads T] [--core-model pascal|modern]
+              [--sim-threads T] [--core-model pascal|modern] [--sanitize]
   bow-cli compare <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
                   [--core-model pascal|modern]
   bow-cli asm <file.s>
@@ -267,12 +288,13 @@ USAGE:
   bow-cli sweep <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
                 [--core-model pascal|modern]
   bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
-               [--sim-threads T] [--core-model pascal|modern]
+               [--sim-threads T] [--core-model pascal|modern] [--sanitize]
   bow-cli lint <file.s> [--window N] [--deny-warnings] [--json FILE]
               [--core-model pascal|modern]
   bow-cli lint --all-workloads [--window N] [--deny-warnings] [--json FILE]
               [--core-model pascal|modern]
   bow-cli lint --mutate [--smoke] [--jobs N] [--json FILE]
+  bow-cli lint --explain B0xx
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
@@ -285,6 +307,7 @@ USAGE:
   bow-cli corpus stats [--dir DIR]
   bow-cli corpus sweep [--dir DIR] [--limit N] [--jobs N] [--sim-threads T]
                  [--core-model pascal|modern] [--addr HOST:PORT] [--out FILE]
+  bow-cli corpus sanitize [--count N] [--seed S] [--jobs N] [--smoke] [--out FILE]
 
 COLLECTORS:
   baseline | bow | bow-wr | bow-wr-half | bow-flex | rfc
@@ -304,6 +327,18 @@ shrink to a minimal kernel written as a runnable .asm repro. `--smoke`
 is the fixed 64-case CI configuration (other flags except --jobs and
 --out are ignored). Any failure makes the command exit non-zero.
 
+`run --sanitize` and `fuzz --sanitize` attach the dynamic race
+sanitizer (docs/ANALYSIS.md, `Sanitizer`): shadow state over shared and
+global memory plus per-lane register shadows, reporting data races,
+never-initialized reads, divergent barriers, broken syncs and `.wb.boc`
+hint violations. Under `run` any finding fails the command (exit 5);
+under `fuzz` every dynamic finding must carry a static B0xx flag
+(dynamic ⊆ static) or the case fails. `corpus sanitize` runs the whole
+cross-validation campaign — generated corpus plus the adversarial
+stratum, both core models — and writes the CI artifact (default
+results/sanitizer_campaign.json; `--smoke` is the fixed 64-kernel CI
+configuration).
+
 `lint` runs the static-analysis suite (stable B0xx codes; see
 docs/ANALYSIS.md) plus the independent hint-soundness verifier. A file
 that carries no write-back hints is annotated first, so the lint judges
@@ -313,7 +348,8 @@ what the compiler would actually emit. Errors always fail the command;
 to BocOnly across a generated corpus and requires every mutant that
 demonstrably loses a value to be statically flagged (`--smoke` is the
 small fixed CI configuration). --json writes the machine-readable
-report for either mode.
+report for either mode. `lint --explain B0xx` prints the long-form
+description of one diagnostic code and exits (unknown codes exit 2).
 
 --core-model picks the SM microarchitecture (docs/ARCHITECTURE.md,
 `Core models`): `pascal` is the paper's scoreboarded Pascal SM and the
@@ -406,6 +442,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             reorder: flag("--reorder"),
             sim_threads,
             core_model,
+            sanitize: flag("--sanitize"),
         }),
         "compare" => Ok(Command::Compare {
             bench: positional()
@@ -478,6 +515,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                     .unwrap_or_else(|| defaults.out_dir.display().to_string()),
                 sim_threads,
                 core_model,
+                sanitize: flag("--sanitize"),
             })
         }
         "lint" => {
@@ -496,15 +534,19 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                 smoke: flag("--smoke"),
                 jobs,
                 core_model,
+                explain: opt("--explain").map(String::from),
             };
             if let Command::Lint {
                 path: None,
                 all_workloads: false,
                 mutate: false,
+                explain: None,
                 ..
             } = &cmd
             {
-                return Err(err("lint: pass a file, --all-workloads or --mutate"));
+                return Err(err(
+                    "lint: pass a file, --all-workloads, --mutate or --explain",
+                ));
             }
             Ok(cmd)
         }
@@ -583,7 +625,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                 .first()
                 .filter(|a| !a.starts_with("--"))
                 .copied()
-                .ok_or_else(|| err("corpus: pass a verb (gen, stats or sweep)"))?;
+                .ok_or_else(|| err("corpus: pass a verb (gen, stats, sweep or sanitize)"))?;
             // Seeds print in hex everywhere, so accept `0x…` and decimal.
             let seed = match opt("--seed") {
                 Some(v) => {
@@ -606,6 +648,30 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                     dir,
                 },
                 "stats" => CorpusAction::Stats { dir },
+                "sanitize" => {
+                    let smoke = flag("--smoke");
+                    let defaults = if smoke {
+                        bow::sanitize_campaign::CampaignOptions::smoke()
+                    } else {
+                        bow::sanitize_campaign::CampaignOptions::full()
+                    };
+                    CorpusAction::Sanitize {
+                        count: if smoke {
+                            defaults.count
+                        } else {
+                            match opt("--count") {
+                                Some(c) => {
+                                    c.parse().map_err(|_| err(format!("bad count `{c}`")))?
+                                }
+                                None => defaults.count,
+                            }
+                        },
+                        seed: if smoke { defaults.seed } else { seed },
+                        jobs,
+                        smoke,
+                        out: opt("--out").map(String::from),
+                    }
+                }
                 "sweep" => CorpusAction::Sweep {
                     dir,
                     limit: match opt("--limit") {
@@ -620,7 +686,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                 },
                 other => {
                     return Err(err(format!(
-                        "corpus: unknown verb `{other}` (gen, stats or sweep)"
+                        "corpus: unknown verb `{other}` (gen, stats, sweep or sanitize)"
                     )))
                 }
             };
@@ -871,6 +937,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             reorder,
             sim_threads,
             core_model,
+            sanitize,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
@@ -878,6 +945,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             if let Some(t) = sim_threads {
                 cfg.gpu.sim_threads = t;
             }
+            cfg.gpu.sanitize = sanitize;
             let label = cfg.label.clone();
             let rec = bow::experiment::run(b.as_ref(), cfg);
             rec.outcome
@@ -900,6 +968,20 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                     c.transient, c.persistent, c.rf_only, c.transient_regs.len()
                 )
                 .unwrap();
+            }
+            if let Some(san) = &rec.outcome.result.sanitizer {
+                if san.is_clean() {
+                    writeln!(out, "  sanitizer          clean").unwrap();
+                } else {
+                    writeln!(
+                        out,
+                        "  sanitizer          {} finding(s)",
+                        san.findings.len()
+                    )
+                    .unwrap();
+                    out.push_str(&san.render());
+                    return Err(BowError::verify(out));
+                }
             }
             Ok(out)
         }
@@ -1062,6 +1144,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             out_dir,
             sim_threads,
             core_model,
+            sanitize,
         } => {
             let report = bow::fuzz::run_fuzz(&bow::fuzz::FuzzOptions {
                 cases,
@@ -1072,6 +1155,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 progress: false,
                 sim_threads: sim_threads.unwrap_or(1),
                 core_model,
+                sanitize,
             });
             if report.failures.is_empty() {
                 Ok(report.summary())
@@ -1089,7 +1173,12 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             smoke,
             jobs,
             core_model,
+            explain,
         } => {
+            if let Some(code) = explain {
+                return bow_compiler::explain(&code)
+                    .ok_or_else(|| err(format!("lint: unknown diagnostic code `{code}`")));
+            }
             if mutate {
                 let mut opts = if smoke {
                     bow::mutate::MutateOptions::smoke()
@@ -1412,6 +1501,41 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 }
                 Ok(text)
             }
+            CorpusAction::Sanitize {
+                count,
+                seed,
+                jobs,
+                smoke,
+                out,
+            } => {
+                let mut opts = if smoke {
+                    bow::sanitize_campaign::CampaignOptions::smoke()
+                } else {
+                    bow::sanitize_campaign::CampaignOptions::full()
+                };
+                opts.count = count;
+                opts.seed = seed;
+                opts.jobs = jobs;
+                let report = bow::sanitize_campaign::run_campaign(&opts);
+                let out_path = out.unwrap_or_else(|| "results/sanitizer_campaign.json".into());
+                if let Some(dir) = std::path::Path::new(&out_path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| BowError::io(dir.display().to_string(), e))?;
+                    }
+                }
+                let mut text = report.to_json().to_string_pretty();
+                if !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                std::fs::write(&out_path, text).map_err(|e| BowError::io(&out_path, e))?;
+                let summary = format!("{}\nreport → {out_path}\n", report.summary().trim_end());
+                if report.passed() {
+                    Ok(summary)
+                } else {
+                    Err(BowError::verify(summary))
+                }
+            }
         },
     }
 }
@@ -1440,6 +1564,7 @@ mod tests {
                 reorder: true,
                 sim_threads: Some(2),
                 core_model: CoreModelKind::Pascal,
+                sanitize: false,
             }
         );
         assert!(parse(&argv("run btree --sim-threads lots")).is_err());
@@ -1458,6 +1583,7 @@ mod tests {
                 reorder: false,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                sanitize: false,
             }
         );
     }
@@ -1545,6 +1671,7 @@ mod tests {
             reorder: false,
             sim_threads: Some(2),
             core_model: CoreModelKind::Pascal,
+            sanitize: false,
         })
         .unwrap();
         assert!(out.contains("OK (results verified)"), "{out}");
@@ -1561,6 +1688,7 @@ mod tests {
             reorder: false,
             sim_threads: None,
             core_model: CoreModelKind::Pascal,
+            sanitize: false,
         })
         .unwrap_err();
         assert!(e.to_string().contains("unknown benchmark"));
@@ -1606,6 +1734,7 @@ mod tests {
                     .to_string(),
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                sanitize: false,
             }
         );
         // --smoke pins cases/seed/size regardless of other flags.
@@ -1621,6 +1750,7 @@ mod tests {
                 out_dir: smoke.out_dir.display().to_string(),
                 sim_threads: Some(4),
                 core_model: CoreModelKind::Pascal,
+                sanitize: false,
             }
         );
         assert!(parse(&argv("fuzz --cases many")).is_err());
@@ -1644,6 +1774,7 @@ mod tests {
                 .to_string(),
             sim_threads: Some(2),
             core_model: CoreModelKind::Pascal,
+            sanitize: true,
         })
         .unwrap();
         assert!(out.contains("OK"), "{out}");
@@ -1667,6 +1798,7 @@ mod tests {
                 smoke: false,
                 jobs: 0,
                 core_model: CoreModelKind::Pascal,
+                explain: None,
             }
         );
         // A bare `lint` has nothing to lint.
@@ -1700,6 +1832,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            explain: None,
         })
         .unwrap();
         assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
@@ -1723,6 +1856,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Modern,
+            explain: None,
         })
         .unwrap();
         assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
@@ -1757,6 +1891,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            explain: None,
         })
         .unwrap_err()
         .to_string();
@@ -1791,6 +1926,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            explain: None,
         })
         .unwrap();
         assert!(out.contains("linted 1 kernel(s) at IW3: clean"), "{out}");
@@ -1841,6 +1977,7 @@ mod tests {
             reorder: false,
             sim_threads: Some(2),
             core_model: CoreModelKind::Modern,
+            sanitize: false,
         })
         .unwrap();
         assert!(out.contains("bow-wr iw3+modern"), "{out}");
@@ -1981,6 +2118,104 @@ mod tests {
             assert!(out.contains(key), "missing {key} in:\n{out}");
         }
         assert_eq!(std::fs::read_to_string(&out_file).unwrap(), out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_sanitize_flags() {
+        match parse(&argv("run vectoradd --sanitize")).unwrap() {
+            Command::Run { sanitize, .. } => assert!(sanitize),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("fuzz --smoke --sanitize")).unwrap() {
+            Command::Fuzz { sanitize, .. } => assert!(sanitize),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "corpus sanitize --count 32 --seed 0x2a --jobs 2 --out s.json",
+        ))
+        .unwrap()
+        {
+            Command::Corpus {
+                action:
+                    CorpusAction::Sanitize {
+                        count,
+                        seed,
+                        jobs,
+                        smoke,
+                        out,
+                    },
+            } => {
+                assert_eq!((count, seed, jobs, smoke), (32, 0x2a, 2, false));
+                assert_eq!(out.as_deref(), Some("s.json"));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // --smoke pins the fixed CI campaign regardless of other knobs.
+        match parse(&argv("corpus sanitize --smoke --count 9999")).unwrap() {
+            Command::Corpus {
+                action: CorpusAction::Sanitize { count, smoke, .. },
+            } => {
+                assert_eq!(
+                    count,
+                    bow::sanitize_campaign::CampaignOptions::smoke().count
+                );
+                assert!(smoke);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_sanitizer_reports_clean() {
+        let out = execute(Command::Run {
+            bench: "vectoradd".into(),
+            collector: "bow-wr".into(),
+            window: 3,
+            scale: Scale::Test,
+            reorder: false,
+            sim_threads: None,
+            core_model: CoreModelKind::Pascal,
+            sanitize: true,
+        })
+        .unwrap();
+        assert!(out.contains("sanitizer          clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_explain_prints_docs_and_rejects_unknown_codes() {
+        match parse(&argv("lint --explain B015")).unwrap() {
+            Command::Lint { explain, .. } => assert_eq!(explain.as_deref(), Some("B015")),
+            other => panic!("parsed {other:?}"),
+        }
+        let out = execute(parse(&argv("lint --explain B015")).unwrap()).unwrap();
+        assert!(out.starts_with("B015:"), "{out}");
+        assert!(out.contains("error"), "{out}");
+        // Unknown codes are a usage error: exit code 2 for scripts.
+        let e = execute(parse(&argv("lint --explain B999")).unwrap()).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("B999"), "{e}");
+    }
+
+    #[test]
+    fn corpus_sanitize_writes_the_campaign_artifact() {
+        let dir = std::env::temp_dir().join("bow_cli_corpus_sanitize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_file = dir.join("campaign.json").display().to_string();
+        let out = execute(Command::Corpus {
+            action: CorpusAction::Sanitize {
+                count: 6,
+                seed: 0xdeca,
+                jobs: 2,
+                smoke: false,
+                out: Some(out_file.clone()),
+            },
+        })
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains(&out_file), "{out}");
+        let doc = bow::util::json::parse(&std::fs::read_to_string(&out_file).unwrap()).unwrap();
+        assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(true));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -61,6 +61,6 @@ pub use liveness::Liveness;
 pub use regset::RegSet;
 pub use reorder::reorder_for_bypass;
 pub use verify::{
-    annotate_checked, lint_kernel, verify_hints, Diagnostic, HintAudit, HintVerdict, LintOptions,
-    LintReport, Severity,
+    annotate_checked, explain, lint_kernel, verify_hints, Diagnostic, HintAudit, HintVerdict,
+    LintDoc, LintOptions, LintReport, Severity, LINT_DOCS,
 };

@@ -291,4 +291,82 @@ mod tests {
             Some(1)
         );
     }
+
+    #[test]
+    fn json_preserves_every_diagnostic_field() {
+        let (_, mut rep) = sample();
+        // A second, location-free diagnostic: `pc` must serialize as
+        // null, not be dropped or defaulted to 0.
+        rep.diagnostics
+            .push(Diagnostic::new("B006", Severity::Info, "pressure summary"));
+        rep.pressure.push(BlockPressure {
+            block: 2,
+            start: 4,
+            end: 9,
+            max_live: 5,
+            loop_header: true,
+        });
+        let back = bow_util::json::parse(&rep.to_json().to_string_pretty()).expect("valid json");
+        let diags = back.get("diagnostics").and_then(|d| d.as_arr()).unwrap();
+        assert_eq!(diags[0].get("code"), Some(&Json::Str("B001".into())));
+        assert_eq!(diags[0].get("severity"), Some(&Json::Str("warning".into())));
+        assert_eq!(diags[0].get("pc"), Some(&Json::Int(0)));
+        assert_eq!(
+            diags[0]
+                .get("notes")
+                .and_then(|n| n.as_arr())
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert_eq!(diags[1].get("pc"), Some(&Json::Null));
+        let pressure = back.get("pressure").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(pressure[0].get("max_live"), Some(&Json::Int(5)));
+        assert_eq!(pressure[0].get("loop_header"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        // Sorting diagnostics by severity must put errors before
+        // warnings before advisories — report canonicalization and the
+        // `--deny-warnings` gate both lean on this derive.
+        let mut sev = [Severity::Info, Severity::Error, Severity::Warning];
+        sev.sort();
+        assert_eq!(sev, [Severity::Error, Severity::Warning, Severity::Info]);
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+        for s in sev {
+            assert_eq!(s.to_string(), s.as_str());
+        }
+    }
+
+    #[test]
+    fn documented_codes_are_stable_and_unique() {
+        // Golden snapshots and CI gates key on the `B0xx` codes, so the
+        // table must stay well-formed: `B` + 3 digits, unique, sorted,
+        // each with a severity keyword matching `Severity::as_str`.
+        let docs = crate::verify::LINT_DOCS;
+        assert!(!docs.is_empty());
+        for pair in docs.windows(2) {
+            assert!(pair[0].code < pair[1].code, "docs sorted by code");
+        }
+        for doc in docs {
+            assert_eq!(doc.code.len(), 4, "{}", doc.code);
+            assert!(doc.code.starts_with('B'), "{}", doc.code);
+            assert!(
+                doc.code[1..].chars().all(|c| c.is_ascii_digit()),
+                "{}",
+                doc.code
+            );
+            assert!(
+                ["error", "warning", "info"].contains(&doc.severity),
+                "{}: severity {}",
+                doc.code,
+                doc.severity
+            );
+            let text = crate::verify::explain(doc.code).expect("every documented code explains");
+            assert!(text.starts_with(doc.code), "{text}");
+        }
+        assert!(crate::verify::explain("B999").is_none());
+        assert!(crate::verify::explain("").is_none());
+    }
 }

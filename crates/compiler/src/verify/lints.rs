@@ -5,7 +5,7 @@
 //! |------|----------|-----------------------------------------------------|
 //! | B001 | warning  | read of a register that may be uninitialized        |
 //! | B002 | error    | barrier under divergence (in-SSY or guarded `bar`)  |
-//! | B003 | info     | shared-memory race candidate (no separating barrier)|
+//! | B003 | info     | race candidate the address analysis cannot rule out |
 //! | B004 | warning  | dead write (value never read afterwards)            |
 //! | B005 | warning  | unreachable basic block                             |
 //! | B010 | error    | unsound `BocOnly` write-back hint                   |
@@ -13,6 +13,12 @@
 //! | B012 | info     | guarded branch assumed warp-uniform                 |
 //! | B013 | error    | barrier-guarded register used without a wait        |
 //! | B014 | warning  | stall count under the fixed-latency RAW gap         |
+//! | B015 | error    | definite cross-thread race (same word, same barrier interval) |
+//! | B016 | warning  | shared read no store in the kernel initializes      |
+//!
+//! `B003`/`B015`/`B016` come from the barrier-interval dataflow in
+//! [`super::interval`]; the machine-readable descriptions behind
+//! `bow-cli lint --explain` live in [`LINT_DOCS`].
 //!
 //! `B013`/`B014` check the control-bits sidecar (`Kernel::ctrl`) the
 //! modern core consumes, so they only run on annotated kernels. They adopt
@@ -75,7 +81,7 @@ pub fn lint_kernel(kernel: &Kernel, opts: &LintOptions) -> LintReport {
     structure_lints(kernel, &mut report);
     uninit_lints(kernel, &cfg, &doms, &mut report);
     barrier_lints(kernel, &cfg, &mut report);
-    shared_race_lints(kernel, &mut report);
+    super::interval::interval_lints(kernel, &cfg, &doms, &mut report);
     dead_write_lints(kernel, &cfg, &doms, &mut report);
     unreachable_lints(&cfg, &doms, &mut report);
     pressure_report(kernel, &cfg, &doms, &mut report);
@@ -333,42 +339,159 @@ fn barrier_lints(kernel: &Kernel, cfg: &Cfg, report: &mut LintReport) {
     }
 }
 
-/// `B003`: a shared-memory store followed by a shared load in the same
-/// barrier phase (no `bar` between them in program order). Advisory: the
-/// check is phase-counting, not address analysis, so it only points at
-/// *candidates* for a missing barrier.
-fn shared_race_lints(kernel: &Kernel, report: &mut LintReport) {
-    let mut phase = 0usize;
-    let mut phase_of = Vec::with_capacity(kernel.insts.len());
-    for (_, inst) in kernel.iter() {
-        phase_of.push(phase);
-        if inst.op == Opcode::Bar {
-            phase += 1;
-        }
-    }
-    for (pc, inst) in kernel.iter() {
-        if inst.op != Opcode::Lds {
-            continue;
-        }
-        if let Some(store) = kernel
-            .iter()
-            .find(|(s, i)| i.op == Opcode::Sts && *s < pc && phase_of[*s] == phase_of[pc])
-        {
-            report.diagnostics.push(
-                Diagnostic::new(
-                    "B003",
-                    Severity::Info,
-                    format!(
-                        "shared load may race with the store at #{}: no barrier \
-                         separates them",
-                        store.0
-                    ),
-                )
-                .at(pc)
-                .note("phase analysis only; thread-local access patterns are safe"),
-            );
-        }
-    }
+/// One row of the lint documentation table: the stable code, its severity
+/// as rendered, a one-line summary and the long-form explanation printed
+/// by `bow-cli lint --explain`.
+#[derive(Clone, Copy, Debug)]
+pub struct LintDoc {
+    /// Stable diagnostic code (`"B001"`, ...).
+    pub code: &'static str,
+    /// Severity as a lowercase word (`"error"`, `"warning"`, `"info"`).
+    pub severity: &'static str,
+    /// One-line summary, matching the table in the module docs.
+    pub summary: &'static str,
+    /// Long-form rustc-`--explain`-style description.
+    pub detail: &'static str,
+}
+
+/// Every stable diagnostic code, machine readable. `B006` is included even
+/// though it is a report table rather than a diagnostic.
+pub const LINT_DOCS: &[LintDoc] = &[
+    LintDoc {
+        code: "B001",
+        severity: "warning",
+        summary: "read of a register that may be uninitialized",
+        detail: "The forward must-init dataflow found a read of a register that is not \
+                 written on every path from the kernel entry to the read. The hardware \
+                 register file starts with undefined contents, so the value observed \
+                 depends on whatever ran before this kernel. Guarded writes are may-defs \
+                 and do not count as initialization.",
+    },
+    LintDoc {
+        code: "B002",
+        severity: "error",
+        summary: "barrier under divergence (in-SSY or guarded bar)",
+        detail: "A block-wide `bar` executes inside an open SSY region or under a \
+                 predicate guard. Threads masked off by the divergence never arrive, so \
+                 the barrier either deadlocks the block or mis-counts arrivals.",
+    },
+    LintDoc {
+        code: "B003",
+        severity: "info",
+        summary: "race candidate the address analysis cannot rule out",
+        detail: "Two memory accesses (at least one a store) can fall in the same barrier \
+                 interval, and the affine address analysis cannot prove them disjoint — \
+                 the addresses are nonlinear, guarded, or coincide only at some non-zero \
+                 thread distance. Advisory: thread-local and provably strided patterns \
+                 are already filtered out, but a may-race is not a proof. Definite races \
+                 are promoted to B015.",
+    },
+    LintDoc {
+        code: "B004",
+        severity: "warning",
+        summary: "dead write (value never read afterwards)",
+        detail: "The backward liveness dataflow found a register write whose value is \
+                 never read on any path before being overwritten or the kernel exiting. \
+                 Dead writes waste issue slots, register-file energy and — under BOW — \
+                 operand-collector window slots.",
+    },
+    LintDoc {
+        code: "B005",
+        severity: "warning",
+        summary: "unreachable basic block",
+        detail: "No path from the kernel entry reaches this block. Unreachable code is \
+                 skipped by every other analysis, so nothing else in the report covers \
+                 it; it is usually a sign of a mislowered branch.",
+    },
+    LintDoc {
+        code: "B006",
+        severity: "info",
+        summary: "per-block register pressure table",
+        detail: "Not a finding: the per-block maximum-live-register table reported on \
+                 the lint report itself, used to size register allocation and operand \
+                 windows. Loop headers are marked because their pressure bounds the \
+                 steady-state working set.",
+    },
+    LintDoc {
+        code: "B010",
+        severity: "error",
+        summary: "unsound BocOnly write-back hint",
+        detail: "The residency verifier found a path on which a register annotated \
+                 `.wb.boc` (write to the bypass network only, skip the register file) is \
+                 read after the producing value has been evicted from the operand \
+                 window. A core honouring the hint would read a stale register-file \
+                 value. The diagnostic carries the counterexample path.",
+    },
+    LintDoc {
+        code: "B011",
+        severity: "error",
+        summary: "broken SSY/SYNC reconvergence structure",
+        detail: "The divergence-structure checker found a `sync` without a matching \
+                 `ssy`, an unclosed `ssy` region, or a join that unbalances the \
+                 reconvergence stack. The SIMT stack would underflow or reconverge at \
+                 the wrong pc.",
+    },
+    LintDoc {
+        code: "B012",
+        severity: "info",
+        summary: "guarded branch assumed warp-uniform",
+        detail: "A guarded backward branch closes a loop without an SSY/SYNC region. \
+                 The model executes it as warp-uniform (all active threads agree on the \
+                 predicate); if the predicate is actually thread-varying the loop \
+                 trip-counts diverge. Advisory because uniform trip-counts are the \
+                 common case for compiler-generated loops.",
+    },
+    LintDoc {
+        code: "B013",
+        severity: "error",
+        summary: "barrier-guarded register used without a wait",
+        detail: "The control-bits sidecar marks a register as guarded by a scoreboard \
+                 barrier, but an instruction reads (or overwrites) it without an \
+                 intervening wait on that barrier. A core trusting the sidecar — like \
+                 the modern core model — would use a stale value.",
+    },
+    LintDoc {
+        code: "B014",
+        severity: "warning",
+        summary: "stall count under the fixed-latency RAW gap",
+        detail: "Replaying the block's issue times shows a source register becoming \
+                 ready after the instruction that reads it issues: the emitted stall \
+                 counts under-cover a fixed-latency dependence. The in-order dispatch \
+                 gate absorbs the error at a cycle cost, but the sidecar is \
+                 under-serialized.",
+    },
+    LintDoc {
+        code: "B015",
+        severity: "error",
+        summary: "definite cross-thread race (same word, same barrier interval)",
+        detail: "The barrier-interval dataflow proved that two accesses (at least one a \
+                 store, with provably different data if both are stores) hit the same \
+                 word in the same barrier interval for some pair of threads, with no \
+                 guard that could mask the conflict. No execution order is enforced \
+                 between warps without a barrier, so the outcome is \
+                 schedule-dependent. The dynamic sanitizer (`--sanitize`) confirms \
+                 these at runtime.",
+    },
+    LintDoc {
+        code: "B016",
+        severity: "warning",
+        summary: "shared read no store in the kernel initializes",
+        detail: "A shared-memory load reads an address that every shared store in the \
+                 kernel provably misses (or the kernel has no shared store at all). \
+                 Shared memory starts undefined on each launch, so the loaded value is \
+                 garbage. The dynamic sanitizer reports the same condition as \
+                 `uninit-shared`.",
+    },
+];
+
+/// The long-form description behind `bow-cli lint --explain CODE`, rendered
+/// rustc style. `None` for unknown codes.
+pub fn explain(code: &str) -> Option<String> {
+    let doc = LINT_DOCS.iter().find(|d| d.code == code)?;
+    Some(format!(
+        "{}: {} ({})\n\n{}\n",
+        doc.code, doc.summary, doc.severity, doc.detail
+    ))
 }
 
 /// `B004`: a register write whose value is never read afterwards on any
@@ -551,18 +674,21 @@ mod tests {
     }
 
     #[test]
-    fn b003_flags_a_store_load_pair_without_a_barrier() {
+    fn same_word_store_load_pair_is_a_definite_race() {
+        // Uniform-address sts/lds in one barrier interval: the interval
+        // pass proves the overlap, so this is B015 (error), not the old
+        // phase-counting B003 advisory.
         let k = KernelBuilder::new("race")
             .mov_imm(r(0), 0)
             .sts(r(0), 0, r(0).into())
-            .lds(r(1), r(0), 0) // same phase as the sts
+            .lds(r(1), r(0), 0) // same interval as the sts
             .stg(r(1), 0, r(1).into())
             .exit()
             .build()
             .unwrap();
         let rep = lint_kernel(&k, &LintOptions::default());
-        assert!(codes(&rep).contains(&"B003"));
-        assert!(rep.passes_deny_warnings(), "B003 is advisory");
+        assert!(codes(&rep).contains(&"B015"), "{:?}", rep.diagnostics);
+        assert!(!rep.passes_deny_warnings(), "B015 is an error");
 
         let fixed = KernelBuilder::new("fixed")
             .mov_imm(r(0), 0)
@@ -574,7 +700,26 @@ mod tests {
             .build()
             .unwrap();
         let rep = lint_kernel(&fixed, &LintOptions::default());
+        assert!(!codes(&rep).contains(&"B015"), "{:?}", rep.diagnostics);
         assert!(!codes(&rep).contains(&"B003"), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn explain_covers_every_documented_code() {
+        for doc in LINT_DOCS {
+            let text = explain(doc.code).expect("documented code explains");
+            assert!(text.starts_with(doc.code), "{text}");
+            assert!(text.contains(doc.severity), "{text}");
+        }
+        // Every code any pass can emit has a row.
+        for code in [
+            "B001", "B002", "B003", "B004", "B005", "B006", "B010", "B011", "B012", "B013", "B014",
+            "B015", "B016",
+        ] {
+            assert!(explain(code).is_some(), "{code} missing from LINT_DOCS");
+        }
+        assert!(explain("B999").is_none());
+        assert!(explain("nonsense").is_none());
     }
 
     #[test]

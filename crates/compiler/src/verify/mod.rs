@@ -16,11 +16,12 @@
 
 pub mod dataflow;
 pub mod diag;
+pub mod interval;
 pub mod lints;
 pub mod residency;
 
 pub use diag::{BlockPressure, Diagnostic, LintReport, Severity};
-pub use lints::{lint_kernel, LintOptions};
+pub use lints::{explain, lint_kernel, LintDoc, LintOptions, LINT_DOCS};
 pub use residency::{verify_hints, HintAudit, HintFinding, HintVerdict};
 
 use crate::hints::{annotate, CompilerReport};

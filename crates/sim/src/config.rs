@@ -124,6 +124,13 @@ pub struct GpuConfig {
     /// (`bow-cli lint --mutate`) together with [`OracleCheck::Lockstep`]
     /// to make the oracle catch unsound hints dynamically.
     pub shadow_rf: bool,
+    /// Subscribe the race sanitizer ([`crate::sanitize`]) to the launch:
+    /// shadow every shared- and global-memory word with last-accessor
+    /// provenance and a per-CTA barrier epoch, and report intra-CTA data
+    /// races, reads of never-initialized shared memory and divergent
+    /// barriers in [`LaunchResult::sanitizer`](crate::LaunchResult).
+    /// Costly (forces the instrumented pipeline); off by default.
+    pub sanitize: bool,
     /// Worker threads for the intra-run parallel engine
     /// ([`crate::parallel`]): SM pipelines are sharded across this many
     /// threads. `1` (the default) runs the windowed engine inline on the
@@ -191,6 +198,7 @@ impl GpuConfig {
             trace_pipeline: false,
             oracle_check: OracleCheck::Off,
             shadow_rf: false,
+            sanitize: false,
             sim_threads: 1,
             sim_window: 256,
         }

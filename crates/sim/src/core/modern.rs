@@ -451,7 +451,34 @@ impl ModernCore {
                 self.ctrls[w].stall = u32::from(cb.stall);
             }
             let warp = ctx.warps[w].as_mut().expect("live");
+            let (arrive, live, pre_depth) = if P::ACTIVE {
+                (
+                    warp.guard_mask(inst.guard),
+                    warp.valid & !warp.exited,
+                    warp.stack.len(),
+                )
+            } else {
+                (0, 0, 0)
+            };
             let outcome = exec::execute_control(warp, &inst);
+            if P::ACTIVE {
+                let sync_underflow = inst.op == Opcode::Sync && pre_depth == 0;
+                let depth = warp.stack.len() as u32;
+                emit(
+                    &mut ctx.stats,
+                    probe,
+                    PipeEvent::CtrlTrace {
+                        uid,
+                        pc: ctrl_pc,
+                        seq,
+                        arrive,
+                        live,
+                        depth,
+                        sync_underflow,
+                        inst: &inst,
+                    },
+                );
+            }
             match outcome {
                 ControlOutcome::Exit => {
                     if warp.done {

@@ -92,7 +92,7 @@ fn from_f32(v: f32) -> u32 {
 }
 
 /// Evaluates a source operand for one lane.
-fn operand_value(warp: &Warp, lane: usize, op: Operand, block: &BlockInfo) -> u32 {
+pub(crate) fn operand_value(warp: &Warp, lane: usize, op: Operand, block: &BlockInfo) -> u32 {
     match op {
         Operand::Reg(r) => warp.read_reg(lane, r),
         Operand::Imm(v) => v,

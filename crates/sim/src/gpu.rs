@@ -11,6 +11,7 @@ use crate::oracle::LockstepChecker;
 use crate::parallel::{self, EventBuf};
 use crate::pipetrace::PipeTrace;
 use crate::probe::{NullProbe, PipeEvent, Probe};
+use crate::sanitize::{Sanitizer, SanitizerReport};
 use crate::sm::Sm;
 use crate::stats::SimStats;
 use crate::trace::{BypassAnalyzer, WindowReport};
@@ -30,6 +31,10 @@ pub struct LaunchResult {
     pub windows: Vec<WindowReport>,
     /// False if the `max_cycles` watchdog fired before completion.
     pub completed: bool,
+    /// Race-sanitizer report (`Some` only when the config set
+    /// [`GpuConfig::sanitize`] and the launch ran through
+    /// [`Gpu::launch`] with the oracle check off).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl LaunchResult {
@@ -45,18 +50,22 @@ impl LaunchResult {
 
 /// The instrumented launch probe: fans events out to the device trace
 /// (when tracing is on) and the bypass analyzer.
-struct LaunchProbe<'a> {
+struct LaunchProbe<'a, 'k> {
     trace: Option<&'a mut PipeTrace>,
     analyzer: &'a mut BypassAnalyzer,
+    sanitizer: Option<&'a mut Sanitizer<'k>>,
 }
 
-impl Probe for LaunchProbe<'_> {
+impl Probe for LaunchProbe<'_, '_> {
     #[inline]
     fn on_event(&mut self, ev: &PipeEvent<'_>) {
         if let Some(t) = self.trace.as_deref_mut() {
             t.on_event(ev);
         }
         self.analyzer.on_event(ev);
+        if let Some(s) = self.sanitizer.as_deref_mut() {
+            s.on_event(ev);
+        }
     }
 }
 
@@ -133,15 +142,24 @@ impl Gpu {
         );
 
         let mut analyzer = BypassAnalyzer::new(&self.config.analyze_windows);
+        let mut sanitizer = self.config.sanitize.then(|| {
+            Sanitizer::new(
+                kernel,
+                u64::from(warps_per_block),
+                self.config.collector.window(),
+            )
+        });
         for sm in &mut self.sms {
             sm.reset_for_launch(params);
         }
 
-        let instrumented = self.config.trace_pipeline || analyzer.is_enabled();
+        let instrumented =
+            self.config.trace_pipeline || analyzer.is_enabled() || sanitizer.is_some();
         let (cycles, completed) = if instrumented {
             let mut probe = LaunchProbe {
                 trace: self.config.trace_pipeline.then_some(&mut self.trace),
                 analyzer: &mut analyzer,
+                sanitizer: sanitizer.as_mut(),
             };
             run_device(
                 &mut self.sms,
@@ -176,6 +194,7 @@ impl Gpu {
             per_sm,
             windows: analyzer.reports().to_vec(),
             completed,
+            sanitizer: sanitizer.map(Sanitizer::finish),
         }
     }
 
@@ -227,6 +246,7 @@ impl Gpu {
             per_sm,
             windows: Vec::new(),
             completed,
+            sanitizer: None,
         }
     }
 

@@ -61,6 +61,7 @@ pub mod pipetrace;
 pub mod probe;
 pub mod regfile;
 pub mod replay;
+pub mod sanitize;
 pub mod scheduler;
 pub mod scoreboard;
 pub mod sm;
@@ -77,6 +78,7 @@ pub use oracle::{run_oracle, Divergence, LockstepChecker, OracleRun, WriteLog, W
 pub use pipetrace::{Event, PipeTrace, Stage};
 pub use probe::{emit, NullProbe, PipeEvent, Probe, StallKind};
 pub use replay::{record_straightline, replay, KernelTrace, TraceRecorder, TraceStep};
+pub use sanitize::{Sanitizer, SanitizerFinding, SanitizerReport};
 pub use stage::{
     CollectStage, CompletionQueue, DispatchLatch, DispatchStage, IssueStage, Latches,
     PipelineStage, SmCtx, WritebackStage,

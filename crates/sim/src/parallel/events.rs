@@ -83,6 +83,27 @@ enum OwnedEvent {
         /// Range into the owning buffer's value pool.
         values: (u32, u32),
     },
+    CtrlTrace {
+        uid: u64,
+        pc: usize,
+        seq: u64,
+        arrive: u32,
+        live: u32,
+        depth: u32,
+        sync_underflow: bool,
+    },
+    MemTrace {
+        uid: u64,
+        pc: usize,
+        seq: u64,
+        is_store: bool,
+        shared: bool,
+        mask: u32,
+        /// Range into the owning buffer's address pool.
+        addrs: (u32, u32),
+        /// Range into the owning buffer's value pool.
+        values: (u32, u32),
+    },
     Stall(StallKind),
     SrcRegs(usize),
     BypassedRead,
@@ -110,6 +131,7 @@ enum OwnedEvent {
 pub struct EventBuf {
     events: Vec<OwnedEvent>,
     values: Vec<u32>,
+    addrs: Vec<u64>,
 }
 
 impl Probe for EventBuf {
@@ -206,6 +228,49 @@ impl Probe for EventBuf {
                     mask,
                     pred_bits,
                     values: (start, values.len() as u32),
+                }
+            }
+            PipeEvent::CtrlTrace {
+                uid,
+                pc,
+                seq,
+                arrive,
+                live,
+                depth,
+                sync_underflow,
+                inst: _,
+            } => OwnedEvent::CtrlTrace {
+                uid,
+                pc,
+                seq,
+                arrive,
+                live,
+                depth,
+                sync_underflow,
+            },
+            PipeEvent::MemTrace {
+                uid,
+                pc,
+                seq,
+                is_store,
+                shared,
+                mask,
+                addrs,
+                values,
+            } => {
+                let astart = self.addrs.len() as u32;
+                self.addrs.extend_from_slice(addrs);
+                let vstart = self.values.len() as u32;
+                self.values.extend_from_slice(values);
+                OwnedEvent::MemTrace {
+                    uid,
+                    pc,
+                    seq,
+                    is_store,
+                    shared,
+                    mask,
+                    addrs: (astart, addrs.len() as u32),
+                    values: (vstart, values.len() as u32),
                 }
             }
             PipeEvent::Stall(k) => OwnedEvent::Stall(k),
@@ -330,6 +395,43 @@ impl EventBuf {
                     pred_bits,
                     values: &self.values[start as usize..(start + len) as usize],
                 },
+                OwnedEvent::CtrlTrace {
+                    uid,
+                    pc,
+                    seq,
+                    arrive,
+                    live,
+                    depth,
+                    sync_underflow,
+                } => PipeEvent::CtrlTrace {
+                    uid,
+                    pc,
+                    seq,
+                    arrive,
+                    live,
+                    depth,
+                    sync_underflow,
+                    inst: &kernel.insts[pc],
+                },
+                OwnedEvent::MemTrace {
+                    uid,
+                    pc,
+                    seq,
+                    is_store,
+                    shared,
+                    mask,
+                    addrs: (astart, alen),
+                    values: (vstart, vlen),
+                } => PipeEvent::MemTrace {
+                    uid,
+                    pc,
+                    seq,
+                    is_store,
+                    shared,
+                    mask,
+                    addrs: &self.addrs[astart as usize..(astart + alen) as usize],
+                    values: &self.values[vstart as usize..(vstart + vlen) as usize],
+                },
                 OwnedEvent::Stall(k) => PipeEvent::Stall(k),
                 OwnedEvent::SrcRegs(n) => PipeEvent::SrcRegs(n),
                 OwnedEvent::BypassedRead => PipeEvent::BypassedRead,
@@ -349,6 +451,7 @@ impl EventBuf {
         }
         self.events.clear();
         self.values.clear();
+        self.addrs.clear();
     }
 }
 
@@ -424,6 +527,26 @@ mod tests {
                 mask: 0xffff_ffff,
                 pred_bits: 0,
                 values: &vals,
+            },
+            PipeEvent::CtrlTrace {
+                uid: 9,
+                pc: 1,
+                seq: 4,
+                arrive: 0xffff,
+                live: 0xffff_ffff,
+                depth: 1,
+                sync_underflow: false,
+                inst: &kernel.insts[1],
+            },
+            PipeEvent::MemTrace {
+                uid: 9,
+                pc: 0,
+                seq: 5,
+                is_store: true,
+                shared: false,
+                mask: 0b11,
+                addrs: &[0x1000, 0x1004],
+                values: &[7, 8],
             },
             PipeEvent::Stall(StallKind::Scoreboard),
             PipeEvent::WriteDestClass(WriteDest::BocOnly),

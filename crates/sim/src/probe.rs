@@ -178,6 +178,52 @@ pub enum PipeEvent<'a> {
         /// only lanes under `mask`). Empty when `dst_reg` is `None`.
         values: &'a [u32],
     },
+    /// A control instruction executed, with the divergence context the
+    /// race sanitizer ([`Sanitizer`](crate::sanitize::Sanitizer)) needs to
+    /// track barrier epochs and divergent-barrier deadlocks. Emitted right
+    /// after `execute_control`, only into `ACTIVE` probes; it is a
+    /// statistics no-op.
+    CtrlTrace {
+        /// Warp id unique across blocks and SMs.
+        uid: u64,
+        /// Program counter of the control instruction.
+        pc: usize,
+        /// Per-warp dynamic sequence number.
+        seq: u64,
+        /// Lanes that actually executed it (guard-filtered active mask).
+        arrive: u32,
+        /// Lanes still live in the warp (valid and not exited).
+        live: u32,
+        /// Reconvergence-stack depth after execution.
+        depth: u32,
+        /// A `sync` executed with an empty reconvergence stack.
+        sync_underflow: bool,
+        /// The control instruction.
+        inst: &'a Instruction,
+    },
+    /// The architectural memory access of one executed data instruction:
+    /// the per-lane addresses (and, for stores, the values as written).
+    /// This is the stream the race sanitizer keeps shadow memory state
+    /// from. Only emitted into `ACTIVE` probes; it is a statistics no-op.
+    MemTrace {
+        /// Warp id unique across blocks and SMs.
+        uid: u64,
+        /// Program counter of the memory instruction.
+        pc: usize,
+        /// Per-warp dynamic sequence number.
+        seq: u64,
+        /// Whether the access writes memory.
+        is_store: bool,
+        /// Whether it targets shared (true) or global (false) memory.
+        shared: bool,
+        /// Active-lane mask the access executed under.
+        mask: u32,
+        /// One address per set bit of `mask`, in ascending lane order.
+        addrs: &'a [u64],
+        /// For stores: one written value per set bit of `mask`, aligned
+        /// with `addrs`. Empty for loads.
+        values: &'a [u32],
+    },
     /// An issue attempt was rejected.
     Stall(StallKind),
     /// An instruction with this many unique register sources entered the

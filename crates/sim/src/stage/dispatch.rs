@@ -196,6 +196,43 @@ pub(crate) fn execute_and_complete<P: Probe, G: GlobalAccess>(
                     values: values_buf,
                 },
             );
+
+            // Snapshot the memory access for the race sanitizer. Store
+            // values come from the source operand per lane — stores never
+            // write registers, so reading it post-execute is exact.
+            if let Some(a) = &access {
+                if a.space != Space::Param {
+                    values_buf.clear();
+                    if a.is_store {
+                        let warp = ctx.warps[wslot].as_ref().expect("live warp");
+                        let block = ctx.blocks[bslot].as_ref().expect("block resident");
+                        for lane in 0..bow_isa::WARP_SIZE {
+                            if slot.mask & (1 << lane) != 0 {
+                                values_buf.push(exec::operand_value(
+                                    warp,
+                                    lane,
+                                    slot.inst.srcs[0],
+                                    &block.info,
+                                ));
+                            }
+                        }
+                    }
+                    emit(
+                        &mut ctx.stats,
+                        probe,
+                        PipeEvent::MemTrace {
+                            uid,
+                            pc: slot_pc,
+                            seq: slot.seq,
+                            is_store: a.is_store,
+                            shared: a.space == Space::Shared,
+                            mask: slot.mask,
+                            addrs: &a.addrs,
+                            values: values_buf,
+                        },
+                    );
+                }
+            }
         }
 
         let complete = match access {

@@ -156,7 +156,34 @@ impl IssueStage {
             ctx.oc
                 .note_control(w, seq, &mut ctx.rf, &mut ctx.stats, probe);
             let warp = ctx.warps[w].as_mut().expect("live");
+            let (arrive, live, pre_depth) = if P::ACTIVE {
+                (
+                    warp.guard_mask(inst.guard),
+                    warp.valid & !warp.exited,
+                    warp.stack.len(),
+                )
+            } else {
+                (0, 0, 0)
+            };
             let outcome = exec::execute_control(warp, &inst);
+            if P::ACTIVE {
+                let sync_underflow = inst.op == bow_isa::Opcode::Sync && pre_depth == 0;
+                let depth = warp.stack.len() as u32;
+                emit(
+                    &mut ctx.stats,
+                    probe,
+                    PipeEvent::CtrlTrace {
+                        uid,
+                        pc: ctrl_pc,
+                        seq,
+                        arrive,
+                        live,
+                        depth,
+                        sync_underflow,
+                        inst: &inst,
+                    },
+                );
+            }
             match outcome {
                 ControlOutcome::Exit => {
                     if warp.done {

@@ -132,7 +132,9 @@ impl SimStats {
             | PipeEvent::Control { .. }
             | PipeEvent::Writeback { .. }
             | PipeEvent::WarpExit { .. }
-            | PipeEvent::ExecResult { .. } => {}
+            | PipeEvent::ExecResult { .. }
+            | PipeEvent::CtrlTrace { .. }
+            | PipeEvent::MemTrace { .. } => {}
         }
     }
 

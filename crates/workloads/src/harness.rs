@@ -49,6 +49,15 @@ pub fn merge_results(mut results: Vec<LaunchResult>) -> LaunchResult {
         for (a, b) in total.per_sm.iter_mut().zip(r.per_sm.iter()) {
             a.merge(b);
         }
+        total.sanitizer = match (total.sanitizer.take(), r.sanitizer) {
+            (Some(mut a), Some(b)) => {
+                a.findings.extend(b.findings);
+                a.findings.sort();
+                a.findings.dedup();
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
         assert_eq!(
             total.windows.len(),
             r.windows.len(),
@@ -154,6 +163,7 @@ mod tests {
                 })
                 .collect(),
             completed: true,
+            sanitizer: None,
         }
     }
 

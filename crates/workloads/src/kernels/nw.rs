@@ -97,7 +97,17 @@ impl Benchmark for Nw {
             .sts(r(3), 0, r(2).into())
             .shl(r(3), r(1).into(), Operand::Imm(2))
             .sts(r(3), 0, r(2).into())
-            // m[0] stays zero: shared memory is zero-initialized.
+            // m[0] = 0, stored by thread 0: real shared memory starts
+            // uninitialized, so the corner cell needs an explicit write
+            // (the race sanitizer flags a read of a never-written word).
+            .isetp(CmpOp::Eq, Pred::p(0), r(0).into(), Operand::Imm(0))
+            .ssy("minit")
+            .bra_if(Pred::p(0), true, "minit")
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 0)
+            .sts(r(3), 0, r(2).into())
+            .label("minit")
+            .sync()
             .bar()
             // load my symbol a[blk*t + i]
             .imad(r(8), r(11).into(), Operand::Imm(t), r(0).into())

@@ -103,6 +103,17 @@ echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
 cargo run --release -q --offline -p bow-cli -- \
     lint --mutate --smoke --json target/lint-reports/mutation.json
 
+echo "==> bow corpus sanitize --smoke (dynamic/static cross-validation, fixed seed)"
+# The other direction of the audit: a fixed-seed 64-kernel campaign (plus
+# the adversarial stratum) runs on both core models with the race
+# sanitizer attached, and every dynamic finding must be vouched for by a
+# static diagnostic on the same kernel (race -> B015/B003, uninit-shared
+# -> B016, ...). An uncovered finding is a static-analysis false
+# negative: exit 5. The campaign report (incl. the precision of the
+# static race flags) lands in target/lint-reports/ as a CI artifact.
+cargo run --release -q --offline -p bow-cli -- \
+    corpus sanitize --smoke --out target/lint-reports/sanitizer_campaign.json
+
 echo "==> bow-server smoke (serve / submit / cache-hit / shutdown)"
 # Boots the real server on an ephemeral port, drives it with the real
 # client, and proves the content-addressed cache: the second identical

@@ -10,14 +10,22 @@
 //!   [`SimStats::fingerprint`] under `sim_threads` ∈ {1, 2, 8};
 //! * the architectural oracle (memory mode, and per-instruction lockstep
 //!   for race-free kernels) still agrees with the pipeline when the
-//!   pipeline runs threaded.
+//!   pipeline runs threaded;
+//! * the race sanitizer's report renders byte-identically under every
+//!   engine — serial, windowed at any worker count, whole-budget — and
+//!   `bfs` (the one benchmark with real findings) is pinned against a
+//!   golden snapshot (`BOW_BLESS=1` to re-bless).
 //!
 //! [`SimStats::fingerprint`]: bow_sim::SimStats::fingerprint
 
+use bow::corpus::adversarial;
 use bow::experiment::{Config, ConfigBuilder};
 use bow::prelude::*;
 use bow::sim::OracleCheck;
 use bow::suite::Suite;
+use bow_isa::fuzz::{FuzzKernel, PARAMS};
+use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// The four collector designs the golden suite pins, on a chosen core.
 fn configs_on(threads: u32, core: CoreModelKind) -> Vec<Config> {
@@ -143,4 +151,130 @@ fn lockstep_oracle_passes_under_threaded_engine() {
             panic!("{}: host reference disagrees: {e}", bench.name());
         }
     }
+}
+
+/// Engine configurations the sanitizer must agree across: serial,
+/// windowed at two worker counts, and the whole-budget windowed engine.
+const SANITIZER_ENGINES: [u32; 4] = [1, 2, 8, 0];
+
+/// Runs `bench` under BOW-WR IW3 with the sanitizer attached at the
+/// given intra-run thread count and returns the rendered report.
+fn sanitizer_workload_report(bench: &str, core: CoreModelKind, sim_threads: u32) -> String {
+    let b = bow::workloads::by_name(bench, Scale::Test).expect("known benchmark");
+    let mut cfg = ConfigBuilder::bow_wr(3).core_model(core).build();
+    cfg.gpu.sanitize = true;
+    cfg.gpu.sim_threads = sim_threads;
+    let rec = bow::experiment::run(b.as_ref(), cfg);
+    rec.outcome
+        .result
+        .sanitizer
+        .expect("sanitize flag attaches the probe")
+        .render()
+}
+
+/// Launches one adversarial kernel under the campaign configuration at
+/// the given thread count and returns the rendered report.
+fn sanitizer_adversarial_report(name: &str, sim_threads: u32) -> String {
+    let adv = adversarial::all()
+        .into_iter()
+        .find(|a| a.name == name)
+        .unwrap_or_else(|| panic!("adversarial table has {name}"));
+    let kernel = (adv.build)();
+    let mut cfg = ConfigBuilder::bow_wr(3).sanitize(true).build().gpu;
+    cfg.sim_threads = sim_threads;
+    let mut gpu = Gpu::new(cfg);
+    let result = gpu.launch(&kernel, FuzzKernel::dims(), &PARAMS);
+    result
+        .sanitizer
+        .expect("sanitize flag attaches the probe")
+        .render()
+}
+
+/// The sanitizer folds a per-SM event stream into shadow state, so its
+/// report must not depend on how the engine schedules that stream. The
+/// canonical ordering in `SanitizerReport` is what makes this hold.
+#[test]
+fn sanitizer_report_is_byte_identical_across_engines() {
+    let serial = sanitizer_workload_report("bfs", CoreModelKind::Pascal, 1);
+    assert!(!serial.is_empty(), "bfs report is non-trivial");
+    for t in SANITIZER_ENGINES {
+        assert_eq!(
+            sanitizer_workload_report("bfs", CoreModelKind::Pascal, t),
+            serial,
+            "bfs report diverged at sim_threads {t}"
+        );
+    }
+    for name in ["adv_b015_definite_race", "adv_b016_uninit_shared"] {
+        let serial = sanitizer_adversarial_report(name, 1);
+        assert!(!serial.is_empty(), "{name} report is non-trivial");
+        for t in SANITIZER_ENGINES {
+            assert_eq!(
+                sanitizer_adversarial_report(name, t),
+                serial,
+                "{name} report diverged at sim_threads {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sanitizer_off_leaves_no_report() {
+    // The flag is the only thing that attaches the probe: a plain run
+    // must not pay for (or expose) shadow state.
+    let b = bow::workloads::by_name("bfs", Scale::Test).expect("known benchmark");
+    let rec = bow::experiment::run(b.as_ref(), ConfigBuilder::bow_wr(3).build());
+    assert!(rec.outcome.result.sanitizer.is_none());
+}
+
+fn sanitizer_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("sanitizer_bfs.txt")
+}
+
+#[test]
+fn bfs_is_the_only_workload_the_sanitizer_flags() {
+    // The suite-wide sweep the golden pin rests on: every other
+    // benchmark is sanitizer-clean. A new finding elsewhere is either a
+    // real workload hazard or a sanitizer false positive — both need a
+    // human decision, not a silent bless.
+    let mut flagged: Vec<String> = Vec::new();
+    for b in suite(Scale::Test) {
+        let report = sanitizer_workload_report(b.name(), CoreModelKind::Pascal, 1);
+        if !report.is_empty() {
+            flagged.push(b.name().to_string());
+        }
+    }
+    assert_eq!(flagged, ["bfs"], "sanitizer-flagged workloads changed");
+}
+
+#[test]
+fn bfs_sanitizer_findings_match_the_golden_pin() {
+    let mut got = String::from(
+        "# bfs sanitizer findings under bow-wr iw3, per core model (Scale::Test).\n\
+         # Regenerate with: BOW_BLESS=1 cargo test -p bow --test determinism\n",
+    );
+    for core in [CoreModelKind::Pascal, CoreModelKind::Modern] {
+        let label = match core {
+            CoreModelKind::Pascal => "pascal",
+            CoreModelKind::Modern => "modern",
+        };
+        writeln!(got, "== {label} ==").expect("write to String");
+        got.push_str(&sanitizer_workload_report("bfs", core, 1));
+    }
+    let path = sanitizer_golden_path();
+    if std::env::var_os("BOW_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &got).expect("write goldens");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (bless with BOW_BLESS=1)", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "bfs sanitizer pin diverged from {} — an intentional model change \
+         needs BOW_BLESS=1",
+        path.display()
+    );
 }
