@@ -1,7 +1,7 @@
 //! Simulator-throughput benchmark: full-chip 56-SM TITAN X launches at
-//! several intra-run thread counts, measuring wall-clock seconds and
-//! simulated cycles per second for each, and recording the table in
-//! `results/bench_throughput.json`.
+//! several intra-run thread counts on both core models, measuring
+//! wall-clock seconds and simulated cycles per second for each, and
+//! recording the table in `results/bench_throughput.json`.
 //!
 //! The windowed engine is deterministic by construction, so before any
 //! speedup is reported the run cross-checks that every thread count
@@ -31,6 +31,14 @@ const DEFAULT_BENCHMARKS: &[&str] = &["vectoradd", "backprop", "bfs"];
 /// reference the speedups are relative to.
 const THREADS: &[u32] = &[1, 2, 4];
 
+/// Both SM core backends are timed: `scripts/bench_gate.py` gates each
+/// core's cycles/sec geomean independently, so a hot-path regression
+/// that only hits the sub-core modern pipeline still fails CI.
+const CORES: &[(CoreModelKind, &str)] = &[
+    (CoreModelKind::Pascal, "pascal"),
+    (CoreModelKind::Modern, "modern"),
+];
+
 fn main() {
     let scale = scale_from_env();
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -50,61 +58,67 @@ fn main() {
 
     let num_sms = GpuConfig::titan_x_pascal(CollectorKind::Baseline).num_sms;
     eprintln!(
-        "bench_throughput: {} benchmark(s) x sim_threads {THREADS:?} on the \
-         {num_sms}-SM TITAN X ({host} host core(s) available)",
+        "bench_throughput: {} benchmark(s) x sim_threads {THREADS:?} x \
+         {{pascal, modern}} on the {num_sms}-SM TITAN X ({host} host \
+         core(s) available)",
         names.len()
     );
 
     let mut rows = Vec::new();
     let mut runs = Vec::new();
-    for name in &names {
-        let bench = bow::workloads::by_name(name, scale)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        let mut serial_wall = 0.0f64;
-        let mut serial_print = None;
-        for &t in THREADS {
-            let config = ConfigBuilder::bow_wr(3)
-                .model(GpuModel::TitanX)
-                .sim_threads(t)
-                .build();
-            let start = Instant::now();
-            let rec = bow::experiment::run(bench.as_ref(), config);
-            let wall = start.elapsed().as_secs_f64();
-            assert!(
-                rec.outcome.result.completed,
-                "{name}: launch hit the watchdog"
-            );
-            let cycles = rec.outcome.result.cycles;
-            let print = rec.outcome.result.stats.fingerprint();
-            match serial_print {
-                None => {
-                    serial_wall = wall;
-                    serial_print = Some(print);
+    for &(core, cname) in CORES {
+        for name in &names {
+            let bench = bow::workloads::by_name(name, scale)
+                .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+            let mut serial_wall = 0.0f64;
+            let mut serial_print = None;
+            for &t in THREADS {
+                let config = ConfigBuilder::bow_wr(3)
+                    .model(GpuModel::TitanX)
+                    .core_model(core)
+                    .sim_threads(t)
+                    .build();
+                let start = Instant::now();
+                let rec = bow::experiment::run(bench.as_ref(), config);
+                let wall = start.elapsed().as_secs_f64();
+                assert!(
+                    rec.outcome.result.completed,
+                    "{name}: launch hit the watchdog"
+                );
+                let cycles = rec.outcome.result.cycles;
+                let print = rec.outcome.result.stats.fingerprint();
+                match serial_print {
+                    None => {
+                        serial_wall = wall;
+                        serial_print = Some(print);
+                    }
+                    Some(p) => assert_eq!(
+                        p, print,
+                        "{name} ({cname}): stats fingerprint diverged at sim_threads={t}"
+                    ),
                 }
-                Some(p) => assert_eq!(
-                    p, print,
-                    "{name}: stats fingerprint diverged at sim_threads={t}"
-                ),
+                let speedup = serial_wall / wall.max(1e-9);
+                let cps = cycles as f64 / wall.max(1e-9);
+                rows.push(vec![
+                    name.clone(),
+                    cname.to_string(),
+                    t.to_string(),
+                    format!("{wall:.3}"),
+                    format!("{cps:.0}"),
+                    format!("{speedup:.2}x"),
+                ]);
+                runs.push(Json::obj([
+                    ("benchmark", Json::from(name.as_str())),
+                    ("core_model", Json::from(cname)),
+                    ("sim_threads", Json::from(t)),
+                    ("wall_seconds", Json::from(wall)),
+                    ("cycles", Json::from(cycles)),
+                    ("cycles_per_sec", Json::from(cps)),
+                    ("speedup_vs_serial", Json::from(speedup)),
+                    ("fingerprint", Json::from(format!("{print:016x}"))),
+                ]));
+                eprintln!("  {name} ({cname}) t={t}: {wall:.3}s ({speedup:.2}x)");
             }
-            let speedup = serial_wall / wall.max(1e-9);
-            let cps = cycles as f64 / wall.max(1e-9);
-            rows.push(vec![
-                name.clone(),
-                t.to_string(),
-                format!("{wall:.3}"),
-                format!("{cps:.0}"),
-                format!("{speedup:.2}x"),
-            ]);
-            runs.push(Json::obj([
-                ("benchmark", Json::from(name.as_str())),
-                ("sim_threads", Json::from(t)),
-                ("wall_seconds", Json::from(wall)),
-                ("cycles", Json::from(cycles)),
-                ("cycles_per_sec", Json::from(cps)),
-                ("speedup_vs_serial", Json::from(speedup)),
-                ("fingerprint", Json::from(format!("{print:016x}"))),
-            ]));
-            eprintln!("  {name} t={t}: {wall:.3}s ({speedup:.2}x)");
         }
     }
 
@@ -129,7 +143,14 @@ fn main() {
     println!(
         "{}",
         bow::experiment::render_table(
-            &["benchmark", "threads", "wall (s)", "cycles/s", "speedup"],
+            &[
+                "benchmark",
+                "core",
+                "threads",
+                "wall (s)",
+                "cycles/s",
+                "speedup"
+            ],
             &rows
         )
     );

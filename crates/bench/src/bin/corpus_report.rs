@@ -7,7 +7,9 @@
 //! Outputs:
 //!
 //! * `results/corpus_pascal.json` / `results/corpus_modern.json` —
-//!   distributions per stratum × collector on each core model;
+//!   distributions per stratum × collector on each core model (stack
+//!   divergence), plus `..._barrier.json` twins under the stack-less
+//!   convergence-barrier divergence model;
 //! * `results/corpus_manifest_summary.json` — corpus provenance (seed,
 //!   counts, per-stratum retention) so a report is traceable to the
 //!   exact population that produced it.
@@ -25,7 +27,7 @@
 
 use bow::corpus;
 use bow_bench::{jobs_from_args, sim_threads_from_args, write_json};
-use bow_sim::CoreModelKind;
+use bow_sim::{CoreModelKind, DivergenceModel};
 use bow_util::json::Json;
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -88,22 +90,35 @@ fn main() {
         ]),
     );
 
+    // The full scenario matrix: {pascal, modern} × {stack, barrier}.
+    // Stack sweeps keep their historical artifact names; barrier sweeps
+    // get a `_barrier` suffix so both populations sit side by side.
     for (core, name) in [
         (CoreModelKind::Pascal, "pascal"),
         (CoreModelKind::Modern, "modern"),
     ] {
-        eprintln!("corpus_report: sweeping {name} core (sample {sample})");
-        let opts = corpus::SweepOptions {
-            limit: sample,
-            jobs,
-            sim_threads,
-            core_model: core,
-            progress: true,
-        };
-        let result = corpus::sweep(&manifest, &opts);
-        result.assert_checked();
-        let doc = corpus::distribution_json(&manifest, &result, name);
-        write_json(&format!("corpus_{name}"), &doc);
+        for (divergence, dname) in [
+            (DivergenceModel::Stack, "stack"),
+            (DivergenceModel::Barrier, "barrier"),
+        ] {
+            eprintln!("corpus_report: sweeping {name} core / {dname} divergence (sample {sample})");
+            let opts = corpus::SweepOptions {
+                limit: sample,
+                jobs,
+                sim_threads,
+                core_model: core,
+                divergence,
+                progress: true,
+            };
+            let result = corpus::sweep(&manifest, &opts);
+            result.assert_checked();
+            let doc = corpus::distribution_json(&manifest, &result, name, dname);
+            let artifact = match divergence {
+                DivergenceModel::Stack => format!("corpus_{name}"),
+                DivergenceModel::Barrier => format!("corpus_{name}_barrier"),
+            };
+            write_json(&artifact, &doc);
+        }
     }
     eprintln!("corpus_report: done");
 }

@@ -1,0 +1,92 @@
+//! Divergence-model comparison: the BOW / BOW-WR / RFC matrix under the
+//! SIMT reconvergence stack and under compiler-lowered convergence
+//! barriers, on both core models.
+//!
+//! The paper's evaluation (and every GPGPU-Sim number it cites) assumes
+//! stack-based reconvergence; modern GPUs dropped the stack for
+//! BSSY/BSYNC-style convergence barriers ("Control Flow Management in
+//! Modern GPUs", arXiv 2407.02944). This sweep asks whether the §V-A
+//! ordering survives that change: each collector design is normalized
+//! against the baseline of the *same* (core, divergence) scenario, so
+//! the comparison isolates the collector from the reconvergence
+//! machinery. A final column reports what the barrier instructions
+//! themselves cost: the geomean cycle ratio of each scenario's baseline
+//! against its stack twin.
+//!
+//! ```sh
+//! BOW_SCALE=paper cargo run --release -p bow-bench --bin divergence_comparison
+//! ```
+
+use bow::prelude::*;
+use bow_bench::{export_sweep, geomean_speedup, scale_from_env, sweep};
+
+/// The four collector columns swept in each (core, divergence) scenario.
+fn columns(core: CoreModelKind, divergence: DivergenceModel) -> Vec<Config> {
+    let with = |b: ConfigBuilder| b.core_model(core).divergence(divergence).build();
+    vec![
+        with(ConfigBuilder::baseline()),
+        with(ConfigBuilder::bow(3)),
+        with(ConfigBuilder::bow_wr(3)),
+        with(ConfigBuilder::rfc()),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scenarios = [
+        (CoreModelKind::Pascal, DivergenceModel::Stack),
+        (CoreModelKind::Pascal, DivergenceModel::Barrier),
+        (CoreModelKind::Modern, DivergenceModel::Stack),
+        (CoreModelKind::Modern, DivergenceModel::Barrier),
+    ];
+    let configs: Vec<Config> = scenarios.iter().flat_map(|&(c, d)| columns(c, d)).collect();
+    // One sweep over all 16 columns: the normal suite path, every cell
+    // verified against the host reference before any number is used.
+    let result = sweep(configs, scale);
+    export_sweep("divergence_comparison", &result);
+
+    let mut rows = Vec::new();
+    for (si, &(core, divergence)) in scenarios.iter().enumerate() {
+        let base = result.row(4 * si).records();
+        let bow = result.row(4 * si + 1).records();
+        let bowwr = result.row(4 * si + 2).records();
+        let rfc = result.row(4 * si + 3).records();
+        // The stack twin of this scenario's baseline (itself for stack
+        // rows): geomean(stack cycles / this-model cycles) says what the
+        // barrier instructions cost with no collector in play.
+        let stack_si = 2 * (si / 2);
+        let stack_base = result.row(4 * stack_si).records();
+        let pct = |x: f64| format!("{:+.1}%", 100.0 * (x - 1.0));
+        rows.push(vec![
+            core.name().to_string(),
+            divergence.name().to_string(),
+            pct(geomean_speedup(base, bow)),
+            pct(geomean_speedup(base, bowwr)),
+            pct(geomean_speedup(base, rfc)),
+            if divergence == DivergenceModel::Stack {
+                "—".into()
+            } else {
+                pct(geomean_speedup(stack_base, base))
+            },
+        ]);
+    }
+
+    println!("Divergence models — geomean IPC vs each scenario's own baseline\n");
+    println!(
+        "{}",
+        bow::experiment::render_table(
+            &[
+                "core",
+                "divergence",
+                "BOW IW3",
+                "BOW-WR IW3",
+                "RFC",
+                "base vs stack",
+            ],
+            &rows
+        )
+    );
+    println!("`base vs stack` is the baseline's geomean cycle cost of running the");
+    println!("convergence-barrier protocol instead of the SIMT stack on the same core.");
+    println!("Raw cells (cycles, stats, fingerprints) in results/divergence_comparison.json.");
+}

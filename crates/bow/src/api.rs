@@ -27,7 +27,7 @@
 use crate::error::{BowError, ConfigError};
 use crate::experiment::{run, Config, ConfigBuilder, GpuModel, RunRecord, SCHEMA_VERSION};
 use crate::suite::{Suite, SweepResult};
-use bow_sim::{CollectorKind, CoreModelKind, Gpu, OracleCheck, SchedPolicy};
+use bow_sim::{CollectorKind, CoreModelKind, DivergenceModel, Gpu, OracleCheck, SchedPolicy};
 use bow_util::json::Json;
 use bow_workloads::{by_name, suite as paper_suite, RunOutcome, Scale};
 
@@ -118,6 +118,7 @@ pub fn config_from_json(v: &Json) -> Result<Config, BowError> {
         "reorder",
         "model",
         "core_model",
+        "divergence",
         "analyzer",
         "sim_threads",
         "label",
@@ -201,6 +202,18 @@ pub fn config_from_json(v: &Json) -> Result<Config, BowError> {
             .into())
         }
     }
+    match v.get("divergence").map(|m| m.as_str()) {
+        None => {}
+        Some(Some("stack")) => builder = builder.divergence(DivergenceModel::Stack),
+        Some(Some("barrier")) => builder = builder.divergence(DivergenceModel::Barrier),
+        Some(other) => {
+            return Err(ConfigError::Unknown {
+                what: "divergence",
+                value: other.map_or_else(|| "non-string".to_string(), str::to_string),
+            }
+            .into())
+        }
+    }
     if let Some(windows) = v.get("analyzer") {
         let ws = windows
             .as_arr()
@@ -262,6 +275,7 @@ pub fn canonical_config_json(config: &Config) -> Json {
     Json::obj([
         ("collector", collector),
         ("core_model", Json::from(g.core_model.name())),
+        ("divergence", Json::from(g.divergence.name())),
         ("num_sms", Json::from(g.num_sms)),
         ("cores_per_sm", Json::from(g.cores_per_sm)),
         ("max_blocks_per_sm", Json::from(g.max_blocks_per_sm)),
@@ -673,6 +687,27 @@ mod tests {
         assert_eq!(pascal.fingerprint(), default.fingerprint());
         let e = req(r#"{"kernel": {"workload": "vectoradd"},
                         "config": {"core_model": "volta"}}"#)
+        .unwrap_err();
+        assert_eq!(e.kind(), "config");
+    }
+
+    #[test]
+    fn divergence_is_a_semantic_knob() {
+        let stack = req(r#"{"kernel": {"workload": "bfs"},
+                            "config": {"collector": "bow", "divergence": "stack"}}"#)
+        .unwrap();
+        let barrier = req(r#"{"kernel": {"workload": "bfs"},
+                              "config": {"collector": "bow", "divergence": "barrier"}}"#)
+        .unwrap();
+        assert_ne!(stack.fingerprint(), barrier.fingerprint());
+        assert_eq!(barrier.config.label, "bow iw3+barrier");
+        // Stack is the default: spelling it out keys identically.
+        let default = req(r#"{"kernel": {"workload": "bfs"},
+                              "config": {"collector": "bow"}}"#)
+        .unwrap();
+        assert_eq!(stack.fingerprint(), default.fingerprint());
+        let e = req(r#"{"kernel": {"workload": "bfs"},
+                        "config": {"divergence": "ipdom"}}"#)
         .unwrap_err();
         assert_eq!(e.kind(), "config");
     }

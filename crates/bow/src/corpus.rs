@@ -30,7 +30,7 @@ use bow_compiler::{
 };
 use bow_isa::fuzz::{FuzzKernel, GenParams, INPUT_BASE, PARAMS};
 use bow_isa::{encode_kernel, Kernel};
-use bow_sim::{CoreModelKind, Gpu, OracleCheck};
+use bow_sim::{CoreModelKind, DivergenceModel, Gpu, OracleCheck};
 use bow_util::hash::sha256_hex;
 use bow_util::json::{DecodeError, Json};
 use bow_util::XorShift;
@@ -640,24 +640,20 @@ pub fn benches(manifest: &Manifest, limit: usize) -> Vec<Box<dyn Benchmark>> {
 }
 
 /// The corpus collector columns: the paper's four models at the default
-/// window, on one core model.
-pub fn corpus_configs(core: CoreModelKind) -> Vec<Config> {
+/// window, on one core and divergence model.
+pub fn corpus_configs(core: CoreModelKind, divergence: DivergenceModel) -> Vec<Config> {
     let model = GpuModel::Scaled;
+    let with = |b: ConfigBuilder| {
+        b.model(model)
+            .core_model(core)
+            .divergence(divergence)
+            .build()
+    };
     let mut configs = vec![
-        ConfigBuilder::baseline()
-            .model(model)
-            .core_model(core)
-            .build(),
-        ConfigBuilder::bow(WINDOW)
-            .model(model)
-            .core_model(core)
-            .build(),
-        ConfigBuilder::bow_wr(WINDOW)
-            .verify(true)
-            .model(model)
-            .core_model(core)
-            .build(),
-        ConfigBuilder::rfc().model(model).core_model(core).build(),
+        with(ConfigBuilder::baseline()),
+        with(ConfigBuilder::bow(WINDOW)),
+        with(ConfigBuilder::bow_wr(WINDOW).verify(true)),
+        with(ConfigBuilder::rfc()),
     ];
     // Every corpus launch additionally runs under the lockstep oracle:
     // the timing-free interpreter checks each pipeline writeback, so a
@@ -680,6 +676,8 @@ pub struct SweepOptions {
     pub sim_threads: Option<u32>,
     /// Core model to sweep on.
     pub core_model: CoreModelKind,
+    /// Reconvergence machinery to sweep under.
+    pub divergence: DivergenceModel,
     /// Progress lines to stderr.
     pub progress: bool,
 }
@@ -691,6 +689,7 @@ impl Default for SweepOptions {
             jobs: 0,
             sim_threads: None,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             progress: false,
         }
     }
@@ -702,7 +701,7 @@ impl Default for SweepOptions {
 /// are left to the caller; this returns raw records.
 pub fn sweep(manifest: &Manifest, opts: &SweepOptions) -> SweepResult {
     let mut suite = Suite::over(benches(manifest, opts.limit))
-        .configs(corpus_configs(opts.core_model))
+        .configs(corpus_configs(opts.core_model, opts.divergence))
         .jobs(opts.jobs)
         .progress(opts.progress);
     if let Some(t) = opts.sim_threads {
@@ -759,7 +758,12 @@ impl Dist {
 /// Reduces a corpus sweep to per-stratum distributions: for every
 /// non-baseline collector, the IPC gain over baseline and the measured
 /// read-bypass rate (the population analogue of Figs. 10 and 3).
-pub fn distribution_json(manifest: &Manifest, sweep: &SweepResult, core: &str) -> Json {
+pub fn distribution_json(
+    manifest: &Manifest,
+    sweep: &SweepResult,
+    core: &str,
+    divergence: &str,
+) -> Json {
     let baseline = &sweep.row(0).records;
     let stratum_of = |bench: &str| -> String {
         manifest
@@ -810,6 +814,7 @@ pub fn distribution_json(manifest: &Manifest, sweep: &SweepResult, core: &str) -
     Json::obj([
         ("schema_version", Json::from(MANIFEST_VERSION)),
         ("core_model", Json::from(core)),
+        ("divergence", Json::from(divergence)),
         ("kernels", Json::from(baseline.len() as u64)),
         ("strata", Json::Arr(stratum_rows)),
     ])
@@ -931,7 +936,45 @@ mod tests {
                 ra.label, ra.benchmark
             );
         }
-        let dist = distribution_json(&m, &a, "pascal");
+        let dist = distribution_json(&m, &a, "pascal", "stack");
         assert_eq!(dist.req_u64("kernels").unwrap(), 4);
+    }
+
+    #[test]
+    fn barrier_mini_sweep_is_checked_and_thread_count_invariant() {
+        // The same corpus under the stack-less divergence model: every
+        // retained kernel lowers, runs under the lockstep oracle, matches
+        // the host evaluator and stays byte-identical across sim_threads.
+        let m = generate(DEFAULT_SEED, 4);
+        let base = SweepOptions {
+            limit: 4,
+            jobs: 1,
+            divergence: DivergenceModel::Barrier,
+            ..SweepOptions::default()
+        };
+        let a = sweep(&m, &base);
+        a.assert_checked();
+        let b = sweep(
+            &m,
+            &SweepOptions {
+                sim_threads: Some(8),
+                jobs: 2,
+                ..base
+            },
+        );
+        b.assert_checked();
+        for (ra, rb) in a.all_records().zip(b.all_records()) {
+            assert!(ra.label.contains("+barrier"), "{}", ra.label);
+            assert_eq!(
+                ra.outcome.result.cycles, rb.outcome.result.cycles,
+                "{} {}: byte-identical at sim_threads 1 vs 8",
+                ra.label, ra.benchmark
+            );
+        }
+        let dist = distribution_json(&m, &a, "pascal", "barrier");
+        assert_eq!(
+            dist.get("divergence").and_then(Json::as_str),
+            Some("barrier")
+        );
     }
 }

@@ -13,7 +13,9 @@
 
 use crate::error::ConfigError;
 use bow_compiler::{annotate, CompilerReport};
-use bow_sim::{CollectorKind, CoreModelKind, Gpu, GpuConfig, SimStats, WindowReport};
+use bow_sim::{
+    CollectorKind, CoreModelKind, DivergenceModel, Gpu, GpuConfig, SimStats, WindowReport,
+};
 use bow_util::json::{DecodeError, Json};
 use bow_workloads::{Benchmark, RunOutcome};
 
@@ -77,6 +79,7 @@ pub struct ConfigBuilder {
     sanitize: bool,
     model: GpuModel,
     core_model: CoreModelKind,
+    divergence: DivergenceModel,
     analyzer: Vec<u32>,
     sim_threads: u32,
     label: Option<String>,
@@ -100,6 +103,7 @@ impl ConfigBuilder {
             sanitize: false,
             model: GpuModel::Scaled,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             analyzer: Vec::new(),
             sim_threads: 1,
             label: None,
@@ -215,6 +219,16 @@ impl ConfigBuilder {
         self
     }
 
+    /// Selects the divergence/reconvergence model (default:
+    /// [`DivergenceModel::Stack`]). Under [`DivergenceModel::Barrier`],
+    /// [`prepare_kernel`] lowers every `ssy`/`sync` to convergence
+    /// barriers ([`bow_compiler::lower_to_barriers`]) and the simulator
+    /// runs the stack-less per-warp barrier bookkeeping.
+    pub fn divergence(mut self, model: DivergenceModel) -> ConfigBuilder {
+        self.divergence = model;
+        self
+    }
+
     /// Enables the Fig. 3 sliding-window analyzer for `windows`.
     pub fn analyzer(mut self, windows: &[u32]) -> ConfigBuilder {
         self.analyzer = windows.to_vec();
@@ -251,8 +265,12 @@ impl ConfigBuilder {
             CoreModelKind::Pascal => "",
             CoreModelKind::Modern => "+modern",
         };
+        let div = match self.divergence {
+            DivergenceModel::Stack => "",
+            DivergenceModel::Barrier => "+barrier",
+        };
         let shadow = if self.shadow_rf { "+shadow" } else { "" };
-        format!("{base}{core}{shadow}")
+        format!("{base}{core}{div}{shadow}")
     }
 
     fn base_label(&self) -> String {
@@ -363,6 +381,7 @@ impl ConfigBuilder {
         gpu.shadow_rf = self.shadow_rf;
         gpu.sanitize = self.sanitize;
         gpu.core_model = self.core_model;
+        gpu.divergence = self.divergence;
         gpu.sim_threads = self.sim_threads;
         let label = self.label.clone().unwrap_or_else(|| self.derived_label());
         Config {
@@ -613,11 +632,13 @@ impl RunRecord {
 
 /// Runs the configured compiler stages over a benchmark's kernel: the
 /// footnote-1 scheduler if `config.reorder`, then the §IV-B hint pass if
-/// `config.hints`, then the control-bits emitter when the configuration
-/// targets the modern core (whose issue stage consumes the sidecar).
-/// Pure — the parallel sweep engine memoizes its output per
-/// (benchmark, window, reorder, core model) so BOW-WR sweeps annotate
-/// each kernel once, not once per figure cell.
+/// `config.hints`, then the barrier lowering when the configuration uses
+/// the stack-less divergence model (an opcode rewrite, so the hint
+/// sidecar stays pc-aligned), then the control-bits emitter when the
+/// configuration targets the modern core (whose issue stage consumes the
+/// sidecar). Pure — the parallel sweep engine memoizes its output per
+/// (benchmark, window, reorder, core model, divergence model) so BOW-WR
+/// sweeps annotate each kernel once, not once per figure cell.
 pub fn prepare_kernel(
     bench: &dyn Benchmark,
     config: &Config,
@@ -653,6 +674,14 @@ pub fn prepare_kernel(
         }
     } else {
         (kernel, None)
+    };
+    let kernel = if config.gpu.divergence == DivergenceModel::Barrier {
+        match bow_compiler::lower_to_barriers(&kernel) {
+            Ok(k) => k,
+            Err(e) => panic!("barrier lowering rejected `{}`: {e}", kernel.name),
+        }
+    } else {
+        kernel
     };
     if config.gpu.core_model == CoreModelKind::Modern {
         (
@@ -784,6 +813,36 @@ mod tests {
         // Pascal configs stay unannotated.
         let (kernel, _) = prepare_kernel(b.as_ref(), &ConfigBuilder::bow_wr(3).build());
         assert!(kernel.ctrl.is_empty());
+    }
+
+    #[test]
+    fn divergence_knob_labels_plumbs_and_lowers() {
+        let c = ConfigBuilder::bow_wr(3)
+            .divergence(DivergenceModel::Barrier)
+            .build();
+        assert_eq!(c.label, "bow-wr iw3+barrier");
+        assert_eq!(c.gpu.divergence, DivergenceModel::Barrier);
+        let b = by_name("bfs", Scale::Test).expect("exists");
+        let (kernel, _) = prepare_kernel(b.as_ref(), &c);
+        assert!(
+            kernel.uses_convergence_barriers(),
+            "barrier configs lower ssy/sync away"
+        );
+        assert!(!kernel
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, bow_isa::Opcode::Ssy | bow_isa::Opcode::Sync)));
+        let rec = run(b.as_ref(), c);
+        rec.assert_checked();
+        // Stack configs keep the stack form.
+        let (kernel, _) = prepare_kernel(b.as_ref(), &ConfigBuilder::bow_wr(3).build());
+        assert!(!kernel.uses_convergence_barriers());
+        // Both model knobs stack in the label.
+        let both = ConfigBuilder::baseline()
+            .core_model(CoreModelKind::Modern)
+            .divergence(DivergenceModel::Barrier)
+            .build();
+        assert_eq!(both.label, "baseline+modern+barrier");
     }
 
     #[test]

@@ -31,12 +31,12 @@ use std::time::{Duration, Instant};
 
 use crate::experiment::{Config, ConfigBuilder};
 use crate::suite::{effective_jobs, map_parallel};
-use bow_compiler::{annotate, emit_ctrl, verify_hints, CtrlLatencies};
+use bow_compiler::{annotate, emit_ctrl, lower_to_barriers, verify_hints, CtrlLatencies};
 use bow_isa::fuzz::{self, FuzzKernel};
 use bow_isa::Kernel;
 use bow_sim::oracle::{run_oracle, LockstepChecker};
-use bow_sim::CoreModelKind;
 use bow_sim::Gpu;
+use bow_sim::{CoreModelKind, DivergenceModel};
 use bow_util::XorShift;
 
 /// Per-case seed derivation constant (splitmix golden ratio).
@@ -70,6 +70,10 @@ pub struct FuzzOptions {
     /// the control-bits emitter, so the fixed-latency interlock runs
     /// under the same lockstep oracle.
     pub core_model: CoreModelKind,
+    /// Reconvergence machinery every case runs under. `Barrier` lowers
+    /// each case's SSY/SYNC to convergence barriers, so the stack-less
+    /// split/join model faces the same lockstep oracle and host model.
+    pub divergence: DivergenceModel,
     /// Adds a fourth check per cell: a sanitized re-launch
     /// ([`bow_sim::GpuConfig::sanitize`]) whose every dynamic finding
     /// must be vouched for by a static lint code
@@ -91,6 +95,7 @@ impl Default for FuzzOptions {
             progress: false,
             sim_threads: 1,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             sanitize: false,
         }
     }
@@ -185,31 +190,34 @@ impl FuzzReport {
 /// The collector configurations every case runs under: the full design
 /// space of the paper's Table I plus the RFC baseline, hints on and off.
 pub fn fuzz_configs() -> Vec<Config> {
-    fuzz_configs_for(CoreModelKind::Pascal)
+    fuzz_configs_for(CoreModelKind::Pascal, DivergenceModel::Stack)
 }
 
-/// [`fuzz_configs`] on a chosen core model. The shadow-RF variant only
-/// exists on Pascal — it models Pascal's staged write-back and is a
-/// [`ConfigError::Conflict`](crate::error::ConfigError) with the modern
-/// core — so the modern matrix has one fewer column.
-pub fn fuzz_configs_for(core: CoreModelKind) -> Vec<Config> {
+/// [`fuzz_configs`] on a chosen core and divergence model. The shadow-RF
+/// variant only exists on Pascal — it models Pascal's staged write-back
+/// and is a [`ConfigError::Conflict`](crate::error::ConfigError) with
+/// the modern core — so the modern matrix has one fewer column.
+pub fn fuzz_configs_for(core: CoreModelKind, divergence: DivergenceModel) -> Vec<Config> {
+    let with = |b: ConfigBuilder| b.core_model(core).divergence(divergence).build();
     let mut configs = vec![
-        ConfigBuilder::baseline().core_model(core).build(),
-        ConfigBuilder::bow(3).core_model(core).build(),
-        ConfigBuilder::bow_wr(3).core_model(core).build(),
-        ConfigBuilder::bow_wr(3)
-            .hints(false)
-            .core_model(core)
-            .build(),
+        with(ConfigBuilder::baseline()),
+        with(ConfigBuilder::bow(3)),
+        with(ConfigBuilder::bow_wr(3)),
+        with(ConfigBuilder::bow_wr(3).hints(false)),
     ];
     if core == CoreModelKind::Pascal {
         // Same design with the architectural shadow RF: a hint the static
         // verifier accepted but that drops a live value dynamically would
         // fail lockstep here instead of being absorbed by the value-less
         // timing model.
-        configs.push(ConfigBuilder::bow_wr(3).shadow_rf(true).build());
+        configs.push(
+            ConfigBuilder::bow_wr(3)
+                .shadow_rf(true)
+                .divergence(divergence)
+                .build(),
+        );
     }
-    configs.push(ConfigBuilder::rfc().core_model(core).build());
+    configs.push(with(ConfigBuilder::rfc()));
     configs
 }
 
@@ -222,7 +230,7 @@ pub fn case_seed(seed: u64, case: u64) -> u64 {
 /// given `(seed, cases, size)` at any worker count.
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let start = Instant::now();
-    let mut configs = fuzz_configs_for(opts.core_model);
+    let mut configs = fuzz_configs_for(opts.core_model, opts.divergence);
     for c in &mut configs {
         c.gpu.sim_threads = opts.sim_threads;
     }
@@ -323,6 +331,16 @@ fn build_kernel(program: &FuzzKernel, config: &Config, case: u64) -> Kernel {
     let kernel = if config.hints {
         let window = config.gpu.collector.window().unwrap_or(3);
         annotate(&kernel, window).0
+    } else {
+        kernel
+    };
+    // Generated control flow is structured by construction, so barrier
+    // lowering refusing a case is itself a generator/compiler bug.
+    let kernel = if config.gpu.divergence == DivergenceModel::Barrier {
+        match lower_to_barriers(&kernel) {
+            Ok(k) => k,
+            Err(e) => panic!("fuzz case {case}: barrier lowering rejected the kernel: {e}"),
+        }
     } else {
         kernel
     };
@@ -542,6 +560,7 @@ mod tests {
             progress: false,
             sim_threads: 2,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             // Exercise check 4: clean generated kernels must sanitize
             // clean (or carry a static flag for anything found).
             sanitize: true,
@@ -549,6 +568,34 @@ mod tests {
         assert!(report.failures.is_empty(), "{}", report.summary());
         assert_eq!(report.configs.len(), 6);
         assert!(report.checked_instructions > 0);
+    }
+
+    #[test]
+    fn barrier_divergence_fuzzes_clean_under_the_lockstep_oracle() {
+        // Every case lowers to BSSY/BSYNC convergence barriers; the
+        // stack-less split/join machinery must still satisfy lockstep,
+        // final memory and the independent host model, on both cores.
+        for core in [CoreModelKind::Pascal, CoreModelKind::Modern] {
+            let report = run_fuzz(&FuzzOptions {
+                cases: 4,
+                seed: 0xfeed_beef,
+                jobs: 2,
+                size: 16,
+                out_dir: std::env::temp_dir().join("bow_fuzz_barrier_test"),
+                progress: false,
+                sim_threads: 2,
+                core_model: core,
+                divergence: DivergenceModel::Barrier,
+                sanitize: core == CoreModelKind::Pascal,
+            });
+            assert!(report.failures.is_empty(), "{}", report.summary());
+            assert!(
+                report.configs.iter().all(|l| l.contains("+barrier")),
+                "{:?}",
+                report.configs
+            );
+            assert!(report.checked_instructions > 0);
+        }
     }
 
     #[test]
@@ -562,6 +609,7 @@ mod tests {
             progress: false,
             sim_threads: 2,
             core_model: CoreModelKind::Modern,
+            divergence: DivergenceModel::Stack,
             sanitize: false,
         });
         assert!(report.failures.is_empty(), "{}", report.summary());

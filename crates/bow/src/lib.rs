@@ -82,6 +82,8 @@ pub mod prelude {
     pub use bow_isa::{
         CmpOp, Kernel, KernelBuilder, KernelDims, Operand, Pred, Reg, Special, WritebackHint,
     };
-    pub use bow_sim::{CollectorKind, CoreModelKind, Gpu, GpuConfig, LaunchResult, SimStats};
+    pub use bow_sim::{
+        CollectorKind, CoreModelKind, DivergenceModel, Gpu, GpuConfig, LaunchResult, SimStats,
+    };
     pub use bow_workloads::{suite, Benchmark, RunOutcome, Scale};
 }

@@ -39,11 +39,11 @@ use std::time::{Duration, Instant};
 use crate::experiment::ConfigBuilder;
 use crate::fuzz::{case_seed, FUZZ_MAX_CYCLES};
 use crate::suite::{effective_jobs, map_parallel};
-use bow_compiler::{annotate, verify_hints};
+use bow_compiler::{annotate, lower_to_barriers, verify_hints};
 use bow_isa::fuzz::{self, FuzzKernel};
 use bow_isa::{Kernel, Reg, WritebackHint};
 use bow_sim::oracle::{run_oracle, LockstepChecker};
-use bow_sim::Gpu;
+use bow_sim::{DivergenceModel, Gpu};
 use bow_util::json::Json;
 use bow_util::XorShift;
 
@@ -70,6 +70,11 @@ pub struct MutateOptions {
     pub min_unsound: u64,
     /// Print per-case progress to stderr.
     pub progress: bool,
+    /// Reconvergence machinery the campaign runs under. `Barrier` lowers
+    /// every annotated kernel (and so every mutant) to convergence
+    /// barriers, auditing the verifier's barrier-form serialization model
+    /// with the same replay + lockstep triangle.
+    pub divergence: DivergenceModel,
 }
 
 impl MutateOptions {
@@ -85,6 +90,7 @@ impl MutateOptions {
             min_mutants: 800,
             min_unsound: 500,
             progress: false,
+            divergence: DivergenceModel::Stack,
         }
     }
 
@@ -452,6 +458,21 @@ fn run_one_case(opts: &MutateOptions, case: u64) -> CaseOutcome {
     let input = FuzzKernel::gen_input(&mut rng);
     let kernel = program.build(&format!("mutate_case_{case}"));
     let (annotated, _) = annotate(&kernel, opts.window);
+    // Under the barrier model the pipeline executes the lowered form, so
+    // mutate and verify that. Generated control flow is structured by
+    // construction; a refusal here is a generator/compiler bug and is
+    // surfaced through the baseline-rejected counter (must stay 0).
+    let annotated = if opts.divergence == DivergenceModel::Barrier {
+        match lower_to_barriers(&annotated) {
+            Ok(k) => k,
+            Err(_) => {
+                out.baseline_rejected += 1;
+                return out;
+            }
+        }
+    } else {
+        annotated
+    };
     let window = u64::from(opts.window);
 
     // The unmutated annotation must be statically sound…
@@ -688,5 +709,22 @@ mod tests {
         );
         let json = report.to_json().to_string_compact();
         assert!(json.contains("\"passed\":true"), "{json}");
+    }
+
+    #[test]
+    fn barrier_smoke_session_catches_every_unsound_mutant() {
+        // Same campaign with every kernel lowered to convergence barriers:
+        // the verifier's barrier-form serialization model must catch the
+        // same class of injected hint bugs, with no baseline rejections
+        // (lowering must accept every generated kernel).
+        let report = run_mutation(&MutateOptions {
+            jobs: 2,
+            progress: false,
+            divergence: DivergenceModel::Barrier,
+            ..MutateOptions::smoke()
+        });
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.baseline_rejected, 0, "{}", report.summary());
+        assert!(report.mutants_unsound > 0, "{}", report.summary());
     }
 }

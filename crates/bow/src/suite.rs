@@ -46,13 +46,18 @@ use bow_workloads::{by_name, suite as paper_suite, Benchmark, Scale};
 /// Memoization key for prepared kernels: benchmark index plus the
 /// compiler-relevant part of the configuration. The window only matters
 /// when the hint pass runs (it parameterizes `annotate`), so non-hinted
-/// configs collapse onto window 0 and share one entry.
+/// configs collapse onto window 0 and share one entry. The core model
+/// (control-bits sidecar) and divergence model (barrier lowering) both
+/// change `prepare_kernel`'s output, so mixed-model sweeps keep separate
+/// entries.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct PrepKey {
     bench: usize,
     reorder: bool,
     hints: bool,
     window: u32,
+    core_model: bow_sim::CoreModelKind,
+    divergence: bow_sim::DivergenceModel,
 }
 
 impl PrepKey {
@@ -66,6 +71,8 @@ impl PrepKey {
             } else {
                 0
             },
+            core_model: config.gpu.core_model,
+            divergence: config.gpu.divergence,
         }
     }
 }

@@ -1,0 +1,134 @@
+//! Golden-fingerprint regression suite for the convergence-barrier
+//! divergence model.
+//!
+//! Same shape as `golden_fingerprints.rs` — every Table III benchmark
+//! under the four collector designs at test scale — but with
+//! `divergence = barrier` on *both* core models: every kernel runs
+//! through `lower_to_barriers`, so the SIMT stack is gone and
+//! reconvergence rides the per-warp convergence-barrier registers
+//! (BSSY arms, BSYNC parks-and-joins). The stack tables
+//! (`fingerprints.txt`, `fingerprints_modern.txt`) are untouched: the
+//! divergence models are independent tiers, so a change to either is
+//! caught without re-blessing the other.
+//!
+//! To re-bless after an *intentional* barrier-model change:
+//!
+//! ```text
+//! BOW_BLESS=1 cargo test -p bow --test golden_fingerprints_barrier
+//! ```
+
+use bow::experiment::{Config, ConfigBuilder};
+use bow::prelude::{CoreModelKind, DivergenceModel};
+use bow::suite::Suite;
+use bow_workloads::Scale;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The four collector columns under barrier divergence, on one core.
+fn configs_on(core: CoreModelKind) -> Vec<Config> {
+    let with = |b: ConfigBuilder| {
+        b.core_model(core)
+            .divergence(DivergenceModel::Barrier)
+            .build()
+    };
+    vec![
+        with(ConfigBuilder::baseline()),
+        with(ConfigBuilder::bow(3)),
+        with(ConfigBuilder::bow_wr(3)),
+        with(ConfigBuilder::rfc()),
+    ]
+}
+
+/// Both core models: the barrier machinery lives in the warp scheduler,
+/// so it has to hold up under the Pascal pipeline *and* the sub-core
+/// modern pipeline with its control-bit interlock.
+fn all_configs() -> Vec<Config> {
+    let mut v = configs_on(CoreModelKind::Pascal);
+    v.extend(configs_on(CoreModelKind::Modern));
+    v
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fingerprints_barrier.txt")
+}
+
+/// Renders the sweep as the golden table: one `benchmark/config hex`
+/// line per cell, configs in column order, benchmarks in suite order.
+fn render(sweep: &bow::suite::SweepResult) -> String {
+    let mut out = String::from(
+        "# SimStats fingerprints: 15 workloads x 4 collector configs x \
+         {pascal, modern} (Scale::Test, divergence=barrier).\n\
+         # Regenerate with: BOW_BLESS=1 cargo test -p bow --test golden_fingerprints_barrier\n",
+    );
+    for config in all_configs() {
+        let records = sweep
+            .records(&config.label)
+            .unwrap_or_else(|| panic!("sweep has a {:?} row", config.label));
+        for rec in records {
+            writeln!(
+                out,
+                "{}/{} {:016x}",
+                rec.benchmark,
+                rec.label,
+                rec.outcome.result.stats.fingerprint()
+            )
+            .expect("write to String");
+        }
+    }
+    out
+}
+
+#[test]
+fn barrier_stats_fingerprints_match_goldens() {
+    let mut suite = Suite::new(Scale::Test)
+        .configs(all_configs())
+        .progress(false);
+    // `sim_threads` is a pure execution knob under barrier divergence
+    // too: CI reruns this suite with BOW_SIM_THREADS=8 to prove it.
+    if let Some(t) = std::env::var("BOW_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        suite = suite.sim_threads(t);
+    }
+    let sweep = suite.run();
+    sweep.assert_checked();
+    let got = render(&sweep);
+    let path = golden_path();
+    if std::env::var_os("BOW_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, &got).expect("write goldens");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} (bless with BOW_BLESS=1)", path.display()));
+    if got != want {
+        let mut diff = String::new();
+        for (g, w) in got.lines().zip(want.lines()) {
+            if g != w {
+                writeln!(diff, "  got  {g}\n  want {w}").expect("write to String");
+            }
+        }
+        panic!(
+            "barrier-divergence fingerprints diverged from {} — the \
+             convergence-barrier model changed (an intentional change \
+             needs BOW_BLESS=1):\n{diff}",
+            path.display()
+        );
+    }
+}
+
+/// Every label in the barrier tier must carry the `+barrier` marker —
+/// the tier is worthless if a config silently fell back to the stack.
+#[test]
+fn barrier_tier_labels_carry_the_model_marker() {
+    for config in all_configs() {
+        assert!(
+            config.label.contains("+barrier"),
+            "{}: barrier config label must say so",
+            config.label
+        );
+    }
+}

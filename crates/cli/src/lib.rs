@@ -54,6 +54,8 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model to simulate.
         core_model: CoreModelKind,
+        /// Reconvergence machinery: SSY/SYNC stack or convergence barriers.
+        divergence: DivergenceModel,
         /// Attach the race sanitizer and print its report.
         sanitize: bool,
     },
@@ -69,6 +71,8 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model to simulate.
         core_model: CoreModelKind,
+        /// Reconvergence machinery: SSY/SYNC stack or convergence barriers.
+        divergence: DivergenceModel,
     },
     /// Assemble a kernel file and summarize it.
     Asm {
@@ -96,6 +100,8 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model to simulate.
         core_model: CoreModelKind,
+        /// Reconvergence machinery: SSY/SYNC stack or convergence barriers.
+        divergence: DivergenceModel,
     },
     /// Differential-fuzz generated kernels against the oracle.
     Fuzz {
@@ -113,6 +119,8 @@ pub enum Command {
         sim_threads: Option<u32>,
         /// SM core model every case runs on.
         core_model: CoreModelKind,
+        /// Reconvergence machinery every case runs under.
+        divergence: DivergenceModel,
         /// Cross-validate the race sanitizer against the static lints on
         /// every case (check 4).
         sanitize: bool,
@@ -139,7 +147,11 @@ pub enum Command {
         /// Core model the lint targets: `modern` runs the control-bit
         /// emitter first so the sidecar lints judge real output.
         core_model: CoreModelKind,
-        /// Print the long-form description of one `B0xx` code and stop.
+        /// Divergence model the lint targets: `barrier` lowers SSY/SYNC
+        /// to convergence barriers first, putting B017/B018 in play.
+        divergence: DivergenceModel,
+        /// Print the long-form description of one `B0xx` code and stop;
+        /// an empty code lists every known code.
         explain: Option<String>,
     },
     /// Run a kernel with pipeline tracing and print the timeline.
@@ -220,6 +232,8 @@ pub enum CorpusAction {
         sim_threads: Option<u32>,
         /// SM core model to sweep on.
         core_model: CoreModelKind,
+        /// Reconvergence machinery to sweep under.
+        divergence: DivergenceModel,
         /// Run through a `bow-server` instead of the local pool.
         addr: Option<String>,
         /// Also write the distribution JSON to this file.
@@ -280,21 +294,24 @@ bow-cli — the BOW GPU model
 USAGE:
   bow-cli suite
   bow-cli run <bench> [--collector C] [--window N] [--scale test|paper] [--reorder]
-              [--sim-threads T] [--core-model pascal|modern] [--sanitize]
+              [--sim-threads T] [--core-model pascal|modern]
+              [--divergence stack|barrier] [--sanitize]
   bow-cli compare <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
-                  [--core-model pascal|modern]
+                  [--core-model pascal|modern] [--divergence stack|barrier]
   bow-cli asm <file.s>
   bow-cli compile <file.s> [--window N] [--reorder]
   bow-cli sweep <bench> [--scale test|paper] [--jobs N] [--sim-threads T]
-                [--core-model pascal|modern]
+                [--core-model pascal|modern] [--divergence stack|barrier]
   bow-cli fuzz [--cases N] [--seed S] [--jobs N] [--size N] [--out DIR] [--smoke]
-               [--sim-threads T] [--core-model pascal|modern] [--sanitize]
+               [--sim-threads T] [--core-model pascal|modern]
+               [--divergence stack|barrier] [--sanitize]
   bow-cli lint <file.s> [--window N] [--deny-warnings] [--json FILE]
-              [--core-model pascal|modern]
+              [--core-model pascal|modern] [--divergence stack|barrier]
   bow-cli lint --all-workloads [--window N] [--deny-warnings] [--json FILE]
-              [--core-model pascal|modern]
+              [--core-model pascal|modern] [--divergence stack|barrier]
   bow-cli lint --mutate [--smoke] [--jobs N] [--json FILE]
-  bow-cli lint --explain B0xx
+                [--divergence stack|barrier]
+  bow-cli lint --explain [B0xx]
   bow-cli trace <file.s> [--collector C] [--window N] [--limit N]
   bow-cli encode <file.s>
   bow-cli decode <file.hex>
@@ -306,7 +323,8 @@ USAGE:
   bow-cli corpus gen [--count N] [--seed S] [--dir DIR]
   bow-cli corpus stats [--dir DIR]
   bow-cli corpus sweep [--dir DIR] [--limit N] [--jobs N] [--sim-threads T]
-                 [--core-model pascal|modern] [--addr HOST:PORT] [--out FILE]
+                 [--core-model pascal|modern] [--divergence stack|barrier]
+                 [--addr HOST:PORT] [--out FILE]
   bow-cli corpus sanitize [--count N] [--seed S] [--jobs N] [--smoke] [--out FILE]
 
 COLLECTORS:
@@ -349,7 +367,9 @@ to BocOnly across a generated corpus and requires every mutant that
 demonstrably loses a value to be statically flagged (`--smoke` is the
 small fixed CI configuration). --json writes the machine-readable
 report for either mode. `lint --explain B0xx` prints the long-form
-description of one diagnostic code and exits (unknown codes exit 2).
+description of one diagnostic code and exits (unknown codes exit 2);
+`lint --explain` with no code lists every known code with its severity
+and one-line summary.
 
 --core-model picks the SM microarchitecture (docs/ARCHITECTURE.md,
 `Core models`): `pascal` is the paper's scoreboarded Pascal SM and the
@@ -360,6 +380,18 @@ cannot combine) and checks the control-bit interlock against the same
 lockstep oracle. Under `lint`, `modern` runs the control-bit emitter
 before judging, so the sidecar lints (B013/B014) check what the modern
 pipeline would actually consume.
+
+--divergence picks the reconvergence machinery (docs/ARCHITECTURE.md,
+`Divergence models`): `stack` is the classic SSY/SYNC reconvergence
+stack and the default; `barrier` is the post-Volta model — the compiler
+lowers SSY/SYNC to BSSY/BSYNC convergence barriers at immediate
+post-dominators and the SM tracks divergence with per-warp barrier
+registers and thread-group splits, no stack. Orthogonal to
+--core-model: all four combinations run. Under `lint`, `barrier`
+lowers each kernel first so the barrier-form lints (B017/B018) judge
+what the pipeline would actually execute; under `fuzz` and
+`lint --mutate` every case runs in barrier form against the same
+lockstep oracle and replay campaign.
 
 `corpus` manages the stratified thousand-kernel population
 (docs/TESTING.md, `Corpus tier`). `gen` draws `--count` kernels across
@@ -429,6 +461,11 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
         Some("modern") => CoreModelKind::Modern,
         Some(other) => return Err(err(format!("unknown core model `{other}`"))),
     };
+    let divergence = match opt("--divergence") {
+        Some("stack") | None => DivergenceModel::Stack,
+        Some("barrier") => DivergenceModel::Barrier,
+        Some(other) => return Err(err(format!("unknown divergence model `{other}`"))),
+    };
 
     match cmd {
         "suite" => Ok(Command::Suite),
@@ -442,6 +479,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             reorder: flag("--reorder"),
             sim_threads,
             core_model,
+            divergence,
             sanitize: flag("--sanitize"),
         }),
         "compare" => Ok(Command::Compare {
@@ -452,6 +490,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             jobs,
             sim_threads,
             core_model,
+            divergence,
         }),
         "asm" => Ok(Command::Asm {
             path: positional().ok_or_else(|| err("asm: missing file"))?.into(),
@@ -471,6 +510,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
             jobs,
             sim_threads,
             core_model,
+            divergence,
         }),
         "fuzz" => {
             let defaults = if flag("--smoke") {
@@ -515,12 +555,24 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                     .unwrap_or_else(|| defaults.out_dir.display().to_string()),
                 sim_threads,
                 core_model,
+                divergence,
                 sanitize: flag("--sanitize"),
             })
         }
         "lint" => {
             // Flags take values (`--window 4`), so only a leading token
-            // can be the file path.
+            // can be the file path. A bare `--explain` (no code, or
+            // directly followed by another flag) lists every code.
+            let explain = if flag("--explain") {
+                Some(
+                    opt("--explain")
+                        .filter(|v| !v.starts_with("--"))
+                        .unwrap_or("")
+                        .to_string(),
+                )
+            } else {
+                None
+            };
             let cmd = Command::Lint {
                 path: rest
                     .first()
@@ -534,7 +586,8 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                 smoke: flag("--smoke"),
                 jobs,
                 core_model,
-                explain: opt("--explain").map(String::from),
+                divergence,
+                explain,
             };
             if let Command::Lint {
                 path: None,
@@ -681,6 +734,7 @@ pub fn parse(args: &[String]) -> Result<Command, BowError> {
                     jobs,
                     sim_threads,
                     core_model,
+                    divergence,
                     addr: opt("--addr").map(String::from),
                     out: opt("--out").map(String::from),
                 },
@@ -710,6 +764,7 @@ pub fn config_for(
     window: u32,
     reorder: bool,
     core_model: CoreModelKind,
+    divergence: DivergenceModel,
 ) -> Result<Config, BowError> {
     let builder = match collector {
         "baseline" => ConfigBuilder::baseline(),
@@ -729,6 +784,7 @@ pub fn config_for(
     Ok(builder
         .reorder(reorder)
         .core_model(core_model)
+        .divergence(divergence)
         .try_build()?)
 }
 
@@ -814,6 +870,7 @@ fn corpus_server_sweep(
     limit: usize,
     addr: &str,
     core: CoreModelKind,
+    divergence: DivergenceModel,
 ) -> Result<Json, BowError> {
     use bow::corpus;
     const COLLECTORS: [&str; 4] = ["baseline", "bow", "bow-wr", "rfc"];
@@ -847,6 +904,7 @@ fn corpus_server_sweep(
                         ("window", Json::from(3_u32)),
                         ("model", Json::from("scaled")),
                         ("core_model", Json::from(core_model_name(core))),
+                        ("divergence", Json::from(divergence.name())),
                     ]),
                 ),
                 ("wait", Json::from(true)),
@@ -901,6 +959,7 @@ fn corpus_server_sweep(
     Ok(Json::obj([
         ("schema_version", Json::from(corpus::MANIFEST_VERSION)),
         ("core_model", Json::from(core_model_name(core))),
+        ("divergence", Json::from(divergence.name())),
         ("kernels", Json::from(picked.len() as u64)),
         ("strata", Json::Arr(rows)),
     ]))
@@ -937,11 +996,12 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             reorder,
             sim_threads,
             core_model,
+            divergence,
             sanitize,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
-            let mut cfg = config_for(&collector, window, reorder, core_model)?;
+            let mut cfg = config_for(&collector, window, reorder, core_model, divergence)?;
             if let Some(t) = sim_threads {
                 cfg.gpu.sim_threads = t;
             }
@@ -991,21 +1051,20 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             jobs,
             sim_threads,
             core_model,
+            divergence,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
+            let with = |b: ConfigBuilder| b.core_model(core_model).divergence(divergence).build();
             let mut suite = Suite::over(vec![b])
                 .configs([
-                    ConfigBuilder::baseline().core_model(core_model).build(),
-                    ConfigBuilder::bow(3).core_model(core_model).build(),
-                    ConfigBuilder::bow_wr(3).core_model(core_model).build(),
-                    ConfigBuilder::bow_wr(3)
-                        .half_size(true)
-                        .core_model(core_model)
-                        .build(),
-                    ConfigBuilder::bow_flex(12).core_model(core_model).build(),
-                    ConfigBuilder::rfc().core_model(core_model).build(),
+                    with(ConfigBuilder::baseline()),
+                    with(ConfigBuilder::bow(3)),
+                    with(ConfigBuilder::bow_wr(3)),
+                    with(ConfigBuilder::bow_wr(3).half_size(true)),
+                    with(ConfigBuilder::bow_flex(12)),
+                    with(ConfigBuilder::rfc()),
                 ])
                 .jobs(jobs);
             if let Some(t) = sim_threads {
@@ -1097,14 +1156,14 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             jobs,
             sim_threads,
             core_model,
+            divergence,
         } => {
             let b =
                 bow::workloads::by_name(&bench, scale).ok_or_else(|| unknown_benchmark(&bench))?;
             let model = EnergyModel::table_iv();
-            let mut configs = vec![ConfigBuilder::baseline().core_model(core_model).build()];
-            configs.extend(
-                (1..=7u32).map(|w| ConfigBuilder::bow_wr(w).core_model(core_model).build()),
-            );
+            let with = |b: ConfigBuilder| b.core_model(core_model).divergence(divergence).build();
+            let mut configs = vec![with(ConfigBuilder::baseline())];
+            configs.extend((1..=7u32).map(|w| with(ConfigBuilder::bow_wr(w))));
             let mut suite = Suite::over(vec![b]).configs(configs).jobs(jobs);
             if let Some(t) = sim_threads {
                 suite = suite.sim_threads(t);
@@ -1144,6 +1203,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             out_dir,
             sim_threads,
             core_model,
+            divergence,
             sanitize,
         } => {
             let report = bow::fuzz::run_fuzz(&bow::fuzz::FuzzOptions {
@@ -1155,6 +1215,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 progress: false,
                 sim_threads: sim_threads.unwrap_or(1),
                 core_model,
+                divergence,
                 sanitize,
             });
             if report.failures.is_empty() {
@@ -1173,9 +1234,26 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
             smoke,
             jobs,
             core_model,
+            divergence,
             explain,
         } => {
             if let Some(code) = explain {
+                if code.is_empty() {
+                    // Bare `--explain`: list every known code.
+                    let rows: Vec<Vec<String>> = bow_compiler::LINT_DOCS
+                        .iter()
+                        .map(|d| {
+                            vec![
+                                d.code.to_string(),
+                                d.severity.to_string(),
+                                d.summary.to_string(),
+                            ]
+                        })
+                        .collect();
+                    let mut out = render_table(&["code", "severity", "summary"], &rows);
+                    out.push_str("\nuse `bow-cli lint --explain B0xx` for the full description\n");
+                    return Ok(out);
+                }
                 return bow_compiler::explain(&code)
                     .ok_or_else(|| err(format!("lint: unknown diagnostic code `{code}`")));
             }
@@ -1186,6 +1264,7 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                     bow::mutate::MutateOptions::full()
                 };
                 opts.jobs = jobs;
+                opts.divergence = divergence;
                 let report = bow::mutate::run_mutation(&opts);
                 if let Some(p) = json {
                     std::fs::write(&p, report.to_json().to_string_pretty())
@@ -1219,6 +1298,16 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 for b in suite(Scale::Test) {
                     let annotated = bow_compiler::annotate(&b.kernel(), window).0;
                     targets.push((annotated, None));
+                }
+            }
+            // Under the barrier divergence model the pipeline executes the
+            // lowered form, so lint that: replace SSY/SYNC with convergence
+            // barriers first, which puts B017/B018 in play. Lowering is a
+            // pure opcode rewrite, so pc -> line tables stay valid.
+            if divergence == DivergenceModel::Barrier {
+                for (k, _) in &mut targets {
+                    *k = bow_compiler::lower_to_barriers(k)
+                        .map_err(|e| err(format!("{}: barrier lowering: {e}", k.name)))?;
                 }
             }
             // On the modern core every kernel ships with a control-bit
@@ -1279,7 +1368,13 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
         } => {
             let text = std::fs::read_to_string(&path).map_err(|e| BowError::io(&path, e))?;
             let kernel = bow_isa::asm::parse_kernel(&text).map_err(|e| err(e.to_string()))?;
-            let cfg = config_for(&collector, window, false, CoreModelKind::Pascal)?;
+            let cfg = config_for(
+                &collector,
+                window,
+                false,
+                CoreModelKind::Pascal,
+                DivergenceModel::Stack,
+            )?;
             let mut gpu_cfg = cfg.gpu.clone();
             gpu_cfg.trace_pipeline = true;
             gpu_cfg.num_sms = 1;
@@ -1465,18 +1560,20 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                 jobs,
                 sim_threads,
                 core_model,
+                divergence,
                 addr,
                 out,
             } => {
                 let manifest = load_corpus_manifest(&dir)?;
                 let doc = if let Some(addr) = addr {
-                    corpus_server_sweep(&manifest, limit, &addr, core_model)?
+                    corpus_server_sweep(&manifest, limit, &addr, core_model, divergence)?
                 } else {
                     let opts = bow::corpus::SweepOptions {
                         limit,
                         jobs,
                         sim_threads,
                         core_model,
+                        divergence,
                         progress: true,
                     };
                     let result = bow::corpus::sweep(&manifest, &opts);
@@ -1490,7 +1587,12 @@ pub fn execute(cmd: Command) -> Result<String, BowError> {
                             }
                         }
                     }
-                    bow::corpus::distribution_json(&manifest, &result, core_model_name(core_model))
+                    bow::corpus::distribution_json(
+                        &manifest,
+                        &result,
+                        core_model_name(core_model),
+                        divergence.name(),
+                    )
                 };
                 let mut text = doc.to_string_pretty();
                 if !text.ends_with('\n') {
@@ -1564,6 +1666,7 @@ mod tests {
                 reorder: true,
                 sim_threads: Some(2),
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 sanitize: false,
             }
         );
@@ -1583,6 +1686,7 @@ mod tests {
                 reorder: false,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 sanitize: false,
             }
         );
@@ -1606,6 +1710,7 @@ mod tests {
                 jobs: 2,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
             }
         );
     }
@@ -1621,6 +1726,7 @@ mod tests {
                 jobs: 0,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
             }
         );
         assert!(parse(&argv("sweep nw --jobs lots")).is_err());
@@ -1634,6 +1740,7 @@ mod tests {
             jobs: 2,
             sim_threads: None,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
         })
         .unwrap();
         assert!(out.contains("IW1") && out.contains("IW7"), "{out}");
@@ -1647,6 +1754,7 @@ mod tests {
             jobs: 2,
             sim_threads: Some(2),
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
         })
         .unwrap();
         for label in ["baseline", "bow iw3", "bow-wr iw3", "bow-flex c12", "rfc"] {
@@ -1671,6 +1779,7 @@ mod tests {
             reorder: false,
             sim_threads: Some(2),
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             sanitize: false,
         })
         .unwrap();
@@ -1688,6 +1797,7 @@ mod tests {
             reorder: false,
             sim_threads: None,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             sanitize: false,
         })
         .unwrap_err();
@@ -1734,6 +1844,7 @@ mod tests {
                     .to_string(),
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 sanitize: false,
             }
         );
@@ -1750,6 +1861,7 @@ mod tests {
                 out_dir: smoke.out_dir.display().to_string(),
                 sim_threads: Some(4),
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 sanitize: false,
             }
         );
@@ -1774,6 +1886,7 @@ mod tests {
                 .to_string(),
             sim_threads: Some(2),
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             sanitize: true,
         })
         .unwrap();
@@ -1798,6 +1911,7 @@ mod tests {
                 smoke: false,
                 jobs: 0,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 explain: None,
             }
         );
@@ -1832,6 +1946,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             explain: None,
         })
         .unwrap();
@@ -1856,6 +1971,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Modern,
+            divergence: DivergenceModel::Stack,
             explain: None,
         })
         .unwrap();
@@ -1891,6 +2007,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             explain: None,
         })
         .unwrap_err()
@@ -1926,6 +2043,7 @@ mod tests {
             smoke: false,
             jobs: 0,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             explain: None,
         })
         .unwrap();
@@ -1943,15 +2061,22 @@ mod tests {
             "rfc",
         ] {
             assert!(
-                config_for(c, 3, false, CoreModelKind::Pascal).is_ok(),
+                config_for(c, 3, false, CoreModelKind::Pascal, DivergenceModel::Stack).is_ok(),
                 "{c}"
             );
             assert!(
-                config_for(c, 3, false, CoreModelKind::Modern).is_ok(),
+                config_for(c, 3, false, CoreModelKind::Modern, DivergenceModel::Stack).is_ok(),
                 "{c}"
             );
         }
-        assert!(config_for("warp-drive", 3, false, CoreModelKind::Pascal).is_err());
+        assert!(config_for(
+            "warp-drive",
+            3,
+            false,
+            CoreModelKind::Pascal,
+            DivergenceModel::Stack
+        )
+        .is_err());
     }
 
     #[test]
@@ -1977,6 +2102,7 @@ mod tests {
             reorder: false,
             sim_threads: Some(2),
             core_model: CoreModelKind::Modern,
+            divergence: DivergenceModel::Stack,
             sanitize: false,
         })
         .unwrap();
@@ -1992,6 +2118,7 @@ mod tests {
             jobs: 2,
             sim_threads: None,
             core_model: CoreModelKind::Modern,
+            divergence: DivergenceModel::Stack,
         })
         .unwrap();
         for label in ["baseline+modern", "bow iw3+modern", "rfc+modern"] {
@@ -2040,6 +2167,7 @@ mod tests {
                     jobs: 2,
                     sim_threads: None,
                     core_model: CoreModelKind::Modern,
+                    divergence: DivergenceModel::Stack,
                     addr: Some("127.0.0.1:9".into()),
                     out: Some("d.json".into()),
                 }
@@ -2109,6 +2237,7 @@ mod tests {
                 jobs: 2,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 addr: None,
                 out: Some(out_file.clone()),
             },
@@ -2176,6 +2305,7 @@ mod tests {
             reorder: false,
             sim_threads: None,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             sanitize: true,
         })
         .unwrap();
@@ -2195,6 +2325,102 @@ mod tests {
         let e = execute(parse(&argv("lint --explain B999")).unwrap()).unwrap_err();
         assert_eq!(e.exit_code(), 2);
         assert!(e.to_string().contains("B999"), "{e}");
+    }
+
+    #[test]
+    fn lint_explain_with_no_code_lists_every_code() {
+        // A bare `--explain` (or one directly followed by another flag)
+        // lists the whole catalog instead of erroring.
+        for cmdline in ["lint --explain", "lint --explain --window 3"] {
+            let out = execute(parse(&argv(cmdline)).unwrap()).unwrap();
+            for code in ["B001", "B010", "B017", "B018"] {
+                assert!(out.contains(code), "missing {code} in:\n{out}");
+            }
+            assert!(out.contains("severity"), "{out}");
+        }
+    }
+
+    #[test]
+    fn parse_divergence_flag() {
+        match parse(&argv("run vectoradd --divergence barrier")).unwrap() {
+            Command::Run { divergence, .. } => assert_eq!(divergence, DivergenceModel::Barrier),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "fuzz --smoke --divergence barrier --core-model modern",
+        ))
+        .unwrap()
+        {
+            Command::Fuzz {
+                divergence,
+                core_model,
+                ..
+            } => {
+                assert_eq!(divergence, DivergenceModel::Barrier);
+                assert_eq!(core_model, CoreModelKind::Modern);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("corpus sweep --divergence barrier")).unwrap() {
+            Command::Corpus {
+                action: CorpusAction::Sweep { divergence, .. },
+            } => assert_eq!(divergence, DivergenceModel::Barrier),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&argv("run vectoradd --divergence ipdom")).is_err());
+    }
+
+    #[test]
+    fn run_under_barrier_divergence_reports_verified() {
+        // bfs is divergent at test scale, so this exercises real
+        // split/join traffic end to end through the CLI path.
+        let run = |sanitize: bool| {
+            execute(Command::Run {
+                bench: "bfs".into(),
+                collector: "bow-wr".into(),
+                window: 3,
+                scale: Scale::Test,
+                reorder: false,
+                sim_threads: Some(2),
+                core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Barrier,
+                sanitize,
+            })
+        };
+        let out = run(false).unwrap();
+        assert!(out.contains("bow-wr iw3+barrier"), "{out}");
+        assert!(out.contains("OK (results verified)"), "{out}");
+        // With the sanitizer attached, bfs's known benign cross-warp
+        // race is still found under barrier divergence: the probe rides
+        // the same event stream whatever the reconvergence bookkeeping,
+        // and findings surface as the usual exit-code-5 Verify error.
+        let err = match run(true) {
+            Err(BowError::Verify(msg)) => msg,
+            other => panic!("expected sanitizer findings, got {other:?}"),
+        };
+        assert!(err.contains("race: global word"), "{err}");
+    }
+
+    #[test]
+    fn lint_all_workloads_under_barriers_is_clean() {
+        // --divergence barrier lowers every workload kernel to
+        // convergence-barrier form before linting; the barrier-form
+        // structure checks and B017/B018 must all come back clean.
+        let out = execute(Command::Lint {
+            path: None,
+            all_workloads: true,
+            deny_warnings: true,
+            json: None,
+            window: 3,
+            mutate: false,
+            smoke: false,
+            jobs: 0,
+            core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Barrier,
+            explain: None,
+        })
+        .unwrap();
+        assert!(out.contains("linted 15 kernel(s) at IW3: clean"), "{out}");
     }
 
     #[test]
@@ -2250,6 +2476,7 @@ mod tests {
                 jobs: 0,
                 sim_threads: None,
                 core_model: CoreModelKind::Pascal,
+                divergence: DivergenceModel::Stack,
                 addr: Some(addr.clone()),
                 out: None,
             },

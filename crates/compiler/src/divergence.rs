@@ -15,6 +15,15 @@
 //!
 //! The workload suite passes with zero errors; the checker exists so new
 //! kernels fail fast instead of mis-reconverging in the simulator.
+//!
+//! Kernels compiled for the stack-less divergence model (any `bssy`/`bsync`
+//! present — see [`crate::barrier`]) are checked against the barrier
+//! protocol's invariants instead: every `bsync` must find its barrier
+//! armed, all paths into a block must agree on which barriers are armed,
+//! and a guarded branch outside every armed region has no reconvergence
+//! point (advisory, like the stack form's assumed-uniform case). The two
+//! checkers share the [`StructureIssue`] vocabulary so the `B011`/`B012`
+//! lints are divergence-model agnostic.
 
 use crate::cfg::Cfg;
 use bow_isa::{Kernel, Opcode};
@@ -46,6 +55,28 @@ pub enum StructureIssue {
         /// Instruction index of the branch.
         pc: usize,
     },
+    /// A `bsync` waits on a barrier no path has armed (barrier form).
+    BsyncUnarmed {
+        /// Instruction index of the bsync.
+        pc: usize,
+        /// The barrier id it names.
+        bar: u8,
+    },
+    /// Two paths reach the same block with different armed-barrier sets
+    /// (barrier form) — some threads would wait on a barrier others never
+    /// release.
+    UnbalancedBarrierJoin {
+        /// Block id where the armed sets disagree.
+        block: usize,
+        /// The two armed-barrier bitmasks observed.
+        masks: (u8, u8),
+    },
+    /// Advisory (barrier form): a guarded branch outside every armed
+    /// barrier region relies on being warp-uniform.
+    MissingConvergenceBarrier {
+        /// Instruction index of the branch.
+        pc: usize,
+    },
 }
 
 impl std::fmt::Display for StructureIssue {
@@ -68,6 +99,18 @@ impl std::fmt::Display for StructureIssue {
                     "guarded branch at #{pc} has no ssy region (assumed uniform)"
                 )
             }
+            StructureIssue::BsyncUnarmed { pc, bar } => {
+                write!(f, "bsync at #{pc} waits on b{bar} which no path arms")
+            }
+            StructureIssue::UnbalancedBarrierJoin { block, masks } => write!(
+                f,
+                "block {block} reached with armed-barrier sets {:#04x} and {:#04x}",
+                masks.0, masks.1
+            ),
+            StructureIssue::MissingConvergenceBarrier { pc } => write!(
+                f,
+                "guarded branch at #{pc} has no convergence barrier (assumed uniform)"
+            ),
         }
     }
 }
@@ -75,7 +118,11 @@ impl std::fmt::Display for StructureIssue {
 impl StructureIssue {
     /// Whether this issue is a hard error (as opposed to an advisory).
     pub fn is_error(&self) -> bool {
-        !matches!(self, StructureIssue::AssumedUniformBranch { .. })
+        !matches!(
+            self,
+            StructureIssue::AssumedUniformBranch { .. }
+                | StructureIssue::MissingConvergenceBarrier { .. }
+        )
     }
 }
 
@@ -98,9 +145,14 @@ impl StructureReport {
     }
 }
 
-/// Checks `kernel`'s SSY/SYNC structure by propagating the abstract stack
-/// depth over the CFG to a fixpoint.
+/// Checks `kernel`'s reconvergence structure: SSY/SYNC stack depth for
+/// stack-form kernels, armed-barrier sets for barrier-form kernels (the
+/// divergence-model seam — callers never need to know which model the
+/// kernel was compiled for).
 pub fn check_structure(kernel: &Kernel) -> StructureReport {
+    if kernel.uses_convergence_barriers() {
+        return check_barrier_structure(kernel);
+    }
     let cfg = Cfg::build(kernel);
     let mut report = StructureReport::default();
     let n = cfg.len();
@@ -149,6 +201,72 @@ pub fn check_structure(kernel: &Kernel) -> StructureReport {
                     let issue = StructureIssue::UnbalancedJoin {
                         block: s,
                         depths: (d, depth),
+                    };
+                    if !report.issues.contains(&issue) {
+                        report.issues.push(issue);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    report
+}
+
+/// The barrier-form structure checker: propagates the armed-barrier bitmask
+/// (one bit per convergence barrier) over the CFG. An `exit` inside an
+/// armed region is deliberately *not* an issue — the simulator's
+/// exit-retire path removes exited lanes from the pending set, so an exit
+/// in a divergent arm is a supported pattern under barriers (unlike the
+/// stack form's `UnclosedSsy`).
+fn check_barrier_structure(kernel: &Kernel) -> StructureReport {
+    let cfg = Cfg::build(kernel);
+    let mut report = StructureReport::default();
+    let n = cfg.len();
+    if n == 0 {
+        return report;
+    }
+    // Armed-barrier bitmask on entry to each block; None = not yet reached.
+    let mut armed_in: Vec<Option<u8>> = vec![None; n];
+    armed_in[0] = Some(0);
+    let mut work = vec![0usize];
+    let mut advisories_seen = std::collections::HashSet::new();
+
+    while let Some(b) = work.pop() {
+        let mut armed = armed_in[b].expect("scheduled blocks have an armed set");
+        for pc in cfg.blocks()[b].range() {
+            let inst = &kernel.insts[pc];
+            match inst.op {
+                Opcode::Bssy => {
+                    let bar = inst.cbar().expect("validated bssy carries an id");
+                    armed |= 1 << bar;
+                }
+                Opcode::Bsync => {
+                    let bar = inst.cbar().expect("validated bsync carries an id");
+                    if armed & (1 << bar) == 0 {
+                        report.issues.push(StructureIssue::BsyncUnarmed { pc, bar });
+                    } else {
+                        armed &= !(1 << bar);
+                    }
+                }
+                Opcode::Bra if inst.guard.is_some() && armed == 0 && advisories_seen.insert(pc) => {
+                    report
+                        .issues
+                        .push(StructureIssue::MissingConvergenceBarrier { pc });
+                }
+                _ => {}
+            }
+        }
+        for &s in &cfg.blocks()[b].succs {
+            match armed_in[s] {
+                None => {
+                    armed_in[s] = Some(armed);
+                    work.push(s);
+                }
+                Some(m) if m != armed => {
+                    let issue = StructureIssue::UnbalancedBarrierJoin {
+                        block: s,
+                        masks: (m, armed),
                     };
                     if !report.issues.contains(&issue) {
                         report.issues.push(issue);
@@ -343,5 +461,117 @@ mod tests {
             StructureIssue::SyncWithoutSsy { pc: 7 }.to_string(),
             "sync at #7 pops an empty reconvergence stack"
         );
+        assert_eq!(
+            StructureIssue::BsyncUnarmed { pc: 3, bar: 2 }.to_string(),
+            "bsync at #3 waits on b2 which no path arms"
+        );
+    }
+
+    #[test]
+    fn well_formed_barrier_diamond_is_clean() {
+        let r = Reg::r;
+        let k = KernelBuilder::new("bok")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(1), 2)
+            .label("join")
+            .bsync(0)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        assert!(rep.issues.is_empty());
+    }
+
+    #[test]
+    fn unarmed_bsync_is_flagged() {
+        let k = KernelBuilder::new("bad").bsync(3).exit().build().unwrap();
+        let rep = check_structure(&k);
+        assert!(!rep.is_ok());
+        assert!(matches!(
+            rep.issues[0],
+            StructureIssue::BsyncUnarmed { pc: 0, bar: 3 }
+        ));
+    }
+
+    #[test]
+    fn unbalanced_barrier_join_is_flagged() {
+        // One path arms b0, the other bypasses the bssy, then they meet at
+        // the bsync: the bypassing threads wait on nothing.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bad")
+            .bra_if(Pred::p(0), false, "meet")
+            .bssy(0, "meet")
+            .mov_imm(r(0), 1)
+            .label("meet")
+            .bsync(0)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(
+            rep.issues
+                .iter()
+                .any(|i| matches!(i, StructureIssue::UnbalancedBarrierJoin { .. })),
+            "{:?}",
+            rep.issues
+        );
+    }
+
+    #[test]
+    fn barrier_form_uniform_loop_is_advisory_only() {
+        // A guarded back-edge outside every armed region: advisory, exactly
+        // mirroring the stack form's assumed-uniform case. The kernel still
+        // needs one bssy/bsync so the checker takes the barrier path.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bloop")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(1), 2)
+            .label("join")
+            .bsync(0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(bow_isa::CmpOp::Lt, Pred::p(1), r(0).into(), Operand::Imm(4))
+            .bra_if(Pred::p(1), false, "top")
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        assert_eq!(rep.issues.len(), 1, "{:?}", rep.issues);
+        assert!(matches!(
+            rep.issues[0],
+            StructureIssue::MissingConvergenceBarrier { .. }
+        ));
+    }
+
+    #[test]
+    fn exit_inside_armed_region_is_supported_under_barriers() {
+        // The stack form flags UnclosedSsy; the barrier form's exit-retire
+        // disarms abandoned barriers, so this is clean.
+        let r = Reg::r;
+        let k = KernelBuilder::new("bexit")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .exit()
+            .label("join")
+            .bsync(0)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = check_structure(&k);
+        assert!(rep.is_ok(), "{:?}", rep.issues);
+        assert!(rep.issues.is_empty(), "{:?}", rep.issues);
     }
 }

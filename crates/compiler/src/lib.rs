@@ -8,7 +8,11 @@
 //!
 //! This crate provides that pipeline from scratch:
 //!
-//! * [`mod@cfg`] — basic-block construction over the BOW ISA;
+//! * [`mod@cfg`] — basic-block construction over the BOW ISA, with
+//!   dominator and post-dominator trees;
+//! * [`mod@barrier`] — the stack-less divergence lowering: `ssy`/`sync`
+//!   rewritten to convergence barriers (`bssy`/`bsync`), validated against
+//!   the post-dominator tree;
 //! * [`liveness`] — classic backward may-live dataflow to a fixpoint;
 //! * [`hints`] — the sliding-extended-window reuse analysis that assigns
 //!   each instruction its 2-bit [`WritebackHint`](bow_isa::WritebackHint),
@@ -42,6 +46,7 @@
 //! # Ok::<(), bow_isa::KernelError>(())
 //! ```
 
+pub mod barrier;
 pub mod cfg;
 pub mod characterize;
 pub mod ctrl;
@@ -52,7 +57,8 @@ pub mod regset;
 pub mod reorder;
 pub mod verify;
 
-pub use cfg::{Cfg, Dominators};
+pub use barrier::{lower_to_barriers, LowerError};
+pub use cfg::{Cfg, Dominators, PostDominators};
 pub use characterize::{characterize, KernelTraits};
 pub use ctrl::{emit_ctrl, CtrlLatencies};
 pub use divergence::{check_structure, StructureIssue, StructureReport};

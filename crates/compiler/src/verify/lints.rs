@@ -15,6 +15,8 @@
 //! | B014 | warning  | stall count under the fixed-latency RAW gap         |
 //! | B015 | error    | definite cross-thread race (same word, same barrier interval) |
 //! | B016 | warning  | shared read no store in the kernel initializes      |
+//! | B017 | warning  | convergence barrier not post-dominating its fork    |
+//! | B018 | info     | guarded branch with no convergence barrier          |
 //!
 //! `B003`/`B015`/`B016` come from the barrier-interval dataflow in
 //! [`super::interval`]; the machine-readable descriptions behind
@@ -79,6 +81,7 @@ pub fn lint_kernel(kernel: &Kernel, opts: &LintOptions) -> LintReport {
         ctrl_lints(kernel, &cfg, &opts.latencies, &mut report);
     }
     structure_lints(kernel, &mut report);
+    convergence_lints(kernel, &cfg, &mut report);
     uninit_lints(kernel, &cfg, &doms, &mut report);
     barrier_lints(kernel, &cfg, &mut report);
     super::interval::interval_lints(kernel, &cfg, &doms, &mut report);
@@ -220,25 +223,67 @@ fn ctrl_lints(kernel: &Kernel, cfg: &Cfg, lat: &CtrlLatencies, report: &mut Lint
     }
 }
 
-/// `B011` (errors) and `B012` (advisories) wrapping `divergence.rs`.
+/// `B011` (errors), `B012` (stack advisories) and `B018` (barrier
+/// advisories) wrapping `divergence.rs` — the checker picks the protocol
+/// matching the kernel's divergence model, so the same pass covers both.
 fn structure_lints(kernel: &Kernel, report: &mut LintReport) {
     let structure = check_structure(kernel);
     for issue in &structure.issues {
-        let (code, severity) = if issue.is_error() {
-            ("B011", Severity::Error)
-        } else {
-            ("B012", Severity::Info)
+        let (code, severity) = match issue {
+            _ if issue.is_error() => ("B011", Severity::Error),
+            StructureIssue::MissingConvergenceBarrier { .. } => ("B018", Severity::Info),
+            _ => ("B012", Severity::Info),
         };
         let pc = match issue {
-            StructureIssue::SyncWithoutSsy { pc } => Some(*pc),
-            StructureIssue::AssumedUniformBranch { pc } => Some(*pc),
-            StructureIssue::UnbalancedJoin { .. } | StructureIssue::UnclosedSsy { .. } => None,
+            StructureIssue::SyncWithoutSsy { pc }
+            | StructureIssue::AssumedUniformBranch { pc }
+            | StructureIssue::BsyncUnarmed { pc, .. }
+            | StructureIssue::MissingConvergenceBarrier { pc } => Some(*pc),
+            StructureIssue::UnbalancedJoin { .. }
+            | StructureIssue::UnclosedSsy { .. }
+            | StructureIssue::UnbalancedBarrierJoin { .. } => None,
         };
         let mut d = Diagnostic::new(code, severity, issue.to_string());
         if let Some(pc) = pc {
             d = d.at(pc);
         }
         report.diagnostics.push(d);
+    }
+}
+
+/// `B017`: a `bssy` whose named reconvergence point does not post-dominate
+/// the fork. Threads on the bypassing path reach an exit without passing
+/// the `bsync`; the warp only converges because exit-retire disarms
+/// abandoned barriers, so the barrier never actually joins the paths.
+fn convergence_lints(kernel: &Kernel, cfg: &Cfg, report: &mut LintReport) {
+    if !kernel.uses_convergence_barriers() {
+        return;
+    }
+    let pdom = cfg.postdominators();
+    for (pc, inst) in kernel.iter() {
+        if inst.op != Opcode::Bssy {
+            continue;
+        }
+        let target = inst.target.expect("validated bssy target");
+        let fork = cfg.block_of(pc);
+        if !pdom.reaches_exit(fork) {
+            continue; // unreachable-from-exit forks are B005/structure turf
+        }
+        if !pdom.postdominates(cfg.block_of(target), fork) {
+            let bar = inst.cbar().unwrap_or(0);
+            report.diagnostics.push(
+                Diagnostic::new(
+                    "B017",
+                    Severity::Warning,
+                    format!(
+                        "reconvergence point #{target} of b{bar} does not post-dominate \
+                         the fork"
+                    ),
+                )
+                .at(pc)
+                .note("a path from this bssy reaches an exit without passing the bsync"),
+            );
+        }
     }
 }
 
@@ -286,10 +331,11 @@ fn uninit_lints(
 }
 
 /// `B002`: a block-wide barrier executed where the warp may be divergent —
-/// inside an open SSY region or under a predicate guard — can deadlock or
-/// mis-count arrivals.
+/// inside an open SSY region, an armed convergence-barrier region, or
+/// under a predicate guard — can deadlock or mis-count arrivals.
 fn barrier_lints(kernel: &Kernel, cfg: &Cfg, report: &mut LintReport) {
-    // First-seen SSY depth per block (depth conflicts are B011's problem).
+    // First-seen divergent-region depth per block: open SSY regions plus
+    // armed convergence barriers (conflicts are B011's problem).
     let n = cfg.len();
     let mut depth_in: Vec<Option<usize>> = vec![None; n];
     if n == 0 {
@@ -302,18 +348,18 @@ fn barrier_lints(kernel: &Kernel, cfg: &Cfg, report: &mut LintReport) {
         for pc in cfg.blocks()[b].range() {
             let inst = &kernel.insts[pc];
             match inst.op {
-                Opcode::Ssy => depth += 1,
-                Opcode::Sync => depth = depth.saturating_sub(1),
+                Opcode::Ssy | Opcode::Bssy => depth += 1,
+                Opcode::Sync | Opcode::Bsync => depth = depth.saturating_sub(1),
                 Opcode::Bar => {
                     if depth > 0 {
                         report.diagnostics.push(
                             Diagnostic::new(
                                 "B002",
                                 Severity::Error,
-                                "barrier inside a divergent (open ssy) region",
+                                "barrier inside a divergent (open ssy/bssy) region",
                             )
                             .at(pc)
-                            .note(format!("ssy depth here is {depth}")),
+                            .note(format!("divergent-region depth here is {depth}")),
                         );
                     }
                     if inst.guard.is_some() {
@@ -429,7 +475,9 @@ pub const LINT_DOCS: &[LintDoc] = &[
         detail: "The divergence-structure checker found a `sync` without a matching \
                  `ssy`, an unclosed `ssy` region, or a join that unbalances the \
                  reconvergence stack. The SIMT stack would underflow or reconverge at \
-                 the wrong pc.",
+                 the wrong pc. On barrier-form kernels the same code covers the \
+                 stack-less protocol's hard errors: a `bsync` waiting on a barrier no \
+                 path arms, or paths joining with different armed-barrier sets.",
     },
     LintDoc {
         code: "B012",
@@ -481,6 +529,28 @@ pub const LINT_DOCS: &[LintDoc] = &[
                  Shared memory starts undefined on each launch, so the loaded value is \
                  garbage. The dynamic sanitizer reports the same condition as \
                  `uninit-shared`.",
+    },
+    LintDoc {
+        code: "B017",
+        severity: "warning",
+        summary: "convergence barrier not post-dominating its fork",
+        detail: "A `bssy` names a reconvergence point that does not post-dominate the \
+                 block arming the barrier: some path from the fork reaches an exit \
+                 without passing the matching `bsync`. Threads on that path never \
+                 arrive, and the warp only converges because the exit-retire path \
+                 disarms abandoned barriers — the barrier does not actually join the \
+                 divergent paths. The barrier-lowering pass refuses such placements; \
+                 this lint catches hand-written or mutated barrier kernels.",
+    },
+    LintDoc {
+        code: "B018",
+        severity: "info",
+        summary: "guarded branch with no convergence barrier",
+        detail: "In a kernel compiled for the stack-less divergence model, a guarded \
+                 branch executes outside every armed convergence-barrier region, so it \
+                 has no reconvergence point. The model executes it as warp-uniform — \
+                 the barrier-form analogue of B012. Advisory because uniform \
+                 trip-counts are the common case for loop back-edges.",
     },
 ];
 
@@ -714,7 +784,7 @@ mod tests {
         // Every code any pass can emit has a row.
         for code in [
             "B001", "B002", "B003", "B004", "B005", "B006", "B010", "B011", "B012", "B013", "B014",
-            "B015", "B016",
+            "B015", "B016", "B017", "B018",
         ] {
             assert!(explain(code).is_some(), "{code} missing from LINT_DOCS");
         }
@@ -853,6 +923,101 @@ mod tests {
             "{:?}",
             rep.diagnostics
         );
+    }
+
+    #[test]
+    fn lowered_diamond_lints_as_clean_as_its_stack_twin() {
+        let k = KernelBuilder::new("d")
+            .mov_imm(r(0), 5)
+            .isetp(CmpOp::Ne, Pred::p(0), r(0).into(), Operand::Imm(0))
+            .ssy("join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(r(1), 1)
+            .bra("join")
+            .label("then")
+            .mov_imm(r(1), 2)
+            .label("join")
+            .sync()
+            .stg(r(1), 0, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let low = crate::barrier::lower_to_barriers(&k).unwrap();
+        let stack_rep = lint_kernel(&k, &LintOptions::default());
+        let barrier_rep = lint_kernel(&low, &LintOptions::default());
+        assert_eq!(codes(&stack_rep), codes(&barrier_rep), "same diagnostics");
+        assert!(barrier_rep.passes_deny_warnings());
+    }
+
+    #[test]
+    fn b017_flags_a_non_postdominating_reconvergence_point() {
+        // The bssy's named join only terminates the taken arm; the
+        // fall-through arm exits directly.
+        let k = KernelBuilder::new("bad")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "join")
+            .mov_imm(r(0), 1)
+            .exit()
+            .label("join")
+            .bsync(0)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let b017: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B017")
+            .collect();
+        assert_eq!(b017.len(), 1, "{:?}", rep.diagnostics);
+        assert_eq!(b017[0].pc, Some(0));
+        assert!(!rep.passes_deny_warnings());
+    }
+
+    #[test]
+    fn b018_is_advisory_for_barrier_form_uniform_loops() {
+        let k = KernelBuilder::new("bloop")
+            .mov_imm(r(1), 0)
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "join")
+            .mov_imm(r(1), 1)
+            .label("join")
+            .bsync(0)
+            .mov_imm(r(0), 0)
+            .label("top")
+            .iadd(r(0), r(0).into(), Operand::Imm(1))
+            .isetp(CmpOp::Lt, Pred::p(1), r(0).into(), Operand::Imm(4))
+            .bra_if(Pred::p(1), false, "top")
+            .stg(r(0), 0, r(0).into())
+            .stg(r(1), 4, r(1).into())
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        let b018: Vec<_> = rep
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "B018")
+            .collect();
+        assert_eq!(b018.len(), 1, "{:?}", rep.diagnostics);
+        assert!(!codes(&rep).contains(&"B012"), "{:?}", rep.diagnostics);
+        assert!(!codes(&rep).contains(&"B017"), "{:?}", rep.diagnostics);
+        assert!(rep.passes_deny_warnings(), "B018 is info");
+    }
+
+    #[test]
+    fn b002_flags_a_bar_inside_an_armed_barrier_region() {
+        let k = KernelBuilder::new("divbar")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "join")
+            .bar() // on the fallthrough arm, b0 armed
+            .label("join")
+            .bsync(0)
+            .exit()
+            .build()
+            .unwrap();
+        let rep = lint_kernel(&k, &LintOptions::default());
+        assert!(codes(&rep).contains(&"B002"), "{:?}", rep.diagnostics);
     }
 
     #[test]

@@ -36,7 +36,9 @@
 //! later read nor write back over the newer value.
 //!
 //! **Divergent serialization.** A CFG path under-counts the window clock
-//! when a warp diverges: at a structured `ssy L; bra_if` diamond the warp
+//! when a warp diverges: at a structured `ssy L; bra_if` diamond (or its
+//! barrier-form twin `bssy bN, L; bra_if` — both divergence models
+//! serialize the arms in the same taken-first order) the warp
 //! executes *both* arms back to back before reconverging at the `sync`, so
 //! the dynamic distance from a write before the branch to a read at or
 //! after the join is the *sum* of the arms, not the length of either. The
@@ -199,7 +201,12 @@ fn divergence_geometry(kernel: &Kernel) -> Divergence {
     let mut diamonds = Vec::new();
     let mut edges: Vec<Vec<SerEdge>> = vec![Vec::new(); n];
     for (s, inst) in kernel.iter() {
-        if inst.op != Opcode::Ssy {
+        // The divergence-model seam: a `bssy` heads a diamond exactly like
+        // an `ssy` (same target-names-the-join shape), and the barrier
+        // model's LIFO split scheduling reproduces the stack's
+        // taken-arm-first serialization on structured code, so one
+        // geometry covers both models.
+        if !matches!(inst.op, Opcode::Ssy | Opcode::Bssy) {
             continue;
         }
         let join = inst.target.expect("validated ssy target");
@@ -662,6 +669,35 @@ mod tests {
             verify_hints(&k, 10).is_sound(),
             "window 10 covers the full serialization"
         );
+    }
+
+    #[test]
+    fn barrier_form_diamond_serializes_identically() {
+        // The same diamond lowered to convergence barriers must get the
+        // same verdicts: the barrier model's LIFO split scheduling runs
+        // taken arm then fall-through arm, exactly like the stack.
+        let k = KernelBuilder::new("bdiamond")
+            .mov_imm(r(0), 7)
+            .hint(WritebackHint::BocOnly)
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .nop()
+            .nop()
+            .bra("join")
+            .label("then")
+            .nop()
+            .nop()
+            .label("join")
+            .bsync(0)
+            .iadd(r(1), r(0).into(), Operand::Imm(1))
+            .exit()
+            .build()
+            .unwrap();
+        assert!(
+            !verify_hints(&k, 8).is_sound(),
+            "bssy diamond must serialize on the window clock too"
+        );
+        assert!(verify_hints(&k, 10).is_sound());
     }
 
     #[test]

@@ -237,6 +237,23 @@ fn parse_instruction(
                 inst.target = Some(usize::MAX); // placeholder until fixup
             }
         }
+        Bssy => {
+            expect(2)?;
+            inst.srcs.push(parse_cbar(&tokens[0], lineno)?);
+            if let Some(t) = tokens[1].strip_prefix('#') {
+                inst.target = Some(
+                    t.parse()
+                        .map_err(|_| AsmError::new(lineno, format!("bad raw target `{t}`")))?,
+                );
+            } else {
+                fixups.push((pc, tokens[1].clone(), lineno));
+                inst.target = Some(usize::MAX); // placeholder until fixup
+            }
+        }
+        Bsync => {
+            expect(1)?;
+            inst.srcs.push(parse_cbar(&tokens[0], lineno)?);
+        }
         Sync | Bar | Exit | Nop => expect(0)?,
         Ldg | Lds => {
             expect(2)?;
@@ -293,6 +310,17 @@ fn split_operands(s: &str) -> Vec<String> {
         .map(|t| t.trim().to_string())
         .filter(|t| !t.is_empty())
         .collect()
+}
+
+fn parse_cbar(t: &str, lineno: usize) -> Result<Operand, AsmError> {
+    // Accepts the SASS-style `b1` the disassembler emits and a bare number.
+    let digits = t.strip_prefix(['b', 'B']).unwrap_or(t);
+    digits
+        .parse::<u32>()
+        .ok()
+        .filter(|&b| (b as usize) < crate::NUM_CBARS)
+        .map(Operand::Imm)
+        .ok_or_else(|| AsmError::new(lineno, format!("bad convergence barrier `{t}`")))
 }
 
 fn parse_reg(t: &str, lineno: usize) -> Result<Reg, AsmError> {

@@ -364,6 +364,27 @@ impl KernelBuilder {
         self.push(Instruction::new(Opcode::Sync, Dst::None, vec![]))
     }
 
+    /// `bssy bN, label` — arm convergence barrier `bar` for the divergent
+    /// region whose reconvergence point is `label` (stack-less model).
+    pub fn bssy(mut self, bar: u8, label: impl Into<String>) -> Self {
+        let pc = self.insts.len();
+        self.pending_targets.push((pc, label.into()));
+        self.push(Instruction::new(
+            Opcode::Bssy,
+            Dst::None,
+            vec![Operand::Imm(u32::from(bar))],
+        ))
+    }
+
+    /// `bsync bN` — wait on convergence barrier `bar` and reconverge.
+    pub fn bsync(self, bar: u8) -> Self {
+        self.push(Instruction::new(
+            Opcode::Bsync,
+            Dst::None,
+            vec![Operand::Imm(u32::from(bar))],
+        ))
+    }
+
     /// `bar` — block-wide barrier.
     pub fn bar(self) -> Self {
         self.push(Instruction::new(Opcode::Bar, Dst::None, vec![]))

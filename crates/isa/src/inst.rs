@@ -257,7 +257,7 @@ impl Instruction {
                 if needs_mem { "missing" } else { "unexpected" }
             ));
         }
-        let needs_target = matches!(self.op, Bra | Ssy);
+        let needs_target = matches!(self.op, Bra | Ssy | Bssy);
         if needs_target && self.target.is_none() {
             return Err(format!("{}: missing branch target", self.op));
         }
@@ -279,6 +279,19 @@ impl Instruction {
         if self.op == S2R && !matches!(self.srcs[0], Operand::Special(_)) {
             return Err("s2r: source must be a special register".into());
         }
+        if matches!(self.op, Bssy | Bsync) {
+            match self.srcs[0] {
+                Operand::Imm(b) if (b as usize) < crate::NUM_CBARS => {}
+                Operand::Imm(b) => {
+                    return Err(format!(
+                        "{}: barrier id {b} exceeds b{}",
+                        self.op,
+                        crate::NUM_CBARS - 1
+                    ))
+                }
+                _ => return Err(format!("{}: barrier id must be an immediate", self.op)),
+            }
+        }
         if self.op == Sel && !matches!(self.srcs[2], Operand::Pred(_)) {
             return Err("sel: third source must be a predicate".into());
         }
@@ -289,6 +302,18 @@ impl Instruction {
     /// (unique register sources only) — the quantity Fig. 8 histograms.
     pub fn rf_read_count(&self) -> usize {
         self.unique_src_regs().len()
+    }
+
+    /// The convergence-barrier id a `bssy`/`bsync` names, `None` for every
+    /// other opcode (the id rides in the immediate source operand).
+    pub fn cbar(&self) -> Option<u8> {
+        if !matches!(self.op, Opcode::Bssy | Opcode::Bsync) {
+            return None;
+        }
+        match self.srcs.first() {
+            Some(&Operand::Imm(b)) => Some(b as u8),
+            _ => None,
+        }
     }
 }
 
@@ -339,6 +364,14 @@ impl fmt::Display for Instruction {
         }
         for s in &self.srcs {
             sep(f)?;
+            // Convergence-barrier ids print SASS-style (`b0..b7`) rather
+            // than as bare immediates.
+            if matches!(self.op, Opcode::Bssy | Opcode::Bsync) {
+                if let Operand::Imm(b) = s {
+                    write!(f, "b{b}")?;
+                    continue;
+                }
+            }
             write!(f, "{s}")?;
         }
         if let Some(t) = self.target {

@@ -151,6 +151,16 @@ impl Kernel {
         Ok(())
     }
 
+    /// Whether the kernel reconverges through convergence barriers
+    /// (`bssy`/`bsync`) rather than the SIMT stack — i.e. it was compiled
+    /// for the stack-less divergence model. The simulator switches each
+    /// warp's divergence bookkeeping on this.
+    pub fn uses_convergence_barriers(&self) -> bool {
+        self.insts
+            .iter()
+            .any(|i| matches!(i.op, Opcode::Bssy | Opcode::Bsync))
+    }
+
     /// Number of static instructions.
     pub fn len(&self) -> usize {
         self.insts.len()

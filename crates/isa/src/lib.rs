@@ -61,3 +61,10 @@ pub const MAX_SRC_OPERANDS: usize = 3;
 
 /// Number of threads in a warp (NVIDIA lock-step SIMT width).
 pub const WARP_SIZE: usize = 32;
+
+/// Number of per-warp convergence-barrier registers (`b0..b7`) available to
+/// the stack-less divergence model's `bssy`/`bsync` instructions. Volta
+/// exposes 16; 8 covers every nesting depth the compiler's barrier-placement
+/// pass can produce for kernels within this ISA's branch-structure limits
+/// and keeps the id inside a 3-bit immediate.
+pub const NUM_CBARS: usize = 8;

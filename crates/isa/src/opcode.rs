@@ -195,6 +195,15 @@ pub enum Opcode {
     Exit,
     /// No operation.
     Nop,
+    // --- convergence barriers (post-Volta stack-less divergence) ---
+    /// Arm convergence barrier `bN` with the current active mask and record
+    /// the reconvergence point (the target). The barrier-model analogue of
+    /// [`Ssy`](Opcode::Ssy); the barrier id is an immediate source operand.
+    Bssy,
+    /// Wait on convergence barrier `bN` until every participating thread
+    /// arrives, then reconverge. The barrier-model analogue of
+    /// [`Sync`](Opcode::Sync).
+    Bsync,
 }
 
 impl Opcode {
@@ -209,7 +218,7 @@ impl Opcode {
             IMul | IMad | ISad | FMul | FFma => FuClass::Mul,
             FRcp | FSqrt | FLog2 | FExp2 => FuClass::Sfu,
             Ldg | Stg | Lds | Sts | Ldc => FuClass::Mem,
-            Bra | Ssy | Sync | Bar | Exit | Nop => FuClass::Ctrl,
+            Bra | Ssy | Sync | Bar | Exit | Nop | Bssy | Bsync => FuClass::Ctrl,
         }
     }
 
@@ -229,7 +238,7 @@ impl Opcode {
         use Opcode::*;
         !matches!(
             self,
-            Stg | Sts | Bra | Ssy | Sync | Bar | Exit | Nop | ISetp(_) | FSetp(_)
+            Stg | Sts | Bra | Ssy | Sync | Bar | Exit | Nop | Bssy | Bsync | ISetp(_) | FSetp(_)
         )
     }
 
@@ -248,7 +257,8 @@ impl Opcode {
             IMad | ISad | FFma | Sel => 3,
             IAdd | ISub | IMul | IMin | IMax | And | Or | Xor | Shl | Shr | Sar | FAdd | FSub
             | FMul | FMin | FMax | ISetp(_) | FSetp(_) => 2,
-            IAbs | Not | FRcp | FSqrt | FLog2 | FExp2 | I2F | F2I | Mov | S2R | Stg | Sts => 1,
+            IAbs | Not | FRcp | FSqrt | FLog2 | FExp2 | I2F | F2I | Mov | S2R | Stg | Sts
+            | Bssy | Bsync => 1,
             Ldg | Lds | Ldc | Bra | Ssy | Sync | Bar | Exit | Nop => 0,
         }
     }
@@ -300,6 +310,8 @@ impl Opcode {
             Bar => "bar".into(),
             Exit => "exit".into(),
             Nop => "nop".into(),
+            Bssy => "bssy".into(),
+            Bsync => "bsync".into(),
         }
     }
 
@@ -354,6 +366,8 @@ impl Opcode {
             "bar" => Bar,
             "exit" => Exit,
             "nop" => Nop,
+            "bssy" => Bssy,
+            "bsync" => Bsync,
             _ => return None,
         })
     }
@@ -377,6 +391,10 @@ impl Opcode {
             v.push(ISetp(c));
             v.push(FSetp(c));
         }
+        // Appended after the setp block so the binary opcode ids of every
+        // pre-existing opcode (id = position in this list) stay stable.
+        v.push(Bssy);
+        v.push(Bsync);
         v
     }
 }

@@ -103,8 +103,11 @@ fn gen_inst(rng: &mut XorShift) -> Instruction {
                 offset: (offset & 0x3f) * 4,
             });
         }
-        if matches!(op, Opcode::Bra | Opcode::Ssy) {
+        if matches!(op, Opcode::Bra | Opcode::Ssy | Opcode::Bssy) {
             inst.target = Some(rng.below(1000) as usize);
+        }
+        if matches!(op, Opcode::Bssy | Opcode::Bsync) {
+            inst.srcs[0] = Operand::Imm(rng.below(bow_isa::NUM_CBARS as u64) as u32);
         }
         if inst.validate().is_ok() {
             return inst;

@@ -361,3 +361,50 @@ fn core_model_is_a_semantic_knob_on_the_wire() {
     srv.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn divergence_is_a_semantic_knob_on_the_wire() {
+    let dir = temp_store("divergence");
+    let srv = TestServer::boot(&dir);
+
+    let body_for = |divergence: &str| {
+        format!(
+            r#"{{"kernel": {{"workload": "bfs", "scale": "test"}},
+                "config": {{"collector": "bow-wr", "window": 3, "divergence": "{divergence}"}}}}"#
+        )
+    };
+    let stack = client::post(&srv.addr, "/v1/runs", &body_for("stack")).expect("stack run");
+    assert_eq!(stack.status, 200, "{}", stack.body);
+    let barrier = client::post(&srv.addr, "/v1/runs", &body_for("barrier")).expect("barrier run");
+    assert_eq!(barrier.status, 200, "{}", barrier.body);
+    let fp = |resp: &client::Response| {
+        resp.json()
+            .unwrap()
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint")
+            .to_string()
+    };
+    assert_ne!(
+        fp(&stack),
+        fp(&barrier),
+        "divergence must change the content address"
+    );
+    assert_eq!(srv.sim_runs(), 2, "distinct fingerprints both simulate");
+
+    // An unknown divergence model is a structured 422, never a simulation.
+    let bad = client::post(&srv.addr, "/v1/runs", &body_for("ipdom")).expect("bad run");
+    assert_eq!(bad.status, 422, "{}", bad.body);
+    assert_eq!(
+        bad.json()
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("config")
+    );
+    assert!(bad.body.contains("divergence"), "{}", bad.body);
+    assert_eq!(srv.sim_runs(), 2, "rejected bodies must never simulate");
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

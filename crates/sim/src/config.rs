@@ -19,7 +19,7 @@ pub enum SchedPolicy {
 /// construction, the hazard/dependence policy, register-file organization
 /// and collector topology — while every other [`GpuConfig`] knob (widths,
 /// latencies, the collector *model*, memory hierarchy) applies to both.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum CoreModelKind {
     /// The Pascal-style core of Table II: scoreboarded issue, an SM-wide
     /// operand-collector pool behind one crossbar, flat bank mapping.
@@ -40,6 +40,39 @@ impl CoreModelKind {
         match self {
             CoreModelKind::Pascal => "pascal",
             CoreModelKind::Modern => "modern",
+        }
+    }
+}
+
+/// Which divergence/reconvergence model a launch's kernels are compiled
+/// for.
+///
+/// The knob steers the *compiler pipeline* (the experiment harness lowers
+/// `ssy`/`sync` to convergence barriers when it is `Barrier`) and
+/// participates in result canonicalization; the simulator itself picks a
+/// warp's bookkeeping from the kernel it actually runs
+/// ([`bow_isa::Kernel::uses_convergence_barriers`]), so a barrier-form
+/// kernel reconverges correctly whatever the config says. Orthogonal to
+/// [`CoreModelKind`]: both divergence models run on both cores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DivergenceModel {
+    /// Pre-Volta SIMT reconvergence stack: `ssy` pushes a reconvergence
+    /// point, divergent branches push the deferred path, `sync` pops.
+    #[default]
+    Stack,
+    /// Post-Volta stack-less reconvergence: `bssy` arms a per-warp
+    /// convergence barrier, `bsync` parks thread groups on it until every
+    /// pending participant arrives.
+    Barrier,
+}
+
+impl DivergenceModel {
+    /// The canonical lowercase name (`"stack"` / `"barrier"`), used by the
+    /// CLI, the wire contract and result canonicalization.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DivergenceModel::Stack => "stack",
+            DivergenceModel::Barrier => "barrier",
         }
     }
 }
@@ -73,6 +106,9 @@ pub struct GpuConfig {
     /// collector topology). Orthogonal to [`collector`](Self::collector):
     /// every collector model runs on either core.
     pub core_model: CoreModelKind,
+    /// Divergence/reconvergence model kernels are compiled for (see
+    /// [`DivergenceModel`]). Orthogonal to the core model and collector.
+    pub divergence: DivergenceModel,
     /// Baseline operand-collector units per SM (pool shared by all warps).
     pub num_ocus: u32,
     /// Cycles from a register-bank grant until the operand sits in the
@@ -180,6 +216,7 @@ impl GpuConfig {
             issue_per_scheduler: 2,
             collector,
             core_model: CoreModelKind::Pascal,
+            divergence: DivergenceModel::Stack,
             num_ocus: 32,
             rf_read_latency: 2,
             xbar_width: 8,

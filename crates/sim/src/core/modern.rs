@@ -451,19 +451,18 @@ impl ModernCore {
                 self.ctrls[w].stall = u32::from(cb.stall);
             }
             let warp = ctx.warps[w].as_mut().expect("live");
-            let (arrive, live, pre_depth) = if P::ACTIVE {
+            let (arrive, live, sync_underflow) = if P::ACTIVE {
                 (
                     warp.guard_mask(inst.guard),
                     warp.valid & !warp.exited,
-                    warp.stack.len(),
+                    exec::sync_underflows(warp, &inst),
                 )
             } else {
-                (0, 0, 0)
+                (0, 0, false)
             };
             let outcome = exec::execute_control(warp, &inst);
             if P::ACTIVE {
-                let sync_underflow = inst.op == Opcode::Sync && pre_depth == 0;
-                let depth = warp.stack.len() as u32;
+                let depth = (warp.stack.len() + warp.splits.len()) as u32;
                 emit(
                     &mut ctx.stats,
                     probe,

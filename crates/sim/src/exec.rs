@@ -6,8 +6,8 @@
 //! ([`execute_data`]), reading architectural registers directly — the
 //! scoreboard guarantees those equal the values the collector gathered.
 
-use crate::warp::{StackEntry, StackKind, Warp};
-use bow_isa::{Instruction, Opcode, Operand, Special, WARP_SIZE};
+use crate::warp::{Split, StackEntry, StackKind, Warp};
+use bow_isa::{Instruction, Opcode, Operand, Special, NUM_CBARS, WARP_SIZE};
 use bow_mem::{GlobalAccess, GlobalMemory, SharedMemory};
 
 /// Geometry context a warp needs to evaluate special registers.
@@ -199,7 +199,9 @@ pub fn execute_data<G: GlobalAccess>(
                 let v = c.eval_f32(as_f32(s(0)), as_f32(s(1)));
                 write_pred(warp, lane, inst, v);
             }
-            Ldg | Stg | Lds | Sts | Ldc | Bra | Ssy | Sync | Bar | Exit | Nop => unreachable!(),
+            Ldg | Stg | Lds | Sts | Ldc | Bra | Ssy | Sync | Bar | Exit | Nop | Bssy | Bsync => {
+                unreachable!()
+            }
         }
     }
     None
@@ -342,6 +344,17 @@ pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
                 warp.pc = target;
             } else if taken == 0 {
                 warp.pc += 1;
+            } else if warp.barrier_mode {
+                // Divergence, stack-less model: park the not-taken lanes as
+                // a runnable split. LIFO resume keeps the stack model's
+                // taken-arm-first serialization order.
+                warp.splits.push(Split {
+                    pc: warp.pc + 1,
+                    mask: not_taken,
+                    waiting_on: None,
+                });
+                warp.active = taken;
+                warp.pc = target;
             } else {
                 // Divergence: run the taken side first, queue the rest.
                 warp.stack.push(StackEntry {
@@ -354,7 +367,84 @@ pub fn execute_control(warp: &mut Warp, inst: &Instruction) -> ControlOutcome {
             }
             ControlOutcome::Plain
         }
+        Bssy => {
+            // Arm the convergence barrier: the current group participates;
+            // nobody has arrived yet. The reconvergence target is implied by
+            // the matching `bsync`'s position, so it needs no recording.
+            let b = cbar_index(inst);
+            warp.cbar_part[b] = warp.active;
+            warp.cbar_arrived[b] = 0;
+            warp.pc += 1;
+            ControlOutcome::Plain
+        }
+        Bsync => {
+            let b = cbar_index(inst);
+            let pending = warp.cbar_part[b] & !warp.exited;
+            if warp.cbar_part[b] == 0 || pending == 0 {
+                // Unarmed (or all participants dead): behaves like a nop,
+                // mirroring sync-without-ssy in the stack model.
+                warp.cbar_part[b] = 0;
+                warp.cbar_arrived[b] = 0;
+                warp.pc += 1;
+                return ControlOutcome::Plain;
+            }
+            let arrived = warp.cbar_arrived[b] | warp.active;
+            if pending & !arrived == 0 {
+                // Every live participant has arrived: reconverge. Waiting
+                // splits on this barrier are absorbed into the released
+                // group (their lanes are in `pending`).
+                warp.splits.retain(|s| s.waiting_on != Some(b as u8));
+                warp.cbar_part[b] = 0;
+                warp.cbar_arrived[b] = 0;
+                warp.active = (pending | warp.active) & !warp.exited;
+                warp.pc += 1;
+                return ControlOutcome::Plain;
+            }
+            // Some participants are still on the way: park this group at
+            // the bsync and switch to another split.
+            warp.cbar_arrived[b] = arrived;
+            warp.splits.push(Split {
+                pc: warp.pc,
+                mask: warp.active,
+                waiting_on: Some(b as u8),
+            });
+            warp.active = 0;
+            if warp.schedule_next_group() {
+                ControlOutcome::Plain
+            } else {
+                // Every live lane waits on a barrier that cannot release:
+                // a convergence deadlock (malformed kernel). Terminate the
+                // warp like the stack model's malformed-kernel path so the
+                // pipeline can drain and finalize it.
+                debug_assert!(
+                    false,
+                    "convergence deadlock: live lanes {:#x} all parked",
+                    warp.valid & !warp.exited
+                );
+                warp.done = true;
+                ControlOutcome::Exit
+            }
+        }
         _ => unreachable!(),
+    }
+}
+
+fn cbar_index(inst: &Instruction) -> usize {
+    inst.cbar()
+        .expect("validated bssy/bsync carries a barrier id") as usize
+        % NUM_CBARS
+}
+
+/// Whether executing `inst` on `warp` *now* would be a reconvergence
+/// underflow: a `sync` with an empty SIMT stack or a `bsync` on an unarmed
+/// convergence barrier. Both execute as nops; the sanitizer reports them as
+/// broken reconvergence structure. Must be evaluated *before*
+/// [`execute_control`].
+pub fn sync_underflows(warp: &Warp, inst: &Instruction) -> bool {
+    match inst.op {
+        Opcode::Sync => warp.stack.is_empty(),
+        Opcode::Bsync => warp.cbar_part[cbar_index(inst)] == 0,
+        _ => false,
     }
 }
 
@@ -593,6 +683,139 @@ mod tests {
         assert_eq!(w.pc, 6);
         assert_eq!(w.active, u32::MAX);
         assert!(w.stack.is_empty());
+    }
+
+    /// Runs a kernel's control/ALU skeleton on one warp of the functional
+    /// model until done, returning the trace of (pc, active) per step.
+    fn run_barrier_kernel(k: &bow_isa::Kernel, preds: &[(usize, Pred, bool)]) -> Vec<(usize, u32)> {
+        let mut w = Warp::new(0, 0, 0, 32, k.num_regs.max(1));
+        w.barrier_mode = k.uses_convergence_barriers();
+        for &(lane, p, v) in preds {
+            w.write_pred(lane, p, v);
+        }
+        let mut g = GlobalMemory::new();
+        let mut s = SharedMemory::new(0);
+        let mut trace = Vec::new();
+        let mut steps = 0;
+        while !w.done {
+            assert!(steps < 10_000, "kernel did not terminate");
+            steps += 1;
+            let inst = &k.insts[w.pc];
+            trace.push((w.pc, w.active));
+            if inst.op.is_control() {
+                execute_control(&mut w, inst);
+            } else {
+                let mask = w.guard_mask(inst.guard);
+                w.pc += 1;
+                execute_data(&mut w, inst, mask, &mut ctx(&mut g, &mut s, &[]));
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn barrier_diamond_reconverges() {
+        // if (p0) { r0 = 1 } else { r0 = 2 }; join
+        let k = KernelBuilder::new("diamond")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .mov_imm(Reg::r(0), 2)
+            .bra("join_sync")
+            .label("then")
+            .mov_imm(Reg::r(0), 1)
+            .label("join_sync")
+            .bsync(0)
+            .label("join")
+            .mov_imm(Reg::r(1), 3)
+            .exit()
+            .build()
+            .unwrap();
+        let low = 0x0000_ffffu32;
+        let preds: Vec<_> = (0..16).map(|l| (l, Pred::p(0), true)).collect();
+        let trace = run_barrier_kernel(&k, &preds);
+        // Taken arm runs first (lanes 0..16), then the not-taken arm, then
+        // both bsync executions, then the reconverged join with a full mask.
+        let then_pc = 4; // mov r0, 1
+        let else_pc = 2; // mov r0, 2
+        let then_pos = trace.iter().position(|&(pc, _)| pc == then_pc).unwrap();
+        let else_pos = trace.iter().position(|&(pc, _)| pc == else_pc).unwrap();
+        assert!(then_pos < else_pos, "taken arm serializes first");
+        assert_eq!(trace[then_pos].1, low);
+        assert_eq!(trace[else_pos].1, !low);
+        let join = trace.iter().find(|&&(pc, _)| pc == 6).unwrap();
+        assert_eq!(join.1, u32::MAX, "join runs with the reconverged mask");
+    }
+
+    #[test]
+    fn barrier_nested_diamonds_reconverge_inside_out() {
+        // Outer diamond on p0; the taken arm contains an inner diamond on p1.
+        let k = KernelBuilder::new("nested")
+            .bssy(0, "ojoin")
+            .bra_if(Pred::p(0), false, "othen")
+            .mov_imm(Reg::r(0), 9)
+            .bra("osync")
+            .label("othen")
+            .bssy(1, "ijoin")
+            .bra_if(Pred::p(1), false, "ithen")
+            .mov_imm(Reg::r(1), 8)
+            .bra("isync")
+            .label("ithen")
+            .mov_imm(Reg::r(1), 7)
+            .label("isync")
+            .bsync(1)
+            .label("ijoin")
+            .label("osync")
+            .bsync(0)
+            .label("ojoin")
+            .mov_imm(Reg::r(2), 1)
+            .exit()
+            .build()
+            .unwrap();
+        // p0 true on lanes 0..16; within those, p1 true on lanes 0..8.
+        let mut preds: Vec<_> = (0..16).map(|l| (l, Pred::p(0), true)).collect();
+        preds.extend((0..8).map(|l| (l, Pred::p(1), true)));
+        let trace = run_barrier_kernel(&k, &preds);
+        let at = |pc: usize| trace.iter().find(|&&(p, _)| p == pc).unwrap().1;
+        assert_eq!(at(8), 0x0000_00ff, "inner taken arm: p0 & p1 lanes");
+        assert_eq!(at(6), 0x0000_ff00, "inner not-taken arm");
+        assert_eq!(at(2), 0xffff_0000, "outer not-taken arm");
+        // First arrival at the outer bsync is the fully reconverged inner
+        // group: the inner diamond joined before the outer sync.
+        assert_eq!(at(10), 0x0000_ffff, "inner join completes first");
+        assert_eq!(at(11), u32::MAX, "outer join reconverges everyone");
+    }
+
+    #[test]
+    fn barrier_exit_in_arm_releases_waiters() {
+        // The not-taken arm exits without ever reaching the bsync; the
+        // waiting taken arm must still be released.
+        let k = KernelBuilder::new("armexit")
+            .bssy(0, "join")
+            .bra_if(Pred::p(0), false, "then")
+            .exit()
+            .label("then")
+            .mov_imm(Reg::r(0), 1)
+            .bsync(0)
+            .label("join")
+            .mov_imm(Reg::r(1), 2)
+            .exit()
+            .build()
+            .unwrap();
+        let preds: Vec<_> = (0..16).map(|l| (l, Pred::p(0), true)).collect();
+        let trace = run_barrier_kernel(&k, &preds);
+        let join = trace.iter().find(|&&(pc, _)| pc == 5).unwrap();
+        assert_eq!(join.1, 0x0000_ffff, "survivors continue past the join");
+    }
+
+    #[test]
+    fn bsync_on_unarmed_barrier_is_a_nop_and_flagged() {
+        let mut w = Warp::new(0, 0, 0, 32, 4);
+        w.barrier_mode = true;
+        let k = KernelBuilder::new("t").bsync(3).exit().build().unwrap();
+        assert!(sync_underflows(&w, &k.insts[0]));
+        execute_control(&mut w, &k.insts[0]);
+        assert_eq!(w.pc, 1);
+        assert_eq!(w.active, u32::MAX);
     }
 
     #[test]

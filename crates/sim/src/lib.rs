@@ -71,7 +71,7 @@ pub mod trace;
 pub mod warp;
 
 pub use collector::CollectorKind;
-pub use config::{CoreModelKind, GpuConfig, OracleCheck, SchedPolicy};
+pub use config::{CoreModelKind, DivergenceModel, GpuConfig, OracleCheck, SchedPolicy};
 pub use core::{CoreModel, CorePipeline, ModernCore, PascalCore};
 pub use gpu::{Gpu, LaunchResult};
 pub use oracle::{run_oracle, Divergence, LockstepChecker, OracleRun, WriteLog, WriteRecord};

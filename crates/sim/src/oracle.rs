@@ -117,7 +117,9 @@ pub fn run_oracle_bounded(
         let mut warps: Vec<Warp> = (0..warps_per_block)
             .map(|w| {
                 let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
-                Warp::new(w as usize, 0, w, lanes, kernel.num_regs)
+                let mut warp = Warp::new(w as usize, 0, w, lanes, kernel.num_regs);
+                warp.barrier_mode = kernel.uses_convergence_barriers();
+                warp
             })
             .collect();
         let base_uid = block_index * u64::from(warps_per_block);

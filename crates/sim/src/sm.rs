@@ -162,7 +162,9 @@ impl Sm {
                     .position(Option::is_none)
                     .expect("assign_block without free warp slots");
                 let lanes = (threads - w * WARP_SIZE as u32).min(WARP_SIZE as u32);
-                ctx.warps[wslot] = Some(Warp::new(wslot, slot, w, lanes, kernel.num_regs));
+                let mut warp = Warp::new(wslot, slot, w, lanes, kernel.num_regs);
+                warp.barrier_mode = kernel.uses_convergence_barriers();
+                ctx.warps[wslot] = Some(warp);
                 ctx.rf.shadow_reset_warp(wslot);
                 ctx.scoreboards[wslot] = Scoreboard::new();
                 ctx.warp_age[wslot] = ctx.age_counter;

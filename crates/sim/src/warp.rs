@@ -1,7 +1,8 @@
-//! Per-warp architectural state: lane registers, predicates, the SIMT
-//! reconvergence stack and barrier/exit bookkeeping.
+//! Per-warp architectural state: lane registers, predicates, divergence
+//! bookkeeping (SIMT reconvergence stack or stack-less convergence
+//! barriers, depending on the divergence model) and barrier/exit state.
 
-use bow_isa::{Pred, Reg, WARP_SIZE};
+use bow_isa::{Pred, Reg, NUM_CBARS, WARP_SIZE};
 
 /// Why an entry sits on the SIMT stack.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,6 +22,23 @@ pub struct StackEntry {
     pub pc: usize,
     /// Active mask to resume with.
     pub mask: u32,
+}
+
+/// A parked thread group under the stack-less (barrier) divergence model.
+///
+/// A divergent branch parks the not-taken lanes as a *runnable* split
+/// (`waiting_on == None`, resume at `pc`); a `bsync` that cannot yet
+/// reconverge parks the arriving lanes as a *waiting* split
+/// (`waiting_on == Some(b)`, resume at `pc + 1` once barrier `b` releases).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Split {
+    /// Program counter of the split: the resume point for runnable splits,
+    /// the `bsync` itself for waiting splits.
+    pub pc: usize,
+    /// Lanes parked in this group.
+    pub mask: u32,
+    /// Convergence barrier the group waits on, `None` when runnable.
+    pub waiting_on: Option<u8>,
 }
 
 /// Architectural and control state of one warp.
@@ -53,6 +71,16 @@ pub struct Warp {
     pub valid: u32,
     /// SIMT reconvergence stack.
     pub stack: Vec<StackEntry>,
+    /// Whether this warp runs the stack-less (convergence-barrier)
+    /// divergence model: divergent branches park splits instead of pushing
+    /// `Div` stack entries. Set from the kernel the warp executes.
+    pub barrier_mode: bool,
+    /// Parked thread groups (barrier model only).
+    pub splits: Vec<Split>,
+    /// Per-convergence-barrier participation masks (armed by `bssy`).
+    pub cbar_part: [u32; NUM_CBARS],
+    /// Per-convergence-barrier arrived masks (lanes parked at a `bsync`).
+    pub cbar_arrived: [u32; NUM_CBARS],
     /// The warp finished (all valid lanes exited).
     pub done: bool,
     /// The warp arrived at a `bar` and waits for its block.
@@ -94,6 +122,10 @@ impl Warp {
             exited: 0,
             valid,
             stack: Vec::new(),
+            barrier_mode: false,
+            splits: Vec::new(),
+            cbar_part: [0; NUM_CBARS],
+            cbar_arrived: [0; NUM_CBARS],
             done: false,
             at_barrier: false,
             seq: 0,
@@ -153,7 +185,8 @@ impl Warp {
     }
 
     /// Retires the active lanes (an `exit`): marks them exited and resumes
-    /// pending SIMT paths if any remain; otherwise the warp is done.
+    /// pending SIMT paths (stack entries or barrier-model splits) if any
+    /// remain; otherwise the warp is done.
     pub fn retire_active(&mut self) {
         self.exited |= self.active;
         self.active = 0;
@@ -165,18 +198,83 @@ impl Warp {
                 return;
             }
         }
+        if self.schedule_next_group() {
+            return;
+        }
         if self.exited == self.valid {
             self.done = true;
         } else {
-            // No stack entries but live lanes remain: they fell out of the
-            // divergence bookkeeping, which indicates a malformed kernel.
+            // No pending paths but live lanes remain: they fell out of the
+            // divergence bookkeeping, which indicates a malformed kernel
+            // (or, in the barrier model, a convergence deadlock).
             debug_assert!(
                 false,
-                "live lanes {:#x} with empty SIMT stack",
+                "live lanes {:#x} outside divergence bookkeeping",
                 self.valid & !self.exited
             );
             self.done = true;
         }
+    }
+
+    /// Barrier-model scheduler step: with no group active, disarms
+    /// convergence barriers whose participants all exited, releases any
+    /// barrier whose live participants have all arrived, or resumes the most
+    /// recently parked runnable split (LIFO, which reproduces the stack
+    /// model's taken-arm-first serialization on structured code).
+    ///
+    /// Returns `false` when no group can run: the warp is empty, or every
+    /// live lane waits on a barrier that cannot release (malformed kernel).
+    /// A no-op for stack-model warps (no splits, no armed barriers).
+    pub(crate) fn schedule_next_group(&mut self) -> bool {
+        debug_assert_eq!(self.active, 0, "scheduling with a group active");
+        for b in 0..NUM_CBARS {
+            if self.cbar_part[b] != 0 && self.cbar_part[b] & !self.exited == 0 {
+                // Every participant exited: the barrier can never be
+                // sync'd again; disarm it.
+                self.cbar_part[b] = 0;
+                self.cbar_arrived[b] = 0;
+            }
+        }
+        for b in 0..NUM_CBARS {
+            let pending = self.cbar_part[b] & !self.exited;
+            if self.cbar_part[b] == 0 || pending & !self.cbar_arrived[b] != 0 {
+                continue;
+            }
+            // All live participants are parked at the bsync: reconverge
+            // them. The most recently parked waiter fixes the resume pc
+            // (well-formed kernels park every waiter at the same bsync).
+            let mut mask = 0u32;
+            let mut resume_pc = None;
+            self.splits.retain(|s| {
+                if s.waiting_on == Some(b as u8) {
+                    mask |= s.mask;
+                    resume_pc = Some(s.pc + 1);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.cbar_part[b] = 0;
+            self.cbar_arrived[b] = 0;
+            mask &= !self.exited;
+            if let Some(pc) = resume_pc {
+                if mask != 0 {
+                    self.active = mask;
+                    self.pc = pc;
+                    return true;
+                }
+            }
+        }
+        while let Some(idx) = self.splits.iter().rposition(|s| s.waiting_on.is_none()) {
+            let s = self.splits.remove(idx);
+            let mask = s.mask & !self.exited;
+            if mask != 0 {
+                self.active = mask;
+                self.pc = s.pc;
+                return true;
+            }
+        }
+        false
     }
 
     /// Registers per thread this warp was allocated.

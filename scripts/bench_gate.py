@@ -4,11 +4,13 @@
 Compares a fresh `bench_throughput` run against the checked-in baseline
 (`results/bench_throughput.json`) and fails if simulator throughput
 regressed: the geomean of per-row `cycles_per_sec` ratios across the
-(benchmark x sim_threads) matrix must not drop by more than the
-tolerance (default 10%). The geomean — not any single row — is gated
-because individual sub-100ms rows are wall-clock noisy; a real hot-path
-regression (say, virtual dispatch leaking into the per-cycle loop)
-moves every row at once.
+(benchmark x core_model x sim_threads) matrix must not drop by more
+than the tolerance (default 10%). The geomean is computed and gated
+*per core model*, so a regression confined to the sub-core `modern`
+pipeline cannot hide behind healthy pascal rows (and vice versa). The
+geomean — not any single row — is gated because individual sub-100ms
+rows are wall-clock noisy; a real hot-path regression (say, virtual
+dispatch leaking into the per-cycle loop) moves every row at once.
 
 Two hard checks ride along:
   * the row sets must match — a silently dropped benchmark or thread
@@ -32,7 +34,9 @@ def rows(path):
         doc = json.load(f)
     table = {}
     for run in doc["runs"]:
-        table[(run["benchmark"], run["sim_threads"])] = run
+        # Baselines from before the core-model axis are all-pascal.
+        core = run.get("core_model", "pascal")
+        table[(run["benchmark"], core, run["sim_threads"])] = run
     return doc, table
 
 
@@ -58,34 +62,39 @@ def main(argv):
             f"row sets differ: baseline {sorted(base)} vs fresh {sorted(fresh)}"
         )
 
-    log_sum, n = 0.0, 0
-    print(f"{'benchmark':<12} {'threads':>7} {'base c/s':>12} {'fresh c/s':>12} {'ratio':>7}")
+    per_core = {}  # core_model -> [log ratios]
+    print(f"{'benchmark':<12} {'core':<8} {'threads':>7} "
+          f"{'base c/s':>12} {'fresh c/s':>12} {'ratio':>7}")
     for key in sorted(base):
         if key not in fresh:
             continue
+        bench, core, threads = key
         b, f = base[key], fresh[key]
         if b["fingerprint"] != f["fingerprint"]:
             failures.append(
-                f"{key[0]} t={key[1]}: stats fingerprint changed "
+                f"{bench} ({core}) t={threads}: stats fingerprint changed "
                 f"({b['fingerprint']} -> {f['fingerprint']}) — the model "
                 "diverged; refresh the baseline only for intentional changes"
             )
         ratio = f["cycles_per_sec"] / b["cycles_per_sec"]
-        log_sum += math.log(ratio)
-        n += 1
+        per_core.setdefault(core, []).append(math.log(ratio))
         print(
-            f"{key[0]:<12} {key[1]:>7} {b['cycles_per_sec']:>12.0f} "
+            f"{bench:<12} {core:<8} {threads:>7} {b['cycles_per_sec']:>12.0f} "
             f"{f['cycles_per_sec']:>12.0f} {ratio:>6.2f}x"
         )
 
-    geomean = math.exp(log_sum / n) if n else 0.0
-    print(f"geomean throughput ratio (fresh/baseline): {geomean:.3f}x "
-          f"(gate: >= {1.0 - max_drop:.2f}x)")
-    if n and geomean < 1.0 - max_drop:
-        failures.append(
-            f"throughput geomean dropped {100 * (1 - geomean):.1f}% "
-            f"(> {100 * max_drop:.0f}% tolerance)"
-        )
+    for core in sorted(per_core):
+        logs = per_core[core]
+        geomean = math.exp(sum(logs) / len(logs))
+        print(f"{core} geomean throughput ratio (fresh/baseline): "
+              f"{geomean:.3f}x (gate: >= {1.0 - max_drop:.2f}x)")
+        if geomean < 1.0 - max_drop:
+            failures.append(
+                f"{core} throughput geomean dropped "
+                f"{100 * (1 - geomean):.1f}% (> {100 * max_drop:.0f}% tolerance)"
+            )
+    if not per_core:
+        failures.append("no comparable rows — the gate checked nothing")
 
     if failures:
         for msg in failures:

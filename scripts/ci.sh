@@ -34,6 +34,16 @@ mkdir -p target/golden-artifacts
 cp crates/bow/tests/golden/fingerprints.txt target/golden-artifacts/pascal.txt
 cp crates/bow/tests/golden/fingerprints_modern.txt target/golden-artifacts/modern.txt
 
+echo "==> golden stats fingerprints, barrier divergence (serial + threaded)"
+# The divergence-model matrix: the same 15-workload x 4-collector suite
+# on *both* cores with compiler-lowered convergence barriers
+# (BSSY/BSYNC) replacing the SIMT stack — no stack anywhere in these
+# runs. Serial, then sharded across 8 workers; the table lands in
+# target/golden-artifacts/ next to the stack tiers.
+cargo test --release -q --offline -p bow --test golden_fingerprints_barrier
+BOW_SIM_THREADS=8 cargo test --release -q --offline -p bow --test golden_fingerprints_barrier
+cp crates/bow/tests/golden/fingerprints_barrier.txt target/golden-artifacts/barrier.txt
+
 echo "==> bow fuzz --smoke (64-case differential fuzz, fixed seed)"
 # Every generated kernel runs under all collector models, each launch
 # lockstep-checked against the architectural oracle and the independent
@@ -54,6 +64,20 @@ echo "==> bow fuzz --smoke --core-model modern (control-bit interlock)"
 # pipeline, lockstep-checked against the (core-model-agnostic) oracle.
 cargo run --release -q --offline -p bow-cli -- \
     fuzz --smoke --core-model modern --out target/fuzz-repros
+
+echo "==> bow fuzz --smoke --divergence barrier (stack-less reconvergence)"
+# The fuzz half of the divergence matrix: every generated kernel is
+# lowered to convergence barriers, so reconvergence rides the per-warp
+# barrier registers — and the lockstep oracle and host model must still
+# agree instruction-for-instruction.
+cargo run --release -q --offline -p bow-cli -- \
+    fuzz --smoke --divergence barrier --out target/fuzz-repros
+
+echo "==> bow fuzz --smoke --core-model modern --divergence barrier"
+# Both axes at once: sub-core pipeline + control-bit interlock +
+# barrier reconvergence, the richest scenario the matrix has.
+cargo run --release -q --offline -p bow-cli -- \
+    fuzz --smoke --core-model modern --divergence barrier --out target/fuzz-repros
 
 echo "==> bench_throughput (test tier)"
 # Full-chip 56-SM throughput probe at sim_threads {1,2,4}: asserts the
@@ -95,6 +119,14 @@ cargo run --release -q --offline -p bow-cli -- \
     lint --all-workloads --deny-warnings --core-model modern \
     --json target/lint-reports/workloads_modern.json
 
+echo "==> bow lint --all-workloads --divergence barrier"
+# The lint half of the divergence matrix: every workload kernel is
+# lowered to convergence barriers first, so the barrier-structure lints
+# (B017/B018) judge real `lower_to_barriers` output on all 15 kernels.
+cargo run --release -q --offline -p bow-cli -- \
+    lint --all-workloads --deny-warnings --divergence barrier \
+    --json target/lint-reports/workloads_barrier.json
+
 echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
 # Audits the verifier itself: flips sound hints to BocOnly across a
 # generated corpus and requires every mutant that demonstrably loses a
@@ -102,6 +134,14 @@ echo "==> bow lint --mutate --smoke (mutation sanitizer, fixed seed)"
 # flagged, plus at least one lockstep-confirmed catch in the pipeline.
 cargo run --release -q --offline -p bow-cli -- \
     lint --mutate --smoke --json target/lint-reports/mutation.json
+
+echo "==> bow lint --mutate --smoke --divergence barrier"
+# The same audit with the replayed kernels lowered to convergence
+# barriers: hint soundness must be judged identically when the stack is
+# gone, so every demonstrably-unsound mutant must still be flagged.
+cargo run --release -q --offline -p bow-cli -- \
+    lint --mutate --smoke --divergence barrier \
+    --json target/lint-reports/mutation_barrier.json
 
 echo "==> bow corpus sanitize --smoke (dynamic/static cross-validation, fixed seed)"
 # The other direction of the audit: a fixed-seed 64-kernel campaign (plus
@@ -196,7 +236,14 @@ for CORE in pascal modern; do
     cargo run --release -q --offline -p bow-cli -- \
         corpus sweep --dir target/corpus-smoke --limit 16 --core-model "${CORE}" \
         --out "target/corpus-smoke/dist_${CORE}.json" > /dev/null
-    echo "    ${CORE} distributions in target/corpus-smoke/dist_${CORE}.json"
+    # The divergence matrix's population view: the same slice with every
+    # kernel lowered to convergence barriers (`_barrier` twin artifact,
+    # matching the corpus_report naming).
+    cargo run --release -q --offline -p bow-cli -- \
+        corpus sweep --dir target/corpus-smoke --limit 16 --core-model "${CORE}" \
+        --divergence barrier \
+        --out "target/corpus-smoke/dist_${CORE}_barrier.json" > /dev/null
+    echo "    ${CORE} distributions in target/corpus-smoke/dist_${CORE}{,_barrier}.json"
 done
 
 echo "==> cargo fmt --check"

@@ -110,6 +110,62 @@ fn modern_suite_fingerprints_invariant_under_thread_count() {
     }
 }
 
+/// The same contract under the convergence-barrier divergence model:
+/// the per-warp barrier registers (arm/park/join) replace the SIMT
+/// stack as the reconvergence bookkeeping, and that bookkeeping is
+/// per-warp state inside one SM's pipeline, so the shard-commit
+/// protocol must keep `sim_threads` a pure execution knob on both
+/// cores there too.
+#[test]
+fn barrier_suite_fingerprints_invariant_under_thread_count() {
+    for core in [CoreModelKind::Pascal, CoreModelKind::Modern] {
+        let table = |threads: u32| {
+            let with = |b: ConfigBuilder| {
+                b.sim_threads(threads)
+                    .core_model(core)
+                    .divergence(DivergenceModel::Barrier)
+                    .build()
+            };
+            let configs: Vec<Config> = vec![
+                with(ConfigBuilder::baseline()),
+                with(ConfigBuilder::bow(3)),
+                with(ConfigBuilder::bow_wr(3)),
+                with(ConfigBuilder::rfc()),
+            ];
+            let sweep = Suite::new(Scale::Test)
+                .configs(configs)
+                .progress(false)
+                .run();
+            sweep.assert_checked();
+            sweep
+                .rows
+                .iter()
+                .flat_map(|row| {
+                    row.records.iter().map(|r| {
+                        format!(
+                            "{}/{} {:016x}",
+                            r.benchmark,
+                            r.label,
+                            r.outcome.result.stats.fingerprint()
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = table(1);
+        assert_eq!(serial.len(), 15 * 4, "suite shape changed");
+        assert!(
+            serial.iter().all(|line| line.contains("+barrier")),
+            "every cell ran under the barrier model"
+        );
+        let threaded = table(8);
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s, t, "{core:?} barrier cell diverged at sim_threads=8");
+        }
+        assert_eq!(serial.len(), threaded.len());
+    }
+}
+
 /// The architectural oracle runs under the threaded engine too (the
 /// checked launch routes through the same windowed dispatcher), so the
 /// pipeline == oracle == host-reference triangle must close with the
